@@ -1,0 +1,30 @@
+//! # s2g-apps — the example applications (Table II)
+//!
+//! The five applications the paper deploys on stream2gym, plus the two
+//! research-reproduction workloads of §V-C:
+//!
+//! | Application | Module | Components | Feature |
+//! |---|---|---|---|
+//! | Word count | [`word_count`] | 5 | multiple stream processing jobs |
+//! | Ride selection | [`ride_selection`] | 5 | structured data, stateful processing |
+//! | Sentiment analysis | [`sentiment`] | 3 | unstructured data |
+//! | Maritime monitoring | [`maritime`] | 4 | persistent storage |
+//! | Fraud detection | [`fraud`] | 5 | machine learning prediction |
+//! | Video analytics (Ichinose et al.) | [`video_analytics`] | 2+N | consumer-scaling throughput |
+//! | Traffic monitoring (Ocampo et al.) | [`traffic_monitor`] | 2+N | per-slot runtime scaling |
+//!
+//! Every module exposes its stream-job [`Plan`](s2g_spe::Plan) factories
+//! (unit-testable offline) and a `scenario(...)` builder that assembles the
+//! full pipeline on the emulated network. [`data`] holds the seeded
+//! synthetic generators that stand in for the paper's datasets.
+
+#![warn(missing_docs)]
+
+pub mod data;
+pub mod fraud;
+pub mod maritime;
+pub mod ride_selection;
+pub mod sentiment;
+pub mod traffic_monitor;
+pub mod video_analytics;
+pub mod word_count;

@@ -1,0 +1,70 @@
+//! Scenario-level benches: one per paper figure family, at Quick scale so
+//! `cargo bench` regenerates every experiment's code path measurably.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use s2g_bench::{
+    fig5_sweep, fig6_run, fig7a_sweep, fig7b_sweep, fig8_sweep, fig9_sweep, Component, Scale,
+};
+use s2g_broker::CoordinationMode;
+
+fn bench_fig5(c: &mut Criterion) {
+    c.bench_function("fig5_latency_one_point", |b| {
+        b.iter(|| {
+            let data = fig5_sweep(&[100], Scale::Quick, 42);
+            assert_eq!(data.len(), 4);
+        })
+    });
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    c.bench_function("fig6_partition_zk", |b| {
+        b.iter(|| {
+            let d = fig6_run(CoordinationMode::Zk, 4, Scale::Quick, 1);
+            assert!(d.truncated_records > 0);
+        })
+    });
+}
+
+fn bench_fig7a(c: &mut Criterion) {
+    c.bench_function("fig7a_consumers_4", |b| {
+        b.iter(|| {
+            let d = fig7a_sweep(&[4], 5);
+            assert!(d[0].1 > 0.0);
+        })
+    });
+}
+
+fn bench_fig7b(c: &mut Criterion) {
+    c.bench_function("fig7b_users_20", |b| {
+        b.iter(|| {
+            let d = fig7b_sweep(&[20], Scale::Quick, 3);
+            assert!((d[0].1 - 1.0).abs() < 1e-9);
+        })
+    });
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    c.bench_function("fig8_accuracy_one_point", |b| {
+        b.iter(|| {
+            let d = fig8_sweep(&[100], Component::Broker, Scale::Quick, 42);
+            assert_eq!(d.len(), 2);
+        })
+    });
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    c.bench_function("fig9_resources_4_sites", |b| {
+        b.iter(|| {
+            let d = fig9_sweep(&[4], 32 << 20, Scale::Quick, 7);
+            assert!(d[0].peak_mem_fraction > 0.0);
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig5, bench_fig6, bench_fig7a, bench_fig7b, bench_fig8, bench_fig9
+}
+criterion_main!(benches);

@@ -1,0 +1,148 @@
+//! Microbenchmarks of the substrates: kernel event throughput, network
+//! routing, the broker produce/replicate path, and SPE operators.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use s2g_net::{LinkSpec, Network, NetTransport, Topology};
+use s2g_sim::{downcast, Ctx, Message, Process, ProcessId, Sim, SimDuration, SimTime};
+use s2g_spe::{Event, Plan, Value, WindowAggregate, WindowAssigner};
+
+#[derive(Debug)]
+struct Ping(u64);
+impl Message for Ping {
+    fn wire_size(&self) -> usize {
+        64
+    }
+}
+
+struct Bouncer {
+    peer: Option<ProcessId>,
+    remaining: u64,
+}
+impl Process for Bouncer {
+    fn name(&self) -> &str {
+        "bouncer"
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: ProcessId, msg: Box<dyn Message>) {
+        let p = downcast::<Ping>(msg).expect("ping");
+        self.peer = Some(from);
+        if self.remaining > 0 && p.0 > 0 {
+            self.remaining -= 1;
+            ctx.send(from, Ping(p.0 - 1));
+        }
+    }
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel");
+    g.bench_function("event_dispatch_100k", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(1);
+            let a = sim.spawn(Box::new(Bouncer { peer: None, remaining: u64::MAX }));
+            sim.inject_at(SimTime::ZERO, a, Ping(100_000));
+            sim.run_to_completion();
+            assert!(sim.stats().events_processed >= 100_000);
+        })
+    });
+    g.finish();
+}
+
+fn bench_network(c: &mut Criterion) {
+    let mut g = c.benchmark_group("network");
+    for hosts in [4usize, 16, 64] {
+        g.bench_with_input(BenchmarkId::new("route_10k_pkts", hosts), &hosts, |b, &hosts| {
+            let topo = Topology::star(hosts, LinkSpec::new().latency_ms(1).bandwidth_mbps(100.0))
+                .unwrap();
+            b.iter(|| {
+                let net = Network::new(topo.clone()).into_handle();
+                let mut sim = Sim::new(1);
+                sim.set_transport(Box::new(NetTransport(net.clone())));
+                let a = sim.spawn(Box::new(Bouncer { peer: None, remaining: u64::MAX }));
+                let z = sim.spawn(Box::new(Bouncer { peer: None, remaining: u64::MAX }));
+                {
+                    let mut n = net.borrow_mut();
+                    let h1 = n.topology().lookup("h1").unwrap();
+                    let h2 = n.topology().lookup(&format!("h{hosts}")).unwrap();
+                    n.place(a, h1);
+                    n.place(z, h2);
+                }
+                sim.inject_at(SimTime::ZERO, a, Ping(10_000));
+                sim.run_to_completion();
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_spe_operators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spe");
+    g.bench_function("flatmap_filter_10k_events", |b| {
+        b.iter(|| {
+            let mut plan = Plan::new()
+                .flat_map("split", |e| {
+                    e.value
+                        .as_str()
+                        .unwrap_or("")
+                        .split_whitespace()
+                        .map(|w| Event { value: Value::Str(w.into()), ..e.clone() })
+                        .collect()
+                })
+                .filter("len", |e| e.value.as_str().is_some_and(|s| s.len() > 2));
+            let batch: Vec<Event> = (0..10_000)
+                .map(|i| {
+                    Event::new(
+                        Value::Str("alpha beta gamma delta".into()),
+                        SimTime::from_millis(i),
+                    )
+                })
+                .collect();
+            let out = plan.run_batch(SimTime::ZERO, batch);
+            assert_eq!(out.len(), 40_000);
+        })
+    });
+    g.bench_function("window_count_10k_events", |b| {
+        b.iter(|| {
+            let mut plan = Plan::new().key_by("k", |e| {
+                ((e.ts.as_millis() / 7) % 16).to_string()
+            });
+            let mut agg = WindowAggregate::count(
+                "w",
+                WindowAssigner::Tumbling(SimDuration::from_secs(1)),
+            );
+            let batch: Vec<Event> = (0..10_000)
+                .map(|i| Event::new(Value::Int(i as i64), SimTime::from_millis(i * 3)))
+                .collect();
+            let keyed = plan.run_batch(SimTime::ZERO, batch);
+            use s2g_spe::Operator;
+            let _ = agg.process(SimTime::ZERO, keyed);
+            let out = agg.flush(SimTime::ZERO);
+            assert!(!out.is_empty());
+        })
+    });
+    g.bench_function("event_codec_roundtrip_10k", |b| {
+        let e = Event::new(
+            Value::map([
+                ("service", Value::Str("web".into())),
+                ("bytes", Value::Int(1400)),
+                ("rate", Value::Float(3.25)),
+            ]),
+            SimTime::from_millis(5),
+        )
+        .with_key("u1");
+        b.iter(|| {
+            for _ in 0..10_000 {
+                let bytes = e.to_bytes();
+                let back = Event::from_bytes(&bytes).unwrap();
+                assert_eq!(back.key, e.key);
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_kernel, bench_network, bench_spe_operators
+}
+criterion_main!(benches);

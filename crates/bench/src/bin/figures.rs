@@ -1,0 +1,278 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p s2g-bench --bin figures -- [--fig 5|6|7a|7b|8|9|table2|all] [--quick]
+//! ```
+//!
+//! ASCII renderings go to stdout; CSV data lands under `target/figures/`.
+
+use std::fs;
+use std::path::PathBuf;
+
+use s2g_bench::{
+    fig5_sweep, fig6_run, fig7a_sweep, fig7b_sweep, fig8_sweep, fig9_sweep, group_by_component,
+    Component, Scale,
+};
+use s2g_bench::experiments::table2_inventory;
+use s2g_broker::CoordinationMode;
+use s2g_core::{ascii_chart, ascii_matrix, ascii_table, cdf, csv_series};
+
+fn out_dir() -> PathBuf {
+    let dir = PathBuf::from("target/figures");
+    fs::create_dir_all(&dir).expect("create target/figures");
+    dir
+}
+
+fn write_csv(name: &str, contents: &str) {
+    let path = out_dir().join(name);
+    fs::write(&path, contents).expect("write csv");
+    println!("  wrote {}", path.display());
+}
+
+fn fig5(scale: Scale) {
+    println!("\n#### Figure 5: end-to-end latency vs per-component link delay ####");
+    let delays = [25u64, 50, 75, 100, 125, 150];
+    let data = fig5_sweep(&delays, scale, 42);
+    let grouped = group_by_component(&data);
+    let series: Vec<(&str, &[(f64, f64)])> =
+        grouped.iter().map(|(k, v)| (*k, v.as_slice())).collect();
+    println!(
+        "{}",
+        ascii_chart("Fig 5: word count E2E latency", &series, 64, 14, "link delay (ms)", "latency (s)")
+    );
+    write_csv("fig5.csv", &csv_series("delay_ms", &series));
+}
+
+fn fig6(scale: Scale) {
+    println!("\n#### Figure 6: network partitioning (ZooKeeper mode) ####");
+    let sites = match scale {
+        Scale::Full => 10,
+        Scale::Quick => 6,
+    };
+    let zk = fig6_run(CoordinationMode::Zk, sites, scale, 1);
+    let rows: Vec<(String, &[bool])> = zk
+        .matrix
+        .received
+        .iter()
+        .enumerate()
+        .map(|(i, r)| (format!("consumer {i}"), r.as_slice()))
+        .collect();
+    println!("{}", ascii_matrix("Fig 6b: delivery matrix (co-located producer)", &rows, 72));
+    println!(
+        "  acked-but-lost messages: {} | records truncated on heal: {}",
+        zk.lost_messages, zk.truncated_records
+    );
+    println!(
+        "{}",
+        ascii_chart(
+            "Fig 6c: message latency at a remote consumer",
+            &[("topic A", &zk.latency_a), ("topic B", &zk.latency_b)],
+            64,
+            14,
+            "delivery time (s)",
+            "latency (s)",
+        )
+    );
+    let tx: Vec<(&str, Vec<(f64, f64)>)> = zk
+        .tx_series
+        .iter()
+        .map(|s| {
+            (
+                s.node.as_str(),
+                s.samples.iter().map(|p| (p.at.as_secs_f64(), p.tx_mbps)).collect::<Vec<_>>(),
+            )
+        })
+        .collect();
+    let tx_refs: Vec<(&str, &[(f64, f64)])> =
+        tx.iter().map(|(n, v)| (*n, v.as_slice())).collect();
+    println!(
+        "{}",
+        ascii_chart("Fig 6d: sending throughput", &tx_refs, 64, 12, "time (s)", "tx (Mbps)")
+    );
+    println!("  topic-a leadership events on broker 0 (time_s, became_leader): {:?}", zk.leader_events);
+    write_csv("fig6c.csv", &csv_series("delivered_s", &[("topic_a", &zk.latency_a), ("topic_b", &zk.latency_b)]));
+    write_csv("fig6d.csv", &csv_series("time_s", &tx_refs));
+
+    println!("\n  -- same scenario under KRaft coordination (the paper's contrast) --");
+    let kraft = fig6_run(CoordinationMode::Kraft, sites, scale, 1);
+    println!(
+        "  KRaft acked-but-lost messages: {} (expected 0)",
+        kraft.lost_messages
+    );
+}
+
+fn fig7a(scale: Scale) {
+    println!("\n#### Figure 7a: Ichinose et al. — throughput vs consumers ####");
+    let counts: &[usize] = match scale {
+        Scale::Full => &[1, 2, 4, 8, 16],
+        Scale::Quick => &[1, 2, 4, 8],
+    };
+    let data = fig7a_sweep(counts, 5);
+    let series: Vec<(f64, f64)> = data.iter().map(|(n, t)| (*n as f64, *t)).collect();
+    println!(
+        "{}",
+        ascii_chart("Fig 7a: transfer throughput", &[("stream2gym", &series)], 56, 12, "consumers", "imgs/s")
+    );
+    for (n, t) in &data {
+        println!("  {n:>2} consumers: {t:>10.0} imgs/s");
+    }
+    write_csv("fig7a.csv", &csv_series("consumers", &[("imgs_per_s", &series)]));
+}
+
+fn fig7b(scale: Scale) {
+    println!("\n#### Figure 7b: Ocampo et al. — normalized runtime vs users ####");
+    let users: &[u32] = match scale {
+        Scale::Full => &[20, 40, 60, 80, 100],
+        Scale::Quick => &[20, 60, 100],
+    };
+    let data = fig7b_sweep(users, scale, 3);
+    let series: Vec<(f64, f64)> = data.iter().map(|(u, r)| (*u as f64, *r)).collect();
+    println!(
+        "{}",
+        ascii_chart("Fig 7b: normalized slot runtime", &[("stream2gym", &series)], 56, 12, "concurrent users", "runtime (x1)")
+    );
+    for (u, r) in &data {
+        println!("  {u:>3} users: {r:.3}x");
+    }
+    write_csv("fig7b.csv", &csv_series("users", &[("normalized_runtime", &series)]));
+}
+
+fn fig8(scale: Scale) {
+    println!("\n#### Figure 8: accuracy vs the hardware backend ####");
+    let delays = [25u64, 50, 75, 100, 125, 150];
+    for (sub, component) in [("8a (broker link)", Component::Broker), ("8b (SPE link)", Component::Spe)] {
+        let data = fig8_sweep(&delays, component, scale, 42);
+        let mut emu: Vec<(f64, f64)> = Vec::new();
+        let mut hw: Vec<(f64, f64)> = Vec::new();
+        for (backend, ms, v) in &data {
+            if *backend == "stream2gym" {
+                emu.push((*ms as f64, *v));
+            } else {
+                hw.push((*ms as f64, *v));
+            }
+        }
+        println!(
+            "{}",
+            ascii_chart(
+                &format!("Fig {sub}: emulation vs hardware"),
+                &[("stream2gym", &emu), ("hardware", &hw)],
+                64,
+                12,
+                "link delay (ms)",
+                "latency (s)",
+            )
+        );
+        let max_gap = emu
+            .iter()
+            .zip(&hw)
+            .map(|((_, a), (_, b))| (a - b).abs() / b.max(1e-9))
+            .fold(0.0f64, f64::max);
+        println!("  max relative gap between backends: {:.1}%", max_gap * 100.0);
+        write_csv(
+            &format!("fig{}.csv", if component == Component::Broker { "8a" } else { "8b" }),
+            &csv_series("delay_ms", &[("stream2gym", &emu), ("hardware", &hw)]),
+        );
+    }
+}
+
+fn fig9(scale: Scale) {
+    println!("\n#### Figure 9: resource usage vs coordinating sites ####");
+    let sites: &[u32] = match scale {
+        Scale::Full => &[2, 4, 6, 8, 10],
+        Scale::Quick => &[2, 6, 10],
+    };
+    let sweep32 = fig9_sweep(sites, 32 << 20, scale, 7);
+    // Fig 9a: CPU CDFs.
+    let cdfs: Vec<(String, Vec<(f64, f64)>)> = sweep32
+        .iter()
+        .map(|p| {
+            (
+                format!("{} sites", p.sites),
+                cdf(&p.cpu_samples)
+                    .into_iter()
+                    .map(|(v, f)| (v * 100.0, f))
+                    .collect::<Vec<_>>(),
+            )
+        })
+        .collect();
+    let cdf_refs: Vec<(&str, &[(f64, f64)])> =
+        cdfs.iter().map(|(n, v)| (n.as_str(), v.as_slice())).collect();
+    println!(
+        "{}",
+        ascii_chart("Fig 9a: CPU utilization CDF", &cdf_refs, 64, 12, "CPU utilization (%)", "CDF")
+    );
+    // Fig 9b: median CPU.
+    let medians: Vec<(f64, f64)> =
+        sweep32.iter().map(|p| (p.sites as f64, p.cpu_median * 100.0)).collect();
+    println!(
+        "{}",
+        ascii_chart("Fig 9b: median CPU usage", &[("median", &medians)], 48, 10, "# of coordinating sites", "CPU (%)")
+    );
+    // Fig 9c: peak memory for 16 vs 32 MB producer buffers.
+    let sweep16 = fig9_sweep(sites, 16 << 20, scale, 7);
+    let mem32: Vec<(f64, f64)> =
+        sweep32.iter().map(|p| (p.sites as f64, p.peak_mem_fraction * 100.0)).collect();
+    let mem16: Vec<(f64, f64)> =
+        sweep16.iter().map(|p| (p.sites as f64, p.peak_mem_fraction * 100.0)).collect();
+    println!(
+        "{}",
+        ascii_chart(
+            "Fig 9c: peak memory usage",
+            &[("16 MB", &mem16), ("32 MB", &mem32)],
+            48,
+            10,
+            "# of coordinating sites",
+            "peak memory (%)",
+        )
+    );
+    write_csv("fig9b.csv", &csv_series("sites", &[("median_cpu_pct", &medians)]));
+    write_csv("fig9c.csv", &csv_series("sites", &[("mem16_pct", &mem16), ("mem32_pct", &mem32)]));
+}
+
+fn table2() {
+    println!("\n#### Table II: example applications ####");
+    let rows: Vec<Vec<String>> = table2_inventory()
+        .into_iter()
+        .map(|(name, comps, feat)| vec![name.to_string(), comps.to_string(), feat.to_string()])
+        .collect();
+    println!("{}", ascii_table("Table II", &["Application", "Components", "Features"], &rows));
+    println!("  (run each with `cargo run --example <name>`)");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick { Scale::Quick } else { Scale::Full };
+    let which = args
+        .iter()
+        .position(|a| a == "--fig")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("all");
+
+    println!("stream2gym-rs figure regeneration (scale: {scale:?})");
+    match which {
+        "5" => fig5(scale),
+        "6" => fig6(scale),
+        "7a" => fig7a(scale),
+        "7b" => fig7b(scale),
+        "8" => fig8(scale),
+        "9" => fig9(scale),
+        "table2" => table2(),
+        "all" => {
+            table2();
+            fig5(scale);
+            fig6(scale);
+            fig7a(scale);
+            fig7b(scale);
+            fig8(scale);
+            fig9(scale);
+        }
+        other => {
+            eprintln!("unknown figure `{other}`; use 5|6|7a|7b|8|9|table2|all");
+            std::process::exit(2);
+        }
+    }
+}

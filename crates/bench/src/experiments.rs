@@ -1,0 +1,344 @@
+//! The paper's evaluation experiments, one function per table/figure.
+
+use std::collections::BTreeMap;
+
+use s2g_apps::{traffic_monitor, video_analytics, word_count};
+use s2g_broker::{CoordinationMode, ProducerConfig, TopicSpec};
+use s2g_core::{median, DeliveryMatrix, Scenario, SourceSpec};
+use s2g_net::{FaultPlan, LinkSpec, NetworkConfig, TxSeries};
+use s2g_proto::AckMode;
+use s2g_sim::{SimDuration, SimTime};
+
+/// Experiment scale: `Full` matches the paper's parameters; `Quick` is a
+/// reduced version for debug-build tests and Criterion iterations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Paper-scale parameters.
+    Full,
+    /// Reduced durations/volumes with identical code paths.
+    Quick,
+}
+
+/// The pipeline component whose access link is being delayed (Fig. 5/8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Component {
+    /// Producer link.
+    Producer,
+    /// Broker link.
+    Broker,
+    /// Stream-processing engine link(s).
+    Spe,
+    /// Consumer link.
+    Consumer,
+}
+
+impl Component {
+    /// All four components, in the paper's legend order.
+    pub const ALL: [Component; 4] = [
+        Component::Producer,
+        Component::Broker,
+        Component::Spe,
+        Component::Consumer,
+    ];
+
+    /// Label used in figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Component::Producer => "Producer link",
+            Component::Broker => "Broker link",
+            Component::Spe => "SPE link",
+            Component::Consumer => "Consumer link",
+        }
+    }
+}
+
+fn delays_for(component: Component, delay: SimDuration) -> word_count::ComponentDelays {
+    let mut d = word_count::ComponentDelays::default();
+    match component {
+        Component::Producer => d.producer = delay,
+        Component::Broker => d.broker = delay,
+        Component::Spe => d.spe = delay,
+        Component::Consumer => d.consumer = delay,
+    }
+    d
+}
+
+/// **Fig. 5** — end-to-end latency of the word-count pipeline as one
+/// component's link delay varies (others < 10 ms). Returns
+/// `(component, delay_ms, mean_latency_seconds)` triples.
+pub fn fig5_sweep(delays_ms: &[u64], scale: Scale, seed: u64) -> Vec<(Component, u64, f64)> {
+    let (files, interval, duration) = match scale {
+        Scale::Full => (100, SimDuration::from_millis(400), SimTime::from_secs(120)),
+        Scale::Quick => (25, SimDuration::from_millis(300), SimTime::from_secs(45)),
+    };
+    let mut out = Vec::new();
+    for &component in &Component::ALL {
+        for &ms in delays_ms {
+            let sc = word_count::scenario(
+                files,
+                interval,
+                delays_for(component, SimDuration::from_millis(ms)),
+                duration,
+                seed,
+            );
+            let result = sc.run().expect("valid scenario");
+            let mean = result
+                .mean_latency("avg-words-per-topic")
+                .map(|d| d.as_secs_f64())
+                .unwrap_or(f64::NAN);
+            out.push((component, ms, mean));
+        }
+    }
+    out
+}
+
+/// Everything Fig. 6 reports about the partition experiment.
+#[derive(Debug)]
+pub struct Fig6Data {
+    /// Fig. 6b: delivery matrix of the co-located producer.
+    pub matrix: DeliveryMatrix,
+    /// Fig. 6c: per-topic latency series at a remote consumer
+    /// (`(delivered_s, latency_s)`).
+    pub latency_a: Vec<(f64, f64)>,
+    /// Same for topic B.
+    pub latency_b: Vec<(f64, f64)>,
+    /// Fig. 6d: per-host transmit throughput series.
+    pub tx_series: Vec<TxSeries>,
+    /// Records truncated by the healed leader (the silent loss).
+    pub truncated_records: u64,
+    /// Messages acked to the producer yet delivered to no one.
+    pub lost_messages: usize,
+    /// Leadership events on the original topic-A leader (time, became).
+    pub leader_events: Vec<(f64, bool)>,
+}
+
+/// **Fig. 6** — the network-partition experiment: `sites` broker sites in a
+/// star, two replicated topics, 30 Kbps producers everywhere; the host
+/// carrying topic A's leader is disconnected for ~20% of the run.
+pub fn fig6_run(mode: CoordinationMode, sites: u32, scale: Scale, seed: u64) -> Fig6Data {
+    let (run_s, cut_at, cut_for) = match scale {
+        Scale::Full => (600u64, 240u64, 120u64),
+        Scale::Quick => (240, 80, 60),
+    };
+    let mut sc = Scenario::new("fig6-partition");
+    sc.seed(seed)
+        .duration(SimTime::from_secs(run_s))
+        .coordination(mode)
+        .default_link(LinkSpec::new().latency_ms(2))
+        .topic(TopicSpec::new("topic-a").replication(3).primary(0))
+        .topic(TopicSpec::new("topic-b").replication(3).primary(1));
+    let acks = match mode {
+        CoordinationMode::Zk => AckMode::Leader,
+        CoordinationMode::Kraft => AckMode::All,
+    };
+    for i in 0..sites {
+        let host = format!("h{}", i + 1);
+        sc.broker(&host);
+        sc.producer(
+            &host,
+            SourceSpec::RandomTopics {
+                topics: vec!["topic-a".into(), "topic-b".into()],
+                kbps: 30,
+                payload: 500,
+                until: SimTime::from_secs(run_s.saturating_sub(40)),
+            },
+            ProducerConfig { acks, ..ProducerConfig::default() },
+        );
+        sc.consumer(&host, Default::default(), &["topic-a", "topic-b"]);
+    }
+    sc.faults(FaultPlan::new().transient_disconnect(
+        "h1",
+        SimTime::from_secs(cut_at),
+        SimDuration::from_secs(cut_for),
+    ));
+    sc.watch_throughput(&["h1", "h2", "h3"]);
+    let result = sc.run().expect("valid scenario");
+
+    let matrix = result.delivery_matrix(0);
+    let lost_messages = {
+        let acked: Vec<(String, u64)> = result.report.producers[0]
+            .outcomes
+            .iter()
+            .filter(|o| o.delivered)
+            .map(|o| (o.topic.clone(), o.seq))
+            .collect();
+        let core = result.monitor.borrow();
+        acked
+            .iter()
+            .filter(|(topic, seq)| {
+                !core.deliveries.iter().any(|d| {
+                    d.producer == result.report.producers[0].id
+                        && d.seq == *seq
+                        && d.topic == *topic
+                        && d.consumer != 0 // remote consumers only
+                })
+            })
+            .count()
+    };
+    // A remote consumer's latency series (consumer on the second site).
+    let core = result.monitor.borrow();
+    let series = |topic: &str| -> Vec<(f64, f64)> {
+        core.latency_series(1, topic)
+            .iter()
+            .map(|(t, lat)| (t.as_secs_f64(), lat.as_secs_f64()))
+            .collect()
+    };
+    let latency_a = series("topic-a");
+    let latency_b = series("topic-b");
+    drop(core);
+    let ta = s2g_proto::TopicPartition::new("topic-a", 0);
+    let leader_events = result.report.brokers[0]
+        .leadership_events
+        .iter()
+        .filter(|(_, tp, _)| *tp == ta)
+        .map(|(t, _, became)| (t.as_secs_f64(), *became))
+        .collect();
+    Fig6Data {
+        matrix,
+        latency_a,
+        latency_b,
+        tx_series: result.report.tx_series.clone(),
+        truncated_records: result.report.brokers[0].stats.records_truncated,
+        lost_messages,
+        leader_events,
+    }
+}
+
+/// **Fig. 7a** — the Ichinose et al. reproduction: transfer throughput
+/// (images/s) vs number of consumers on one 8-core host.
+pub fn fig7a_sweep(consumer_counts: &[usize], seed: u64) -> Vec<(usize, f64)> {
+    consumer_counts
+        .iter()
+        .map(|&n| (n, video_analytics::measure_throughput(n, seed)))
+        .collect()
+}
+
+/// **Fig. 7b** — the Ocampo et al. reproduction: mean per-slot runtime
+/// normalized by the first user count's result.
+pub fn fig7b_sweep(user_counts: &[u32], scale: Scale, seed: u64) -> Vec<(u32, f64)> {
+    let duration = match scale {
+        Scale::Full => SimTime::from_secs(60),
+        Scale::Quick => SimTime::from_secs(25),
+    };
+    let raw = traffic_monitor::sweep(user_counts, duration, seed);
+    let base = raw.first().map(|(_, d)| d.as_secs_f64()).unwrap_or(1.0).max(1e-9);
+    raw.into_iter().map(|(u, d)| (u, d.as_secs_f64() / base)).collect()
+}
+
+/// **Fig. 8** — accuracy vs the "hardware testbed": the word-count pipeline
+/// under the emulation backend and the hardware-model backend, varying the
+/// broker (or SPE) link delay. Returns `(backend, delay_ms, latency_s)`.
+pub fn fig8_sweep(
+    delays_ms: &[u64],
+    component: Component,
+    scale: Scale,
+    seed: u64,
+) -> Vec<(&'static str, u64, f64)> {
+    let (files, interval, duration) = match scale {
+        Scale::Full => (100, SimDuration::from_millis(400), SimTime::from_secs(120)),
+        Scale::Quick => (25, SimDuration::from_millis(300), SimTime::from_secs(45)),
+    };
+    let mut out = Vec::new();
+    for (backend, net_cfg) in
+        [("stream2gym", NetworkConfig::default()), ("hardware", NetworkConfig::hardware())]
+    {
+        for &ms in delays_ms {
+            let mut sc = word_count::scenario(
+                files,
+                interval,
+                delays_for(component, SimDuration::from_millis(ms)),
+                duration,
+                seed,
+            );
+            sc.network_profile(net_cfg);
+            let result = sc.run().expect("valid scenario");
+            let mean = result
+                .mean_latency("avg-words-per-topic")
+                .map(|d| d.as_secs_f64())
+                .unwrap_or(f64::NAN);
+            out.push((backend, ms, mean));
+        }
+    }
+    out
+}
+
+/// One point of the Fig. 9 resource sweep.
+#[derive(Debug, Clone)]
+pub struct Fig9Point {
+    /// Number of coordinating sites.
+    pub sites: u32,
+    /// CPU utilization samples (fraction of the whole server).
+    pub cpu_samples: Vec<f64>,
+    /// Median CPU utilization.
+    pub cpu_median: f64,
+    /// Peak memory as a fraction of server memory.
+    pub peak_mem_fraction: f64,
+}
+
+/// **Fig. 9** — resource usage of the Fig. 6a scenario as the number of
+/// coordinating sites varies, for a given producer buffer size.
+pub fn fig9_sweep(
+    site_counts: &[u32],
+    buffer_memory: usize,
+    scale: Scale,
+    seed: u64,
+) -> Vec<Fig9Point> {
+    let run_s = match scale {
+        Scale::Full => 300u64,
+        Scale::Quick => 90,
+    };
+    site_counts
+        .iter()
+        .map(|&sites| {
+            let mut sc = Scenario::new("fig9-resources");
+            sc.seed(seed)
+                .duration(SimTime::from_secs(run_s))
+                .default_link(LinkSpec::new().latency_ms(2))
+                .topic(TopicSpec::new("topic-a").replication(2).primary(0))
+                .topic(TopicSpec::new("topic-b").replication(2).primary(1));
+            for i in 0..sites {
+                let host = format!("h{}", i + 1);
+                sc.broker(&host);
+                sc.producer(
+                    &host,
+                    SourceSpec::RandomTopics {
+                        topics: vec!["topic-a".into(), "topic-b".into()],
+                        kbps: 30,
+                        payload: 500,
+                        until: SimTime::from_secs(run_s),
+                    },
+                    ProducerConfig { buffer_memory, ..ProducerConfig::default() },
+                );
+                sc.consumer(&host, Default::default(), &["topic-a", "topic-b"]);
+            }
+            let result = sc.run().expect("valid scenario");
+            let cpu_samples = result.report.cpu_samples();
+            Fig9Point {
+                sites,
+                cpu_median: median(&cpu_samples).unwrap_or(0.0),
+                cpu_samples,
+                peak_mem_fraction: result.report.peak_mem_fraction(),
+            }
+        })
+        .collect()
+}
+
+/// **Table II** — the application inventory: `(name, components, feature)`.
+pub fn table2_inventory() -> Vec<(&'static str, u32, &'static str)> {
+    vec![
+        ("Word count", 5, "Multiple stream processing jobs"),
+        ("Ride selection", 5, "Structured data, stateful processing"),
+        ("Sentiment analysis", 3, "Unstructured data"),
+        ("Maritime monitoring", 4, "Persistent storage"),
+        ("Fraud detection", 5, "Machine learning prediction"),
+    ]
+}
+
+/// Collects results per component into labeled series for plotting.
+pub fn group_by_component(data: &[(Component, u64, f64)]) -> BTreeMap<&'static str, Vec<(f64, f64)>> {
+    let mut map: BTreeMap<&'static str, Vec<(f64, f64)>> = BTreeMap::new();
+    for (c, ms, v) in data {
+        map.entry(c.label()).or_default().push((*ms as f64, *v));
+    }
+    map
+}

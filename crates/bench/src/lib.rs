@@ -1,0 +1,16 @@
+//! # s2g-bench — the evaluation harness
+//!
+//! One function per table/figure of the paper's evaluation, shared between
+//! the `figures` regeneration binary and the Criterion benches. Each
+//! function builds the experiment's scenario(s), runs them, and returns the
+//! series the paper plots; `scale` lets tests and benches run reduced
+//! versions (shorter durations, fewer points) with the same code path.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+pub use experiments::{
+    fig5_sweep, fig6_run, fig7a_sweep, fig7b_sweep, fig8_sweep, fig9_sweep, group_by_component,
+    table2_inventory, Component, Fig6Data, Fig9Point, Scale,
+};

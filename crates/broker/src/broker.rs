@@ -1,0 +1,806 @@
+//! The broker process: partition leadership, replication, and client serving.
+//!
+//! One [`Broker`] runs per broker host. It serves produce/fetch/metadata
+//! requests from clients, replicates partitions follower-fetch style (like
+//! Kafka), tracks in-sync replicas, heartbeats the controller, and charges
+//! CPU for every request so co-located components contend realistically.
+//!
+//! The two coordination modes differ in exactly the ways the paper's Fig. 6
+//! experiment exposes:
+//!
+//! * **ZooKeeper mode** — an isolated leader keeps serving `acks=1` writes,
+//!   *locally* shrinks its ISR after `replica.lag.time.max`, advances its
+//!   high watermark, and serves the doomed records to co-located consumers.
+//!   When the partition heals it truncates to the new leader's log and the
+//!   acknowledged suffix silently disappears (Fig. 6b's dark cells).
+//! * **KRaft mode** — a broker whose controller heartbeats lapse considers
+//!   itself fenced and rejects produce/fetch, and ISR changes only apply
+//!   once the controller quorum confirms them, so the high watermark never
+//!   advances past truly-replicated records.
+
+use std::collections::{BTreeMap, HashMap};
+
+use s2g_proto::{
+    AckMode, BrokerId, ClientRpc, ControllerRpc, CorrelationId, ErrorCode, LeaderEpoch, Offset,
+    RecordBatch, ReplicaRpc, TopicPartition,
+};
+use s2g_sim::{
+    downcast, Ctx, LedgerHandle, MemSlot, Message, Process, ProcessId, SimDuration, SimTime,
+};
+
+use crate::config::{BrokerConfig, CoordinationMode};
+use crate::log::PartitionLog;
+use crate::metadata::MetadataCache;
+
+/// Timer tags used by the broker.
+mod tags {
+    pub const STARTUP_DONE: u64 = 0;
+    pub const REPLICA_TICK: u64 = 1;
+    pub const ISR_TICK: u64 = 2;
+    pub const HEARTBEAT_TICK: u64 = 3;
+    pub const BACKGROUND_TICK: u64 = 4;
+    pub const BACKGROUND_DONE: u64 = 5;
+    pub const CPU_BASE: u64 = 1 << 50;
+}
+
+#[derive(Debug)]
+enum OutMsg {
+    Client(ClientRpc),
+    Replica(ReplicaRpc),
+}
+
+#[derive(Debug)]
+struct PendingProduce {
+    client: ProcessId,
+    corr: CorrelationId,
+    tp: TopicPartition,
+    /// High watermark needed before acknowledging.
+    need: Offset,
+    base: Offset,
+    records: usize,
+}
+
+#[derive(Debug)]
+struct LeaderState {
+    epoch: LeaderEpoch,
+    isr: Vec<BrokerId>,
+    replicas: Vec<BrokerId>,
+    follower_end: HashMap<BrokerId, Offset>,
+    caught_up_at: HashMap<BrokerId, SimTime>,
+    pending: Vec<PendingProduce>,
+}
+
+#[derive(Debug)]
+struct FollowerState {
+    leader: Option<BrokerId>,
+    epoch: LeaderEpoch,
+    inflight: bool,
+}
+
+#[derive(Debug)]
+enum Role {
+    Leader(LeaderState),
+    Follower(FollowerState),
+}
+
+/// Counters exposed for tests and monitoring.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BrokerStats {
+    /// Produce requests handled.
+    pub produces: u64,
+    /// Consumer fetch requests handled.
+    pub fetches: u64,
+    /// Replica fetch requests handled (as leader).
+    pub replica_fetches: u64,
+    /// Records appended (as leader or follower).
+    pub records_appended: u64,
+    /// Records discarded by divergence truncation.
+    pub records_truncated: u64,
+    /// Requests rejected because the broker was fenced.
+    pub rejected_fenced: u64,
+    /// Requests rejected because this broker was not the leader.
+    pub rejected_not_leader: u64,
+    /// ISR shrink events initiated by this broker.
+    pub isr_shrinks: u64,
+    /// ISR expand proposals initiated by this broker.
+    pub isr_expands: u64,
+}
+
+/// A message broker process (the Kafka-broker stand-in).
+pub struct Broker {
+    id: BrokerId,
+    cfg: BrokerConfig,
+    mode: CoordinationMode,
+    controllers: Vec<ProcessId>,
+    peers: HashMap<BrokerId, ProcessId>,
+    logs: BTreeMap<TopicPartition, PartitionLog>,
+    roles: BTreeMap<TopicPartition, Role>,
+    known_epoch: HashMap<TopicPartition, LeaderEpoch>,
+    metadata: MetadataCache,
+    last_hb_ack: SimTime,
+    next_corr: u64,
+    next_cpu_tag: u64,
+    pending_out: HashMap<u64, Vec<(ProcessId, OutMsg)>>,
+    mem: Option<(LedgerHandle, MemSlot)>,
+    retained_bytes: u64,
+    stats: BrokerStats,
+    name: String,
+    /// Leadership-change log for the Fig. 6d event markers: (time, partition,
+    /// became_leader).
+    leadership_events: Vec<(SimTime, TopicPartition, bool)>,
+}
+
+impl Broker {
+    /// Creates a broker.
+    ///
+    /// `controllers` lists the controller process(es): one for ZooKeeper
+    /// mode, the Raft quorum members for KRaft mode (requests are sent to
+    /// all; only the active controller answers). `peers` maps every broker
+    /// id in the cluster (including this one) to its process id.
+    pub fn new(
+        id: BrokerId,
+        cfg: BrokerConfig,
+        mode: CoordinationMode,
+        controllers: Vec<ProcessId>,
+        peers: HashMap<BrokerId, ProcessId>,
+    ) -> Self {
+        assert!(!controllers.is_empty(), "a broker needs at least one controller endpoint");
+        let name = format!("broker-{}", id.0);
+        Broker {
+            id,
+            cfg,
+            mode,
+            controllers,
+            peers,
+            logs: BTreeMap::new(),
+            roles: BTreeMap::new(),
+            known_epoch: HashMap::new(),
+            metadata: MetadataCache::new(),
+            last_hb_ack: SimTime::ZERO,
+            next_corr: 0,
+            next_cpu_tag: 0,
+            pending_out: HashMap::new(),
+            mem: None,
+            retained_bytes: 0,
+            stats: BrokerStats::default(),
+            name,
+            leadership_events: Vec::new(),
+        }
+    }
+
+    /// Attaches a memory-ledger slot for the resource model.
+    pub fn set_mem_slot(&mut self, ledger: LedgerHandle, slot: MemSlot) {
+        self.mem = Some((ledger, slot));
+    }
+
+    /// This broker's id.
+    pub fn id(&self) -> BrokerId {
+        self.id
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> BrokerStats {
+        self.stats
+    }
+
+    /// Read access to a partition log (tests, monitors).
+    pub fn log(&self, tp: &TopicPartition) -> Option<&PartitionLog> {
+        self.logs.get(tp)
+    }
+
+    /// True if this broker currently leads `tp`.
+    pub fn is_leader(&self, tp: &TopicPartition) -> bool {
+        matches!(self.roles.get(tp), Some(Role::Leader(_)))
+    }
+
+    /// The ISR as this broker (when leader) sees it.
+    pub fn isr(&self, tp: &TopicPartition) -> Option<Vec<BrokerId>> {
+        match self.roles.get(tp) {
+            Some(Role::Leader(ls)) => Some(ls.isr.clone()),
+            _ => None,
+        }
+    }
+
+    /// Leadership transitions observed, for event-marker plots (Fig. 6d).
+    pub fn leadership_events(&self) -> &[(SimTime, TopicPartition, bool)] {
+        &self.leadership_events
+    }
+
+    /// Total record bytes retained across partition logs.
+    pub fn retained_bytes(&self) -> u64 {
+        self.retained_bytes
+    }
+
+    fn is_fenced(&self, now: SimTime) -> bool {
+        self.mode == CoordinationMode::Kraft
+            && now.saturating_since(self.last_hb_ack) > self.cfg.session_timeout
+    }
+
+    fn next_corr(&mut self) -> CorrelationId {
+        self.next_corr += 1;
+        CorrelationId(self.next_corr)
+    }
+
+    fn send_controllers(&mut self, ctx: &mut Ctx<'_>, rpc: ControllerRpc) {
+        for pid in self.controllers.clone() {
+            ctx.send(pid, rpc.clone());
+        }
+    }
+
+    fn respond_after_cpu(&mut self, ctx: &mut Ctx<'_>, cost: SimDuration, to: ProcessId, msg: OutMsg) {
+        let tag = tags::CPU_BASE + self.next_cpu_tag;
+        self.next_cpu_tag += 1;
+        self.pending_out.insert(tag, vec![(to, msg)]);
+        ctx.exec(cost, tag);
+    }
+
+    fn request_cost(&self, records: usize) -> SimDuration {
+        self.cfg.cpu_per_request + self.cfg.cpu_per_record * records as u64
+    }
+
+    fn update_mem(&mut self) {
+        if let Some((ledger, slot)) = &self.mem {
+            ledger.borrow_mut().set_dynamic(*slot, self.retained_bytes);
+        }
+    }
+
+    /// Advances the high watermark of a led partition from follower state and
+    /// acknowledges satisfied `acks=all` produces.
+    fn advance_hw(&mut self, ctx: &mut Ctx<'_>, tp: &TopicPartition) {
+        let Some(Role::Leader(ls)) = self.roles.get_mut(tp) else { return };
+        let log = self.logs.entry(tp.clone()).or_default();
+        let mut hw = log.log_end();
+        for b in &ls.isr {
+            if *b == self.id {
+                continue;
+            }
+            let end = ls.follower_end.get(b).copied().unwrap_or(Offset::ZERO);
+            hw = hw.min(end);
+        }
+        log.advance_high_watermark(hw);
+        let hw = log.high_watermark();
+        // Acknowledge pending produces now covered by the HW.
+        let mut still_pending = Vec::new();
+        let mut to_send = Vec::new();
+        for p in ls.pending.drain(..) {
+            if p.need <= hw {
+                to_send.push((
+                    p.client,
+                    OutMsg::Client(ClientRpc::ProduceResponse {
+                        corr: p.corr,
+                        tp: p.tp.clone(),
+                        base_offset: p.base,
+                        error: ErrorCode::None,
+                    }),
+                    p.records,
+                ));
+            } else {
+                still_pending.push(p);
+            }
+        }
+        ls.pending = still_pending;
+        for (to, msg, records) in to_send {
+            let cost = self.request_cost(records);
+            self.respond_after_cpu(ctx, cost, to, msg);
+        }
+    }
+
+    fn fail_pending(&mut self, ctx: &mut Ctx<'_>, tp: &TopicPartition, error: ErrorCode) {
+        let Some(Role::Leader(ls)) = self.roles.get_mut(tp) else { return };
+        let drained: Vec<PendingProduce> = ls.pending.drain(..).collect();
+        for p in drained {
+            let msg = OutMsg::Client(ClientRpc::ProduceResponse {
+                corr: p.corr,
+                tp: p.tp.clone(),
+                base_offset: p.base,
+                error,
+            });
+            let cost = self.cfg.cpu_per_request;
+            self.respond_after_cpu(ctx, cost, p.client, msg);
+        }
+    }
+
+    fn handle_client(&mut self, ctx: &mut Ctx<'_>, from: ProcessId, rpc: ClientRpc) {
+        let now = ctx.now();
+        match rpc {
+            ClientRpc::ProduceRequest { corr, tp, batch, acks } => {
+                self.stats.produces += 1;
+                if self.is_fenced(now) {
+                    self.stats.rejected_fenced += 1;
+                    let cost = self.cfg.cpu_per_request;
+                    self.respond_after_cpu(
+                        ctx,
+                        cost,
+                        from,
+                        OutMsg::Client(ClientRpc::ProduceResponse {
+                            corr,
+                            tp,
+                            base_offset: Offset::ZERO,
+                            error: ErrorCode::Fenced,
+                        }),
+                    );
+                    return;
+                }
+                let is_leader = matches!(self.roles.get(&tp), Some(Role::Leader(_)));
+                if !is_leader {
+                    self.stats.rejected_not_leader += 1;
+                    let cost = self.cfg.cpu_per_request;
+                    self.respond_after_cpu(
+                        ctx,
+                        cost,
+                        from,
+                        OutMsg::Client(ClientRpc::ProduceResponse {
+                            corr,
+                            tp,
+                            base_offset: Offset::ZERO,
+                            error: ErrorCode::NotLeader,
+                        }),
+                    );
+                    return;
+                }
+                let n = batch.len();
+                let bytes: u64 = batch.records.iter().map(|r| r.encoded_len() as u64).sum();
+                let epoch = match self.roles.get(&tp) {
+                    Some(Role::Leader(ls)) => ls.epoch,
+                    _ => unreachable!("checked leader above"),
+                };
+                let log = self.logs.entry(tp.clone()).or_default();
+                let base = log.append_batch(epoch, batch.records);
+                self.retained_bytes += bytes;
+                self.update_mem();
+                self.stats.records_appended += n as u64;
+                let need = Offset(base.value() + n as u64);
+                match acks {
+                    AckMode::Leader => {
+                        // Ack immediately; HW may advance later via replication.
+                        let cost = self.request_cost(n);
+                        self.respond_after_cpu(
+                            ctx,
+                            cost,
+                            from,
+                            OutMsg::Client(ClientRpc::ProduceResponse {
+                                corr,
+                                tp: tp.clone(),
+                                base_offset: base,
+                                error: ErrorCode::None,
+                            }),
+                        );
+                        self.advance_hw(ctx, &tp);
+                    }
+                    AckMode::All => {
+                        if let Some(Role::Leader(ls)) = self.roles.get_mut(&tp) {
+                            ls.pending.push(PendingProduce {
+                                client: from,
+                                corr,
+                                tp: tp.clone(),
+                                need,
+                                base,
+                                records: n,
+                            });
+                        }
+                        self.advance_hw(ctx, &tp);
+                    }
+                }
+            }
+            ClientRpc::FetchRequest { corr, tp, offset, max_records } => {
+                self.stats.fetches += 1;
+                let (batch, hw, error) = if self.is_fenced(now) {
+                    self.stats.rejected_fenced += 1;
+                    (RecordBatch::new(), Offset::ZERO, ErrorCode::Fenced)
+                } else {
+                    match self.roles.get(&tp) {
+                        Some(Role::Leader(_)) => {
+                            let log = self.logs.entry(tp.clone()).or_default();
+                            let hw = log.high_watermark();
+                            if offset > hw {
+                                (RecordBatch::new(), hw, ErrorCode::OffsetOutOfRange)
+                            } else {
+                                let recs =
+                                    log.read(offset, max_records.min(self.cfg.fetch_max_records), true);
+                                (RecordBatch::from_records(recs), hw, ErrorCode::None)
+                            }
+                        }
+                        _ => {
+                            self.stats.rejected_not_leader += 1;
+                            (RecordBatch::new(), Offset::ZERO, ErrorCode::NotLeader)
+                        }
+                    }
+                };
+                let n = batch.len();
+                let cost = self.request_cost(n);
+                self.respond_after_cpu(
+                    ctx,
+                    cost,
+                    from,
+                    OutMsg::Client(ClientRpc::FetchResponse {
+                        corr,
+                        tp,
+                        batch,
+                        high_watermark: hw,
+                        error,
+                    }),
+                );
+            }
+            ClientRpc::MetadataRequest { corr } => {
+                let cost = self.cfg.cpu_per_request;
+                let partitions = self.metadata.snapshot();
+                self.respond_after_cpu(
+                    ctx,
+                    cost,
+                    from,
+                    OutMsg::Client(ClientRpc::MetadataResponse { corr, partitions }),
+                );
+            }
+            // Responses are not expected here; brokers only serve.
+            ClientRpc::ProduceResponse { .. }
+            | ClientRpc::FetchResponse { .. }
+            | ClientRpc::MetadataResponse { .. } => {}
+        }
+    }
+
+    fn handle_replica(&mut self, ctx: &mut Ctx<'_>, from_pid: ProcessId, rpc: ReplicaRpc) {
+        let now = ctx.now();
+        match rpc {
+            ReplicaRpc::Fetch { corr, tp, from, log_end, epoch } => {
+                self.stats.replica_fetches += 1;
+                if self.is_fenced(now) || !matches!(self.roles.get(&tp), Some(Role::Leader(_))) {
+                    let err = if self.is_fenced(now) { ErrorCode::Fenced } else { ErrorCode::NotLeader };
+                    let cost = self.cfg.cpu_per_request;
+                    self.respond_after_cpu(
+                        ctx,
+                        cost,
+                        from_pid,
+                        OutMsg::Replica(ReplicaRpc::FetchResponse {
+                            corr,
+                            tp,
+                            batch: RecordBatch::new(),
+                            epochs: Vec::new(),
+                            high_watermark: Offset::ZERO,
+                            epoch: LeaderEpoch(0),
+                            truncate_to: None,
+                            error: err,
+                        }),
+                    );
+                    return;
+                }
+                let my_epoch = match self.roles.get(&tp) {
+                    Some(Role::Leader(ls)) => ls.epoch,
+                    _ => unreachable!(),
+                };
+                let log = self.logs.entry(tp.clone()).or_default();
+                // Divergence reconciliation: a follower on an older epoch may
+                // hold a conflicting suffix and must truncate first.
+                let mut truncate_to = None;
+                let mut start = log_end;
+                if epoch < my_epoch {
+                    let boundary = log.end_offset_for_epoch(epoch);
+                    if boundary < log_end {
+                        truncate_to = Some(boundary);
+                        start = boundary;
+                    }
+                }
+                let records = log.read(start, self.cfg.replica_fetch_max_records, false);
+                let epochs: Vec<LeaderEpoch> = (0..records.len())
+                    .map(|i| log.epoch_at(Offset(start.value() + i as u64)).expect("read entries exist"))
+                    .collect();
+                let hw = log.high_watermark();
+                let leader_end = log.log_end();
+                let n = records.len();
+                // Update follower progress from its claimed log end.
+                let mode = self.mode;
+                let mut expand: Option<(LeaderEpoch, Vec<BrokerId>)> = None;
+                if let Some(Role::Leader(ls)) = self.roles.get_mut(&tp) {
+                    ls.follower_end.insert(from, start);
+                    if start >= leader_end {
+                        ls.caught_up_at.insert(from, now);
+                        // Propose ISR expansion for recovered followers. In
+                        // ZooKeeper mode the leader applies it locally first;
+                        // in KRaft mode it waits for quorum confirmation.
+                        if !ls.isr.contains(&from) && ls.replicas.contains(&from) {
+                            let mut new_isr = ls.isr.clone();
+                            new_isr.push(from);
+                            if mode == CoordinationMode::Zk {
+                                ls.isr = new_isr.clone();
+                            }
+                            expand = Some((ls.epoch, new_isr));
+                        }
+                    }
+                }
+                if let Some((epoch, new_isr)) = expand {
+                    self.stats.isr_expands += 1;
+                    self.send_controllers(
+                        ctx,
+                        ControllerRpc::AlterIsr { tp: tp.clone(), from: self.id, epoch, new_isr },
+                    );
+                }
+                self.advance_hw(ctx, &tp);
+                let cost = self.request_cost(n);
+                self.respond_after_cpu(
+                    ctx,
+                    cost,
+                    from_pid,
+                    OutMsg::Replica(ReplicaRpc::FetchResponse {
+                        corr,
+                        tp,
+                        batch: RecordBatch::from_records(records),
+                        epochs,
+                        high_watermark: hw,
+                        epoch: my_epoch,
+                        truncate_to,
+                        error: ErrorCode::None,
+                    }),
+                );
+            }
+            ReplicaRpc::FetchResponse {
+                tp,
+                batch,
+                epochs,
+                high_watermark,
+                epoch,
+                truncate_to,
+                error,
+                ..
+            } => {
+                let Some(Role::Follower(fs)) = self.roles.get_mut(&tp) else { return };
+                fs.inflight = false;
+                if !error.is_ok() {
+                    return; // wait for fresh LeaderAndIsr from the controller
+                }
+                fs.epoch = epoch;
+                let full_batch = batch.len() >= self.cfg.replica_fetch_max_records;
+                let log = self.logs.entry(tp.clone()).or_default();
+                if let Some(t) = truncate_to {
+                    let before = log.retained_bytes() as u64;
+                    let n = log.truncate_to(t);
+                    self.stats.records_truncated += n as u64;
+                    let after = log.retained_bytes() as u64;
+                    self.retained_bytes = self.retained_bytes + after - before;
+                }
+                let bytes: u64 = batch.records.iter().map(|r| r.encoded_len() as u64).sum();
+                let n = batch.len();
+                for (i, rec) in batch.records.into_iter().enumerate() {
+                    let e = epochs.get(i).copied().unwrap_or(epoch);
+                    log.append(e, rec);
+                }
+                self.retained_bytes += bytes;
+                self.stats.records_appended += n as u64;
+                let end = log.log_end();
+                log.advance_high_watermark(high_watermark.min(end));
+                self.update_mem();
+                // Catch-up mode: keep fetching immediately while full batches
+                // arrive.
+                if full_batch {
+                    self.replica_fetch_one(ctx, &tp);
+                }
+            }
+        }
+    }
+
+    fn replica_fetch_one(&mut self, ctx: &mut Ctx<'_>, tp: &TopicPartition) {
+        let corr = self.next_corr();
+        let id = self.id;
+        let Some(Role::Follower(fs)) = self.roles.get_mut(tp) else { return };
+        let Some(leader) = fs.leader else { return };
+        if fs.inflight || leader == id {
+            return;
+        }
+        let Some(&leader_pid) = self.peers.get(&leader) else { return };
+        fs.inflight = true;
+        let fallback_epoch = fs.epoch;
+        let log = self.logs.entry(tp.clone()).or_default();
+        // Report the epoch of our log tail, not the announced leader epoch:
+        // that is what lets the leader detect a divergent suffix appended
+        // while we were isolated and tell us to truncate it.
+        let epoch = log.last_epoch().unwrap_or(fallback_epoch);
+        let log_end = log.log_end();
+        ctx.send(
+            leader_pid,
+            ReplicaRpc::Fetch { corr, tp: tp.clone(), from: id, log_end, epoch },
+        );
+    }
+
+    fn replica_tick(&mut self, ctx: &mut Ctx<'_>) {
+        let tps: Vec<TopicPartition> = self
+            .roles
+            .iter()
+            .filter(|(_, r)| matches!(r, Role::Follower(_)))
+            .map(|(tp, _)| tp.clone())
+            .collect();
+        for tp in tps {
+            // A follower that cannot reach its leader keeps an RPC inflight
+            // forever (the response was dropped). Reset staleness by allowing
+            // a new fetch each tick; duplicate responses are idempotent
+            // because appends start from our log end.
+            if let Some(Role::Follower(fs)) = self.roles.get_mut(&tp) {
+                fs.inflight = false;
+            }
+            self.replica_fetch_one(ctx, &tp);
+        }
+    }
+
+    fn isr_tick(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        let lag_max = self.cfg.replica_lag_max;
+        let mode = self.mode;
+        let id = self.id;
+        let mut shrinks: Vec<(TopicPartition, LeaderEpoch, Vec<BrokerId>)> = Vec::new();
+        for (tp, role) in self.roles.iter_mut() {
+            let Role::Leader(ls) = role else { continue };
+            let lagging: Vec<BrokerId> = ls
+                .isr
+                .iter()
+                .copied()
+                .filter(|b| {
+                    *b != id
+                        && now.saturating_since(
+                            ls.caught_up_at.get(b).copied().unwrap_or(SimTime::ZERO),
+                        ) > lag_max
+                })
+                .collect();
+            if lagging.is_empty() {
+                continue;
+            }
+            let new_isr: Vec<BrokerId> =
+                ls.isr.iter().copied().filter(|b| !lagging.contains(b)).collect();
+            if mode == CoordinationMode::Zk {
+                // ZooKeeper-era behavior: apply locally first — this is what
+                // lets an isolated leader advance its HW over unreplicated
+                // records (the silent-loss precondition).
+                ls.isr = new_isr.clone();
+            }
+            shrinks.push((tp.clone(), ls.epoch, new_isr));
+        }
+        for (tp, epoch, new_isr) in shrinks {
+            self.stats.isr_shrinks += 1;
+            self.send_controllers(
+                ctx,
+                ControllerRpc::AlterIsr { tp: tp.clone(), from: id, epoch, new_isr },
+            );
+            if self.mode == CoordinationMode::Zk {
+                self.advance_hw(ctx, &tp);
+            }
+        }
+    }
+
+    fn handle_controller(&mut self, ctx: &mut Ctx<'_>, rpc: ControllerRpc) {
+        match rpc {
+            ControllerRpc::HeartbeatAck { .. } => {
+                self.last_hb_ack = ctx.now();
+            }
+            ControllerRpc::MetadataUpdate { records, metadata_version } => {
+                self.metadata.apply(&records, metadata_version);
+            }
+            ControllerRpc::LeaderAndIsr { tp, leader, isr, epoch, replicas } => {
+                let known = self.known_epoch.get(&tp).copied().unwrap_or_default();
+                if epoch < known {
+                    return; // stale instruction
+                }
+                self.known_epoch.insert(tp.clone(), epoch);
+                let now = ctx.now();
+                let same_epoch_update = epoch == known;
+                if leader == Some(self.id) {
+                    match self.roles.get_mut(&tp) {
+                        Some(Role::Leader(ls)) if same_epoch_update => {
+                            // ISR confirmation/adjustment from the controller.
+                            ls.isr = isr;
+                            self.advance_hw(ctx, &tp);
+                        }
+                        _ => {
+                            let mut caught_up_at = HashMap::new();
+                            for b in &isr {
+                                caught_up_at.insert(*b, now);
+                            }
+                            self.roles.insert(
+                                tp.clone(),
+                                Role::Leader(LeaderState {
+                                    epoch,
+                                    isr,
+                                    replicas,
+                                    follower_end: HashMap::new(),
+                                    caught_up_at,
+                                    pending: Vec::new(),
+                                }),
+                            );
+                            self.logs.entry(tp.clone()).or_default();
+                            self.leadership_events.push((now, tp.clone(), true));
+                            ctx.trace("broker", format!("{} became leader of {tp}", self.name));
+                        }
+                    }
+                } else if replicas.contains(&self.id) {
+                    let was_leader = matches!(self.roles.get(&tp), Some(Role::Leader(_)));
+                    if was_leader {
+                        self.fail_pending(ctx, &tp, ErrorCode::NotLeader);
+                        self.leadership_events.push((now, tp.clone(), false));
+                        ctx.trace("broker", format!("{} stepped down from {tp}", self.name));
+                    }
+                    self.roles.insert(
+                        tp.clone(),
+                        Role::Follower(FollowerState { leader, epoch, inflight: false }),
+                    );
+                    self.logs.entry(tp.clone()).or_default();
+                } else {
+                    self.roles.remove(&tp);
+                }
+            }
+            // Requests brokers never receive.
+            ControllerRpc::Heartbeat { .. } | ControllerRpc::AlterIsr { .. } => {}
+        }
+    }
+}
+
+impl Process for Broker {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.last_hb_ack = ctx.now();
+        ctx.exec(self.cfg.startup_cpu, tags::STARTUP_DONE);
+        ctx.set_timer(self.cfg.replica_fetch_interval, tags::REPLICA_TICK);
+        ctx.set_timer(self.cfg.isr_check_interval, tags::ISR_TICK);
+        self.send_controllers(ctx, ControllerRpc::Heartbeat { broker: self.id });
+        ctx.set_timer(self.cfg.heartbeat_interval, tags::HEARTBEAT_TICK);
+        ctx.set_timer(self.cfg.background_interval, tags::BACKGROUND_TICK);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: ProcessId, msg: Box<dyn Message>) {
+        let msg = match downcast::<ClientRpc>(msg) {
+            Ok(rpc) => return self.handle_client(ctx, from, *rpc),
+            Err(m) => m,
+        };
+        let msg = match downcast::<ReplicaRpc>(msg) {
+            Ok(rpc) => return self.handle_replica(ctx, from, *rpc),
+            Err(m) => m,
+        };
+        if let Ok(rpc) = downcast::<ControllerRpc>(msg) {
+            self.handle_controller(ctx, *rpc);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
+        match tag {
+            tags::REPLICA_TICK => {
+                self.replica_tick(ctx);
+                ctx.set_timer(self.cfg.replica_fetch_interval, tags::REPLICA_TICK);
+            }
+            tags::ISR_TICK => {
+                self.isr_tick(ctx);
+                ctx.set_timer(self.cfg.isr_check_interval, tags::ISR_TICK);
+            }
+            tags::HEARTBEAT_TICK => {
+                self.send_controllers(ctx, ControllerRpc::Heartbeat { broker: self.id });
+                ctx.set_timer(self.cfg.heartbeat_interval, tags::HEARTBEAT_TICK);
+            }
+            tags::BACKGROUND_TICK => {
+                if !self.cfg.background_cpu.is_zero() {
+                    ctx.exec(self.cfg.background_cpu, tags::BACKGROUND_DONE);
+                }
+                ctx.set_timer(self.cfg.background_interval, tags::BACKGROUND_TICK);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_cpu_done(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
+        if tag >= tags::CPU_BASE {
+            if let Some(out) = self.pending_out.remove(&tag) {
+                for (to, msg) in out {
+                    match msg {
+                        OutMsg::Client(rpc) => ctx.send(to, rpc),
+                        OutMsg::Replica(rpc) => ctx.send(to, rpc),
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Broker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Broker")
+            .field("id", &self.id)
+            .field("partitions", &self.roles.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}

@@ -1,0 +1,375 @@
+//! The consumer client: subscriptions, fetch loops, and CPU-gated delivery.
+//!
+//! [`ConsumerClient`] is embeddable (the stream processing engine uses one
+//! to ingest its source topics); [`ConsumerProcess`] pairs it with a
+//! [`DataSink`] to form stream2gym's standalone consumer stubs.
+//!
+//! Each fetched batch is charged `cpu_per_record × n` on the host CPU before
+//! the next fetch for that partition is issued. That per-consumer gating is
+//! what makes aggregate transfer throughput scale with consumer count only
+//! up to the host's core count and then plateau — the Ichinose et al.
+//! reproduction in Fig. 7a.
+
+use std::any::Any;
+use std::collections::{BTreeMap, HashMap};
+
+use s2g_proto::{ClientRpc, CorrelationId, ErrorCode, Offset, Record, TopicPartition};
+use s2g_sim::{
+    downcast, Ctx, Message, Process, ProcessId, SimDuration, SimTime, TimerToken,
+};
+
+use crate::config::ConsumerConfig;
+use crate::metadata::MetadataCache;
+
+/// Tag namespace base for consumer-owned timers and CPU work.
+pub const CONSUMER_TAGS: u64 = 1 << 41;
+/// End of the consumer tag namespace (exclusive).
+pub const CONSUMER_TAGS_END: u64 = (1 << 41) + (1 << 40);
+
+mod off {
+    pub const POLL: u64 = 1;
+    pub const META_TIMEOUT: u64 = 2;
+    pub const REQ_TIMEOUT_BASE: u64 = 1_000_000;
+    pub const CPU_DELIVER_BASE: u64 = 2_000_000_000;
+}
+
+/// Where consumed records go (stream2gym's `consType` stubs implement this).
+pub trait DataSink: Any {
+    /// Called once per delivered batch, after the deserialization CPU cost
+    /// has been paid.
+    fn on_records(&mut self, now: SimTime, tp: &TopicPartition, records: &[Record]);
+}
+
+/// A sink that counts and remembers records — the "STANDARD" stub.
+#[derive(Debug, Default)]
+pub struct CollectingSink {
+    /// Every delivered record with its delivery time.
+    pub deliveries: Vec<(SimTime, TopicPartition, Record)>,
+}
+
+impl DataSink for CollectingSink {
+    fn on_records(&mut self, now: SimTime, tp: &TopicPartition, records: &[Record]) {
+        for r in records {
+            self.deliveries.push((now, tp.clone(), r.clone()));
+        }
+    }
+}
+
+/// Consumer counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConsumerStats {
+    /// Fetch requests issued.
+    pub fetches: u64,
+    /// Records delivered to the sink.
+    pub records: u64,
+    /// Fetches that timed out.
+    pub timeouts: u64,
+    /// Offset resets after `OffsetOutOfRange` (evidence of truncation!).
+    pub offset_resets: u64,
+}
+
+#[derive(Debug)]
+struct InflightFetch {
+    tp: TopicPartition,
+    timer: TimerToken,
+}
+
+/// The embeddable consumer state machine.
+pub struct ConsumerClient {
+    cfg: ConsumerConfig,
+    bootstrap: ProcessId,
+    brokers: HashMap<s2g_proto::BrokerId, ProcessId>,
+    subscriptions: Vec<String>,
+    metadata: MetadataCache,
+    meta_versions: u64,
+    meta_inflight: Option<(CorrelationId, TimerToken)>,
+    offsets: BTreeMap<TopicPartition, Offset>,
+    inflight: HashMap<u64, InflightFetch>,
+    fetching: BTreeMap<TopicPartition, bool>,
+    pending_delivery: HashMap<u64, (TopicPartition, Vec<Record>)>,
+    next_corr: u64,
+    next_deliver_tag: u64,
+    stats: ConsumerStats,
+    request_timeout: SimDuration,
+}
+
+impl ConsumerClient {
+    /// Creates a client subscribed to `topics`.
+    pub fn new(
+        cfg: ConsumerConfig,
+        bootstrap: ProcessId,
+        brokers: HashMap<s2g_proto::BrokerId, ProcessId>,
+        topics: Vec<String>,
+    ) -> Self {
+        ConsumerClient {
+            cfg,
+            bootstrap,
+            brokers,
+            subscriptions: topics,
+            metadata: MetadataCache::new(),
+            meta_versions: 0,
+            meta_inflight: None,
+            offsets: BTreeMap::new(),
+            inflight: HashMap::new(),
+            fetching: BTreeMap::new(),
+            pending_delivery: HashMap::new(),
+            next_corr: 1,
+            next_deliver_tag: 0,
+            stats: ConsumerStats::default(),
+            request_timeout: SimDuration::from_secs(2),
+        }
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> ConsumerStats {
+        self.stats
+    }
+
+    /// Current fetch position for a partition.
+    pub fn position(&self, tp: &TopicPartition) -> Offset {
+        self.offsets.get(tp).copied().unwrap_or(Offset::ZERO)
+    }
+
+    /// Kicks off metadata discovery and the poll loop. Call from `on_start`.
+    pub fn start(&mut self, ctx: &mut Ctx<'_>) {
+        self.request_metadata(ctx);
+        ctx.set_timer(self.cfg.poll_interval, CONSUMER_TAGS + off::POLL);
+    }
+
+    fn next_corr(&mut self) -> CorrelationId {
+        let c = self.next_corr;
+        self.next_corr += 2;
+        CorrelationId(c)
+    }
+
+    fn request_metadata(&mut self, ctx: &mut Ctx<'_>) {
+        if self.meta_inflight.is_some() {
+            return;
+        }
+        let corr = self.next_corr();
+        let timer = ctx.set_timer(self.request_timeout, CONSUMER_TAGS + off::META_TIMEOUT);
+        self.meta_inflight = Some((corr, timer));
+        ctx.send(self.bootstrap, ClientRpc::MetadataRequest { corr });
+    }
+
+    fn poll(&mut self, ctx: &mut Ctx<'_>) {
+        let mut tps: Vec<TopicPartition> = Vec::new();
+        for topic in &self.subscriptions {
+            tps.extend(self.metadata.partitions_of(topic));
+        }
+        if tps.is_empty() {
+            self.request_metadata(ctx);
+            return;
+        }
+        for tp in tps {
+            self.fetch_one(ctx, tp);
+        }
+    }
+
+    fn fetch_one(&mut self, ctx: &mut Ctx<'_>, tp: TopicPartition) {
+        if self.fetching.get(&tp).copied().unwrap_or(false) {
+            return;
+        }
+        let Some(leader) = self.metadata.leader(&tp) else {
+            self.request_metadata(ctx);
+            return;
+        };
+        let Some(&pid) = self.brokers.get(&leader) else { return };
+        let corr = self.next_corr();
+        let offset = self.position(&tp);
+        let timer =
+            ctx.set_timer(self.request_timeout, CONSUMER_TAGS + off::REQ_TIMEOUT_BASE + corr.0);
+        ctx.send(
+            pid,
+            ClientRpc::FetchRequest { corr, tp: tp.clone(), offset, max_records: self.cfg.max_poll_records },
+        );
+        self.stats.fetches += 1;
+        self.fetching.insert(tp.clone(), true);
+        self.inflight.insert(corr.0, InflightFetch { tp, timer });
+    }
+
+    /// Handles an incoming message, delivering through `sink`. Returns the
+    /// message back when it is not addressed to this client.
+    pub fn handle_message(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        msg: Box<dyn Message>,
+    ) -> Option<Box<dyn Message>> {
+        let rpc = match downcast::<ClientRpc>(msg) {
+            Ok(r) => r,
+            Err(m) => return Some(m),
+        };
+        match *rpc {
+            ClientRpc::FetchResponse { corr, tp, batch, high_watermark, error } => {
+                let Some(inflight) = self.inflight.remove(&corr.0) else { return None };
+                ctx.cancel_timer(inflight.timer);
+                // Only clear the in-flight mark when nothing is pending for
+                // this partition; for non-empty batches it stays set until
+                // the delivery CPU completes, or the poll timer would issue
+                // a duplicate fetch at the not-yet-advanced offset.
+                self.fetching.insert(tp.clone(), false);
+                match error {
+                    ErrorCode::None
+                        if !batch.is_empty() => {
+                            self.fetching.insert(tp.clone(), true);
+                            // Pay the per-record CPU cost, then deliver and
+                            // immediately fetch again (pipelining).
+                            let tag = CONSUMER_TAGS + off::CPU_DELIVER_BASE + self.next_deliver_tag;
+                            self.next_deliver_tag += 1;
+                            let n = batch.len() as u64;
+                            self.pending_delivery.insert(tag, (tp, batch.records));
+                            ctx.exec(self.cfg.cpu_per_record * n, tag);
+                        }
+                    ErrorCode::OffsetOutOfRange => {
+                        // Truncation happened under us: reset to the server's
+                        // high watermark (auto.offset.reset=latest).
+                        self.stats.offset_resets += 1;
+                        self.offsets.insert(tp, high_watermark);
+                    }
+                    e if e.is_retriable() => {
+                        self.request_metadata(ctx);
+                    }
+                    _ => {}
+                }
+                None
+            }
+            ClientRpc::MetadataResponse { corr, partitions } => {
+                match self.meta_inflight {
+                    Some((c, timer)) if c == corr => {
+                        ctx.cancel_timer(timer);
+                        self.meta_inflight = None;
+                        self.meta_versions += 1;
+                        self.metadata.install_snapshot(partitions, self.meta_versions);
+                        None
+                    }
+                    // Not ours — may belong to a co-embedded producer client.
+                    _ => Some(Box::new(ClientRpc::MetadataResponse { corr, partitions })),
+                }
+            }
+            other => Some(Box::new(other)),
+        }
+    }
+
+    /// Handles a timer tag in the consumer namespace. Returns `true` if the
+    /// tag belonged to this client.
+    pub fn handle_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) -> bool {
+        if !(CONSUMER_TAGS..CONSUMER_TAGS_END).contains(&tag) {
+            return false;
+        }
+        let o = tag - CONSUMER_TAGS;
+        if o == off::POLL {
+            self.poll(ctx);
+            ctx.set_timer(self.cfg.poll_interval, CONSUMER_TAGS + off::POLL);
+        } else if o == off::META_TIMEOUT {
+            self.meta_inflight = None;
+            self.request_metadata(ctx);
+        } else if (off::REQ_TIMEOUT_BASE..off::CPU_DELIVER_BASE).contains(&o) {
+            let corr = o - off::REQ_TIMEOUT_BASE;
+            if let Some(inflight) = self.inflight.remove(&corr) {
+                self.stats.timeouts += 1;
+                self.fetching.insert(inflight.tp, false);
+                self.request_metadata(ctx);
+            }
+        }
+        true
+    }
+
+    /// Handles a CPU-completion tag, delivering the stashed batch to `sink`.
+    /// Returns `true` if the tag belonged to this client.
+    pub fn handle_cpu_done(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        tag: u64,
+        sink: &mut dyn DataSink,
+    ) -> bool {
+        if !(CONSUMER_TAGS..CONSUMER_TAGS_END).contains(&tag) {
+            return false;
+        }
+        let Some((tp, records)) = self.pending_delivery.remove(&tag) else { return true };
+        let now = ctx.now();
+        self.stats.records += records.len() as u64;
+        let pos = self.position(&tp);
+        self.offsets.insert(tp.clone(), Offset(pos.value() + records.len() as u64));
+        sink.on_records(now, &tp, &records);
+        // Pipelining: fetch the next batch for this partition right away.
+        self.fetching.insert(tp.clone(), false);
+        self.fetch_one(ctx, tp);
+        true
+    }
+}
+
+impl std::fmt::Debug for ConsumerClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConsumerClient")
+            .field("subscriptions", &self.subscriptions)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+/// A standalone consumer stub: a [`ConsumerClient`] delivering to a
+/// [`DataSink`], with background CPU churn for the resource model.
+pub struct ConsumerProcess {
+    client: ConsumerClient,
+    sink: Box<dyn DataSink>,
+    name: String,
+}
+
+const BACKGROUND_TICK: u64 = 1;
+const BACKGROUND_DONE: u64 = 2;
+const STARTUP_DONE: u64 = 3;
+
+impl ConsumerProcess {
+    /// Creates a consumer stub with a name suffix for traces.
+    pub fn new(idx: u32, client: ConsumerClient, sink: Box<dyn DataSink>) -> Self {
+        ConsumerProcess { client, sink, name: format!("consumer-{idx}") }
+    }
+
+    /// The embedded client (stats, positions).
+    pub fn client(&self) -> &ConsumerClient {
+        &self.client
+    }
+
+    /// The sink, downcast to its concrete type.
+    pub fn sink_as<T: DataSink>(&self) -> Option<&T> {
+        (self.sink.as_ref() as &dyn Any).downcast_ref::<T>()
+    }
+}
+
+impl Process for ConsumerProcess {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.exec(self.client.cfg.startup_cpu, STARTUP_DONE);
+        self.client.start(ctx);
+        ctx.set_timer(self.client.cfg.background_interval, BACKGROUND_TICK);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: ProcessId, msg: Box<dyn Message>) {
+        self.client.handle_message(ctx, msg);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
+        if self.client.handle_timer(ctx, tag) {
+            return;
+        }
+        if tag == BACKGROUND_TICK {
+            if !self.client.cfg.background_cpu.is_zero() {
+                ctx.exec(self.client.cfg.background_cpu, BACKGROUND_DONE);
+            }
+            ctx.set_timer(self.client.cfg.background_interval, BACKGROUND_TICK);
+        }
+    }
+
+    fn on_cpu_done(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
+        self.client.handle_cpu_done(ctx, tag, self.sink.as_mut());
+    }
+}
+
+impl std::fmt::Debug for ConsumerProcess {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConsumerProcess").field("client", &self.client).finish()
+    }
+}

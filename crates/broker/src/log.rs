@@ -1,0 +1,307 @@
+//! The replicated partition log.
+//!
+//! Each broker holds one [`PartitionLog`] per replica it hosts. Entries are
+//! tagged with the leader epoch under which they were appended, which is how
+//! divergence is detected and reconciled after a partition heals: the
+//! rejoining old leader truncates its log to match the new leader, and any
+//! suffix it accepted while isolated is discarded — acknowledged or not.
+//! That truncation is precisely the ZooKeeper-era silent-loss mechanism the
+//! paper reproduces in Fig. 6b.
+
+use s2g_proto::{LeaderEpoch, Offset, Record};
+
+/// One appended entry: the record plus the epoch it was written under.
+#[derive(Debug, Clone)]
+pub struct LogEntry {
+    /// Leader epoch at append time.
+    pub epoch: LeaderEpoch,
+    /// The record.
+    pub record: Record,
+}
+
+/// An append-only (except for truncation) record log for one partition.
+///
+/// # Examples
+///
+/// ```
+/// use s2g_broker::PartitionLog;
+/// use s2g_proto::{LeaderEpoch, Offset, Record};
+/// use s2g_sim::SimTime;
+///
+/// let mut log = PartitionLog::new();
+/// log.append(LeaderEpoch(0), Record::keyless("a", SimTime::ZERO));
+/// log.append(LeaderEpoch(0), Record::keyless("b", SimTime::ZERO));
+/// assert_eq!(log.log_end(), Offset(2));
+/// assert_eq!(log.high_watermark(), Offset(0)); // nothing committed yet
+/// log.advance_high_watermark(Offset(2));
+/// assert_eq!(log.read(Offset(0), 10, true).len(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PartitionLog {
+    entries: Vec<LogEntry>,
+    high_watermark: Offset,
+    /// Total record bytes retained (for the memory model).
+    retained_bytes: usize,
+    /// Records discarded by truncation — the observable "silent loss".
+    truncated_records: Vec<Record>,
+}
+
+impl PartitionLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Next offset to be assigned (the log end offset, "LEO").
+    pub fn log_end(&self) -> Offset {
+        Offset(self.entries.len() as u64)
+    }
+
+    /// Highest offset known committed; consumers only see below this.
+    pub fn high_watermark(&self) -> Offset {
+        self.high_watermark
+    }
+
+    /// Number of records currently in the log.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the log holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Bytes of record payload retained.
+    pub fn retained_bytes(&self) -> usize {
+        self.retained_bytes
+    }
+
+    /// Appends one record under `epoch`, returning its offset.
+    pub fn append(&mut self, epoch: LeaderEpoch, record: Record) -> Offset {
+        let off = self.log_end();
+        self.retained_bytes += record.encoded_len();
+        self.entries.push(LogEntry { epoch, record });
+        off
+    }
+
+    /// Appends a batch under `epoch`, returning the base offset.
+    pub fn append_batch(
+        &mut self,
+        epoch: LeaderEpoch,
+        records: impl IntoIterator<Item = Record>,
+    ) -> Offset {
+        let base = self.log_end();
+        for r in records {
+            self.append(epoch, r);
+        }
+        base
+    }
+
+    /// Advances the high watermark (never moves backwards).
+    pub fn advance_high_watermark(&mut self, hw: Offset) {
+        if hw > self.high_watermark {
+            debug_assert!(hw <= self.log_end(), "HW beyond log end");
+            self.high_watermark = hw.min(self.log_end());
+        }
+    }
+
+    /// Reads up to `max` records starting at `from`. When `committed_only`
+    /// is set (consumer fetches), records at or above the high watermark are
+    /// withheld; replica fetches read the full log.
+    pub fn read(&self, from: Offset, max: usize, committed_only: bool) -> Vec<Record> {
+        let end = if committed_only { self.high_watermark } else { self.log_end() };
+        if from >= end {
+            return Vec::new();
+        }
+        let lo = from.value() as usize;
+        let hi = (end.value() as usize).min(lo + max);
+        self.entries[lo..hi].iter().map(|e| e.record.clone()).collect()
+    }
+
+    /// The epoch of the entry at `offset`, if present.
+    pub fn epoch_at(&self, offset: Offset) -> Option<LeaderEpoch> {
+        self.entries.get(offset.value() as usize).map(|e| e.epoch)
+    }
+
+    /// The epoch of the last entry, if any.
+    pub fn last_epoch(&self) -> Option<LeaderEpoch> {
+        self.entries.last().map(|e| e.epoch)
+    }
+
+    /// Truncates the log to `to` (exclusive): entries at offsets `>= to` are
+    /// discarded and remembered in [`truncated`](Self::truncated). This is
+    /// the divergence-reconciliation step a rejoining follower performs, and
+    /// the source of silent loss under ZooKeeper-mode coordination.
+    pub fn truncate_to(&mut self, to: Offset) -> usize {
+        let keep = (to.value() as usize).min(self.entries.len());
+        let dropped: Vec<LogEntry> = self.entries.split_off(keep);
+        let n = dropped.len();
+        for e in dropped {
+            self.retained_bytes -= e.record.encoded_len();
+            self.truncated_records.push(e.record);
+        }
+        if self.high_watermark > self.log_end() {
+            self.high_watermark = self.log_end();
+        }
+        n
+    }
+
+    /// Finds where this log diverges from a leader whose log ends at
+    /// `leader_end` with `leader_last_epoch`: the offset this replica should
+    /// truncate to before appending. Compares epochs from the tail down.
+    pub fn divergence_point(&self, leader_end: Offset, leader_epoch_at: impl Fn(Offset) -> Option<LeaderEpoch>) -> Offset {
+        let mut candidate = self.log_end().min(leader_end);
+        while candidate > Offset::ZERO {
+            let prev = Offset(candidate.value() - 1);
+            match (self.epoch_at(prev), leader_epoch_at(prev)) {
+                (Some(mine), Some(theirs)) if mine == theirs => return candidate,
+                _ => candidate = prev,
+            }
+        }
+        Offset::ZERO
+    }
+
+    /// Records discarded by truncation, in truncation order.
+    pub fn truncated(&self) -> &[Record] {
+        &self.truncated_records
+    }
+
+    /// The end offset for `epoch`: one past the last entry whose epoch is at
+    /// most `epoch` (0 if no such entry). Entries are epoch-monotonic, so
+    /// this is the offset a follower stuck at `epoch` must truncate to.
+    pub fn end_offset_for_epoch(&self, epoch: LeaderEpoch) -> Offset {
+        match self.entries.iter().rposition(|e| e.epoch <= epoch) {
+            Some(i) => Offset(i as u64 + 1),
+            None => Offset::ZERO,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2g_sim::SimTime;
+
+    fn rec(v: &str) -> Record {
+        Record::keyless(v.to_string(), SimTime::ZERO)
+    }
+
+    #[test]
+    fn append_assigns_sequential_offsets() {
+        let mut log = PartitionLog::new();
+        assert_eq!(log.append(LeaderEpoch(0), rec("a")), Offset(0));
+        assert_eq!(log.append(LeaderEpoch(0), rec("b")), Offset(1));
+        assert_eq!(log.append_batch(LeaderEpoch(1), [rec("c"), rec("d")]), Offset(2));
+        assert_eq!(log.log_end(), Offset(4));
+        assert_eq!(log.len(), 4);
+    }
+
+    #[test]
+    fn committed_reads_stop_at_high_watermark() {
+        let mut log = PartitionLog::new();
+        log.append_batch(LeaderEpoch(0), [rec("a"), rec("b"), rec("c")]);
+        assert!(log.read(Offset(0), 10, true).is_empty());
+        log.advance_high_watermark(Offset(2));
+        let committed = log.read(Offset(0), 10, true);
+        assert_eq!(committed.len(), 2);
+        let all = log.read(Offset(0), 10, false);
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn read_respects_max_and_from() {
+        let mut log = PartitionLog::new();
+        log.append_batch(LeaderEpoch(0), (0..10).map(|i| rec(&i.to_string())));
+        log.advance_high_watermark(Offset(10));
+        let r = log.read(Offset(4), 3, true);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r[0].value_utf8(), "4");
+        assert!(log.read(Offset(10), 5, true).is_empty());
+        assert!(log.read(Offset(99), 5, false).is_empty());
+    }
+
+    #[test]
+    fn high_watermark_never_regresses() {
+        let mut log = PartitionLog::new();
+        log.append_batch(LeaderEpoch(0), [rec("a"), rec("b")]);
+        log.advance_high_watermark(Offset(2));
+        log.advance_high_watermark(Offset(1));
+        assert_eq!(log.high_watermark(), Offset(2));
+    }
+
+    #[test]
+    fn truncation_discards_and_remembers() {
+        let mut log = PartitionLog::new();
+        log.append_batch(LeaderEpoch(0), [rec("a"), rec("b")]);
+        log.append_batch(LeaderEpoch(1), [rec("x"), rec("y")]);
+        log.advance_high_watermark(Offset(4));
+        let bytes_before = log.retained_bytes();
+        let n = log.truncate_to(Offset(2));
+        assert_eq!(n, 2);
+        assert_eq!(log.log_end(), Offset(2));
+        assert_eq!(log.high_watermark(), Offset(2), "HW clamped to new end");
+        assert_eq!(log.truncated().len(), 2);
+        assert_eq!(log.truncated()[0].value_utf8(), "x");
+        assert!(log.retained_bytes() < bytes_before);
+        // Truncating beyond the end is a no-op.
+        assert_eq!(log.truncate_to(Offset(100)), 0);
+    }
+
+    #[test]
+    fn divergence_point_matches_common_prefix() {
+        // Follower: epochs [0,0,1,1]; leader: epochs [0,0,2,2,2].
+        let mut follower = PartitionLog::new();
+        follower.append_batch(LeaderEpoch(0), [rec("a"), rec("b")]);
+        follower.append_batch(LeaderEpoch(1), [rec("x"), rec("y")]);
+        let mut leader = PartitionLog::new();
+        leader.append_batch(LeaderEpoch(0), [rec("a"), rec("b")]);
+        leader.append_batch(LeaderEpoch(2), [rec("p"), rec("q"), rec("r")]);
+        let point = follower.divergence_point(leader.log_end(), |o| leader.epoch_at(o));
+        assert_eq!(point, Offset(2));
+    }
+
+    #[test]
+    fn divergence_point_with_identical_logs_is_end() {
+        let mut a = PartitionLog::new();
+        a.append_batch(LeaderEpoch(0), [rec("a"), rec("b")]);
+        let b = a.clone();
+        let point = a.divergence_point(b.log_end(), |o| b.epoch_at(o));
+        assert_eq!(point, Offset(2));
+    }
+
+    #[test]
+    fn divergence_point_when_follower_is_ahead() {
+        // Follower appended extra records under the old epoch while isolated.
+        let mut follower = PartitionLog::new();
+        follower.append_batch(LeaderEpoch(0), [rec("a"), rec("b"), rec("c"), rec("d")]);
+        let mut leader = PartitionLog::new();
+        leader.append_batch(LeaderEpoch(0), [rec("a"), rec("b")]);
+        leader.append_batch(LeaderEpoch(1), [rec("z")]);
+        let point = follower.divergence_point(leader.log_end(), |o| leader.epoch_at(o));
+        // Common prefix is [a, b]; offset 2 has epoch 0 vs leader epoch 1.
+        assert_eq!(point, Offset(2));
+    }
+
+    #[test]
+    fn end_offset_for_epoch_finds_boundaries() {
+        let mut log = PartitionLog::new();
+        log.append_batch(LeaderEpoch(0), [rec("a"), rec("b")]);
+        log.append_batch(LeaderEpoch(2), [rec("c")]);
+        assert_eq!(log.end_offset_for_epoch(LeaderEpoch(0)), Offset(2));
+        assert_eq!(log.end_offset_for_epoch(LeaderEpoch(1)), Offset(2));
+        assert_eq!(log.end_offset_for_epoch(LeaderEpoch(2)), Offset(3));
+        let empty = PartitionLog::new();
+        assert_eq!(empty.end_offset_for_epoch(LeaderEpoch(5)), Offset::ZERO);
+    }
+
+    #[test]
+    fn retained_bytes_tracks_appends() {
+        let mut log = PartitionLog::new();
+        assert_eq!(log.retained_bytes(), 0);
+        let r = rec("hello");
+        let sz = r.encoded_len();
+        log.append(LeaderEpoch(0), r);
+        assert_eq!(log.retained_bytes(), sz);
+    }
+}

@@ -1,0 +1,257 @@
+//! Cluster metadata: partition assignments and client/broker-side caches.
+
+use std::collections::HashMap;
+
+use s2g_proto::{BrokerId, LeaderEpoch, MetadataRecord, PartitionMetadata, TopicPartition};
+
+use crate::config::TopicSpec;
+
+/// Plans replica assignments for a set of topics across a broker list.
+///
+/// The first replica of each partition is its *preferred leader*. For
+/// partition 0 of a topic with a pinned `primary`, that broker leads;
+/// remaining replicas (and further partitions) are assigned round-robin,
+/// like Kafka's default assignment strategy.
+///
+/// # Panics
+///
+/// Panics if a topic's replication factor exceeds the broker count or its
+/// pinned primary is not in `brokers`.
+pub fn plan_assignments(topics: &[TopicSpec], brokers: &[BrokerId]) -> Vec<PartitionMetadata> {
+    assert!(!brokers.is_empty(), "cannot assign partitions with no brokers");
+    let mut out = Vec::new();
+    let mut rr = 0usize;
+    for topic in topics {
+        assert!(
+            topic.replication as usize <= brokers.len(),
+            "topic `{}` wants replication {} but only {} brokers exist",
+            topic.name,
+            topic.replication,
+            brokers.len()
+        );
+        for p in 0..topic.partitions {
+            let lead_idx = match (p, topic.primary) {
+                (0, Some(primary)) => brokers
+                    .iter()
+                    .position(|b| b.0 == primary)
+                    .unwrap_or_else(|| panic!("topic `{}` pins unknown primary broker {primary}", topic.name)),
+                _ => {
+                    let i = rr % brokers.len();
+                    rr += 1;
+                    i
+                }
+            };
+            let mut replicas = Vec::with_capacity(topic.replication as usize);
+            for k in 0..topic.replication as usize {
+                replicas.push(brokers[(lead_idx + k) % brokers.len()]);
+            }
+            out.push(PartitionMetadata {
+                tp: TopicPartition::new(topic.name.clone(), p),
+                leader: Some(replicas[0]),
+                epoch: LeaderEpoch(0),
+                isr: replicas.clone(),
+                replicas,
+            });
+        }
+    }
+    out
+}
+
+/// A metadata cache held by brokers and clients, updated from controller
+/// [`MetadataRecord`] pushes or full [`PartitionMetadata`] snapshots.
+#[derive(Debug, Clone, Default)]
+pub struct MetadataCache {
+    version: u64,
+    partitions: HashMap<TopicPartition, PartitionMetadata>,
+}
+
+impl MetadataCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The version of the last applied update.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Installs a full snapshot at `version` (used for metadata responses).
+    pub fn install_snapshot(&mut self, partitions: Vec<PartitionMetadata>, version: u64) {
+        if version < self.version {
+            return; // stale snapshot
+        }
+        self.partitions = partitions.into_iter().map(|p| (p.tp.clone(), p)).collect();
+        self.version = version;
+    }
+
+    /// Applies a delta of metadata records at `version`.
+    pub fn apply(&mut self, records: &[MetadataRecord], version: u64) {
+        if version <= self.version {
+            return; // stale or duplicate delta
+        }
+        for r in records {
+            if let MetadataRecord::PartitionChange { tp, leader, isr, epoch } = r {
+                let entry = self.partitions.entry(tp.clone()).or_insert_with(|| PartitionMetadata {
+                    tp: tp.clone(),
+                    leader: None,
+                    epoch: LeaderEpoch(0),
+                    isr: Vec::new(),
+                    replicas: Vec::new(),
+                });
+                if *epoch >= entry.epoch {
+                    entry.leader = *leader;
+                    entry.isr = isr.clone();
+                    entry.epoch = *epoch;
+                }
+            }
+        }
+        self.version = version;
+    }
+
+    /// The current leader of a partition, if known.
+    pub fn leader(&self, tp: &TopicPartition) -> Option<BrokerId> {
+        self.partitions.get(tp).and_then(|p| p.leader)
+    }
+
+    /// The cached epoch of a partition.
+    pub fn epoch(&self, tp: &TopicPartition) -> LeaderEpoch {
+        self.partitions.get(tp).map(|p| p.epoch).unwrap_or_default()
+    }
+
+    /// All partitions of a topic, sorted by partition index.
+    pub fn partitions_of(&self, topic: &str) -> Vec<TopicPartition> {
+        let mut v: Vec<TopicPartition> = self
+            .partitions
+            .keys()
+            .filter(|tp| tp.topic == topic)
+            .cloned()
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Whether the cache knows the given topic.
+    pub fn has_topic(&self, topic: &str) -> bool {
+        self.partitions.keys().any(|tp| tp.topic == topic)
+    }
+
+    /// A full snapshot for serving metadata responses.
+    pub fn snapshot(&self) -> Vec<PartitionMetadata> {
+        let mut v: Vec<PartitionMetadata> = self.partitions.values().cloned().collect();
+        v.sort_by(|a, b| a.tp.cmp(&b.tp));
+        v
+    }
+
+    /// Number of cached partitions.
+    pub fn len(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// True when the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.partitions.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brokers(n: u32) -> Vec<BrokerId> {
+        (0..n).map(BrokerId).collect()
+    }
+
+    #[test]
+    fn assignment_respects_primary_and_replication() {
+        let topics = vec![
+            TopicSpec::new("ta").replication(3).primary(2),
+            TopicSpec::new("tb").replication(3).primary(7),
+        ];
+        let plan = plan_assignments(&topics, &brokers(10));
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan[0].leader, Some(BrokerId(2)));
+        assert_eq!(plan[0].replicas, vec![BrokerId(2), BrokerId(3), BrokerId(4)]);
+        assert_eq!(plan[1].leader, Some(BrokerId(7)));
+        assert_eq!(plan[1].replicas, vec![BrokerId(7), BrokerId(8), BrokerId(9)]);
+        assert_eq!(plan[0].isr, plan[0].replicas);
+    }
+
+    #[test]
+    fn assignment_round_robins_unpinned() {
+        let topics = vec![TopicSpec::new("t").partitions(4).replication(2)];
+        let plan = plan_assignments(&topics, &brokers(3));
+        let leaders: Vec<_> = plan.iter().map(|p| p.leader.unwrap().0).collect();
+        assert_eq!(leaders, vec![0, 1, 2, 0]);
+        // Replicas wrap around the broker list.
+        assert_eq!(plan[2].replicas, vec![BrokerId(2), BrokerId(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "replication 4")]
+    fn overreplication_panics() {
+        let topics = vec![TopicSpec::new("t").replication(4)];
+        plan_assignments(&topics, &brokers(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown primary")]
+    fn unknown_primary_panics() {
+        let topics = vec![TopicSpec::new("t").primary(99)];
+        plan_assignments(&topics, &brokers(3));
+    }
+
+    #[test]
+    fn cache_applies_versioned_deltas() {
+        let mut cache = MetadataCache::new();
+        let tp = TopicPartition::new("t", 0);
+        cache.apply(
+            &[MetadataRecord::PartitionChange {
+                tp: tp.clone(),
+                leader: Some(BrokerId(1)),
+                isr: vec![BrokerId(1)],
+                epoch: LeaderEpoch(1),
+            }],
+            1,
+        );
+        assert_eq!(cache.leader(&tp), Some(BrokerId(1)));
+        // A stale delta (same version) is ignored.
+        cache.apply(
+            &[MetadataRecord::PartitionChange {
+                tp: tp.clone(),
+                leader: Some(BrokerId(9)),
+                isr: vec![],
+                epoch: LeaderEpoch(9),
+            }],
+            1,
+        );
+        assert_eq!(cache.leader(&tp), Some(BrokerId(1)));
+        // A newer delta with an older epoch is also ignored per-partition.
+        cache.apply(
+            &[MetadataRecord::PartitionChange {
+                tp: tp.clone(),
+                leader: Some(BrokerId(2)),
+                isr: vec![],
+                epoch: LeaderEpoch(0),
+            }],
+            2,
+        );
+        assert_eq!(cache.leader(&tp), Some(BrokerId(1)));
+        assert_eq!(cache.version(), 2);
+    }
+
+    #[test]
+    fn cache_snapshot_round_trip() {
+        let plan = plan_assignments(&[TopicSpec::new("t").partitions(2)], &brokers(2));
+        let mut cache = MetadataCache::new();
+        cache.install_snapshot(plan.clone(), 5);
+        assert_eq!(cache.version(), 5);
+        assert_eq!(cache.snapshot(), plan);
+        assert!(cache.has_topic("t"));
+        assert!(!cache.has_topic("zz"));
+        assert_eq!(cache.partitions_of("t").len(), 2);
+        // Older snapshot refused.
+        cache.install_snapshot(vec![], 3);
+        assert_eq!(cache.len(), 2);
+    }
+}

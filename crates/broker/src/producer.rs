@@ -1,0 +1,593 @@
+//! The producer client: buffering, batching, retries, delivery timeouts.
+//!
+//! [`ProducerClient`] is an embeddable state machine (the stream processing
+//! engine embeds one to emit results); [`ProducerProcess`] pairs it with a
+//! pluggable [`DataSource`] to form stream2gym's standalone producer stubs.
+//!
+//! Faithfully modeled Kafka-producer behaviors the experiments depend on:
+//!
+//! * `buffer.memory` — records queue in a bounded pool (16/32 MB in Fig. 9c);
+//! * `request.timeout.ms` + retries with backoff — an unreachable leader
+//!   causes timed-out requests that retry until `delivery.timeout.ms`
+//!   expires, which is why the disconnected producer's topic-B messages
+//!   arrive with up-to-partition-length latency in Fig. 6c rather than
+//!   being lost;
+//! * per-partition in-flight slots — a blocked partition does not
+//!   head-of-line-block the other topic.
+
+use std::any::Any;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use rand::rngs::StdRng;
+
+use s2g_proto::{ClientRpc, CorrelationId, ProducerId, Record, RecordBatch, TopicPartition};
+use s2g_sim::{
+    downcast, Ctx, LedgerHandle, MemSlot, Message, Process, ProcessId, SimDuration, SimTime,
+    TimerToken,
+};
+
+use crate::config::ProducerConfig;
+use crate::metadata::MetadataCache;
+
+/// Tag namespace base for producer-owned timers and CPU work. The embedding
+/// process must forward tags in `PRODUCER_TAGS..PRODUCER_TAGS_END`.
+pub const PRODUCER_TAGS: u64 = 1 << 40;
+/// End of the producer tag namespace (exclusive).
+pub const PRODUCER_TAGS_END: u64 = 1 << 41;
+
+mod off {
+    pub const RETRY_PUMP: u64 = 1;
+    pub const META_TIMEOUT: u64 = 2;
+    pub const NOOP_CPU: u64 = 3;
+    pub const LINGER_BASE: u64 = 1_000;
+    pub const REQ_TIMEOUT_BASE: u64 = 1_000_000;
+}
+
+/// What a data source tells its producer process to do next.
+#[derive(Debug)]
+pub enum SourceAction {
+    /// Emit a record to `topic`, then call back after `next_after`.
+    Emit {
+        /// Destination topic.
+        topic: String,
+        /// Optional key.
+        key: Option<Vec<u8>>,
+        /// Payload.
+        value: Vec<u8>,
+        /// Delay before the next `next()` call.
+        next_after: SimDuration,
+    },
+    /// Do nothing and call back after the given delay.
+    Wait(SimDuration),
+    /// The source is exhausted; stop stepping.
+    Done,
+}
+
+/// A pluggable data generator for producer stubs (stream2gym's `prodType`).
+pub trait DataSource: Any {
+    /// Produces the next action. `now` is the current simulated time and
+    /// `rng` the run's seeded generator (for stochastic sources).
+    fn next(&mut self, now: SimTime, rng: &mut StdRng) -> SourceAction;
+}
+
+/// Final outcome of one produced record.
+#[derive(Debug, Clone)]
+pub struct ProduceOutcome {
+    /// Producer-assigned sequence number.
+    pub seq: u64,
+    /// Destination topic.
+    pub topic: String,
+    /// When the record entered the producer.
+    pub created: SimTime,
+    /// When the outcome was decided (ack received or delivery timeout).
+    pub completed: SimTime,
+    /// True if the broker acknowledged the record.
+    pub delivered: bool,
+}
+
+/// Producer counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ProducerStats {
+    /// Records accepted into the buffer.
+    pub sent: u64,
+    /// Records acknowledged.
+    pub acked: u64,
+    /// Records that exhausted their delivery timeout.
+    pub failed: u64,
+    /// Records rejected because the buffer pool was full.
+    pub buffer_rejected: u64,
+    /// Produce request retries.
+    pub retries: u64,
+}
+
+#[derive(Debug)]
+struct AccumBatch {
+    records: Vec<Record>,
+    bytes: usize,
+    linger_timer: Option<TimerToken>,
+}
+
+#[derive(Debug)]
+struct ReadyBatch {
+    tp: TopicPartition,
+    records: Vec<Record>,
+    bytes: usize,
+    created: SimTime,
+    attempts: u32,
+}
+
+#[derive(Debug)]
+struct Inflight {
+    batch: ReadyBatch,
+    timer: TimerToken,
+}
+
+/// The embeddable producer state machine.
+pub struct ProducerClient {
+    id: ProducerId,
+    cfg: ProducerConfig,
+    bootstrap: ProcessId,
+    brokers: HashMap<s2g_proto::BrokerId, ProcessId>,
+    metadata: MetadataCache,
+    meta_versions: u64,
+    meta_inflight: Option<(CorrelationId, TimerToken)>,
+    next_seq: u64,
+    next_corr: u64,
+    corr_step: u64,
+    accum: BTreeMap<String, AccumBatch>,
+    topic_ids: BTreeMap<String, u64>,
+    rr: BTreeMap<String, u32>,
+    ready: BTreeMap<TopicPartition, VecDeque<ReadyBatch>>,
+    inflight: BTreeMap<TopicPartition, Inflight>,
+    corr_to_tp: HashMap<u64, TopicPartition>,
+    buffer_used: usize,
+    stats: ProducerStats,
+    outcomes: Vec<ProduceOutcome>,
+    sent_index: Vec<(String, u64, SimTime)>,
+    mem: Option<(LedgerHandle, MemSlot)>,
+}
+
+impl ProducerClient {
+    /// Creates a client. `bootstrap` is the broker used for metadata;
+    /// `brokers` maps broker ids to process ids. `corr_parity` (0 or 1)
+    /// disambiguates correlation ids when a producer and consumer client
+    /// share one process.
+    pub fn new(
+        id: ProducerId,
+        cfg: ProducerConfig,
+        bootstrap: ProcessId,
+        brokers: HashMap<s2g_proto::BrokerId, ProcessId>,
+        corr_parity: u64,
+    ) -> Self {
+        ProducerClient {
+            id,
+            cfg,
+            bootstrap,
+            brokers,
+            metadata: MetadataCache::new(),
+            meta_versions: 0,
+            meta_inflight: None,
+            next_seq: 0,
+            next_corr: corr_parity,
+            corr_step: 2,
+            accum: BTreeMap::new(),
+            topic_ids: BTreeMap::new(),
+            rr: BTreeMap::new(),
+            ready: BTreeMap::new(),
+            inflight: BTreeMap::new(),
+            corr_to_tp: HashMap::new(),
+            buffer_used: 0,
+            stats: ProducerStats::default(),
+            outcomes: Vec::new(),
+            sent_index: Vec::new(),
+            mem: None,
+        }
+    }
+
+    /// Attaches a memory-ledger slot; dynamic usage tracks the buffer fill.
+    pub fn set_mem_slot(&mut self, ledger: LedgerHandle, slot: MemSlot) {
+        self.mem = Some((ledger, slot));
+    }
+
+    /// This producer's id.
+    pub fn id(&self) -> ProducerId {
+        self.id
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> ProducerStats {
+        self.stats
+    }
+
+    /// Per-record outcomes (ack / delivery-timeout), in completion order.
+    pub fn outcomes(&self) -> &[ProduceOutcome] {
+        &self.outcomes
+    }
+
+    /// Every record accepted into the buffer, as `(topic, seq, created)` in
+    /// production order — the message axis of delivery matrices (Fig. 6b).
+    pub fn sent_index(&self) -> &[(String, u64, SimTime)] {
+        &self.sent_index
+    }
+
+    /// Bytes currently queued in the buffer pool.
+    pub fn buffer_used(&self) -> usize {
+        self.buffer_used
+    }
+
+    /// Kicks off metadata discovery. Call from `on_start`.
+    pub fn start(&mut self, ctx: &mut Ctx<'_>) {
+        self.request_metadata(ctx);
+    }
+
+    fn next_corr(&mut self) -> CorrelationId {
+        let c = self.next_corr;
+        self.next_corr += self.corr_step;
+        CorrelationId(c)
+    }
+
+    fn update_mem(&mut self) {
+        if let Some((ledger, slot)) = &self.mem {
+            ledger.borrow_mut().set_dynamic(*slot, self.buffer_used as u64);
+        }
+    }
+
+    fn request_metadata(&mut self, ctx: &mut Ctx<'_>) {
+        if self.meta_inflight.is_some() {
+            return;
+        }
+        let corr = self.next_corr();
+        let timer = ctx.set_timer(self.cfg.request_timeout, PRODUCER_TAGS + off::META_TIMEOUT);
+        self.meta_inflight = Some((corr, timer));
+        ctx.send(self.bootstrap, ClientRpc::MetadataRequest { corr });
+    }
+
+    /// Queues one record for `topic`. Returns `false` (and counts a buffer
+    /// rejection) when the buffer pool is exhausted.
+    pub fn send(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        topic: &str,
+        key: Option<Vec<u8>>,
+        value: Vec<u8>,
+    ) -> bool {
+        let record = match key {
+            Some(k) => Record::new(k, value, ctx.now()),
+            None => Record::keyless(value, ctx.now()),
+        }
+        .from_producer(self.id, self.next_seq);
+        let bytes = record.encoded_len();
+        if self.buffer_used + bytes > self.cfg.buffer_memory {
+            self.stats.buffer_rejected += 1;
+            return false;
+        }
+        self.sent_index.push((topic.to_string(), record.producer_seq, ctx.now()));
+        self.next_seq += 1;
+        self.stats.sent += 1;
+        self.buffer_used += bytes;
+        self.update_mem();
+        if !self.cfg.cpu_per_record.is_zero() {
+            ctx.exec(self.cfg.cpu_per_record, PRODUCER_TAGS + off::NOOP_CPU);
+        }
+        let n_topics = self.topic_ids.len() as u64;
+        let topic_id = *self.topic_ids.entry(topic.to_string()).or_insert(n_topics);
+        let entry = self
+            .accum
+            .entry(topic.to_string())
+            .or_insert_with(|| AccumBatch { records: Vec::new(), bytes: 0, linger_timer: None });
+        entry.records.push(record);
+        entry.bytes += bytes;
+        if entry.linger_timer.is_none() {
+            let t = ctx.set_timer(self.cfg.linger, PRODUCER_TAGS + off::LINGER_BASE + topic_id);
+            entry.linger_timer = Some(t);
+        }
+        if entry.records.len() >= self.cfg.batch_max_records {
+            self.flush_topic(ctx, &topic.to_string());
+        }
+        true
+    }
+
+    /// Flushes every accumulating batch immediately.
+    pub fn flush_all(&mut self, ctx: &mut Ctx<'_>) {
+        let topics: Vec<String> = self.accum.keys().cloned().collect();
+        for t in topics {
+            self.flush_topic(ctx, &t);
+        }
+    }
+
+    fn flush_topic(&mut self, ctx: &mut Ctx<'_>, topic: &String) {
+        let Some(batch) = self.accum.get_mut(topic) else { return };
+        if batch.records.is_empty() {
+            return;
+        }
+        if let Some(t) = batch.linger_timer.take() {
+            ctx.cancel_timer(t);
+        }
+        let records = std::mem::take(&mut batch.records);
+        let bytes = std::mem::replace(&mut batch.bytes, 0);
+        // Partition selection: round-robin over known partitions; partition 0
+        // optimistically when metadata has not arrived yet.
+        let parts = self.metadata.partitions_of(topic);
+        let tp = if parts.is_empty() {
+            TopicPartition::new(topic.clone(), 0)
+        } else {
+            let rr = self.rr.entry(topic.clone()).or_insert(0);
+            let tp = parts[*rr as usize % parts.len()].clone();
+            *rr += 1;
+            tp
+        };
+        let created = records.first().map(|r| r.timestamp).unwrap_or_else(|| ctx.now());
+        self.ready
+            .entry(tp.clone())
+            .or_default()
+            .push_back(ReadyBatch { tp, records, bytes, created, attempts: 0 });
+        self.pump(ctx);
+    }
+
+    fn pump(&mut self, ctx: &mut Ctx<'_>) {
+        let tps: Vec<TopicPartition> = self
+            .ready
+            .iter()
+            .filter(|(tp, q)| !q.is_empty() && !self.inflight.contains_key(*tp))
+            .map(|(tp, _)| tp.clone())
+            .collect();
+        let mut need_meta = false;
+        for tp in tps {
+            let leader = match self.metadata.leader(&tp) {
+                Some(l) => l,
+                None => {
+                    need_meta = true;
+                    continue;
+                }
+            };
+            let Some(&leader_pid) = self.brokers.get(&leader) else {
+                need_meta = true;
+                continue;
+            };
+            let mut batch = match self.ready.get_mut(&tp).and_then(VecDeque::pop_front) {
+                Some(b) => b,
+                None => continue,
+            };
+            batch.attempts += 1;
+            let corr = self.next_corr();
+            let timer =
+                ctx.set_timer(self.cfg.request_timeout, PRODUCER_TAGS + off::REQ_TIMEOUT_BASE + corr.0);
+            ctx.send(
+                leader_pid,
+                ClientRpc::ProduceRequest {
+                    corr,
+                    tp: tp.clone(),
+                    batch: RecordBatch::from_records(batch.records.clone()),
+                    acks: self.cfg.acks,
+                },
+            );
+            self.corr_to_tp.insert(corr.0, tp.clone());
+            self.inflight.insert(tp, Inflight { batch, timer });
+        }
+        if need_meta {
+            self.request_metadata(ctx);
+        }
+    }
+
+    fn complete_batch(&mut self, now: SimTime, batch: ReadyBatch, delivered: bool) {
+        self.buffer_used -= batch.bytes;
+        self.update_mem();
+        if delivered {
+            self.stats.acked += batch.records.len() as u64;
+        } else {
+            self.stats.failed += batch.records.len() as u64;
+        }
+        for r in &batch.records {
+            self.outcomes.push(ProduceOutcome {
+                seq: r.producer_seq,
+                topic: batch.tp.topic.clone(),
+                created: r.timestamp,
+                completed: now,
+                delivered,
+            });
+        }
+    }
+
+    fn retry_or_fail(&mut self, ctx: &mut Ctx<'_>, batch: ReadyBatch) {
+        let now = ctx.now();
+        if now.saturating_since(batch.created) > self.cfg.delivery_timeout {
+            self.complete_batch(now, batch, false);
+            return;
+        }
+        self.stats.retries += 1;
+        self.ready.entry(batch.tp.clone()).or_default().push_front(batch);
+        self.request_metadata(ctx);
+        ctx.set_timer(self.cfg.retry_backoff, PRODUCER_TAGS + off::RETRY_PUMP);
+    }
+
+    /// Handles an incoming message. Returns the message back when it is not
+    /// addressed to this client.
+    pub fn handle_message(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        msg: Box<dyn Message>,
+    ) -> Option<Box<dyn Message>> {
+        let rpc = match downcast::<ClientRpc>(msg) {
+            Ok(r) => r,
+            Err(m) => return Some(m),
+        };
+        match *rpc {
+            ClientRpc::ProduceResponse { corr, error, .. } => {
+                let Some(tp) = self.corr_to_tp.remove(&corr.0) else {
+                    return None; // stale response for a timed-out request
+                };
+                let Some(inflight) = self.inflight.remove(&tp) else { return None };
+                ctx.cancel_timer(inflight.timer);
+                if error.is_ok() {
+                    let now = ctx.now();
+                    self.complete_batch(now, inflight.batch, true);
+                } else if error.is_retriable() {
+                    self.retry_or_fail(ctx, inflight.batch);
+                } else {
+                    let now = ctx.now();
+                    self.complete_batch(now, inflight.batch, false);
+                }
+                self.pump(ctx);
+                None
+            }
+            ClientRpc::MetadataResponse { corr, partitions } => {
+                match self.meta_inflight {
+                    Some((c, timer)) if c == corr => {
+                        ctx.cancel_timer(timer);
+                        self.meta_inflight = None;
+                        self.meta_versions += 1;
+                        self.metadata.install_snapshot(partitions, self.meta_versions);
+                        self.pump(ctx);
+                        None
+                    }
+                    // Not ours — may belong to a co-embedded consumer client.
+                    _ => Some(Box::new(ClientRpc::MetadataResponse { corr, partitions })),
+                }
+            }
+            other => Some(Box::new(other)),
+        }
+    }
+
+    /// Handles a timer tag in the producer namespace. Returns `true` if the
+    /// tag belonged to this client.
+    pub fn handle_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) -> bool {
+        if !(PRODUCER_TAGS..PRODUCER_TAGS_END).contains(&tag) {
+            return false;
+        }
+        let o = tag - PRODUCER_TAGS;
+        if o == off::RETRY_PUMP {
+            self.pump(ctx);
+        } else if o == off::META_TIMEOUT {
+            // Metadata request lost; retry.
+            self.meta_inflight = None;
+            self.request_metadata(ctx);
+        } else if (off::LINGER_BASE..off::REQ_TIMEOUT_BASE).contains(&o) {
+            let topic_id = o - off::LINGER_BASE;
+            let topic = self
+                .topic_ids
+                .iter()
+                .find(|(_, id)| **id == topic_id)
+                .map(|(t, _)| t.clone());
+            if let Some(t) = topic {
+                if let Some(b) = self.accum.get_mut(&t) {
+                    b.linger_timer = None;
+                }
+                self.flush_topic(ctx, &t);
+            }
+        } else if o >= off::REQ_TIMEOUT_BASE {
+            let corr = o - off::REQ_TIMEOUT_BASE;
+            if let Some(tp) = self.corr_to_tp.remove(&corr) {
+                if let Some(inflight) = self.inflight.remove(&tp) {
+                    self.retry_or_fail(ctx, inflight.batch);
+                }
+            }
+        }
+        true
+    }
+}
+
+impl std::fmt::Debug for ProducerClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProducerClient")
+            .field("id", &self.id)
+            .field("buffer_used", &self.buffer_used)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+/// A standalone producer stub: a [`ProducerClient`] driven by a
+/// [`DataSource`], with background CPU churn for the resource model.
+pub struct ProducerProcess {
+    client: ProducerClient,
+    source: Box<dyn DataSource>,
+    source_done: bool,
+    name: String,
+}
+
+const SOURCE_STEP: u64 = 0;
+const BACKGROUND_TICK: u64 = 1;
+const BACKGROUND_DONE: u64 = 2;
+const STARTUP_DONE: u64 = 3;
+
+impl ProducerProcess {
+    /// Creates a producer stub.
+    pub fn new(client: ProducerClient, source: Box<dyn DataSource>) -> Self {
+        let name = format!("producer-{}", client.id().0);
+        ProducerProcess { client, source, source_done: false, name }
+    }
+
+    /// The embedded client (stats, outcomes).
+    pub fn client(&self) -> &ProducerClient {
+        &self.client
+    }
+
+    /// The data source, downcast to its concrete type.
+    pub fn source_as<T: DataSource>(&self) -> Option<&T> {
+        (self.source.as_ref() as &dyn Any).downcast_ref::<T>()
+    }
+
+    fn step_source(&mut self, ctx: &mut Ctx<'_>) {
+        if self.source_done {
+            return;
+        }
+        let now = ctx.now();
+        let action = {
+            let rng = ctx.rng();
+            // Split borrow: rng and source are independent.
+            self.source.next(now, rng)
+        };
+        match action {
+            SourceAction::Emit { topic, key, value, next_after } => {
+                self.client.send(ctx, &topic, key, value);
+                ctx.set_timer(next_after, SOURCE_STEP);
+            }
+            SourceAction::Wait(d) => {
+                ctx.set_timer(d, SOURCE_STEP);
+            }
+            SourceAction::Done => {
+                self.source_done = true;
+                self.client.flush_all(ctx);
+            }
+        }
+    }
+}
+
+impl Process for ProducerProcess {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.exec(self.client.cfg.startup_cpu, STARTUP_DONE);
+        self.client.start(ctx);
+        ctx.set_timer(SimDuration::ZERO, SOURCE_STEP);
+        ctx.set_timer(self.client.cfg.background_interval, BACKGROUND_TICK);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: ProcessId, msg: Box<dyn Message>) {
+        self.client.handle_message(ctx, msg);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
+        if self.client.handle_timer(ctx, tag) {
+            return;
+        }
+        match tag {
+            SOURCE_STEP => self.step_source(ctx),
+            BACKGROUND_TICK => {
+                if !self.client.cfg.background_cpu.is_zero() {
+                    ctx.exec(self.client.cfg.background_cpu, BACKGROUND_DONE);
+                }
+                ctx.set_timer(self.client.cfg.background_interval, BACKGROUND_TICK);
+            }
+            _ => {}
+        }
+    }
+}
+
+impl std::fmt::Debug for ProducerProcess {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProducerProcess").field("client", &self.client).finish()
+    }
+}

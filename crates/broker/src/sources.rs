@@ -1,0 +1,337 @@
+//! Standard data sources — stream2gym's producer stub repository.
+//!
+//! The paper ships "standard producer/consumer stubs that developers can use
+//! to quickly ingest data into or extract data from stream processing
+//! pipelines according to desired patterns (e.g., producing each line of a
+//! file or each file in a directory as a data element)". These are those
+//! patterns as [`DataSource`] implementations.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use s2g_sim::{SimDuration, SimTime};
+
+use crate::producer::{DataSource, SourceAction};
+
+/// Emits `count` fixed-size records to one topic at a fixed interval —
+/// the workhorse for throughput experiments.
+///
+/// # Examples
+///
+/// ```
+/// use s2g_broker::RateSource;
+/// use s2g_sim::SimDuration;
+///
+/// // 1000 × 784-byte frames, one every 2 ms.
+/// let src = RateSource::new("frames", 1_000, SimDuration::from_millis(2)).payload_bytes(784);
+/// # let _ = src;
+/// ```
+#[derive(Debug)]
+pub struct RateSource {
+    topic: String,
+    remaining: u64,
+    interval: SimDuration,
+    payload: usize,
+    emitted: u64,
+}
+
+impl RateSource {
+    /// `count` records to `topic`, one per `interval`.
+    pub fn new(topic: impl Into<String>, count: u64, interval: SimDuration) -> Self {
+        RateSource {
+            topic: topic.into(),
+            remaining: count,
+            interval,
+            payload: 100,
+            emitted: 0,
+        }
+    }
+
+    /// Sets the payload size in bytes (default 100).
+    pub fn payload_bytes(mut self, n: usize) -> Self {
+        self.payload = n;
+        self
+    }
+
+    /// Records emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+}
+
+impl DataSource for RateSource {
+    fn next(&mut self, _now: SimTime, _rng: &mut StdRng) -> SourceAction {
+        if self.remaining == 0 {
+            return SourceAction::Done;
+        }
+        self.remaining -= 1;
+        self.emitted += 1;
+        SourceAction::Emit {
+            topic: self.topic.clone(),
+            key: None,
+            value: vec![0x5a; self.payload],
+            next_after: self.interval,
+        }
+    }
+}
+
+/// Randomly picks one of several topics per record, paced to a target
+/// bitrate — the Fig. 6a workload ("a data producer that randomly injects
+/// data into the two topics at a 30 Kbps rate").
+#[derive(Debug)]
+pub struct RandomTopicSource {
+    topics: Vec<String>,
+    payload: usize,
+    interval: SimDuration,
+    until: SimTime,
+    emitted: u64,
+}
+
+impl RandomTopicSource {
+    /// Emits `payload_bytes`-sized records across `topics` at `kbps`
+    /// (kilobits per second) until `until`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `topics` is empty or `kbps` is zero.
+    pub fn new(topics: Vec<String>, kbps: u64, payload_bytes: usize, until: SimTime) -> Self {
+        assert!(!topics.is_empty(), "need at least one topic");
+        assert!(kbps > 0, "rate must be positive");
+        // interval = payload_bits / rate_bits_per_sec.
+        let interval =
+            SimDuration::from_nanos(payload_bytes as u64 * 8 * 1_000_000 / kbps);
+        RandomTopicSource { topics, payload: payload_bytes, interval, until, emitted: 0 }
+    }
+
+    /// Records emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+}
+
+impl DataSource for RandomTopicSource {
+    fn next(&mut self, now: SimTime, rng: &mut StdRng) -> SourceAction {
+        if now >= self.until {
+            return SourceAction::Done;
+        }
+        let idx = rng.gen_range(0..self.topics.len());
+        self.emitted += 1;
+        SourceAction::Emit {
+            topic: self.topics[idx].clone(),
+            key: None,
+            value: vec![0xa5; self.payload],
+            next_after: self.interval,
+        }
+    }
+}
+
+/// Emits records with exponentially distributed inter-arrival times — the
+/// Poisson user traffic of the Ocampo et al. reproduction (Fig. 7b).
+#[derive(Debug)]
+pub struct PoissonSource {
+    topic: String,
+    mean_interval: SimDuration,
+    payload: usize,
+    until: SimTime,
+    emitted: u64,
+}
+
+impl PoissonSource {
+    /// Poisson arrivals at `rate_per_sec` to `topic` until `until`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_per_sec` is not strictly positive.
+    pub fn new(topic: impl Into<String>, rate_per_sec: f64, payload_bytes: usize, until: SimTime) -> Self {
+        assert!(rate_per_sec > 0.0, "rate must be positive");
+        PoissonSource {
+            topic: topic.into(),
+            mean_interval: SimDuration::from_secs_f64(1.0 / rate_per_sec),
+            payload: payload_bytes,
+            until,
+            emitted: 0,
+        }
+    }
+
+    /// Records emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+}
+
+impl DataSource for PoissonSource {
+    fn next(&mut self, now: SimTime, rng: &mut StdRng) -> SourceAction {
+        if now >= self.until {
+            return SourceAction::Done;
+        }
+        // Exponential inter-arrival via inverse transform.
+        let u: f64 = rng.gen::<f64>().max(1e-12);
+        let gap = self.mean_interval.mul_f64(-u.ln());
+        self.emitted += 1;
+        SourceAction::Emit {
+            topic: self.topic.clone(),
+            key: None,
+            value: vec![0x42; self.payload],
+            next_after: gap,
+        }
+    }
+}
+
+/// Produces each element of a prepared corpus (e.g. each line of a file, or
+/// each file of a directory) as one record — the paper's `SFST`
+/// (single-file-single-topic) stub generalized.
+#[derive(Debug)]
+pub struct FileLinesSource {
+    topic: String,
+    items: Vec<String>,
+    pos: usize,
+    interval: SimDuration,
+}
+
+impl FileLinesSource {
+    /// Emits each item of `items` to `topic`, one per `interval`.
+    pub fn new(topic: impl Into<String>, items: Vec<String>, interval: SimDuration) -> Self {
+        FileLinesSource { topic: topic.into(), items, pos: 0, interval }
+    }
+
+    /// Items emitted so far.
+    pub fn emitted(&self) -> usize {
+        self.pos
+    }
+
+    /// Total items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+impl DataSource for FileLinesSource {
+    fn next(&mut self, _now: SimTime, _rng: &mut StdRng) -> SourceAction {
+        if self.pos >= self.items.len() {
+            return SourceAction::Done;
+        }
+        let value = self.items[self.pos].clone().into_bytes();
+        self.pos += 1;
+        SourceAction::Emit {
+            topic: self.topic.clone(),
+            key: Some(format!("item-{}", self.pos - 1).into_bytes()),
+            value,
+            next_after: self.interval,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn drain(src: &mut dyn DataSource, limit: usize) -> Vec<SourceAction> {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut out = Vec::new();
+        let mut now = SimTime::ZERO;
+        for _ in 0..limit {
+            let a = src.next(now, &mut rng);
+            if let SourceAction::Emit { next_after, .. } | SourceAction::Wait(next_after) = &a {
+                now += *next_after;
+            }
+            let done = matches!(a, SourceAction::Done);
+            out.push(a);
+            if done {
+                break;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn rate_source_emits_exact_count() {
+        let mut src = RateSource::new("t", 5, SimDuration::from_millis(1)).payload_bytes(10);
+        let actions = drain(&mut src, 100);
+        let emits = actions.iter().filter(|a| matches!(a, SourceAction::Emit { .. })).count();
+        assert_eq!(emits, 5);
+        assert!(matches!(actions.last(), Some(SourceAction::Done)));
+        assert_eq!(src.emitted(), 5);
+    }
+
+    #[test]
+    fn random_topic_source_rate_math() {
+        // 500-byte records at 30 kbps → 4000 bits / 30000 bps ≈ 133.3 ms.
+        let src = RandomTopicSource::new(
+            vec!["a".into(), "b".into()],
+            30,
+            500,
+            SimTime::from_secs(60),
+        );
+        assert_eq!(src.interval.as_millis(), 133);
+    }
+
+    #[test]
+    fn random_topic_source_uses_both_topics() {
+        let mut src = RandomTopicSource::new(
+            vec!["a".into(), "b".into()],
+            1_000,
+            100,
+            SimTime::from_secs(3600),
+        );
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen_a = false;
+        let mut seen_b = false;
+        for _ in 0..100 {
+            if let SourceAction::Emit { topic, .. } = src.next(SimTime::ZERO, &mut rng) {
+                match topic.as_str() {
+                    "a" => seen_a = true,
+                    "b" => seen_b = true,
+                    other => panic!("unexpected topic {other}"),
+                }
+            }
+        }
+        assert!(seen_a && seen_b);
+    }
+
+    #[test]
+    fn poisson_source_mean_interval_close_to_target() {
+        let mut src = PoissonSource::new("t", 100.0, 64, SimTime::from_secs(10_000));
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut total = SimDuration::ZERO;
+        let n = 10_000;
+        for _ in 0..n {
+            if let SourceAction::Emit { next_after, .. } = src.next(SimTime::ZERO, &mut rng) {
+                total += next_after;
+            }
+        }
+        let mean_ms = total.as_secs_f64() * 1000.0 / n as f64;
+        // Target mean 10 ms; allow 5% statistical slack.
+        assert!((mean_ms - 10.0).abs() < 0.5, "mean interval {mean_ms} ms");
+    }
+
+    #[test]
+    fn file_lines_source_preserves_order_and_content() {
+        let items = vec!["one".to_string(), "two".to_string(), "three".to_string()];
+        let mut src = FileLinesSource::new("docs", items, SimDuration::from_millis(1));
+        assert_eq!(src.len(), 3);
+        let actions = drain(&mut src, 10);
+        let values: Vec<String> = actions
+            .iter()
+            .filter_map(|a| match a {
+                SourceAction::Emit { value, .. } => Some(String::from_utf8(value.clone()).unwrap()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(values, vec!["one", "two", "three"]);
+        assert_eq!(src.emitted(), 3);
+    }
+
+    #[test]
+    fn empty_corpus_is_done_immediately() {
+        let mut src = FileLinesSource::new("docs", vec![], SimDuration::from_millis(1));
+        assert!(src.is_empty());
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(matches!(src.next(SimTime::ZERO, &mut rng), SourceAction::Done));
+    }
+}

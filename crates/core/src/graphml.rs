@@ -1,0 +1,407 @@
+//! GraphML task descriptions (§III-C, Fig. 4).
+//!
+//! stream2gym models a whole experiment as one GraphML document: graph-level
+//! `<data>` for topics and faults, `<node>` elements carrying the Table I
+//! component attributes, and `<edge>` elements carrying link attributes.
+//! This is a hand-rolled parser for exactly the GraphML subset those
+//! descriptions use (elements, attributes, text content, comments) — no
+//! external XML dependency.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed `<node>` element.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GraphmlNode {
+    /// The node id (host or switch name).
+    pub id: String,
+    /// `<data key="...">value</data>` children.
+    pub data: BTreeMap<String, String>,
+}
+
+/// A parsed `<edge>` element.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GraphmlEdge {
+    /// Source node id.
+    pub source: String,
+    /// Target node id.
+    pub target: String,
+    /// `<data>` children (lat, bw, loss, st, dt).
+    pub data: BTreeMap<String, String>,
+}
+
+/// A parsed GraphML task description.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GraphmlDoc {
+    /// Graph-level `<data>` entries (topicCfg, faultCfg).
+    pub graph_data: BTreeMap<String, String>,
+    /// Nodes in document order.
+    pub nodes: Vec<GraphmlNode>,
+    /// Edges in document order.
+    pub edges: Vec<GraphmlEdge>,
+}
+
+impl GraphmlDoc {
+    /// Finds a node by id.
+    pub fn node(&self, id: &str) -> Option<&GraphmlNode> {
+        self.nodes.iter().find(|n| n.id == id)
+    }
+}
+
+/// A GraphML parsing error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphmlError {
+    /// The document ended inside a tag or element.
+    UnexpectedEof,
+    /// A closing tag did not match the open element.
+    MismatchedTag {
+        /// What was open.
+        expected: String,
+        /// What closed.
+        got: String,
+    },
+    /// A tag was malformed.
+    BadTag(String),
+    /// A required attribute was missing.
+    MissingAttr {
+        /// The element.
+        element: &'static str,
+        /// The attribute.
+        attr: &'static str,
+    },
+}
+
+impl fmt::Display for GraphmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphmlError::UnexpectedEof => write!(f, "unexpected end of document"),
+            GraphmlError::MismatchedTag { expected, got } => {
+                write!(f, "mismatched closing tag: expected </{expected}>, got </{got}>")
+            }
+            GraphmlError::BadTag(t) => write!(f, "malformed tag: {t:?}"),
+            GraphmlError::MissingAttr { element, attr } => {
+                write!(f, "<{element}> is missing required attribute `{attr}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphmlError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Open { name: String, attrs: BTreeMap<String, String>, self_closing: bool },
+    Close { name: String },
+    Text(String),
+}
+
+fn tokenize(xml: &str) -> Result<Vec<Token>, GraphmlError> {
+    let mut tokens = Vec::new();
+    let bytes = xml.as_bytes();
+    let mut pos = 0;
+    while pos < bytes.len() {
+        if bytes[pos] == b'<' {
+            if xml[pos..].starts_with("<!--") {
+                let end = xml[pos..].find("-->").ok_or(GraphmlError::UnexpectedEof)?;
+                pos += end + 3;
+                continue;
+            }
+            if xml[pos..].starts_with("<?") {
+                let end = xml[pos..].find("?>").ok_or(GraphmlError::UnexpectedEof)?;
+                pos += end + 2;
+                continue;
+            }
+            let end = xml[pos..].find('>').ok_or(GraphmlError::UnexpectedEof)?;
+            let inner = &xml[pos + 1..pos + end];
+            pos += end + 1;
+            if let Some(name) = inner.strip_prefix('/') {
+                tokens.push(Token::Close { name: name.trim().to_string() });
+                continue;
+            }
+            let self_closing = inner.ends_with('/');
+            let inner = inner.strip_suffix('/').unwrap_or(inner).trim();
+            let (name, rest) = match inner.split_once(char::is_whitespace) {
+                Some((n, r)) => (n, r),
+                None => (inner, ""),
+            };
+            if name.is_empty() {
+                return Err(GraphmlError::BadTag(inner.to_string()));
+            }
+            let attrs = parse_attrs(rest)?;
+            tokens.push(Token::Open { name: name.to_string(), attrs, self_closing });
+        } else {
+            let end = xml[pos..].find('<').unwrap_or(xml.len() - pos);
+            let text = &xml[pos..pos + end];
+            if !text.trim().is_empty() {
+                tokens.push(Token::Text(unescape(text.trim())));
+            }
+            pos += end;
+        }
+    }
+    Ok(tokens)
+}
+
+fn parse_attrs(s: &str) -> Result<BTreeMap<String, String>, GraphmlError> {
+    let mut attrs = BTreeMap::new();
+    let mut rest = s.trim();
+    while !rest.is_empty() {
+        let eq = rest.find('=').ok_or_else(|| GraphmlError::BadTag(s.to_string()))?;
+        let key = rest[..eq].trim().to_string();
+        let after = rest[eq + 1..].trim_start();
+        let quote = after.chars().next().ok_or_else(|| GraphmlError::BadTag(s.to_string()))?;
+        if quote != '"' && quote != '\'' {
+            return Err(GraphmlError::BadTag(s.to_string()));
+        }
+        let close = after[1..].find(quote).ok_or_else(|| GraphmlError::BadTag(s.to_string()))?;
+        let value = unescape(&after[1..1 + close]);
+        attrs.insert(key, value);
+        rest = after[close + 2..].trim_start();
+    }
+    Ok(attrs)
+}
+
+fn unescape(s: &str) -> String {
+    s.replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&quot;", "\"")
+        .replace("&apos;", "'")
+        .replace("&amp;", "&")
+}
+
+/// Parses a stream2gym GraphML task description.
+///
+/// # Errors
+///
+/// Returns a [`GraphmlError`] on malformed XML or missing required
+/// attributes (`node` needs `id`; `edge` needs `source` and `target`).
+///
+/// # Examples
+///
+/// ```
+/// use s2g_core::parse_graphml;
+///
+/// let doc = parse_graphml(r#"
+///   <graph edgedefault="undirected">
+///     <data key="topicCfg">topics.cfg</data>
+///     <node id="h1"><data key="prodType">SFST</data></node>
+///     <node id="s1"/>
+///     <edge source="s1" target="h1"><data key="lat">50</data></edge>
+///   </graph>"#)?;
+/// assert_eq!(doc.graph_data["topicCfg"], "topics.cfg");
+/// assert_eq!(doc.nodes.len(), 2);
+/// assert_eq!(doc.edges[0].data["lat"], "50");
+/// # Ok::<(), s2g_core::GraphmlError>(())
+/// ```
+pub fn parse_graphml(xml: &str) -> Result<GraphmlDoc, GraphmlError> {
+    let tokens = tokenize(xml)?;
+    let mut doc = GraphmlDoc::default();
+    let mut i = 0;
+
+    // Context while walking: which container we are inside.
+    #[derive(PartialEq)]
+    enum Scope {
+        Root,
+        Graph,
+        Node(usize),
+        Edge(usize),
+    }
+    let mut scope = Scope::Root;
+
+    while i < tokens.len() {
+        match &tokens[i] {
+            Token::Open { name, attrs, self_closing } => match name.as_str() {
+                "graphml" => {}
+                "key" => {} // GraphML schema declarations — ignored
+                "graph" => scope = Scope::Graph,
+                "node" => {
+                    let id = attrs
+                        .get("id")
+                        .ok_or(GraphmlError::MissingAttr { element: "node", attr: "id" })?
+                        .clone();
+                    doc.nodes.push(GraphmlNode { id, data: BTreeMap::new() });
+                    if !self_closing {
+                        scope = Scope::Node(doc.nodes.len() - 1);
+                    }
+                }
+                "edge" => {
+                    let source = attrs
+                        .get("source")
+                        .ok_or(GraphmlError::MissingAttr { element: "edge", attr: "source" })?
+                        .clone();
+                    let target = attrs
+                        .get("target")
+                        .ok_or(GraphmlError::MissingAttr { element: "edge", attr: "target" })?
+                        .clone();
+                    doc.edges.push(GraphmlEdge { source, target, data: BTreeMap::new() });
+                    if !self_closing {
+                        scope = Scope::Edge(doc.edges.len() - 1);
+                    }
+                }
+                "data" => {
+                    let key = attrs
+                        .get("key")
+                        .ok_or(GraphmlError::MissingAttr { element: "data", attr: "key" })?
+                        .clone();
+                    // Collect the text content up to </data>.
+                    let mut value = String::new();
+                    if !self_closing {
+                        i += 1;
+                        while i < tokens.len() {
+                            match &tokens[i] {
+                                Token::Text(t) => value.push_str(t),
+                                Token::Close { name } if name == "data" => break,
+                                Token::Close { name } => {
+                                    return Err(GraphmlError::MismatchedTag {
+                                        expected: "data".into(),
+                                        got: name.clone(),
+                                    })
+                                }
+                                Token::Open { .. } => {
+                                    return Err(GraphmlError::BadTag(
+                                        "nested element inside <data>".into(),
+                                    ))
+                                }
+                            }
+                            i += 1;
+                        }
+                        if i >= tokens.len() {
+                            return Err(GraphmlError::UnexpectedEof);
+                        }
+                    }
+                    let value = value.trim().to_string();
+                    match scope {
+                        Scope::Graph => {
+                            doc.graph_data.insert(key, value);
+                        }
+                        Scope::Node(n) => {
+                            doc.nodes[n].data.insert(key, value);
+                        }
+                        Scope::Edge(e) => {
+                            doc.edges[e].data.insert(key, value);
+                        }
+                        Scope::Root => {
+                            doc.graph_data.insert(key, value);
+                        }
+                    }
+                }
+                other => return Err(GraphmlError::BadTag(other.to_string())),
+            },
+            Token::Close { name } => match name.as_str() {
+                "node" | "edge" => scope = Scope::Graph,
+                "graph" => scope = Scope::Root,
+                "graphml" | "key" => {}
+                other => {
+                    return Err(GraphmlError::MismatchedTag {
+                        expected: "node|edge|graph".into(),
+                        got: other.to_string(),
+                    })
+                }
+            },
+            Token::Text(_) => {} // stray whitespace/text between elements
+        }
+        i += 1;
+    }
+    Ok(doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Fig. 4 description, abbreviated.
+    const FIG4: &str = r#"
+    <!-- Data processing pipeline -->
+    <graph edgedefault="undirected">
+      <data key="topicCfg"> topics.cfg </data>
+
+      <!-- Cluster allocation -->
+      <node id="h1">
+        <data key="prodType"> SFST </data>
+        <data key="prodCfg"> data-src.yaml </data>
+      </node>
+      <node id="h2">
+        <data key="brokerCfg"> broker.yaml </data>
+      </node>
+      <node id="h3">
+        <data key="streamProcType"> SPARK </data>
+        <data key="streamProcCfg"> spe-1.yaml </data>
+      </node>
+      <node id="h5">
+        <data key="consType"> STANDARD </data>
+        <data key="consCfg"> data-sink.yaml </data>
+      </node>
+
+      <!-- Network setup -->
+      <node id="s1"/>
+      <edge source="s1" target="h1">
+        <data key="st"> 1 </data>
+        <data key="dt"> 1 </data>
+        <data key="lat"> 50 </data>
+      </edge>
+    </graph>"#;
+
+    #[test]
+    fn parses_fig4() {
+        let doc = parse_graphml(FIG4).unwrap();
+        assert_eq!(doc.graph_data["topicCfg"], "topics.cfg");
+        assert_eq!(doc.nodes.len(), 5);
+        assert_eq!(doc.node("h1").unwrap().data["prodType"], "SFST");
+        assert_eq!(doc.node("h3").unwrap().data["streamProcType"], "SPARK");
+        assert_eq!(doc.node("s1").unwrap().data.len(), 0);
+        assert_eq!(doc.edges.len(), 1);
+        assert_eq!(doc.edges[0].source, "s1");
+        assert_eq!(doc.edges[0].target, "h1");
+        assert_eq!(doc.edges[0].data["lat"], "50");
+        assert_eq!(doc.edges[0].data["st"], "1");
+    }
+
+    #[test]
+    fn comments_and_declarations_skipped() {
+        let doc = parse_graphml(
+            "<?xml version=\"1.0\"?><graphml><!-- hi --><graph><node id=\"a\"/></graph></graphml>",
+        )
+        .unwrap();
+        assert_eq!(doc.nodes.len(), 1);
+    }
+
+    #[test]
+    fn entity_unescaping() {
+        let doc = parse_graphml(
+            "<graph><node id=\"n\"><data key=\"k\">a &lt; b &amp; c</data></node></graph>",
+        )
+        .unwrap();
+        assert_eq!(doc.node("n").unwrap().data["k"], "a < b & c");
+    }
+
+    #[test]
+    fn missing_node_id_errors() {
+        let err = parse_graphml("<graph><node/></graph>").unwrap_err();
+        assert_eq!(err, GraphmlError::MissingAttr { element: "node", attr: "id" });
+    }
+
+    #[test]
+    fn missing_edge_endpoints_error() {
+        let err = parse_graphml("<graph><edge source=\"a\"/></graph>").unwrap_err();
+        assert_eq!(err, GraphmlError::MissingAttr { element: "edge", attr: "target" });
+    }
+
+    #[test]
+    fn truncated_document_errors() {
+        assert_eq!(parse_graphml("<graph><data key=\"x\">v"), Err(GraphmlError::UnexpectedEof));
+        assert_eq!(parse_graphml("<graph"), Err(GraphmlError::UnexpectedEof));
+    }
+
+    #[test]
+    fn unknown_elements_rejected() {
+        assert!(matches!(
+            parse_graphml("<graph><mystery/></graph>"),
+            Err(GraphmlError::BadTag(_))
+        ));
+    }
+
+    #[test]
+    fn single_quoted_attrs() {
+        let doc = parse_graphml("<graph><node id='h9'/></graph>").unwrap();
+        assert_eq!(doc.nodes[0].id, "h9");
+    }
+}

@@ -1,0 +1,295 @@
+//! Monitoring: delivery records, latency series, delivery matrices.
+//!
+//! stream2gym "triggers a series of monitoring tasks that are responsible
+//! for logging relevant information from both the network and the
+//! application perspective". This module is the application side: every
+//! consumer sink is wrapped by a [`MonitoredSink`] that records who received
+//! which record when, from which the latency plots (Fig. 5, Fig. 6c) and
+//! the message delivery matrix (Fig. 6b) are derived.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use s2g_broker::DataSink;
+use s2g_proto::{ProducerId, Record, TopicPartition};
+use s2g_sim::{SimDuration, SimTime};
+use s2g_spe::Event;
+
+/// One observed delivery: a record reaching a consumer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeliveryRecord {
+    /// The receiving consumer's index.
+    pub consumer: u32,
+    /// Topic the record came from.
+    pub topic: String,
+    /// The producer that created the record (or the original source record,
+    /// for SPE outputs carrying provenance).
+    pub producer: ProducerId,
+    /// Producer sequence number.
+    pub seq: u64,
+    /// When the data unit entered the pipeline (origin timestamp for SPE
+    /// outputs, produce time otherwise).
+    pub produced: SimTime,
+    /// When the consumer received it.
+    pub delivered: SimTime,
+}
+
+impl DeliveryRecord {
+    /// End-to-end latency of this delivery.
+    pub fn latency(&self) -> SimDuration {
+        self.delivered.saturating_since(self.produced)
+    }
+}
+
+/// Shared collection of all deliveries in a run.
+#[derive(Debug, Default)]
+pub struct MonitorCore {
+    /// Every delivery, in arrival order.
+    pub deliveries: Vec<DeliveryRecord>,
+}
+
+/// Shared handle to the monitor.
+pub type MonitorHandle = Rc<RefCell<MonitorCore>>;
+
+impl MonitorCore {
+    /// Creates a shared monitor.
+    pub fn new_handle() -> MonitorHandle {
+        Rc::new(RefCell::new(MonitorCore::default()))
+    }
+
+    /// Deliveries for one topic (any consumer).
+    pub fn for_topic<'a>(&'a self, topic: &'a str) -> impl Iterator<Item = &'a DeliveryRecord> {
+        self.deliveries.iter().filter(move |d| d.topic == topic)
+    }
+
+    /// Deliveries seen by one consumer.
+    pub fn for_consumer(&self, consumer: u32) -> impl Iterator<Item = &DeliveryRecord> {
+        self.deliveries.iter().filter(move |d| d.consumer == consumer)
+    }
+
+    /// Mean end-to-end latency over a topic, if any deliveries exist.
+    pub fn mean_latency(&self, topic: &str) -> Option<SimDuration> {
+        let lats: Vec<u64> = self.for_topic(topic).map(|d| d.latency().as_nanos()).collect();
+        if lats.is_empty() {
+            return None;
+        }
+        Some(SimDuration::from_nanos(lats.iter().sum::<u64>() / lats.len() as u64))
+    }
+
+    /// Latency series for one consumer and topic, ordered by delivery time
+    /// (the paper's Fig. 6c axes: message order vs latency).
+    pub fn latency_series(&self, consumer: u32, topic: &str) -> Vec<(SimTime, SimDuration)> {
+        let mut v: Vec<(SimTime, SimDuration)> = self
+            .deliveries
+            .iter()
+            .filter(|d| d.consumer == consumer && d.topic == topic)
+            .map(|d| (d.delivered, d.latency()))
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Whether `(producer, seq)` on `topic` reached `consumer`.
+    pub fn was_delivered(&self, consumer: u32, topic: &str, producer: ProducerId, seq: u64) -> bool {
+        self.deliveries
+            .iter()
+            .any(|d| d.consumer == consumer && d.topic == topic && d.producer == producer && d.seq == seq)
+    }
+}
+
+/// A [`DataSink`] wrapper that records deliveries into the shared monitor
+/// and forwards to the inner sink.
+pub struct MonitoredSink {
+    handle: MonitorHandle,
+    consumer: u32,
+    inner: Box<dyn DataSink>,
+}
+
+impl MonitoredSink {
+    /// Wraps `inner` for consumer index `consumer`.
+    pub fn new(handle: MonitorHandle, consumer: u32, inner: Box<dyn DataSink>) -> Self {
+        MonitoredSink { handle, consumer, inner }
+    }
+
+    /// The wrapped sink, for post-run downcasting.
+    pub fn inner(&self) -> &dyn DataSink {
+        self.inner.as_ref()
+    }
+}
+
+impl DataSink for MonitoredSink {
+    fn on_records(&mut self, now: SimTime, tp: &TopicPartition, records: &[Record]) {
+        {
+            let mut core = self.handle.borrow_mut();
+            for r in records {
+                // SPE outputs carry their provenance in the encoded event;
+                // raw records use their own produce time.
+                let produced = match Event::from_bytes(&r.value) {
+                    Ok(e) => e.origin,
+                    Err(_) => r.timestamp,
+                };
+                core.deliveries.push(DeliveryRecord {
+                    consumer: self.consumer,
+                    topic: tp.topic.clone(),
+                    producer: r.producer,
+                    seq: r.producer_seq,
+                    produced,
+                    delivered: now,
+                });
+            }
+        }
+        self.inner.on_records(now, tp, records);
+    }
+}
+
+/// The Fig. 6b artifact: for one producer's messages (in production order),
+/// which consumers received each one.
+#[derive(Debug, Clone)]
+pub struct DeliveryMatrix {
+    /// The producer whose messages are tracked.
+    pub producer: ProducerId,
+    /// Consumer indices (rows).
+    pub consumers: Vec<u32>,
+    /// Tracked messages as `(topic, seq, produced)` (columns, by seq order).
+    pub messages: Vec<(String, u64, SimTime)>,
+    /// `received[row][col]` — whether consumer `row` got message `col`.
+    pub received: Vec<Vec<bool>>,
+}
+
+impl DeliveryMatrix {
+    /// Builds the matrix for `producer` from the monitor and the producer's
+    /// send log (`(topic, seq, produced)` per message).
+    pub fn build(
+        core: &MonitorCore,
+        producer: ProducerId,
+        messages: Vec<(String, u64, SimTime)>,
+        consumers: &[u32],
+    ) -> Self {
+        let mut received = vec![vec![false; messages.len()]; consumers.len()];
+        for d in &core.deliveries {
+            if d.producer != producer {
+                continue;
+            }
+            let Some(row) = consumers.iter().position(|c| *c == d.consumer) else { continue };
+            if let Some(col) =
+                messages.iter().position(|(t, s, _)| *s == d.seq && *t == d.topic)
+            {
+                received[row][col] = true;
+            }
+        }
+        DeliveryMatrix { producer, consumers: consumers.to_vec(), messages, received }
+    }
+
+    /// Messages not received by a given consumer row.
+    pub fn losses_for_row(&self, row: usize) -> Vec<&(String, u64, SimTime)> {
+        self.messages
+            .iter()
+            .enumerate()
+            .filter(|(col, _)| !self.received[row][*col])
+            .map(|(_, m)| m)
+            .collect()
+    }
+
+    /// Messages missed by every consumer.
+    pub fn total_losses(&self) -> Vec<&(String, u64, SimTime)> {
+        self.messages
+            .iter()
+            .enumerate()
+            .filter(|(col, _)| self.received.iter().all(|row| !row[*col]))
+            .map(|(_, m)| m)
+            .collect()
+    }
+
+    /// The fraction of (message, consumer) cells delivered.
+    pub fn delivery_rate(&self) -> f64 {
+        let total = self.messages.len() * self.consumers.len();
+        if total == 0 {
+            return 1.0;
+        }
+        let hit: usize =
+            self.received.iter().map(|row| row.iter().filter(|b| **b).count()).sum();
+        hit as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2g_broker::CollectingSink;
+
+    fn record(producer: u32, seq: u64, ts_ms: u64) -> Record {
+        use s2g_proto::Record as R;
+        R::keyless(vec![1, 2, 3], SimTime::from_millis(ts_ms))
+            .from_producer(ProducerId(producer), seq)
+    }
+
+    #[test]
+    fn monitored_sink_records_and_forwards() {
+        let handle = MonitorCore::new_handle();
+        let mut sink = MonitoredSink::new(handle.clone(), 3, Box::new(CollectingSink::default()));
+        let tp = TopicPartition::new("t", 0);
+        sink.on_records(SimTime::from_millis(500), &tp, &[record(1, 0, 100), record(1, 1, 200)]);
+        let core = handle.borrow();
+        assert_eq!(core.deliveries.len(), 2);
+        assert_eq!(core.deliveries[0].consumer, 3);
+        assert_eq!(core.deliveries[0].latency(), SimDuration::from_millis(400));
+        assert!(core.was_delivered(3, "t", ProducerId(1), 1));
+        assert!(!core.was_delivered(3, "t", ProducerId(1), 2));
+        // Forwarded to the inner CollectingSink too.
+        let inner: &dyn DataSink = sink.inner();
+        let inner = (inner as &dyn std::any::Any).downcast_ref::<CollectingSink>().unwrap();
+        assert_eq!(inner.deliveries.len(), 2);
+    }
+
+    #[test]
+    fn mean_latency_and_series() {
+        let handle = MonitorCore::new_handle();
+        let mut sink = MonitoredSink::new(handle.clone(), 0, Box::new(CollectingSink::default()));
+        let tp = TopicPartition::new("t", 0);
+        sink.on_records(SimTime::from_millis(300), &tp, &[record(1, 0, 100)]);
+        sink.on_records(SimTime::from_millis(600), &tp, &[record(1, 1, 200)]);
+        let core = handle.borrow();
+        assert_eq!(core.mean_latency("t"), Some(SimDuration::from_millis(300)));
+        assert_eq!(core.mean_latency("zz"), None);
+        let series = core.latency_series(0, "t");
+        assert_eq!(series.len(), 2);
+        assert!(series[0].0 < series[1].0);
+    }
+
+    #[test]
+    fn spe_events_use_origin_for_latency() {
+        let handle = MonitorCore::new_handle();
+        let mut sink = MonitoredSink::new(handle.clone(), 0, Box::new(CollectingSink::default()));
+        let ev = Event::new(s2g_spe::Value::Int(1), SimTime::from_millis(900))
+            .with_origin(SimTime::from_millis(100));
+        let rec = Record::keyless(ev.to_bytes(), SimTime::from_millis(900))
+            .from_producer(ProducerId(5), 0);
+        sink.on_records(SimTime::from_millis(1_000), &TopicPartition::new("out", 0), &[rec]);
+        let core = handle.borrow();
+        assert_eq!(core.deliveries[0].produced, SimTime::from_millis(100));
+        assert_eq!(core.deliveries[0].latency(), SimDuration::from_millis(900));
+    }
+
+    #[test]
+    fn delivery_matrix_marks_losses() {
+        let handle = MonitorCore::new_handle();
+        let tp = TopicPartition::new("ta", 0);
+        let mut sink0 = MonitoredSink::new(handle.clone(), 0, Box::new(CollectingSink::default()));
+        let mut sink1 = MonitoredSink::new(handle.clone(), 1, Box::new(CollectingSink::default()));
+        // Consumer 0 gets messages 0 and 1; consumer 1 only message 0.
+        sink0.on_records(SimTime::from_millis(10), &tp, &[record(7, 0, 1), record(7, 1, 2)]);
+        sink1.on_records(SimTime::from_millis(10), &tp, &[record(7, 0, 1)]);
+        let messages = vec![
+            ("ta".to_string(), 0, SimTime::from_millis(1)),
+            ("ta".to_string(), 1, SimTime::from_millis(2)),
+            ("ta".to_string(), 2, SimTime::from_millis(3)), // never delivered
+        ];
+        let core = handle.borrow();
+        let m = DeliveryMatrix::build(&core, ProducerId(7), messages, &[0, 1]);
+        assert_eq!(m.received[0], vec![true, true, false]);
+        assert_eq!(m.received[1], vec![true, false, false]);
+        assert_eq!(m.losses_for_row(1).len(), 2);
+        assert_eq!(m.total_losses().len(), 1);
+        assert!((m.delivery_rate() - 0.5).abs() < 1e-9);
+    }
+}

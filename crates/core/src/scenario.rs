@@ -1,0 +1,1018 @@
+//! The orchestrator: from a scenario description to a finished run.
+//!
+//! [`Scenario`] is stream2gym's core workflow (§III-B): describe the
+//! pipeline (components per host), the platform configuration (topics,
+//! coordination mode), and the network (topology, link attributes, faults);
+//! then [`Scenario::run`] instantiates the emulated network, starts the
+//! event streaming platform, wires every component, injects the fault plan,
+//! attaches the monitors, executes, and returns a [`RunResult`] with all
+//! the measurements the paper's figures are built from.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+use s2g_broker::{
+    Broker, BrokerConfig, BrokerStats, CollectingSink, ConsumerClient, ConsumerConfig,
+    ConsumerProcess, ConsumerStats, ControllerConfig, CoordinationMode, DataSink, DataSource,
+    FileLinesSource, KraftController, PoissonSource, ProduceOutcome, ProducerClient,
+    ProducerConfig, ProducerProcess, ProducerStats, RandomTopicSource, RateSource, TopicSpec,
+    ZkController,
+};
+use s2g_net::{
+    FaultInjector, FaultPlan, LinkSpec, NetHandle, NetTransport, Network, NetworkConfig, Topology,
+    TxSampler, TxSeries,
+};
+use s2g_proto::{BrokerId, ProducerId, TopicPartition};
+use s2g_sim::{
+    CpuHandle, HostCpu, LedgerHandle, MemLedger, ProcessId, Sim, SimDuration, SimStats, SimTime,
+};
+use s2g_spe::{BatchMetric, Event, Plan, SpeConfig, SpeSink, SpeWorker};
+use s2g_store::{StoreConfig, StoreServer};
+
+use crate::monitor::{DeliveryMatrix, MonitorCore, MonitorHandle, MonitoredSink};
+use crate::resources::{cpu_utilization_series, MemModel, MemSampler, ServerSpec};
+
+/// A data-source description for a producer stub (`prodType`).
+pub enum SourceSpec {
+    /// Fixed-rate fixed-size records to one topic.
+    Rate {
+        /// Topic.
+        topic: String,
+        /// Total records.
+        count: u64,
+        /// Inter-record interval.
+        interval: SimDuration,
+        /// Payload bytes.
+        payload: usize,
+    },
+    /// Random topic choice at a target bitrate (the Fig. 6 workload).
+    RandomTopics {
+        /// Candidate topics.
+        topics: Vec<String>,
+        /// Kilobits per second.
+        kbps: u64,
+        /// Payload bytes.
+        payload: usize,
+        /// Stop time.
+        until: SimTime,
+    },
+    /// Poisson arrivals (the Fig. 7b user traffic).
+    Poisson {
+        /// Topic.
+        topic: String,
+        /// Mean arrivals per second.
+        rate_per_sec: f64,
+        /// Payload bytes.
+        payload: usize,
+        /// Stop time.
+        until: SimTime,
+    },
+    /// One record per prepared item (the `SFST` stub).
+    Items {
+        /// Topic.
+        topic: String,
+        /// The corpus.
+        items: Vec<String>,
+        /// Inter-record interval.
+        interval: SimDuration,
+    },
+    /// Any custom source.
+    Custom {
+        /// Topics this source emits to (for validation).
+        topics: Vec<String>,
+        /// Factory producing the source at build time.
+        make: Box<dyn FnOnce() -> Box<dyn DataSource>>,
+    },
+}
+
+impl SourceSpec {
+    fn topics(&self) -> Vec<String> {
+        match self {
+            SourceSpec::Rate { topic, .. }
+            | SourceSpec::Poisson { topic, .. }
+            | SourceSpec::Items { topic, .. } => vec![topic.clone()],
+            SourceSpec::RandomTopics { topics, .. } => topics.clone(),
+            SourceSpec::Custom { topics, .. } => topics.clone(),
+        }
+    }
+
+    fn build(self) -> Box<dyn DataSource> {
+        match self {
+            SourceSpec::Rate { topic, count, interval, payload } => {
+                Box::new(RateSource::new(topic, count, interval).payload_bytes(payload))
+            }
+            SourceSpec::RandomTopics { topics, kbps, payload, until } => {
+                Box::new(RandomTopicSource::new(topics, kbps, payload, until))
+            }
+            SourceSpec::Poisson { topic, rate_per_sec, payload, until } => {
+                Box::new(PoissonSource::new(topic, rate_per_sec, payload, until))
+            }
+            SourceSpec::Items { topic, items, interval } => {
+                Box::new(FileLinesSource::new(topic, items, interval))
+            }
+            SourceSpec::Custom { make, .. } => make(),
+        }
+    }
+}
+
+impl fmt::Debug for SourceSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SourceSpec({:?})", self.topics())
+    }
+}
+
+/// Where a consumer stub's records go (`consType`).
+pub enum ConsumerSinkSpec {
+    /// Collect in memory (the `STANDARD` stub); always monitored.
+    Collect,
+    /// A custom sink (still wrapped by the monitor).
+    Custom(Box<dyn FnOnce() -> Box<dyn DataSink>>),
+}
+
+impl fmt::Debug for ConsumerSinkSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConsumerSinkSpec::Collect => write!(f, "Collect"),
+            ConsumerSinkSpec::Custom(_) => write!(f, "Custom"),
+        }
+    }
+}
+
+/// Sink half of a stream job (`streamProcCfg`).
+pub enum SpeSinkSpec {
+    /// Emit encoded events to a topic.
+    Topic(String),
+    /// Keep results in the worker.
+    Collect,
+    /// Insert rows into the store hosted on the named host.
+    StoreOn {
+        /// Host carrying the store server.
+        host: String,
+        /// Target table.
+        table: String,
+    },
+}
+
+impl fmt::Debug for SpeSinkSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpeSinkSpec::Topic(t) => write!(f, "Topic({t})"),
+            SpeSinkSpec::Collect => write!(f, "Collect"),
+            SpeSinkSpec::StoreOn { host, table } => write!(f, "StoreOn({host}.{table})"),
+        }
+    }
+}
+
+/// One stream-processing job (`streamProcType`/`streamProcCfg`).
+pub struct SpeJobSpec {
+    /// Job name (unique).
+    pub name: String,
+    /// Source topics, in source-index order (for joins).
+    pub sources: Vec<String>,
+    /// Factory producing the job's plan at build time.
+    pub plan: Box<dyn FnOnce() -> Plan>,
+    /// Result sink.
+    pub sink: SpeSinkSpec,
+    /// Engine configuration.
+    pub cfg: SpeConfig,
+}
+
+impl fmt::Debug for SpeJobSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SpeJobSpec")
+            .field("name", &self.name)
+            .field("sources", &self.sources)
+            .field("sink", &self.sink)
+            .finish()
+    }
+}
+
+/// A scenario validation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScenarioError {
+    /// Producers/consumers/jobs exist but no broker does.
+    NoBrokers,
+    /// A component references an undeclared topic.
+    UnknownTopic {
+        /// The component kind.
+        component: &'static str,
+        /// The topic.
+        topic: String,
+    },
+    /// An SPE store sink references a host without a store.
+    NoStoreOnHost(String),
+    /// Two SPE jobs share a name.
+    DuplicateJobName(String),
+    /// The explicit topology is missing a host a component was placed on.
+    UnknownHost(String),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::NoBrokers => write!(f, "scenario has clients but no brokers"),
+            ScenarioError::UnknownTopic { component, topic } => {
+                write!(f, "{component} references undeclared topic `{topic}`")
+            }
+            ScenarioError::NoStoreOnHost(h) => write!(f, "no store server on host `{h}`"),
+            ScenarioError::DuplicateJobName(n) => write!(f, "duplicate SPE job name `{n}`"),
+            ScenarioError::UnknownHost(h) => write!(f, "topology has no host `{h}`"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// The scenario under construction — stream2gym's task description.
+pub struct Scenario {
+    name: String,
+    seed: u64,
+    duration: SimTime,
+    mode: CoordinationMode,
+    server: ServerSpec,
+    mem_model: MemModel,
+    net_cfg: NetworkConfig,
+    default_link: LinkSpec,
+    host_links: BTreeMap<String, LinkSpec>,
+    host_cpu_pct: BTreeMap<String, f64>,
+    explicit_topology: Option<Topology>,
+    controller_cfg: ControllerConfig,
+    topics: Vec<TopicSpec>,
+    brokers: Vec<(String, BrokerConfig)>,
+    stores: Vec<(String, StoreConfig)>,
+    spe_jobs: Vec<(String, SpeJobSpec)>,
+    producers: Vec<(String, SourceSpec, ProducerConfig)>,
+    consumers: Vec<(String, ConsumerConfig, Vec<String>, ConsumerSinkSpec)>,
+    faults: FaultPlan,
+    watch_tx: Vec<String>,
+    tracing: bool,
+    event_limit: u64,
+}
+
+impl Scenario {
+    /// Starts an empty scenario.
+    pub fn new(name: impl Into<String>) -> Self {
+        Scenario {
+            name: name.into(),
+            seed: 1,
+            duration: SimTime::from_secs(60),
+            mode: CoordinationMode::Zk,
+            server: ServerSpec::default(),
+            mem_model: MemModel::default(),
+            net_cfg: NetworkConfig::default(),
+            default_link: LinkSpec::new(),
+            host_links: BTreeMap::new(),
+            host_cpu_pct: BTreeMap::new(),
+            explicit_topology: None,
+            controller_cfg: ControllerConfig::default(),
+            topics: Vec::new(),
+            brokers: Vec::new(),
+            stores: Vec::new(),
+            spe_jobs: Vec::new(),
+            producers: Vec::new(),
+            consumers: Vec::new(),
+            faults: FaultPlan::new(),
+            watch_tx: Vec::new(),
+            tracing: false,
+            event_limit: u64::MAX,
+        }
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(&mut self, seed: u64) -> &mut Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the experiment duration.
+    pub fn duration(&mut self, d: SimTime) -> &mut Self {
+        self.duration = d;
+        self
+    }
+
+    /// Selects the coordination mode (ZooKeeper vs KRaft).
+    pub fn coordination(&mut self, mode: CoordinationMode) -> &mut Self {
+        self.mode = mode;
+        self.controller_cfg.mode = mode;
+        self
+    }
+
+    /// Overrides controller tunables.
+    pub fn controller_config(&mut self, cfg: ControllerConfig) -> &mut Self {
+        self.controller_cfg = cfg;
+        self.controller_cfg.mode = self.mode;
+        self
+    }
+
+    /// Models the underlying server (cores, memory, sampling).
+    pub fn server(&mut self, spec: ServerSpec) -> &mut Self {
+        self.server = spec;
+        self
+    }
+
+    /// Overrides the memory model constants.
+    pub fn mem_model(&mut self, model: MemModel) -> &mut Self {
+        self.mem_model = model;
+        self
+    }
+
+    /// Selects the network backend (emulation vs "hardware" — Fig. 8).
+    pub fn network_profile(&mut self, cfg: NetworkConfig) -> &mut Self {
+        self.net_cfg = cfg;
+        self
+    }
+
+    /// Sets the default link attributes for the auto-built one-big-switch
+    /// topology.
+    pub fn default_link(&mut self, spec: LinkSpec) -> &mut Self {
+        self.default_link = spec;
+        self
+    }
+
+    /// Overrides the link attributes of one host's access link.
+    pub fn host_link(&mut self, host: &str, spec: LinkSpec) -> &mut Self {
+        self.host_links.insert(host.to_string(), spec);
+        self
+    }
+
+    /// Caps a host's CPU share (the `cpuPercentage` attribute).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pct` is not in `(0, 100]`.
+    pub fn host_cpu_percentage(&mut self, host: &str, pct: f64) -> &mut Self {
+        assert!(pct > 0.0 && pct <= 100.0, "cpuPercentage must be in (0, 100], got {pct}");
+        self.host_cpu_pct.insert(host.to_string(), pct);
+        self
+    }
+
+    /// Supplies an explicit topology instead of the auto one-big-switch.
+    /// Controller hosts `ctl1[,ctl2,ctl3]` must exist in it.
+    pub fn topology(&mut self, topo: Topology) -> &mut Self {
+        self.explicit_topology = Some(topo);
+        self
+    }
+
+    /// Declares a topic.
+    pub fn topic(&mut self, spec: TopicSpec) -> &mut Self {
+        self.topics.push(spec);
+        self
+    }
+
+    /// Places a broker (id = declaration order) on a host.
+    pub fn broker(&mut self, host: &str) -> &mut Self {
+        self.broker_with(host, BrokerConfig::default())
+    }
+
+    /// Places a broker with an explicit configuration.
+    pub fn broker_with(&mut self, host: &str, cfg: BrokerConfig) -> &mut Self {
+        self.brokers.push((host.to_string(), cfg));
+        self
+    }
+
+    /// Places a data-store server on a host.
+    pub fn store(&mut self, host: &str, cfg: StoreConfig) -> &mut Self {
+        self.stores.push((host.to_string(), cfg));
+        self
+    }
+
+    /// Places a stream-processing job on a host.
+    pub fn spe_job(&mut self, host: &str, job: SpeJobSpec) -> &mut Self {
+        self.spe_jobs.push((host.to_string(), job));
+        self
+    }
+
+    /// Places a producer stub (id = declaration order) on a host.
+    pub fn producer(&mut self, host: &str, source: SourceSpec, cfg: ProducerConfig) -> &mut Self {
+        self.producers.push((host.to_string(), source, cfg));
+        self
+    }
+
+    /// Places a consumer stub (id = declaration order) subscribed to
+    /// `topics` on a host.
+    pub fn consumer(&mut self, host: &str, cfg: ConsumerConfig, topics: &[&str]) -> &mut Self {
+        self.consumer_with_sink(host, cfg, topics, ConsumerSinkSpec::Collect)
+    }
+
+    /// Places a consumer with a custom sink.
+    pub fn consumer_with_sink(
+        &mut self,
+        host: &str,
+        cfg: ConsumerConfig,
+        topics: &[&str],
+        sink: ConsumerSinkSpec,
+    ) -> &mut Self {
+        self.consumers.push((
+            host.to_string(),
+            cfg,
+            topics.iter().map(|t| t.to_string()).collect(),
+            sink,
+        ));
+        self
+    }
+
+    /// Installs the fault plan (`faultCfg`).
+    pub fn faults(&mut self, plan: FaultPlan) -> &mut Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Samples per-second transmit throughput of the named nodes (Fig. 6d).
+    pub fn watch_throughput(&mut self, nodes: &[&str]) -> &mut Self {
+        self.watch_tx = nodes.iter().map(|n| n.to_string()).collect();
+        self
+    }
+
+    /// Enables trace collection.
+    pub fn tracing(&mut self, on: bool) -> &mut Self {
+        self.tracing = on;
+        self
+    }
+
+    /// Caps the total number of simulation events (livelock guard).
+    pub fn event_limit(&mut self, limit: u64) -> &mut Self {
+        self.event_limit = limit;
+        self
+    }
+
+    fn controller_hosts(&self) -> Vec<String> {
+        let n = match self.mode {
+            CoordinationMode::Zk => 1,
+            CoordinationMode::Kraft => 3,
+        };
+        (1..=n).map(|i| format!("ctl{i}")).collect()
+    }
+
+    fn component_hosts(&self) -> Vec<String> {
+        let mut seen = Vec::new();
+        let mut push = |h: &String| {
+            if !seen.contains(h) {
+                seen.push(h.clone());
+            }
+        };
+        for (h, _) in &self.brokers {
+            push(h);
+        }
+        for (h, _) in &self.stores {
+            push(h);
+        }
+        for (h, _) in &self.spe_jobs {
+            push(h);
+        }
+        for (h, _, _) in &self.producers {
+            push(h);
+        }
+        for (h, _, _, _) in &self.consumers {
+            push(h);
+        }
+        seen
+    }
+
+    fn validate(&self) -> Result<(), ScenarioError> {
+        let has_clients =
+            !self.producers.is_empty() || !self.consumers.is_empty() || !self.spe_jobs.is_empty();
+        if has_clients && self.brokers.is_empty() {
+            return Err(ScenarioError::NoBrokers);
+        }
+        let declared: Vec<&str> = self.topics.iter().map(|t| t.name.as_str()).collect();
+        let check = |component: &'static str, topic: &str| -> Result<(), ScenarioError> {
+            if declared.contains(&topic) {
+                Ok(())
+            } else {
+                Err(ScenarioError::UnknownTopic { component, topic: topic.to_string() })
+            }
+        };
+        for (_, src, _) in &self.producers {
+            for t in src.topics() {
+                check("producer", &t)?;
+            }
+        }
+        for (_, _, topics, _) in &self.consumers {
+            for t in topics {
+                check("consumer", t)?;
+            }
+        }
+        let mut job_names: Vec<&str> = Vec::new();
+        for (_, job) in &self.spe_jobs {
+            if job_names.contains(&job.name.as_str()) {
+                return Err(ScenarioError::DuplicateJobName(job.name.clone()));
+            }
+            job_names.push(&job.name);
+            for t in &job.sources {
+                check("SPE job source", t)?;
+            }
+            match &job.sink {
+                SpeSinkSpec::Topic(t) => check("SPE job sink", t)?,
+                SpeSinkSpec::StoreOn { host, .. } => {
+                    if !self.stores.iter().any(|(h, _)| h == host) {
+                        return Err(ScenarioError::NoStoreOnHost(host.clone()));
+                    }
+                }
+                SpeSinkSpec::Collect => {}
+            }
+        }
+        if let Some(topo) = &self.explicit_topology {
+            for h in self.component_hosts().iter().chain(&self.controller_hosts()) {
+                if topo.lookup(h).is_none() {
+                    return Err(ScenarioError::UnknownHost(h.clone()));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn build_topology(&self) -> Topology {
+        if let Some(t) = &self.explicit_topology {
+            return t.clone();
+        }
+        let mut topo = Topology::new();
+        topo.add_switch("s1").expect("fresh topology");
+        for host in self.component_hosts().iter().chain(&self.controller_hosts()) {
+            if topo.lookup(host).is_some() {
+                continue;
+            }
+            topo.add_host(host.as_str()).expect("unique hosts");
+            let spec = self.host_links.get(host).copied().unwrap_or(self.default_link);
+            topo.add_link(host, "s1", spec).expect("valid link");
+        }
+        topo
+    }
+
+    /// Validates, builds, runs, and reports.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ScenarioError`] when the description is inconsistent.
+    pub fn run(self) -> Result<RunResult, ScenarioError> {
+        self.validate()?;
+        let duration = self.duration;
+        let topo = self.build_topology();
+        let n_switches =
+            topo.nodes().filter(|(_, n)| n.kind == s2g_net::NodeKind::Switch).count();
+        let net = Network::with_config(topo, self.net_cfg).into_handle();
+        let mut sim = Sim::new(self.seed);
+        sim.set_transport(Box::new(NetTransport(net.clone())));
+        sim.set_tracing(self.tracing);
+        sim.set_event_limit(self.event_limit);
+
+        // CPU per host; ledger for memory.
+        let mut cpus: BTreeMap<String, CpuHandle> = BTreeMap::new();
+        {
+            let n = net.borrow();
+            for (_, node) in n.topology().nodes() {
+                if node.kind == s2g_net::NodeKind::Host {
+                    let speed =
+                        self.host_cpu_pct.get(&node.name).copied().unwrap_or(100.0) / 100.0;
+                    cpus.insert(
+                        node.name.clone(),
+                        HostCpu::shared(node.name.clone(), self.server.cores, speed),
+                    );
+                }
+            }
+        }
+        let baseline = self.mem_model.os_base + self.mem_model.per_switch * n_switches as u64;
+        let ledger: LedgerHandle = MemLedger::new(baseline).into_handle();
+
+        // Deterministic pid layout.
+        let ctrl_hosts = self.controller_hosts();
+        let n_ctrl = ctrl_hosts.len() as u32;
+        let nb = self.brokers.len() as u32;
+        let controller_pids: Vec<ProcessId> = (0..n_ctrl).map(ProcessId).collect();
+        let broker_pids: Vec<ProcessId> = (n_ctrl..n_ctrl + nb).map(ProcessId).collect();
+        let brokers_btree: BTreeMap<BrokerId, ProcessId> =
+            (0..nb).map(|i| (BrokerId(i), broker_pids[i as usize])).collect();
+        let brokers_hash: HashMap<BrokerId, ProcessId> =
+            brokers_btree.iter().map(|(k, v)| (*k, *v)).collect();
+        let mut placements: Vec<(ProcessId, String)> = Vec::new();
+
+        // Controllers.
+        match self.mode {
+            CoordinationMode::Zk => {
+                let mut c = self.controller_cfg.clone();
+                c.mode = CoordinationMode::Zk;
+                let pid = sim.spawn(Box::new(ZkController::new(
+                    c,
+                    brokers_btree.clone(),
+                    &self.topics,
+                )));
+                debug_assert_eq!(pid, controller_pids[0]);
+                placements.push((pid, ctrl_hosts[0].clone()));
+                let slot = ledger.borrow_mut().register("zk-controller", self.mem_model.controller);
+                let _ = slot;
+            }
+            CoordinationMode::Kraft => {
+                let quorum: BTreeMap<BrokerId, ProcessId> = (0..n_ctrl)
+                    .map(|i| (BrokerId(100_000 + i), controller_pids[i as usize]))
+                    .collect();
+                for i in 0..n_ctrl {
+                    let mut c = self.controller_cfg.clone();
+                    c.mode = CoordinationMode::Kraft;
+                    let pid = sim.spawn(Box::new(KraftController::new(
+                        BrokerId(100_000 + i),
+                        quorum.clone(),
+                        brokers_btree.clone(),
+                        c,
+                        self.topics.clone(),
+                    )));
+                    debug_assert_eq!(pid, controller_pids[i as usize]);
+                    placements.push((pid, ctrl_hosts[i as usize].clone()));
+                    ledger
+                        .borrow_mut()
+                        .register(format!("kraft-{i}"), self.mem_model.controller);
+                }
+            }
+        }
+
+        // Brokers.
+        for (i, (host, cfg)) in self.brokers.iter().enumerate() {
+            let mut b = Broker::new(
+                BrokerId(i as u32),
+                cfg.clone(),
+                self.mode,
+                controller_pids.clone(),
+                brokers_hash.clone(),
+            );
+            let slot = ledger.borrow_mut().register(format!("broker-{i}"), self.mem_model.broker);
+            b.set_mem_slot(ledger.clone(), slot);
+            let pid = sim.spawn(Box::new(b));
+            debug_assert_eq!(pid, broker_pids[i]);
+            if let Some(cpu) = cpus.get(host) {
+                sim.attach_cpu(pid, cpu.clone());
+            }
+            placements.push((pid, host.clone()));
+        }
+
+        let bootstrap_for = |host: &str| -> ProcessId {
+            self.brokers
+                .iter()
+                .position(|(h, _)| h == host)
+                .map(|i| broker_pids[i])
+                .unwrap_or(broker_pids[0])
+        };
+
+        // Stores.
+        let mut store_pids: BTreeMap<String, ProcessId> = BTreeMap::new();
+        for (host, cfg) in &self.stores {
+            let mut s = StoreServer::new(cfg.clone());
+            let slot = ledger.borrow_mut().register(format!("store-{host}"), self.mem_model.store);
+            s.set_mem_slot(ledger.clone(), slot);
+            let pid = sim.spawn(Box::new(s));
+            if let Some(cpu) = cpus.get(host) {
+                sim.attach_cpu(pid, cpu.clone());
+            }
+            placements.push((pid, host.clone()));
+            store_pids.insert(host.clone(), pid);
+        }
+
+        // SPE jobs. Producer ids: jobs first, then producer stubs.
+        let mut spe_pids: BTreeMap<String, ProcessId> = BTreeMap::new();
+        let n_jobs = self.spe_jobs.len() as u32;
+        for (i, (host, job)) in self.spe_jobs.into_iter().enumerate() {
+            let sink = match job.sink {
+                SpeSinkSpec::Topic(t) => SpeSink::Topic(t),
+                SpeSinkSpec::Collect => SpeSink::Collect,
+                SpeSinkSpec::StoreOn { host: sh, table } => SpeSink::Store {
+                    store: *store_pids.get(&sh).expect("validated store host"),
+                    table,
+                },
+            };
+            let plan = (job.plan)();
+            let mut w = SpeWorker::new(
+                job.name.clone(),
+                job.cfg,
+                job.sources,
+                plan,
+                sink,
+                bootstrap_for(&host),
+                brokers_hash.clone(),
+                ProducerId(1_000 + i as u32),
+            );
+            let slot =
+                ledger.borrow_mut().register(format!("spe-{}", job.name), self.mem_model.spe);
+            w.set_mem_slot(ledger.clone(), slot);
+            let pid = sim.spawn(Box::new(w));
+            if let Some(cpu) = cpus.get(&host) {
+                sim.attach_cpu(pid, cpu.clone());
+            }
+            placements.push((pid, host.clone()));
+            spe_pids.insert(job.name, pid);
+        }
+        let _ = n_jobs;
+
+        // Producers.
+        let mut producer_pids: Vec<ProcessId> = Vec::new();
+        for (i, (host, source, cfg)) in self.producers.into_iter().enumerate() {
+            let mut client = ProducerClient::new(
+                ProducerId(i as u32),
+                cfg.clone(),
+                bootstrap_for(&host),
+                brokers_hash.clone(),
+                0,
+            );
+            let base = self.mem_model.producer_base
+                + (cfg.buffer_memory as f64 * self.mem_model.producer_heap_factor) as u64;
+            let slot = ledger.borrow_mut().register(format!("producer-{i}"), base);
+            client.set_mem_slot(ledger.clone(), slot);
+            let p = ProducerProcess::new(client, source.build());
+            let pid = sim.spawn(Box::new(p));
+            if let Some(cpu) = cpus.get(&host) {
+                sim.attach_cpu(pid, cpu.clone());
+            }
+            placements.push((pid, host));
+            producer_pids.push(pid);
+        }
+
+        // Consumers, each wrapped by the monitor.
+        let monitor: MonitorHandle = MonitorCore::new_handle();
+        let mut consumer_pids: Vec<ProcessId> = Vec::new();
+        for (i, (host, cfg, topics, sink)) in self.consumers.into_iter().enumerate() {
+            let inner: Box<dyn DataSink> = match sink {
+                ConsumerSinkSpec::Collect => Box::new(CollectingSink::default()),
+                ConsumerSinkSpec::Custom(make) => make(),
+            };
+            let wrapped = MonitoredSink::new(monitor.clone(), i as u32, inner);
+            let client =
+                ConsumerClient::new(cfg, bootstrap_for(&host), brokers_hash.clone(), topics);
+            ledger.borrow_mut().register(format!("consumer-{i}"), self.mem_model.consumer);
+            let pid = sim.spawn(Box::new(ConsumerProcess::new(i as u32, client, Box::new(wrapped))));
+            if let Some(cpu) = cpus.get(&host) {
+                sim.attach_cpu(pid, cpu.clone());
+            }
+            placements.push((pid, host));
+            consumer_pids.push(pid);
+        }
+
+        // Fault injector, memory sampler, throughput sampler.
+        if !self.faults.is_empty() {
+            sim.spawn(Box::new(FaultInjector::new(net.clone(), self.faults)));
+        }
+        let sampler_pid = sim.spawn(Box::new(MemSampler::new(
+            ledger.clone(),
+            self.server.sample_interval,
+            duration,
+        )));
+        let tx_pid = if self.watch_tx.is_empty() {
+            None
+        } else {
+            let names: Vec<&str> = self.watch_tx.iter().map(String::as_str).collect();
+            Some(sim.spawn(Box::new(TxSampler::new(
+                net.clone(),
+                &names,
+                SimDuration::from_secs(1),
+                duration,
+            ))))
+        };
+
+        // Placement.
+        {
+            let mut n = net.borrow_mut();
+            for (pid, host) in &placements {
+                let node = n
+                    .topology()
+                    .lookup(host)
+                    .unwrap_or_else(|| panic!("host `{host}` missing from topology"));
+                n.place(*pid, node);
+            }
+        }
+
+        // Execute.
+        sim.run_until(duration);
+
+        // Harvest the report.
+        let mut producers_report = Vec::new();
+        for (i, pid) in producer_pids.iter().enumerate() {
+            let p = sim.process_ref::<ProducerProcess>(*pid).expect("producer process");
+            producers_report.push(ProducerReport {
+                id: ProducerId(i as u32),
+                stats: p.client().stats(),
+                outcomes: p.client().outcomes().to_vec(),
+                sent_index: p.client().sent_index().to_vec(),
+            });
+        }
+        let mut consumers_report = Vec::new();
+        for (i, pid) in consumer_pids.iter().enumerate() {
+            let c = sim.process_ref::<ConsumerProcess>(*pid).expect("consumer process");
+            consumers_report.push(ConsumerReport { id: i as u32, stats: c.client().stats() });
+        }
+        let mut brokers_report = Vec::new();
+        for (i, pid) in broker_pids.iter().enumerate() {
+            let b = sim.process_ref::<Broker>(*pid).expect("broker process");
+            brokers_report.push(BrokerReport {
+                id: BrokerId(i as u32),
+                stats: b.stats(),
+                leadership_events: b.leadership_events().to_vec(),
+            });
+        }
+        let mut spe_report = BTreeMap::new();
+        for (name, pid) in &spe_pids {
+            let w = sim.process_ref::<SpeWorker>(*pid).expect("spe process");
+            spe_report.insert(
+                name.clone(),
+                SpeReport {
+                    metrics: w.metrics().to_vec(),
+                    record_counts: w.plan().record_counts(),
+                    collected: w.collected().to_vec(),
+                    mean_busy_runtime: w.mean_busy_runtime(),
+                },
+            );
+        }
+        let sampler = sim.process_ref::<MemSampler>(sampler_pid).expect("mem sampler");
+        let mem_samples = sampler.samples().to_vec();
+        let peak_mem_bytes = sampler.peak_bytes();
+        let tx_series = tx_pid
+            .map(|pid| sim.process_ref::<TxSampler>(pid).expect("tx sampler").series().to_vec())
+            .unwrap_or_default();
+        let cpu_handles: Vec<CpuHandle> = cpus.values().cloned().collect();
+        let cpu_series = cpu_utilization_series(
+            &cpu_handles,
+            self.server.sample_interval,
+            duration,
+            self.server.cores,
+        );
+
+        let report = RunReport {
+            name: self.name,
+            duration,
+            server: self.server,
+            sim_stats: sim.stats(),
+            producers: producers_report,
+            consumers: consumers_report,
+            brokers: brokers_report,
+            spe: spe_report,
+            mem_samples,
+            peak_mem_bytes,
+            cpu_series,
+            tx_series,
+        };
+
+        Ok(RunResult {
+            sim,
+            net,
+            monitor,
+            ledger,
+            cpus,
+            broker_pids,
+            producer_pids,
+            consumer_pids,
+            spe_pids,
+            store_pids,
+            report,
+        })
+    }
+}
+
+impl fmt::Debug for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Scenario")
+            .field("name", &self.name)
+            .field("brokers", &self.brokers.len())
+            .field("producers", &self.producers.len())
+            .field("consumers", &self.consumers.len())
+            .field("spe_jobs", &self.spe_jobs.len())
+            .field("topics", &self.topics.len())
+            .finish()
+    }
+}
+
+/// Per-producer results.
+#[derive(Debug, Clone)]
+pub struct ProducerReport {
+    /// Producer id (declaration order).
+    pub id: ProducerId,
+    /// Counters.
+    pub stats: ProducerStats,
+    /// Completed record outcomes.
+    pub outcomes: Vec<ProduceOutcome>,
+    /// All sends as `(topic, seq, created)`.
+    pub sent_index: Vec<(String, u64, SimTime)>,
+}
+
+/// Per-consumer results.
+#[derive(Debug, Clone, Copy)]
+pub struct ConsumerReport {
+    /// Consumer index.
+    pub id: u32,
+    /// Counters.
+    pub stats: ConsumerStats,
+}
+
+/// Per-broker results.
+#[derive(Debug, Clone)]
+pub struct BrokerReport {
+    /// Broker id.
+    pub id: BrokerId,
+    /// Counters.
+    pub stats: BrokerStats,
+    /// Leadership transitions (time, partition, became-leader).
+    pub leadership_events: Vec<(SimTime, TopicPartition, bool)>,
+}
+
+/// Per-SPE-job results.
+#[derive(Debug, Clone)]
+pub struct SpeReport {
+    /// Per-batch metrics.
+    pub metrics: Vec<BatchMetric>,
+    /// `(records_in, records_out)` through the plan.
+    pub record_counts: (u64, u64),
+    /// Locally collected results (Collect sink only).
+    pub collected: Vec<Event>,
+    /// Mean runtime over non-empty batches.
+    pub mean_busy_runtime: SimDuration,
+}
+
+/// Everything measured during a run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Scenario name.
+    pub name: String,
+    /// Configured duration.
+    pub duration: SimTime,
+    /// The modeled server.
+    pub server: ServerSpec,
+    /// Kernel counters.
+    pub sim_stats: SimStats,
+    /// Producer results, by declaration order.
+    pub producers: Vec<ProducerReport>,
+    /// Consumer results, by declaration order.
+    pub consumers: Vec<ConsumerReport>,
+    /// Broker results, by id.
+    pub brokers: Vec<BrokerReport>,
+    /// SPE results, by job name.
+    pub spe: BTreeMap<String, SpeReport>,
+    /// Memory samples (500 ms cadence).
+    pub mem_samples: Vec<(SimTime, u64)>,
+    /// Peak memory observed.
+    pub peak_mem_bytes: u64,
+    /// Server CPU utilization per sampling window.
+    pub cpu_series: Vec<(SimTime, f64)>,
+    /// Per-node transmit throughput series (when watched).
+    pub tx_series: Vec<TxSeries>,
+}
+
+impl RunReport {
+    /// Peak memory as a fraction of the server's memory.
+    pub fn peak_mem_fraction(&self) -> f64 {
+        self.peak_mem_bytes as f64 / self.server.mem_bytes as f64
+    }
+
+    /// CPU utilization samples as plain numbers (for CDFs).
+    pub fn cpu_samples(&self) -> Vec<f64> {
+        self.cpu_series.iter().map(|(_, u)| *u).collect()
+    }
+}
+
+/// A finished run: the report plus live handles for deeper inspection.
+pub struct RunResult {
+    /// The simulator (query processes via `process_ref`).
+    pub sim: Sim,
+    /// The emulated network.
+    pub net: NetHandle,
+    /// The delivery monitor.
+    pub monitor: MonitorHandle,
+    /// The memory ledger.
+    pub ledger: LedgerHandle,
+    /// Per-host CPU models.
+    pub cpus: BTreeMap<String, CpuHandle>,
+    /// Broker process ids, by broker id.
+    pub broker_pids: Vec<ProcessId>,
+    /// Producer process ids, by declaration order.
+    pub producer_pids: Vec<ProcessId>,
+    /// Consumer process ids, by declaration order.
+    pub consumer_pids: Vec<ProcessId>,
+    /// SPE process ids, by job name.
+    pub spe_pids: BTreeMap<String, ProcessId>,
+    /// Store process ids, by host.
+    pub store_pids: BTreeMap<String, ProcessId>,
+    /// The measurements.
+    pub report: RunReport,
+}
+
+impl RunResult {
+    /// Builds the Fig. 6b delivery matrix for one producer across all
+    /// consumers.
+    pub fn delivery_matrix(&self, producer_idx: usize) -> DeliveryMatrix {
+        let p = &self.report.producers[producer_idx];
+        let consumers: Vec<u32> = self.report.consumers.iter().map(|c| c.id).collect();
+        let core = self.monitor.borrow();
+        DeliveryMatrix::build(&core, p.id, p.sent_index.clone(), &consumers)
+    }
+
+    /// Mean end-to-end latency over a topic's deliveries.
+    pub fn mean_latency(&self, topic: &str) -> Option<SimDuration> {
+        self.monitor.borrow().mean_latency(topic)
+    }
+
+    /// Total records delivered across all consumers.
+    pub fn total_deliveries(&self) -> usize {
+        self.monitor.borrow().deliveries.len()
+    }
+}
+
+impl fmt::Debug for RunResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RunResult")
+            .field("report", &self.report.name)
+            .field("deliveries", &self.total_deliveries())
+            .finish()
+    }
+}

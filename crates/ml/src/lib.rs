@@ -1,0 +1,14 @@
+//! # s2g-ml — machine learning kit for the example applications
+//!
+//! * [`LinearSvm`] — Pegasos-trained linear SVM for the fraud-detection
+//!   pipeline's anomaly prediction,
+//! * [`SentimentLexicon`] — polarity/subjectivity scoring for the
+//!   sentiment-analysis pipeline's tweet stream.
+
+#![warn(missing_docs)]
+
+mod sentiment;
+mod svm;
+
+pub use sentiment::{Sentiment, SentimentLexicon};
+pub use svm::{Label, LinearSvm, SvmParams};

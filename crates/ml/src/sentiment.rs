@@ -1,0 +1,237 @@
+//! Lexicon-based sentiment analysis: polarity and subjectivity.
+//!
+//! The sentiment-analysis application "computes the subjectivity and
+//! polarity, two common natural language processing tasks, of each message
+//! in a Tweet stream". This module provides a TextBlob-style lexicon scorer:
+//! polarity in `[-1, 1]`, subjectivity in `[0, 1]`, with negation flipping
+//! and intensifier scaling.
+
+use std::collections::HashMap;
+
+/// A sentiment score for one text.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sentiment {
+    /// Polarity in `[-1, 1]`: negative ↔ positive.
+    pub polarity: f64,
+    /// Subjectivity in `[0, 1]`: objective ↔ subjective.
+    pub subjectivity: f64,
+}
+
+const POSITIVE: &[(&str, f64, f64)] = &[
+    // (word, polarity, subjectivity)
+    ("good", 0.7, 0.6),
+    ("great", 0.8, 0.75),
+    ("excellent", 1.0, 1.0),
+    ("amazing", 0.9, 0.9),
+    ("awesome", 0.9, 0.9),
+    ("love", 0.8, 0.8),
+    ("like", 0.4, 0.5),
+    ("happy", 0.8, 0.9),
+    ("best", 1.0, 0.3),
+    ("wonderful", 0.9, 0.9),
+    ("fantastic", 0.9, 0.9),
+    ("nice", 0.6, 0.8),
+    ("enjoy", 0.6, 0.7),
+    ("fast", 0.3, 0.4),
+    ("reliable", 0.6, 0.5),
+    ("beautiful", 0.85, 0.9),
+    ("win", 0.6, 0.5),
+    ("success", 0.7, 0.5),
+    ("perfect", 1.0, 0.9),
+    ("smooth", 0.5, 0.6),
+];
+
+const NEGATIVE: &[(&str, f64, f64)] = &[
+    ("bad", -0.7, 0.65),
+    ("terrible", -1.0, 1.0),
+    ("awful", -1.0, 1.0),
+    ("hate", -0.8, 0.9),
+    ("sad", -0.7, 0.85),
+    ("worst", -1.0, 0.3),
+    ("horrible", -0.9, 0.9),
+    ("slow", -0.3, 0.4),
+    ("broken", -0.6, 0.4),
+    ("fail", -0.7, 0.5),
+    ("failure", -0.7, 0.5),
+    ("bug", -0.4, 0.3),
+    ("crash", -0.6, 0.4),
+    ("angry", -0.8, 0.9),
+    ("annoying", -0.7, 0.9),
+    ("poor", -0.6, 0.6),
+    ("disappointing", -0.75, 0.8),
+    ("ugly", -0.7, 0.9),
+    ("lose", -0.5, 0.5),
+    ("problem", -0.4, 0.3),
+];
+
+const NEGATIONS: &[&str] = &["not", "no", "never", "neither", "nor", "cannot", "dont", "doesnt", "isnt", "wasnt"];
+
+const INTENSIFIERS: &[(&str, f64)] = &[
+    ("very", 1.3),
+    ("extremely", 1.5),
+    ("really", 1.25),
+    ("so", 1.2),
+    ("absolutely", 1.4),
+    ("slightly", 0.6),
+    ("somewhat", 0.7),
+    ("barely", 0.5),
+];
+
+/// A sentiment lexicon scorer.
+///
+/// # Examples
+///
+/// ```
+/// use s2g_ml::SentimentLexicon;
+///
+/// let lex = SentimentLexicon::new();
+/// let s = lex.score("this release is really great");
+/// assert!(s.polarity > 0.5);
+/// let s = lex.score("the deploy was not good");
+/// assert!(s.polarity < 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SentimentLexicon {
+    entries: HashMap<&'static str, (f64, f64)>,
+    intensifiers: HashMap<&'static str, f64>,
+}
+
+impl Default for SentimentLexicon {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SentimentLexicon {
+    /// Builds the embedded lexicon.
+    pub fn new() -> Self {
+        let mut entries = HashMap::new();
+        for (w, p, s) in POSITIVE.iter().chain(NEGATIVE) {
+            entries.insert(*w, (*p, *s));
+        }
+        let intensifiers = INTENSIFIERS.iter().copied().collect();
+        SentimentLexicon { entries, intensifiers }
+    }
+
+    /// Lowercase alphanumeric tokenization.
+    pub fn tokenize(text: &str) -> Vec<String> {
+        text.to_lowercase()
+            .split(|c: char| !c.is_alphanumeric() && c != '\'')
+            .map(|t| t.replace('\'', ""))
+            .filter(|t| !t.is_empty())
+            .collect()
+    }
+
+    /// Scores a text: mean signed polarity and mean subjectivity over the
+    /// sentiment-bearing words, with negation flipping (a negation within
+    /// the two preceding tokens inverts polarity at 0.5 strength) and
+    /// intensifier scaling from the immediately preceding token.
+    pub fn score(&self, text: &str) -> Sentiment {
+        let tokens = Self::tokenize(text);
+        let mut polarity_sum = 0.0;
+        let mut subjectivity_sum = 0.0;
+        let mut hits = 0usize;
+        for (i, tok) in tokens.iter().enumerate() {
+            let Some(&(mut pol, subj)) = self.entries.get(tok.as_str()) else {
+                continue;
+            };
+            if i > 0 {
+                if let Some(&boost) = self.intensifiers.get(tokens[i - 1].as_str()) {
+                    pol = (pol * boost).clamp(-1.0, 1.0);
+                }
+            }
+            let negated = tokens[i.saturating_sub(2)..i]
+                .iter()
+                .any(|t| NEGATIONS.contains(&t.as_str()));
+            if negated {
+                pol *= -0.5;
+            }
+            polarity_sum += pol;
+            subjectivity_sum += subj;
+            hits += 1;
+        }
+        if hits == 0 {
+            return Sentiment { polarity: 0.0, subjectivity: 0.0 };
+        }
+        Sentiment {
+            polarity: (polarity_sum / hits as f64).clamp(-1.0, 1.0),
+            subjectivity: (subjectivity_sum / hits as f64).clamp(0.0, 1.0),
+        }
+    }
+
+    /// Number of lexicon entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Always false — the embedded lexicon is non-empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positive_and_negative_texts() {
+        let lex = SentimentLexicon::new();
+        assert!(lex.score("what a great wonderful day").polarity > 0.5);
+        assert!(lex.score("terrible awful horrible experience").polarity < -0.5);
+    }
+
+    #[test]
+    fn neutral_text_scores_zero() {
+        let lex = SentimentLexicon::new();
+        let s = lex.score("the train departs at nine from platform two");
+        assert_eq!(s.polarity, 0.0);
+        assert_eq!(s.subjectivity, 0.0);
+    }
+
+    #[test]
+    fn negation_flips_polarity() {
+        let lex = SentimentLexicon::new();
+        let plain = lex.score("this is good").polarity;
+        let negated = lex.score("this is not good").polarity;
+        assert!(plain > 0.0);
+        assert!(negated < 0.0, "negated polarity {negated}");
+    }
+
+    #[test]
+    fn intensifier_scales() {
+        let lex = SentimentLexicon::new();
+        let plain = lex.score("it is good").polarity;
+        let boosted = lex.score("it is very good").polarity;
+        let damped = lex.score("it is slightly good").polarity;
+        assert!(boosted > plain);
+        assert!(damped < plain);
+    }
+
+    #[test]
+    fn subjectivity_reflects_lexicon() {
+        let lex = SentimentLexicon::new();
+        let opinion = lex.score("i love this amazing thing");
+        let factual = lex.score("the best result was recorded");
+        assert!(opinion.subjectivity > factual.subjectivity);
+    }
+
+    #[test]
+    fn tokenizer_strips_punctuation() {
+        let toks = SentimentLexicon::tokenize("Hello, World! don't BREAK-this");
+        assert_eq!(toks, vec!["hello", "world", "dont", "break", "this"]);
+    }
+
+    #[test]
+    fn scores_are_bounded() {
+        let lex = SentimentLexicon::new();
+        for text in [
+            "extremely excellent absolutely perfect very amazing",
+            "extremely terrible absolutely awful very horrible",
+        ] {
+            let s = lex.score(text);
+            assert!((-1.0..=1.0).contains(&s.polarity));
+            assert!((0.0..=1.0).contains(&s.subjectivity));
+        }
+    }
+}

@@ -1,0 +1,737 @@
+//! The live emulated network: routing, shaping, counters, placement.
+//!
+//! [`Network`] is built from a [`Topology`] and installed into the simulator
+//! as its [`Transport`]. Every message a process sends is routed along a
+//! proactively computed path (like stream2gym's `ovs-ofctl`-programmed
+//! switches), charged against link bandwidth with FIFO queuing, delayed by
+//! propagation and switch forwarding, possibly dropped by loss or downed
+//! links, and accounted in per-port counters (the OpenFlow-statistics
+//! equivalent used for the paper's bandwidth plots).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use s2g_sim::{Delivery, ProcessId, SimDuration, SimTime, Transport};
+
+use crate::topology::{LinkId, NodeId, NodeKind, PortNo, Topology};
+
+/// Routing metric used when computing proactive routes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutingAlgo {
+    /// Minimize summed link latency (hop count as tiebreak). Default.
+    #[default]
+    ShortestLatency,
+    /// Minimize hop count (latency as tiebreak).
+    MinHop,
+}
+
+/// Why a packet was dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DropCause {
+    /// Bernoulli loss on a link (the `loss` attribute, or gray failure).
+    Loss,
+    /// A link on the path was administratively down.
+    LinkDown,
+    /// The source or destination node was down.
+    NodeDown,
+    /// No path existed between the endpoints.
+    NoRoute,
+    /// The sender or receiver process has no placement.
+    Unplaced,
+}
+
+/// Cumulative traffic counters for one port, mirroring OpenFlow port stats.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PortCounters {
+    /// Bytes transmitted out of this port.
+    pub tx_bytes: u64,
+    /// Bytes received into this port.
+    pub rx_bytes: u64,
+    /// Packets transmitted.
+    pub tx_packets: u64,
+    /// Packets received.
+    pub rx_packets: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LinkRuntime {
+    up: bool,
+    /// Next instant the a→b direction is free to start serializing.
+    next_free_ab: SimTime,
+    /// Next instant the b→a direction is free.
+    next_free_ba: SimTime,
+}
+
+/// One hop of a precomputed path: the link and the traversal direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hop {
+    /// Which link is traversed.
+    pub link: LinkId,
+    /// True when traversing from endpoint `a` to endpoint `b`.
+    pub a_to_b: bool,
+}
+
+/// Tuning knobs distinguishing emulation from hardware backends (Fig. 8).
+#[derive(Debug, Clone, Copy)]
+pub struct NetworkConfig {
+    /// Per-switch forwarding delay. Software switches (OVS) are an order of
+    /// magnitude slower than hardware ASICs (§VII of the paper).
+    pub switch_forward_delay: SimDuration,
+    /// Delay for loopback delivery between co-located processes.
+    pub loopback_delay: SimDuration,
+    /// Routing metric.
+    pub routing: RoutingAlgo,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            // ~50 µs models an OVS software switch under emulation load.
+            switch_forward_delay: SimDuration::from_micros(50),
+            loopback_delay: SimDuration::from_micros(20),
+            routing: RoutingAlgo::ShortestLatency,
+        }
+    }
+}
+
+impl NetworkConfig {
+    /// The configuration used for the "hardware testbed" comparison backend:
+    /// ASIC-speed switching and kernel-bypass loopback.
+    pub fn hardware() -> Self {
+        NetworkConfig {
+            switch_forward_delay: SimDuration::from_nanos(800),
+            loopback_delay: SimDuration::from_micros(5),
+            routing: RoutingAlgo::ShortestLatency,
+        }
+    }
+}
+
+/// A shared, interior-mutable handle to a [`Network`].
+pub type NetHandle = Rc<RefCell<Network>>;
+
+/// The emulated network state.
+pub struct Network {
+    topo: Topology,
+    cfg: NetworkConfig,
+    links: Vec<LinkRuntime>,
+    node_up: Vec<bool>,
+    /// routes[src][dst] — full hop list, or `None` if unreachable.
+    routes: Vec<Vec<Option<Vec<Hop>>>>,
+    placement: HashMap<ProcessId, NodeId>,
+    counters: HashMap<(NodeId, PortNo), PortCounters>,
+    node_tx_bytes: Vec<u64>,
+    node_rx_bytes: Vec<u64>,
+    drops: HashMap<DropCause, u64>,
+    delivered_packets: u64,
+}
+
+impl Network {
+    /// Builds a network over `topo` with default configuration and computes
+    /// routes proactively.
+    pub fn new(topo: Topology) -> Self {
+        Self::with_config(topo, NetworkConfig::default())
+    }
+
+    /// Builds a network with an explicit configuration.
+    pub fn with_config(topo: Topology, cfg: NetworkConfig) -> Self {
+        let n = topo.node_count();
+        let links = vec![
+            LinkRuntime { up: true, next_free_ab: SimTime::ZERO, next_free_ba: SimTime::ZERO };
+            topo.link_count()
+        ];
+        let mut net = Network {
+            topo,
+            cfg,
+            links,
+            node_up: vec![true; n],
+            routes: Vec::new(),
+            placement: HashMap::new(),
+            counters: HashMap::new(),
+            node_tx_bytes: vec![0; n],
+            node_rx_bytes: vec![0; n],
+            drops: HashMap::new(),
+            delivered_packets: 0,
+        };
+        net.recompute_routes();
+        net
+    }
+
+    /// Wraps the network in a shared handle.
+    pub fn into_handle(self) -> NetHandle {
+        Rc::new(RefCell::new(self))
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.cfg
+    }
+
+    /// Places a process on a host. Multiple processes may share a host
+    /// (co-location, as in the Fig. 6a setup where each site runs a broker,
+    /// a producer and a consumer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is a switch.
+    pub fn place(&mut self, pid: ProcessId, node: NodeId) {
+        assert_eq!(
+            self.topo.node(node).kind,
+            NodeKind::Host,
+            "processes can only be placed on hosts, {} is a switch",
+            self.topo.node(node).name
+        );
+        self.placement.insert(pid, node);
+    }
+
+    /// The host a process is placed on, if any.
+    pub fn placement(&self, pid: ProcessId) -> Option<NodeId> {
+        self.placement.get(&pid).copied()
+    }
+
+    /// Recomputes all-pairs routes over currently-up links using the
+    /// configured metric. Stream2gym programs routes proactively; call this
+    /// after topology-affecting faults only if re-routing is desired.
+    pub fn recompute_routes(&mut self) {
+        let n = self.topo.node_count();
+        let mut routes = Vec::with_capacity(n);
+        for src in 0..n {
+            routes.push(self.dijkstra(NodeId(src as u32)));
+        }
+        self.routes = routes;
+    }
+
+    fn dijkstra(&self, src: NodeId) -> Vec<Option<Vec<Hop>>> {
+        let n = self.topo.node_count();
+        // cost = (primary, secondary) per the routing metric.
+        let mut dist: Vec<Option<(u128, u128)>> = vec![None; n];
+        let mut prev: Vec<Option<(NodeId, Hop)>> = vec![None; n];
+        let mut visited = vec![false; n];
+        dist[src.index()] = Some((0, 0));
+        // Adjacency once.
+        let mut adj: Vec<Vec<(NodeId, Hop, u64)>> = vec![Vec::new(); n];
+        for (lid, link) in self.topo.links() {
+            if !self.links[lid.index()].up {
+                continue;
+            }
+            if !self.node_up[link.a.index()] || !self.node_up[link.b.index()] {
+                continue;
+            }
+            let lat = link.spec.latency.as_nanos();
+            adj[link.a.index()].push((link.b, Hop { link: lid, a_to_b: true }, lat));
+            adj[link.b.index()].push((link.a, Hop { link: lid, a_to_b: false }, lat));
+        }
+        for _ in 0..n {
+            // Pick unvisited node with least cost (n is small; O(n^2) fine).
+            let mut best: Option<(usize, (u128, u128))> = None;
+            for (i, d) in dist.iter().enumerate() {
+                if visited[i] {
+                    continue;
+                }
+                if let Some(d) = d {
+                    if best.is_none_or(|(_, bd)| *d < bd) {
+                        best = Some((i, *d));
+                    }
+                }
+            }
+            let (u, du) = match best {
+                Some(x) => x,
+                None => break,
+            };
+            visited[u] = true;
+            for &(v, hop, lat) in &adj[u] {
+                let step = match self.cfg.routing {
+                    RoutingAlgo::ShortestLatency => (lat as u128, 1u128),
+                    RoutingAlgo::MinHop => (1u128, lat as u128),
+                };
+                let cand = (du.0 + step.0, du.1 + step.1);
+                let better = match dist[v.index()] {
+                    None => true,
+                    Some(dv) => cand < dv,
+                };
+                if better && !visited[v.index()] {
+                    dist[v.index()] = Some(cand);
+                    prev[v.index()] = Some((NodeId(u as u32), hop));
+                }
+            }
+        }
+        // Reconstruct paths.
+        let mut out = Vec::with_capacity(n);
+        for dst in 0..n {
+            if dst == src.index() {
+                out.push(Some(Vec::new()));
+                continue;
+            }
+            if dist[dst].is_none() {
+                out.push(None);
+                continue;
+            }
+            let mut hops = Vec::new();
+            let mut cur = dst;
+            while cur != src.index() {
+                let (p, hop) = prev[cur].expect("reachable node has predecessor");
+                hops.push(hop);
+                cur = p.index();
+            }
+            hops.reverse();
+            out.push(Some(hops));
+        }
+        out
+    }
+
+    /// The current route between two nodes, if any.
+    pub fn route_between(&self, src: NodeId, dst: NodeId) -> Option<&[Hop]> {
+        self.routes[src.index()][dst.index()].as_deref()
+    }
+
+    /// Marks a link up or down. Packets crossing a down link are dropped —
+    /// routes are *not* recomputed automatically (proactive routing).
+    pub fn set_link_up(&mut self, link: LinkId, up: bool) {
+        self.links[link.index()].up = up;
+    }
+
+    /// Whether a link is currently up.
+    pub fn link_up(&self, link: LinkId) -> bool {
+        self.links[link.index()].up
+    }
+
+    /// Marks a node up or down. A down node neither sends, receives, nor
+    /// forwards.
+    pub fn set_node_up(&mut self, node: NodeId, up: bool) {
+        self.node_up[node.index()] = up;
+    }
+
+    /// Whether a node is currently up.
+    pub fn node_up(&self, node: NodeId) -> bool {
+        self.node_up[node.index()]
+    }
+
+    /// Disconnects a host: all adjacent links go down (the Fig. 6 failure).
+    pub fn disconnect_host(&mut self, node: NodeId) {
+        for l in self.topo.adjacent(node) {
+            self.set_link_up(l, false);
+        }
+    }
+
+    /// Reconnects a host: all adjacent links come back up.
+    pub fn reconnect_host(&mut self, node: NodeId) {
+        for l in self.topo.adjacent(node) {
+            self.set_link_up(l, true);
+        }
+    }
+
+    /// Retunes a link's one-way latency (dynamic operating conditions).
+    pub fn set_link_latency(&mut self, link: LinkId, lat: SimDuration) {
+        self.topo.link_mut(link).spec.latency = lat;
+    }
+
+    /// Retunes a link's loss percentage (gray failures, congestion).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pct` is outside `0.0..=100.0`.
+    pub fn set_link_loss(&mut self, link: LinkId, pct: f64) {
+        assert!((0.0..=100.0).contains(&pct), "loss must be in 0..=100, got {pct}");
+        self.topo.link_mut(link).spec.loss_pct = pct;
+    }
+
+    /// Port counters for `(node, port)`; zeros if nothing has flowed.
+    pub fn port_counters(&self, node: NodeId, port: PortNo) -> PortCounters {
+        self.counters.get(&(node, port)).copied().unwrap_or_default()
+    }
+
+    /// Total bytes transmitted by a node across all its ports.
+    pub fn node_tx_bytes(&self, node: NodeId) -> u64 {
+        self.node_tx_bytes[node.index()]
+    }
+
+    /// Total bytes received by a node across all its ports.
+    pub fn node_rx_bytes(&self, node: NodeId) -> u64 {
+        self.node_rx_bytes[node.index()]
+    }
+
+    /// Packets delivered end-to-end.
+    pub fn delivered_packets(&self) -> u64 {
+        self.delivered_packets
+    }
+
+    /// Drop count for a cause.
+    pub fn drops(&self, cause: DropCause) -> u64 {
+        self.drops.get(&cause).copied().unwrap_or(0)
+    }
+
+    fn record_drop(&mut self, cause: DropCause) -> Delivery {
+        *self.drops.entry(cause).or_insert(0) += 1;
+        Delivery::Drop
+    }
+
+    /// Routes one packet; the core of the [`Transport`] implementation.
+    pub fn route_packet(
+        &mut self,
+        now: SimTime,
+        rng: &mut StdRng,
+        from: ProcessId,
+        to: ProcessId,
+        bytes: usize,
+    ) -> Delivery {
+        let (src, dst) = match (self.placement(from), self.placement(to)) {
+            (Some(s), Some(d)) => (s, d),
+            _ => return self.record_drop(DropCause::Unplaced),
+        };
+        if !self.node_up[src.index()] || !self.node_up[dst.index()] {
+            return self.record_drop(DropCause::NodeDown);
+        }
+        if src == dst {
+            return Delivery::After(self.cfg.loopback_delay);
+        }
+        let path = match self.routes[src.index()][dst.index()].clone() {
+            Some(p) => p,
+            None => return self.record_drop(DropCause::NoRoute),
+        };
+        // Check the whole path first: a down link or node anywhere blackholes
+        // the packet (proactive routes are not patched around failures).
+        for hop in &path {
+            let rt = self.links[hop.link.index()];
+            if !rt.up {
+                return self.record_drop(DropCause::LinkDown);
+            }
+            let l = self.topo.link(hop.link);
+            let (next, _) = if hop.a_to_b { (l.b, l.a) } else { (l.a, l.b) };
+            if !self.node_up[next.index()] {
+                return self.record_drop(DropCause::NodeDown);
+            }
+        }
+        // Bernoulli loss per link.
+        for hop in &path {
+            let loss = self.topo.link(hop.link).spec.loss_pct;
+            if loss > 0.0 && rng.gen::<f64>() * 100.0 < loss {
+                return self.record_drop(DropCause::Loss);
+            }
+        }
+        // Accumulate delay hop by hop with FIFO queuing per direction.
+        let mut cursor = now;
+        let mut switch_hops = 0u32;
+        for hop in &path {
+            let l = self.topo.link(hop.link);
+            let ser = match l.spec.bandwidth_bps {
+                Some(bw) => {
+                    SimDuration::from_nanos(((bytes as u128 * 8 * 1_000_000_000) / bw as u128) as u64)
+                }
+                None => SimDuration::ZERO,
+            };
+            let rt = &mut self.links[hop.link.index()];
+            let next_free = if hop.a_to_b { &mut rt.next_free_ab } else { &mut rt.next_free_ba };
+            let depart = (*next_free).max(cursor);
+            *next_free = depart + ser;
+            cursor = depart + ser + l.spec.latency;
+            // Port accounting.
+            let (tx_node, tx_port, rx_node, rx_port) = if hop.a_to_b {
+                (l.a, l.port_a, l.b, l.port_b)
+            } else {
+                (l.b, l.port_b, l.a, l.port_a)
+            };
+            let c = self.counters.entry((tx_node, tx_port)).or_default();
+            c.tx_bytes += bytes as u64;
+            c.tx_packets += 1;
+            let c = self.counters.entry((rx_node, rx_port)).or_default();
+            c.rx_bytes += bytes as u64;
+            c.rx_packets += 1;
+            self.node_tx_bytes[tx_node.index()] += bytes as u64;
+            self.node_rx_bytes[rx_node.index()] += bytes as u64;
+            // Intermediate nodes on the path are switches that add
+            // forwarding delay (the final hop's receiver is the host).
+            if self.topo.node(rx_node).kind == NodeKind::Switch {
+                switch_hops += 1;
+            }
+        }
+        cursor += self.cfg.switch_forward_delay * switch_hops as u64;
+        Delivery::After(cursor - now)
+    }
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("nodes", &self.topo.node_count())
+            .field("links", &self.topo.link_count())
+            .field("placed", &self.placement.len())
+            .field("delivered", &self.delivered_packets)
+            .finish()
+    }
+}
+
+/// Adapter installing a shared [`Network`] as the simulator transport.
+#[derive(Debug, Clone)]
+pub struct NetTransport(pub NetHandle);
+
+impl Transport for NetTransport {
+    fn route(
+        &mut self,
+        now: SimTime,
+        rng: &mut StdRng,
+        from: ProcessId,
+        to: ProcessId,
+        bytes: usize,
+    ) -> Delivery {
+        let mut net = self.0.borrow_mut();
+        let d = net.route_packet(now, rng, from, to, bytes);
+        if matches!(d, Delivery::After(_)) {
+            net.delivered_packets += 1;
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::LinkSpec;
+    use rand::SeedableRng;
+
+    fn two_host_net(spec: LinkSpec) -> (Network, ProcessId, ProcessId) {
+        let mut topo = Topology::new();
+        topo.add_host("h1").unwrap();
+        topo.add_host("h2").unwrap();
+        topo.add_switch("s1").unwrap();
+        topo.add_link("h1", "s1", spec).unwrap();
+        topo.add_link("s1", "h2", spec).unwrap();
+        let mut net = Network::new(topo);
+        let p1 = ProcessId(0);
+        let p2 = ProcessId(1);
+        let h1 = net.topology().lookup("h1").unwrap();
+        let h2 = net.topology().lookup("h2").unwrap();
+        net.place(p1, h1);
+        net.place(p2, h2);
+        (net, p1, p2)
+    }
+
+    #[test]
+    fn latency_accumulates_over_path() {
+        let (mut net, p1, p2) = two_host_net(LinkSpec::new().latency_ms(10));
+        let mut rng = StdRng::seed_from_u64(0);
+        match net.route_packet(SimTime::ZERO, &mut rng, p1, p2, 100) {
+            Delivery::After(d) => {
+                // 2 links × 10ms + 1 switch hop forwarding delay.
+                let expect = SimDuration::from_millis(20) + NetworkConfig::default().switch_forward_delay;
+                assert_eq!(d, expect);
+            }
+            Delivery::Drop => panic!("should deliver"),
+        }
+    }
+
+    #[test]
+    fn loopback_for_colocated() {
+        let mut topo = Topology::new();
+        topo.add_host("h1").unwrap();
+        let mut net = Network::new(topo);
+        let h1 = net.topology().lookup("h1").unwrap();
+        net.place(ProcessId(0), h1);
+        net.place(ProcessId(1), h1);
+        let mut rng = StdRng::seed_from_u64(0);
+        match net.route_packet(SimTime::ZERO, &mut rng, ProcessId(0), ProcessId(1), 10) {
+            Delivery::After(d) => assert_eq!(d, NetworkConfig::default().loopback_delay),
+            Delivery::Drop => panic!("loopback must deliver"),
+        }
+    }
+
+    #[test]
+    fn bandwidth_serializes_back_to_back_packets() {
+        // 1 Mbps link: a 125-byte packet takes exactly 1 ms to serialize.
+        let (mut net, p1, p2) = two_host_net(
+            LinkSpec::new().latency(SimDuration::ZERO).bandwidth_mbps(1.0),
+        );
+        let mut rng = StdRng::seed_from_u64(0);
+        let d1 = match net.route_packet(SimTime::ZERO, &mut rng, p1, p2, 125) {
+            Delivery::After(d) => d,
+            _ => panic!(),
+        };
+        let d2 = match net.route_packet(SimTime::ZERO, &mut rng, p1, p2, 125) {
+            Delivery::After(d) => d,
+            _ => panic!(),
+        };
+        // Second packet queues behind the first on both links.
+        assert!(d2 > d1, "second packet must queue: {d2} vs {d1}");
+        assert_eq!(d2.as_millis() - d1.as_millis(), 1);
+    }
+
+    #[test]
+    fn full_loss_drops_everything() {
+        let (mut net, p1, p2) = two_host_net(LinkSpec::new().loss_pct(100.0));
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..10 {
+            assert_eq!(net.route_packet(SimTime::ZERO, &mut rng, p1, p2, 10), Delivery::Drop);
+        }
+        assert_eq!(net.drops(DropCause::Loss), 10);
+    }
+
+    #[test]
+    fn partial_loss_roughly_matches_rate() {
+        let (mut net, p1, p2) = two_host_net(LinkSpec::new().loss_pct(10.0));
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut dropped = 0;
+        let n = 10_000;
+        for _ in 0..n {
+            if net.route_packet(SimTime::ZERO, &mut rng, p1, p2, 10) == Delivery::Drop {
+                dropped += 1;
+            }
+        }
+        // Two 10%-lossy links ≈ 19% path loss; accept 16..22%.
+        let rate = dropped as f64 / n as f64;
+        assert!((0.16..0.22).contains(&rate), "loss rate {rate}");
+    }
+
+    #[test]
+    fn link_down_blackholes() {
+        let (mut net, p1, p2) = two_host_net(LinkSpec::new());
+        let mut rng = StdRng::seed_from_u64(0);
+        net.set_link_up(LinkId(0), false);
+        assert_eq!(net.route_packet(SimTime::ZERO, &mut rng, p1, p2, 10), Delivery::Drop);
+        assert_eq!(net.drops(DropCause::LinkDown), 1);
+        net.set_link_up(LinkId(0), true);
+        assert!(matches!(
+            net.route_packet(SimTime::ZERO, &mut rng, p1, p2, 10),
+            Delivery::After(_)
+        ));
+    }
+
+    #[test]
+    fn node_down_blocks_endpoints() {
+        let (mut net, p1, p2) = two_host_net(LinkSpec::new());
+        let mut rng = StdRng::seed_from_u64(0);
+        let h2 = net.topology().lookup("h2").unwrap();
+        net.set_node_up(h2, false);
+        assert_eq!(net.route_packet(SimTime::ZERO, &mut rng, p1, p2, 10), Delivery::Drop);
+        assert_eq!(net.drops(DropCause::NodeDown), 1);
+    }
+
+    #[test]
+    fn disconnect_host_downs_adjacent_links() {
+        let (mut net, p1, p2) = two_host_net(LinkSpec::new());
+        let mut rng = StdRng::seed_from_u64(0);
+        let h1 = net.topology().lookup("h1").unwrap();
+        net.disconnect_host(h1);
+        assert_eq!(net.route_packet(SimTime::ZERO, &mut rng, p1, p2, 10), Delivery::Drop);
+        net.reconnect_host(h1);
+        assert!(matches!(
+            net.route_packet(SimTime::ZERO, &mut rng, p1, p2, 10),
+            Delivery::After(_)
+        ));
+    }
+
+    #[test]
+    fn counters_track_both_directions() {
+        let (mut net, p1, p2) = two_host_net(LinkSpec::new());
+        let mut rng = StdRng::seed_from_u64(0);
+        net.route_packet(SimTime::ZERO, &mut rng, p1, p2, 500).unwrap_delivery();
+        let h1 = net.topology().lookup("h1").unwrap();
+        let s1 = net.topology().lookup("s1").unwrap();
+        let h2 = net.topology().lookup("h2").unwrap();
+        assert_eq!(net.node_tx_bytes(h1), 500);
+        assert_eq!(net.node_rx_bytes(h2), 500);
+        // The switch both received and retransmitted the packet.
+        assert_eq!(net.node_tx_bytes(s1), 500);
+        assert_eq!(net.node_rx_bytes(s1), 500);
+        let pc = net.port_counters(h1, PortNo(1));
+        assert_eq!(pc.tx_bytes, 500);
+        assert_eq!(pc.tx_packets, 1);
+    }
+
+    trait UnwrapDelivery {
+        fn unwrap_delivery(self) -> SimDuration;
+    }
+    impl UnwrapDelivery for Delivery {
+        fn unwrap_delivery(self) -> SimDuration {
+            match self {
+                Delivery::After(d) => d,
+                Delivery::Drop => panic!("expected delivery"),
+            }
+        }
+    }
+
+    #[test]
+    fn min_hop_routing_prefers_fewer_hops() {
+        // h1 —(1ms)— s1 —(1ms)— h2   (2 hops, 2ms)
+        // h1 —(10ms)——————————— h2   (1 hop, 10ms)
+        let mut topo = Topology::new();
+        topo.add_host("h1").unwrap();
+        topo.add_host("h2").unwrap();
+        topo.add_switch("s1").unwrap();
+        topo.add_link("h1", "s1", LinkSpec::new().latency_ms(1)).unwrap();
+        topo.add_link("s1", "h2", LinkSpec::new().latency_ms(1)).unwrap();
+        topo.add_link("h1", "h2", LinkSpec::new().latency_ms(10)).unwrap();
+        let h1 = topo.lookup("h1").unwrap();
+        let h2 = topo.lookup("h2").unwrap();
+
+        let lat_net = Network::with_config(
+            topo.clone(),
+            NetworkConfig { routing: RoutingAlgo::ShortestLatency, ..NetworkConfig::default() },
+        );
+        assert_eq!(lat_net.route_between(h1, h2).unwrap().len(), 2);
+
+        let hop_net = Network::with_config(
+            topo,
+            NetworkConfig { routing: RoutingAlgo::MinHop, ..NetworkConfig::default() },
+        );
+        assert_eq!(hop_net.route_between(h1, h2).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn recompute_routes_after_failure_heals_path() {
+        let mut topo = Topology::new();
+        topo.add_host("h1").unwrap();
+        topo.add_host("h2").unwrap();
+        topo.add_switch("s1").unwrap();
+        topo.add_switch("s2").unwrap();
+        let fast = topo.add_link("h1", "s1", LinkSpec::new().latency_ms(1)).unwrap();
+        topo.add_link("s1", "h2", LinkSpec::new().latency_ms(1)).unwrap();
+        topo.add_link("h1", "s2", LinkSpec::new().latency_ms(5)).unwrap();
+        topo.add_link("s2", "h2", LinkSpec::new().latency_ms(5)).unwrap();
+        let mut net = Network::new(topo);
+        let h1 = net.topology().lookup("h1").unwrap();
+        let h2 = net.topology().lookup("h2").unwrap();
+        net.place(ProcessId(0), h1);
+        net.place(ProcessId(1), h2);
+        let mut rng = StdRng::seed_from_u64(0);
+        // Fast path via s1 in use.
+        let d = net.route_packet(SimTime::ZERO, &mut rng, ProcessId(0), ProcessId(1), 10);
+        assert!(matches!(d, Delivery::After(x) if x.as_millis() < 5));
+        // Down the fast link: blackhole until routes are recomputed.
+        net.set_link_up(fast, false);
+        assert_eq!(
+            net.route_packet(SimTime::ZERO, &mut rng, ProcessId(0), ProcessId(1), 10),
+            Delivery::Drop
+        );
+        net.recompute_routes();
+        let d = net.route_packet(SimTime::ZERO, &mut rng, ProcessId(0), ProcessId(1), 10);
+        assert!(matches!(d, Delivery::After(x) if x.as_millis() >= 10));
+    }
+
+    #[test]
+    fn unplaced_process_drops() {
+        let (mut net, p1, _) = two_host_net(LinkSpec::new());
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(
+            net.route_packet(SimTime::ZERO, &mut rng, p1, ProcessId(99), 10),
+            Delivery::Drop
+        );
+        assert_eq!(net.drops(DropCause::Unplaced), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "only be placed on hosts")]
+    fn placing_on_switch_panics() {
+        let mut topo = Topology::new();
+        topo.add_switch("s1").unwrap();
+        let mut net = Network::new(topo);
+        let s1 = net.topology().lookup("s1").unwrap();
+        net.place(ProcessId(0), s1);
+    }
+}

@@ -1,0 +1,232 @@
+//! Periodic traffic sampling.
+//!
+//! stream2gym polls OpenFlow port statistics to report per-port throughput
+//! over time (used for Fig. 6d's sending-throughput plot). [`TxSampler`]
+//! does the same against the emulated network: every `interval` it reads the
+//! cumulative tx counters of the watched nodes and records the delta as a
+//! throughput sample.
+
+use s2g_sim::{Ctx, Message, Process, ProcessId, SimDuration, SimTime};
+
+use crate::network::NetHandle;
+use crate::topology::NodeId;
+
+/// One throughput sample for one node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TxSample {
+    /// End of the sampling window.
+    pub at: SimTime,
+    /// Transmit throughput over the window, in Mbps.
+    pub tx_mbps: f64,
+    /// Receive throughput over the window, in Mbps.
+    pub rx_mbps: f64,
+}
+
+/// A per-node throughput time series.
+#[derive(Debug, Clone, Default)]
+pub struct TxSeries {
+    /// The node name this series describes.
+    pub node: String,
+    /// Samples in time order.
+    pub samples: Vec<TxSample>,
+}
+
+impl TxSeries {
+    /// The peak transmit throughput seen, in Mbps.
+    pub fn peak_tx_mbps(&self) -> f64 {
+        self.samples.iter().map(|s| s.tx_mbps).fold(0.0, f64::max)
+    }
+
+    /// The mean transmit throughput across all samples, in Mbps.
+    pub fn mean_tx_mbps(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|s| s.tx_mbps).sum::<f64>() / self.samples.len() as f64
+    }
+}
+
+/// A simulated process sampling node throughput at a fixed interval.
+pub struct TxSampler {
+    net: NetHandle,
+    interval: SimDuration,
+    watched: Vec<(NodeId, String)>,
+    last: Vec<(u64, u64)>,
+    series: Vec<TxSeries>,
+    stop_at: SimTime,
+}
+
+impl TxSampler {
+    /// Watches the named nodes, sampling every `interval` until `stop_at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node name is unknown or `interval` is zero.
+    pub fn new(net: NetHandle, nodes: &[&str], interval: SimDuration, stop_at: SimTime) -> Self {
+        assert!(!interval.is_zero(), "sampling interval must be positive");
+        let watched: Vec<(NodeId, String)> = {
+            let n = net.borrow();
+            nodes
+                .iter()
+                .map(|name| {
+                    let id = n
+                        .topology()
+                        .lookup(name)
+                        .unwrap_or_else(|| panic!("sampler references unknown node `{name}`"));
+                    (id, (*name).to_string())
+                })
+                .collect()
+        };
+        let series = watched
+            .iter()
+            .map(|(_, name)| TxSeries { node: name.clone(), samples: Vec::new() })
+            .collect();
+        let last = vec![(0, 0); watched.len()];
+        TxSampler { net, interval, watched, last, series, stop_at }
+    }
+
+    /// The collected series, one per watched node, in registration order.
+    pub fn series(&self) -> &[TxSeries] {
+        &self.series
+    }
+
+    /// The series for a node by name.
+    pub fn series_for(&self, node: &str) -> Option<&TxSeries> {
+        self.series.iter().find(|s| s.node == node)
+    }
+
+    fn sample(&mut self, now: SimTime) {
+        let net = self.net.borrow();
+        let window_s = self.interval.as_secs_f64();
+        for (i, (node, _)) in self.watched.iter().enumerate() {
+            let tx = net.node_tx_bytes(*node);
+            let rx = net.node_rx_bytes(*node);
+            let (ltx, lrx) = self.last[i];
+            self.last[i] = (tx, rx);
+            self.series[i].samples.push(TxSample {
+                at: now,
+                tx_mbps: (tx - ltx) as f64 * 8.0 / 1e6 / window_s,
+                rx_mbps: (rx - lrx) as f64 * 8.0 / 1e6 / window_s,
+            });
+        }
+    }
+}
+
+impl Process for TxSampler {
+    fn name(&self) -> &str {
+        "tx-sampler"
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.set_timer(self.interval, 0);
+    }
+
+    fn on_message(&mut self, _: &mut Ctx<'_>, _: ProcessId, _: Box<dyn Message>) {}
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _tag: u64) {
+        let now = ctx.now();
+        self.sample(now);
+        if now + self.interval <= self.stop_at {
+            ctx.set_timer(self.interval, 0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{Network, NetTransport};
+    use crate::topology::{LinkSpec, Topology};
+    use s2g_sim::{downcast, Sim};
+
+    #[derive(Debug)]
+    struct Blob(usize);
+    impl Message for Blob {
+        fn wire_size(&self) -> usize {
+            self.0
+        }
+    }
+
+    /// Sends `size`-byte blobs to a peer at a fixed rate.
+    struct Blaster {
+        peer: ProcessId,
+        size: usize,
+        every: SimDuration,
+        until: SimTime,
+    }
+    impl Process for Blaster {
+        fn name(&self) -> &str {
+            "blaster"
+        }
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.set_timer(self.every, 0);
+        }
+        fn on_message(&mut self, _: &mut Ctx<'_>, _: ProcessId, _: Box<dyn Message>) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _: u64) {
+            ctx.send(self.peer, Blob(self.size));
+            if ctx.now() + self.every <= self.until {
+                ctx.set_timer(self.every, 0);
+            }
+        }
+    }
+
+    struct Sink {
+        got: u64,
+    }
+    impl Process for Sink {
+        fn name(&self) -> &str {
+            "sink"
+        }
+        fn on_message(&mut self, _: &mut Ctx<'_>, _: ProcessId, msg: Box<dyn Message>) {
+            let b = downcast::<Blob>(msg).unwrap();
+            self.got += b.0 as u64;
+        }
+    }
+
+    #[test]
+    fn sampler_measures_send_rate() {
+        let topo = Topology::star(2, LinkSpec::new()).unwrap();
+        let net = Network::new(topo).into_handle();
+        let mut sim = Sim::new(0);
+        sim.set_transport(Box::new(NetTransport(net.clone())));
+        let sink = sim.spawn(Box::new(Sink { got: 0 }));
+        // 1250 bytes every 10 ms = 1 Mbps.
+        let blaster = sim.spawn(Box::new(Blaster {
+            peer: sink,
+            size: 1_250,
+            every: SimDuration::from_millis(10),
+            until: SimTime::from_secs(10),
+        }));
+        {
+            let mut n = net.borrow_mut();
+            let h1 = n.topology().lookup("h1").unwrap();
+            let h2 = n.topology().lookup("h2").unwrap();
+            n.place(blaster, h1);
+            n.place(sink, h2);
+        }
+        let sampler = sim.spawn(Box::new(TxSampler::new(
+            net.clone(),
+            &["h1"],
+            SimDuration::from_millis(500),
+            SimTime::from_secs(10),
+        )));
+        sim.run_until(SimTime::from_secs(10));
+        let s = sim.process_ref::<TxSampler>(sampler).unwrap();
+        let series = s.series_for("h1").unwrap();
+        assert!(series.samples.len() >= 19, "got {} samples", series.samples.len());
+        // Steady-state samples should be ~1 Mbps.
+        let mid = &series.samples[5];
+        assert!((mid.tx_mbps - 1.0).abs() < 0.1, "tx {} Mbps", mid.tx_mbps);
+        assert!((series.mean_tx_mbps() - 1.0).abs() < 0.15);
+        assert!(series.peak_tx_mbps() <= 1.2);
+        // And the sink actually received the bytes.
+        assert!(sim.process_ref::<Sink>(sink).unwrap().got > 1_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown node")]
+    fn unknown_node_panics() {
+        let net = Network::new(Topology::star(1, LinkSpec::new()).unwrap()).into_handle();
+        let _ = TxSampler::new(net, &["zz"], SimDuration::from_secs(1), SimTime::from_secs(1));
+    }
+}

@@ -1,0 +1,18 @@
+//! # s2g-proto — shared wire types
+//!
+//! Records, batches, and the RPC vocabulary spoken between producers,
+//! consumers, brokers, and the cluster controller. Every RPC implements
+//! [`s2g_sim::Message`] with a realistic [`wire_size`](s2g_sim::Message::wire_size)
+//! so the emulated network charges link bandwidth for actual payload bytes,
+//! mirroring how real Kafka frames occupy stream2gym's `tc`-shaped links.
+
+#![warn(missing_docs)]
+
+mod record;
+mod rpc;
+
+pub use record::{Offset, ProducerId, Record, RecordBatch, TopicPartition};
+pub use rpc::{
+    AckMode, BrokerId, ClientRpc, ControllerRpc, CorrelationId, ErrorCode, LeaderEpoch,
+    MetadataRecord, PartitionMetadata, RaftRpc, ReplicaRpc, RPC_OVERHEAD,
+};

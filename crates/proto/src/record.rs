@@ -1,0 +1,243 @@
+//! Records, offsets, and batches — the data plane vocabulary.
+
+use std::fmt;
+
+use bytes::Bytes;
+use s2g_sim::SimTime;
+
+/// A log offset within one topic partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Offset(pub u64);
+
+impl Offset {
+    /// The first offset of every partition log.
+    pub const ZERO: Offset = Offset(0);
+
+    /// The next offset after this one.
+    pub fn next(self) -> Offset {
+        Offset(self.0 + 1)
+    }
+
+    /// Raw numeric value.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Offset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+/// Identifies a producer client for idempotence/ordering bookkeeping and for
+/// the delivery-matrix monitoring of the Fig. 6b experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProducerId(pub u32);
+
+impl fmt::Display for ProducerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "prod{}", self.0)
+    }
+}
+
+/// A `(topic, partition)` pair — the unit of log replication and leadership.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TopicPartition {
+    /// Topic name.
+    pub topic: String,
+    /// Partition index within the topic.
+    pub partition: u32,
+}
+
+impl TopicPartition {
+    /// Convenience constructor.
+    pub fn new(topic: impl Into<String>, partition: u32) -> Self {
+        TopicPartition { topic: topic.into(), partition }
+    }
+}
+
+impl fmt::Display for TopicPartition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-{}", self.topic, self.partition)
+    }
+}
+
+/// A single event record.
+///
+/// # Examples
+///
+/// ```
+/// use s2g_proto::Record;
+/// use s2g_sim::SimTime;
+///
+/// let r = Record::new("key-1", "some payload", SimTime::from_millis(10));
+/// assert_eq!(r.key.as_deref(), Some(b"key-1".as_slice()));
+/// assert!(r.encoded_len() > r.value.len());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Optional partitioning key.
+    pub key: Option<Bytes>,
+    /// Payload bytes.
+    pub value: Bytes,
+    /// Producer-side creation timestamp (event time).
+    pub timestamp: SimTime,
+    /// The producer that created the record.
+    pub producer: ProducerId,
+    /// Producer-assigned sequence number (monotonic per producer), used by
+    /// monitoring to build the message-order axis of delivery matrices.
+    pub producer_seq: u64,
+}
+
+/// Per-record framing overhead (length prefixes, attributes, timestamps),
+/// approximating Kafka's record wire format.
+pub const RECORD_OVERHEAD: usize = 24;
+
+impl Record {
+    /// Builds a record with a key.
+    pub fn new(key: impl Into<Bytes>, value: impl Into<Bytes>, timestamp: SimTime) -> Self {
+        Record {
+            key: Some(key.into()),
+            value: value.into(),
+            timestamp,
+            producer: ProducerId(0),
+            producer_seq: 0,
+        }
+    }
+
+    /// Builds a keyless record.
+    pub fn keyless(value: impl Into<Bytes>, timestamp: SimTime) -> Self {
+        Record { key: None, value: value.into(), timestamp, producer: ProducerId(0), producer_seq: 0 }
+    }
+
+    /// Stamps producer identity and sequence (builder style).
+    pub fn from_producer(mut self, producer: ProducerId, seq: u64) -> Self {
+        self.producer = producer;
+        self.producer_seq = seq;
+        self
+    }
+
+    /// The record's size on the wire, framing included.
+    pub fn encoded_len(&self) -> usize {
+        RECORD_OVERHEAD + self.key.as_ref().map_or(0, |k| k.len()) + self.value.len()
+    }
+
+    /// The payload interpreted as UTF-8 (lossy) — convenient in stream jobs.
+    pub fn value_utf8(&self) -> String {
+        String::from_utf8_lossy(&self.value).into_owned()
+    }
+}
+
+/// A batch of records bound for (or fetched from) one partition.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RecordBatch {
+    /// The records, in append order.
+    pub records: Vec<Record>,
+}
+
+/// Per-batch framing overhead, approximating Kafka's batch header.
+pub const BATCH_OVERHEAD: usize = 61;
+
+impl RecordBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wraps a record list.
+    pub fn from_records(records: Vec<Record>) -> Self {
+        RecordBatch { records }
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the batch holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total size on the wire, framing included.
+    pub fn encoded_len(&self) -> usize {
+        BATCH_OVERHEAD + self.records.iter().map(Record::encoded_len).sum::<usize>()
+    }
+}
+
+impl FromIterator<Record> for RecordBatch {
+    fn from_iter<I: IntoIterator<Item = Record>>(iter: I) -> Self {
+        RecordBatch { records: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<Record> for RecordBatch {
+    fn extend<I: IntoIterator<Item = Record>>(&mut self, iter: I) {
+        self.records.extend(iter);
+    }
+}
+
+impl IntoIterator for RecordBatch {
+    type Item = Record;
+    type IntoIter = std::vec::IntoIter<Record>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.records.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offsets_advance() {
+        assert_eq!(Offset::ZERO.next(), Offset(1));
+        assert_eq!(Offset(41).next().value(), 42);
+        assert_eq!(Offset(7).to_string(), "@7");
+    }
+
+    #[test]
+    fn record_sizes_account_framing() {
+        let r = Record::new("k", "vvvv", SimTime::ZERO);
+        assert_eq!(r.encoded_len(), RECORD_OVERHEAD + 1 + 4);
+        let r = Record::keyless("vvvv", SimTime::ZERO);
+        assert_eq!(r.encoded_len(), RECORD_OVERHEAD + 4);
+    }
+
+    #[test]
+    fn batch_sizes_sum_records() {
+        let b: RecordBatch = (0..3)
+            .map(|i| Record::keyless(vec![0u8; 10 * (i + 1)], SimTime::ZERO))
+            .collect();
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.encoded_len(), BATCH_OVERHEAD + 3 * RECORD_OVERHEAD + 60);
+    }
+
+    #[test]
+    fn producer_stamping() {
+        let r = Record::keyless("x", SimTime::ZERO).from_producer(ProducerId(3), 99);
+        assert_eq!(r.producer, ProducerId(3));
+        assert_eq!(r.producer_seq, 99);
+    }
+
+    #[test]
+    fn value_utf8_lossy() {
+        let r = Record::keyless("héllo", SimTime::ZERO);
+        assert_eq!(r.value_utf8(), "héllo");
+    }
+
+    #[test]
+    fn topic_partition_display() {
+        assert_eq!(TopicPartition::new("events", 2).to_string(), "events-2");
+    }
+
+    #[test]
+    fn batch_extend_and_iter() {
+        let mut b = RecordBatch::new();
+        assert!(b.is_empty());
+        b.extend([Record::keyless("a", SimTime::ZERO), Record::keyless("b", SimTime::ZERO)]);
+        let values: Vec<String> = b.into_iter().map(|r| r.value_utf8()).collect();
+        assert_eq!(values, vec!["a", "b"]);
+    }
+}

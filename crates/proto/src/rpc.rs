@@ -1,0 +1,497 @@
+//! RPC vocabulary: client↔broker, broker↔broker, broker↔controller, and the
+//! KRaft metadata quorum.
+
+use std::fmt;
+
+use s2g_sim::Message;
+
+use crate::record::{Offset, RecordBatch, TopicPartition};
+
+/// Identifies a broker in the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BrokerId(pub u32);
+
+impl fmt::Display for BrokerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+/// Matches a response to its request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CorrelationId(pub u64);
+
+/// Monotonically increasing per-partition leadership epoch; fences stale
+/// leaders and stale metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LeaderEpoch(pub u64);
+
+impl LeaderEpoch {
+    /// The epoch after this one.
+    pub fn next(self) -> LeaderEpoch {
+        LeaderEpoch(self.0 + 1)
+    }
+}
+
+/// Producer acknowledgement mode (Kafka's `acks`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AckMode {
+    /// Acknowledge once the leader has appended (`acks=1`, the Kafka 2.x
+    /// default, and the mode under which the ZooKeeper-era partition bug
+    /// silently loses data).
+    #[default]
+    Leader,
+    /// Acknowledge once all in-sync replicas have appended (`acks=all`).
+    All,
+}
+
+/// Error codes carried in responses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorCode {
+    /// Success.
+    None,
+    /// The receiving broker is not the partition leader.
+    NotLeader,
+    /// Unknown topic or partition.
+    UnknownTopicPartition,
+    /// Fetch offset is beyond the log end (or before log start).
+    OffsetOutOfRange,
+    /// The broker is fenced (lost its controller session in KRaft mode).
+    Fenced,
+    /// Not enough in-sync replicas to satisfy `acks=all`.
+    NotEnoughReplicas,
+    /// The request carried a stale leader epoch.
+    StaleEpoch,
+}
+
+impl ErrorCode {
+    /// True for `ErrorCode::None`.
+    pub fn is_ok(self) -> bool {
+        self == ErrorCode::None
+    }
+
+    /// True for errors that a client should retry against fresh metadata.
+    pub fn is_retriable(self) -> bool {
+        matches!(
+            self,
+            ErrorCode::NotLeader
+                | ErrorCode::Fenced
+                | ErrorCode::NotEnoughReplicas
+                | ErrorCode::StaleEpoch
+        )
+    }
+}
+
+/// Leadership metadata for one partition, as served to clients.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionMetadata {
+    /// The partition described.
+    pub tp: TopicPartition,
+    /// Current leader, if one is elected.
+    pub leader: Option<BrokerId>,
+    /// Current leadership epoch.
+    pub epoch: LeaderEpoch,
+    /// In-sync replica set.
+    pub isr: Vec<BrokerId>,
+    /// Full replica assignment (first entry is the preferred leader).
+    pub replicas: Vec<BrokerId>,
+}
+
+impl PartitionMetadata {
+    fn encoded_len(&self) -> usize {
+        self.tp.topic.len() + 16 + 6 * (self.isr.len() + self.replicas.len())
+    }
+}
+
+/// Fixed per-RPC envelope overhead (API key, version, correlation, client id).
+pub const RPC_OVERHEAD: usize = 38;
+
+/// Client ↔ broker RPCs (produce, fetch, metadata).
+#[derive(Debug, Clone)]
+pub enum ClientRpc {
+    /// Append a batch to a partition.
+    ProduceRequest {
+        /// Correlation id.
+        corr: CorrelationId,
+        /// Target partition.
+        tp: TopicPartition,
+        /// Records to append.
+        batch: RecordBatch,
+        /// Acknowledgement mode.
+        acks: AckMode,
+    },
+    /// Result of a produce.
+    ProduceResponse {
+        /// Correlation id.
+        corr: CorrelationId,
+        /// Target partition.
+        tp: TopicPartition,
+        /// Offset of the first appended record (when successful).
+        base_offset: Offset,
+        /// Outcome.
+        error: ErrorCode,
+    },
+    /// Read records from a partition starting at `offset`.
+    FetchRequest {
+        /// Correlation id.
+        corr: CorrelationId,
+        /// Source partition.
+        tp: TopicPartition,
+        /// First offset wanted.
+        offset: Offset,
+        /// Cap on returned records.
+        max_records: usize,
+    },
+    /// Records returned by a fetch.
+    FetchResponse {
+        /// Correlation id.
+        corr: CorrelationId,
+        /// Source partition.
+        tp: TopicPartition,
+        /// Records at and after the requested offset (up to the high
+        /// watermark only — uncommitted records are never served).
+        batch: RecordBatch,
+        /// The partition's high watermark.
+        high_watermark: Offset,
+        /// Outcome.
+        error: ErrorCode,
+    },
+    /// Ask any broker for cluster metadata.
+    MetadataRequest {
+        /// Correlation id.
+        corr: CorrelationId,
+    },
+    /// Cluster metadata snapshot.
+    MetadataResponse {
+        /// Correlation id.
+        corr: CorrelationId,
+        /// Per-partition leadership info.
+        partitions: Vec<PartitionMetadata>,
+    },
+}
+
+impl Message for ClientRpc {
+    fn wire_size(&self) -> usize {
+        RPC_OVERHEAD
+            + match self {
+                ClientRpc::ProduceRequest { tp, batch, .. } => tp.topic.len() + batch.encoded_len(),
+                ClientRpc::ProduceResponse { tp, .. } => tp.topic.len() + 16,
+                ClientRpc::FetchRequest { tp, .. } => tp.topic.len() + 20,
+                ClientRpc::FetchResponse { tp, batch, .. } => tp.topic.len() + 16 + batch.encoded_len(),
+                ClientRpc::MetadataRequest { .. } => 4,
+                ClientRpc::MetadataResponse { partitions, .. } => {
+                    partitions.iter().map(PartitionMetadata::encoded_len).sum::<usize>() + 8
+                }
+            }
+    }
+}
+
+/// Broker ↔ broker replication RPCs (follower-driven fetch, like Kafka).
+#[derive(Debug, Clone)]
+pub enum ReplicaRpc {
+    /// Follower asks the leader for records after its log end.
+    Fetch {
+        /// Correlation id.
+        corr: CorrelationId,
+        /// Partition replicated.
+        tp: TopicPartition,
+        /// The requesting follower.
+        from: BrokerId,
+        /// Follower's current log end offset.
+        log_end: Offset,
+        /// Follower's view of the leader epoch.
+        epoch: LeaderEpoch,
+    },
+    /// Leader's reply to a replica fetch.
+    FetchResponse {
+        /// Correlation id.
+        corr: CorrelationId,
+        /// Partition replicated.
+        tp: TopicPartition,
+        /// Records after the follower's log end.
+        batch: RecordBatch,
+        /// Leader epoch of each record in `batch` (aligned by index), so the
+        /// follower can tag its log entries for later divergence checks.
+        epochs: Vec<LeaderEpoch>,
+        /// Leader's high watermark.
+        high_watermark: Offset,
+        /// Leader epoch (so stale followers learn they diverged).
+        epoch: LeaderEpoch,
+        /// When set, the follower must truncate its log to this offset
+        /// before appending — the divergence-reconciliation path.
+        truncate_to: Option<Offset>,
+        /// Outcome.
+        error: ErrorCode,
+    },
+}
+
+impl Message for ReplicaRpc {
+    fn wire_size(&self) -> usize {
+        RPC_OVERHEAD
+            + match self {
+                ReplicaRpc::Fetch { tp, .. } => tp.topic.len() + 24,
+                ReplicaRpc::FetchResponse { tp, batch, .. } => tp.topic.len() + 32 + batch.encoded_len(),
+            }
+    }
+}
+
+/// A record in the cluster metadata log (KRaft) or ZooKeeper znode update.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetadataRecord {
+    /// A topic was created.
+    TopicCreated {
+        /// Topic name.
+        topic: String,
+        /// Number of partitions.
+        partitions: u32,
+        /// Replication factor.
+        replication: u32,
+    },
+    /// Partition leadership or ISR changed.
+    PartitionChange {
+        /// The partition.
+        tp: TopicPartition,
+        /// New leader (None while a new election is pending).
+        leader: Option<BrokerId>,
+        /// New ISR.
+        isr: Vec<BrokerId>,
+        /// New epoch.
+        epoch: LeaderEpoch,
+    },
+    /// A broker registered (or re-registered) with the controller.
+    BrokerRegistered {
+        /// The broker.
+        broker: BrokerId,
+    },
+    /// A broker was fenced (session expired / heartbeats lost).
+    BrokerFenced {
+        /// The broker.
+        broker: BrokerId,
+    },
+}
+
+impl MetadataRecord {
+    fn encoded_len(&self) -> usize {
+        match self {
+            MetadataRecord::TopicCreated { topic, .. } => topic.len() + 16,
+            MetadataRecord::PartitionChange { tp, isr, .. } => tp.topic.len() + 20 + 6 * isr.len(),
+            MetadataRecord::BrokerRegistered { .. } | MetadataRecord::BrokerFenced { .. } => 8,
+        }
+    }
+}
+
+/// Broker ↔ controller RPCs (sessions, ISR changes, metadata propagation).
+#[derive(Debug, Clone)]
+pub enum ControllerRpc {
+    /// Periodic broker liveness heartbeat (ZooKeeper session touch / KRaft
+    /// broker heartbeat).
+    Heartbeat {
+        /// The broker.
+        broker: BrokerId,
+    },
+    /// Heartbeat acknowledgement; carries the controller's metadata version
+    /// so brokers notice staleness.
+    HeartbeatAck {
+        /// Controller metadata version.
+        metadata_version: u64,
+        /// Whether the broker is fenced and must stop serving.
+        fenced: bool,
+    },
+    /// Leader asks the controller to record an ISR change.
+    AlterIsr {
+        /// The partition.
+        tp: TopicPartition,
+        /// Requesting leader.
+        from: BrokerId,
+        /// Leader's epoch (stale requests are rejected).
+        epoch: LeaderEpoch,
+        /// Proposed new ISR.
+        new_isr: Vec<BrokerId>,
+    },
+    /// Controller instructs a broker about partition leadership.
+    LeaderAndIsr {
+        /// The partition.
+        tp: TopicPartition,
+        /// The leader (None = leaderless, awaiting election).
+        leader: Option<BrokerId>,
+        /// In-sync replicas.
+        isr: Vec<BrokerId>,
+        /// Leadership epoch.
+        epoch: LeaderEpoch,
+        /// Full replica set (first = preferred leader).
+        replicas: Vec<BrokerId>,
+    },
+    /// Controller pushes a metadata delta to brokers/clients.
+    MetadataUpdate {
+        /// Changed records.
+        records: Vec<MetadataRecord>,
+        /// Metadata version after applying.
+        metadata_version: u64,
+    },
+}
+
+impl Message for ControllerRpc {
+    fn wire_size(&self) -> usize {
+        RPC_OVERHEAD
+            + match self {
+                ControllerRpc::Heartbeat { .. } => 8,
+                ControllerRpc::HeartbeatAck { .. } => 12,
+                ControllerRpc::AlterIsr { tp, new_isr, .. } => tp.topic.len() + 20 + 6 * new_isr.len(),
+                ControllerRpc::LeaderAndIsr { tp, isr, replicas, .. } => {
+                    tp.topic.len() + 20 + 6 * (isr.len() + replicas.len())
+                }
+                ControllerRpc::MetadataUpdate { records, .. } => {
+                    records.iter().map(MetadataRecord::encoded_len).sum::<usize>() + 12
+                }
+            }
+    }
+}
+
+/// Raft RPCs for the KRaft metadata quorum.
+#[derive(Debug, Clone)]
+pub enum RaftRpc {
+    /// Candidate solicits a vote.
+    RequestVote {
+        /// Candidate's term.
+        term: u64,
+        /// The candidate.
+        candidate: BrokerId,
+        /// Index of the candidate's last log entry.
+        last_log_index: u64,
+        /// Term of the candidate's last log entry.
+        last_log_term: u64,
+    },
+    /// Vote reply.
+    VoteResponse {
+        /// Voter's current term.
+        term: u64,
+        /// Whether the vote was granted.
+        granted: bool,
+        /// The voter.
+        from: BrokerId,
+    },
+    /// Leader replicates metadata log entries.
+    AppendEntries {
+        /// Leader's term.
+        term: u64,
+        /// The leader.
+        leader: BrokerId,
+        /// Index of the entry preceding `entries`.
+        prev_log_index: u64,
+        /// Term of that entry.
+        prev_log_term: u64,
+        /// New entries as `(term, record)` pairs.
+        entries: Vec<(u64, MetadataRecord)>,
+        /// Leader's commit index.
+        leader_commit: u64,
+    },
+    /// Append reply.
+    AppendResponse {
+        /// Follower's current term.
+        term: u64,
+        /// Whether the entries were appended.
+        success: bool,
+        /// Follower's resulting log end index (for match tracking).
+        match_index: u64,
+        /// The follower.
+        from: BrokerId,
+    },
+}
+
+impl Message for RaftRpc {
+    fn wire_size(&self) -> usize {
+        RPC_OVERHEAD
+            + match self {
+                RaftRpc::RequestVote { .. } => 28,
+                RaftRpc::VoteResponse { .. } => 16,
+                RaftRpc::AppendEntries { entries, .. } => {
+                    32 + entries.iter().map(|(_, r)| 8 + r.encoded_len()).sum::<usize>()
+                }
+                RaftRpc::AppendResponse { .. } => 24,
+            }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Record;
+    use s2g_sim::SimTime;
+
+    #[test]
+    fn error_code_classification() {
+        assert!(ErrorCode::None.is_ok());
+        assert!(!ErrorCode::NotLeader.is_ok());
+        assert!(ErrorCode::NotLeader.is_retriable());
+        assert!(ErrorCode::Fenced.is_retriable());
+        assert!(!ErrorCode::OffsetOutOfRange.is_retriable());
+        assert!(!ErrorCode::UnknownTopicPartition.is_retriable());
+    }
+
+    #[test]
+    fn produce_request_size_scales_with_batch() {
+        let tp = TopicPartition::new("t", 0);
+        let small = ClientRpc::ProduceRequest {
+            corr: CorrelationId(1),
+            tp: tp.clone(),
+            batch: RecordBatch::from_records(vec![Record::keyless(vec![0u8; 10], SimTime::ZERO)]),
+            acks: AckMode::Leader,
+        };
+        let big = ClientRpc::ProduceRequest {
+            corr: CorrelationId(2),
+            tp,
+            batch: RecordBatch::from_records(vec![Record::keyless(vec![0u8; 1000], SimTime::ZERO)]),
+            acks: AckMode::Leader,
+        };
+        assert_eq!(big.wire_size() - small.wire_size(), 990);
+        assert!(small.wire_size() > RPC_OVERHEAD);
+    }
+
+    #[test]
+    fn metadata_response_size_scales_with_partitions() {
+        let one = ClientRpc::MetadataResponse {
+            corr: CorrelationId(0),
+            partitions: vec![PartitionMetadata {
+                tp: TopicPartition::new("topic", 0),
+                leader: Some(BrokerId(1)),
+                epoch: LeaderEpoch(0),
+                isr: vec![BrokerId(1)],
+                replicas: vec![BrokerId(1), BrokerId(2)],
+            }],
+        };
+        let none = ClientRpc::MetadataResponse { corr: CorrelationId(0), partitions: vec![] };
+        assert!(one.wire_size() > none.wire_size());
+    }
+
+    #[test]
+    fn raft_append_size_scales_with_entries() {
+        let empty = RaftRpc::AppendEntries {
+            term: 1,
+            leader: BrokerId(0),
+            prev_log_index: 0,
+            prev_log_term: 0,
+            entries: vec![],
+            leader_commit: 0,
+        };
+        let one = RaftRpc::AppendEntries {
+            term: 1,
+            leader: BrokerId(0),
+            prev_log_index: 0,
+            prev_log_term: 0,
+            entries: vec![(1, MetadataRecord::BrokerFenced { broker: BrokerId(3) })],
+            leader_commit: 0,
+        };
+        assert!(one.wire_size() > empty.wire_size());
+    }
+
+    #[test]
+    fn epoch_next() {
+        assert_eq!(LeaderEpoch(3).next(), LeaderEpoch(4));
+        assert!(LeaderEpoch(3) < LeaderEpoch(4));
+    }
+
+    #[test]
+    fn ack_mode_default_is_leader() {
+        assert_eq!(AckMode::default(), AckMode::Leader);
+    }
+}

@@ -1,0 +1,239 @@
+//! Host CPU model.
+//!
+//! The paper's emulation runs every application component on a single
+//! commodity server, and its evaluation (Fig. 7a and Fig. 9) depends on CPU
+//! contention: transfer throughput plateaus once the number of consumers
+//! exceeds the core count, and overall server utilization grows with the
+//! number of coordinating sites. [`HostCpu`] reproduces that behaviour as a
+//! multi-server queue: each work item occupies one core for its cost
+//! (divided by the host's speed factor), and items queue when every core is
+//! busy.
+//!
+//! Busy intervals are recorded so the resource monitor can reconstruct
+//! utilization in 500 ms sampling windows, mirroring the paper's
+//! `/proc/stat` snapshots.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::time::{SimDuration, SimTime};
+
+/// A shared handle to a host's CPU model.
+pub type CpuHandle = Rc<RefCell<HostCpu>>;
+
+/// A simulated multi-core CPU attached to an emulated host.
+///
+/// # Examples
+///
+/// ```
+/// use s2g_sim::{HostCpu, SimDuration, SimTime};
+///
+/// let mut cpu = HostCpu::new("h1", 2, 1.0);
+/// let now = SimTime::ZERO;
+/// // Two jobs fill both cores; the third queues behind the first to finish.
+/// let d1 = cpu.execute(now, SimDuration::from_millis(10));
+/// let d2 = cpu.execute(now, SimDuration::from_millis(10));
+/// let d3 = cpu.execute(now, SimDuration::from_millis(10));
+/// assert_eq!(d1.as_millis(), 10);
+/// assert_eq!(d2.as_millis(), 10);
+/// assert_eq!(d3.as_millis(), 20);
+/// ```
+#[derive(Debug)]
+pub struct HostCpu {
+    name: String,
+    /// Next instant each core becomes free.
+    cores: Vec<SimTime>,
+    /// Relative speed (1.0 = nominal). The orchestrator lowers this for
+    /// hosts capped via the `cpuPercentage` attribute.
+    speed: f64,
+    /// Completed/scheduled busy intervals, drained by the resource monitor.
+    busy_intervals: Vec<(SimTime, SimTime)>,
+    /// Total busy core-time ever scheduled.
+    total_busy: SimDuration,
+    /// Number of work items executed.
+    jobs: u64,
+}
+
+impl HostCpu {
+    /// Creates a CPU with `cores` cores and a relative `speed` factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero or `speed` is not strictly positive.
+    pub fn new(name: impl Into<String>, cores: usize, speed: f64) -> Self {
+        assert!(cores > 0, "a host needs at least one core");
+        assert!(speed > 0.0 && speed.is_finite(), "speed must be positive, got {speed}");
+        HostCpu {
+            name: name.into(),
+            cores: vec![SimTime::ZERO; cores],
+            speed,
+            busy_intervals: Vec::new(),
+            total_busy: SimDuration::ZERO,
+            jobs: 0,
+        }
+    }
+
+    /// Creates a shared handle.
+    pub fn shared(name: impl Into<String>, cores: usize, speed: f64) -> CpuHandle {
+        Rc::new(RefCell::new(HostCpu::new(name, cores, speed)))
+    }
+
+    /// The host name this CPU belongs to.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// The relative speed factor.
+    pub fn speed(&self) -> f64 {
+        self.speed
+    }
+
+    /// Adjusts the relative speed factor (used by `cpuPercentage` caps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speed` is not strictly positive.
+    pub fn set_speed(&mut self, speed: f64) {
+        assert!(speed > 0.0 && speed.is_finite(), "speed must be positive, got {speed}");
+        self.speed = speed;
+    }
+
+    /// Schedules a work item of `cost` nominal CPU time starting no earlier
+    /// than `now`, and returns the delay from `now` until it completes.
+    ///
+    /// The item runs on the earliest-free core; its real duration is
+    /// `cost / speed`.
+    pub fn execute(&mut self, now: SimTime, cost: SimDuration) -> SimDuration {
+        let scaled = SimDuration::from_nanos((cost.as_nanos() as f64 / self.speed).round() as u64);
+        // Earliest-free core.
+        let (idx, _) = self
+            .cores
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, t)| (**t, *i))
+            .expect("at least one core");
+        let start = self.cores[idx].max(now);
+        let done = start + scaled;
+        self.cores[idx] = done;
+        if !scaled.is_zero() {
+            self.busy_intervals.push((start, done));
+            self.total_busy += scaled;
+        }
+        self.jobs += 1;
+        done - now
+    }
+
+    /// The earliest instant at which a new item could start executing.
+    pub fn earliest_start(&self, now: SimTime) -> SimTime {
+        self.cores.iter().copied().min().unwrap_or(SimTime::ZERO).max(now)
+    }
+
+    /// Total busy core-time scheduled so far.
+    pub fn total_busy(&self) -> SimDuration {
+        self.total_busy
+    }
+
+    /// Number of work items executed so far.
+    pub fn jobs(&self) -> u64 {
+        self.jobs
+    }
+
+    /// Drains busy intervals that end at or before `upto`, returning them for
+    /// utilization binning. Intervals still in progress are kept.
+    pub fn drain_intervals(&mut self, upto: SimTime) -> Vec<(SimTime, SimTime)> {
+        let mut done = Vec::new();
+        let mut keep = Vec::new();
+        for iv in self.busy_intervals.drain(..) {
+            if iv.1 <= upto {
+                done.push(iv);
+            } else {
+                keep.push(iv);
+            }
+        }
+        self.busy_intervals = keep;
+        done
+    }
+
+    /// Peeks at all recorded intervals (completed and in-flight).
+    pub fn intervals(&self) -> &[(SimTime, SimTime)] {
+        &self.busy_intervals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_core_serializes_work() {
+        let mut cpu = HostCpu::new("h", 1, 1.0);
+        let t0 = SimTime::ZERO;
+        assert_eq!(cpu.execute(t0, SimDuration::from_millis(5)).as_millis(), 5);
+        assert_eq!(cpu.execute(t0, SimDuration::from_millis(5)).as_millis(), 10);
+        assert_eq!(cpu.execute(t0, SimDuration::from_millis(5)).as_millis(), 15);
+        assert_eq!(cpu.total_busy().as_millis(), 15);
+        assert_eq!(cpu.jobs(), 3);
+    }
+
+    #[test]
+    fn parallel_cores_run_concurrently() {
+        let mut cpu = HostCpu::new("h", 4, 1.0);
+        let t0 = SimTime::ZERO;
+        for _ in 0..4 {
+            assert_eq!(cpu.execute(t0, SimDuration::from_millis(10)).as_millis(), 10);
+        }
+        // Fifth job waits for a core.
+        assert_eq!(cpu.execute(t0, SimDuration::from_millis(10)).as_millis(), 20);
+    }
+
+    #[test]
+    fn speed_scales_cost() {
+        let mut cpu = HostCpu::new("h", 1, 0.5);
+        let d = cpu.execute(SimTime::ZERO, SimDuration::from_millis(10));
+        assert_eq!(d.as_millis(), 20);
+        cpu.set_speed(2.0);
+        let d = cpu.execute(SimTime::from_millis(20), SimDuration::from_millis(10));
+        assert_eq!(d.as_millis(), 5);
+    }
+
+    #[test]
+    fn later_now_pushes_start() {
+        let mut cpu = HostCpu::new("h", 1, 1.0);
+        cpu.execute(SimTime::ZERO, SimDuration::from_millis(1));
+        // CPU free at 1ms; job arriving at 10ms starts immediately.
+        let d = cpu.execute(SimTime::from_millis(10), SimDuration::from_millis(2));
+        assert_eq!(d.as_millis(), 2);
+    }
+
+    #[test]
+    fn drain_intervals_splits_on_time() {
+        let mut cpu = HostCpu::new("h", 1, 1.0);
+        cpu.execute(SimTime::ZERO, SimDuration::from_millis(5));
+        cpu.execute(SimTime::from_millis(100), SimDuration::from_millis(5));
+        let done = cpu.drain_intervals(SimTime::from_millis(50));
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].1.as_millis(), 5);
+        assert_eq!(cpu.intervals().len(), 1);
+        let rest = cpu.drain_intervals(SimTime::from_millis(200));
+        assert_eq!(rest.len(), 1);
+    }
+
+    #[test]
+    fn zero_cost_work_is_free() {
+        let mut cpu = HostCpu::new("h", 1, 1.0);
+        let d = cpu.execute(SimTime::ZERO, SimDuration::ZERO);
+        assert!(d.is_zero());
+        assert!(cpu.intervals().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_panics() {
+        let _ = HostCpu::new("h", 0, 1.0);
+    }
+}

@@ -1,0 +1,620 @@
+//! Stream operators: stateless transforms, keyed state, windows, joins.
+//!
+//! Operators process micro-batches (Spark-Streaming style) and may keep
+//! state across batches. Event-time windows emit when the operator's
+//! watermark — the maximum event time seen — passes the window end.
+
+use std::collections::BTreeMap;
+
+use s2g_sim::{SimDuration, SimTime};
+
+use crate::event::{Event, Value};
+
+/// A micro-batch stream operator.
+pub trait Operator {
+    /// Operator name, for metrics and debugging.
+    fn name(&self) -> &str;
+
+    /// Processes one micro-batch, returning the output events.
+    fn process(&mut self, now: SimTime, batch: Vec<Event>) -> Vec<Event>;
+
+    /// Emits whatever state remains (e.g. incomplete windows) at the end of
+    /// the stream. Default: nothing.
+    fn flush(&mut self, _now: SimTime) -> Vec<Event> {
+        Vec::new()
+    }
+}
+
+/// Stateless 1→1 transform.
+pub struct Map {
+    name: String,
+    f: Box<dyn FnMut(Event) -> Event>,
+}
+
+impl Map {
+    /// Creates a map operator.
+    pub fn new(name: impl Into<String>, f: impl FnMut(Event) -> Event + 'static) -> Self {
+        Map { name: name.into(), f: Box::new(f) }
+    }
+}
+
+impl Operator for Map {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn process(&mut self, _now: SimTime, batch: Vec<Event>) -> Vec<Event> {
+        batch.into_iter().map(&mut self.f).collect()
+    }
+}
+
+/// Stateless 1→N transform.
+pub struct FlatMap {
+    name: String,
+    f: Box<dyn FnMut(Event) -> Vec<Event>>,
+}
+
+impl FlatMap {
+    /// Creates a flat-map operator.
+    pub fn new(name: impl Into<String>, f: impl FnMut(Event) -> Vec<Event> + 'static) -> Self {
+        FlatMap { name: name.into(), f: Box::new(f) }
+    }
+}
+
+impl Operator for FlatMap {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn process(&mut self, _now: SimTime, batch: Vec<Event>) -> Vec<Event> {
+        batch.into_iter().flat_map(&mut self.f).collect()
+    }
+}
+
+/// Stateless predicate filter.
+pub struct Filter {
+    name: String,
+    f: Box<dyn FnMut(&Event) -> bool>,
+}
+
+impl Filter {
+    /// Creates a filter operator.
+    pub fn new(name: impl Into<String>, f: impl FnMut(&Event) -> bool + 'static) -> Self {
+        Filter { name: name.into(), f: Box::new(f) }
+    }
+}
+
+impl Operator for Filter {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn process(&mut self, _now: SimTime, batch: Vec<Event>) -> Vec<Event> {
+        batch.into_iter().filter(|e| (self.f)(e)).collect()
+    }
+}
+
+/// Assigns each event a grouping key.
+pub struct KeyBy {
+    name: String,
+    f: Box<dyn Fn(&Event) -> String>,
+}
+
+impl KeyBy {
+    /// Creates a key-by operator.
+    pub fn new(name: impl Into<String>, f: impl Fn(&Event) -> String + 'static) -> Self {
+        KeyBy { name: name.into(), f: Box::new(f) }
+    }
+}
+
+impl Operator for KeyBy {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn process(&mut self, _now: SimTime, batch: Vec<Event>) -> Vec<Event> {
+        batch
+            .into_iter()
+            .map(|mut e| {
+                e.key = Some((self.f)(&e));
+                e
+            })
+            .collect()
+    }
+}
+
+/// Keyed running state across the whole stream: for every input event the
+/// user function updates per-key state and emits zero or more outputs. This
+/// is the continuous-query building block (running counts, running
+/// averages) used by the word-count pipeline's second job.
+pub struct StatefulMap {
+    name: String,
+    state: BTreeMap<String, Value>,
+    #[allow(clippy::type_complexity)]
+    f: Box<dyn FnMut(&mut Value, &Event) -> Vec<Event>>,
+    init: Value,
+}
+
+impl StatefulMap {
+    /// Creates a stateful map; `init` seeds each key's state.
+    pub fn new(
+        name: impl Into<String>,
+        init: Value,
+        f: impl FnMut(&mut Value, &Event) -> Vec<Event> + 'static,
+    ) -> Self {
+        StatefulMap { name: name.into(), state: BTreeMap::new(), f: Box::new(f), init }
+    }
+
+    /// The number of keys currently held in state.
+    pub fn key_count(&self) -> usize {
+        self.state.len()
+    }
+}
+
+impl Operator for StatefulMap {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn process(&mut self, _now: SimTime, batch: Vec<Event>) -> Vec<Event> {
+        let mut out = Vec::new();
+        for e in batch {
+            let key = e.key.clone().unwrap_or_default();
+            let slot = self.state.entry(key).or_insert_with(|| self.init.clone());
+            out.extend((self.f)(slot, &e));
+        }
+        out
+    }
+}
+
+/// How events map to event-time windows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowAssigner {
+    /// Fixed, non-overlapping windows of the given width.
+    Tumbling(SimDuration),
+    /// Overlapping windows of `width`, starting every `slide`.
+    Sliding {
+        /// Window width.
+        width: SimDuration,
+        /// Start-to-start distance.
+        slide: SimDuration,
+    },
+}
+
+impl WindowAssigner {
+    /// The windows (by start time) containing an event at `ts`.
+    pub fn assign(&self, ts: SimTime) -> Vec<SimTime> {
+        match *self {
+            WindowAssigner::Tumbling(width) => {
+                let w = width.as_nanos();
+                vec![SimTime::from_nanos(ts.as_nanos() / w * w)]
+            }
+            WindowAssigner::Sliding { width, slide } => {
+                let (w, s) = (width.as_nanos(), slide.as_nanos());
+                let t = ts.as_nanos();
+                let last_start = t / s * s;
+                let mut starts = Vec::new();
+                let mut start = last_start;
+                loop {
+                    if start + w > t {
+                        starts.push(SimTime::from_nanos(start));
+                    }
+                    if start < s {
+                        break;
+                    }
+                    start -= s;
+                    if start + w <= t {
+                        break;
+                    }
+                }
+                starts.reverse();
+                starts
+            }
+        }
+    }
+
+    /// The width of the windows produced.
+    pub fn width(&self) -> SimDuration {
+        match *self {
+            WindowAssigner::Tumbling(w) => w,
+            WindowAssigner::Sliding { width, .. } => width,
+        }
+    }
+}
+
+struct WindowState {
+    acc: Value,
+    count: u64,
+    min_origin: SimTime,
+}
+
+/// Keyed event-time window aggregation.
+///
+/// Accumulates `fold(acc, event)` per `(window, key)` and emits one event
+/// per pair once the watermark passes the window end. The output value is
+/// `finish(acc, count)`; its key is the group key, its timestamp the window
+/// end, and its origin the earliest contributing origin (for end-to-end
+/// latency tracking).
+pub struct WindowAggregate {
+    name: String,
+    assigner: WindowAssigner,
+    init: Value,
+    #[allow(clippy::type_complexity)]
+    fold: Box<dyn FnMut(Value, &Event) -> Value>,
+    #[allow(clippy::type_complexity)]
+    finish: Box<dyn Fn(Value, u64) -> Value>,
+    windows: BTreeMap<(SimTime, String), WindowState>,
+    watermark: SimTime,
+}
+
+impl WindowAggregate {
+    /// Creates a window aggregation.
+    pub fn new(
+        name: impl Into<String>,
+        assigner: WindowAssigner,
+        init: Value,
+        fold: impl FnMut(Value, &Event) -> Value + 'static,
+        finish: impl Fn(Value, u64) -> Value + 'static,
+    ) -> Self {
+        WindowAggregate {
+            name: name.into(),
+            assigner,
+            init,
+            fold: Box::new(fold),
+            finish: Box::new(finish),
+            windows: BTreeMap::new(),
+            watermark: SimTime::ZERO,
+        }
+    }
+
+    /// Convenience: per-key event count per window.
+    pub fn count(name: impl Into<String>, assigner: WindowAssigner) -> Self {
+        WindowAggregate::new(
+            name,
+            assigner,
+            Value::Int(0),
+            |acc, _| Value::Int(acc.as_int().unwrap_or(0) + 1),
+            |acc, _| acc,
+        )
+    }
+
+    /// Convenience: per-key sum of a float field per window.
+    pub fn sum_field(name: impl Into<String>, assigner: WindowAssigner, field: &'static str) -> Self {
+        WindowAggregate::new(
+            name,
+            assigner,
+            Value::Float(0.0),
+            move |acc, e| {
+                let add = e.value.field(field).and_then(Value::as_float).unwrap_or(0.0);
+                Value::Float(acc.as_float().unwrap_or(0.0) + add)
+            },
+            |acc, _| acc,
+        )
+    }
+
+    /// Convenience: per-key mean of a float field per window.
+    pub fn avg_field(name: impl Into<String>, assigner: WindowAssigner, field: &'static str) -> Self {
+        WindowAggregate::new(
+            name,
+            assigner,
+            Value::Float(0.0),
+            move |acc, e| {
+                let add = e.value.field(field).and_then(Value::as_float).unwrap_or(0.0);
+                Value::Float(acc.as_float().unwrap_or(0.0) + add)
+            },
+            |acc, n| Value::Float(acc.as_float().unwrap_or(0.0) / n.max(1) as f64),
+        )
+    }
+
+    fn emit_ready(&mut self, out: &mut Vec<Event>) {
+        let width = self.assigner.width();
+        let ready: Vec<(SimTime, String)> = self
+            .windows
+            .keys()
+            .filter(|(start, _)| *start + width <= self.watermark)
+            .cloned()
+            .collect();
+        for key in ready {
+            let st = self.windows.remove(&key).expect("key just listed");
+            let (start, group) = key;
+            let end = start + width;
+            let value = (self.finish)(st.acc, st.count);
+            out.push(Event {
+                key: Some(group),
+                value,
+                ts: end,
+                origin: st.min_origin,
+                source: 0,
+            });
+        }
+    }
+}
+
+impl Operator for WindowAggregate {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn process(&mut self, _now: SimTime, batch: Vec<Event>) -> Vec<Event> {
+        for e in batch {
+            self.watermark = self.watermark.max(e.ts);
+            let key = e.key.clone().unwrap_or_default();
+            for start in self.assigner.assign(e.ts) {
+                let st = self
+                    .windows
+                    .entry((start, key.clone()))
+                    .or_insert_with(|| WindowState {
+                        acc: self.init.clone(),
+                        count: 0,
+                        min_origin: e.origin,
+                    });
+                st.acc = (self.fold)(std::mem::replace(&mut st.acc, Value::Null), &e);
+                st.count += 1;
+                st.min_origin = st.min_origin.min(e.origin);
+            }
+        }
+        let mut out = Vec::new();
+        self.emit_ready(&mut out);
+        out
+    }
+
+    fn flush(&mut self, _now: SimTime) -> Vec<Event> {
+        self.watermark = SimTime::MAX;
+        let mut out = Vec::new();
+        let width = self.assigner.width();
+        let all: Vec<(SimTime, String)> = self.windows.keys().cloned().collect();
+        for key in all {
+            let st = self.windows.remove(&key).expect("listed");
+            let (start, group) = key;
+            out.push(Event {
+                key: Some(group),
+                value: (self.finish)(st.acc, st.count),
+                ts: start + width,
+                origin: st.min_origin,
+                source: 0,
+            });
+        }
+        out
+    }
+}
+
+/// Windowed two-input equi-join: pairs events with equal keys from sources
+/// 0 and 1 within the same event-time window, emitting `joiner(left, right)`
+/// when the watermark passes the window end.
+pub struct WindowJoin {
+    name: String,
+    assigner: WindowAssigner,
+    #[allow(clippy::type_complexity)]
+    joiner: Box<dyn Fn(&Event, &Event) -> Value>,
+    buffers: BTreeMap<(SimTime, String), (Vec<Event>, Vec<Event>)>,
+    watermark: SimTime,
+}
+
+impl WindowJoin {
+    /// Creates a windowed join.
+    pub fn new(
+        name: impl Into<String>,
+        assigner: WindowAssigner,
+        joiner: impl Fn(&Event, &Event) -> Value + 'static,
+    ) -> Self {
+        WindowJoin {
+            name: name.into(),
+            assigner,
+            joiner: Box::new(joiner),
+            buffers: BTreeMap::new(),
+            watermark: SimTime::ZERO,
+        }
+    }
+
+    fn emit_ready(&mut self) -> Vec<Event> {
+        let width = self.assigner.width();
+        let ready: Vec<(SimTime, String)> = self
+            .buffers
+            .keys()
+            .filter(|(start, _)| *start + width <= self.watermark)
+            .cloned()
+            .collect();
+        let mut out = Vec::new();
+        for key in ready {
+            let (lefts, rights) = self.buffers.remove(&key).expect("listed");
+            let (start, group) = key;
+            let end = start + width;
+            for l in &lefts {
+                for r in &rights {
+                    out.push(Event {
+                        key: Some(group.clone()),
+                        value: (self.joiner)(l, r),
+                        ts: end,
+                        origin: l.origin.min(r.origin),
+                        source: 0,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Operator for WindowJoin {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn process(&mut self, _now: SimTime, batch: Vec<Event>) -> Vec<Event> {
+        for e in batch {
+            self.watermark = self.watermark.max(e.ts);
+            let key = e.key.clone().unwrap_or_default();
+            for start in self.assigner.assign(e.ts) {
+                let slot = self.buffers.entry((start, key.clone())).or_default();
+                if e.source == 0 {
+                    slot.0.push(e.clone());
+                } else {
+                    slot.1.push(e.clone());
+                }
+            }
+        }
+        self.emit_ready()
+    }
+
+    fn flush(&mut self, _now: SimTime) -> Vec<Event> {
+        self.watermark = SimTime::MAX;
+        self.emit_ready()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(v: i64, ts_ms: u64) -> Event {
+        Event::new(Value::Int(v), SimTime::from_millis(ts_ms))
+    }
+
+    #[test]
+    fn map_transforms() {
+        let mut op = Map::new("double", |mut e| {
+            e.value = Value::Int(e.value.as_int().unwrap() * 2);
+            e
+        });
+        let out = op.process(SimTime::ZERO, vec![ev(1, 0), ev(2, 0)]);
+        assert_eq!(out[0].value, Value::Int(2));
+        assert_eq!(out[1].value, Value::Int(4));
+    }
+
+    #[test]
+    fn flat_map_fans_out() {
+        let mut op = FlatMap::new("dup", |e| vec![e.clone(), e]);
+        let out = op.process(SimTime::ZERO, vec![ev(1, 0)]);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn filter_drops() {
+        let mut op = Filter::new("even", |e| e.value.as_int().unwrap() % 2 == 0);
+        let out = op.process(SimTime::ZERO, vec![ev(1, 0), ev(2, 0), ev(4, 0)]);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn key_by_assigns_keys() {
+        let mut op = KeyBy::new("mod2", |e| (e.value.as_int().unwrap() % 2).to_string());
+        let out = op.process(SimTime::ZERO, vec![ev(3, 0), ev(4, 0)]);
+        assert_eq!(out[0].key.as_deref(), Some("1"));
+        assert_eq!(out[1].key.as_deref(), Some("0"));
+    }
+
+    #[test]
+    fn stateful_map_keeps_running_count() {
+        let mut op = StatefulMap::new("count", Value::Int(0), |state, e| {
+            let n = state.as_int().unwrap() + 1;
+            *state = Value::Int(n);
+            vec![Event { value: Value::Int(n), ..e.clone() }]
+        });
+        let batch: Vec<Event> =
+            vec![ev(1, 0).with_key("a"), ev(1, 1).with_key("a"), ev(1, 2).with_key("b")];
+        let out = op.process(SimTime::ZERO, batch);
+        assert_eq!(out[0].value, Value::Int(1));
+        assert_eq!(out[1].value, Value::Int(2));
+        assert_eq!(out[2].value, Value::Int(1));
+        assert_eq!(op.key_count(), 2);
+    }
+
+    #[test]
+    fn tumbling_assignment() {
+        let a = WindowAssigner::Tumbling(SimDuration::from_secs(10));
+        assert_eq!(a.assign(SimTime::from_secs(3)), vec![SimTime::ZERO]);
+        assert_eq!(a.assign(SimTime::from_secs(10)), vec![SimTime::from_secs(10)]);
+        assert_eq!(a.assign(SimTime::from_secs(25)), vec![SimTime::from_secs(20)]);
+    }
+
+    #[test]
+    fn sliding_assignment_overlaps() {
+        let a = WindowAssigner::Sliding {
+            width: SimDuration::from_secs(10),
+            slide: SimDuration::from_secs(5),
+        };
+        // t=12s belongs to windows starting at 5s and 10s.
+        let starts = a.assign(SimTime::from_secs(12));
+        assert_eq!(starts, vec![SimTime::from_secs(5), SimTime::from_secs(10)]);
+        // t=3s belongs to windows starting at 0s only (no negative starts).
+        assert_eq!(a.assign(SimTime::from_secs(3)), vec![SimTime::ZERO]);
+    }
+
+    #[test]
+    fn window_count_emits_on_watermark() {
+        let mut op =
+            WindowAggregate::count("wc", WindowAssigner::Tumbling(SimDuration::from_secs(10)));
+        // Three events in [0,10), none emitted yet (watermark at 9s).
+        let out = op.process(
+            SimTime::ZERO,
+            vec![ev(1, 1_000).with_key("k"), ev(1, 5_000).with_key("k"), ev(1, 9_000).with_key("k")],
+        );
+        assert!(out.is_empty());
+        // An event at 11s pushes the watermark past the first window.
+        let out = op.process(SimTime::ZERO, vec![ev(1, 11_000).with_key("k")]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].value, Value::Int(3));
+        assert_eq!(out[0].ts, SimTime::from_secs(10));
+        // Flush drains the rest.
+        let out = op.flush(SimTime::ZERO);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].value, Value::Int(1));
+    }
+
+    #[test]
+    fn window_origin_is_earliest_contributor() {
+        let mut op =
+            WindowAggregate::count("wc", WindowAssigner::Tumbling(SimDuration::from_secs(10)));
+        let e1 = ev(1, 4_000).with_key("k").with_origin(SimTime::from_millis(100));
+        let e2 = ev(1, 2_000).with_key("k").with_origin(SimTime::from_millis(900));
+        op.process(SimTime::ZERO, vec![e1, e2]);
+        let out = op.flush(SimTime::ZERO);
+        assert_eq!(out[0].origin, SimTime::from_millis(100));
+    }
+
+    #[test]
+    fn avg_field_divides_by_count() {
+        let mut op = WindowAggregate::avg_field(
+            "avg",
+            WindowAssigner::Tumbling(SimDuration::from_secs(10)),
+            "x",
+        );
+        let mk = |x: f64, ms: u64| {
+            Event::new(Value::map([("x", Value::Float(x))]), SimTime::from_millis(ms)).with_key("k")
+        };
+        op.process(SimTime::ZERO, vec![mk(1.0, 100), mk(3.0, 200)]);
+        let out = op.flush(SimTime::ZERO);
+        assert_eq!(out[0].value, Value::Float(2.0));
+    }
+
+    #[test]
+    fn window_join_pairs_by_key() {
+        let mut op = WindowJoin::new(
+            "j",
+            WindowAssigner::Tumbling(SimDuration::from_secs(10)),
+            |l, r| {
+                Value::List(vec![l.value.clone(), r.value.clone()])
+            },
+        );
+        let mut left = ev(1, 1_000).with_key("k");
+        left.source = 0;
+        let mut right = ev(2, 2_000).with_key("k");
+        right.source = 1;
+        let mut other = ev(3, 3_000).with_key("other");
+        other.source = 1;
+        op.process(SimTime::ZERO, vec![left, right, other]);
+        let out = op.flush(SimTime::ZERO);
+        assert_eq!(out.len(), 1, "only matching keys join");
+        assert_eq!(out[0].value, Value::List(vec![Value::Int(1), Value::Int(2)]));
+    }
+
+    #[test]
+    fn sum_field_accumulates() {
+        let mut op = WindowAggregate::sum_field(
+            "sum",
+            WindowAssigner::Tumbling(SimDuration::from_secs(1)),
+            "x",
+        );
+        let mk = |x: f64, ms: u64| {
+            Event::new(Value::map([("x", Value::Float(x))]), SimTime::from_millis(ms)).with_key("k")
+        };
+        op.process(SimTime::ZERO, vec![mk(1.5, 100), mk(2.5, 200)]);
+        let out = op.flush(SimTime::ZERO);
+        assert_eq!(out[0].value, Value::Float(4.0));
+    }
+}

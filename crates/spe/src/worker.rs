@@ -1,0 +1,386 @@
+//! The stream-processing worker process (the Spark node stand-in).
+//!
+//! A [`SpeWorker`] consumes one or more source topics through an embedded
+//! [`ConsumerClient`], collects records into micro-batches on a fixed batch
+//! interval, charges each batch's scheduling overhead plus per-record CPU on
+//! its host, runs the job's [`Plan`], and emits results to a sink: another
+//! topic (chained jobs, like the word-count pipeline's two stages), an
+//! external [`StoreServer`](s2g_store::StoreServer), or a local collection.
+//!
+//! Per-batch runtimes are recorded in [`BatchMetric`]s — the quantity the
+//! Ocampo et al. reproduction (Fig. 7b) reports as "Spark mean execution
+//! time per one-second slot".
+
+use std::collections::HashMap;
+
+use s2g_proto::{ProducerId, Record, TopicPartition};
+use s2g_sim::{
+    Ctx, LedgerHandle, MemSlot, Message, Process, ProcessId, SimDuration, SimTime,
+};
+
+use s2g_broker::{ConsumerClient, ConsumerConfig, DataSink, ProducerClient, ProducerConfig};
+use s2g_store::StoreRpc;
+
+use crate::event::{Event, Value};
+use crate::plan::Plan;
+
+/// SPE tunables (the `streamProcCfg` YAML file, Fig. 3b).
+#[derive(Debug, Clone)]
+pub struct SpeConfig {
+    /// Micro-batch interval (1 s in the traffic-monitoring reproduction).
+    pub batch_interval: SimDuration,
+    /// Fixed per-batch scheduling/dispatch CPU cost (driver overhead).
+    pub scheduling_overhead: SimDuration,
+    /// CPU cost per input record.
+    pub cpu_per_record: SimDuration,
+    /// One-time startup CPU cost (JVM + context bring-up).
+    pub startup_cpu: SimDuration,
+    /// Background churn per interval.
+    pub background_cpu: SimDuration,
+    /// Background churn period.
+    pub background_interval: SimDuration,
+    /// After this many consecutive empty batches, flush windowed state
+    /// downstream (end-of-stream heuristic); 0 disables flushing.
+    pub idle_flush_batches: u32,
+    /// Consumer settings for source topics.
+    pub consumer: ConsumerConfig,
+    /// Producer settings for the sink topic.
+    pub producer: ProducerConfig,
+}
+
+impl Default for SpeConfig {
+    fn default() -> Self {
+        SpeConfig {
+            batch_interval: SimDuration::from_secs(1),
+            scheduling_overhead: SimDuration::from_millis(120),
+            cpu_per_record: SimDuration::from_micros(200),
+            startup_cpu: SimDuration::from_secs(2),
+            background_cpu: SimDuration::from_millis(4),
+            background_interval: SimDuration::from_millis(100),
+            idle_flush_batches: 3,
+            consumer: ConsumerConfig::default(),
+            producer: ProducerConfig::default(),
+        }
+    }
+}
+
+/// Where a job's results go.
+#[derive(Debug, Clone)]
+pub enum SpeSink {
+    /// Produce encoded events to a topic (chained jobs).
+    Topic(String),
+    /// Keep results in the worker (inspection, tests).
+    Collect,
+    /// Insert rows into an external store: `(store process, table name)`.
+    /// Map-valued events become one row of stringified fields (sorted by
+    /// field name); other values become single-cell rows.
+    Store {
+        /// The store server process.
+        store: ProcessId,
+        /// Target table.
+        table: String,
+    },
+}
+
+/// Metrics for one executed micro-batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchMetric {
+    /// When the batch was scheduled.
+    pub start: SimTime,
+    /// When processing (CPU + emit) finished.
+    pub end: SimTime,
+    /// Input records.
+    pub records_in: usize,
+    /// Output events.
+    pub records_out: usize,
+}
+
+impl BatchMetric {
+    /// Wall-clock runtime of the batch (includes CPU queueing delay).
+    pub fn runtime(&self) -> SimDuration {
+        self.end - self.start
+    }
+}
+
+/// Buffers records delivered by the embedded consumer until the next batch.
+#[derive(Default)]
+struct EventBuffer {
+    topic_source: HashMap<String, u8>,
+    events: Vec<Event>,
+}
+
+impl DataSink for EventBuffer {
+    fn on_records(&mut self, _now: SimTime, tp: &TopicPartition, records: &[Record]) {
+        let source = self.topic_source.get(&tp.topic).copied().unwrap_or(0);
+        for r in records {
+            let mut event = match Event::from_bytes(&r.value) {
+                Ok(e) => e,
+                // Raw payload from a producer stub: wrap as a string event
+                // whose origin is the record's produce time.
+                Err(_) => Event::new(Value::Str(r.value_utf8()), r.timestamp),
+            };
+            event.source = source;
+            if let (None, Some(k)) = (&event.key, &r.key) {
+                event.key = Some(String::from_utf8_lossy(k).into_owned());
+            }
+            self.events.push(event);
+        }
+    }
+}
+
+mod tags {
+    pub const STARTUP_DONE: u64 = 0;
+    pub const BATCH_TICK: u64 = 1;
+    pub const BATCH_DONE: u64 = 2;
+    pub const BACKGROUND_TICK: u64 = 3;
+    pub const BACKGROUND_DONE: u64 = 4;
+}
+
+/// The stream-processing worker process.
+pub struct SpeWorker {
+    name: String,
+    cfg: SpeConfig,
+    plan: Plan,
+    sink: SpeSink,
+    consumer: ConsumerClient,
+    producer: Option<ProducerClient>,
+    buffer: EventBuffer,
+    collected: Vec<Event>,
+    metrics: Vec<BatchMetric>,
+    inflight: Option<(SimTime, Vec<Event>)>,
+    empty_streak: u32,
+    flushed: bool,
+    store_corr: u64,
+    store_inserts: u64,
+    mem: Option<(LedgerHandle, MemSlot)>,
+}
+
+impl SpeWorker {
+    /// Creates a worker running `plan` over `sources` (topics, in source-
+    /// index order for joins) into `sink`.
+    ///
+    /// `bootstrap` and `brokers` configure the embedded clients exactly like
+    /// standalone producer/consumer stubs.
+    pub fn new(
+        name: impl Into<String>,
+        cfg: SpeConfig,
+        sources: Vec<String>,
+        plan: Plan,
+        sink: SpeSink,
+        bootstrap: ProcessId,
+        brokers: HashMap<s2g_proto::BrokerId, ProcessId>,
+        producer_id: ProducerId,
+    ) -> Self {
+        let consumer =
+            ConsumerClient::new(cfg.consumer.clone(), bootstrap, brokers.clone(), sources.clone());
+        let producer = match &sink {
+            SpeSink::Topic(_) => Some(ProducerClient::new(
+                producer_id,
+                cfg.producer.clone(),
+                bootstrap,
+                brokers,
+                0,
+            )),
+            _ => None,
+        };
+        let mut buffer = EventBuffer::default();
+        for (i, topic) in sources.iter().enumerate() {
+            buffer.topic_source.insert(topic.clone(), i as u8);
+        }
+        SpeWorker {
+            name: name.into(),
+            cfg,
+            plan,
+            sink,
+            consumer,
+            producer,
+            buffer,
+            collected: Vec::new(),
+            metrics: Vec::new(),
+            inflight: None,
+            empty_streak: 0,
+            flushed: false,
+            store_corr: 0,
+            store_inserts: 0,
+            mem: None,
+        }
+    }
+
+    /// Attaches a memory-ledger slot.
+    pub fn set_mem_slot(&mut self, ledger: LedgerHandle, slot: MemSlot) {
+        self.mem = Some((ledger, slot));
+    }
+
+    /// Per-batch metrics, in execution order.
+    pub fn metrics(&self) -> &[BatchMetric] {
+        &self.metrics
+    }
+
+    /// Mean batch runtime over batches that had input.
+    pub fn mean_busy_runtime(&self) -> SimDuration {
+        let busy: Vec<&BatchMetric> = self.metrics.iter().filter(|m| m.records_in > 0).collect();
+        if busy.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let total: u64 = busy.iter().map(|m| m.runtime().as_nanos()).sum();
+        SimDuration::from_nanos(total / busy.len() as u64)
+    }
+
+    /// Results collected locally (only for [`SpeSink::Collect`]).
+    pub fn collected(&self) -> &[Event] {
+        &self.collected
+    }
+
+    /// Rows sent to the external store so far.
+    pub fn store_inserts(&self) -> u64 {
+        self.store_inserts
+    }
+
+    /// The job's plan (record counters, operator names).
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    fn start_batch(&mut self, ctx: &mut Ctx<'_>) {
+        if self.inflight.is_some() {
+            return; // previous batch still executing; records keep buffering
+        }
+        let events = std::mem::take(&mut self.buffer.events);
+        if events.is_empty() {
+            self.empty_streak += 1;
+            if self.cfg.idle_flush_batches > 0
+                && self.empty_streak >= self.cfg.idle_flush_batches
+                && !self.flushed
+            {
+                self.flushed = true;
+                let now = ctx.now();
+                let out = self.plan.flush(now);
+                self.emit(ctx, out);
+            }
+            return;
+        }
+        self.empty_streak = 0;
+        self.flushed = false;
+        let cost = self.cfg.scheduling_overhead + self.cfg.cpu_per_record * events.len() as u64;
+        self.inflight = Some((ctx.now(), events));
+        ctx.exec(cost, tags::BATCH_DONE);
+    }
+
+    fn finish_batch(&mut self, ctx: &mut Ctx<'_>) {
+        let Some((start, events)) = self.inflight.take() else { return };
+        let now = ctx.now();
+        let n_in = events.len();
+        let out = self.plan.run_batch(now, events);
+        let n_out = out.len();
+        self.emit(ctx, out);
+        self.metrics.push(BatchMetric { start, end: now, records_in: n_in, records_out: n_out });
+        if let Some((ledger, slot)) = &self.mem {
+            // Model executor heap pressure as proportional to live state.
+            let state_bytes = (self.collected.len() * 128) as u64;
+            ledger.borrow_mut().set_dynamic(*slot, state_bytes);
+        }
+    }
+
+    fn emit(&mut self, ctx: &mut Ctx<'_>, events: Vec<Event>) {
+        if events.is_empty() {
+            return;
+        }
+        match self.sink.clone() {
+            SpeSink::Collect => self.collected.extend(events),
+            SpeSink::Topic(topic) => {
+                let producer = self.producer.as_mut().expect("topic sink has a producer");
+                for e in events {
+                    let key = e.key.clone().map(String::into_bytes);
+                    producer.send(ctx, &topic, key, e.to_bytes());
+                }
+            }
+            SpeSink::Store { store, table } => {
+                for e in events {
+                    let mut row: Vec<String> = Vec::new();
+                    if let Some(k) = &e.key {
+                        row.push(k.clone());
+                    }
+                    match &e.value {
+                        Value::Map(m) => row.extend(m.values().map(|v| v.to_string())),
+                        other => row.push(other.to_string()),
+                    }
+                    self.store_corr += 1;
+                    self.store_inserts += 1;
+                    ctx.send(
+                        store,
+                        StoreRpc::Insert { corr: self.store_corr, table: table.clone(), row },
+                    );
+                }
+            }
+        }
+    }
+}
+
+impl Process for SpeWorker {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.exec(self.cfg.startup_cpu, tags::STARTUP_DONE);
+        self.consumer.start(ctx);
+        if let Some(p) = self.producer.as_mut() {
+            p.start(ctx);
+        }
+        ctx.set_timer(self.cfg.batch_interval, tags::BATCH_TICK);
+        ctx.set_timer(self.cfg.background_interval, tags::BACKGROUND_TICK);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: ProcessId, msg: Box<dyn Message>) {
+        let msg = match self.consumer.handle_message(ctx, msg) {
+            None => return,
+            Some(m) => m,
+        };
+        if let Some(p) = self.producer.as_mut() {
+            p.handle_message(ctx, msg);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
+        if self.consumer.handle_timer(ctx, tag) {
+            return;
+        }
+        if let Some(p) = self.producer.as_mut() {
+            if p.handle_timer(ctx, tag) {
+                return;
+            }
+        }
+        match tag {
+            tags::BATCH_TICK => {
+                self.start_batch(ctx);
+                ctx.set_timer(self.cfg.batch_interval, tags::BATCH_TICK);
+            }
+            tags::BACKGROUND_TICK => {
+                if !self.cfg.background_cpu.is_zero() {
+                    ctx.exec(self.cfg.background_cpu, tags::BACKGROUND_DONE);
+                }
+                ctx.set_timer(self.cfg.background_interval, tags::BACKGROUND_TICK);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_cpu_done(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
+        if self.consumer.handle_cpu_done(ctx, tag, &mut self.buffer) {
+            return;
+        }
+        if tag == tags::BATCH_DONE {
+            self.finish_batch(ctx);
+        }
+    }
+}
+
+impl std::fmt::Debug for SpeWorker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpeWorker")
+            .field("name", &self.name)
+            .field("batches", &self.metrics.len())
+            .field("plan", &self.plan)
+            .finish()
+    }
+}

@@ -1,0 +1,19 @@
+//! # s2g-store — data stores
+//!
+//! The data-store substrates stream2gym pipelines persist into:
+//!
+//! * [`KvStore`] — embedded key-value store with a write-ahead log and
+//!   crash recovery (the RocksDB stand-in),
+//! * [`TableStore`] — minimal relational tables (the MySQL stand-in),
+//! * [`StoreServer`] — a simulated process serving both over [`StoreRpc`],
+//!   the `storeType`/`storeCfg` node from Table I.
+
+#![warn(missing_docs)]
+
+mod kv;
+mod server;
+mod table;
+
+pub use kv::KvStore;
+pub use server::{StoreConfig, StoreRpc, StoreServer};
+pub use table::{TableError, TableStore};

@@ -1,0 +1,286 @@
+//! The data-store server process (`storeType` node attribute).
+//!
+//! Hosts a [`KvStore`] and a [`TableStore`] behind an RPC interface, charges
+//! CPU per operation, and reports resident bytes to the memory ledger —
+//! exactly the role MySQL plays on its own node in the paper's pipelines.
+
+use s2g_sim::{
+    downcast, Ctx, LedgerHandle, MemSlot, Message, Process, ProcessId, SimDuration,
+};
+
+use crate::kv::KvStore;
+use crate::table::TableStore;
+
+/// RPCs understood by the store server.
+#[derive(Debug, Clone)]
+pub enum StoreRpc {
+    /// Write a KV pair.
+    Put {
+        /// Request id for the ack.
+        corr: u64,
+        /// Key.
+        key: String,
+        /// Value bytes.
+        value: Vec<u8>,
+    },
+    /// Ack for a put.
+    PutAck {
+        /// Request id.
+        corr: u64,
+    },
+    /// Read a key.
+    Get {
+        /// Request id.
+        corr: u64,
+        /// Key.
+        key: String,
+    },
+    /// Reply to a get.
+    GetResult {
+        /// Request id.
+        corr: u64,
+        /// The value, if present.
+        value: Option<Vec<u8>>,
+    },
+    /// Insert a row into a table (auto-creates the table with generic
+    /// column names on first insert).
+    Insert {
+        /// Request id.
+        corr: u64,
+        /// Table name.
+        table: String,
+        /// Row cells.
+        row: Vec<String>,
+    },
+    /// Ack for an insert.
+    InsertAck {
+        /// Request id.
+        corr: u64,
+        /// Whether the insert succeeded.
+        ok: bool,
+    },
+}
+
+impl Message for StoreRpc {
+    fn wire_size(&self) -> usize {
+        38 + match self {
+            StoreRpc::Put { key, value, .. } => key.len() + value.len(),
+            StoreRpc::PutAck { .. } => 8,
+            StoreRpc::Get { key, .. } => key.len(),
+            StoreRpc::GetResult { value, .. } => 8 + value.as_ref().map_or(0, Vec::len),
+            StoreRpc::Insert { table, row, .. } => {
+                table.len() + row.iter().map(String::len).sum::<usize>()
+            }
+            StoreRpc::InsertAck { .. } => 9,
+        }
+    }
+}
+
+/// Store server tunables (the `storeCfg` YAML file).
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// CPU cost per operation.
+    pub cpu_per_op: SimDuration,
+    /// One-time startup CPU cost.
+    pub startup_cpu: SimDuration,
+    /// Background churn per interval.
+    pub background_cpu: SimDuration,
+    /// Background churn period.
+    pub background_interval: SimDuration,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            cpu_per_op: SimDuration::from_micros(40),
+            startup_cpu: SimDuration::from_millis(800),
+            background_cpu: SimDuration::from_millis(3),
+            background_interval: SimDuration::from_millis(100),
+        }
+    }
+}
+
+mod tags {
+    pub const STARTUP_DONE: u64 = 0;
+    pub const BACKGROUND_TICK: u64 = 1;
+    pub const BACKGROUND_DONE: u64 = 2;
+    pub const CPU_BASE: u64 = 1 << 50;
+}
+
+/// The store server process.
+pub struct StoreServer {
+    cfg: StoreConfig,
+    kv: KvStore,
+    tables: TableStore,
+    pending: std::collections::HashMap<u64, (ProcessId, StoreRpc)>,
+    next_tag: u64,
+    mem: Option<(LedgerHandle, MemSlot)>,
+    name: String,
+}
+
+impl StoreServer {
+    /// Creates a store server.
+    pub fn new(cfg: StoreConfig) -> Self {
+        StoreServer {
+            cfg,
+            kv: KvStore::new(),
+            tables: TableStore::new(),
+            pending: std::collections::HashMap::new(),
+            next_tag: 0,
+            mem: None,
+            name: "store".to_string(),
+        }
+    }
+
+    /// Attaches a memory-ledger slot.
+    pub fn set_mem_slot(&mut self, ledger: LedgerHandle, slot: MemSlot) {
+        self.mem = Some((ledger, slot));
+    }
+
+    /// The KV store (post-run inspection).
+    pub fn kv(&self) -> &KvStore {
+        &self.kv
+    }
+
+    /// The table store (post-run inspection).
+    pub fn tables(&self) -> &TableStore {
+        &self.tables
+    }
+
+    /// Mutable table access (e.g. pre-creating schemas before a run).
+    pub fn tables_mut(&mut self) -> &mut TableStore {
+        &mut self.tables
+    }
+
+    fn update_mem(&mut self) {
+        if let Some((ledger, slot)) = &self.mem {
+            let bytes = (self.kv.resident_bytes() + self.tables.resident_bytes()) as u64;
+            ledger.borrow_mut().set_dynamic(*slot, bytes);
+        }
+    }
+
+    fn respond_after_cpu(&mut self, ctx: &mut Ctx<'_>, to: ProcessId, rpc: StoreRpc) {
+        let tag = tags::CPU_BASE + self.next_tag;
+        self.next_tag += 1;
+        self.pending.insert(tag, (to, rpc));
+        ctx.exec(self.cfg.cpu_per_op, tag);
+    }
+}
+
+impl Process for StoreServer {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.exec(self.cfg.startup_cpu, tags::STARTUP_DONE);
+        ctx.set_timer(self.cfg.background_interval, tags::BACKGROUND_TICK);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: ProcessId, msg: Box<dyn Message>) {
+        let Ok(rpc) = downcast::<StoreRpc>(msg) else { return };
+        match *rpc {
+            StoreRpc::Put { corr, key, value } => {
+                self.kv.put(key, value);
+                self.update_mem();
+                self.respond_after_cpu(ctx, from, StoreRpc::PutAck { corr });
+            }
+            StoreRpc::Get { corr, key } => {
+                let value = self.kv.get_counted(&key).map(|b| b.to_vec());
+                self.respond_after_cpu(ctx, from, StoreRpc::GetResult { corr, value });
+            }
+            StoreRpc::Insert { corr, table, row } => {
+                if self.tables.table_names().iter().all(|t| *t != table) {
+                    let cols: Vec<String> = (0..row.len()).map(|i| format!("c{i}")).collect();
+                    let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+                    self.tables
+                        .create_table(&table, &col_refs)
+                        .expect("table absence just checked");
+                }
+                let ok = self.tables.insert(&table, row).is_ok();
+                self.update_mem();
+                self.respond_after_cpu(ctx, from, StoreRpc::InsertAck { corr, ok });
+            }
+            // Responses are never received by the server.
+            StoreRpc::PutAck { .. } | StoreRpc::GetResult { .. } | StoreRpc::InsertAck { .. } => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
+        if tag == tags::BACKGROUND_TICK {
+            if !self.cfg.background_cpu.is_zero() {
+                ctx.exec(self.cfg.background_cpu, tags::BACKGROUND_DONE);
+            }
+            ctx.set_timer(self.cfg.background_interval, tags::BACKGROUND_TICK);
+        }
+    }
+
+    fn on_cpu_done(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
+        if tag >= tags::CPU_BASE {
+            if let Some((to, rpc)) = self.pending.remove(&tag) {
+                ctx.send(to, rpc);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for StoreServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoreServer")
+            .field("kv_keys", &self.kv.len())
+            .field("table_rows", &self.tables.total_rows())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s2g_sim::{Sim, SimTime};
+
+    struct TestClient {
+        store: ProcessId,
+        acks: u32,
+        got: Option<Option<Vec<u8>>>,
+    }
+
+    impl Process for TestClient {
+        fn name(&self) -> &str {
+            "client"
+        }
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.send(self.store, StoreRpc::Put { corr: 1, key: "k".into(), value: b"v".to_vec() });
+            ctx.send(
+                self.store,
+                StoreRpc::Insert { corr: 2, table: "t".into(), row: vec!["a".into(), "b".into()] },
+            );
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: ProcessId, msg: Box<dyn Message>) {
+            let Ok(rpc) = downcast::<StoreRpc>(msg) else { return };
+            match *rpc {
+                StoreRpc::PutAck { .. } | StoreRpc::InsertAck { .. } => {
+                    self.acks += 1;
+                    if self.acks == 2 {
+                        ctx.send(self.store, StoreRpc::Get { corr: 3, key: "k".into() });
+                    }
+                }
+                StoreRpc::GetResult { value, .. } => self.got = Some(value),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn put_insert_get_round_trip() {
+        let mut sim = Sim::new(0);
+        let store = sim.spawn(Box::new(StoreServer::new(StoreConfig::default())));
+        let client = sim.spawn(Box::new(TestClient { store, acks: 0, got: None }));
+        sim.run_until(SimTime::from_secs(5));
+        let c = sim.process_ref::<TestClient>(client).unwrap();
+        assert_eq!(c.acks, 2);
+        assert_eq!(c.got, Some(Some(b"v".to_vec())));
+        let s = sim.process_ref::<StoreServer>(store).unwrap();
+        assert_eq!(s.kv().len(), 1);
+        assert_eq!(s.tables().total_rows(), 1);
+    }
+}

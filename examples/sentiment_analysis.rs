@@ -1,0 +1,47 @@
+//! Sentiment analysis: polarity/subjectivity over an unstructured stream.
+//!
+//! Run with: `cargo run --example sentiment_analysis`
+
+use stream2gym::core::ascii_table;
+use stream2gym::sim::SimTime;
+use stream2gym::spe::Value;
+
+fn main() {
+    let scenario = stream2gym::apps::sentiment::scenario(120, SimTime::from_secs(40), 9);
+    println!("running the sentiment-analysis pipeline...");
+    let result = scenario.run().expect("scenario is valid");
+    let report = &result.report.spe["sentiment"];
+
+    let mut pos = 0;
+    let mut neg = 0;
+    let mut neutral = 0;
+    for e in &report.collected {
+        let p = e.value.field("polarity").and_then(Value::as_float).unwrap_or(0.0);
+        if p > 0.1 {
+            pos += 1;
+        } else if p < -0.1 {
+            neg += 1;
+        } else {
+            neutral += 1;
+        }
+    }
+    println!(
+        "{}",
+        ascii_table(
+            "tweet stream sentiment",
+            &["class", "tweets"],
+            &[
+                vec!["positive".into(), pos.to_string()],
+                vec!["negative".into(), neg.to_string()],
+                vec!["neutral".into(), neutral.to_string()],
+            ],
+        )
+    );
+    // Show a few scored samples.
+    for e in report.collected.iter().take(4) {
+        let text = e.value.field("text").and_then(Value::as_str).unwrap_or("");
+        let p = e.value.field("polarity").and_then(Value::as_float).unwrap_or(0.0);
+        let s = e.value.field("subjectivity").and_then(Value::as_float).unwrap_or(0.0);
+        println!("  [pol {p:+.2} subj {s:.2}] {text}");
+    }
+}

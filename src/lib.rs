@@ -1,0 +1,14 @@
+//! # stream2gym — fast prototyping of distributed stream processing applications
+//!
+//! Root façade crate: re-exports the whole workspace under one name.
+//! See the README for a tour and `examples/` for runnable pipelines.
+
+pub use s2g_apps as apps;
+pub use s2g_broker as broker;
+pub use s2g_core as core;
+pub use s2g_ml as ml;
+pub use s2g_net as net;
+pub use s2g_proto as proto;
+pub use s2g_sim as sim;
+pub use s2g_spe as spe;
+pub use s2g_store as store;

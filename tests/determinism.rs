@@ -1,0 +1,45 @@
+//! Determinism: identical seeds reproduce identical runs — the property
+//! that makes emulated experiments replayable and debuggable.
+
+use s2g_bench::{fig6_run, Scale};
+use stream2gym::apps::word_count::{self, ComponentDelays};
+use stream2gym::broker::CoordinationMode;
+use stream2gym::sim::{SimDuration, SimTime};
+
+#[test]
+fn word_count_runs_reproduce_exactly() {
+    let run = |seed: u64| {
+        let sc = word_count::scenario(
+            20,
+            SimDuration::from_millis(100),
+            ComponentDelays::default(),
+            SimTime::from_secs(20),
+            seed,
+        );
+        let result = sc.run().expect("runs");
+        let monitor = result.monitor.borrow();
+        let lat: Vec<(u64, u64)> = monitor
+            .latency_series(0, "avg-words-per-topic")
+            .iter()
+            .map(|(t, l)| (t.as_nanos(), l.as_nanos()))
+            .collect();
+        (result.report.sim_stats.events_processed, lat)
+    };
+    assert_eq!(run(5), run(5), "same seed, same run");
+    // (The word-count workload itself is deterministic, so different seeds
+    // may legitimately coincide — seed sensitivity is asserted on the
+    // stochastic partition workload below.)
+}
+
+#[test]
+fn partition_experiment_reproduces_exactly() {
+    let run = |seed: u64| {
+        let d = fig6_run(CoordinationMode::Zk, 3, Scale::Quick, seed);
+        let topic_mix: Vec<String> =
+            d.matrix.messages.iter().map(|(t, _, _)| t.clone()).collect();
+        (topic_mix, d.lost_messages, d.truncated_records, d.matrix.delivery_rate().to_bits())
+    };
+    assert_eq!(run(9), run(9), "same seed, same partition run");
+    // The random-topic producers make different seeds visibly different.
+    assert_ne!(run(9).0, run(10).0, "different seeds produce different message mixes");
+}

@@ -1,0 +1,166 @@
+//! Shape assertions for every reproduced figure, at Quick scale so the
+//! whole suite runs in a debug build. The full-scale sweeps live in
+//! `s2g-bench` (`cargo run --release -p s2g-bench --bin figures`).
+
+use s2g_bench::{
+    fig5_sweep, fig6_run, fig7a_sweep, fig7b_sweep, fig8_sweep, fig9_sweep, Component, Scale,
+};
+use stream2gym::broker::CoordinationMode;
+
+/// Fig. 5: every curve rises with delay, and the broker/SPE curves dominate
+/// the producer/consumer curves at high delay — the paper's key finding
+/// ("the impact was more prominent when the data broker and the stream
+/// processing engine delays increase").
+#[test]
+fn fig5_broker_and_spe_links_dominate() {
+    let data = fig5_sweep(&[25, 150], Scale::Quick, 42);
+    let get = |c: Component, ms: u64| -> f64 {
+        data.iter()
+            .find(|(dc, dms, _)| *dc == c && *dms == ms)
+            .map(|(_, _, v)| *v)
+            .expect("swept point")
+    };
+    for c in Component::ALL {
+        assert!(
+            get(c, 150) > get(c, 25),
+            "{}: latency must grow with delay ({} vs {})",
+            c.label(),
+            get(c, 25),
+            get(c, 150)
+        );
+    }
+    let broker = get(Component::Broker, 150);
+    let spe = get(Component::Spe, 150);
+    let producer = get(Component::Producer, 150);
+    let consumer = get(Component::Consumer, 150);
+    assert!(broker > producer, "broker link hurts more than producer link");
+    assert!(broker > consumer, "broker link hurts more than consumer link");
+    assert!(spe > producer, "SPE link hurts more than producer link");
+}
+
+/// Fig. 6: ZooKeeper mode silently loses acknowledged messages across the
+/// partition; KRaft mode does not. Losses come only from the disconnected
+/// leader's topic.
+#[test]
+fn fig6_zk_loses_kraft_does_not() {
+    let zk = fig6_run(CoordinationMode::Zk, 4, Scale::Quick, 1);
+    assert!(zk.truncated_records > 0, "healing must truncate the divergent suffix");
+    assert!(zk.lost_messages > 0, "ZooKeeper mode must silently lose messages");
+    // Losses confined to topic A (whose leader was disconnected): messages
+    // missed by every consumer must be topic-a.
+    for (topic, _, _) in zk.matrix.total_losses() {
+        assert_eq!(topic, "topic-a", "only the disconnected leader's topic loses data");
+    }
+    // Leadership cycled away and back (events 1 and 4 of Fig. 6d).
+    let became: Vec<bool> = zk.leader_events.iter().map(|(_, b)| *b).collect();
+    assert!(became.contains(&false), "original leader must step down");
+    assert_eq!(became.last(), Some(&true), "preferred election must restore it");
+
+    let kraft = fig6_run(CoordinationMode::Kraft, 4, Scale::Quick, 1);
+    assert_eq!(kraft.lost_messages, 0, "KRaft mode must lose nothing acked");
+}
+
+/// Fig. 6c: both topics show a latency spike (election hold for topic A,
+/// retry-until-heal for topic B's disconnected producer).
+#[test]
+fn fig6_latency_spikes_per_topic() {
+    let zk = fig6_run(CoordinationMode::Zk, 4, Scale::Quick, 2);
+    let peak = |s: &[(f64, f64)]| s.iter().map(|(_, l)| *l).fold(0.0f64, f64::max);
+    let typical = |s: &[(f64, f64)]| {
+        let mut v: Vec<f64> = s.iter().map(|(_, l)| *l).collect();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        v[v.len() / 2]
+    };
+    for (name, series) in [("topic-a", &zk.latency_a), ("topic-b", &zk.latency_b)] {
+        assert!(
+            peak(series) > typical(series) * 10.0 && peak(series) > 5.0,
+            "{name} must spike well above its median: peak {} median {}",
+            peak(series),
+            typical(series)
+        );
+    }
+}
+
+/// Fig. 7a: aggregate throughput scales with consumers below the core count
+/// and stops scaling above it.
+#[test]
+fn fig7a_throughput_plateaus_at_core_count() {
+    let data = fig7a_sweep(&[1, 4, 8, 16], 5);
+    let t = |n: usize| data.iter().find(|(c, _)| *c == n).map(|(_, v)| *v).expect("point");
+    assert!(t(4) > t(1) * 2.5, "4 consumers scale: {} vs {}", t(1), t(4));
+    assert!(t(8) > t(4) * 1.5, "8 consumers scale: {} vs {}", t(4), t(8));
+    // Beyond the 8 cores: no significant gain (paper: "does not cause a
+    // significant impact").
+    assert!(
+        t(16) < t(8) * 1.25,
+        "16 consumers must not scale past the core count: {} vs {}",
+        t(8),
+        t(16)
+    );
+}
+
+/// Fig. 7b: normalized runtime grows with users, overhead-dominated
+/// (sub-linear), in the paper's 1.0 → ~1.6-1.9 band.
+#[test]
+fn fig7b_normalized_runtime_band() {
+    let data = fig7b_sweep(&[20, 100], Scale::Quick, 3);
+    assert_eq!(data[0].1, 1.0);
+    let at_100 = data[1].1;
+    assert!(
+        (1.3..2.2).contains(&at_100),
+        "normalized runtime at 100 users must be in the paper's band, got {at_100}"
+    );
+}
+
+/// Fig. 8: the emulation and hardware backends produce near-identical
+/// latency curves ("the results match almost exactly").
+#[test]
+fn fig8_backends_match() {
+    for component in [Component::Broker, Component::Spe] {
+        let data = fig8_sweep(&[50, 150], component, Scale::Quick, 42);
+        for ms in [50u64, 150] {
+            let emu = data
+                .iter()
+                .find(|(b, d, _)| *b == "stream2gym" && *d == ms)
+                .map(|(_, _, v)| *v)
+                .expect("point");
+            let hw = data
+                .iter()
+                .find(|(b, d, _)| *b == "hardware" && *d == ms)
+                .map(|(_, _, v)| *v)
+                .expect("point");
+            let gap = (emu - hw).abs() / hw;
+            assert!(gap < 0.05, "backends must agree within 5% at {ms}ms, gap {gap:.3}");
+        }
+    }
+}
+
+/// Fig. 9: CPU stays low (<60% for >90% of samples at max sites), median
+/// CPU grows modestly with sites, memory grows linearly and responds to the
+/// producer buffer size.
+#[test]
+fn fig9_resource_model_shapes() {
+    let sweep32 = fig9_sweep(&[2, 10], 32 << 20, Scale::Quick, 7);
+    let small = &sweep32[0];
+    let large = &sweep32[1];
+
+    // CDF claim: at 10 sites, >90% of samples below 60% CPU.
+    let below = large.cpu_samples.iter().filter(|u| **u < 0.6).count();
+    assert!(
+        below as f64 / large.cpu_samples.len() as f64 > 0.9,
+        "CPU must stay under 60% for >90% of time at 10 sites"
+    );
+    // Median grows with sites but stays low overall.
+    assert!(large.cpu_median > small.cpu_median, "median CPU grows with sites");
+    assert!(large.cpu_median < 0.25, "overall CPU demand stays low");
+
+    // Memory: linear-ish growth, and bigger producer buffers cost more.
+    let sweep16 = fig9_sweep(&[2, 10], 16 << 20, Scale::Quick, 7);
+    assert!(large.peak_mem_fraction > small.peak_mem_fraction, "memory grows with sites");
+    assert!(
+        sweep32[1].peak_mem_fraction > sweep16[1].peak_mem_fraction,
+        "32 MB buffers must cost more than 16 MB: {} vs {}",
+        sweep32[1].peak_mem_fraction,
+        sweep16[1].peak_mem_fraction
+    );
+}
