@@ -11,9 +11,31 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 const WORDS: &[&str] = &[
-    "stream", "data", "pipeline", "broker", "topic", "window", "event", "state", "query",
-    "latency", "throughput", "cluster", "replica", "leader", "offset", "batch", "shuffle",
-    "join", "filter", "scale", "monitor", "deploy", "emulate", "network", "switch",
+    "stream",
+    "data",
+    "pipeline",
+    "broker",
+    "topic",
+    "window",
+    "event",
+    "state",
+    "query",
+    "latency",
+    "throughput",
+    "cluster",
+    "replica",
+    "leader",
+    "offset",
+    "batch",
+    "shuffle",
+    "join",
+    "filter",
+    "scale",
+    "monitor",
+    "deploy",
+    "emulate",
+    "network",
+    "switch",
 ];
 
 const CATEGORIES: &[&str] = &["systems", "networks", "databases", "ml"];
@@ -26,14 +48,22 @@ pub fn documents(n: usize, seed: u64) -> Vec<String> {
         .map(|i| {
             let cat = CATEGORIES[i % CATEGORIES.len()];
             let len = rng.gen_range(8..=40);
-            let words: Vec<&str> =
-                (0..len).map(|_| WORDS[rng.gen_range(0..WORDS.len())]).collect();
+            let words: Vec<&str> = (0..len)
+                .map(|_| WORDS[rng.gen_range(0..WORDS.len())])
+                .collect();
             format!("{cat}|{}", words.join(" "))
         })
         .collect()
 }
 
-const AREAS: &[&str] = &["downtown", "airport", "harbor", "university", "stadium", "suburbs"];
+const AREAS: &[&str] = &[
+    "downtown",
+    "airport",
+    "harbor",
+    "university",
+    "stadium",
+    "suburbs",
+];
 
 /// Taxi ride descriptions: `"<ride_id>|<area>|<distance_km>"`.
 pub fn rides(n: usize, seed: u64) -> Vec<String> {
@@ -51,13 +81,17 @@ pub fn rides(n: usize, seed: u64) -> Vec<String> {
 /// systematically higher for airport and stadium rides so the "best tipping
 /// areas" query has signal.
 pub fn fares(n: usize, seed: u64) -> Vec<String> {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x5af3_17);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5a_f317);
     let ride_list = rides(n, seed);
     (0..n)
         .map(|i| {
             let area = ride_list[i].split('|').nth(1).expect("area field");
             let fare: f64 = rng.gen_range(5.0..60.0);
-            let base_tip = if area == "airport" || area == "stadium" { 0.22 } else { 0.10 };
+            let base_tip = if area == "airport" || area == "stadium" {
+                0.22
+            } else {
+                0.10
+            };
             let tip = fare * (base_tip + rng.gen_range(-0.05..0.05));
             format!("r{i}|{fare:.2}|{tip:.2}")
         })
@@ -102,7 +136,14 @@ pub fn tweets(n: usize, seed: u64) -> Vec<String> {
         .collect()
 }
 
-const PORTS: &[&str] = &["halifax", "boston", "rotterdam", "singapore", "santos", "oslo"];
+const PORTS: &[&str] = &[
+    "halifax",
+    "boston",
+    "rotterdam",
+    "singapore",
+    "santos",
+    "oslo",
+];
 
 /// AIS-style ship reports: `"<ship_id>|<dest_port>|<speed_knots>"`.
 pub fn ais_reports(n: usize, seed: u64) -> Vec<String> {
@@ -134,12 +175,19 @@ impl Transaction {
     /// Feature vector for the SVM.
     pub fn features(&self) -> Vec<f64> {
         // Normalize to comparable scales.
-        vec![self.amount / 1_000.0, self.velocity / 10.0, self.geo_distance / 1_000.0]
+        vec![
+            self.amount / 1_000.0,
+            self.velocity / 10.0,
+            self.geo_distance / 1_000.0,
+        ]
     }
 
     /// Serializes as a stream record: `"<amount>|<velocity>|<distance>"`.
     pub fn to_record(&self) -> String {
-        format!("{:.2}|{:.2}|{:.2}", self.amount, self.velocity, self.geo_distance)
+        format!(
+            "{:.2}|{:.2}|{:.2}",
+            self.amount, self.velocity, self.geo_distance
+        )
     }
 
     /// Parses a stream record.
@@ -246,7 +294,10 @@ mod tests {
         }
         let airport_mean = airport.0 / airport.1 as f64;
         let suburbs_mean = suburbs.0 / suburbs.1 as f64;
-        assert!(airport_mean > suburbs_mean + 0.05, "{airport_mean} vs {suburbs_mean}");
+        assert!(
+            airport_mean > suburbs_mean + 0.05,
+            "{airport_mean} vs {suburbs_mean}"
+        );
     }
 
     #[test]
@@ -262,7 +313,12 @@ mod tests {
 
     #[test]
     fn transaction_record_round_trips() {
-        let t = Transaction { amount: 12.5, velocity: 2.0, geo_distance: 7.25, fraudulent: false };
+        let t = Transaction {
+            amount: 12.5,
+            velocity: 2.0,
+            geo_distance: 7.25,
+            fraudulent: false,
+        };
         let parsed = Transaction::parse(&t.to_record()).unwrap();
         assert!((parsed.amount - 12.5).abs() < 1e-9);
         assert!((parsed.geo_distance - 7.25).abs() < 1e-9);

@@ -21,10 +21,23 @@ pub fn train_model(training_size: usize, seed: u64) -> LinearSvm {
     let data: Vec<(Vec<f64>, Label)> = txs
         .iter()
         .map(|t| {
-            (t.features(), if t.fraudulent { Label::Positive } else { Label::Negative })
+            (
+                t.features(),
+                if t.fraudulent {
+                    Label::Positive
+                } else {
+                    Label::Negative
+                },
+            )
         })
         .collect();
-    LinearSvm::train(&data, SvmParams { seed, ..SvmParams::default() })
+    LinearSvm::train(
+        &data,
+        SvmParams {
+            seed,
+            ..SvmParams::default()
+        },
+    )
 }
 
 /// The fraud job: parse transactions, score them with the SVM, keep the
@@ -47,7 +60,9 @@ pub fn fraud_plan(model: LinearSvm) -> Plan {
             e
         })
         .filter("flagged-only", |e| {
-            e.value.field("flagged").is_some_and(|f| matches!(f, Value::Bool(true)))
+            e.value
+                .field("flagged")
+                .is_some_and(|f| matches!(f, Value::Bool(true)))
         })
 }
 
@@ -61,8 +76,10 @@ pub fn scenario(n: usize, training_size: usize, duration: SimTime, seed: u64) ->
         .topic(TopicSpec::new("transactions"))
         .topic(TopicSpec::new("fraud-alerts"));
     sc.broker("h-broker");
-    let stream: Vec<String> =
-        transactions(n, seed ^ 0x00ff).iter().map(Transaction::to_record).collect();
+    let stream: Vec<String> = transactions(n, seed ^ 0x00ff)
+        .iter()
+        .map(Transaction::to_record)
+        .collect();
     sc.producer(
         "h-src",
         SourceSpec::Items {

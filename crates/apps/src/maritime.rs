@@ -26,14 +26,19 @@ pub fn port_count_plan() -> Plan {
             let text = e.value.as_str().unwrap_or("").to_string();
             let fields: Vec<&str> = text.split('|').collect();
             e.value = Value::map([
-                ("ship", Value::Str(fields.first().copied().unwrap_or("?").into())),
-                ("port", Value::Str(fields.get(1).copied().unwrap_or("?").into())),
+                (
+                    "ship",
+                    Value::Str(fields.first().copied().unwrap_or("?").into()),
+                ),
+                (
+                    "port",
+                    Value::Str(fields.get(1).copied().unwrap_or("?").into()),
+                ),
                 (
                     "speed",
                     Value::Float(fields.get(2).and_then(|s| s.parse().ok()).unwrap_or(0.0)),
                 ),
-            ])
-            ;
+            ]);
             e
         })
         .filter("watched-ports", |e| {
@@ -43,7 +48,11 @@ pub fn port_count_plan() -> Plan {
                 .is_some_and(|p| WATCHED_PORTS.contains(&p))
         })
         .key_by("by-port", |e| {
-            e.value.field("port").and_then(Value::as_str).unwrap_or("?").to_string()
+            e.value
+                .field("port")
+                .and_then(Value::as_str)
+                .unwrap_or("?")
+                .to_string()
         })
         .then(WindowAggregate::count(
             "ships-per-window",
@@ -76,7 +85,10 @@ pub fn scenario(n: usize, duration: SimTime, seed: u64) -> Scenario {
             name: "port-counts".into(),
             sources: vec!["ais".into()],
             plan: Box::new(port_count_plan),
-            sink: SpeSinkSpec::StoreOn { host: "h-store".into(), table: "port_counts".into() },
+            sink: SpeSinkSpec::StoreOn {
+                host: "h-store".into(),
+                table: "port_counts".into(),
+            },
             cfg: SpeConfig::default(),
         },
     );
@@ -97,11 +109,19 @@ mod tests {
         };
         plan.run_batch(
             SimTime::ZERO,
-            vec![mk("halifax", 1), mk("halifax", 2), mk("boston", 3), mk("rotterdam", 4)],
+            vec![
+                mk("halifax", 1),
+                mk("halifax", 2),
+                mk("boston", 3),
+                mk("rotterdam", 4),
+            ],
         );
         let out = plan.flush(SimTime::ZERO);
         assert_eq!(out.len(), 2, "two watched ports, one window each");
-        let halifax = out.iter().find(|e| e.key.as_deref() == Some("halifax")).unwrap();
+        let halifax = out
+            .iter()
+            .find(|e| e.key.as_deref() == Some("halifax"))
+            .unwrap();
         assert_eq!(halifax.value.as_int(), Some(2));
         assert!(out.iter().all(|e| e.key.as_deref() != Some("boston")));
     }

@@ -11,9 +11,7 @@ use s2g_broker::TopicSpec;
 use s2g_core::{Scenario, SourceSpec, SpeJobSpec, SpeSinkSpec};
 use s2g_net::LinkSpec;
 use s2g_sim::{SimDuration, SimTime};
-use s2g_spe::{
-    Event, Plan, SpeConfig, Value, WindowAggregate, WindowAssigner, WindowJoin,
-};
+use s2g_spe::{Event, Plan, SpeConfig, Value, WindowAggregate, WindowAssigner, WindowJoin};
 
 use crate::data::{fares, rides};
 
@@ -29,7 +27,10 @@ pub fn best_tipping_areas_plan() -> Plan {
                 // rides: id|area|distance
                 e.key = Some(fields.first().copied().unwrap_or("?").to_string());
                 e.value = Value::map([
-                    ("area", Value::Str(fields.get(1).copied().unwrap_or("?").into())),
+                    (
+                        "area",
+                        Value::Str(fields.get(1).copied().unwrap_or("?").into()),
+                    ),
                     (
                         "distance",
                         Value::Float(fields.get(2).and_then(|d| d.parse().ok()).unwrap_or(0.0)),
@@ -40,10 +41,7 @@ pub fn best_tipping_areas_plan() -> Plan {
                 e.key = Some(fields.first().copied().unwrap_or("?").to_string());
                 let fare: f64 = fields.get(1).and_then(|x| x.parse().ok()).unwrap_or(1.0);
                 let tip: f64 = fields.get(2).and_then(|x| x.parse().ok()).unwrap_or(0.0);
-                e.value = Value::map([
-                    ("fare", Value::Float(fare)),
-                    ("tip", Value::Float(tip)),
-                ]);
+                e.value = Value::map([("fare", Value::Float(fare)), ("tip", Value::Float(tip))]);
             }
             e
         })
@@ -52,9 +50,21 @@ pub fn best_tipping_areas_plan() -> Plan {
             "ride-fare-join",
             WindowAssigner::Tumbling(SimDuration::from_secs(30)),
             |ride, fare| {
-                let area = ride.value.field("area").and_then(Value::as_str).unwrap_or("?");
-                let f = fare.value.field("fare").and_then(Value::as_float).unwrap_or(1.0);
-                let t = fare.value.field("tip").and_then(Value::as_float).unwrap_or(0.0);
+                let area = ride
+                    .value
+                    .field("area")
+                    .and_then(Value::as_str)
+                    .unwrap_or("?");
+                let f = fare
+                    .value
+                    .field("fare")
+                    .and_then(Value::as_float)
+                    .unwrap_or(1.0);
+                let t = fare
+                    .value
+                    .field("tip")
+                    .and_then(Value::as_float)
+                    .unwrap_or(0.0);
                 Value::map([
                     ("area", Value::Str(area.to_string())),
                     ("tip_rate", Value::Float(t / f.max(0.01))),
@@ -63,7 +73,11 @@ pub fn best_tipping_areas_plan() -> Plan {
         ))
         // Group by area and average the tip rate per 60-second window.
         .key_by("by-area", |e| {
-            e.value.field("area").and_then(Value::as_str).unwrap_or("?").to_string()
+            e.value
+                .field("area")
+                .and_then(Value::as_str)
+                .unwrap_or("?")
+                .to_string()
         })
         .window(WindowAggregate::avg_field(
             "avg-tip-rate",
@@ -85,12 +99,20 @@ pub fn scenario(n: usize, duration: SimTime, seed: u64) -> Scenario {
     let interval = SimDuration::from_millis(40);
     sc.producer(
         "h-rides",
-        SourceSpec::Items { topic: "rides".into(), items: rides(n, seed), interval },
+        SourceSpec::Items {
+            topic: "rides".into(),
+            items: rides(n, seed),
+            interval,
+        },
         Default::default(),
     );
     sc.producer(
         "h-fares",
-        SourceSpec::Items { topic: "fares".into(), items: fares(n, seed), interval },
+        SourceSpec::Items {
+            topic: "fares".into(),
+            items: fares(n, seed),
+            interval,
+        },
         Default::default(),
     );
     sc.spe_job(
@@ -114,13 +136,17 @@ pub fn rank_areas(outputs: &[Event]) -> Vec<(String, f64)> {
     let mut acc: BTreeMap<String, (f64, u32)> = BTreeMap::new();
     for e in outputs {
         let Some(area) = e.key.clone() else { continue };
-        let Some(rate) = e.value.as_float() else { continue };
+        let Some(rate) = e.value.as_float() else {
+            continue;
+        };
         let slot = acc.entry(area).or_insert((0.0, 0));
         slot.0 += rate;
         slot.1 += 1;
     }
-    let mut out: Vec<(String, f64)> =
-        acc.into_iter().map(|(a, (s, n))| (a, s / n as f64)).collect();
+    let mut out: Vec<(String, f64)> = acc
+        .into_iter()
+        .map(|(a, (s, n))| (a, s / n as f64))
+        .collect();
     out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite rates"));
     out
 }

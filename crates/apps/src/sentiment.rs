@@ -70,14 +70,28 @@ mod tests {
         let out = plan.run_batch(
             SimTime::ZERO,
             vec![
-                Event::new(Value::Str("really great wonderful launch".into()), SimTime::ZERO),
-                Event::new(Value::Str("terrible awful broken mess".into()), SimTime::ZERO),
+                Event::new(
+                    Value::Str("really great wonderful launch".into()),
+                    SimTime::ZERO,
+                ),
+                Event::new(
+                    Value::Str("terrible awful broken mess".into()),
+                    SimTime::ZERO,
+                ),
             ],
         );
         let pol = |e: &Event| e.value.field("polarity").unwrap().as_float().unwrap();
         assert!(pol(&out[0]) > 0.3);
         assert!(pol(&out[1]) < -0.3);
-        assert!(out[0].value.field("subjectivity").unwrap().as_float().unwrap() > 0.0);
+        assert!(
+            out[0]
+                .value
+                .field("subjectivity")
+                .unwrap()
+                .as_float()
+                .unwrap()
+                > 0.0
+        );
     }
 
     #[test]

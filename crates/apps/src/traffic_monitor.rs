@@ -67,8 +67,14 @@ pub fn monitoring_plan() -> Plan {
             let text = e.value.as_str().unwrap_or("").to_string();
             let fields: Vec<&str> = text.split('|').collect();
             e.value = Value::map([
-                ("user", Value::Str(fields.first().copied().unwrap_or("?").into())),
-                ("service", Value::Str(fields.get(1).copied().unwrap_or("?").into())),
+                (
+                    "user",
+                    Value::Str(fields.first().copied().unwrap_or("?").into()),
+                ),
+                (
+                    "service",
+                    Value::Str(fields.get(1).copied().unwrap_or("?").into()),
+                ),
                 (
                     "bytes",
                     Value::Int(fields.get(2).and_then(|b| b.parse().ok()).unwrap_or(0)),
@@ -77,7 +83,11 @@ pub fn monitoring_plan() -> Plan {
             e
         })
         .key_by("by-service", |e| {
-            e.value.field("service").and_then(Value::as_str).unwrap_or("?").to_string()
+            e.value
+                .field("service")
+                .and_then(Value::as_str)
+                .unwrap_or("?")
+                .to_string()
         })
         .window(WindowAggregate::new(
             "per-slot-metrics",
@@ -143,8 +153,13 @@ pub fn sweep(user_counts: &[u32], duration: SimTime, seed: u64) -> Vec<(u32, Sim
     user_counts
         .iter()
         .map(|&users| {
-            let result = scenario(users, duration, seed).run().expect("valid scenario");
-            (users, result.report.spe["traffic-metrics"].mean_busy_runtime)
+            let result = scenario(users, duration, seed)
+                .run()
+                .expect("valid scenario");
+            (
+                users,
+                result.report.spe["traffic-metrics"].mean_busy_runtime,
+            )
         })
         .collect()
 }
@@ -158,7 +173,10 @@ mod tests {
     fn plan_aggregates_per_service_slots() {
         let mut plan = monitoring_plan();
         let mk = |svc: &str, bytes: u32, ms: u64| {
-            Event::new(Value::Str(format!("u1|{svc}|{bytes}")), SimTime::from_millis(ms))
+            Event::new(
+                Value::Str(format!("u1|{svc}|{bytes}")),
+                SimTime::from_millis(ms),
+            )
         };
         plan.run_batch(
             SimTime::ZERO,
@@ -166,7 +184,10 @@ mod tests {
         );
         let out = plan.flush(SimTime::ZERO);
         assert_eq!(out.len(), 2);
-        let web = out.iter().find(|e| e.key.as_deref() == Some("web")).unwrap();
+        let web = out
+            .iter()
+            .find(|e| e.key.as_deref() == Some("web"))
+            .unwrap();
         assert_eq!(web.value.field("packets").unwrap().as_int(), Some(2));
         assert_eq!(web.value.field("bytes").unwrap().as_int(), Some(300));
     }
@@ -183,6 +204,9 @@ mod tests {
         );
         // Overhead-dominated at low load: sub-linear growth.
         let ratio = t_large.as_secs_f64() / t_small.as_secs_f64();
-        assert!(ratio < 5.0, "5x users must not mean 5x runtime (got {ratio:.2}x)");
+        assert!(
+            ratio < 5.0,
+            "5x users must not mean 5x runtime (got {ratio:.2}x)"
+        );
     }
 }

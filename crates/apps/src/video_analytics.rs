@@ -77,8 +77,18 @@ pub fn measure_throughput(consumers: usize, seed: u64) -> f64 {
     if monitor.deliveries.is_empty() {
         return 0.0;
     }
-    let first = monitor.deliveries.iter().map(|d| d.delivered).min().expect("non-empty");
-    let last = monitor.deliveries.iter().map(|d| d.delivered).max().expect("non-empty");
+    let first = monitor
+        .deliveries
+        .iter()
+        .map(|d| d.delivered)
+        .min()
+        .expect("non-empty");
+    let last = monitor
+        .deliveries
+        .iter()
+        .map(|d| d.delivered)
+        .max()
+        .expect("non-empty");
     let span = last.saturating_since(first).as_secs_f64().max(1e-6);
     monitor.deliveries.len() as f64 / span
 }
@@ -101,6 +111,9 @@ mod tests {
         // 8 vs 12 must not (8 cores). The full sweep runs in the benches.
         let t1 = measure_throughput(1, 5);
         let t4 = measure_throughput(4, 5);
-        assert!(t4 > t1 * 2.5, "parallel consumers must scale: {t1:.0} vs {t4:.0}");
+        assert!(
+            t4 > t1 * 2.5,
+            "parallel consumers must scale: {t1:.0} vs {t4:.0}"
+        );
     }
 }

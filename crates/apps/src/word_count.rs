@@ -33,7 +33,12 @@ pub struct ComponentDelays {
 impl Default for ComponentDelays {
     fn default() -> Self {
         let low = SimDuration::from_millis(2);
-        ComponentDelays { producer: low, broker: low, spe: low, consumer: low }
+        ComponentDelays {
+            producer: low,
+            broker: low,
+            spe: low,
+            consumer: low,
+        }
     }
 }
 
@@ -143,6 +148,85 @@ pub fn scenario(
     sc
 }
 
+/// Continuous per-word running count — the stateful job used by the
+/// crash/recovery scenarios. Every input word emits an updated
+/// `(word, count)` event, so the downstream topic always carries the latest
+/// count per word and duplicate emissions are idempotent at the consumer.
+pub fn running_count_plan() -> Plan {
+    Plan::new()
+        .key_by("by-word", |e| e.value.as_str().unwrap_or("").to_string())
+        .stateful("running-count", Value::Int(0), |state, e| {
+            let n = state.as_int().unwrap_or(0) + 1;
+            *state = Value::Int(n);
+            vec![Event {
+                value: Value::Int(n),
+                ..e.clone()
+            }]
+        })
+}
+
+/// A deterministic stream of single-word records drawn from a small
+/// vocabulary — the input corpus for the recovery scenarios.
+pub fn word_stream(n: usize, seed: u64) -> Vec<String> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    const VOCAB: [&str; 8] = [
+        "stream", "gym", "fault", "replay", "offset", "window", "batch", "state",
+    ];
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_50DA);
+    (0..n)
+        .map(|_| VOCAB[rng.gen_range(0..VOCAB.len())].to_string())
+        .collect()
+}
+
+/// Builds the worker crash/recovery scenario: a producer streams `words`
+/// single-word records at `interval` into `words`; the stateful `wordcount`
+/// job keeps a running count per word and emits `(word, count)` updates to
+/// `counts`; a consumer collects them. Callers add checkpointing
+/// ([`Scenario::with_checkpointing`]) and a crash plan
+/// (`FaultPlan::crash_restart("wordcount", ..)`) on top.
+pub fn recovery_scenario(
+    words: usize,
+    interval: SimDuration,
+    duration: SimTime,
+    seed: u64,
+) -> Scenario {
+    let mut sc = Scenario::new("word-count-recovery");
+    sc.seed(seed)
+        .duration(duration)
+        .default_link(LinkSpec::new().latency(SimDuration::from_millis(2)))
+        .topic(TopicSpec::new("words"))
+        .topic(TopicSpec::new("counts"));
+    sc.broker("h2");
+    sc.producer(
+        "h1",
+        SourceSpec::Items {
+            topic: "words".into(),
+            items: word_stream(words, seed),
+            interval,
+        },
+        Default::default(),
+    );
+    let cfg = SpeConfig {
+        batch_interval: SimDuration::from_millis(250),
+        scheduling_overhead: SimDuration::from_millis(20),
+        startup_cpu: SimDuration::from_millis(200),
+        ..SpeConfig::default()
+    };
+    sc.spe_job(
+        "h3",
+        SpeJobSpec {
+            name: "wordcount".into(),
+            sources: vec!["words".into()],
+            plan: Box::new(running_count_plan),
+            sink: SpeSinkSpec::Topic("counts".into()),
+            cfg,
+        },
+    );
+    sc.consumer("h5", Default::default(), &["counts"]);
+    sc
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,7 +237,10 @@ mod tests {
         let mut j1 = count_words_plan();
         let out = j1.run_batch(
             SimTime::ZERO,
-            vec![Event::new(Value::Str("ml|alpha beta alpha".into()), SimTime::ZERO)],
+            vec![Event::new(
+                Value::Str("ml|alpha beta alpha".into()),
+                SimTime::ZERO,
+            )],
         );
         assert_eq!(out[0].key.as_deref(), Some("ml"));
         assert_eq!(out[0].value.field("words").unwrap().as_int(), Some(3));
@@ -164,7 +251,10 @@ mod tests {
             Event::new(Value::map([("words", Value::Int(n))]), SimTime::ZERO).with_key("ml")
         };
         let out = j2.run_batch(SimTime::ZERO, vec![mk(10), mk(20)]);
-        assert_eq!(out[1].value.field("avg_words").unwrap().as_float(), Some(15.0));
+        assert_eq!(
+            out[1].value.field("avg_words").unwrap().as_float(),
+            Some(15.0)
+        );
         assert_eq!(out[1].value.field("docs").unwrap().as_int(), Some(2));
     }
 

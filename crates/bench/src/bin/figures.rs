@@ -11,11 +11,11 @@
 use std::fs;
 use std::path::PathBuf;
 
+use s2g_bench::experiments::table2_inventory;
 use s2g_bench::{
     fig5_sweep, fig6_run, fig7a_sweep, fig7b_sweep, fig8_sweep, fig9_sweep, group_by_component,
     Component, Scale,
 };
-use s2g_bench::experiments::table2_inventory;
 use s2g_broker::CoordinationMode;
 use s2g_core::{ascii_chart, ascii_matrix, ascii_table, cdf, csv_series};
 
@@ -40,7 +40,14 @@ fn fig5(scale: Scale) {
         grouped.iter().map(|(k, v)| (*k, v.as_slice())).collect();
     println!(
         "{}",
-        ascii_chart("Fig 5: word count E2E latency", &series, 64, 14, "link delay (ms)", "latency (s)")
+        ascii_chart(
+            "Fig 5: word count E2E latency",
+            &series,
+            64,
+            14,
+            "link delay (ms)",
+            "latency (s)"
+        )
     );
     write_csv("fig5.csv", &csv_series("delay_ms", &series));
 }
@@ -59,7 +66,10 @@ fn fig6(scale: Scale) {
         .enumerate()
         .map(|(i, r)| (format!("consumer {i}"), r.as_slice()))
         .collect();
-    println!("{}", ascii_matrix("Fig 6b: delivery matrix (co-located producer)", &rows, 72));
+    println!(
+        "{}",
+        ascii_matrix("Fig 6b: delivery matrix (co-located producer)", &rows, 72)
+    );
     println!(
         "  acked-but-lost messages: {} | records truncated on heal: {}",
         zk.lost_messages, zk.truncated_records
@@ -81,18 +91,36 @@ fn fig6(scale: Scale) {
         .map(|s| {
             (
                 s.node.as_str(),
-                s.samples.iter().map(|p| (p.at.as_secs_f64(), p.tx_mbps)).collect::<Vec<_>>(),
+                s.samples
+                    .iter()
+                    .map(|p| (p.at.as_secs_f64(), p.tx_mbps))
+                    .collect::<Vec<_>>(),
             )
         })
         .collect();
-    let tx_refs: Vec<(&str, &[(f64, f64)])> =
-        tx.iter().map(|(n, v)| (*n, v.as_slice())).collect();
+    let tx_refs: Vec<(&str, &[(f64, f64)])> = tx.iter().map(|(n, v)| (*n, v.as_slice())).collect();
     println!(
         "{}",
-        ascii_chart("Fig 6d: sending throughput", &tx_refs, 64, 12, "time (s)", "tx (Mbps)")
+        ascii_chart(
+            "Fig 6d: sending throughput",
+            &tx_refs,
+            64,
+            12,
+            "time (s)",
+            "tx (Mbps)"
+        )
     );
-    println!("  topic-a leadership events on broker 0 (time_s, became_leader): {:?}", zk.leader_events);
-    write_csv("fig6c.csv", &csv_series("delivered_s", &[("topic_a", &zk.latency_a), ("topic_b", &zk.latency_b)]));
+    println!(
+        "  topic-a leadership events on broker 0 (time_s, became_leader): {:?}",
+        zk.leader_events
+    );
+    write_csv(
+        "fig6c.csv",
+        &csv_series(
+            "delivered_s",
+            &[("topic_a", &zk.latency_a), ("topic_b", &zk.latency_b)],
+        ),
+    );
     write_csv("fig6d.csv", &csv_series("time_s", &tx_refs));
 
     println!("\n  -- same scenario under KRaft coordination (the paper's contrast) --");
@@ -113,12 +141,22 @@ fn fig7a(scale: Scale) {
     let series: Vec<(f64, f64)> = data.iter().map(|(n, t)| (*n as f64, *t)).collect();
     println!(
         "{}",
-        ascii_chart("Fig 7a: transfer throughput", &[("stream2gym", &series)], 56, 12, "consumers", "imgs/s")
+        ascii_chart(
+            "Fig 7a: transfer throughput",
+            &[("stream2gym", &series)],
+            56,
+            12,
+            "consumers",
+            "imgs/s"
+        )
     );
     for (n, t) in &data {
         println!("  {n:>2} consumers: {t:>10.0} imgs/s");
     }
-    write_csv("fig7a.csv", &csv_series("consumers", &[("imgs_per_s", &series)]));
+    write_csv(
+        "fig7a.csv",
+        &csv_series("consumers", &[("imgs_per_s", &series)]),
+    );
 }
 
 fn fig7b(scale: Scale) {
@@ -131,18 +169,31 @@ fn fig7b(scale: Scale) {
     let series: Vec<(f64, f64)> = data.iter().map(|(u, r)| (*u as f64, *r)).collect();
     println!(
         "{}",
-        ascii_chart("Fig 7b: normalized slot runtime", &[("stream2gym", &series)], 56, 12, "concurrent users", "runtime (x1)")
+        ascii_chart(
+            "Fig 7b: normalized slot runtime",
+            &[("stream2gym", &series)],
+            56,
+            12,
+            "concurrent users",
+            "runtime (x1)"
+        )
     );
     for (u, r) in &data {
         println!("  {u:>3} users: {r:.3}x");
     }
-    write_csv("fig7b.csv", &csv_series("users", &[("normalized_runtime", &series)]));
+    write_csv(
+        "fig7b.csv",
+        &csv_series("users", &[("normalized_runtime", &series)]),
+    );
 }
 
 fn fig8(scale: Scale) {
     println!("\n#### Figure 8: accuracy vs the hardware backend ####");
     let delays = [25u64, 50, 75, 100, 125, 150];
-    for (sub, component) in [("8a (broker link)", Component::Broker), ("8b (SPE link)", Component::Spe)] {
+    for (sub, component) in [
+        ("8a (broker link)", Component::Broker),
+        ("8b (SPE link)", Component::Spe),
+    ] {
         let data = fig8_sweep(&delays, component, scale, 42);
         let mut emu: Vec<(f64, f64)> = Vec::new();
         let mut hw: Vec<(f64, f64)> = Vec::new();
@@ -169,9 +220,19 @@ fn fig8(scale: Scale) {
             .zip(&hw)
             .map(|((_, a), (_, b))| (a - b).abs() / b.max(1e-9))
             .fold(0.0f64, f64::max);
-        println!("  max relative gap between backends: {:.1}%", max_gap * 100.0);
+        println!(
+            "  max relative gap between backends: {:.1}%",
+            max_gap * 100.0
+        );
         write_csv(
-            &format!("fig{}.csv", if component == Component::Broker { "8a" } else { "8b" }),
+            &format!(
+                "fig{}.csv",
+                if component == Component::Broker {
+                    "8a"
+                } else {
+                    "8b"
+                }
+            ),
             &csv_series("delay_ms", &[("stream2gym", &emu), ("hardware", &hw)]),
         );
     }
@@ -197,25 +258,47 @@ fn fig9(scale: Scale) {
             )
         })
         .collect();
-    let cdf_refs: Vec<(&str, &[(f64, f64)])> =
-        cdfs.iter().map(|(n, v)| (n.as_str(), v.as_slice())).collect();
+    let cdf_refs: Vec<(&str, &[(f64, f64)])> = cdfs
+        .iter()
+        .map(|(n, v)| (n.as_str(), v.as_slice()))
+        .collect();
     println!(
         "{}",
-        ascii_chart("Fig 9a: CPU utilization CDF", &cdf_refs, 64, 12, "CPU utilization (%)", "CDF")
+        ascii_chart(
+            "Fig 9a: CPU utilization CDF",
+            &cdf_refs,
+            64,
+            12,
+            "CPU utilization (%)",
+            "CDF"
+        )
     );
     // Fig 9b: median CPU.
-    let medians: Vec<(f64, f64)> =
-        sweep32.iter().map(|p| (p.sites as f64, p.cpu_median * 100.0)).collect();
+    let medians: Vec<(f64, f64)> = sweep32
+        .iter()
+        .map(|p| (p.sites as f64, p.cpu_median * 100.0))
+        .collect();
     println!(
         "{}",
-        ascii_chart("Fig 9b: median CPU usage", &[("median", &medians)], 48, 10, "# of coordinating sites", "CPU (%)")
+        ascii_chart(
+            "Fig 9b: median CPU usage",
+            &[("median", &medians)],
+            48,
+            10,
+            "# of coordinating sites",
+            "CPU (%)"
+        )
     );
     // Fig 9c: peak memory for 16 vs 32 MB producer buffers.
     let sweep16 = fig9_sweep(sites, 16 << 20, scale, 7);
-    let mem32: Vec<(f64, f64)> =
-        sweep32.iter().map(|p| (p.sites as f64, p.peak_mem_fraction * 100.0)).collect();
-    let mem16: Vec<(f64, f64)> =
-        sweep16.iter().map(|p| (p.sites as f64, p.peak_mem_fraction * 100.0)).collect();
+    let mem32: Vec<(f64, f64)> = sweep32
+        .iter()
+        .map(|p| (p.sites as f64, p.peak_mem_fraction * 100.0))
+        .collect();
+    let mem16: Vec<(f64, f64)> = sweep16
+        .iter()
+        .map(|p| (p.sites as f64, p.peak_mem_fraction * 100.0))
+        .collect();
     println!(
         "{}",
         ascii_chart(
@@ -227,8 +310,14 @@ fn fig9(scale: Scale) {
             "peak memory (%)",
         )
     );
-    write_csv("fig9b.csv", &csv_series("sites", &[("median_cpu_pct", &medians)]));
-    write_csv("fig9c.csv", &csv_series("sites", &[("mem16_pct", &mem16), ("mem32_pct", &mem32)]));
+    write_csv(
+        "fig9b.csv",
+        &csv_series("sites", &[("median_cpu_pct", &medians)]),
+    );
+    write_csv(
+        "fig9c.csv",
+        &csv_series("sites", &[("mem16_pct", &mem16), ("mem32_pct", &mem32)]),
+    );
 }
 
 fn table2() {
@@ -237,7 +326,14 @@ fn table2() {
         .into_iter()
         .map(|(name, comps, feat)| vec![name.to_string(), comps.to_string(), feat.to_string()])
         .collect();
-    println!("{}", ascii_table("Table II", &["Application", "Components", "Features"], &rows));
+    println!(
+        "{}",
+        ascii_table(
+            "Table II",
+            &["Application", "Components", "Features"],
+            &rows
+        )
+    );
     println!("  (run each with `cargo run --example <name>`)");
 }
 

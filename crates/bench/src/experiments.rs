@@ -142,7 +142,10 @@ pub fn fig6_run(mode: CoordinationMode, sites: u32, scale: Scale, seed: u64) -> 
                 payload: 500,
                 until: SimTime::from_secs(run_s.saturating_sub(40)),
             },
-            ProducerConfig { acks, ..ProducerConfig::default() },
+            ProducerConfig {
+                acks,
+                ..ProducerConfig::default()
+            },
         );
         sc.consumer(&host, Default::default(), &["topic-a", "topic-b"]);
     }
@@ -221,8 +224,14 @@ pub fn fig7b_sweep(user_counts: &[u32], scale: Scale, seed: u64) -> Vec<(u32, f6
         Scale::Quick => SimTime::from_secs(25),
     };
     let raw = traffic_monitor::sweep(user_counts, duration, seed);
-    let base = raw.first().map(|(_, d)| d.as_secs_f64()).unwrap_or(1.0).max(1e-9);
-    raw.into_iter().map(|(u, d)| (u, d.as_secs_f64() / base)).collect()
+    let base = raw
+        .first()
+        .map(|(_, d)| d.as_secs_f64())
+        .unwrap_or(1.0)
+        .max(1e-9);
+    raw.into_iter()
+        .map(|(u, d)| (u, d.as_secs_f64() / base))
+        .collect()
 }
 
 /// **Fig. 8** — accuracy vs the "hardware testbed": the word-count pipeline
@@ -239,9 +248,10 @@ pub fn fig8_sweep(
         Scale::Quick => (25, SimDuration::from_millis(300), SimTime::from_secs(45)),
     };
     let mut out = Vec::new();
-    for (backend, net_cfg) in
-        [("stream2gym", NetworkConfig::default()), ("hardware", NetworkConfig::hardware())]
-    {
+    for (backend, net_cfg) in [
+        ("stream2gym", NetworkConfig::default()),
+        ("hardware", NetworkConfig::hardware()),
+    ] {
         for &ms in delays_ms {
             let mut sc = word_count::scenario(
                 files,
@@ -307,7 +317,10 @@ pub fn fig9_sweep(
                         payload: 500,
                         until: SimTime::from_secs(run_s),
                     },
-                    ProducerConfig { buffer_memory, ..ProducerConfig::default() },
+                    ProducerConfig {
+                        buffer_memory,
+                        ..ProducerConfig::default()
+                    },
                 );
                 sc.consumer(&host, Default::default(), &["topic-a", "topic-b"]);
             }
@@ -335,7 +348,9 @@ pub fn table2_inventory() -> Vec<(&'static str, u32, &'static str)> {
 }
 
 /// Collects results per component into labeled series for plotting.
-pub fn group_by_component(data: &[(Component, u64, f64)]) -> BTreeMap<&'static str, Vec<(f64, f64)>> {
+pub fn group_by_component(
+    data: &[(Component, u64, f64)],
+) -> BTreeMap<&'static str, Vec<(f64, f64)>> {
     let mut map: BTreeMap<&'static str, Vec<(f64, f64)>> = BTreeMap::new();
     for (c, ms, v) in data {
         map.entry(c.label()).or_default().push((*ms as f64, *v));

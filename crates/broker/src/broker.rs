@@ -104,6 +104,10 @@ pub struct BrokerStats {
     pub isr_shrinks: u64,
     /// ISR expand proposals initiated by this broker.
     pub isr_expands: u64,
+    /// Consumer-group offset commits recorded.
+    pub offset_commits: u64,
+    /// Consumer-group offset fetches served.
+    pub offset_fetches: u64,
 }
 
 /// A message broker process (the Kafka-broker stand-in).
@@ -114,6 +118,10 @@ pub struct Broker {
     controllers: Vec<ProcessId>,
     peers: HashMap<BrokerId, ProcessId>,
     logs: BTreeMap<TopicPartition, PartitionLog>,
+    /// Committed consumer-group positions, keyed by `(group, partition)` —
+    /// the broker-side half of checkpoint/recovery. Commits survive client
+    /// crashes because they live here, not in the consumer.
+    group_offsets: BTreeMap<(String, TopicPartition), Offset>,
     roles: BTreeMap<TopicPartition, Role>,
     known_epoch: HashMap<TopicPartition, LeaderEpoch>,
     metadata: MetadataCache,
@@ -144,7 +152,10 @@ impl Broker {
         controllers: Vec<ProcessId>,
         peers: HashMap<BrokerId, ProcessId>,
     ) -> Self {
-        assert!(!controllers.is_empty(), "a broker needs at least one controller endpoint");
+        assert!(
+            !controllers.is_empty(),
+            "a broker needs at least one controller endpoint"
+        );
         let name = format!("broker-{}", id.0);
         Broker {
             id,
@@ -153,6 +164,7 @@ impl Broker {
             controllers,
             peers,
             logs: BTreeMap::new(),
+            group_offsets: BTreeMap::new(),
             roles: BTreeMap::new(),
             known_epoch: HashMap::new(),
             metadata: MetadataCache::new(),
@@ -186,6 +198,13 @@ impl Broker {
     /// Read access to a partition log (tests, monitors).
     pub fn log(&self, tp: &TopicPartition) -> Option<&PartitionLog> {
         self.logs.get(tp)
+    }
+
+    /// The committed position of a consumer group on a partition, if any.
+    pub fn committed_offset(&self, group: &str, tp: &TopicPartition) -> Option<Offset> {
+        self.group_offsets
+            .get(&(group.to_string(), tp.clone()))
+            .copied()
     }
 
     /// True if this broker currently leads `tp`.
@@ -227,7 +246,13 @@ impl Broker {
         }
     }
 
-    fn respond_after_cpu(&mut self, ctx: &mut Ctx<'_>, cost: SimDuration, to: ProcessId, msg: OutMsg) {
+    fn respond_after_cpu(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        cost: SimDuration,
+        to: ProcessId,
+        msg: OutMsg,
+    ) {
         let tag = tags::CPU_BASE + self.next_cpu_tag;
         self.next_cpu_tag += 1;
         self.pending_out.insert(tag, vec![(to, msg)]);
@@ -247,7 +272,9 @@ impl Broker {
     /// Advances the high watermark of a led partition from follower state and
     /// acknowledges satisfied `acks=all` produces.
     fn advance_hw(&mut self, ctx: &mut Ctx<'_>, tp: &TopicPartition) {
-        let Some(Role::Leader(ls)) = self.roles.get_mut(tp) else { return };
+        let Some(Role::Leader(ls)) = self.roles.get_mut(tp) else {
+            return;
+        };
         let log = self.logs.entry(tp.clone()).or_default();
         let mut hw = log.log_end();
         for b in &ls.isr {
@@ -286,7 +313,9 @@ impl Broker {
     }
 
     fn fail_pending(&mut self, ctx: &mut Ctx<'_>, tp: &TopicPartition, error: ErrorCode) {
-        let Some(Role::Leader(ls)) = self.roles.get_mut(tp) else { return };
+        let Some(Role::Leader(ls)) = self.roles.get_mut(tp) else {
+            return;
+        };
         let drained: Vec<PendingProduce> = ls.pending.drain(..).collect();
         for p in drained {
             let msg = OutMsg::Client(ClientRpc::ProduceResponse {
@@ -303,7 +332,12 @@ impl Broker {
     fn handle_client(&mut self, ctx: &mut Ctx<'_>, from: ProcessId, rpc: ClientRpc) {
         let now = ctx.now();
         match rpc {
-            ClientRpc::ProduceRequest { corr, tp, batch, acks } => {
+            ClientRpc::ProduceRequest {
+                corr,
+                tp,
+                batch,
+                acks,
+            } => {
                 self.stats.produces += 1;
                 if self.is_fenced(now) {
                     self.stats.rejected_fenced += 1;
@@ -382,7 +416,12 @@ impl Broker {
                     }
                 }
             }
-            ClientRpc::FetchRequest { corr, tp, offset, max_records } => {
+            ClientRpc::FetchRequest {
+                corr,
+                tp,
+                offset,
+                max_records,
+            } => {
                 self.stats.fetches += 1;
                 let (batch, hw, error) = if self.is_fenced(now) {
                     self.stats.rejected_fenced += 1;
@@ -395,8 +434,11 @@ impl Broker {
                             if offset > hw {
                                 (RecordBatch::new(), hw, ErrorCode::OffsetOutOfRange)
                             } else {
-                                let recs =
-                                    log.read(offset, max_records.min(self.cfg.fetch_max_records), true);
+                                let recs = log.read(
+                                    offset,
+                                    max_records.min(self.cfg.fetch_max_records),
+                                    true,
+                                );
                                 (RecordBatch::from_records(recs), hw, ErrorCode::None)
                             }
                         }
@@ -431,20 +473,75 @@ impl Broker {
                     OutMsg::Client(ClientRpc::MetadataResponse { corr, partitions }),
                 );
             }
+            ClientRpc::OffsetCommit {
+                corr,
+                group,
+                offsets,
+            } => {
+                self.stats.offset_commits += 1;
+                let error = if self.is_fenced(now) {
+                    self.stats.rejected_fenced += 1;
+                    ErrorCode::Fenced
+                } else {
+                    for (tp, off) in offsets {
+                        self.group_offsets.insert((group.clone(), tp), off);
+                    }
+                    ErrorCode::None
+                };
+                let cost = self.cfg.cpu_per_request;
+                self.respond_after_cpu(
+                    ctx,
+                    cost,
+                    from,
+                    OutMsg::Client(ClientRpc::OffsetCommitResponse { corr, error }),
+                );
+            }
+            ClientRpc::OffsetFetch { corr, group, tps } => {
+                self.stats.offset_fetches += 1;
+                let offsets: Vec<(TopicPartition, Option<Offset>)> = tps
+                    .into_iter()
+                    .map(|tp| {
+                        let committed = self
+                            .group_offsets
+                            .get(&(group.clone(), tp.clone()))
+                            .copied();
+                        (tp, committed)
+                    })
+                    .collect();
+                let cost = self.cfg.cpu_per_request;
+                self.respond_after_cpu(
+                    ctx,
+                    cost,
+                    from,
+                    OutMsg::Client(ClientRpc::OffsetFetchResponse { corr, offsets }),
+                );
+            }
             // Responses are not expected here; brokers only serve.
             ClientRpc::ProduceResponse { .. }
             | ClientRpc::FetchResponse { .. }
-            | ClientRpc::MetadataResponse { .. } => {}
+            | ClientRpc::MetadataResponse { .. }
+            | ClientRpc::OffsetCommitResponse { .. }
+            | ClientRpc::OffsetFetchResponse { .. } => {}
         }
     }
 
     fn handle_replica(&mut self, ctx: &mut Ctx<'_>, from_pid: ProcessId, rpc: ReplicaRpc) {
         let now = ctx.now();
         match rpc {
-            ReplicaRpc::Fetch { corr, tp, from, log_end, epoch } => {
+            ReplicaRpc::Fetch {
+                corr,
+                tp,
+                from,
+                log_end,
+                epoch,
+            } => {
                 self.stats.replica_fetches += 1;
                 if self.is_fenced(now) || !matches!(self.roles.get(&tp), Some(Role::Leader(_))) {
-                    let err = if self.is_fenced(now) { ErrorCode::Fenced } else { ErrorCode::NotLeader };
+                    let err = if self.is_fenced(now) {
+                        ErrorCode::Fenced
+                    } else {
+                        ErrorCode::NotLeader
+                    };
                     let cost = self.cfg.cpu_per_request;
                     self.respond_after_cpu(
                         ctx,
@@ -481,7 +578,10 @@ impl Broker {
                 }
                 let records = log.read(start, self.cfg.replica_fetch_max_records, false);
                 let epochs: Vec<LeaderEpoch> = (0..records.len())
-                    .map(|i| log.epoch_at(Offset(start.value() + i as u64)).expect("read entries exist"))
+                    .map(|i| {
+                        log.epoch_at(Offset(start.value() + i as u64))
+                            .expect("read entries exist")
+                    })
                     .collect();
                 let hw = log.high_watermark();
                 let leader_end = log.log_end();
@@ -510,7 +610,12 @@ impl Broker {
                     self.stats.isr_expands += 1;
                     self.send_controllers(
                         ctx,
-                        ControllerRpc::AlterIsr { tp: tp.clone(), from: self.id, epoch, new_isr },
+                        ControllerRpc::AlterIsr {
+                            tp: tp.clone(),
+                            from: self.id,
+                            epoch,
+                            new_isr,
+                        },
                     );
                 }
                 self.advance_hw(ctx, &tp);
@@ -541,7 +646,9 @@ impl Broker {
                 error,
                 ..
             } => {
-                let Some(Role::Follower(fs)) = self.roles.get_mut(&tp) else { return };
+                let Some(Role::Follower(fs)) = self.roles.get_mut(&tp) else {
+                    return;
+                };
                 fs.inflight = false;
                 if !error.is_ok() {
                     return; // wait for fresh LeaderAndIsr from the controller
@@ -579,12 +686,16 @@ impl Broker {
     fn replica_fetch_one(&mut self, ctx: &mut Ctx<'_>, tp: &TopicPartition) {
         let corr = self.next_corr();
         let id = self.id;
-        let Some(Role::Follower(fs)) = self.roles.get_mut(tp) else { return };
+        let Some(Role::Follower(fs)) = self.roles.get_mut(tp) else {
+            return;
+        };
         let Some(leader) = fs.leader else { return };
         if fs.inflight || leader == id {
             return;
         }
-        let Some(&leader_pid) = self.peers.get(&leader) else { return };
+        let Some(&leader_pid) = self.peers.get(&leader) else {
+            return;
+        };
         fs.inflight = true;
         let fallback_epoch = fs.epoch;
         let log = self.logs.entry(tp.clone()).or_default();
@@ -595,7 +706,13 @@ impl Broker {
         let log_end = log.log_end();
         ctx.send(
             leader_pid,
-            ReplicaRpc::Fetch { corr, tp: tp.clone(), from: id, log_end, epoch },
+            ReplicaRpc::Fetch {
+                corr,
+                tp: tp.clone(),
+                from: id,
+                log_end,
+                epoch,
+            },
         );
     }
 
@@ -640,8 +757,12 @@ impl Broker {
             if lagging.is_empty() {
                 continue;
             }
-            let new_isr: Vec<BrokerId> =
-                ls.isr.iter().copied().filter(|b| !lagging.contains(b)).collect();
+            let new_isr: Vec<BrokerId> = ls
+                .isr
+                .iter()
+                .copied()
+                .filter(|b| !lagging.contains(b))
+                .collect();
             if mode == CoordinationMode::Zk {
                 // ZooKeeper-era behavior: apply locally first — this is what
                 // lets an isolated leader advance its HW over unreplicated
@@ -654,7 +775,12 @@ impl Broker {
             self.stats.isr_shrinks += 1;
             self.send_controllers(
                 ctx,
-                ControllerRpc::AlterIsr { tp: tp.clone(), from: id, epoch, new_isr },
+                ControllerRpc::AlterIsr {
+                    tp: tp.clone(),
+                    from: id,
+                    epoch,
+                    new_isr,
+                },
             );
             if self.mode == CoordinationMode::Zk {
                 self.advance_hw(ctx, &tp);
@@ -667,10 +793,19 @@ impl Broker {
             ControllerRpc::HeartbeatAck { .. } => {
                 self.last_hb_ack = ctx.now();
             }
-            ControllerRpc::MetadataUpdate { records, metadata_version } => {
+            ControllerRpc::MetadataUpdate {
+                records,
+                metadata_version,
+            } => {
                 self.metadata.apply(&records, metadata_version);
             }
-            ControllerRpc::LeaderAndIsr { tp, leader, isr, epoch, replicas } => {
+            ControllerRpc::LeaderAndIsr {
+                tp,
+                leader,
+                isr,
+                epoch,
+                replicas,
+            } => {
                 let known = self.known_epoch.get(&tp).copied().unwrap_or_default();
                 if epoch < known {
                     return; // stale instruction
@@ -715,7 +850,11 @@ impl Broker {
                     }
                     self.roles.insert(
                         tp.clone(),
-                        Role::Follower(FollowerState { leader, epoch, inflight: false }),
+                        Role::Follower(FollowerState {
+                            leader,
+                            epoch,
+                            inflight: false,
+                        }),
                     );
                     self.logs.entry(tp.clone()).or_default();
                 } else {

@@ -4,8 +4,8 @@
 //! configuration files (`brokerCfg`, `prodCfg`, `consCfg` in Table I) plus
 //! the topic configuration graph attribute (`topicCfg`).
 
-use s2g_sim::SimDuration;
 use s2g_proto::AckMode;
+use s2g_sim::SimDuration;
 
 /// How cluster metadata and leader election are coordinated.
 ///
@@ -142,6 +142,16 @@ pub struct ConsumerConfig {
     pub background_interval: SimDuration,
     /// One-time startup CPU cost.
     pub startup_cpu: SimDuration,
+    /// Consumer group for broker-side committed offsets (Kafka `group.id`).
+    /// When set, the client fetches the group's committed positions before
+    /// its first fetch and resumes there — the recovery path after a crash.
+    /// `None` (the default) starts every partition at offset zero.
+    pub group: Option<String>,
+    /// When a group is set and this is non-zero, the client commits its
+    /// positions to the broker on this period (Kafka's auto-commit).
+    /// [`SimDuration::ZERO`] disables periodic commits; an embedding
+    /// checkpoint coordinator then owns the commit schedule.
+    pub auto_commit_interval: SimDuration,
 }
 
 impl Default for ConsumerConfig {
@@ -153,6 +163,8 @@ impl Default for ConsumerConfig {
             background_cpu: SimDuration::from_millis(2),
             background_interval: SimDuration::from_millis(100),
             startup_cpu: SimDuration::from_millis(300),
+            group: None,
+            auto_commit_interval: SimDuration::ZERO,
         }
     }
 }
@@ -176,7 +188,12 @@ pub struct TopicSpec {
 impl TopicSpec {
     /// A single-partition, unreplicated topic.
     pub fn new(name: impl Into<String>) -> Self {
-        TopicSpec { name: name.into(), partitions: 1, replication: 1, primary: None }
+        TopicSpec {
+            name: name.into(),
+            partitions: 1,
+            replication: 1,
+            primary: None,
+        }
     }
 
     /// Sets the partition count.
@@ -252,7 +269,10 @@ mod tests {
 
     #[test]
     fn topic_spec_builder() {
-        let t = TopicSpec::new("events").partitions(3).replication(2).primary(5);
+        let t = TopicSpec::new("events")
+            .partitions(3)
+            .replication(2)
+            .primary(5);
         assert_eq!(t.name, "events");
         assert_eq!(t.partitions, 3);
         assert_eq!(t.replication, 2);

@@ -14,9 +14,7 @@ use std::any::Any;
 use std::collections::{BTreeMap, HashMap};
 
 use s2g_proto::{ClientRpc, CorrelationId, ErrorCode, Offset, Record, TopicPartition};
-use s2g_sim::{
-    downcast, Ctx, Message, Process, ProcessId, SimDuration, SimTime, TimerToken,
-};
+use s2g_sim::{downcast, Ctx, Message, Process, ProcessId, SimDuration, SimTime, TimerToken};
 
 use crate::config::ConsumerConfig;
 use crate::metadata::MetadataCache;
@@ -29,6 +27,8 @@ pub const CONSUMER_TAGS_END: u64 = (1 << 41) + (1 << 40);
 mod off {
     pub const POLL: u64 = 1;
     pub const META_TIMEOUT: u64 = 2;
+    pub const AUTO_COMMIT: u64 = 3;
+    pub const OFFSET_FETCH_TIMEOUT: u64 = 4;
     pub const REQ_TIMEOUT_BASE: u64 = 1_000_000;
     pub const CPU_DELIVER_BASE: u64 = 2_000_000_000;
 }
@@ -56,7 +56,7 @@ impl DataSink for CollectingSink {
 }
 
 /// Consumer counters.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ConsumerStats {
     /// Fetch requests issued.
     pub fetches: u64,
@@ -66,6 +66,11 @@ pub struct ConsumerStats {
     pub timeouts: u64,
     /// Offset resets after `OffsetOutOfRange` (evidence of truncation!).
     pub offset_resets: u64,
+    /// Offset commits sent to the group coordinator.
+    pub offset_commits: u64,
+    /// Partitions whose position was resumed from a broker-side committed
+    /// offset at startup — the recovery-worked signal.
+    pub resumed_partitions: u64,
 }
 
 #[derive(Debug)]
@@ -91,6 +96,11 @@ pub struct ConsumerClient {
     next_deliver_tag: u64,
     stats: ConsumerStats,
     request_timeout: SimDuration,
+    /// Offset-fetch state for group members: fetching is held back until the
+    /// committed positions arrive, so the first fetch resumes at the commit
+    /// rather than at zero.
+    offsets_restored: bool,
+    offset_fetch_inflight: Option<(CorrelationId, TimerToken)>,
 }
 
 impl ConsumerClient {
@@ -117,6 +127,8 @@ impl ConsumerClient {
             next_deliver_tag: 0,
             stats: ConsumerStats::default(),
             request_timeout: SimDuration::from_secs(2),
+            offsets_restored: false,
+            offset_fetch_inflight: None,
         }
     }
 
@@ -130,10 +142,69 @@ impl ConsumerClient {
         self.offsets.get(tp).copied().unwrap_or(Offset::ZERO)
     }
 
+    /// Every known partition position, in deterministic order — the offsets
+    /// half of a checkpoint snapshot.
+    pub fn positions(&self) -> Vec<(TopicPartition, Offset)> {
+        self.offsets
+            .iter()
+            .map(|(tp, off)| (tp.clone(), *off))
+            .collect()
+    }
+
+    /// The consumer group, when configured.
+    pub fn group(&self) -> Option<&str> {
+        self.cfg.group.as_deref()
+    }
+
     /// Kicks off metadata discovery and the poll loop. Call from `on_start`.
     pub fn start(&mut self, ctx: &mut Ctx<'_>) {
         self.request_metadata(ctx);
         ctx.set_timer(self.cfg.poll_interval, CONSUMER_TAGS + off::POLL);
+        if self.cfg.group.is_some() && !self.cfg.auto_commit_interval.is_zero() {
+            ctx.set_timer(
+                self.cfg.auto_commit_interval,
+                CONSUMER_TAGS + off::AUTO_COMMIT,
+            );
+        }
+    }
+
+    /// Seeds partition positions from an external source of truth (an
+    /// exactly-once checkpoint snapshot) and skips the broker offset fetch:
+    /// the seeded positions are, by construction, consistent with the
+    /// restored state.
+    pub fn seed_positions(&mut self, offsets: Vec<(TopicPartition, Offset)>) {
+        self.stats.resumed_partitions += offsets.len() as u64;
+        for (tp, off) in offsets {
+            self.offsets.insert(tp, off);
+        }
+        self.offsets_restored = true;
+    }
+
+    /// Sends the group coordinator an explicit offset commit (the checkpoint
+    /// coordinator path). No-op without a configured group.
+    pub fn commit_offsets(&mut self, ctx: &mut Ctx<'_>, offsets: Vec<(TopicPartition, Offset)>) {
+        let Some(group) = self.cfg.group.clone() else {
+            return;
+        };
+        if offsets.is_empty() {
+            return;
+        }
+        let corr = self.next_corr();
+        self.stats.offset_commits += 1;
+        ctx.send(
+            self.bootstrap,
+            ClientRpc::OffsetCommit {
+                corr,
+                group,
+                offsets,
+            },
+        );
+    }
+
+    /// Commits the current positions of every partition (auto-commit path).
+    pub fn commit_positions(&mut self, ctx: &mut Ctx<'_>) {
+        let offsets = self.positions();
+        self.commit_offsets(ctx, offsets);
     }
 
     fn next_corr(&mut self) -> CorrelationId {
@@ -161,27 +232,59 @@ impl ConsumerClient {
             self.request_metadata(ctx);
             return;
         }
+        if self.cfg.group.is_some() && !self.offsets_restored {
+            // Hold fetching until the group's committed positions arrive, so
+            // the first fetch resumes at the commit instead of offset zero.
+            self.request_offset_fetch(ctx, tps);
+            return;
+        }
         for tp in tps {
             self.fetch_one(ctx, tp);
         }
+    }
+
+    fn request_offset_fetch(&mut self, ctx: &mut Ctx<'_>, tps: Vec<TopicPartition>) {
+        if self.offset_fetch_inflight.is_some() {
+            return;
+        }
+        let corr = self.next_corr();
+        let timer = ctx.set_timer(
+            self.request_timeout,
+            CONSUMER_TAGS + off::OFFSET_FETCH_TIMEOUT,
+        );
+        self.offset_fetch_inflight = Some((corr, timer));
+        let group = self.cfg.group.clone().expect("caller checked group");
+        ctx.send(self.bootstrap, ClientRpc::OffsetFetch { corr, group, tps });
     }
 
     fn fetch_one(&mut self, ctx: &mut Ctx<'_>, tp: TopicPartition) {
         if self.fetching.get(&tp).copied().unwrap_or(false) {
             return;
         }
+        if self.cfg.group.is_some() && !self.offsets_restored {
+            return;
+        }
         let Some(leader) = self.metadata.leader(&tp) else {
             self.request_metadata(ctx);
             return;
         };
-        let Some(&pid) = self.brokers.get(&leader) else { return };
+        let Some(&pid) = self.brokers.get(&leader) else {
+            return;
+        };
         let corr = self.next_corr();
         let offset = self.position(&tp);
-        let timer =
-            ctx.set_timer(self.request_timeout, CONSUMER_TAGS + off::REQ_TIMEOUT_BASE + corr.0);
+        let timer = ctx.set_timer(
+            self.request_timeout,
+            CONSUMER_TAGS + off::REQ_TIMEOUT_BASE + corr.0,
+        );
         ctx.send(
             pid,
-            ClientRpc::FetchRequest { corr, tp: tp.clone(), offset, max_records: self.cfg.max_poll_records },
+            ClientRpc::FetchRequest {
+                corr,
+                tp: tp.clone(),
+                offset,
+                max_records: self.cfg.max_poll_records,
+            },
         );
         self.stats.fetches += 1;
         self.fetching.insert(tp.clone(), true);
@@ -200,8 +303,14 @@ impl ConsumerClient {
             Err(m) => return Some(m),
         };
         match *rpc {
-            ClientRpc::FetchResponse { corr, tp, batch, high_watermark, error } => {
-                let Some(inflight) = self.inflight.remove(&corr.0) else { return None };
+            ClientRpc::FetchResponse {
+                corr,
+                tp,
+                batch,
+                high_watermark,
+                error,
+            } => {
+                let inflight = self.inflight.remove(&corr.0)?;
                 ctx.cancel_timer(inflight.timer);
                 // Only clear the in-flight mark when nothing is pending for
                 // this partition; for non-empty batches it stays set until
@@ -209,17 +318,16 @@ impl ConsumerClient {
                 // a duplicate fetch at the not-yet-advanced offset.
                 self.fetching.insert(tp.clone(), false);
                 match error {
-                    ErrorCode::None
-                        if !batch.is_empty() => {
-                            self.fetching.insert(tp.clone(), true);
-                            // Pay the per-record CPU cost, then deliver and
-                            // immediately fetch again (pipelining).
-                            let tag = CONSUMER_TAGS + off::CPU_DELIVER_BASE + self.next_deliver_tag;
-                            self.next_deliver_tag += 1;
-                            let n = batch.len() as u64;
-                            self.pending_delivery.insert(tag, (tp, batch.records));
-                            ctx.exec(self.cfg.cpu_per_record * n, tag);
-                        }
+                    ErrorCode::None if !batch.is_empty() => {
+                        self.fetching.insert(tp.clone(), true);
+                        // Pay the per-record CPU cost, then deliver and
+                        // immediately fetch again (pipelining).
+                        let tag = CONSUMER_TAGS + off::CPU_DELIVER_BASE + self.next_deliver_tag;
+                        self.next_deliver_tag += 1;
+                        let n = batch.len() as u64;
+                        self.pending_delivery.insert(tag, (tp, batch.records));
+                        ctx.exec(self.cfg.cpu_per_record * n, tag);
+                    }
                     ErrorCode::OffsetOutOfRange => {
                         // Truncation happened under us: reset to the server's
                         // high watermark (auto.offset.reset=latest).
@@ -239,13 +347,38 @@ impl ConsumerClient {
                         ctx.cancel_timer(timer);
                         self.meta_inflight = None;
                         self.meta_versions += 1;
-                        self.metadata.install_snapshot(partitions, self.meta_versions);
+                        self.metadata
+                            .install_snapshot(partitions, self.meta_versions);
                         None
                     }
                     // Not ours — may belong to a co-embedded producer client.
                     _ => Some(Box::new(ClientRpc::MetadataResponse { corr, partitions })),
                 }
             }
+            ClientRpc::OffsetFetchResponse { corr, offsets } => {
+                match self.offset_fetch_inflight {
+                    Some((c, timer)) if c == corr => {
+                        ctx.cancel_timer(timer);
+                        self.offset_fetch_inflight = None;
+                        self.offsets_restored = true;
+                        let mut tps: Vec<TopicPartition> = Vec::new();
+                        for (tp, committed) in offsets {
+                            if let Some(off) = committed {
+                                self.stats.resumed_partitions += 1;
+                                self.offsets.insert(tp.clone(), off);
+                            }
+                            tps.push(tp);
+                        }
+                        for tp in tps {
+                            self.fetch_one(ctx, tp);
+                        }
+                    }
+                    _ => {}
+                }
+                None
+            }
+            // Commits are fire-and-forget; the ack only confirms receipt.
+            ClientRpc::OffsetCommitResponse { .. } => None,
             other => Some(Box::new(other)),
         }
     }
@@ -263,6 +396,15 @@ impl ConsumerClient {
         } else if o == off::META_TIMEOUT {
             self.meta_inflight = None;
             self.request_metadata(ctx);
+        } else if o == off::AUTO_COMMIT {
+            self.commit_positions(ctx);
+            ctx.set_timer(
+                self.cfg.auto_commit_interval,
+                CONSUMER_TAGS + off::AUTO_COMMIT,
+            );
+        } else if o == off::OFFSET_FETCH_TIMEOUT {
+            // Offset fetch lost; the next poll retries it.
+            self.offset_fetch_inflight = None;
         } else if (off::REQ_TIMEOUT_BASE..off::CPU_DELIVER_BASE).contains(&o) {
             let corr = o - off::REQ_TIMEOUT_BASE;
             if let Some(inflight) = self.inflight.remove(&corr) {
@@ -285,11 +427,14 @@ impl ConsumerClient {
         if !(CONSUMER_TAGS..CONSUMER_TAGS_END).contains(&tag) {
             return false;
         }
-        let Some((tp, records)) = self.pending_delivery.remove(&tag) else { return true };
+        let Some((tp, records)) = self.pending_delivery.remove(&tag) else {
+            return true;
+        };
         let now = ctx.now();
         self.stats.records += records.len() as u64;
         let pos = self.position(&tp);
-        self.offsets.insert(tp.clone(), Offset(pos.value() + records.len() as u64));
+        self.offsets
+            .insert(tp.clone(), Offset(pos.value() + records.len() as u64));
         sink.on_records(now, &tp, &records);
         // Pipelining: fetch the next batch for this partition right away.
         self.fetching.insert(tp.clone(), false);
@@ -322,7 +467,11 @@ const STARTUP_DONE: u64 = 3;
 impl ConsumerProcess {
     /// Creates a consumer stub with a name suffix for traces.
     pub fn new(idx: u32, client: ConsumerClient, sink: Box<dyn DataSink>) -> Self {
-        ConsumerProcess { client, sink, name: format!("consumer-{idx}") }
+        ConsumerProcess {
+            client,
+            sink,
+            name: format!("consumer-{idx}"),
+        }
     }
 
     /// The embedded client (stats, positions).
@@ -370,6 +519,8 @@ impl Process for ConsumerProcess {
 
 impl std::fmt::Debug for ConsumerProcess {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ConsumerProcess").field("client", &self.client).finish()
+        f.debug_struct("ConsumerProcess")
+            .field("client", &self.client)
+            .finish()
     }
 }

@@ -72,7 +72,12 @@ impl ClusterState {
     pub fn apply(&mut self, record: &MetadataRecord) {
         match record {
             MetadataRecord::TopicCreated { .. } => {}
-            MetadataRecord::PartitionChange { tp, leader, isr, epoch } => {
+            MetadataRecord::PartitionChange {
+                tp,
+                leader,
+                isr,
+                epoch,
+            } => {
                 if let Some(p) = self.partitions.get_mut(tp) {
                     if *epoch >= p.epoch {
                         p.leader = *leader;
@@ -171,7 +176,9 @@ impl ClusterState {
         epoch: LeaderEpoch,
         new_isr: &[BrokerId],
     ) -> Vec<MetadataRecord> {
-        let Some(p) = self.partitions.get(tp) else { return vec![] };
+        let Some(p) = self.partitions.get(tp) else {
+            return vec![];
+        };
         if p.leader != Some(from) || p.epoch != epoch {
             return vec![];
         }
@@ -197,7 +204,9 @@ impl ClusterState {
     pub fn changes_for_preferred_election(&self) -> Vec<MetadataRecord> {
         let mut out = Vec::new();
         for p in self.partitions.values() {
-            let Some(&preferred) = p.replicas.first() else { continue };
+            let Some(&preferred) = p.replicas.first() else {
+                continue;
+            };
             if p.leader != Some(preferred) && self.is_alive(preferred) && p.isr.contains(&preferred)
             {
                 out.push(MetadataRecord::PartitionChange {
@@ -240,8 +249,12 @@ impl ClusterState {
     pub fn leader_and_isr_for(&self, records: &[MetadataRecord]) -> Vec<(BrokerId, ControllerRpc)> {
         let mut out = Vec::new();
         for r in records {
-            let MetadataRecord::PartitionChange { tp, .. } = r else { continue };
-            let Some(p) = self.partitions.get(tp) else { continue };
+            let MetadataRecord::PartitionChange { tp, .. } = r else {
+                continue;
+            };
+            let Some(p) = self.partitions.get(tp) else {
+                continue;
+            };
             for b in &p.replicas {
                 out.push((
                     *b,
@@ -366,7 +379,10 @@ impl ZkController {
         for &pid in self.brokers.values() {
             ctx.send(
                 pid,
-                ControllerRpc::MetadataUpdate { records: records.clone(), metadata_version: version },
+                ControllerRpc::MetadataUpdate {
+                    records: records.clone(),
+                    metadata_version: version,
+                },
             );
         }
     }
@@ -411,7 +427,9 @@ impl Process for ZkController {
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: ProcessId, msg: Box<dyn Message>) {
-        let Ok(rpc) = downcast::<ControllerRpc>(msg) else { return };
+        let Ok(rpc) = downcast::<ControllerRpc>(msg) else {
+            return;
+        };
         match *rpc {
             ControllerRpc::Heartbeat { broker } => {
                 let now = ctx.now();
@@ -452,7 +470,12 @@ impl Process for ZkController {
                     );
                 }
             }
-            ControllerRpc::AlterIsr { tp, from, epoch, new_isr } => {
+            ControllerRpc::AlterIsr {
+                tp,
+                from,
+                epoch,
+                new_isr,
+            } => {
                 let records = self.state.changes_for_alter_isr(&tp, from, epoch, &new_isr);
                 self.commit(ctx, records);
             }
@@ -505,9 +528,16 @@ mod tests {
         let s = three_broker_state();
         let recs = s.changes_for_broker_failure(BrokerId(0));
         assert_eq!(recs.len(), 2);
-        assert_eq!(recs[0], MetadataRecord::BrokerFenced { broker: BrokerId(0) });
+        assert_eq!(
+            recs[0],
+            MetadataRecord::BrokerFenced {
+                broker: BrokerId(0)
+            }
+        );
         match &recs[1] {
-            MetadataRecord::PartitionChange { leader, isr, epoch, .. } => {
+            MetadataRecord::PartitionChange {
+                leader, isr, epoch, ..
+            } => {
                 assert_eq!(*leader, Some(BrokerId(1)));
                 assert!(!isr.contains(&BrokerId(0)));
                 assert_eq!(*epoch, LeaderEpoch(1));
@@ -542,11 +572,17 @@ mod tests {
         let recs = s.changes_for_alter_isr(&tp, BrokerId(0), LeaderEpoch(0), &[BrokerId(0)]);
         assert_eq!(recs.len(), 1);
         // Wrong sender.
-        assert!(s.changes_for_alter_isr(&tp, BrokerId(1), LeaderEpoch(0), &[BrokerId(1)]).is_empty());
+        assert!(s
+            .changes_for_alter_isr(&tp, BrokerId(1), LeaderEpoch(0), &[BrokerId(1)])
+            .is_empty());
         // Stale epoch.
-        assert!(s.changes_for_alter_isr(&tp, BrokerId(0), LeaderEpoch(9), &[BrokerId(0)]).is_empty());
+        assert!(s
+            .changes_for_alter_isr(&tp, BrokerId(0), LeaderEpoch(9), &[BrokerId(0)])
+            .is_empty());
         // ISR not containing the leader.
-        assert!(s.changes_for_alter_isr(&tp, BrokerId(0), LeaderEpoch(0), &[BrokerId(1)]).is_empty());
+        assert!(s
+            .changes_for_alter_isr(&tp, BrokerId(0), LeaderEpoch(0), &[BrokerId(1)])
+            .is_empty());
         // No-op ISR.
         assert!(s
             .changes_for_alter_isr(
@@ -570,7 +606,9 @@ mod tests {
         // Preferred election does nothing while 0 is fenced / out of ISR.
         assert!(s.changes_for_preferred_election().is_empty());
         // 0 re-registers and rejoins the ISR.
-        s.apply(&MetadataRecord::BrokerRegistered { broker: BrokerId(0) });
+        s.apply(&MetadataRecord::BrokerRegistered {
+            broker: BrokerId(0),
+        });
         let p = s.partition(&tp).unwrap().clone();
         s.apply(&MetadataRecord::PartitionChange {
             tp: tp.clone(),

@@ -42,8 +42,13 @@ enum RaftRole {
         #[allow(dead_code)]
         leader: Option<BrokerId>,
     },
-    Candidate { votes: BTreeSet<BrokerId> },
-    Leader { next_index: BTreeMap<BrokerId, usize>, match_index: BTreeMap<BrokerId, usize> },
+    Candidate {
+        votes: BTreeSet<BrokerId>,
+    },
+    Leader {
+        next_index: BTreeMap<BrokerId, usize>,
+        match_index: BTreeMap<BrokerId, usize>,
+    },
 }
 
 /// One member of the KRaft controller quorum.
@@ -197,8 +202,17 @@ impl KraftController {
                 match_index.insert(id, 0usize);
             }
         }
-        self.role = RaftRole::Leader { next_index, match_index };
-        ctx.trace("kraft", format!("{} became active controller (term {})", self.name, self.term));
+        self.role = RaftRole::Leader {
+            next_index,
+            match_index,
+        };
+        ctx.trace(
+            "kraft",
+            format!(
+                "{} became active controller (term {})",
+                self.name, self.term
+            ),
+        );
         // Term-start entry: lets the new leader commit prior-term entries
         // (Raft §5.4.2 no-op). We reuse a harmless registration record.
         let noop = MetadataRecord::BrokerRegistered { broker: self.me };
@@ -212,8 +226,10 @@ impl KraftController {
             // initial topic assignment.
             let ids: Vec<BrokerId> = self.brokers.keys().copied().collect();
             let plan = plan_assignments(&self.topics, &ids);
-            let mut records: Vec<MetadataRecord> =
-                ids.iter().map(|b| MetadataRecord::BrokerRegistered { broker: *b }).collect();
+            let mut records: Vec<MetadataRecord> = ids
+                .iter()
+                .map(|b| MetadataRecord::BrokerRegistered { broker: *b })
+                .collect();
             for p in &plan {
                 self.state.install_assignment(p);
                 records.push(MetadataRecord::PartitionChange {
@@ -237,7 +253,9 @@ impl KraftController {
         for r in records {
             // Avoid duplicate uncommitted proposals (session checks repeat
             // until the failure records commit).
-            let pending = self.log[self.commit..].iter().any(|(_, existing)| *existing == r);
+            let pending = self.log[self.commit..]
+                .iter()
+                .any(|(_, existing)| *existing == r);
             if !pending {
                 self.log.push((term, r));
             }
@@ -246,7 +264,9 @@ impl KraftController {
     }
 
     fn leader_tick(&mut self, ctx: &mut Ctx<'_>) {
-        let RaftRole::Leader { next_index, .. } = &self.role else { return };
+        let RaftRole::Leader { next_index, .. } = &self.role else {
+            return;
+        };
         let sends: Vec<(ProcessId, RaftRpc)> = self
             .quorum
             .iter()
@@ -281,7 +301,9 @@ impl KraftController {
     }
 
     fn maybe_commit(&mut self) {
-        let RaftRole::Leader { match_index, .. } = &self.role else { return };
+        let RaftRole::Leader { match_index, .. } = &self.role else {
+            return;
+        };
         let majority = self.majority();
         for n in (self.commit + 1..=self.log.len()).rev() {
             if self.log[n - 1].0 != self.term {
@@ -300,8 +322,10 @@ impl KraftController {
             return;
         }
         let now = ctx.now();
-        let batch: Vec<MetadataRecord> =
-            self.log[self.applied..self.commit].iter().map(|(_, r)| r.clone()).collect();
+        let batch: Vec<MetadataRecord> = self.log[self.applied..self.commit]
+            .iter()
+            .map(|(_, r)| r.clone())
+            .collect();
         self.applied = self.commit;
         for r in &batch {
             self.state.apply(r);
@@ -330,7 +354,12 @@ impl KraftController {
 
     fn handle_raft(&mut self, ctx: &mut Ctx<'_>, rpc: RaftRpc) {
         match rpc {
-            RaftRpc::RequestVote { term, candidate, last_log_index, last_log_term } => {
+            RaftRpc::RequestVote {
+                term,
+                candidate,
+                last_log_index,
+                last_log_term,
+            } => {
                 if term > self.term {
                     self.become_follower(ctx, term, None);
                 }
@@ -344,10 +373,21 @@ impl KraftController {
                     self.reset_election_deadline(ctx);
                 }
                 if let Some(&pid) = self.quorum.get(&candidate) {
-                    ctx.send(pid, RaftRpc::VoteResponse { term: self.term, granted: grant, from: self.me });
+                    ctx.send(
+                        pid,
+                        RaftRpc::VoteResponse {
+                            term: self.term,
+                            granted: grant,
+                            from: self.me,
+                        },
+                    );
                 }
             }
-            RaftRpc::VoteResponse { term, granted, from } => {
+            RaftRpc::VoteResponse {
+                term,
+                granted,
+                from,
+            } => {
                 if term > self.term {
                     self.become_follower(ctx, term, None);
                     return;
@@ -367,7 +407,14 @@ impl KraftController {
                     self.become_leader(ctx);
                 }
             }
-            RaftRpc::AppendEntries { term, leader, prev_log_index, prev_log_term, entries, leader_commit } => {
+            RaftRpc::AppendEntries {
+                term,
+                leader,
+                prev_log_index,
+                prev_log_term,
+                entries,
+                leader_commit,
+            } => {
                 if term < self.term {
                     if let Some(&pid) = self.quorum.get(&leader) {
                         ctx.send(
@@ -384,8 +431,8 @@ impl KraftController {
                 }
                 self.become_follower(ctx, term, Some(leader));
                 let prev = prev_log_index as usize;
-                let consistent = prev <= self.log.len()
-                    && (prev == 0 || self.log[prev - 1].0 == prev_log_term);
+                let consistent =
+                    prev <= self.log.len() && (prev == 0 || self.log[prev - 1].0 == prev_log_term);
                 let (success, match_index) = if consistent {
                     // Drop conflicting suffix, then append what is new.
                     let mut insert_at = prev;
@@ -432,12 +479,21 @@ impl KraftController {
                     );
                 }
             }
-            RaftRpc::AppendResponse { term, success, match_index, from } => {
+            RaftRpc::AppendResponse {
+                term,
+                success,
+                match_index,
+                from,
+            } => {
                 if term > self.term {
                     self.become_follower(ctx, term, None);
                     return;
                 }
-                let RaftRole::Leader { next_index, match_index: mi } = &mut self.role else {
+                let RaftRole::Leader {
+                    next_index,
+                    match_index: mi,
+                } = &mut self.role
+                else {
                     return;
                 };
                 if success {
@@ -491,7 +547,12 @@ impl KraftController {
                     );
                 }
             }
-            ControllerRpc::AlterIsr { tp, from, epoch, new_isr } => {
+            ControllerRpc::AlterIsr {
+                tp,
+                from,
+                epoch,
+                new_isr,
+            } => {
                 let records = self.state.changes_for_alter_isr(&tp, from, epoch, &new_isr);
                 self.propose(records);
                 self.leader_tick(ctx);
@@ -604,8 +665,9 @@ mod tests {
         // Reserve pids first by spawning placeholders is not possible; instead
         // compute pids deterministically: they are assigned sequentially.
         let base = sim.process_count() as u32;
-        let quorum: BTreeMap<BrokerId, ProcessId> =
-            (0..n).map(|i| (BrokerId(1000 + i), ProcessId(base + i))).collect();
+        let quorum: BTreeMap<BrokerId, ProcessId> = (0..n)
+            .map(|i| (BrokerId(1000 + i), ProcessId(base + i)))
+            .collect();
         let mut pids = Vec::new();
         for i in 0..n {
             let c = KraftController::new(
@@ -629,7 +691,11 @@ mod tests {
             .iter()
             .map(|p| sim.process_ref::<KraftController>(*p).unwrap().is_active())
             .collect();
-        assert_eq!(active.iter().filter(|a| **a).count(), 1, "exactly one active controller");
+        assert_eq!(
+            active.iter().filter(|a| **a).count(),
+            1,
+            "exactly one active controller"
+        );
         // All members agree on the term.
         let terms: BTreeSet<u64> = pids
             .iter()
@@ -667,7 +733,10 @@ mod tests {
         let mut sim = Sim::new(3);
         let pids = spawn_quorum(&mut sim, 1);
         sim.run_until(SimTime::from_secs(10));
-        assert!(sim.process_ref::<KraftController>(pids[0]).unwrap().is_active());
+        assert!(sim
+            .process_ref::<KraftController>(pids[0])
+            .unwrap()
+            .is_active());
     }
 
     #[test]

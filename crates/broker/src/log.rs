@@ -110,13 +110,20 @@ impl PartitionLog {
     /// is set (consumer fetches), records at or above the high watermark are
     /// withheld; replica fetches read the full log.
     pub fn read(&self, from: Offset, max: usize, committed_only: bool) -> Vec<Record> {
-        let end = if committed_only { self.high_watermark } else { self.log_end() };
+        let end = if committed_only {
+            self.high_watermark
+        } else {
+            self.log_end()
+        };
         if from >= end {
             return Vec::new();
         }
         let lo = from.value() as usize;
         let hi = (end.value() as usize).min(lo + max);
-        self.entries[lo..hi].iter().map(|e| e.record.clone()).collect()
+        self.entries[lo..hi]
+            .iter()
+            .map(|e| e.record.clone())
+            .collect()
     }
 
     /// The epoch of the entry at `offset`, if present.
@@ -150,7 +157,11 @@ impl PartitionLog {
     /// Finds where this log diverges from a leader whose log ends at
     /// `leader_end` with `leader_last_epoch`: the offset this replica should
     /// truncate to before appending. Compares epochs from the tail down.
-    pub fn divergence_point(&self, leader_end: Offset, leader_epoch_at: impl Fn(Offset) -> Option<LeaderEpoch>) -> Offset {
+    pub fn divergence_point(
+        &self,
+        leader_end: Offset,
+        leader_epoch_at: impl Fn(Offset) -> Option<LeaderEpoch>,
+    ) -> Offset {
         let mut candidate = self.log_end().min(leader_end);
         while candidate > Offset::ZERO {
             let prev = Offset(candidate.value() - 1);
@@ -192,7 +203,10 @@ mod tests {
         let mut log = PartitionLog::new();
         assert_eq!(log.append(LeaderEpoch(0), rec("a")), Offset(0));
         assert_eq!(log.append(LeaderEpoch(0), rec("b")), Offset(1));
-        assert_eq!(log.append_batch(LeaderEpoch(1), [rec("c"), rec("d")]), Offset(2));
+        assert_eq!(
+            log.append_batch(LeaderEpoch(1), [rec("c"), rec("d")]),
+            Offset(2)
+        );
         assert_eq!(log.log_end(), Offset(4));
         assert_eq!(log.len(), 4);
     }

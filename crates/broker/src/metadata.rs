@@ -18,7 +18,10 @@ use crate::config::TopicSpec;
 /// Panics if a topic's replication factor exceeds the broker count or its
 /// pinned primary is not in `brokers`.
 pub fn plan_assignments(topics: &[TopicSpec], brokers: &[BrokerId]) -> Vec<PartitionMetadata> {
-    assert!(!brokers.is_empty(), "cannot assign partitions with no brokers");
+    assert!(
+        !brokers.is_empty(),
+        "cannot assign partitions with no brokers"
+    );
     let mut out = Vec::new();
     let mut rr = 0usize;
     for topic in topics {
@@ -30,17 +33,23 @@ pub fn plan_assignments(topics: &[TopicSpec], brokers: &[BrokerId]) -> Vec<Parti
             brokers.len()
         );
         for p in 0..topic.partitions {
-            let lead_idx = match (p, topic.primary) {
-                (0, Some(primary)) => brokers
-                    .iter()
-                    .position(|b| b.0 == primary)
-                    .unwrap_or_else(|| panic!("topic `{}` pins unknown primary broker {primary}", topic.name)),
-                _ => {
-                    let i = rr % brokers.len();
-                    rr += 1;
-                    i
-                }
-            };
+            let lead_idx =
+                match (p, topic.primary) {
+                    (0, Some(primary)) => brokers
+                        .iter()
+                        .position(|b| b.0 == primary)
+                        .unwrap_or_else(|| {
+                            panic!(
+                                "topic `{}` pins unknown primary broker {primary}",
+                                topic.name
+                            )
+                        }),
+                    _ => {
+                        let i = rr % brokers.len();
+                        rr += 1;
+                        i
+                    }
+                };
             let mut replicas = Vec::with_capacity(topic.replication as usize);
             for k in 0..topic.replication as usize {
                 replicas.push(brokers[(lead_idx + k) % brokers.len()]);
@@ -91,14 +100,23 @@ impl MetadataCache {
             return; // stale or duplicate delta
         }
         for r in records {
-            if let MetadataRecord::PartitionChange { tp, leader, isr, epoch } = r {
-                let entry = self.partitions.entry(tp.clone()).or_insert_with(|| PartitionMetadata {
-                    tp: tp.clone(),
-                    leader: None,
-                    epoch: LeaderEpoch(0),
-                    isr: Vec::new(),
-                    replicas: Vec::new(),
-                });
+            if let MetadataRecord::PartitionChange {
+                tp,
+                leader,
+                isr,
+                epoch,
+            } = r
+            {
+                let entry =
+                    self.partitions
+                        .entry(tp.clone())
+                        .or_insert_with(|| PartitionMetadata {
+                            tp: tp.clone(),
+                            leader: None,
+                            epoch: LeaderEpoch(0),
+                            isr: Vec::new(),
+                            replicas: Vec::new(),
+                        });
                 if *epoch >= entry.epoch {
                     entry.leader = *leader;
                     entry.isr = isr.clone();
@@ -171,9 +189,15 @@ mod tests {
         let plan = plan_assignments(&topics, &brokers(10));
         assert_eq!(plan.len(), 2);
         assert_eq!(plan[0].leader, Some(BrokerId(2)));
-        assert_eq!(plan[0].replicas, vec![BrokerId(2), BrokerId(3), BrokerId(4)]);
+        assert_eq!(
+            plan[0].replicas,
+            vec![BrokerId(2), BrokerId(3), BrokerId(4)]
+        );
         assert_eq!(plan[1].leader, Some(BrokerId(7)));
-        assert_eq!(plan[1].replicas, vec![BrokerId(7), BrokerId(8), BrokerId(9)]);
+        assert_eq!(
+            plan[1].replicas,
+            vec![BrokerId(7), BrokerId(8), BrokerId(9)]
+        );
         assert_eq!(plan[0].isr, plan[0].replicas);
     }
 

@@ -228,7 +228,9 @@ impl ProducerClient {
 
     fn update_mem(&mut self) {
         if let Some((ledger, slot)) = &self.mem {
-            ledger.borrow_mut().set_dynamic(*slot, self.buffer_used as u64);
+            ledger
+                .borrow_mut()
+                .set_dynamic(*slot, self.buffer_used as u64);
         }
     }
 
@@ -261,7 +263,8 @@ impl ProducerClient {
             self.stats.buffer_rejected += 1;
             return false;
         }
-        self.sent_index.push((topic.to_string(), record.producer_seq, ctx.now()));
+        self.sent_index
+            .push((topic.to_string(), record.producer_seq, ctx.now()));
         self.next_seq += 1;
         self.stats.sent += 1;
         self.buffer_used += bytes;
@@ -274,7 +277,11 @@ impl ProducerClient {
         let entry = self
             .accum
             .entry(topic.to_string())
-            .or_insert_with(|| AccumBatch { records: Vec::new(), bytes: 0, linger_timer: None });
+            .or_insert_with(|| AccumBatch {
+                records: Vec::new(),
+                bytes: 0,
+                linger_timer: None,
+            });
         entry.records.push(record);
         entry.bytes += bytes;
         if entry.linger_timer.is_none() {
@@ -296,7 +303,9 @@ impl ProducerClient {
     }
 
     fn flush_topic(&mut self, ctx: &mut Ctx<'_>, topic: &String) {
-        let Some(batch) = self.accum.get_mut(topic) else { return };
+        let Some(batch) = self.accum.get_mut(topic) else {
+            return;
+        };
         if batch.records.is_empty() {
             return;
         }
@@ -316,11 +325,20 @@ impl ProducerClient {
             *rr += 1;
             tp
         };
-        let created = records.first().map(|r| r.timestamp).unwrap_or_else(|| ctx.now());
+        let created = records
+            .first()
+            .map(|r| r.timestamp)
+            .unwrap_or_else(|| ctx.now());
         self.ready
             .entry(tp.clone())
             .or_default()
-            .push_back(ReadyBatch { tp, records, bytes, created, attempts: 0 });
+            .push_back(ReadyBatch {
+                tp,
+                records,
+                bytes,
+                created,
+                attempts: 0,
+            });
         self.pump(ctx);
     }
 
@@ -350,8 +368,10 @@ impl ProducerClient {
             };
             batch.attempts += 1;
             let corr = self.next_corr();
-            let timer =
-                ctx.set_timer(self.cfg.request_timeout, PRODUCER_TAGS + off::REQ_TIMEOUT_BASE + corr.0);
+            let timer = ctx.set_timer(
+                self.cfg.request_timeout,
+                PRODUCER_TAGS + off::REQ_TIMEOUT_BASE + corr.0,
+            );
             ctx.send(
                 leader_pid,
                 ClientRpc::ProduceRequest {
@@ -395,7 +415,10 @@ impl ProducerClient {
             return;
         }
         self.stats.retries += 1;
-        self.ready.entry(batch.tp.clone()).or_default().push_front(batch);
+        self.ready
+            .entry(batch.tp.clone())
+            .or_default()
+            .push_front(batch);
         self.request_metadata(ctx);
         ctx.set_timer(self.cfg.retry_backoff, PRODUCER_TAGS + off::RETRY_PUMP);
     }
@@ -413,10 +436,10 @@ impl ProducerClient {
         };
         match *rpc {
             ClientRpc::ProduceResponse { corr, error, .. } => {
-                let Some(tp) = self.corr_to_tp.remove(&corr.0) else {
-                    return None; // stale response for a timed-out request
-                };
-                let Some(inflight) = self.inflight.remove(&tp) else { return None };
+                // A missing entry means a stale response for a timed-out
+                // request: consume the message without acting on it.
+                let tp = self.corr_to_tp.remove(&corr.0)?;
+                let inflight = self.inflight.remove(&tp)?;
                 ctx.cancel_timer(inflight.timer);
                 if error.is_ok() {
                     let now = ctx.now();
@@ -436,7 +459,8 @@ impl ProducerClient {
                         ctx.cancel_timer(timer);
                         self.meta_inflight = None;
                         self.meta_versions += 1;
-                        self.metadata.install_snapshot(partitions, self.meta_versions);
+                        self.metadata
+                            .install_snapshot(partitions, self.meta_versions);
                         self.pump(ctx);
                         None
                     }
@@ -514,7 +538,12 @@ impl ProducerProcess {
     /// Creates a producer stub.
     pub fn new(client: ProducerClient, source: Box<dyn DataSource>) -> Self {
         let name = format!("producer-{}", client.id().0);
-        ProducerProcess { client, source, source_done: false, name }
+        ProducerProcess {
+            client,
+            source,
+            source_done: false,
+            name,
+        }
     }
 
     /// The embedded client (stats, outcomes).
@@ -538,7 +567,12 @@ impl ProducerProcess {
             self.source.next(now, rng)
         };
         match action {
-            SourceAction::Emit { topic, key, value, next_after } => {
+            SourceAction::Emit {
+                topic,
+                key,
+                value,
+                next_after,
+            } => {
                 self.client.send(ctx, &topic, key, value);
                 ctx.set_timer(next_after, SOURCE_STEP);
             }
@@ -588,6 +622,8 @@ impl Process for ProducerProcess {
 
 impl std::fmt::Debug for ProducerProcess {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ProducerProcess").field("client", &self.client).finish()
+        f.debug_struct("ProducerProcess")
+            .field("client", &self.client)
+            .finish()
     }
 }

@@ -98,9 +98,14 @@ impl RandomTopicSource {
         assert!(!topics.is_empty(), "need at least one topic");
         assert!(kbps > 0, "rate must be positive");
         // interval = payload_bits / rate_bits_per_sec.
-        let interval =
-            SimDuration::from_nanos(payload_bytes as u64 * 8 * 1_000_000 / kbps);
-        RandomTopicSource { topics, payload: payload_bytes, interval, until, emitted: 0 }
+        let interval = SimDuration::from_nanos(payload_bytes as u64 * 8 * 1_000_000 / kbps);
+        RandomTopicSource {
+            topics,
+            payload: payload_bytes,
+            interval,
+            until,
+            emitted: 0,
+        }
     }
 
     /// Records emitted so far.
@@ -142,7 +147,12 @@ impl PoissonSource {
     /// # Panics
     ///
     /// Panics if `rate_per_sec` is not strictly positive.
-    pub fn new(topic: impl Into<String>, rate_per_sec: f64, payload_bytes: usize, until: SimTime) -> Self {
+    pub fn new(
+        topic: impl Into<String>,
+        rate_per_sec: f64,
+        payload_bytes: usize,
+        until: SimTime,
+    ) -> Self {
         assert!(rate_per_sec > 0.0, "rate must be positive");
         PoissonSource {
             topic: topic.into(),
@@ -191,7 +201,12 @@ pub struct FileLinesSource {
 impl FileLinesSource {
     /// Emits each item of `items` to `topic`, one per `interval`.
     pub fn new(topic: impl Into<String>, items: Vec<String>, interval: SimDuration) -> Self {
-        FileLinesSource { topic: topic.into(), items, pos: 0, interval }
+        FileLinesSource {
+            topic: topic.into(),
+            items,
+            pos: 0,
+            interval,
+        }
     }
 
     /// Items emitted so far.
@@ -253,7 +268,10 @@ mod tests {
     fn rate_source_emits_exact_count() {
         let mut src = RateSource::new("t", 5, SimDuration::from_millis(1)).payload_bytes(10);
         let actions = drain(&mut src, 100);
-        let emits = actions.iter().filter(|a| matches!(a, SourceAction::Emit { .. })).count();
+        let emits = actions
+            .iter()
+            .filter(|a| matches!(a, SourceAction::Emit { .. }))
+            .count();
         assert_eq!(emits, 5);
         assert!(matches!(actions.last(), Some(SourceAction::Done)));
         assert_eq!(src.emitted(), 5);
@@ -332,6 +350,9 @@ mod tests {
         let mut src = FileLinesSource::new("docs", vec![], SimDuration::from_millis(1));
         assert!(src.is_empty());
         let mut rng = StdRng::seed_from_u64(0);
-        assert!(matches!(src.next(SimTime::ZERO, &mut rng), SourceAction::Done));
+        assert!(matches!(
+            src.next(SimTime::ZERO, &mut rng),
+            SourceAction::Done
+        ));
     }
 }

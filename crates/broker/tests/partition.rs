@@ -17,7 +17,7 @@ use s2g_broker::{
     ControllerConfig, CoordinationMode, KraftController, ProducerClient, ProducerConfig,
     ProducerProcess, RandomTopicSource, TopicSpec, ZkController,
 };
-use s2g_net::{FaultInjector, FaultPlan, LinkSpec, Network, NetTransport, Topology};
+use s2g_net::{FaultInjector, FaultPlan, LinkSpec, NetTransport, Network, Topology};
 use s2g_proto::{AckMode, BrokerId, ProducerId, TopicPartition};
 use s2g_sim::{ProcessId, Sim, SimDuration, SimTime};
 
@@ -40,7 +40,8 @@ struct Cluster {
 fn build(mode: CoordinationMode, acks: AckMode, seed: u64) -> Cluster {
     let mut topo = Topology::star(N_BROKERS as usize, LinkSpec::new().latency_ms(2)).unwrap();
     topo.add_host("hc").unwrap();
-    topo.add_link("hc", "s1", LinkSpec::new().latency_ms(2)).unwrap();
+    topo.add_link("hc", "s1", LinkSpec::new().latency_ms(2))
+        .unwrap();
     let net = Network::new(topo).into_handle();
     let mut sim = Sim::new(seed);
     sim.set_transport(Box::new(NetTransport(net.clone())));
@@ -56,10 +57,12 @@ fn build(mode: CoordinationMode, acks: AckMode, seed: u64) -> Cluster {
         CoordinationMode::Kraft => 3u32,
     };
     let controller_pids: Vec<ProcessId> = (0..n_controllers).map(ProcessId).collect();
-    let broker_pids: Vec<ProcessId> =
-        (n_controllers..n_controllers + N_BROKERS).map(ProcessId).collect();
-    let brokers_btree: BTreeMap<BrokerId, ProcessId> =
-        (0..N_BROKERS).map(|i| (BrokerId(i), broker_pids[i as usize])).collect();
+    let broker_pids: Vec<ProcessId> = (n_controllers..n_controllers + N_BROKERS)
+        .map(ProcessId)
+        .collect();
+    let brokers_btree: BTreeMap<BrokerId, ProcessId> = (0..N_BROKERS)
+        .map(|i| (BrokerId(i), broker_pids[i as usize]))
+        .collect();
     let brokers_hash: HashMap<BrokerId, ProcessId> =
         brokers_btree.iter().map(|(k, v)| (*k, *v)).collect();
 
@@ -75,7 +78,10 @@ fn build(mode: CoordinationMode, acks: AckMode, seed: u64) -> Cluster {
                 .map(|i| (BrokerId(1000 + i), controller_pids[i as usize]))
                 .collect();
             for i in 0..3u32 {
-                let cfg = ControllerConfig { mode, ..ControllerConfig::default() };
+                let cfg = ControllerConfig {
+                    mode,
+                    ..ControllerConfig::default()
+                };
                 let c = KraftController::new(
                     BrokerId(1000 + i),
                     quorum.clone(),
@@ -103,7 +109,10 @@ fn build(mode: CoordinationMode, acks: AckMode, seed: u64) -> Cluster {
     }
 
     // Producer co-located with broker 0 on h1, bootstrapping from it.
-    let pcfg = ProducerConfig { acks, ..ProducerConfig::default() };
+    let pcfg = ProducerConfig {
+        acks,
+        ..ProducerConfig::default()
+    };
     let client = ProducerClient::new(ProducerId(0), pcfg, broker_pids[0], brokers_hash.clone(), 0);
     let source = RandomTopicSource::new(
         vec!["topic-a".into(), "topic-b".into()],
@@ -121,8 +130,11 @@ fn build(mode: CoordinationMode, acks: AckMode, seed: u64) -> Cluster {
         brokers_hash.clone(),
         vec!["topic-a".into(), "topic-b".into()],
     );
-    let remote_consumer_pid =
-        sim.spawn(Box::new(ConsumerProcess::new(0, rc, Box::new(CollectingSink::default()))));
+    let remote_consumer_pid = sim.spawn(Box::new(ConsumerProcess::new(
+        0,
+        rc,
+        Box::new(CollectingSink::default()),
+    )));
 
     // Co-located consumer on h1 (bootstraps from broker 0).
     let cc = ConsumerClient::new(
@@ -131,8 +143,11 @@ fn build(mode: CoordinationMode, acks: AckMode, seed: u64) -> Cluster {
         brokers_hash,
         vec!["topic-a".into(), "topic-b".into()],
     );
-    let colocated_consumer_pid =
-        sim.spawn(Box::new(ConsumerProcess::new(1, cc, Box::new(CollectingSink::default()))));
+    let colocated_consumer_pid = sim.spawn(Box::new(ConsumerProcess::new(
+        1,
+        cc,
+        Box::new(CollectingSink::default()),
+    )));
 
     // Fault plan: disconnect h1 during [60, 120).
     let plan = FaultPlan::new().transient_disconnect(
@@ -166,7 +181,13 @@ fn build(mode: CoordinationMode, acks: AckMode, seed: u64) -> Cluster {
         n.place(colocated_consumer_pid, h1);
     }
 
-    Cluster { sim, broker_pids, producer_pid, remote_consumer_pid, colocated_consumer_pid }
+    Cluster {
+        sim,
+        broker_pids,
+        producer_pid,
+        remote_consumer_pid,
+        colocated_consumer_pid,
+    }
 }
 
 fn acked_seqs(sim: &Sim, pid: ProcessId, topic: &str) -> Vec<u64> {
@@ -196,7 +217,10 @@ fn zk_mode_silently_loses_acked_records() {
     cluster.sim.run_until(SimTime::from_secs(RUN_FOR));
 
     // The old leader truncated its divergent suffix on rejoin.
-    let b0 = cluster.sim.process_ref::<Broker>(cluster.broker_pids[0]).unwrap();
+    let b0 = cluster
+        .sim
+        .process_ref::<Broker>(cluster.broker_pids[0])
+        .unwrap();
     assert!(
         b0.stats().records_truncated > 0,
         "healed leader must truncate its divergent suffix, stats: {:?}",
@@ -207,9 +231,15 @@ fn zk_mode_silently_loses_acked_records() {
     // the remote consumer: silent loss.
     let acked = acked_seqs(&cluster.sim, cluster.producer_pid, "topic-a");
     let received = received_seqs(&cluster.sim, cluster.remote_consumer_pid, "topic-a");
-    assert!(!acked.is_empty(), "producer must have acked topic-a records");
-    let lost: Vec<u64> =
-        acked.iter().copied().filter(|s| !received.contains(s)).collect();
+    assert!(
+        !acked.is_empty(),
+        "producer must have acked topic-a records"
+    );
+    let lost: Vec<u64> = acked
+        .iter()
+        .copied()
+        .filter(|s| !received.contains(s))
+        .collect();
     assert!(
         !lost.is_empty(),
         "ZooKeeper mode must lose acknowledged records across the partition \
@@ -219,8 +249,16 @@ fn zk_mode_silently_loses_acked_records() {
     );
 
     // All the losses come from the partition window.
-    let p = cluster.sim.process_ref::<ProducerProcess>(cluster.producer_pid).unwrap();
-    for o in p.client().outcomes().iter().filter(|o| o.delivered && o.topic == "topic-a") {
+    let p = cluster
+        .sim
+        .process_ref::<ProducerProcess>(cluster.producer_pid)
+        .unwrap();
+    for o in p
+        .client()
+        .outcomes()
+        .iter()
+        .filter(|o| o.delivered && o.topic == "topic-a")
+    {
         if lost.contains(&o.seq) {
             let t = o.created.as_secs();
             // Records appended just before the cut but not yet replicated
@@ -237,8 +275,11 @@ fn zk_mode_silently_loses_acked_records() {
     // record reaches the remote consumer.
     let acked_b = acked_seqs(&cluster.sim, cluster.producer_pid, "topic-b");
     let received_b = received_seqs(&cluster.sim, cluster.remote_consumer_pid, "topic-b");
-    let lost_b: Vec<u64> =
-        acked_b.iter().copied().filter(|s| !received_b.contains(s)).collect();
+    let lost_b: Vec<u64> = acked_b
+        .iter()
+        .copied()
+        .filter(|s| !received_b.contains(s))
+        .collect();
     assert!(
         lost_b.is_empty(),
         "topic-b acked records must all be delivered, lost {} of {}",
@@ -256,8 +297,11 @@ fn zk_mode_colocated_consumer_saw_doomed_records() {
     // consumer never will.
     let colocated = received_seqs(&cluster.sim, cluster.colocated_consumer_pid, "topic-a");
     let remote = received_seqs(&cluster.sim, cluster.remote_consumer_pid, "topic-a");
-    let only_local: Vec<u64> =
-        colocated.iter().copied().filter(|s| !remote.contains(s)).collect();
+    let only_local: Vec<u64> = colocated
+        .iter()
+        .copied()
+        .filter(|s| !remote.contains(s))
+        .collect();
     assert!(
         !only_local.is_empty(),
         "co-located consumer should observe records that get truncated \
@@ -271,7 +315,10 @@ fn zk_mode_colocated_consumer_saw_doomed_records() {
 fn zk_mode_preferred_leader_reelected_after_heal() {
     let mut cluster = build(CoordinationMode::Zk, AckMode::Leader, 3);
     cluster.sim.run_until(SimTime::from_secs(RUN_FOR));
-    let b0 = cluster.sim.process_ref::<Broker>(cluster.broker_pids[0]).unwrap();
+    let b0 = cluster
+        .sim
+        .process_ref::<Broker>(cluster.broker_pids[0])
+        .unwrap();
     let ta = TopicPartition::new("topic-a", 0);
     assert!(
         b0.is_leader(&ta),
@@ -297,7 +344,10 @@ fn kraft_mode_loses_nothing_acked() {
     cluster.sim.run_until(SimTime::from_secs(RUN_FOR));
 
     // The isolated broker fenced itself and rejected writes.
-    let b0 = cluster.sim.process_ref::<Broker>(cluster.broker_pids[0]).unwrap();
+    let b0 = cluster
+        .sim
+        .process_ref::<Broker>(cluster.broker_pids[0])
+        .unwrap();
     assert!(
         b0.stats().rejected_fenced > 0,
         "isolated KRaft broker must fence itself, stats: {:?}",
@@ -308,9 +358,15 @@ fn kraft_mode_loses_nothing_acked() {
     for topic in ["topic-a", "topic-b"] {
         let acked = acked_seqs(&cluster.sim, cluster.producer_pid, topic);
         let received = received_seqs(&cluster.sim, cluster.remote_consumer_pid, topic);
-        assert!(!acked.is_empty(), "producer must have acked {topic} records");
-        let lost: Vec<u64> =
-            acked.iter().copied().filter(|s| !received.contains(s)).collect();
+        assert!(
+            !acked.is_empty(),
+            "producer must have acked {topic} records"
+        );
+        let lost: Vec<u64> = acked
+            .iter()
+            .copied()
+            .filter(|s| !received.contains(s))
+            .collect();
         assert!(
             lost.is_empty(),
             "KRaft mode must not lose acked records on {topic}: lost {} of {} (received {})",

@@ -53,7 +53,11 @@ impl fmt::Display for ConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ConfigError::BadLine(n, l) => write!(f, "line {n}: not a `key: value` pair: {l:?}"),
-            ConfigError::BadValue { key, value, expected } => {
+            ConfigError::BadValue {
+                key,
+                value,
+                expected,
+            } => {
                 write!(f, "key `{key}`: expected {expected}, got {value:?}")
             }
         }
@@ -171,7 +175,9 @@ impl ComponentConfig {
     ///
     /// Returns [`ConfigError::BadValue`] when present but unparsable.
     pub fn get_duration(&self, key: &str) -> Result<Option<SimDuration>, ConfigError> {
-        let Some(v) = self.get(key) else { return Ok(None) };
+        let Some(v) = self.get(key) else {
+            return Ok(None);
+        };
         let bad = || ConfigError::BadValue {
             key: key.to_string(),
             value: v.to_string(),
@@ -198,7 +204,9 @@ impl ComponentConfig {
     ///
     /// Returns [`ConfigError::BadValue`] when present but unparsable.
     pub fn get_bytes(&self, key: &str) -> Result<Option<usize>, ConfigError> {
-        let Some(v) = self.get(key) else { return Ok(None) };
+        let Some(v) = self.get(key) else {
+            return Ok(None);
+        };
         let bad = || ConfigError::BadValue {
             key: key.to_string(),
             value: v.to_string(),
@@ -238,7 +246,13 @@ mod tests {
         .unwrap();
         assert_eq!(src.get("filePath"), Some("test-data.csv"));
         assert_eq!(src.get_u64("totalMessages").unwrap(), Some(1000));
-        assert_eq!(src.get_duration("requestTimeout").unwrap().unwrap().as_millis(), 2000);
+        assert_eq!(
+            src.get_duration("requestTimeout")
+                .unwrap()
+                .unwrap()
+                .as_millis(),
+            2000
+        );
         assert_eq!(src.get_bytes("bufferMemory").unwrap(), Some(32 << 20));
 
         let spe = ComponentConfig::parse(

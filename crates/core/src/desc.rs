@@ -132,8 +132,16 @@ impl From<GraphmlError> for DescError {
 
 fn is_component_node(n: &GraphmlNode) -> bool {
     const KEYS: &[&str] = &[
-        "prodType", "prodCfg", "consType", "consCfg", "streamProcType", "streamProcCfg",
-        "storeType", "storeCfg", "brokerCfg", "cpuPercentage",
+        "prodType",
+        "prodCfg",
+        "consType",
+        "consCfg",
+        "streamProcType",
+        "streamProcCfg",
+        "storeType",
+        "storeCfg",
+        "brokerCfg",
+        "cpuPercentage",
     ];
     KEYS.iter().any(|k| n.data.contains_key(*k))
 }
@@ -148,15 +156,21 @@ fn parse_topics(text: &str) -> Result<Vec<TopicSpec>, DescError> {
         let parts: Vec<&str> = line.split_whitespace().collect();
         let mut spec = TopicSpec::new(parts[0]);
         if let Some(p) = parts.get(1) {
-            let n: u32 = p.parse().map_err(|_| DescError::BadTopic(raw.to_string()))?;
+            let n: u32 = p
+                .parse()
+                .map_err(|_| DescError::BadTopic(raw.to_string()))?;
             spec = spec.partitions(n);
         }
         if let Some(r) = parts.get(2) {
-            let n: u32 = r.parse().map_err(|_| DescError::BadTopic(raw.to_string()))?;
+            let n: u32 = r
+                .parse()
+                .map_err(|_| DescError::BadTopic(raw.to_string()))?;
             spec = spec.replication(n);
         }
         if let Some(pr) = parts.get(3) {
-            let n: u32 = pr.parse().map_err(|_| DescError::BadTopic(raw.to_string()))?;
+            let n: u32 = pr
+                .parse()
+                .map_err(|_| DescError::BadTopic(raw.to_string()))?;
             spec = spec.primary(n);
         }
         out.push(spec);
@@ -196,9 +210,7 @@ fn parse_faults(text: &str) -> Result<FaultPlan, DescError> {
             "latency" => FaultAction::SetLatency(
                 parts.get(2).ok_or_else(bad)?.to_string(),
                 parts.get(3).ok_or_else(bad)?.to_string(),
-                SimDuration::from_millis(
-                    parts.get(4).ok_or_else(bad)?.parse().map_err(|_| bad())?,
-                ),
+                SimDuration::from_millis(parts.get(4).ok_or_else(bad)?.parse().map_err(|_| bad())?),
             ),
             "recompute" => FaultAction::RecomputeRoutes,
             _ => return Err(bad()),
@@ -213,17 +225,27 @@ fn producer_config(cfg: &ComponentConfig) -> Result<ProducerConfig, DescError> {
     if let Some(b) = cfg.get_bytes("bufferMemory").map_err(DescError::Config)? {
         pc.buffer_memory = b;
     }
-    if let Some(d) = cfg.get_duration("requestTimeout").map_err(DescError::Config)? {
+    if let Some(d) = cfg
+        .get_duration("requestTimeout")
+        .map_err(DescError::Config)?
+    {
         pc.request_timeout = d;
     }
-    if let Some(d) = cfg.get_duration("deliveryTimeout").map_err(DescError::Config)? {
+    if let Some(d) = cfg
+        .get_duration("deliveryTimeout")
+        .map_err(DescError::Config)?
+    {
         pc.delivery_timeout = d;
     }
     if let Some(d) = cfg.get_duration("linger").map_err(DescError::Config)? {
         pc.linger = d;
     }
     if let Some(a) = cfg.get("acks") {
-        pc.acks = if a == "all" { AckMode::All } else { AckMode::Leader };
+        pc.acks = if a == "all" {
+            AckMode::All
+        } else {
+            AckMode::Leader
+        };
     }
     Ok(pc)
 }
@@ -278,9 +300,11 @@ pub fn scenario_from_graphml(
     let mut first_switch: Option<String> = None;
     for n in &doc.nodes {
         if is_component_node(n) {
-            topo.add_host(n.id.as_str()).map_err(|_| DescError::BadTopic(n.id.clone()))?;
+            topo.add_host(n.id.as_str())
+                .map_err(|_| DescError::BadTopic(n.id.clone()))?;
         } else {
-            topo.add_switch(n.id.as_str()).map_err(|_| DescError::BadTopic(n.id.clone()))?;
+            topo.add_switch(n.id.as_str())
+                .map_err(|_| DescError::BadTopic(n.id.clone()))?;
             if first_switch.is_none() {
                 first_switch = Some(n.id.clone());
             }
@@ -310,7 +334,8 @@ pub fn scenario_from_graphml(
     let hub = match first_switch {
         Some(s) => s,
         None => {
-            topo.add_switch("ctl-sw").map_err(|_| DescError::BadTopic("ctl-sw".into()))?;
+            topo.add_switch("ctl-sw")
+                .map_err(|_| DescError::BadTopic("ctl-sw".into()))?;
             "ctl-sw".to_string()
         }
     };
@@ -320,7 +345,8 @@ pub fn scenario_from_graphml(
     };
     for i in 1..=n_ctl {
         let h = format!("ctl{i}");
-        topo.add_host(h.as_str()).map_err(|_| DescError::BadTopic(h.clone()))?;
+        topo.add_host(h.as_str())
+            .map_err(|_| DescError::BadTopic(h.clone()))?;
         topo.add_link(&h, &hub, LinkSpec::new())
             .map_err(|_| DescError::BadTopic(h.clone()))?;
     }
@@ -328,16 +354,26 @@ pub fn scenario_from_graphml(
 
     // Components per node.
     for n in &doc.nodes {
-        if let Some(pct) = n.data.get("cpuPercentage").and_then(|v| v.parse::<f64>().ok()) {
+        if let Some(pct) = n
+            .data
+            .get("cpuPercentage")
+            .and_then(|v| v.parse::<f64>().ok())
+        {
             sc.host_cpu_percentage(&n.id, pct);
         }
         if n.data.contains_key("brokerCfg") {
             let cfg = bundle.config(n.data.get("brokerCfg").map(String::as_str).unwrap_or(""))?;
             let mut bc = s2g_broker::BrokerConfig::default();
-            if let Some(d) = cfg.get_duration("replicaLagMax").map_err(DescError::Config)? {
+            if let Some(d) = cfg
+                .get_duration("replicaLagMax")
+                .map_err(DescError::Config)?
+            {
                 bc.replica_lag_max = d;
             }
-            if let Some(d) = cfg.get_duration("sessionTimeout").map_err(DescError::Config)? {
+            if let Some(d) = cfg
+                .get_duration("sessionTimeout")
+                .map_err(DescError::Config)?
+            {
                 bc.session_timeout = d;
             }
             sc.broker_with(&n.id, bc);
@@ -348,35 +384,58 @@ pub fn scenario_from_graphml(
             let need = |key: &'static str| -> Result<String, DescError> {
                 cfg.get(key)
                     .map(str::to_string)
-                    .ok_or(DescError::MissingKey { node: n.id.clone(), key })
+                    .ok_or(DescError::MissingKey {
+                        node: n.id.clone(),
+                        key,
+                    })
             };
             let interval = cfg
                 .get_duration("messageInterval")
                 .map_err(DescError::Config)?
                 .unwrap_or(SimDuration::from_millis(100));
-            let payload = cfg.get_u64("payloadBytes").map_err(DescError::Config)?.unwrap_or(200)
-                as usize;
-            let until_s =
-                cfg.get_u64("untilS").map_err(DescError::Config)?.unwrap_or(3_600);
+            let payload = cfg
+                .get_u64("payloadBytes")
+                .map_err(DescError::Config)?
+                .unwrap_or(200) as usize;
+            let until_s = cfg
+                .get_u64("untilS")
+                .map_err(DescError::Config)?
+                .unwrap_or(3_600);
             let source = match ptype.as_str() {
                 "SFST" => {
                     let file = need("filePath")?;
-                    let items: Vec<String> =
-                        bundle.get_file(&file)?.lines().map(str::to_string).collect();
-                    SourceSpec::Items { topic: need("topicName")?, items, interval }
+                    let items: Vec<String> = bundle
+                        .get_file(&file)?
+                        .lines()
+                        .map(str::to_string)
+                        .collect();
+                    SourceSpec::Items {
+                        topic: need("topicName")?,
+                        items,
+                        interval,
+                    }
                 }
                 "RATE" => SourceSpec::Rate {
                     topic: need("topicName")?,
                     count: cfg
                         .get_u64("totalMessages")
                         .map_err(DescError::Config)?
-                        .ok_or(DescError::MissingKey { node: n.id.clone(), key: "totalMessages" })?,
+                        .ok_or(DescError::MissingKey {
+                            node: n.id.clone(),
+                            key: "totalMessages",
+                        })?,
                     interval,
                     payload,
                 },
                 "RANDOM" => SourceSpec::RandomTopics {
-                    topics: need("topics")?.split(',').map(|t| t.trim().to_string()).collect(),
-                    kbps: cfg.get_u64("kbps").map_err(DescError::Config)?.unwrap_or(30),
+                    topics: need("topics")?
+                        .split(',')
+                        .map(|t| t.trim().to_string())
+                        .collect(),
+                    kbps: cfg
+                        .get_u64("kbps")
+                        .map_err(DescError::Config)?
+                        .unwrap_or(30),
                     payload,
                     until: SimTime::from_secs(until_s),
                 },
@@ -398,12 +457,16 @@ pub fn scenario_from_graphml(
                 return Err(DescError::UnknownConsType(ctype.clone()));
             }
             let cfg = bundle.config(n.data.get("consCfg").map(String::as_str).unwrap_or(""))?;
-            let topics_str = cfg
-                .get("topics")
-                .ok_or(DescError::MissingKey { node: n.id.clone(), key: "topics" })?;
+            let topics_str = cfg.get("topics").ok_or(DescError::MissingKey {
+                node: n.id.clone(),
+                key: "topics",
+            })?;
             let topics: Vec<&str> = topics_str.split(',').map(str::trim).collect();
             let mut cc = ConsumerConfig::default();
-            if let Some(d) = cfg.get_duration("pollInterval").map_err(DescError::Config)? {
+            if let Some(d) = cfg
+                .get_duration("pollInterval")
+                .map_err(DescError::Config)?
+            {
                 cc.poll_interval = d;
             }
             sc.consumer(&n.id, cc, &topics);
@@ -412,11 +475,16 @@ pub fn scenario_from_graphml(
             if stype != "SPARK" && stype != "FLINK" && stype != "KSTREAM" {
                 return Err(DescError::UnknownStreamProcType(stype.clone()));
             }
-            let cfg =
-                bundle.config(n.data.get("streamProcCfg").map(String::as_str).unwrap_or(""))?;
-            let app = cfg
-                .get("app")
-                .ok_or(DescError::MissingKey { node: n.id.clone(), key: "app" })?;
+            let cfg = bundle.config(
+                n.data
+                    .get("streamProcCfg")
+                    .map(String::as_str)
+                    .unwrap_or(""),
+            )?;
+            let app = cfg.get("app").ok_or(DescError::MissingKey {
+                node: n.id.clone(),
+                key: "app",
+            })?;
             let factory = bundle
                 .plans
                 .get(app)
@@ -424,7 +492,10 @@ pub fn scenario_from_graphml(
                 .ok_or_else(|| DescError::UnknownPlan(app.to_string()))?;
             let sources: Vec<String> = cfg
                 .get("sourceTopics")
-                .ok_or(DescError::MissingKey { node: n.id.clone(), key: "sourceTopics" })?
+                .ok_or(DescError::MissingKey {
+                    node: n.id.clone(),
+                    key: "sourceTopics",
+                })?
                 .split(',')
                 .map(|t| t.trim().to_string())
                 .collect();
@@ -439,7 +510,10 @@ pub fn scenario_from_graphml(
                 SpeSinkSpec::Collect
             };
             let mut scfg = SpeConfig::default();
-            if let Some(d) = cfg.get_duration("batchInterval").map_err(DescError::Config)? {
+            if let Some(d) = cfg
+                .get_duration("batchInterval")
+                .map_err(DescError::Config)?
+            {
                 scfg.batch_interval = d;
             }
             sc.spe_job(
@@ -471,7 +545,10 @@ mod tests {
                 .as_str()
                 .unwrap_or("")
                 .split_whitespace()
-                .map(|w| Event { value: Value::Str(w.to_string()), ..e.clone() })
+                .map(|w| Event {
+                    value: Value::Str(w.to_string()),
+                    ..e.clone()
+                })
                 .collect()
         })
     }
@@ -485,7 +562,10 @@ mod tests {
             )
             .file("corpus.txt", "hello world\nfoo bar baz\n")
             .file("data-sink.yaml", "topics: words\n")
-            .file("spe.yaml", "app: word-split\nsourceTopics: raw-data\nsinkTopic: words\n")
+            .file(
+                "spe.yaml",
+                "app: word-split\nsourceTopics: raw-data\nsinkTopic: words\n",
+            )
             .plan("word-split", word_split_plan)
     }
 
@@ -522,8 +602,7 @@ mod tests {
         let words: Vec<DeliveryCount> = vec![];
         let _ = words;
         let monitor = result.monitor.borrow();
-        let delivered: Vec<&crate::monitor::DeliveryRecord> =
-            monitor.for_topic("words").collect();
+        let delivered: Vec<&crate::monitor::DeliveryRecord> = monitor.for_topic("words").collect();
         assert_eq!(delivered.len(), 5, "five words through the pipeline");
     }
 
@@ -541,10 +620,9 @@ mod tests {
 
     #[test]
     fn faults_file_parses_actions() {
-        let plan = parse_faults(
-            "60 disconnect h1\n120 reconnect h1\n10 loss h1 s1 2.5\n5 linkdown a b\n",
-        )
-        .unwrap();
+        let plan =
+            parse_faults("60 disconnect h1\n120 reconnect h1\n10 loss h1 s1 2.5\n5 linkdown a b\n")
+                .unwrap();
         assert_eq!(plan.len(), 4);
         assert!(parse_faults("oops\n").is_err());
         assert!(parse_faults("10 explode h1\n").is_err());

@@ -76,7 +76,10 @@ impl fmt::Display for GraphmlError {
         match self {
             GraphmlError::UnexpectedEof => write!(f, "unexpected end of document"),
             GraphmlError::MismatchedTag { expected, got } => {
-                write!(f, "mismatched closing tag: expected </{expected}>, got </{got}>")
+                write!(
+                    f,
+                    "mismatched closing tag: expected </{expected}>, got </{got}>"
+                )
             }
             GraphmlError::BadTag(t) => write!(f, "malformed tag: {t:?}"),
             GraphmlError::MissingAttr { element, attr } => {
@@ -90,8 +93,14 @@ impl std::error::Error for GraphmlError {}
 
 #[derive(Debug, Clone, PartialEq)]
 enum Token {
-    Open { name: String, attrs: BTreeMap<String, String>, self_closing: bool },
-    Close { name: String },
+    Open {
+        name: String,
+        attrs: BTreeMap<String, String>,
+        self_closing: bool,
+    },
+    Close {
+        name: String,
+    },
     Text(String),
 }
 
@@ -115,7 +124,9 @@ fn tokenize(xml: &str) -> Result<Vec<Token>, GraphmlError> {
             let inner = &xml[pos + 1..pos + end];
             pos += end + 1;
             if let Some(name) = inner.strip_prefix('/') {
-                tokens.push(Token::Close { name: name.trim().to_string() });
+                tokens.push(Token::Close {
+                    name: name.trim().to_string(),
+                });
                 continue;
             }
             let self_closing = inner.ends_with('/');
@@ -128,7 +139,11 @@ fn tokenize(xml: &str) -> Result<Vec<Token>, GraphmlError> {
                 return Err(GraphmlError::BadTag(inner.to_string()));
             }
             let attrs = parse_attrs(rest)?;
-            tokens.push(Token::Open { name: name.to_string(), attrs, self_closing });
+            tokens.push(Token::Open {
+                name: name.to_string(),
+                attrs,
+                self_closing,
+            });
         } else {
             let end = xml[pos..].find('<').unwrap_or(xml.len() - pos);
             let text = &xml[pos..pos + end];
@@ -145,14 +160,21 @@ fn parse_attrs(s: &str) -> Result<BTreeMap<String, String>, GraphmlError> {
     let mut attrs = BTreeMap::new();
     let mut rest = s.trim();
     while !rest.is_empty() {
-        let eq = rest.find('=').ok_or_else(|| GraphmlError::BadTag(s.to_string()))?;
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| GraphmlError::BadTag(s.to_string()))?;
         let key = rest[..eq].trim().to_string();
         let after = rest[eq + 1..].trim_start();
-        let quote = after.chars().next().ok_or_else(|| GraphmlError::BadTag(s.to_string()))?;
+        let quote = after
+            .chars()
+            .next()
+            .ok_or_else(|| GraphmlError::BadTag(s.to_string()))?;
         if quote != '"' && quote != '\'' {
             return Err(GraphmlError::BadTag(s.to_string()));
         }
-        let close = after[1..].find(quote).ok_or_else(|| GraphmlError::BadTag(s.to_string()))?;
+        let close = after[1..]
+            .find(quote)
+            .ok_or_else(|| GraphmlError::BadTag(s.to_string()))?;
         let value = unescape(&after[1..1 + close]);
         attrs.insert(key, value);
         rest = after[close + 2..].trim_start();
@@ -209,16 +231,26 @@ pub fn parse_graphml(xml: &str) -> Result<GraphmlDoc, GraphmlError> {
 
     while i < tokens.len() {
         match &tokens[i] {
-            Token::Open { name, attrs, self_closing } => match name.as_str() {
+            Token::Open {
+                name,
+                attrs,
+                self_closing,
+            } => match name.as_str() {
                 "graphml" => {}
                 "key" => {} // GraphML schema declarations — ignored
                 "graph" => scope = Scope::Graph,
                 "node" => {
                     let id = attrs
                         .get("id")
-                        .ok_or(GraphmlError::MissingAttr { element: "node", attr: "id" })?
+                        .ok_or(GraphmlError::MissingAttr {
+                            element: "node",
+                            attr: "id",
+                        })?
                         .clone();
-                    doc.nodes.push(GraphmlNode { id, data: BTreeMap::new() });
+                    doc.nodes.push(GraphmlNode {
+                        id,
+                        data: BTreeMap::new(),
+                    });
                     if !self_closing {
                         scope = Scope::Node(doc.nodes.len() - 1);
                     }
@@ -226,13 +258,23 @@ pub fn parse_graphml(xml: &str) -> Result<GraphmlDoc, GraphmlError> {
                 "edge" => {
                     let source = attrs
                         .get("source")
-                        .ok_or(GraphmlError::MissingAttr { element: "edge", attr: "source" })?
+                        .ok_or(GraphmlError::MissingAttr {
+                            element: "edge",
+                            attr: "source",
+                        })?
                         .clone();
                     let target = attrs
                         .get("target")
-                        .ok_or(GraphmlError::MissingAttr { element: "edge", attr: "target" })?
+                        .ok_or(GraphmlError::MissingAttr {
+                            element: "edge",
+                            attr: "target",
+                        })?
                         .clone();
-                    doc.edges.push(GraphmlEdge { source, target, data: BTreeMap::new() });
+                    doc.edges.push(GraphmlEdge {
+                        source,
+                        target,
+                        data: BTreeMap::new(),
+                    });
                     if !self_closing {
                         scope = Scope::Edge(doc.edges.len() - 1);
                     }
@@ -240,7 +282,10 @@ pub fn parse_graphml(xml: &str) -> Result<GraphmlDoc, GraphmlError> {
                 "data" => {
                     let key = attrs
                         .get("key")
-                        .ok_or(GraphmlError::MissingAttr { element: "data", attr: "key" })?
+                        .ok_or(GraphmlError::MissingAttr {
+                            element: "data",
+                            attr: "key",
+                        })?
                         .clone();
                     // Collect the text content up to </data>.
                     let mut value = String::new();
@@ -376,18 +421,33 @@ mod tests {
     #[test]
     fn missing_node_id_errors() {
         let err = parse_graphml("<graph><node/></graph>").unwrap_err();
-        assert_eq!(err, GraphmlError::MissingAttr { element: "node", attr: "id" });
+        assert_eq!(
+            err,
+            GraphmlError::MissingAttr {
+                element: "node",
+                attr: "id"
+            }
+        );
     }
 
     #[test]
     fn missing_edge_endpoints_error() {
         let err = parse_graphml("<graph><edge source=\"a\"/></graph>").unwrap_err();
-        assert_eq!(err, GraphmlError::MissingAttr { element: "edge", attr: "target" });
+        assert_eq!(
+            err,
+            GraphmlError::MissingAttr {
+                element: "edge",
+                attr: "target"
+            }
+        );
     }
 
     #[test]
     fn truncated_document_errors() {
-        assert_eq!(parse_graphml("<graph><data key=\"x\">v"), Err(GraphmlError::UnexpectedEof));
+        assert_eq!(
+            parse_graphml("<graph><data key=\"x\">v"),
+            Err(GraphmlError::UnexpectedEof)
+        );
         assert_eq!(parse_graphml("<graph"), Err(GraphmlError::UnexpectedEof));
     }
 

@@ -64,16 +64,23 @@ impl MonitorCore {
 
     /// Deliveries seen by one consumer.
     pub fn for_consumer(&self, consumer: u32) -> impl Iterator<Item = &DeliveryRecord> {
-        self.deliveries.iter().filter(move |d| d.consumer == consumer)
+        self.deliveries
+            .iter()
+            .filter(move |d| d.consumer == consumer)
     }
 
     /// Mean end-to-end latency over a topic, if any deliveries exist.
     pub fn mean_latency(&self, topic: &str) -> Option<SimDuration> {
-        let lats: Vec<u64> = self.for_topic(topic).map(|d| d.latency().as_nanos()).collect();
+        let lats: Vec<u64> = self
+            .for_topic(topic)
+            .map(|d| d.latency().as_nanos())
+            .collect();
         if lats.is_empty() {
             return None;
         }
-        Some(SimDuration::from_nanos(lats.iter().sum::<u64>() / lats.len() as u64))
+        Some(SimDuration::from_nanos(
+            lats.iter().sum::<u64>() / lats.len() as u64,
+        ))
     }
 
     /// Latency series for one consumer and topic, ordered by delivery time
@@ -90,10 +97,16 @@ impl MonitorCore {
     }
 
     /// Whether `(producer, seq)` on `topic` reached `consumer`.
-    pub fn was_delivered(&self, consumer: u32, topic: &str, producer: ProducerId, seq: u64) -> bool {
-        self.deliveries
-            .iter()
-            .any(|d| d.consumer == consumer && d.topic == topic && d.producer == producer && d.seq == seq)
+    pub fn was_delivered(
+        &self,
+        consumer: u32,
+        topic: &str,
+        producer: ProducerId,
+        seq: u64,
+    ) -> bool {
+        self.deliveries.iter().any(|d| {
+            d.consumer == consumer && d.topic == topic && d.producer == producer && d.seq == seq
+        })
     }
 }
 
@@ -108,7 +121,11 @@ pub struct MonitoredSink {
 impl MonitoredSink {
     /// Wraps `inner` for consumer index `consumer`.
     pub fn new(handle: MonitorHandle, consumer: u32, inner: Box<dyn DataSink>) -> Self {
-        MonitoredSink { handle, consumer, inner }
+        MonitoredSink {
+            handle,
+            consumer,
+            inner,
+        }
     }
 
     /// The wrapped sink, for post-run downcasting.
@@ -144,7 +161,7 @@ impl DataSink for MonitoredSink {
 
 /// The Fig. 6b artifact: for one producer's messages (in production order),
 /// which consumers received each one.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeliveryMatrix {
     /// The producer whose messages are tracked.
     pub producer: ProducerId,
@@ -170,14 +187,22 @@ impl DeliveryMatrix {
             if d.producer != producer {
                 continue;
             }
-            let Some(row) = consumers.iter().position(|c| *c == d.consumer) else { continue };
-            if let Some(col) =
-                messages.iter().position(|(t, s, _)| *s == d.seq && *t == d.topic)
+            let Some(row) = consumers.iter().position(|c| *c == d.consumer) else {
+                continue;
+            };
+            if let Some(col) = messages
+                .iter()
+                .position(|(t, s, _)| *s == d.seq && *t == d.topic)
             {
                 received[row][col] = true;
             }
         }
-        DeliveryMatrix { producer, consumers: consumers.to_vec(), messages, received }
+        DeliveryMatrix {
+            producer,
+            consumers: consumers.to_vec(),
+            messages,
+            received,
+        }
     }
 
     /// Messages not received by a given consumer row.
@@ -206,8 +231,11 @@ impl DeliveryMatrix {
         if total == 0 {
             return 1.0;
         }
-        let hit: usize =
-            self.received.iter().map(|row| row.iter().filter(|b| **b).count()).sum();
+        let hit: usize = self
+            .received
+            .iter()
+            .map(|row| row.iter().filter(|b| **b).count())
+            .sum();
         hit as f64 / total as f64
     }
 }
@@ -228,7 +256,11 @@ mod tests {
         let handle = MonitorCore::new_handle();
         let mut sink = MonitoredSink::new(handle.clone(), 3, Box::new(CollectingSink::default()));
         let tp = TopicPartition::new("t", 0);
-        sink.on_records(SimTime::from_millis(500), &tp, &[record(1, 0, 100), record(1, 1, 200)]);
+        sink.on_records(
+            SimTime::from_millis(500),
+            &tp,
+            &[record(1, 0, 100), record(1, 1, 200)],
+        );
         let core = handle.borrow();
         assert_eq!(core.deliveries.len(), 2);
         assert_eq!(core.deliveries[0].consumer, 3);
@@ -237,7 +269,9 @@ mod tests {
         assert!(!core.was_delivered(3, "t", ProducerId(1), 2));
         // Forwarded to the inner CollectingSink too.
         let inner: &dyn DataSink = sink.inner();
-        let inner = (inner as &dyn std::any::Any).downcast_ref::<CollectingSink>().unwrap();
+        let inner = (inner as &dyn std::any::Any)
+            .downcast_ref::<CollectingSink>()
+            .unwrap();
         assert_eq!(inner.deliveries.len(), 2);
     }
 
@@ -264,7 +298,11 @@ mod tests {
             .with_origin(SimTime::from_millis(100));
         let rec = Record::keyless(ev.to_bytes(), SimTime::from_millis(900))
             .from_producer(ProducerId(5), 0);
-        sink.on_records(SimTime::from_millis(1_000), &TopicPartition::new("out", 0), &[rec]);
+        sink.on_records(
+            SimTime::from_millis(1_000),
+            &TopicPartition::new("out", 0),
+            &[rec],
+        );
         let core = handle.borrow();
         assert_eq!(core.deliveries[0].produced, SimTime::from_millis(100));
         assert_eq!(core.deliveries[0].latency(), SimDuration::from_millis(900));
@@ -277,7 +315,11 @@ mod tests {
         let mut sink0 = MonitoredSink::new(handle.clone(), 0, Box::new(CollectingSink::default()));
         let mut sink1 = MonitoredSink::new(handle.clone(), 1, Box::new(CollectingSink::default()));
         // Consumer 0 gets messages 0 and 1; consumer 1 only message 0.
-        sink0.on_records(SimTime::from_millis(10), &tp, &[record(7, 0, 1), record(7, 1, 2)]);
+        sink0.on_records(
+            SimTime::from_millis(10),
+            &tp,
+            &[record(7, 0, 1), record(7, 1, 2)],
+        );
         sink1.on_records(SimTime::from_millis(10), &tp, &[record(7, 0, 1)]);
         let messages = vec![
             ("ta".to_string(), 0, SimTime::from_millis(1)),

@@ -6,9 +6,7 @@
 //! windows against the modeled server's total core capacity, and a
 //! [`MemSampler`] process polls the shared memory ledger.
 
-use s2g_sim::{
-    CpuHandle, Ctx, LedgerHandle, Message, Process, ProcessId, SimDuration, SimTime,
-};
+use s2g_sim::{CpuHandle, Ctx, LedgerHandle, Message, Process, ProcessId, SimDuration, SimTime};
 
 /// The modeled underlying server (the paper's testbed machine: an i7-3770
 /// with 8 hardware threads and 16 GB of RAM).
@@ -160,7 +158,13 @@ pub struct MemSampler {
 impl MemSampler {
     /// Samples `ledger` every `interval` until `until`.
     pub fn new(ledger: LedgerHandle, interval: SimDuration, until: SimTime) -> Self {
-        MemSampler { ledger, interval, until, samples: Vec::new(), peak: 0 }
+        MemSampler {
+            ledger,
+            interval,
+            until,
+            samples: Vec::new(),
+            peak: 0,
+        }
     }
 
     /// The sample series.
@@ -206,7 +210,8 @@ mod tests {
         let cpu = HostCpu::shared("h", 2, 1.0);
         // 1 core busy for the full first second → 50% of a 2-core host,
         // i.e. 12.5% of an 8-core server... use cores=2 denominator here.
-        cpu.borrow_mut().execute(SimTime::ZERO, SimDuration::from_secs(1));
+        cpu.borrow_mut()
+            .execute(SimTime::ZERO, SimDuration::from_secs(1));
         let series = cpu_utilization_series(
             &[cpu],
             SimDuration::from_millis(500),
@@ -223,7 +228,8 @@ mod tests {
     fn utilization_spans_windows() {
         let cpu = HostCpu::shared("h", 1, 1.0);
         // 250 ms of work starting at 400 ms spans two 500 ms windows.
-        cpu.borrow_mut().execute(SimTime::from_millis(400), SimDuration::from_millis(250));
+        cpu.borrow_mut()
+            .execute(SimTime::from_millis(400), SimDuration::from_millis(250));
         let series = cpu_utilization_series(
             &[cpu],
             SimDuration::from_millis(500),
@@ -274,7 +280,10 @@ mod tests {
                 self.ledger.borrow_mut().set_dynamic(self.slot, bytes);
             }
         }
-        sim.spawn(Box::new(Bumper { ledger: ledger.clone(), slot }));
+        sim.spawn(Box::new(Bumper {
+            ledger: ledger.clone(),
+            slot,
+        }));
         sim.run_until(SimTime::from_secs(3));
         let s = sim.process_ref::<MemSampler>(sampler).unwrap();
         assert_eq!(s.peak_bytes(), 6_000);

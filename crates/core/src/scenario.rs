@@ -19,14 +19,18 @@ use s2g_broker::{
     ZkController,
 };
 use s2g_net::{
-    FaultInjector, FaultPlan, LinkSpec, NetHandle, NetTransport, Network, NetworkConfig, Topology,
-    TxSampler, TxSeries,
+    FaultAction, FaultInjector, FaultPlan, LinkSpec, NetHandle, NetTransport, Network,
+    NetworkConfig, Topology, TxSampler, TxSeries,
 };
 use s2g_proto::{BrokerId, ProducerId, TopicPartition};
 use s2g_sim::{
-    CpuHandle, HostCpu, LedgerHandle, MemLedger, ProcessId, Sim, SimDuration, SimStats, SimTime,
+    CpuHandle, HostCpu, LedgerHandle, MemLedger, MemSlot, ProcessId, Sim, SimDuration, SimStats,
+    SimTime,
 };
-use s2g_spe::{BatchMetric, Event, Plan, SpeConfig, SpeSink, SpeWorker};
+use s2g_spe::{
+    snapshot_store, BatchMetric, CheckpointCfg, CheckpointStats, DurableBackend, Event,
+    InMemoryBackend, Plan, SnapshotStoreHandle, SpeConfig, SpeSink, SpeWorker, StateBackend,
+};
 use s2g_store::{StoreConfig, StoreServer};
 
 use crate::monitor::{DeliveryMatrix, MonitorCore, MonitorHandle, MonitoredSink};
@@ -98,18 +102,29 @@ impl SourceSpec {
 
     fn build(self) -> Box<dyn DataSource> {
         match self {
-            SourceSpec::Rate { topic, count, interval, payload } => {
-                Box::new(RateSource::new(topic, count, interval).payload_bytes(payload))
-            }
-            SourceSpec::RandomTopics { topics, kbps, payload, until } => {
-                Box::new(RandomTopicSource::new(topics, kbps, payload, until))
-            }
-            SourceSpec::Poisson { topic, rate_per_sec, payload, until } => {
-                Box::new(PoissonSource::new(topic, rate_per_sec, payload, until))
-            }
-            SourceSpec::Items { topic, items, interval } => {
-                Box::new(FileLinesSource::new(topic, items, interval))
-            }
+            SourceSpec::Rate {
+                topic,
+                count,
+                interval,
+                payload,
+            } => Box::new(RateSource::new(topic, count, interval).payload_bytes(payload)),
+            SourceSpec::RandomTopics {
+                topics,
+                kbps,
+                payload,
+                until,
+            } => Box::new(RandomTopicSource::new(topics, kbps, payload, until)),
+            SourceSpec::Poisson {
+                topic,
+                rate_per_sec,
+                payload,
+                until,
+            } => Box::new(PoissonSource::new(topic, rate_per_sec, payload, until)),
+            SourceSpec::Items {
+                topic,
+                items,
+                interval,
+            } => Box::new(FileLinesSource::new(topic, items, interval)),
             SourceSpec::Custom { make, .. } => make(),
         }
     }
@@ -169,12 +184,38 @@ pub struct SpeJobSpec {
     pub name: String,
     /// Source topics, in source-index order (for joins).
     pub sources: Vec<String>,
-    /// Factory producing the job's plan at build time.
-    pub plan: Box<dyn FnOnce() -> Plan>,
+    /// Factory producing the job's plan. Called once at build time, and
+    /// again for each `RestartProcess` fault so a respawned worker starts
+    /// from a fresh plan before restoring its checkpoint.
+    pub plan: Box<dyn Fn() -> Plan>,
     /// Result sink.
     pub sink: SpeSinkSpec,
     /// Engine configuration.
     pub cfg: SpeConfig,
+}
+
+/// Where scenario-level checkpoints are stored.
+#[derive(Debug, Clone)]
+pub enum CheckpointBackendSpec {
+    /// Snapshots on the orchestrator's heap, outside every worker's failure
+    /// domain: instant and free, like a job-manager heap.
+    InMemory,
+    /// Snapshots persisted through the store server on the named host,
+    /// paying simulated CPU and network cost per snapshot and per restore.
+    StoreOn {
+        /// Host carrying the store server.
+        host: String,
+    },
+}
+
+/// Scenario-level checkpointing, applied to every SPE job that does not
+/// configure its own schedule.
+#[derive(Debug, Clone)]
+pub struct CheckpointSpec {
+    /// Interval and offset-commit mode.
+    pub cfg: CheckpointCfg,
+    /// Snapshot storage.
+    pub backend: CheckpointBackendSpec,
 }
 
 impl fmt::Debug for SpeJobSpec {
@@ -205,6 +246,8 @@ pub enum ScenarioError {
     DuplicateJobName(String),
     /// The explicit topology is missing a host a component was placed on.
     UnknownHost(String),
+    /// A crash/restart fault references a name that is not an SPE job.
+    UnknownProcess(String),
 }
 
 impl fmt::Display for ScenarioError {
@@ -217,6 +260,9 @@ impl fmt::Display for ScenarioError {
             ScenarioError::NoStoreOnHost(h) => write!(f, "no store server on host `{h}`"),
             ScenarioError::DuplicateJobName(n) => write!(f, "duplicate SPE job name `{n}`"),
             ScenarioError::UnknownHost(h) => write!(f, "topology has no host `{h}`"),
+            ScenarioError::UnknownProcess(p) => {
+                write!(f, "fault plan crashes `{p}`, which is not an SPE job name")
+            }
         }
     }
 }
@@ -244,6 +290,7 @@ pub struct Scenario {
     producers: Vec<(String, SourceSpec, ProducerConfig)>,
     consumers: Vec<(String, ConsumerConfig, Vec<String>, ConsumerSinkSpec)>,
     faults: FaultPlan,
+    checkpointing: Option<CheckpointSpec>,
     watch_tx: Vec<String>,
     tracing: bool,
     event_limit: u64,
@@ -272,6 +319,7 @@ impl Scenario {
             producers: Vec::new(),
             consumers: Vec::new(),
             faults: FaultPlan::new(),
+            checkpointing: None,
             watch_tx: Vec::new(),
             tracing: false,
             event_limit: u64::MAX,
@@ -341,7 +389,10 @@ impl Scenario {
     ///
     /// Panics if `pct` is not in `(0, 100]`.
     pub fn host_cpu_percentage(&mut self, host: &str, pct: f64) -> &mut Self {
-        assert!(pct > 0.0 && pct <= 100.0, "cpuPercentage must be in (0, 100], got {pct}");
+        assert!(
+            pct > 0.0 && pct <= 100.0,
+            "cpuPercentage must be in (0, 100], got {pct}"
+        );
         self.host_cpu_pct.insert(host.to_string(), pct);
         self
     }
@@ -417,6 +468,34 @@ impl Scenario {
         self
     }
 
+    /// Enables checkpointing for every SPE job (jobs that set their own
+    /// `cfg.checkpoint` keep it), storing snapshots in memory outside the
+    /// workers' failure domain.
+    pub fn with_checkpointing(&mut self, cfg: CheckpointCfg) -> &mut Self {
+        self.checkpointing = Some(CheckpointSpec {
+            cfg,
+            backend: CheckpointBackendSpec::InMemory,
+        });
+        self
+    }
+
+    /// Enables checkpointing with snapshots persisted through the store
+    /// server on `store_host`, paying simulated CPU/network cost per
+    /// snapshot and a read round trip on every restore.
+    pub fn with_durable_checkpointing(
+        &mut self,
+        cfg: CheckpointCfg,
+        store_host: &str,
+    ) -> &mut Self {
+        self.checkpointing = Some(CheckpointSpec {
+            cfg,
+            backend: CheckpointBackendSpec::StoreOn {
+                host: store_host.to_string(),
+            },
+        });
+        self
+    }
+
     /// Samples per-second transmit throughput of the named nodes (Fig. 6d).
     pub fn watch_throughput(&mut self, nodes: &[&str]) -> &mut Self {
         self.watch_tx = nodes.iter().map(|n| n.to_string()).collect();
@@ -479,7 +558,10 @@ impl Scenario {
             if declared.contains(&topic) {
                 Ok(())
             } else {
-                Err(ScenarioError::UnknownTopic { component, topic: topic.to_string() })
+                Err(ScenarioError::UnknownTopic {
+                    component,
+                    topic: topic.to_string(),
+                })
             }
         };
         for (_, src, _) in &self.producers {
@@ -512,10 +594,32 @@ impl Scenario {
             }
         }
         if let Some(topo) = &self.explicit_topology {
-            for h in self.component_hosts().iter().chain(&self.controller_hosts()) {
+            for h in self
+                .component_hosts()
+                .iter()
+                .chain(&self.controller_hosts())
+            {
                 if topo.lookup(h).is_none() {
                     return Err(ScenarioError::UnknownHost(h.clone()));
                 }
+            }
+        }
+        if let Some(CheckpointSpec {
+            backend: CheckpointBackendSpec::StoreOn { host },
+            ..
+        }) = &self.checkpointing
+        {
+            if !self.stores.iter().any(|(h, _)| h == host) {
+                return Err(ScenarioError::NoStoreOnHost(host.clone()));
+            }
+        }
+        for (_, action) in self.faults.process_events() {
+            let name = match action {
+                FaultAction::CrashProcess(n) | FaultAction::RestartProcess(n) => n,
+                _ => continue,
+            };
+            if !self.spe_jobs.iter().any(|(_, j)| &j.name == name) {
+                return Err(ScenarioError::UnknownProcess(name.clone()));
             }
         }
         Ok(())
@@ -527,12 +631,20 @@ impl Scenario {
         }
         let mut topo = Topology::new();
         topo.add_switch("s1").expect("fresh topology");
-        for host in self.component_hosts().iter().chain(&self.controller_hosts()) {
+        for host in self
+            .component_hosts()
+            .iter()
+            .chain(&self.controller_hosts())
+        {
             if topo.lookup(host).is_some() {
                 continue;
             }
             topo.add_host(host.as_str()).expect("unique hosts");
-            let spec = self.host_links.get(host).copied().unwrap_or(self.default_link);
+            let spec = self
+                .host_links
+                .get(host)
+                .copied()
+                .unwrap_or(self.default_link);
             topo.add_link(host, "s1", spec).expect("valid link");
         }
         topo
@@ -547,8 +659,10 @@ impl Scenario {
         self.validate()?;
         let duration = self.duration;
         let topo = self.build_topology();
-        let n_switches =
-            topo.nodes().filter(|(_, n)| n.kind == s2g_net::NodeKind::Switch).count();
+        let n_switches = topo
+            .nodes()
+            .filter(|(_, n)| n.kind == s2g_net::NodeKind::Switch)
+            .count();
         let net = Network::with_config(topo, self.net_cfg).into_handle();
         let mut sim = Sim::new(self.seed);
         sim.set_transport(Box::new(NetTransport(net.clone())));
@@ -561,8 +675,7 @@ impl Scenario {
             let n = net.borrow();
             for (_, node) in n.topology().nodes() {
                 if node.kind == s2g_net::NodeKind::Host {
-                    let speed =
-                        self.host_cpu_pct.get(&node.name).copied().unwrap_or(100.0) / 100.0;
+                    let speed = self.host_cpu_pct.get(&node.name).copied().unwrap_or(100.0) / 100.0;
                     cpus.insert(
                         node.name.clone(),
                         HostCpu::shared(node.name.clone(), self.server.cores, speed),
@@ -579,8 +692,9 @@ impl Scenario {
         let nb = self.brokers.len() as u32;
         let controller_pids: Vec<ProcessId> = (0..n_ctrl).map(ProcessId).collect();
         let broker_pids: Vec<ProcessId> = (n_ctrl..n_ctrl + nb).map(ProcessId).collect();
-        let brokers_btree: BTreeMap<BrokerId, ProcessId> =
-            (0..nb).map(|i| (BrokerId(i), broker_pids[i as usize])).collect();
+        let brokers_btree: BTreeMap<BrokerId, ProcessId> = (0..nb)
+            .map(|i| (BrokerId(i), broker_pids[i as usize]))
+            .collect();
         let brokers_hash: HashMap<BrokerId, ProcessId> =
             brokers_btree.iter().map(|(k, v)| (*k, *v)).collect();
         let mut placements: Vec<(ProcessId, String)> = Vec::new();
@@ -597,7 +711,9 @@ impl Scenario {
                 )));
                 debug_assert_eq!(pid, controller_pids[0]);
                 placements.push((pid, ctrl_hosts[0].clone()));
-                let slot = ledger.borrow_mut().register("zk-controller", self.mem_model.controller);
+                let slot = ledger
+                    .borrow_mut()
+                    .register("zk-controller", self.mem_model.controller);
                 let _ = slot;
             }
             CoordinationMode::Kraft => {
@@ -632,7 +748,9 @@ impl Scenario {
                 controller_pids.clone(),
                 brokers_hash.clone(),
             );
-            let slot = ledger.borrow_mut().register(format!("broker-{i}"), self.mem_model.broker);
+            let slot = ledger
+                .borrow_mut()
+                .register(format!("broker-{i}"), self.mem_model.broker);
             b.set_mem_slot(ledger.clone(), slot);
             let pid = sim.spawn(Box::new(b));
             debug_assert_eq!(pid, broker_pids[i]);
@@ -654,7 +772,9 @@ impl Scenario {
         let mut store_pids: BTreeMap<String, ProcessId> = BTreeMap::new();
         for (host, cfg) in &self.stores {
             let mut s = StoreServer::new(cfg.clone());
-            let slot = ledger.borrow_mut().register(format!("store-{host}"), self.mem_model.store);
+            let slot = ledger
+                .borrow_mut()
+                .register(format!("store-{host}"), self.mem_model.store);
             s.set_mem_slot(ledger.clone(), slot);
             let pid = sim.spawn(Box::new(s));
             if let Some(cpu) = cpus.get(host) {
@@ -664,9 +784,13 @@ impl Scenario {
             store_pids.insert(host.clone(), pid);
         }
 
-        // SPE jobs. Producer ids: jobs first, then producer stubs.
+        // SPE jobs. Producer ids: jobs first, then producer stubs. Each
+        // job's build recipe is retained so a RestartProcess fault can
+        // rebuild the worker (fresh plan, same pid/slot) mid-run.
+        let checkpoint_spec = self.checkpointing.clone();
+        let checkpoint_snapshots: SnapshotStoreHandle = snapshot_store();
         let mut spe_pids: BTreeMap<String, ProcessId> = BTreeMap::new();
-        let n_jobs = self.spe_jobs.len() as u32;
+        let mut spe_builds: Vec<SpeBuild> = Vec::new();
         for (i, (host, job)) in self.spe_jobs.into_iter().enumerate() {
             let sink = match job.sink {
                 SpeSinkSpec::Topic(t) => SpeSink::Topic(t),
@@ -676,28 +800,45 @@ impl Scenario {
                     table,
                 },
             };
-            let plan = (job.plan)();
-            let mut w = SpeWorker::new(
-                job.name.clone(),
-                job.cfg,
-                job.sources,
-                plan,
+            let mut cfg = job.cfg;
+            if cfg.checkpoint.is_none() {
+                if let Some(spec) = &checkpoint_spec {
+                    cfg.checkpoint = Some(spec.cfg);
+                }
+            }
+            let slot = ledger
+                .borrow_mut()
+                .register(format!("spe-{}", job.name), self.mem_model.spe);
+            let mut build = SpeBuild {
+                host: host.clone(),
+                name: job.name.clone(),
+                cfg,
+                sources: job.sources,
                 sink,
-                bootstrap_for(&host),
-                brokers_hash.clone(),
-                ProducerId(1_000 + i as u32),
+                plan: job.plan,
+                producer_id: ProducerId(1_000 + i as u32),
+                bootstrap: bootstrap_for(&host),
+                slot,
+                pid: ProcessId(0),
+            };
+            let w = build_spe_worker(
+                &build,
+                &brokers_hash,
+                &ledger,
+                &checkpoint_spec,
+                &checkpoint_snapshots,
+                &store_pids,
+                false,
             );
-            let slot =
-                ledger.borrow_mut().register(format!("spe-{}", job.name), self.mem_model.spe);
-            w.set_mem_slot(ledger.clone(), slot);
             let pid = sim.spawn(Box::new(w));
             if let Some(cpu) = cpus.get(&host) {
                 sim.attach_cpu(pid, cpu.clone());
             }
             placements.push((pid, host.clone()));
             spe_pids.insert(job.name, pid);
+            build.pid = pid;
+            spe_builds.push(build);
         }
-        let _ = n_jobs;
 
         // Producers.
         let mut producer_pids: Vec<ProcessId> = Vec::new();
@@ -733,8 +874,14 @@ impl Scenario {
             let wrapped = MonitoredSink::new(monitor.clone(), i as u32, inner);
             let client =
                 ConsumerClient::new(cfg, bootstrap_for(&host), brokers_hash.clone(), topics);
-            ledger.borrow_mut().register(format!("consumer-{i}"), self.mem_model.consumer);
-            let pid = sim.spawn(Box::new(ConsumerProcess::new(i as u32, client, Box::new(wrapped))));
+            ledger
+                .borrow_mut()
+                .register(format!("consumer-{i}"), self.mem_model.consumer);
+            let pid = sim.spawn(Box::new(ConsumerProcess::new(
+                i as u32,
+                client,
+                Box::new(wrapped),
+            )));
             if let Some(cpu) = cpus.get(&host) {
                 sim.attach_cpu(pid, cpu.clone());
             }
@@ -742,8 +889,12 @@ impl Scenario {
             consumer_pids.push(pid);
         }
 
-        // Fault injector, memory sampler, throughput sampler.
-        if !self.faults.is_empty() {
+        // Fault injector, memory sampler, throughput sampler. Process-level
+        // crash/restart events are applied by this orchestrator (it owns the
+        // process table); the injector handles the network-level rest.
+        let process_events: Vec<(SimTime, FaultAction)> =
+            self.faults.process_events().cloned().collect();
+        if self.faults.has_network_events() {
             sim.spawn(Box::new(FaultInjector::new(net.clone(), self.faults)));
         }
         let sampler_pid = sim.spawn(Box::new(MemSampler::new(
@@ -775,13 +926,59 @@ impl Scenario {
             }
         }
 
-        // Execute.
+        // Execute, pausing at each process-fault instant to kill or respawn
+        // the targeted worker. Crashed workers' remains are kept so the
+        // report can still surface their pre-crash metrics.
+        let mut crashed_at: BTreeMap<String, SimTime> = BTreeMap::new();
+        let mut corpses: BTreeMap<String, Box<dyn s2g_sim::Process>> = BTreeMap::new();
+        for (at, action) in process_events {
+            if at >= duration {
+                break;
+            }
+            sim.run_until(at);
+            match action {
+                FaultAction::CrashProcess(name) => {
+                    let pid = *spe_pids.get(&name).expect("validated SPE job name");
+                    if let Some(corpse) = sim.kill(pid) {
+                        crashed_at.insert(name.clone(), at);
+                        corpses.insert(name, corpse);
+                    }
+                }
+                FaultAction::RestartProcess(name) => {
+                    let build = spe_builds
+                        .iter()
+                        .find(|b| b.name == name)
+                        .expect("validated SPE job name");
+                    if sim.is_alive(build.pid) {
+                        continue; // restart without a preceding crash: no-op
+                    }
+                    let mut w = build_spe_worker(
+                        build,
+                        &brokers_hash,
+                        &ledger,
+                        &checkpoint_spec,
+                        &checkpoint_snapshots,
+                        &store_pids,
+                        true,
+                    );
+                    w.mark_restarted();
+                    sim.respawn(build.pid, Box::new(w));
+                    if let Some(cpu) = cpus.get(&build.host) {
+                        sim.attach_cpu(build.pid, cpu.clone());
+                    }
+                    corpses.remove(&name);
+                }
+                _ => unreachable!("process_events yields only process actions"),
+            }
+        }
         sim.run_until(duration);
 
         // Harvest the report.
         let mut producers_report = Vec::new();
         for (i, pid) in producer_pids.iter().enumerate() {
-            let p = sim.process_ref::<ProducerProcess>(*pid).expect("producer process");
+            let p = sim
+                .process_ref::<ProducerProcess>(*pid)
+                .expect("producer process");
             producers_report.push(ProducerReport {
                 id: ProducerId(i as u32),
                 stats: p.client().stats(),
@@ -791,8 +988,13 @@ impl Scenario {
         }
         let mut consumers_report = Vec::new();
         for (i, pid) in consumer_pids.iter().enumerate() {
-            let c = sim.process_ref::<ConsumerProcess>(*pid).expect("consumer process");
-            consumers_report.push(ConsumerReport { id: i as u32, stats: c.client().stats() });
+            let c = sim
+                .process_ref::<ConsumerProcess>(*pid)
+                .expect("consumer process");
+            consumers_report.push(ConsumerReport {
+                id: i as u32,
+                stats: c.client().stats(),
+            });
         }
         let mut brokers_report = Vec::new();
         for (i, pid) in broker_pids.iter().enumerate() {
@@ -805,7 +1007,25 @@ impl Scenario {
         }
         let mut spe_report = BTreeMap::new();
         for (name, pid) in &spe_pids {
-            let w = sim.process_ref::<SpeWorker>(*pid).expect("spe process");
+            // A crashed-and-not-restarted worker is absent from the process
+            // table; report from its corpse instead.
+            let w = sim.process_ref::<SpeWorker>(*pid).or_else(|| {
+                corpses
+                    .get(name)
+                    .and_then(|c| (c.as_ref() as &dyn std::any::Any).downcast_ref::<SpeWorker>())
+            });
+            let recovery = crashed_at.get(name).map(|t| {
+                let info = w.and_then(SpeWorker::recovery_info);
+                RecoveryReport {
+                    crashed_at: *t,
+                    restarted_at: info.map(|i| i.restarted_at),
+                    restored_at: info.and_then(|i| i.restored_at),
+                    snapshot_taken_at: info.and_then(|i| i.snapshot_taken_at),
+                    snapshot_bytes: info.map_or(0, |i| i.snapshot_bytes),
+                    first_batch_at: info.and_then(|i| i.first_batch_at),
+                }
+            });
+            let w = w.expect("spe process (live or corpse)");
             spe_report.insert(
                 name.clone(),
                 SpeReport {
@@ -813,14 +1033,24 @@ impl Scenario {
                     record_counts: w.plan().record_counts(),
                     collected: w.collected().to_vec(),
                     mean_busy_runtime: w.mean_busy_runtime(),
+                    checkpoints: w.checkpoint_stats(),
+                    consumer_stats: w.consumer().stats(),
+                    recovery,
                 },
             );
         }
-        let sampler = sim.process_ref::<MemSampler>(sampler_pid).expect("mem sampler");
+        let sampler = sim
+            .process_ref::<MemSampler>(sampler_pid)
+            .expect("mem sampler");
         let mem_samples = sampler.samples().to_vec();
         let peak_mem_bytes = sampler.peak_bytes();
         let tx_series = tx_pid
-            .map(|pid| sim.process_ref::<TxSampler>(pid).expect("tx sampler").series().to_vec())
+            .map(|pid| {
+                sim.process_ref::<TxSampler>(pid)
+                    .expect("tx sampler")
+                    .series()
+                    .to_vec()
+            })
             .unwrap_or_default();
         let cpu_handles: Vec<CpuHandle> = cpus.values().cloned().collect();
         let cpu_series = cpu_utilization_series(
@@ -856,9 +1086,60 @@ impl Scenario {
             consumer_pids,
             spe_pids,
             store_pids,
+            checkpoint_snapshots,
             report,
         })
     }
+}
+
+/// Everything needed to (re)build one SPE worker: the initial spawn and any
+/// `RestartProcess` respawn share this recipe, so a restarted worker gets
+/// the same wiring (pid, memory slot, clients) around a fresh plan.
+struct SpeBuild {
+    host: String,
+    name: String,
+    cfg: SpeConfig,
+    sources: Vec<String>,
+    sink: SpeSink,
+    plan: Box<dyn Fn() -> Plan>,
+    producer_id: ProducerId,
+    bootstrap: ProcessId,
+    slot: MemSlot,
+    pid: ProcessId,
+}
+
+fn build_spe_worker(
+    build: &SpeBuild,
+    brokers: &HashMap<BrokerId, ProcessId>,
+    ledger: &LedgerHandle,
+    spec: &Option<CheckpointSpec>,
+    snapshots: &SnapshotStoreHandle,
+    store_pids: &BTreeMap<String, ProcessId>,
+    recover: bool,
+) -> SpeWorker {
+    let mut w = SpeWorker::new(
+        build.name.clone(),
+        build.cfg.clone(),
+        build.sources.clone(),
+        (build.plan)(),
+        build.sink.clone(),
+        build.bootstrap,
+        brokers.clone(),
+        build.producer_id,
+    );
+    w.set_mem_slot(ledger.clone(), build.slot);
+    if build.cfg.checkpoint.is_some() {
+        let backend: Box<dyn StateBackend> = match spec.as_ref().map(|s| &s.backend) {
+            Some(CheckpointBackendSpec::StoreOn { host }) => Box::new(DurableBackend::new(
+                *store_pids
+                    .get(host)
+                    .expect("validated checkpoint store host"),
+            )),
+            _ => Box::new(InMemoryBackend::new(snapshots.clone())),
+        };
+        w.attach_checkpointing(backend, recover);
+    }
+    w
 }
 
 impl fmt::Debug for Scenario {
@@ -918,6 +1199,47 @@ pub struct SpeReport {
     pub collected: Vec<Event>,
     /// Mean runtime over non-empty batches.
     pub mean_busy_runtime: SimDuration,
+    /// Checkpoint counters (zeros when checkpointing is disabled).
+    pub checkpoints: CheckpointStats,
+    /// The worker's embedded consumer counters; `offset_resets == 0` on a
+    /// recovery run means the worker resumed from committed offsets.
+    pub consumer_stats: ConsumerStats,
+    /// Crash/recovery metrics; present when this job was crashed by the
+    /// fault plan.
+    pub recovery: Option<RecoveryReport>,
+}
+
+/// Recovery metrics for one crashed (and possibly restarted) SPE job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// When the fault plan killed the worker.
+    pub crashed_at: SimTime,
+    /// When the respawned worker started (None: never restarted).
+    pub restarted_at: Option<SimTime>,
+    /// When state restoration completed.
+    pub restored_at: Option<SimTime>,
+    /// Capture time of the restored snapshot.
+    pub snapshot_taken_at: Option<SimTime>,
+    /// Encoded size of the restored snapshot.
+    pub snapshot_bytes: u64,
+    /// Completion time of the first post-restart batch with input.
+    pub first_batch_at: Option<SimTime>,
+}
+
+impl RecoveryReport {
+    /// Crash-to-first-processed-batch latency: the user-visible outage.
+    pub fn recovery_latency(&self) -> Option<SimDuration> {
+        self.first_batch_at
+            .map(|t| t.saturating_since(self.crashed_at))
+    }
+
+    /// Restart-to-restore latency: what the state backend costs.
+    pub fn restore_latency(&self) -> Option<SimDuration> {
+        match (self.restarted_at, self.restored_at) {
+            (Some(a), Some(b)) => Some(b.saturating_since(a)),
+            _ => None,
+        }
+    }
 }
 
 /// Everything measured during a run.
@@ -983,6 +1305,9 @@ pub struct RunResult {
     pub spe_pids: BTreeMap<String, ProcessId>,
     /// Store process ids, by host.
     pub store_pids: BTreeMap<String, ProcessId>,
+    /// The in-memory checkpoint snapshots taken during the run, by job name
+    /// (empty for durable backends, whose snapshots live in the store).
+    pub checkpoint_snapshots: SnapshotStoreHandle,
     /// The measurements.
     pub report: RunReport,
 }

@@ -32,8 +32,10 @@ pub fn ascii_chart(
     const GLYPHS: &[char] = &['*', 'o', '+', 'x', '#', '@', '%', '&'];
     let mut out = String::new();
     let _ = writeln!(out, "== {title} ==");
-    let all: Vec<(f64, f64)> =
-        series.iter().flat_map(|(_, pts)| pts.iter().copied()).collect();
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|(_, pts)| pts.iter().copied())
+        .collect();
     if all.is_empty() {
         let _ = writeln!(out, "(no data)");
         return out;
@@ -69,7 +71,13 @@ pub fn ascii_chart(
         let _ = writeln!(out, "{y_val:>10.2} |{line}");
     }
     let _ = writeln!(out, "{:>10} +{}", "", "-".repeat(width));
-    let _ = writeln!(out, "{:>12}{x_min:<12.2}{: >pad$}{x_max:.2}  ({x_label})", "", "", pad = width.saturating_sub(24));
+    let _ = writeln!(
+        out,
+        "{:>12}{x_min:<12.2}{: >pad$}{x_max:.2}  ({x_label})",
+        "",
+        "",
+        pad = width.saturating_sub(24)
+    );
     for (si, (name, _)) in series.iter().enumerate() {
         let _ = writeln!(out, "    {} {name}", GLYPHS[si % GLYPHS.len()]);
     }
@@ -82,7 +90,10 @@ pub fn ascii_chart(
 pub fn ascii_matrix(title: &str, rows: &[(String, &[bool])], width: usize) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "== {title} ==");
-    let _ = writeln!(out, "('.' delivered, '#' lost; message order left to right)");
+    let _ = writeln!(
+        out,
+        "('.' delivered, '#' lost; message order left to right)"
+    );
     for (label, cells) in rows {
         if cells.is_empty() {
             let _ = writeln!(out, "{label:>12} | (no messages)");
@@ -104,7 +115,10 @@ pub fn ascii_matrix(title: &str, rows: &[(String, &[bool])], width: usize) -> St
 /// Serializes series to CSV with an `x` column and one column per series
 /// (empty cell when a series has no point at that x).
 pub fn csv_series(header_x: &str, series: &[(&str, &[(f64, f64)])]) -> String {
-    let mut xs: Vec<f64> = series.iter().flat_map(|(_, pts)| pts.iter().map(|(x, _)| *x)).collect();
+    let mut xs: Vec<f64> = series
+        .iter()
+        .flat_map(|(_, pts)| pts.iter().map(|(x, _)| *x))
+        .collect();
     xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN x"));
     xs.dedup();
     let mut out = String::new();
@@ -146,7 +160,11 @@ pub fn ascii_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> Strin
     };
     let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
     let _ = writeln!(out, "{}", fmt_row(&header_cells));
-    let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+    let _ = writeln!(
+        out,
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1))
+    );
     for row in rows {
         let _ = writeln!(out, "{}", fmt_row(row));
     }
@@ -208,7 +226,10 @@ mod tests {
         let out = ascii_table(
             "apps",
             &["Application", "LoC"],
-            &[vec!["word count".into(), "167".into()], vec!["fraud".into(), "185".into()]],
+            &[
+                vec!["word count".into(), "167".into()],
+                vec!["fraud".into(), "185".into()],
+            ],
         );
         assert!(out.contains("Application"));
         assert!(out.contains("word count"));

@@ -64,7 +64,9 @@ const NEGATIVE: &[(&str, f64, f64)] = &[
     ("problem", -0.4, 0.3),
 ];
 
-const NEGATIONS: &[&str] = &["not", "no", "never", "neither", "nor", "cannot", "dont", "doesnt", "isnt", "wasnt"];
+const NEGATIONS: &[&str] = &[
+    "not", "no", "never", "neither", "nor", "cannot", "dont", "doesnt", "isnt", "wasnt",
+];
 
 const INTENSIFIERS: &[(&str, f64)] = &[
     ("very", 1.3),
@@ -110,7 +112,10 @@ impl SentimentLexicon {
             entries.insert(*w, (*p, *s));
         }
         let intensifiers = INTENSIFIERS.iter().copied().collect();
-        SentimentLexicon { entries, intensifiers }
+        SentimentLexicon {
+            entries,
+            intensifiers,
+        }
     }
 
     /// Lowercase alphanumeric tokenization.
@@ -151,7 +156,10 @@ impl SentimentLexicon {
             hits += 1;
         }
         if hits == 0 {
-            return Sentiment { polarity: 0.0, subjectivity: 0.0 };
+            return Sentiment {
+                polarity: 0.0,
+                subjectivity: 0.0,
+            };
         }
         Sentiment {
             polarity: (polarity_sum / hits as f64).clamp(-1.0, 1.0),

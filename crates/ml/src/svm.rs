@@ -8,10 +8,8 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
-
 /// A binary label.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Label {
     /// The positive class (e.g. fraudulent).
     Positive,
@@ -39,7 +37,7 @@ impl Label {
 }
 
 /// Training hyper-parameters.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct SvmParams {
     /// L2 regularization strength λ.
     pub lambda: f64,
@@ -51,7 +49,11 @@ pub struct SvmParams {
 
 impl Default for SvmParams {
     fn default() -> Self {
-        SvmParams { lambda: 1e-3, steps: 20_000, seed: 7 }
+        SvmParams {
+            lambda: 1e-3,
+            steps: 20_000,
+            seed: 7,
+        }
     }
 }
 
@@ -77,7 +79,7 @@ impl Default for SvmParams {
 /// assert_eq!(svm.predict(&[0.5, 2.5]), Label::Positive);
 /// assert_eq!(svm.predict(&[0.5, -1.5]), Label::Negative);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LinearSvm {
     weights: Vec<f64>,
     bias: f64,
@@ -195,7 +197,11 @@ mod tests {
     fn separable_data_high_accuracy() {
         let data = clusters(200, 1.5, 3);
         let svm = LinearSvm::train(&data, SvmParams::default());
-        assert!(svm.accuracy(&data) > 0.98, "accuracy {}", svm.accuracy(&data));
+        assert!(
+            svm.accuracy(&data) > 0.98,
+            "accuracy {}",
+            svm.accuracy(&data)
+        );
     }
 
     #[test]
@@ -218,7 +224,10 @@ mod tests {
     #[test]
     fn weight_norm_respects_pegasos_ball() {
         let data = clusters(100, 1.0, 11);
-        let params = SvmParams { lambda: 0.01, ..SvmParams::default() };
+        let params = SvmParams {
+            lambda: 0.01,
+            ..SvmParams::default()
+        };
         let svm = LinearSvm::train(&data, params);
         let norm: f64 = svm.weights().iter().map(|w| w * w).sum::<f64>().sqrt();
         assert!(norm <= 1.0 / params.lambda.sqrt() + 1e-9);

@@ -34,6 +34,26 @@ pub enum FaultAction {
     SetLatency(String, String, SimDuration),
     /// Recompute routes (model a control plane reacting to failures).
     RecomputeRoutes,
+    /// Kill a named application process (an SPE worker by job name): its
+    /// in-memory state, timers, and in-flight messages are lost. Applied by
+    /// the scenario orchestrator, which owns the process table — the
+    /// network-level [`FaultInjector`] records it without touching links.
+    CrashProcess(String),
+    /// Respawn a previously crashed process fresh; with checkpointing
+    /// enabled it restores the latest snapshot and resumes from committed
+    /// offsets.
+    RestartProcess(String),
+}
+
+impl FaultAction {
+    /// True for actions that target an application process rather than the
+    /// network; these are applied by the scenario orchestrator.
+    pub fn is_process_action(&self) -> bool {
+        matches!(
+            self,
+            FaultAction::CrashProcess(_) | FaultAction::RestartProcess(_)
+        )
+    }
 }
 
 impl fmt::Display for FaultAction {
@@ -48,6 +68,8 @@ impl fmt::Display for FaultAction {
             FaultAction::SetLoss(a, b, p) => write!(f, "link {a}<->{b} loss={p}%"),
             FaultAction::SetLatency(a, b, d) => write!(f, "link {a}<->{b} lat={d}"),
             FaultAction::RecomputeRoutes => write!(f, "recompute routes"),
+            FaultAction::CrashProcess(p) => write!(f, "crash process {p}"),
+            FaultAction::RestartProcess(p) => write!(f, "restart process {p}"),
         }
     }
 }
@@ -77,9 +99,12 @@ impl FaultPlan {
         Self::default()
     }
 
-    /// Schedules `action` at absolute time `at`.
+    /// Schedules `action` at absolute time `at`. Events are kept sorted by
+    /// time regardless of insertion order; same-instant events keep their
+    /// insertion order, so `at(t, down).at(t, up)` still means down-then-up.
     pub fn at(mut self, at: SimTime, action: FaultAction) -> Self {
-        self.events.push((at, action));
+        let idx = self.events.partition_point(|(t, _)| *t <= at);
+        self.events.insert(idx, (at, action));
         self
     }
 
@@ -109,6 +134,18 @@ impl FaultPlan {
         self
     }
 
+    /// Schedules a process crash at `at`, restarted `down_for` later — the
+    /// worker crash/recover scenario in one call.
+    pub fn crash_restart(self, process: &str, at: SimTime, down_for: SimDuration) -> Self {
+        self.at(at, FaultAction::CrashProcess(process.into()))
+            .at(at + down_for, FaultAction::RestartProcess(process.into()))
+    }
+
+    /// Schedules a process crash with no restart.
+    pub fn crash_process(self, process: &str, at: SimTime) -> Self {
+        self.at(at, FaultAction::CrashProcess(process.into()))
+    }
+
     /// Number of scheduled actions.
     pub fn len(&self) -> usize {
         self.events.len()
@@ -119,9 +156,22 @@ impl FaultPlan {
         self.events.is_empty()
     }
 
-    /// The scheduled events.
+    /// The scheduled events, in time order (ties keep insertion order).
     pub fn events(&self) -> &[(SimTime, FaultAction)] {
         &self.events
+    }
+
+    /// The process-level events (crash/restart), in time order. These are
+    /// applied by the scenario orchestrator rather than the network
+    /// injector.
+    pub fn process_events(&self) -> impl Iterator<Item = &(SimTime, FaultAction)> {
+        self.events.iter().filter(|(_, a)| a.is_process_action())
+    }
+
+    /// True when the plan contains network-level events that need a
+    /// [`FaultInjector`].
+    pub fn has_network_events(&self) -> bool {
+        self.events.iter().any(|(_, a)| !a.is_process_action())
     }
 }
 
@@ -139,7 +189,11 @@ pub struct FaultInjector {
 impl FaultInjector {
     /// Creates an injector over the shared network for `plan`.
     pub fn new(net: NetHandle, plan: FaultPlan) -> Self {
-        FaultInjector { net, plan, applied: Vec::new() }
+        FaultInjector {
+            net,
+            plan,
+            applied: Vec::new(),
+        }
     }
 
     /// Actions applied so far, with their application times.
@@ -164,7 +218,9 @@ impl FaultInjector {
         let action = self.plan.events[idx].1.clone();
         let mut net = self.net.borrow_mut();
         let lookup = |net: &crate::network::Network, n: &str| -> NodeId {
-            net.topology().lookup(n).unwrap_or_else(|| panic!("fault references unknown node `{n}`"))
+            net.topology()
+                .lookup(n)
+                .unwrap_or_else(|| panic!("fault references unknown node `{n}`"))
         };
         match &action {
             FaultAction::LinkDown(a, b) => {
@@ -204,6 +260,10 @@ impl FaultInjector {
                 net.set_link_latency(l, *d);
             }
             FaultAction::RecomputeRoutes => net.recompute_routes(),
+            // Process-level actions are the scenario orchestrator's job (it
+            // owns the simulator's process table); the network injector just
+            // records them for the applied-actions log.
+            FaultAction::CrashProcess(_) | FaultAction::RestartProcess(_) => {}
         }
         drop(net);
         self.applied.push((now, action));
@@ -233,7 +293,7 @@ impl Process for FaultInjector {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::network::{Network, NetTransport};
+    use crate::network::{NetTransport, Network};
     use crate::topology::{LinkSpec, Topology};
     use s2g_sim::Sim;
 
@@ -245,10 +305,74 @@ mod tests {
     fn plan_builders() {
         let plan = FaultPlan::new()
             .transient_disconnect("h1", SimTime::from_secs(10), SimDuration::from_secs(5))
-            .flapping_link("h2", "s1", SimTime::from_secs(20), SimDuration::from_secs(1), SimDuration::from_secs(4), 2);
+            .flapping_link(
+                "h2",
+                "s1",
+                SimTime::from_secs(20),
+                SimDuration::from_secs(1),
+                SimDuration::from_secs(4),
+                2,
+            );
         assert_eq!(plan.len(), 6);
         assert_eq!(plan.events()[0].0, SimTime::from_secs(10));
         assert_eq!(plan.events()[1].0, SimTime::from_secs(15));
+    }
+
+    #[test]
+    fn events_sorted_by_time_across_interleaved_builders() {
+        // Insert out of order on purpose: a late `at()`, then a flapping
+        // link whose windows straddle it, then an early `at()`.
+        let plan = FaultPlan::new()
+            .at(SimTime::from_secs(30), FaultAction::Disconnect("h1".into()))
+            .flapping_link(
+                "h2",
+                "s1",
+                SimTime::from_secs(10),
+                SimDuration::from_secs(5),
+                SimDuration::from_secs(20),
+                2,
+            )
+            .at(SimTime::from_secs(1), FaultAction::RecomputeRoutes);
+        let times: Vec<u64> = plan.events().iter().map(|(t, _)| t.as_secs()).collect();
+        assert_eq!(times, vec![1, 10, 15, 30, 30, 35]);
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(times, sorted, "events() must be time-ordered");
+        // Same-instant events keep insertion order: the Disconnect at t=30
+        // was inserted before the flap's second LinkDown at t=30.
+        assert!(matches!(plan.events()[3].1, FaultAction::Disconnect(_)));
+        assert!(matches!(plan.events()[4].1, FaultAction::LinkDown(_, _)));
+    }
+
+    #[test]
+    fn process_events_are_split_from_network_events() {
+        let plan = FaultPlan::new()
+            .crash_restart("job1", SimTime::from_secs(10), SimDuration::from_secs(5))
+            .at(SimTime::from_secs(2), FaultAction::Disconnect("h1".into()));
+        assert_eq!(plan.process_events().count(), 2);
+        assert!(plan.has_network_events());
+        let only_process = FaultPlan::new().crash_process("job1", SimTime::from_secs(1));
+        assert!(!only_process.has_network_events());
+        assert!(only_process.events()[0].1.is_process_action());
+    }
+
+    #[test]
+    fn injector_records_process_actions_without_touching_links() {
+        let net = star3();
+        let plan = FaultPlan::new().crash_restart(
+            "job1",
+            SimTime::from_secs(1),
+            SimDuration::from_secs(1),
+        );
+        let mut sim = Sim::new(0);
+        let inj = sim.spawn(Box::new(FaultInjector::new(net.clone(), plan)));
+        sim.run_until(SimTime::from_secs(3));
+        let inj = sim.process_ref::<FaultInjector>(inj).unwrap();
+        assert_eq!(inj.applied().len(), 2);
+        let n = net.borrow();
+        for (l, _) in n.topology().links() {
+            assert!(n.link_up(l), "process faults must not touch links");
+        }
     }
 
     #[test]
@@ -284,7 +408,10 @@ mod tests {
     fn injector_sets_loss_and_latency() {
         let net = star3();
         let plan = FaultPlan::new()
-            .at(SimTime::from_secs(1), FaultAction::SetLoss("h1".into(), "s1".into(), 25.0))
+            .at(
+                SimTime::from_secs(1),
+                FaultAction::SetLoss("h1".into(), "s1".into(), 25.0),
+            )
             .at(
                 SimTime::from_secs(1),
                 FaultAction::SetLatency("h2".into(), "s1".into(), SimDuration::from_millis(99)),

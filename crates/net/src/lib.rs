@@ -39,4 +39,6 @@ pub use network::{
     DropCause, Hop, NetHandle, NetTransport, Network, NetworkConfig, PortCounters, RoutingAlgo,
 };
 pub use stats::{TxSample, TxSampler, TxSeries};
-pub use topology::{Link, LinkId, LinkSpec, Node, NodeId, NodeKind, PortNo, Topology, TopologyError};
+pub use topology::{
+    Link, LinkId, LinkSpec, Node, NodeId, NodeKind, PortNo, Topology, TopologyError,
+};

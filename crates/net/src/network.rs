@@ -140,7 +140,11 @@ impl Network {
     pub fn with_config(topo: Topology, cfg: NetworkConfig) -> Self {
         let n = topo.node_count();
         let links = vec![
-            LinkRuntime { up: true, next_free_ab: SimTime::ZERO, next_free_ba: SimTime::ZERO };
+            LinkRuntime {
+                up: true,
+                next_free_ab: SimTime::ZERO,
+                next_free_ba: SimTime::ZERO
+            };
             topo.link_count()
         ];
         let mut net = Network {
@@ -226,8 +230,22 @@ impl Network {
                 continue;
             }
             let lat = link.spec.latency.as_nanos();
-            adj[link.a.index()].push((link.b, Hop { link: lid, a_to_b: true }, lat));
-            adj[link.b.index()].push((link.a, Hop { link: lid, a_to_b: false }, lat));
+            adj[link.a.index()].push((
+                link.b,
+                Hop {
+                    link: lid,
+                    a_to_b: true,
+                },
+                lat,
+            ));
+            adj[link.b.index()].push((
+                link.a,
+                Hop {
+                    link: lid,
+                    a_to_b: false,
+                },
+                lat,
+            ));
         }
         for _ in 0..n {
             // Pick unvisited node with least cost (n is small; O(n^2) fine).
@@ -265,6 +283,7 @@ impl Network {
         }
         // Reconstruct paths.
         let mut out = Vec::with_capacity(n);
+        #[allow(clippy::needless_range_loop)]
         for dst in 0..n {
             if dst == src.index() {
                 out.push(Some(Vec::new()));
@@ -339,13 +358,19 @@ impl Network {
     ///
     /// Panics if `pct` is outside `0.0..=100.0`.
     pub fn set_link_loss(&mut self, link: LinkId, pct: f64) {
-        assert!((0.0..=100.0).contains(&pct), "loss must be in 0..=100, got {pct}");
+        assert!(
+            (0.0..=100.0).contains(&pct),
+            "loss must be in 0..=100, got {pct}"
+        );
         self.topo.link_mut(link).spec.loss_pct = pct;
     }
 
     /// Port counters for `(node, port)`; zeros if nothing has flowed.
     pub fn port_counters(&self, node: NodeId, port: PortNo) -> PortCounters {
-        self.counters.get(&(node, port)).copied().unwrap_or_default()
+        self.counters
+            .get(&(node, port))
+            .copied()
+            .unwrap_or_default()
     }
 
     /// Total bytes transmitted by a node across all its ports.
@@ -422,13 +447,17 @@ impl Network {
         for hop in &path {
             let l = self.topo.link(hop.link);
             let ser = match l.spec.bandwidth_bps {
-                Some(bw) => {
-                    SimDuration::from_nanos(((bytes as u128 * 8 * 1_000_000_000) / bw as u128) as u64)
-                }
+                Some(bw) => SimDuration::from_nanos(
+                    ((bytes as u128 * 8 * 1_000_000_000) / bw as u128) as u64,
+                ),
                 None => SimDuration::ZERO,
             };
             let rt = &mut self.links[hop.link.index()];
-            let next_free = if hop.a_to_b { &mut rt.next_free_ab } else { &mut rt.next_free_ba };
+            let next_free = if hop.a_to_b {
+                &mut rt.next_free_ab
+            } else {
+                &mut rt.next_free_ba
+            };
             let depart = (*next_free).max(cursor);
             *next_free = depart + ser;
             cursor = depart + ser + l.spec.latency;
@@ -520,7 +549,8 @@ mod tests {
         match net.route_packet(SimTime::ZERO, &mut rng, p1, p2, 100) {
             Delivery::After(d) => {
                 // 2 links × 10ms + 1 switch hop forwarding delay.
-                let expect = SimDuration::from_millis(20) + NetworkConfig::default().switch_forward_delay;
+                let expect =
+                    SimDuration::from_millis(20) + NetworkConfig::default().switch_forward_delay;
                 assert_eq!(d, expect);
             }
             Delivery::Drop => panic!("should deliver"),
@@ -546,7 +576,9 @@ mod tests {
     fn bandwidth_serializes_back_to_back_packets() {
         // 1 Mbps link: a 125-byte packet takes exactly 1 ms to serialize.
         let (mut net, p1, p2) = two_host_net(
-            LinkSpec::new().latency(SimDuration::ZERO).bandwidth_mbps(1.0),
+            LinkSpec::new()
+                .latency(SimDuration::ZERO)
+                .bandwidth_mbps(1.0),
         );
         let mut rng = StdRng::seed_from_u64(0);
         let d1 = match net.route_packet(SimTime::ZERO, &mut rng, p1, p2, 125) {
@@ -567,7 +599,10 @@ mod tests {
         let (mut net, p1, p2) = two_host_net(LinkSpec::new().loss_pct(100.0));
         let mut rng = StdRng::seed_from_u64(0);
         for _ in 0..10 {
-            assert_eq!(net.route_packet(SimTime::ZERO, &mut rng, p1, p2, 10), Delivery::Drop);
+            assert_eq!(
+                net.route_packet(SimTime::ZERO, &mut rng, p1, p2, 10),
+                Delivery::Drop
+            );
         }
         assert_eq!(net.drops(DropCause::Loss), 10);
     }
@@ -593,7 +628,10 @@ mod tests {
         let (mut net, p1, p2) = two_host_net(LinkSpec::new());
         let mut rng = StdRng::seed_from_u64(0);
         net.set_link_up(LinkId(0), false);
-        assert_eq!(net.route_packet(SimTime::ZERO, &mut rng, p1, p2, 10), Delivery::Drop);
+        assert_eq!(
+            net.route_packet(SimTime::ZERO, &mut rng, p1, p2, 10),
+            Delivery::Drop
+        );
         assert_eq!(net.drops(DropCause::LinkDown), 1);
         net.set_link_up(LinkId(0), true);
         assert!(matches!(
@@ -608,7 +646,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let h2 = net.topology().lookup("h2").unwrap();
         net.set_node_up(h2, false);
-        assert_eq!(net.route_packet(SimTime::ZERO, &mut rng, p1, p2, 10), Delivery::Drop);
+        assert_eq!(
+            net.route_packet(SimTime::ZERO, &mut rng, p1, p2, 10),
+            Delivery::Drop
+        );
         assert_eq!(net.drops(DropCause::NodeDown), 1);
     }
 
@@ -618,7 +659,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let h1 = net.topology().lookup("h1").unwrap();
         net.disconnect_host(h1);
-        assert_eq!(net.route_packet(SimTime::ZERO, &mut rng, p1, p2, 10), Delivery::Drop);
+        assert_eq!(
+            net.route_packet(SimTime::ZERO, &mut rng, p1, p2, 10),
+            Delivery::Drop
+        );
         net.reconnect_host(h1);
         assert!(matches!(
             net.route_packet(SimTime::ZERO, &mut rng, p1, p2, 10),
@@ -630,7 +674,8 @@ mod tests {
     fn counters_track_both_directions() {
         let (mut net, p1, p2) = two_host_net(LinkSpec::new());
         let mut rng = StdRng::seed_from_u64(0);
-        net.route_packet(SimTime::ZERO, &mut rng, p1, p2, 500).unwrap_delivery();
+        net.route_packet(SimTime::ZERO, &mut rng, p1, p2, 500)
+            .unwrap_delivery();
         let h1 = net.topology().lookup("h1").unwrap();
         let s1 = net.topology().lookup("s1").unwrap();
         let h2 = net.topology().lookup("h2").unwrap();
@@ -664,21 +709,30 @@ mod tests {
         topo.add_host("h1").unwrap();
         topo.add_host("h2").unwrap();
         topo.add_switch("s1").unwrap();
-        topo.add_link("h1", "s1", LinkSpec::new().latency_ms(1)).unwrap();
-        topo.add_link("s1", "h2", LinkSpec::new().latency_ms(1)).unwrap();
-        topo.add_link("h1", "h2", LinkSpec::new().latency_ms(10)).unwrap();
+        topo.add_link("h1", "s1", LinkSpec::new().latency_ms(1))
+            .unwrap();
+        topo.add_link("s1", "h2", LinkSpec::new().latency_ms(1))
+            .unwrap();
+        topo.add_link("h1", "h2", LinkSpec::new().latency_ms(10))
+            .unwrap();
         let h1 = topo.lookup("h1").unwrap();
         let h2 = topo.lookup("h2").unwrap();
 
         let lat_net = Network::with_config(
             topo.clone(),
-            NetworkConfig { routing: RoutingAlgo::ShortestLatency, ..NetworkConfig::default() },
+            NetworkConfig {
+                routing: RoutingAlgo::ShortestLatency,
+                ..NetworkConfig::default()
+            },
         );
         assert_eq!(lat_net.route_between(h1, h2).unwrap().len(), 2);
 
         let hop_net = Network::with_config(
             topo,
-            NetworkConfig { routing: RoutingAlgo::MinHop, ..NetworkConfig::default() },
+            NetworkConfig {
+                routing: RoutingAlgo::MinHop,
+                ..NetworkConfig::default()
+            },
         );
         assert_eq!(hop_net.route_between(h1, h2).unwrap().len(), 1);
     }
@@ -690,10 +744,15 @@ mod tests {
         topo.add_host("h2").unwrap();
         topo.add_switch("s1").unwrap();
         topo.add_switch("s2").unwrap();
-        let fast = topo.add_link("h1", "s1", LinkSpec::new().latency_ms(1)).unwrap();
-        topo.add_link("s1", "h2", LinkSpec::new().latency_ms(1)).unwrap();
-        topo.add_link("h1", "s2", LinkSpec::new().latency_ms(5)).unwrap();
-        topo.add_link("s2", "h2", LinkSpec::new().latency_ms(5)).unwrap();
+        let fast = topo
+            .add_link("h1", "s1", LinkSpec::new().latency_ms(1))
+            .unwrap();
+        topo.add_link("s1", "h2", LinkSpec::new().latency_ms(1))
+            .unwrap();
+        topo.add_link("h1", "s2", LinkSpec::new().latency_ms(5))
+            .unwrap();
+        topo.add_link("s2", "h2", LinkSpec::new().latency_ms(5))
+            .unwrap();
         let mut net = Network::new(topo);
         let h1 = net.topology().lookup("h1").unwrap();
         let h2 = net.topology().lookup("h2").unwrap();

@@ -79,10 +79,20 @@ impl TxSampler {
         };
         let series = watched
             .iter()
-            .map(|(_, name)| TxSeries { node: name.clone(), samples: Vec::new() })
+            .map(|(_, name)| TxSeries {
+                node: name.clone(),
+                samples: Vec::new(),
+            })
             .collect();
         let last = vec![(0, 0); watched.len()];
-        TxSampler { net, interval, watched, last, series, stop_at }
+        TxSampler {
+            net,
+            interval,
+            watched,
+            last,
+            series,
+            stop_at,
+        }
     }
 
     /// The collected series, one per watched node, in registration order.
@@ -135,7 +145,7 @@ impl Process for TxSampler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::network::{Network, NetTransport};
+    use crate::network::{NetTransport, Network};
     use crate::topology::{LinkSpec, Topology};
     use s2g_sim::{downcast, Sim};
 
@@ -213,7 +223,11 @@ mod tests {
         sim.run_until(SimTime::from_secs(10));
         let s = sim.process_ref::<TxSampler>(sampler).unwrap();
         let series = s.series_for("h1").unwrap();
-        assert!(series.samples.len() >= 19, "got {} samples", series.samples.len());
+        assert!(
+            series.samples.len() >= 19,
+            "got {} samples",
+            series.samples.len()
+        );
         // Steady-state samples should be ~1 Mbps.
         let mid = &series.samples[5];
         assert!((mid.tx_mbps - 1.0).abs() < 0.1, "tx {} Mbps", mid.tx_mbps);
@@ -227,6 +241,11 @@ mod tests {
     #[should_panic(expected = "unknown node")]
     fn unknown_node_panics() {
         let net = Network::new(Topology::star(1, LinkSpec::new()).unwrap()).into_handle();
-        let _ = TxSampler::new(net, &["zz"], SimDuration::from_secs(1), SimTime::from_secs(1));
+        let _ = TxSampler::new(
+            net,
+            &["zz"],
+            SimDuration::from_secs(1),
+            SimTime::from_secs(1),
+        );
     }
 }

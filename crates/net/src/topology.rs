@@ -139,7 +139,10 @@ impl LinkSpec {
     ///
     /// Panics if `mbps` is not strictly positive.
     pub fn bandwidth_mbps(mut self, mbps: f64) -> Self {
-        assert!(mbps > 0.0 && mbps.is_finite(), "bandwidth must be positive, got {mbps}");
+        assert!(
+            mbps > 0.0 && mbps.is_finite(),
+            "bandwidth must be positive, got {mbps}"
+        );
         self.bandwidth_bps = Some((mbps * 1e6) as u64);
         self
     }
@@ -150,7 +153,10 @@ impl LinkSpec {
     ///
     /// Panics if `pct` is outside `0.0..=100.0`.
     pub fn loss_pct(mut self, pct: f64) -> Self {
-        assert!((0.0..=100.0).contains(&pct), "loss must be in 0..=100, got {pct}");
+        assert!(
+            (0.0..=100.0).contains(&pct),
+            "loss must be in 0..=100, got {pct}"
+        );
         self.loss_pct = pct;
         self
     }
@@ -260,7 +266,11 @@ impl Topology {
         }
         let id = NodeId(self.nodes.len() as u32);
         self.by_name.insert(name.clone(), id);
-        self.nodes.push(Node { name, kind, next_port: 1 });
+        self.nodes.push(Node {
+            name,
+            kind,
+            next_port: 1,
+        });
         Ok(id)
     }
 
@@ -275,15 +285,25 @@ impl Topology {
         target: &str,
         spec: LinkSpec,
     ) -> Result<LinkId, TopologyError> {
-        let a = self.lookup(source).ok_or_else(|| TopologyError::UnknownNode(source.into()))?;
-        let b = self.lookup(target).ok_or_else(|| TopologyError::UnknownNode(target.into()))?;
+        let a = self
+            .lookup(source)
+            .ok_or_else(|| TopologyError::UnknownNode(source.into()))?;
+        let b = self
+            .lookup(target)
+            .ok_or_else(|| TopologyError::UnknownNode(target.into()))?;
         if a == b {
             return Err(TopologyError::SelfLoop(source.into()));
         }
         let port_a = spec.src_port.unwrap_or_else(|| self.alloc_port(a));
         let port_b = spec.dst_port.unwrap_or_else(|| self.alloc_port(b));
         let id = LinkId(self.links.len() as u32);
-        self.links.push(Link { a, b, spec, port_a, port_b });
+        self.links.push(Link {
+            a,
+            b,
+            spec,
+            port_a,
+            port_b,
+        });
         Ok(id)
     }
 
@@ -316,12 +336,18 @@ impl Topology {
 
     /// Iterates over all nodes with their ids.
     pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &Node)> {
-        self.nodes.iter().enumerate().map(|(i, n)| (NodeId(i as u32), n))
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId(i as u32), n))
     }
 
     /// Iterates over all links with their ids.
     pub fn links(&self) -> impl Iterator<Item = (LinkId, &Link)> {
-        self.links.iter().enumerate().map(|(i, l)| (LinkId(i as u32), l))
+        self.links
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (LinkId(i as u32), l))
     }
 
     /// Number of nodes.
@@ -398,7 +424,10 @@ mod tests {
     fn duplicate_name_rejected() {
         let mut topo = Topology::new();
         topo.add_host("h1").unwrap();
-        assert_eq!(topo.add_host("h1"), Err(TopologyError::DuplicateNode("h1".into())));
+        assert_eq!(
+            topo.add_host("h1"),
+            Err(TopologyError::DuplicateNode("h1".into()))
+        );
     }
 
     #[test]
@@ -466,7 +495,10 @@ mod tests {
 
     #[test]
     fn linkspec_builders() {
-        let s = LinkSpec::new().latency_ms(25).bandwidth_mbps(10.0).loss_pct(1.5);
+        let s = LinkSpec::new()
+            .latency_ms(25)
+            .bandwidth_mbps(10.0)
+            .loss_pct(1.5);
         assert_eq!(s.latency.as_millis(), 25);
         assert_eq!(s.bandwidth_bps, Some(10_000_000));
         assert!((s.loss_pct - 1.5).abs() < 1e-12);

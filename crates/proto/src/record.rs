@@ -53,7 +53,10 @@ pub struct TopicPartition {
 impl TopicPartition {
     /// Convenience constructor.
     pub fn new(topic: impl Into<String>, partition: u32) -> Self {
-        TopicPartition { topic: topic.into(), partition }
+        TopicPartition {
+            topic: topic.into(),
+            partition,
+        }
     }
 }
 
@@ -108,7 +111,13 @@ impl Record {
 
     /// Builds a keyless record.
     pub fn keyless(value: impl Into<Bytes>, timestamp: SimTime) -> Self {
-        Record { key: None, value: value.into(), timestamp, producer: ProducerId(0), producer_seq: 0 }
+        Record {
+            key: None,
+            value: value.into(),
+            timestamp,
+            producer: ProducerId(0),
+            producer_seq: 0,
+        }
     }
 
     /// Stamps producer identity and sequence (builder style).
@@ -168,7 +177,9 @@ impl RecordBatch {
 
 impl FromIterator<Record> for RecordBatch {
     fn from_iter<I: IntoIterator<Item = Record>>(iter: I) -> Self {
-        RecordBatch { records: iter.into_iter().collect() }
+        RecordBatch {
+            records: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -236,7 +247,10 @@ mod tests {
     fn batch_extend_and_iter() {
         let mut b = RecordBatch::new();
         assert!(b.is_empty());
-        b.extend([Record::keyless("a", SimTime::ZERO), Record::keyless("b", SimTime::ZERO)]);
+        b.extend([
+            Record::keyless("a", SimTime::ZERO),
+            Record::keyless("b", SimTime::ZERO),
+        ]);
         let values: Vec<String> = b.into_iter().map(|r| r.value_utf8()).collect();
         assert_eq!(values, vec!["a", "b"]);
     }

@@ -168,6 +168,41 @@ pub enum ClientRpc {
         /// Per-partition leadership info.
         partitions: Vec<PartitionMetadata>,
     },
+    /// Durably record a consumer group's positions on the broker, so a
+    /// recovering consumer resumes where the group left off instead of
+    /// resetting to the high watermark (Kafka's `OffsetCommit`).
+    OffsetCommit {
+        /// Correlation id.
+        corr: CorrelationId,
+        /// Consumer group name.
+        group: String,
+        /// Positions to record, one per partition.
+        offsets: Vec<(TopicPartition, Offset)>,
+    },
+    /// Acknowledgement of an offset commit.
+    OffsetCommitResponse {
+        /// Correlation id.
+        corr: CorrelationId,
+        /// Outcome.
+        error: ErrorCode,
+    },
+    /// Read a consumer group's committed positions (Kafka's `OffsetFetch`).
+    OffsetFetch {
+        /// Correlation id.
+        corr: CorrelationId,
+        /// Consumer group name.
+        group: String,
+        /// Partitions of interest.
+        tps: Vec<TopicPartition>,
+    },
+    /// Committed positions for the requested partitions; `None` when the
+    /// group has no commit recorded for a partition.
+    OffsetFetchResponse {
+        /// Correlation id.
+        corr: CorrelationId,
+        /// Per-partition committed position, aligned with the request.
+        offsets: Vec<(TopicPartition, Option<Offset>)>,
+    },
 }
 
 impl Message for ClientRpc {
@@ -177,10 +212,34 @@ impl Message for ClientRpc {
                 ClientRpc::ProduceRequest { tp, batch, .. } => tp.topic.len() + batch.encoded_len(),
                 ClientRpc::ProduceResponse { tp, .. } => tp.topic.len() + 16,
                 ClientRpc::FetchRequest { tp, .. } => tp.topic.len() + 20,
-                ClientRpc::FetchResponse { tp, batch, .. } => tp.topic.len() + 16 + batch.encoded_len(),
+                ClientRpc::FetchResponse { tp, batch, .. } => {
+                    tp.topic.len() + 16 + batch.encoded_len()
+                }
                 ClientRpc::MetadataRequest { .. } => 4,
                 ClientRpc::MetadataResponse { partitions, .. } => {
-                    partitions.iter().map(PartitionMetadata::encoded_len).sum::<usize>() + 8
+                    partitions
+                        .iter()
+                        .map(PartitionMetadata::encoded_len)
+                        .sum::<usize>()
+                        + 8
+                }
+                ClientRpc::OffsetCommit { group, offsets, .. } => {
+                    group.len()
+                        + offsets
+                            .iter()
+                            .map(|(tp, _)| tp.topic.len() + 12)
+                            .sum::<usize>()
+                }
+                ClientRpc::OffsetCommitResponse { .. } => 6,
+                ClientRpc::OffsetFetch { group, tps, .. } => {
+                    group.len() + tps.iter().map(|tp| tp.topic.len() + 4).sum::<usize>()
+                }
+                ClientRpc::OffsetFetchResponse { offsets, .. } => {
+                    offsets
+                        .iter()
+                        .map(|(tp, _)| tp.topic.len() + 13)
+                        .sum::<usize>()
+                        + 4
                 }
             }
     }
@@ -230,7 +289,9 @@ impl Message for ReplicaRpc {
         RPC_OVERHEAD
             + match self {
                 ReplicaRpc::Fetch { tp, .. } => tp.topic.len() + 24,
-                ReplicaRpc::FetchResponse { tp, batch, .. } => tp.topic.len() + 32 + batch.encoded_len(),
+                ReplicaRpc::FetchResponse { tp, batch, .. } => {
+                    tp.topic.len() + 32 + batch.encoded_len()
+                }
             }
     }
 }
@@ -336,12 +397,18 @@ impl Message for ControllerRpc {
             + match self {
                 ControllerRpc::Heartbeat { .. } => 8,
                 ControllerRpc::HeartbeatAck { .. } => 12,
-                ControllerRpc::AlterIsr { tp, new_isr, .. } => tp.topic.len() + 20 + 6 * new_isr.len(),
-                ControllerRpc::LeaderAndIsr { tp, isr, replicas, .. } => {
-                    tp.topic.len() + 20 + 6 * (isr.len() + replicas.len())
+                ControllerRpc::AlterIsr { tp, new_isr, .. } => {
+                    tp.topic.len() + 20 + 6 * new_isr.len()
                 }
+                ControllerRpc::LeaderAndIsr {
+                    tp, isr, replicas, ..
+                } => tp.topic.len() + 20 + 6 * (isr.len() + replicas.len()),
                 ControllerRpc::MetadataUpdate { records, .. } => {
-                    records.iter().map(MetadataRecord::encoded_len).sum::<usize>() + 12
+                    records
+                        .iter()
+                        .map(MetadataRecord::encoded_len)
+                        .sum::<usize>()
+                        + 12
                 }
             }
     }
@@ -405,7 +472,10 @@ impl Message for RaftRpc {
                 RaftRpc::RequestVote { .. } => 28,
                 RaftRpc::VoteResponse { .. } => 16,
                 RaftRpc::AppendEntries { entries, .. } => {
-                    32 + entries.iter().map(|(_, r)| 8 + r.encoded_len()).sum::<usize>()
+                    32 + entries
+                        .iter()
+                        .map(|(_, r)| 8 + r.encoded_len())
+                        .sum::<usize>()
                 }
                 RaftRpc::AppendResponse { .. } => 24,
             }
@@ -459,7 +529,10 @@ mod tests {
                 replicas: vec![BrokerId(1), BrokerId(2)],
             }],
         };
-        let none = ClientRpc::MetadataResponse { corr: CorrelationId(0), partitions: vec![] };
+        let none = ClientRpc::MetadataResponse {
+            corr: CorrelationId(0),
+            partitions: vec![],
+        };
         assert!(one.wire_size() > none.wire_size());
     }
 
@@ -478,10 +551,41 @@ mod tests {
             leader: BrokerId(0),
             prev_log_index: 0,
             prev_log_term: 0,
-            entries: vec![(1, MetadataRecord::BrokerFenced { broker: BrokerId(3) })],
+            entries: vec![(
+                1,
+                MetadataRecord::BrokerFenced {
+                    broker: BrokerId(3),
+                },
+            )],
             leader_commit: 0,
         };
         assert!(one.wire_size() > empty.wire_size());
+    }
+
+    #[test]
+    fn offset_rpc_sizes_scale_with_partitions() {
+        let one = ClientRpc::OffsetCommit {
+            corr: CorrelationId(0),
+            group: "g".into(),
+            offsets: vec![(TopicPartition::new("topic", 0), Offset(42))],
+        };
+        let none = ClientRpc::OffsetCommit {
+            corr: CorrelationId(0),
+            group: "g".into(),
+            offsets: vec![],
+        };
+        assert!(one.wire_size() > none.wire_size());
+        let fetch = ClientRpc::OffsetFetch {
+            corr: CorrelationId(0),
+            group: "g".into(),
+            tps: vec![TopicPartition::new("topic", 0)],
+        };
+        assert!(fetch.wire_size() > RPC_OVERHEAD);
+        let resp = ClientRpc::OffsetFetchResponse {
+            corr: CorrelationId(0),
+            offsets: vec![(TopicPartition::new("topic", 0), Some(Offset(7)))],
+        };
+        assert!(resp.wire_size() > RPC_OVERHEAD);
     }
 
     #[test]

@@ -62,7 +62,10 @@ impl HostCpu {
     /// Panics if `cores` is zero or `speed` is not strictly positive.
     pub fn new(name: impl Into<String>, cores: usize, speed: f64) -> Self {
         assert!(cores > 0, "a host needs at least one core");
-        assert!(speed > 0.0 && speed.is_finite(), "speed must be positive, got {speed}");
+        assert!(
+            speed > 0.0 && speed.is_finite(),
+            "speed must be positive, got {speed}"
+        );
         HostCpu {
             name: name.into(),
             cores: vec![SimTime::ZERO; cores],
@@ -99,7 +102,10 @@ impl HostCpu {
     ///
     /// Panics if `speed` is not strictly positive.
     pub fn set_speed(&mut self, speed: f64) {
-        assert!(speed > 0.0 && speed.is_finite(), "speed must be positive, got {speed}");
+        assert!(
+            speed > 0.0 && speed.is_finite(),
+            "speed must be positive, got {speed}"
+        );
         self.speed = speed;
     }
 
@@ -130,7 +136,12 @@ impl HostCpu {
 
     /// The earliest instant at which a new item could start executing.
     pub fn earliest_start(&self, now: SimTime) -> SimTime {
-        self.cores.iter().copied().min().unwrap_or(SimTime::ZERO).max(now)
+        self.cores
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(SimTime::ZERO)
+            .max(now)
     }
 
     /// Total busy core-time scheduled so far.
@@ -185,10 +196,16 @@ mod tests {
         let mut cpu = HostCpu::new("h", 4, 1.0);
         let t0 = SimTime::ZERO;
         for _ in 0..4 {
-            assert_eq!(cpu.execute(t0, SimDuration::from_millis(10)).as_millis(), 10);
+            assert_eq!(
+                cpu.execute(t0, SimDuration::from_millis(10)).as_millis(),
+                10
+            );
         }
         // Fifth job waits for a core.
-        assert_eq!(cpu.execute(t0, SimDuration::from_millis(10)).as_millis(), 20);
+        assert_eq!(
+            cpu.execute(t0, SimDuration::from_millis(10)).as_millis(),
+            20
+        );
     }
 
     #[test]

@@ -136,7 +136,11 @@ pub struct TraceEntry {
 
 impl fmt::Display for TraceEntry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{} {} {}] {}", self.at, self.pid, self.category, self.text)
+        write!(
+            f,
+            "[{} {} {}] {}",
+            self.at, self.pid, self.category, self.text
+        )
     }
 }
 

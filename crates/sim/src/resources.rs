@@ -46,7 +46,10 @@ pub struct MemLedger {
 impl MemLedger {
     /// Creates a ledger with a fixed baseline (OS, emulator, switch daemons).
     pub fn new(baseline_bytes: u64) -> Self {
-        MemLedger { baseline: baseline_bytes, slots: Vec::new() }
+        MemLedger {
+            baseline: baseline_bytes,
+            slots: Vec::new(),
+        }
     }
 
     /// Wraps the ledger in a shared handle.
@@ -57,7 +60,11 @@ impl MemLedger {
     /// Registers a component with a base resident footprint; returns its slot.
     pub fn register(&mut self, name: impl Into<String>, base_bytes: u64) -> MemSlot {
         let slot = MemSlot(self.slots.len());
-        self.slots.push(SlotState { name: name.into(), base: base_bytes, dynamic: 0 });
+        self.slots.push(SlotState {
+            name: name.into(),
+            base: base_bytes,
+            dynamic: 0,
+        });
         slot
     }
 
@@ -74,8 +81,7 @@ impl MemLedger {
 
     /// Total modeled resident bytes: baseline + all bases + all dynamics.
     pub fn total(&self) -> u64 {
-        self.baseline
-            + self.slots.iter().map(|s| s.base + s.dynamic).sum::<u64>()
+        self.baseline + self.slots.iter().map(|s| s.base + s.dynamic).sum::<u64>()
     }
 
     /// The fixed baseline.
@@ -90,7 +96,9 @@ impl MemLedger {
 
     /// Per-component `(name, base, dynamic)` view for reports.
     pub fn components(&self) -> impl Iterator<Item = (&str, u64, u64)> {
-        self.slots.iter().map(|s| (s.name.as_str(), s.base, s.dynamic))
+        self.slots
+            .iter()
+            .map(|s| (s.name.as_str(), s.base, s.dynamic))
     }
 }
 

@@ -54,7 +54,9 @@ pub struct InstantTransport {
 
 impl Default for InstantTransport {
     fn default() -> Self {
-        InstantTransport { delay: SimDuration::from_micros(10) }
+        InstantTransport {
+            delay: SimDuration::from_micros(10),
+        }
     }
 }
 
@@ -73,14 +75,41 @@ impl Transport for InstantTransport {
 
 enum EventKind {
     Start(ProcessId),
-    Deliver { from: ProcessId, to: ProcessId, msg: Box<dyn Message> },
-    Timer { pid: ProcessId, token: TimerToken, tag: u64 },
-    CpuDone { pid: ProcessId, tag: u64 },
+    Deliver {
+        from: ProcessId,
+        to: ProcessId,
+        msg: Box<dyn Message>,
+    },
+    Timer {
+        pid: ProcessId,
+        token: TimerToken,
+        tag: u64,
+    },
+    CpuDone {
+        pid: ProcessId,
+        tag: u64,
+    },
+}
+
+impl EventKind {
+    fn target(&self) -> ProcessId {
+        match *self {
+            EventKind::Start(pid) => pid,
+            EventKind::Deliver { to, .. } => to,
+            EventKind::Timer { pid, .. } => pid,
+            EventKind::CpuDone { pid, .. } => pid,
+        }
+    }
 }
 
 struct Entry {
     at: SimTime,
     seq: u64,
+    /// Incarnation of the target process when the event was scheduled; the
+    /// event is voided if the process was killed (and possibly respawned) in
+    /// the meantime — a crashed process never receives its old incarnation's
+    /// timers, CPU completions, or in-flight messages.
+    inc: u32,
     kind: EventKind,
 }
 
@@ -112,6 +141,13 @@ pub struct SimStats {
     pub messages_dropped: u64,
     /// Timers that fired (cancelled timers excluded).
     pub timers_fired: u64,
+    /// Events voided because their target process was killed after they
+    /// were scheduled.
+    pub events_voided: u64,
+    /// Processes killed via [`Sim::kill`].
+    pub processes_killed: u64,
+    /// Processes respawned via [`Sim::respawn`].
+    pub processes_respawned: u64,
     /// High-water mark of the event queue.
     pub max_queue_len: usize,
 }
@@ -127,6 +163,8 @@ pub struct SimCore {
     transport: Box<dyn Transport>,
     cancelled: HashSet<u64>,
     next_timer: u64,
+    /// Per-process incarnation counters, bumped on kill and respawn.
+    incarnations: Vec<u32>,
     trace_enabled: bool,
     trace: Vec<TraceEntry>,
     stats: SimStats,
@@ -137,8 +175,13 @@ impl SimCore {
     fn push(&mut self, at: SimTime, kind: EventKind) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(Entry { at, seq, kind }));
+        let inc = self.incarnation_of(kind.target());
+        self.queue.push(Reverse(Entry { at, seq, inc, kind }));
         self.stats.max_queue_len = self.stats.max_queue_len.max(self.queue.len());
+    }
+
+    fn incarnation_of(&self, pid: ProcessId) -> u32 {
+        self.incarnations.get(pid.index()).copied().unwrap_or(0)
     }
 }
 
@@ -177,7 +220,10 @@ impl<'a> Ctx<'a> {
     pub fn send_boxed(&mut self, to: ProcessId, msg: Box<dyn Message>) {
         let bytes = msg.wire_size();
         let from = self.self_id;
-        let outcome = self.core.transport.route(self.core.now, &mut self.core.rng, from, to, bytes);
+        let outcome = self
+            .core
+            .transport
+            .route(self.core.now, &mut self.core.rng, from, to, bytes);
         match outcome {
             Delivery::After(d) => {
                 let at = self.core.now + d;
@@ -200,10 +246,21 @@ impl<'a> Ctx<'a> {
     ///
     /// Panics if `at` is in the past.
     pub fn set_timer_at(&mut self, at: SimTime, tag: u64) -> TimerToken {
-        assert!(at >= self.core.now, "timer scheduled in the past: {at} < {}", self.core.now);
+        assert!(
+            at >= self.core.now,
+            "timer scheduled in the past: {at} < {}",
+            self.core.now
+        );
         let token = TimerToken(self.core.next_timer);
         self.core.next_timer += 1;
-        self.core.push(at, EventKind::Timer { pid: self.self_id, token, tag });
+        self.core.push(
+            at,
+            EventKind::Timer {
+                pid: self.self_id,
+                token,
+                tag,
+            },
+        );
         token
     }
 
@@ -221,7 +278,13 @@ impl<'a> Ctx<'a> {
             None => cost,
         };
         let at = self.core.now + done_after;
-        self.core.push(at, EventKind::CpuDone { pid: self.self_id, tag });
+        self.core.push(
+            at,
+            EventKind::CpuDone {
+                pid: self.self_id,
+                tag,
+            },
+        );
     }
 
     /// Appends a trace entry if tracing is enabled.
@@ -298,6 +361,7 @@ impl Sim {
                 transport: Box::new(InstantTransport::default()),
                 cancelled: HashSet::new(),
                 next_timer: 0,
+                incarnations: Vec::new(),
                 trace_enabled: false,
                 trace: Vec::new(),
                 stats: SimStats::default(),
@@ -332,21 +396,73 @@ impl Sim {
     pub fn spawn_at(&mut self, start: SimTime, proc: Box<dyn Process>) -> ProcessId {
         let pid = ProcessId(self.processes.len() as u32);
         self.processes.push(Some(ProcEntry { proc, cpu: None }));
+        self.core.incarnations.push(0);
         self.core.push(start, EventKind::Start(pid));
         pid
+    }
+
+    /// Kills a process: its slot is vacated and every event scheduled for the
+    /// old incarnation — pending timers, CPU completions, and in-flight
+    /// messages — is voided, exactly as an OS process crash drops its
+    /// runtime state and open connections. Returns the dead process for
+    /// post-mortem inspection, or `None` when the slot was already empty.
+    ///
+    /// The slot (and therefore the [`ProcessId`]) can be reused via
+    /// [`respawn`](Sim::respawn), so network placements keyed by pid stay
+    /// valid across a crash/restart cycle.
+    pub fn kill(&mut self, pid: ProcessId) -> Option<Box<dyn Process>> {
+        let entry = self.processes.get_mut(pid.index())?.take()?;
+        self.core.incarnations[pid.index()] += 1;
+        self.core.stats.processes_killed += 1;
+        Some(entry.proc)
+    }
+
+    /// Respawns a process into a previously [`kill`](Sim::kill)ed slot and
+    /// schedules its `on_start` at the current simulated time. The
+    /// incarnation is bumped again so messages addressed to the dead period
+    /// (sent between kill and respawn) are also voided.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is still occupied or was never allocated.
+    pub fn respawn(&mut self, pid: ProcessId, proc: Box<dyn Process>) {
+        let slot = self
+            .processes
+            .get_mut(pid.index())
+            .unwrap_or_else(|| panic!("respawn of unknown process {pid}"));
+        assert!(slot.is_none(), "respawn into occupied slot {pid}");
+        *slot = Some(ProcEntry { proc, cpu: None });
+        self.core.incarnations[pid.index()] += 1;
+        self.core.stats.processes_respawned += 1;
+        let now = self.core.now;
+        self.core.push(now, EventKind::Start(pid));
+    }
+
+    /// True while the process slot holds a live process.
+    pub fn is_alive(&self, pid: ProcessId) -> bool {
+        self.processes.get(pid.index()).is_some_and(Option::is_some)
     }
 
     /// Attaches a host CPU to a process; subsequent [`Ctx::exec`] calls
     /// contend on it.
     pub fn attach_cpu(&mut self, pid: ProcessId, cpu: CpuHandle) {
-        let entry = self.processes[pid.index()].as_mut().expect("process exists");
+        let entry = self.processes[pid.index()]
+            .as_mut()
+            .expect("process exists");
         entry.cpu = Some(cpu);
     }
 
     /// Injects a message from "outside the world" (e.g. the orchestrator) to
     /// be delivered to `to` at absolute time `at`. Bypasses the transport.
     pub fn inject_at<M: Message>(&mut self, at: SimTime, to: ProcessId, msg: M) {
-        self.core.push(at, EventKind::Deliver { from: to, to, msg: Box::new(msg) });
+        self.core.push(
+            at,
+            EventKind::Deliver {
+                from: to,
+                to,
+                msg: Box::new(msg),
+            },
+        );
     }
 
     /// Current simulated time.
@@ -411,6 +527,11 @@ impl Sim {
                     self.event_limit, self.core.now
                 );
             }
+            if entry.inc != self.core.incarnation_of(entry.kind.target()) {
+                // Scheduled for a dead incarnation of the target process.
+                self.core.stats.events_voided += 1;
+                continue;
+            }
             self.dispatch(entry.kind);
         }
         if self.core.now < limit && !self.core.stop_requested {
@@ -455,7 +576,11 @@ impl Sim {
             None => return,
         };
         {
-            let mut ctx = Ctx { core: &mut self.core, self_id: pid, cpu: entry.cpu.as_ref() };
+            let mut ctx = Ctx {
+                core: &mut self.core,
+                self_id: pid,
+                cpu: entry.cpu.as_ref(),
+            };
             f(entry.proc.as_mut(), &mut ctx);
         }
         self.processes[pid.index()] = Some(entry);
@@ -494,7 +619,11 @@ mod tests {
 
     impl Echo {
         fn new(bounce: bool) -> Self {
-            Echo { peer: None, received: Vec::new(), bounce }
+            Echo {
+                peer: None,
+                received: Vec::new(),
+                bounce,
+            }
         }
     }
 
@@ -524,7 +653,10 @@ mod tests {
         sim.run_to_completion();
         // a received the injected 5, bounced 4 to itself, etc.
         let echo_a = sim.process_ref::<Echo>(a).unwrap();
-        assert_eq!(echo_a.received.iter().map(|(_, v)| *v).collect::<Vec<_>>(), vec![5, 4, 3, 2, 1, 0]);
+        assert_eq!(
+            echo_a.received.iter().map(|(_, v)| *v).collect::<Vec<_>>(),
+            vec![5, 4, 3, 2, 1, 0]
+        );
         let echo_b = sim.process_ref::<Echo>(b).unwrap();
         assert!(echo_b.received.is_empty());
     }
@@ -567,7 +699,10 @@ mod tests {
     #[test]
     fn timers_fire_in_order() {
         let mut sim = Sim::new(0);
-        let p = sim.spawn(Box::new(TimerProc { fired: vec![], cancel_second: false }));
+        let p = sim.spawn(Box::new(TimerProc {
+            fired: vec![],
+            cancel_second: false,
+        }));
         sim.run_to_completion();
         let fired = &sim.process_ref::<TimerProc>(p).unwrap().fired;
         assert_eq!(fired.len(), 3);
@@ -579,10 +714,16 @@ mod tests {
     #[test]
     fn cancelled_timer_does_not_fire() {
         let mut sim = Sim::new(0);
-        let p = sim.spawn(Box::new(TimerProc { fired: vec![], cancel_second: true }));
+        let p = sim.spawn(Box::new(TimerProc {
+            fired: vec![],
+            cancel_second: true,
+        }));
         sim.run_to_completion();
         let fired = &sim.process_ref::<TimerProc>(p).unwrap().fired;
-        assert_eq!(fired.iter().map(|(_, t)| *t).collect::<Vec<_>>(), vec![1, 3]);
+        assert_eq!(
+            fired.iter().map(|(_, t)| *t).collect::<Vec<_>>(),
+            vec![1, 3]
+        );
         assert_eq!(sim.stats().timers_fired, 2);
     }
 
@@ -711,6 +852,69 @@ mod tests {
         sim.run_to_completion();
         assert_eq!(sim.trace().len(), 1);
         assert_eq!(sim.trace()[0].text, "hello");
+    }
+
+    #[test]
+    fn killed_process_receives_nothing_more() {
+        struct Ticker {
+            ticks: u32,
+        }
+        impl Process for Ticker {
+            fn name(&self) -> &str {
+                "ticker"
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_>, _: ProcessId, _: Box<dyn Message>) {}
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.set_timer(SimDuration::from_millis(10), 0);
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, _tag: u64) {
+                self.ticks += 1;
+                ctx.set_timer(SimDuration::from_millis(10), 0);
+            }
+        }
+        let mut sim = Sim::new(0);
+        let p = sim.spawn(Box::new(Ticker { ticks: 0 }));
+        sim.run_until(SimTime::from_millis(35));
+        let dead = sim.kill(p).expect("was alive");
+        assert!(!sim.is_alive(p));
+        let dead_ticks = (dead.as_ref() as &dyn Any)
+            .downcast_ref::<Ticker>()
+            .unwrap()
+            .ticks;
+        assert_eq!(dead_ticks, 3);
+        // The pending timer for the old incarnation is voided, not delivered.
+        sim.run_until(SimTime::from_millis(100));
+        assert!(sim.stats().events_voided >= 1);
+        assert_eq!(sim.stats().processes_killed, 1);
+    }
+
+    #[test]
+    fn respawn_reuses_pid_with_fresh_state() {
+        let mut sim = Sim::new(0);
+        let p = sim.spawn(Box::new(Echo::new(false)));
+        sim.inject_at(SimTime::from_millis(1), p, Note(1));
+        sim.run_until(SimTime::from_millis(5));
+        assert_eq!(sim.process_ref::<Echo>(p).unwrap().received.len(), 1);
+        // A message in flight across the crash must not reach the respawn.
+        sim.inject_at(SimTime::from_millis(20), p, Note(2));
+        sim.kill(p).expect("alive");
+        sim.run_until(SimTime::from_millis(10));
+        sim.respawn(p, Box::new(Echo::new(false)));
+        assert!(sim.is_alive(p));
+        sim.inject_at(SimTime::from_millis(30), p, Note(3));
+        sim.run_to_completion();
+        let echo = sim.process_ref::<Echo>(p).unwrap();
+        let values: Vec<u64> = echo.received.iter().map(|(_, v)| *v).collect();
+        assert_eq!(values, vec![3], "only post-respawn messages arrive");
+        assert_eq!(sim.stats().processes_respawned, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "occupied slot")]
+    fn respawn_into_live_slot_panics() {
+        let mut sim = Sim::new(0);
+        let p = sim.spawn(Box::new(Echo::new(false)));
+        sim.respawn(p, Box::new(Echo::new(false)));
     }
 
     #[test]

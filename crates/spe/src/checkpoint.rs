@@ -1,0 +1,858 @@
+//! Checkpointing and recovery for stream jobs.
+//!
+//! A crashed [`SpeWorker`](crate::SpeWorker) loses every byte of operator
+//! state and its consumer positions. This module makes worker crash →
+//! restore → replay an expressible scenario:
+//!
+//! * [`StateSnapshot`] — a consistent capture of a worker: per-operator
+//!   state, buffered-but-unprocessed input, and the embedded consumer's
+//!   partition offsets, taken only at batch boundaries;
+//! * [`StateBackend`] — pluggable snapshot storage: [`InMemoryBackend`]
+//!   models a job-manager heap outside the worker's failure domain (free,
+//!   instant), [`DurableBackend`] persists through an
+//!   [`s2g_store::StoreServer`], paying simulated CPU and network cost on
+//!   every snapshot and restore;
+//! * [`CheckpointCoordinator`] — drives the interval, the output barrier,
+//!   and the offset-commit schedule that distinguishes
+//!   [`CheckpointMode::ExactlyOnce`] from [`CheckpointMode::AtLeastOnce`].
+//!
+//! # The two delivery modes
+//!
+//! **Exactly-once**: the snapshot embeds the consumer offsets captured in
+//! the same instant as the operator state (Flink-style "offsets live in the
+//! state"), and those offsets are only committed to the broker after (a) the
+//! snapshot is durably persisted and (b) every output emitted before the
+//! capture has been acknowledged by the broker. Recovery seeds the consumer
+//! from the snapshot's offsets, restores the input buffer, and replays
+//! everything after — with an idempotent or keyed sink the post-recovery
+//! output equals the no-fault run exactly.
+//!
+//! **At-least-once**: the snapshot captures operator state only, and the
+//! coordinator commits the *previous* checkpoint's offsets — so the broker's
+//! committed position always trails the persisted state. Recovery restores
+//! the newer state and resumes from the older committed offsets, replaying
+//! up to one checkpoint interval of records into state that already saw
+//! them: duplicates, never loss, and bounded by the interval.
+//!
+//! ```text
+//!          crash                    restore                 replay
+//!   ───x────╳─────   ⟶   snapshot ──►  plan state   ⟶  ──────────►
+//!      │                 broker   ──►  offsets           records ≥ commit
+//!      └ last checkpoint: state @ tₛ, offsets @ t_c ≤ tₛ
+//! ```
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use s2g_proto::{Offset, TopicPartition};
+use s2g_sim::{Ctx, ProcessId, SimDuration, SimTime};
+use s2g_store::StoreRpc;
+
+use crate::event::{CodecError, Event, Value};
+
+/// Correlation-id base for checkpoint store RPCs, so a worker can tell its
+/// snapshot traffic apart from sink inserts sharing the same store server.
+pub const CKPT_CORR_BASE: u64 = 1 << 42;
+
+/// When consumer offsets are committed relative to state persistence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointMode {
+    /// Offsets are captured atomically with the state and committed only
+    /// once the snapshot is persisted and all pre-capture output is acked.
+    /// Recovery replays nothing that is already reflected in the state.
+    ExactlyOnce,
+    /// The previous checkpoint's offsets are committed with each snapshot;
+    /// recovery replays up to one interval of already-processed records.
+    AtLeastOnce,
+}
+
+/// Checkpoint tunables, carried in [`SpeConfig`](crate::SpeConfig).
+#[derive(Debug, Clone, Copy)]
+pub struct CheckpointCfg {
+    /// Time between checkpoint attempts (a capture waits for the current
+    /// micro-batch to finish, so the effective period may be longer).
+    pub interval: SimDuration,
+    /// Offset-commit discipline.
+    pub mode: CheckpointMode,
+}
+
+impl CheckpointCfg {
+    /// Exactly-once checkpointing on the given interval.
+    pub fn exactly_once(interval: SimDuration) -> Self {
+        CheckpointCfg {
+            interval,
+            mode: CheckpointMode::ExactlyOnce,
+        }
+    }
+
+    /// At-least-once checkpointing on the given interval.
+    pub fn at_least_once(interval: SimDuration) -> Self {
+        CheckpointCfg {
+            interval,
+            mode: CheckpointMode::AtLeastOnce,
+        }
+    }
+}
+
+fn event_to_value(e: &Event) -> Value {
+    Value::List(vec![
+        e.key.clone().map_or(Value::Null, Value::Str),
+        e.value.clone(),
+        Value::Int(e.ts.as_nanos() as i64),
+        Value::Int(e.origin.as_nanos() as i64),
+        Value::Int(e.source as i64),
+    ])
+}
+
+fn event_from_value(v: &Value) -> Option<Event> {
+    let Value::List(parts) = v else { return None };
+    if parts.len() != 5 {
+        return None;
+    }
+    let key = match &parts[0] {
+        Value::Null => None,
+        Value::Str(s) => Some(s.clone()),
+        _ => return None,
+    };
+    Some(Event {
+        key,
+        value: parts[1].clone(),
+        ts: SimTime::from_nanos(parts[2].as_int()? as u64),
+        origin: SimTime::from_nanos(parts[3].as_int()? as u64),
+        source: parts[4].as_int()? as u8,
+    })
+}
+
+/// Encodes an event for inclusion in a snapshot value.
+pub(crate) fn encode_event(e: &Event) -> Value {
+    event_to_value(e)
+}
+
+/// Decodes an event from a snapshot value.
+pub(crate) fn decode_event(v: &Value) -> Option<Event> {
+    event_from_value(v)
+}
+
+/// A consistent capture of one worker, taken at a micro-batch boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateSnapshot {
+    /// When the capture happened.
+    pub taken_at: SimTime,
+    /// Per-operator state, aligned with the plan's operator chain; `None`
+    /// for stateless operators.
+    pub plan_state: Vec<Option<Value>>,
+    /// The plan's cumulative input-record counter at capture time.
+    pub records_in: u64,
+    /// The plan's cumulative output-record counter at capture time.
+    pub records_out: u64,
+    /// Records fetched (offsets already advanced past them) but not yet run
+    /// through the plan. Restored under exactly-once so nothing between the
+    /// offsets and the state is lost.
+    pub buffer: Vec<Event>,
+    /// The embedded consumer's position per partition at capture time.
+    pub offsets: Vec<(TopicPartition, Offset)>,
+}
+
+impl StateSnapshot {
+    /// Encodes the snapshot as a single [`Value`] tree.
+    pub fn to_value(&self) -> Value {
+        Value::map([
+            ("taken_at", Value::Int(self.taken_at.as_nanos() as i64)),
+            ("records_in", Value::Int(self.records_in as i64)),
+            ("records_out", Value::Int(self.records_out as i64)),
+            (
+                "plan",
+                Value::List(
+                    self.plan_state
+                        .iter()
+                        .map(|s| s.clone().unwrap_or(Value::Null))
+                        .collect(),
+                ),
+            ),
+            (
+                "buffer",
+                Value::List(self.buffer.iter().map(event_to_value).collect()),
+            ),
+            (
+                "offsets",
+                Value::List(
+                    self.offsets
+                        .iter()
+                        .map(|(tp, off)| {
+                            Value::List(vec![
+                                Value::Str(tp.topic.clone()),
+                                Value::Int(tp.partition as i64),
+                                Value::Int(off.value() as i64),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Decodes a snapshot from its [`Value`] tree.
+    pub fn from_value(v: &Value) -> Option<StateSnapshot> {
+        let taken_at = SimTime::from_nanos(v.field("taken_at")?.as_int()? as u64);
+        let records_in = v.field("records_in")?.as_int()? as u64;
+        let records_out = v.field("records_out")?.as_int()? as u64;
+        let Value::List(plan) = v.field("plan")? else {
+            return None;
+        };
+        let plan_state = plan
+            .iter()
+            .map(|s| {
+                if *s == Value::Null {
+                    None
+                } else {
+                    Some(s.clone())
+                }
+            })
+            .collect();
+        let Value::List(buf) = v.field("buffer")? else {
+            return None;
+        };
+        let buffer: Vec<Event> = buf.iter().filter_map(event_from_value).collect();
+        if buffer.len() != buf.len() {
+            return None;
+        }
+        let Value::List(offs) = v.field("offsets")? else {
+            return None;
+        };
+        let mut offsets = Vec::with_capacity(offs.len());
+        for o in offs {
+            let Value::List(parts) = o else { return None };
+            if parts.len() != 3 {
+                return None;
+            }
+            offsets.push((
+                TopicPartition::new(parts[0].as_str()?.to_string(), parts[1].as_int()? as u32),
+                Offset(parts[2].as_int()? as u64),
+            ));
+        }
+        Some(StateSnapshot {
+            taken_at,
+            plan_state,
+            records_in,
+            records_out,
+            buffer,
+            offsets,
+        })
+    }
+
+    /// Serializes to the compact binary format (the durable-backend payload).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.to_value().encode()
+    }
+
+    /// Deserializes from [`to_bytes`](StateSnapshot::to_bytes) output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] on truncated or malformed input.
+    pub fn from_bytes(buf: &[u8]) -> Result<StateSnapshot, CodecError> {
+        let v = Value::decode(buf)?;
+        StateSnapshot::from_value(&v).ok_or(CodecError::Truncated)
+    }
+
+    /// Encoded size in bytes — the cost a durable backend pays.
+    pub fn encoded_len(&self) -> usize {
+        self.to_bytes().len()
+    }
+}
+
+/// The outcome of a [`StateBackend::persist`] call. Both variants carry the
+/// encoded snapshot size so stats never need a second serialization pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PersistOutcome {
+    /// The snapshot is durable now; `bytes` is its encoded size.
+    Done(u64),
+    /// Persistence is in flight; completion arrives as a
+    /// [`StoreRpc::PutAck`] with this correlation id.
+    Pending {
+        /// Correlation id of the in-flight store write.
+        corr: u64,
+        /// Encoded snapshot size already on the wire.
+        bytes: u64,
+    },
+}
+
+/// The outcome of a [`StateBackend::recover`] call.
+#[derive(Debug)]
+pub enum RecoverOutcome {
+    /// Recovery finished; the latest snapshot (or `None` if none exists).
+    Done(Option<StateSnapshot>),
+    /// A read is in flight; the snapshot arrives as a
+    /// [`StoreRpc::GetResult`] with this correlation id.
+    Pending(u64),
+}
+
+/// Pluggable snapshot storage for checkpoints.
+pub trait StateBackend {
+    /// Begins persisting `snapshot` as the latest checkpoint of `job`.
+    fn persist(&mut self, ctx: &mut Ctx<'_>, job: &str, snapshot: &StateSnapshot)
+        -> PersistOutcome;
+
+    /// Begins recovering the latest persisted checkpoint of `job`.
+    fn recover(&mut self, ctx: &mut Ctx<'_>, job: &str) -> RecoverOutcome;
+}
+
+/// Shared snapshot storage for [`InMemoryBackend`]s. Lives outside the
+/// worker process, so it survives worker crashes — the moral equivalent of
+/// a job manager's heap.
+pub type SnapshotStoreHandle = Rc<RefCell<BTreeMap<String, StateSnapshot>>>;
+
+/// Creates an empty shared snapshot store.
+pub fn snapshot_store() -> SnapshotStoreHandle {
+    Rc::new(RefCell::new(BTreeMap::new()))
+}
+
+/// Snapshot storage on the coordinator's heap: instant and free, but gone if
+/// the whole scenario host were to fail (which the simulation never models).
+pub struct InMemoryBackend {
+    store: SnapshotStoreHandle,
+}
+
+impl InMemoryBackend {
+    /// Creates a backend over a shared store handle.
+    pub fn new(store: SnapshotStoreHandle) -> Self {
+        InMemoryBackend { store }
+    }
+}
+
+impl StateBackend for InMemoryBackend {
+    fn persist(
+        &mut self,
+        _ctx: &mut Ctx<'_>,
+        job: &str,
+        snapshot: &StateSnapshot,
+    ) -> PersistOutcome {
+        let bytes = snapshot.encoded_len() as u64;
+        self.store
+            .borrow_mut()
+            .insert(job.to_string(), snapshot.clone());
+        PersistOutcome::Done(bytes)
+    }
+
+    fn recover(&mut self, _ctx: &mut Ctx<'_>, job: &str) -> RecoverOutcome {
+        RecoverOutcome::Done(self.store.borrow().get(job).cloned())
+    }
+}
+
+/// Snapshot storage through an [`s2g_store::StoreServer`]: every persist
+/// ships the encoded snapshot over the emulated network and pays the store's
+/// CPU cost; every recovery pays a read round trip before the worker may
+/// process its first post-restart batch.
+pub struct DurableBackend {
+    server: ProcessId,
+    next_corr: u64,
+}
+
+impl DurableBackend {
+    /// Creates a backend writing to the store server process.
+    pub fn new(server: ProcessId) -> Self {
+        DurableBackend {
+            server,
+            next_corr: 0,
+        }
+    }
+
+    fn corr(&mut self) -> u64 {
+        let c = CKPT_CORR_BASE + self.next_corr;
+        self.next_corr += 1;
+        c
+    }
+
+    fn key(job: &str) -> String {
+        format!("ckpt/{job}")
+    }
+}
+
+impl StateBackend for DurableBackend {
+    fn persist(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        job: &str,
+        snapshot: &StateSnapshot,
+    ) -> PersistOutcome {
+        let corr = self.corr();
+        let value = snapshot.to_bytes();
+        let bytes = value.len() as u64;
+        ctx.send(
+            self.server,
+            StoreRpc::Put {
+                corr,
+                key: Self::key(job),
+                value,
+            },
+        );
+        PersistOutcome::Pending { corr, bytes }
+    }
+
+    fn recover(&mut self, ctx: &mut Ctx<'_>, job: &str) -> RecoverOutcome {
+        let corr = self.corr();
+        ctx.send(
+            self.server,
+            StoreRpc::Get {
+                corr,
+                key: Self::key(job),
+            },
+        );
+        RecoverOutcome::Pending(corr)
+    }
+}
+
+/// Checkpoint counters, surfaced per job in the run report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckpointStats {
+    /// Snapshots successfully persisted.
+    pub checkpoints: u64,
+    /// Total encoded snapshot bytes persisted.
+    pub snapshot_bytes: u64,
+    /// Encoded size of the most recent snapshot.
+    pub last_snapshot_bytes: u64,
+    /// Capture time of the most recent persisted snapshot.
+    pub last_at: SimTime,
+    /// Offset-commit batches issued by the coordinator.
+    pub offset_commits: u64,
+}
+
+/// How a worker recovered, for the run report's recovery metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryInfo {
+    /// When the respawned worker started.
+    pub restarted_at: SimTime,
+    /// When state restoration completed (after any backend read round trip).
+    pub restored_at: Option<SimTime>,
+    /// Capture time of the snapshot that was restored, if one existed.
+    pub snapshot_taken_at: Option<SimTime>,
+    /// Encoded size of the restored snapshot.
+    pub snapshot_bytes: u64,
+    /// Completion time of the first post-restart batch with input — the end
+    /// point of recovery latency.
+    pub first_batch_at: Option<SimTime>,
+}
+
+#[derive(Debug)]
+struct PendingPersist {
+    corr: u64,
+    snapshot: StateSnapshot,
+    producer_sent: u64,
+    bytes: u64,
+}
+
+#[derive(Debug)]
+struct PendingCommit {
+    offsets: Vec<(TopicPartition, Offset)>,
+    /// Producer records that must be completed (acked or failed) before the
+    /// commit may go out — the exactly-once output barrier.
+    barrier: u64,
+}
+
+/// Drives a worker's checkpoint schedule: interval timing, batch-boundary
+/// alignment, the output barrier, persist bookkeeping, and the offset-commit
+/// discipline of the configured [`CheckpointMode`].
+pub struct CheckpointCoordinator {
+    cfg: CheckpointCfg,
+    backend: Box<dyn StateBackend>,
+    recover: bool,
+    capture_requested: bool,
+    /// Offsets committed at the previous completed checkpoint (the lagging
+    /// commit used by at-least-once mode).
+    prev_offsets: Vec<(TopicPartition, Offset)>,
+    pending_persist: Option<PendingPersist>,
+    pending_commit: Option<PendingCommit>,
+    pending_recover: Option<u64>,
+    stats: CheckpointStats,
+}
+
+impl CheckpointCoordinator {
+    /// Creates a coordinator. `recover` makes the worker restore the
+    /// latest snapshot before consuming (the respawn path).
+    pub fn new(cfg: CheckpointCfg, backend: Box<dyn StateBackend>, recover: bool) -> Self {
+        CheckpointCoordinator {
+            cfg,
+            backend,
+            recover,
+            capture_requested: false,
+            prev_offsets: Vec::new(),
+            pending_persist: None,
+            pending_commit: None,
+            pending_recover: None,
+            stats: CheckpointStats::default(),
+        }
+    }
+
+    /// The configured interval.
+    pub fn interval(&self) -> SimDuration {
+        self.cfg.interval
+    }
+
+    /// The configured mode.
+    pub fn mode(&self) -> CheckpointMode {
+        self.cfg.mode
+    }
+
+    /// Whether the worker must restore before consuming.
+    pub fn wants_recovery(&self) -> bool {
+        self.recover
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> CheckpointStats {
+        self.stats
+    }
+
+    /// Marks that the interval elapsed; the worker calls
+    /// [`should_capture`](Self::should_capture) at the next safe point.
+    pub fn request_capture(&mut self) {
+        self.capture_requested = true;
+    }
+
+    /// True when a capture is due and no prior checkpoint is still in
+    /// flight (persist or commit pending applies backpressure).
+    pub fn should_capture(&self) -> bool {
+        self.capture_requested && self.pending_persist.is_none() && self.pending_commit.is_none()
+    }
+
+    /// Accepts a snapshot captured by the worker and begins persisting it.
+    /// `producer_sent` is the worker's cumulative count of records handed to
+    /// its sink producer before this capture — the exactly-once barrier.
+    pub fn accept(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        job: &str,
+        snapshot: StateSnapshot,
+        producer_sent: u64,
+    ) {
+        self.capture_requested = false;
+        match self.backend.persist(ctx, job, &snapshot) {
+            PersistOutcome::Done(bytes) => self.finish_persist(snapshot, producer_sent, bytes),
+            PersistOutcome::Pending { corr, bytes } => {
+                self.pending_persist = Some(PendingPersist {
+                    corr,
+                    snapshot,
+                    producer_sent,
+                    bytes,
+                });
+            }
+        }
+    }
+
+    /// True while a persist or recovery RPC is awaiting its store response.
+    pub fn has_pending_io(&self) -> bool {
+        self.pending_persist.is_some() || self.pending_recover.is_some()
+    }
+
+    /// Re-issues whatever store RPC is still pending (the response — or the
+    /// request itself — was lost in the network). Stale responses to the
+    /// superseded correlation id are ignored by [`on_store_rpc`]. Returns
+    /// `true` when something was retried.
+    ///
+    /// [`on_store_rpc`]: Self::on_store_rpc
+    pub fn retry_pending_io(&mut self, ctx: &mut Ctx<'_>, job: &str) -> bool {
+        if let Some(pending) = self.pending_persist.take() {
+            match self.backend.persist(ctx, job, &pending.snapshot) {
+                PersistOutcome::Done(bytes) => {
+                    self.finish_persist(pending.snapshot, pending.producer_sent, bytes);
+                }
+                PersistOutcome::Pending { corr, bytes } => {
+                    self.pending_persist = Some(PendingPersist {
+                        corr,
+                        snapshot: pending.snapshot,
+                        producer_sent: pending.producer_sent,
+                        bytes,
+                    });
+                }
+            }
+            return true;
+        }
+        if self.pending_recover.is_some() {
+            match self.backend.recover(ctx, job) {
+                RecoverOutcome::Pending(corr) => self.pending_recover = Some(corr),
+                RecoverOutcome::Done(_) => {
+                    // A backend that answers synchronously never left a
+                    // recovery pending in the first place; nothing to do.
+                }
+            }
+            return true;
+        }
+        false
+    }
+
+    fn finish_persist(&mut self, snapshot: StateSnapshot, producer_sent: u64, bytes: u64) {
+        self.stats.checkpoints += 1;
+        self.stats.snapshot_bytes += bytes;
+        self.stats.last_snapshot_bytes = bytes;
+        self.stats.last_at = snapshot.taken_at;
+        match self.cfg.mode {
+            CheckpointMode::ExactlyOnce => {
+                // Commit the captured offsets once every pre-capture output
+                // is acknowledged.
+                self.pending_commit = Some(PendingCommit {
+                    offsets: snapshot.offsets.clone(),
+                    barrier: producer_sent,
+                });
+                self.prev_offsets = snapshot.offsets;
+            }
+            CheckpointMode::AtLeastOnce => {
+                // Commit the previous checkpoint's offsets: the broker's
+                // committed position deliberately trails the state.
+                let lagging = std::mem::replace(&mut self.prev_offsets, snapshot.offsets);
+                if !lagging.is_empty() {
+                    self.pending_commit = Some(PendingCommit {
+                        offsets: lagging,
+                        barrier: 0,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Returns the offsets to commit once `producer_completed` (records
+    /// acked or failed by the sink producer) satisfies the barrier.
+    pub fn take_ready_commit(
+        &mut self,
+        producer_completed: u64,
+    ) -> Option<Vec<(TopicPartition, Offset)>> {
+        if self
+            .pending_commit
+            .as_ref()
+            .is_some_and(|p| producer_completed >= p.barrier)
+        {
+            let commit = self.pending_commit.take().expect("just checked");
+            self.stats.offset_commits += 1;
+            Some(commit.offsets)
+        } else {
+            None
+        }
+    }
+
+    /// Begins recovery through the backend.
+    pub fn start_recovery(&mut self, ctx: &mut Ctx<'_>, job: &str) -> RecoverOutcome {
+        let outcome = self.backend.recover(ctx, job);
+        if let RecoverOutcome::Pending(corr) = outcome {
+            self.pending_recover = Some(corr);
+        }
+        outcome
+    }
+
+    /// Routes a store RPC to pending persist/recover bookkeeping. Returns
+    /// the restored snapshot when a pending recovery completed.
+    pub fn on_store_rpc(&mut self, rpc: &StoreRpc) -> StoreRpcOutcome {
+        match rpc {
+            StoreRpc::PutAck { corr } => {
+                if self
+                    .pending_persist
+                    .as_ref()
+                    .is_some_and(|p| p.corr == *corr)
+                {
+                    let p = self.pending_persist.take().expect("just checked");
+                    self.finish_persist(p.snapshot, p.producer_sent, p.bytes);
+                    return StoreRpcOutcome::PersistCompleted;
+                }
+                StoreRpcOutcome::NotMine
+            }
+            StoreRpc::GetResult { corr, value } => {
+                if self.pending_recover == Some(*corr) {
+                    self.pending_recover = None;
+                    let bytes = value.as_ref().map_or(0, |b| b.len() as u64);
+                    let snapshot = value
+                        .as_deref()
+                        .and_then(|b| StateSnapshot::from_bytes(b).ok());
+                    return StoreRpcOutcome::Recovered { snapshot, bytes };
+                }
+                StoreRpcOutcome::NotMine
+            }
+            _ => StoreRpcOutcome::NotMine,
+        }
+    }
+
+    /// Seeds the lagging-commit baseline after a restore, so the first
+    /// post-recovery checkpoint commits positions at or after the restored
+    /// snapshot.
+    pub fn seed_prev_offsets(&mut self, offsets: Vec<(TopicPartition, Offset)>) {
+        self.prev_offsets = offsets;
+    }
+}
+
+/// What [`CheckpointCoordinator::on_store_rpc`] did with a store message.
+#[derive(Debug)]
+pub enum StoreRpcOutcome {
+    /// The message did not belong to checkpoint bookkeeping.
+    NotMine,
+    /// A pending snapshot persist completed.
+    PersistCompleted,
+    /// A pending recovery completed with this snapshot (or none on a cold
+    /// start); `bytes` is the encoded size read back.
+    Recovered {
+        /// The restored snapshot, if one was persisted.
+        snapshot: Option<StateSnapshot>,
+        /// Encoded size of the read value (0 on a cold start).
+        bytes: u64,
+    },
+}
+
+impl std::fmt::Debug for CheckpointCoordinator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CheckpointCoordinator")
+            .field("mode", &self.cfg.mode)
+            .field("interval", &self.cfg.interval)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshot() -> StateSnapshot {
+        StateSnapshot {
+            taken_at: SimTime::from_millis(1234),
+            plan_state: vec![
+                None,
+                Some(Value::map([("a", Value::Int(3))])),
+                Some(Value::List(vec![Value::Str("x".into())])),
+            ],
+            records_in: 17,
+            records_out: 9,
+            buffer: vec![
+                Event::new(Value::Str("pending".into()), SimTime::from_millis(1200)).with_key("k"),
+            ],
+            offsets: vec![
+                (TopicPartition::new("raw", 0), Offset(41)),
+                (TopicPartition::new("raw", 1), Offset(7)),
+            ],
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_bytes() {
+        let snap = sample_snapshot();
+        let back = StateSnapshot::from_bytes(&snap.to_bytes()).expect("round trip");
+        assert_eq!(back, snap);
+        assert_eq!(snap.encoded_len(), snap.to_bytes().len());
+    }
+
+    #[test]
+    fn snapshot_rejects_garbage() {
+        assert!(StateSnapshot::from_bytes(&[1, 2, 3]).is_err());
+        assert!(StateSnapshot::from_value(&Value::Int(4)).is_none());
+    }
+
+    #[test]
+    fn event_value_round_trip_preserves_source() {
+        let mut e = Event::new(Value::Int(5), SimTime::from_millis(10)).with_key("kk");
+        e.source = 1;
+        let back = event_from_value(&event_to_value(&e)).expect("round trip");
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn exactly_once_commit_waits_for_barrier() {
+        let store = snapshot_store();
+        let mut coord = CheckpointCoordinator::new(
+            CheckpointCfg::exactly_once(SimDuration::from_secs(1)),
+            Box::new(InMemoryBackend::new(store.clone())),
+            false,
+        );
+        let mut sim = s2g_sim::Sim::new(0);
+        struct Nop;
+        impl s2g_sim::Process for Nop {
+            fn name(&self) -> &str {
+                "nop"
+            }
+            fn on_message(
+                &mut self,
+                _: &mut Ctx<'_>,
+                _: s2g_sim::ProcessId,
+                _: Box<dyn s2g_sim::Message>,
+            ) {
+            }
+        }
+        sim.spawn(Box::new(Nop));
+        // Drive the coordinator through a one-off harness process? The
+        // coordinator only needs a Ctx for backend IO; the in-memory backend
+        // ignores it, so exercise the logic through a scratch context by
+        // capturing inside a process start hook.
+        struct Harness {
+            coord: Option<CheckpointCoordinator>,
+            store: SnapshotStoreHandle,
+        }
+        impl s2g_sim::Process for Harness {
+            fn name(&self) -> &str {
+                "harness"
+            }
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                let coord = self.coord.as_mut().unwrap();
+                coord.request_capture();
+                assert!(coord.should_capture());
+                let snap = sample_snapshot();
+                coord.accept(ctx, "job", snap.clone(), 5);
+                assert_eq!(self.store.borrow().get("job"), Some(&snap));
+                // Barrier of 5 sent records: 4 completions are not enough.
+                assert!(coord.take_ready_commit(4).is_none());
+                let commit = coord.take_ready_commit(5).expect("barrier satisfied");
+                assert_eq!(commit, snap.offsets);
+                assert!(coord.take_ready_commit(100).is_none(), "commit is one-shot");
+                assert_eq!(coord.stats().checkpoints, 1);
+            }
+            fn on_message(
+                &mut self,
+                _: &mut Ctx<'_>,
+                _: s2g_sim::ProcessId,
+                _: Box<dyn s2g_sim::Message>,
+            ) {
+            }
+        }
+        coord.request_capture();
+        let h = Harness {
+            coord: Some(coord),
+            store,
+        };
+        let mut sim2 = s2g_sim::Sim::new(0);
+        sim2.spawn(Box::new(h));
+        sim2.run_to_completion();
+        let _ = sim;
+    }
+
+    #[test]
+    fn at_least_once_commits_lagging_offsets() {
+        struct Harness;
+        impl s2g_sim::Process for Harness {
+            fn name(&self) -> &str {
+                "harness"
+            }
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                let mut coord = CheckpointCoordinator::new(
+                    CheckpointCfg::at_least_once(SimDuration::from_secs(1)),
+                    Box::new(InMemoryBackend::new(snapshot_store())),
+                    false,
+                );
+                let mut snap1 = sample_snapshot();
+                snap1.offsets = vec![(TopicPartition::new("raw", 0), Offset(10))];
+                coord.accept(ctx, "job", snap1, 0);
+                // First checkpoint has no predecessor: nothing to commit.
+                assert!(coord.take_ready_commit(0).is_none());
+                let mut snap2 = sample_snapshot();
+                snap2.offsets = vec![(TopicPartition::new("raw", 0), Offset(25))];
+                coord.accept(ctx, "job", snap2, 0);
+                // Second checkpoint commits the first's offsets.
+                let commit = coord.take_ready_commit(0).expect("lagging commit");
+                assert_eq!(commit, vec![(TopicPartition::new("raw", 0), Offset(10))]);
+            }
+            fn on_message(
+                &mut self,
+                _: &mut Ctx<'_>,
+                _: s2g_sim::ProcessId,
+                _: Box<dyn s2g_sim::Message>,
+            ) {
+            }
+        }
+        let mut sim = s2g_sim::Sim::new(0);
+        sim.spawn(Box::new(Harness));
+        sim.run_to_completion();
+    }
+}

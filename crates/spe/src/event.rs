@@ -70,6 +70,24 @@ impl Value {
         }
     }
 
+    /// Encodes this value in the compact binary format (the same encoding
+    /// events use on the wire; checkpoints use it for state snapshots).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Decodes a value previously produced by [`encode`](Value::encode).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] on truncated or malformed input.
+    pub fn decode(buf: &[u8]) -> Result<Value, CodecError> {
+        let mut pos = 0;
+        Value::decode_from(buf, &mut pos)
+    }
+
     fn encode_into(&self, out: &mut Vec<u8>) {
         match self {
             Value::Null => out.push(0),
@@ -272,7 +290,13 @@ pub struct Event {
 impl Event {
     /// An event with `value` at time `ts`; origin defaults to `ts`.
     pub fn new(value: Value, ts: SimTime) -> Self {
-        Event { key: None, value, ts, origin: ts, source: 0 }
+        Event {
+            key: None,
+            value,
+            ts,
+            origin: ts,
+            source: 0,
+        }
     }
 
     /// Builder: sets the key.
@@ -320,11 +344,21 @@ impl Event {
         pos += 1;
         let has_key = *buf.get(pos).ok_or(CodecError::Truncated)?;
         pos += 1;
-        let key = if has_key == 1 { Some(read_str(buf, &mut pos)?) } else { None };
+        let key = if has_key == 1 {
+            Some(read_str(buf, &mut pos)?)
+        } else {
+            None
+        };
         let ts = SimTime::from_nanos(u64::from_le_bytes(read_n::<8>(buf, &mut pos)?));
         let origin = SimTime::from_nanos(u64::from_le_bytes(read_n::<8>(buf, &mut pos)?));
         let value = Value::decode_from(buf, &mut pos)?;
-        Ok(Event { key, value, ts, origin, source: 0 })
+        Ok(Event {
+            key,
+            value,
+            ts,
+            origin,
+            source: 0,
+        })
     }
 }
 
@@ -351,7 +385,11 @@ mod tests {
         round_trip(Value::Int(-42));
         round_trip(Value::Float(3.25));
         round_trip(Value::Str("hello world".into()));
-        round_trip(Value::List(vec![Value::Int(1), Value::Str("x".into()), Value::Null]));
+        round_trip(Value::List(vec![
+            Value::Int(1),
+            Value::Str("x".into()),
+            Value::Null,
+        ]));
         round_trip(Value::map([
             ("a", Value::Int(1)),
             ("b", Value::List(vec![Value::Float(0.5)])),
@@ -372,7 +410,10 @@ mod tests {
         let e = Event::new(Value::Str("abcdef".into()), SimTime::ZERO);
         let bytes = e.to_bytes();
         for cut in 0..bytes.len() {
-            assert!(Event::from_bytes(&bytes[..cut]).is_err(), "cut at {cut} must fail");
+            assert!(
+                Event::from_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
         }
     }
 
@@ -386,7 +427,11 @@ mod tests {
 
     #[test]
     fn value_accessors() {
-        let v = Value::map([("n", Value::Int(3)), ("f", Value::Float(1.5)), ("s", Value::Str("x".into()))]);
+        let v = Value::map([
+            ("n", Value::Int(3)),
+            ("f", Value::Float(1.5)),
+            ("s", Value::Str("x".into())),
+        ]);
         assert_eq!(v.field("n").unwrap().as_int(), Some(3));
         assert_eq!(v.field("n").unwrap().as_float(), Some(3.0));
         assert_eq!(v.field("f").unwrap().as_float(), Some(1.5));

@@ -30,11 +30,17 @@
 
 #![warn(missing_docs)]
 
+mod checkpoint;
 mod event;
 mod ops;
 mod plan;
 mod worker;
 
+pub use checkpoint::{
+    snapshot_store, CheckpointCfg, CheckpointCoordinator, CheckpointMode, CheckpointStats,
+    DurableBackend, InMemoryBackend, PersistOutcome, RecoverOutcome, RecoveryInfo,
+    SnapshotStoreHandle, StateBackend, StateSnapshot, StoreRpcOutcome, CKPT_CORR_BASE,
+};
 pub use event::{CodecError, Event, Value};
 pub use ops::{
     Filter, FlatMap, KeyBy, Map, Operator, StatefulMap, WindowAggregate, WindowAssigner, WindowJoin,

@@ -8,6 +8,7 @@ use std::collections::BTreeMap;
 
 use s2g_sim::{SimDuration, SimTime};
 
+use crate::checkpoint::{decode_event, encode_event};
 use crate::event::{Event, Value};
 
 /// A micro-batch stream operator.
@@ -23,6 +24,17 @@ pub trait Operator {
     fn flush(&mut self, _now: SimTime) -> Vec<Event> {
         Vec::new()
     }
+
+    /// Captures this operator's state for a checkpoint snapshot. Stateless
+    /// operators return `None` (the default).
+    fn snapshot_state(&self) -> Option<Value> {
+        None
+    }
+
+    /// Restores state previously captured by
+    /// [`snapshot_state`](Operator::snapshot_state). Stateless operators
+    /// ignore the call (the default).
+    fn restore_state(&mut self, _state: Value) {}
 }
 
 /// Stateless 1→1 transform.
@@ -34,7 +46,10 @@ pub struct Map {
 impl Map {
     /// Creates a map operator.
     pub fn new(name: impl Into<String>, f: impl FnMut(Event) -> Event + 'static) -> Self {
-        Map { name: name.into(), f: Box::new(f) }
+        Map {
+            name: name.into(),
+            f: Box::new(f),
+        }
     }
 }
 
@@ -56,7 +71,10 @@ pub struct FlatMap {
 impl FlatMap {
     /// Creates a flat-map operator.
     pub fn new(name: impl Into<String>, f: impl FnMut(Event) -> Vec<Event> + 'static) -> Self {
-        FlatMap { name: name.into(), f: Box::new(f) }
+        FlatMap {
+            name: name.into(),
+            f: Box::new(f),
+        }
     }
 }
 
@@ -78,7 +96,10 @@ pub struct Filter {
 impl Filter {
     /// Creates a filter operator.
     pub fn new(name: impl Into<String>, f: impl FnMut(&Event) -> bool + 'static) -> Self {
-        Filter { name: name.into(), f: Box::new(f) }
+        Filter {
+            name: name.into(),
+            f: Box::new(f),
+        }
     }
 }
 
@@ -100,7 +121,10 @@ pub struct KeyBy {
 impl KeyBy {
     /// Creates a key-by operator.
     pub fn new(name: impl Into<String>, f: impl Fn(&Event) -> String + 'static) -> Self {
-        KeyBy { name: name.into(), f: Box::new(f) }
+        KeyBy {
+            name: name.into(),
+            f: Box::new(f),
+        }
     }
 }
 
@@ -138,7 +162,12 @@ impl StatefulMap {
         init: Value,
         f: impl FnMut(&mut Value, &Event) -> Vec<Event> + 'static,
     ) -> Self {
-        StatefulMap { name: name.into(), state: BTreeMap::new(), f: Box::new(f), init }
+        StatefulMap {
+            name: name.into(),
+            state: BTreeMap::new(),
+            f: Box::new(f),
+            init,
+        }
     }
 
     /// The number of keys currently held in state.
@@ -159,6 +188,16 @@ impl Operator for StatefulMap {
             out.extend((self.f)(slot, &e));
         }
         out
+    }
+
+    fn snapshot_state(&self) -> Option<Value> {
+        Some(Value::Map(self.state.clone()))
+    }
+
+    fn restore_state(&mut self, state: Value) {
+        if let Value::Map(m) = state {
+            self.state = m;
+        }
     }
 }
 
@@ -274,13 +313,21 @@ impl WindowAggregate {
     }
 
     /// Convenience: per-key sum of a float field per window.
-    pub fn sum_field(name: impl Into<String>, assigner: WindowAssigner, field: &'static str) -> Self {
+    pub fn sum_field(
+        name: impl Into<String>,
+        assigner: WindowAssigner,
+        field: &'static str,
+    ) -> Self {
         WindowAggregate::new(
             name,
             assigner,
             Value::Float(0.0),
             move |acc, e| {
-                let add = e.value.field(field).and_then(Value::as_float).unwrap_or(0.0);
+                let add = e
+                    .value
+                    .field(field)
+                    .and_then(Value::as_float)
+                    .unwrap_or(0.0);
                 Value::Float(acc.as_float().unwrap_or(0.0) + add)
             },
             |acc, _| acc,
@@ -288,13 +335,21 @@ impl WindowAggregate {
     }
 
     /// Convenience: per-key mean of a float field per window.
-    pub fn avg_field(name: impl Into<String>, assigner: WindowAssigner, field: &'static str) -> Self {
+    pub fn avg_field(
+        name: impl Into<String>,
+        assigner: WindowAssigner,
+        field: &'static str,
+    ) -> Self {
         WindowAggregate::new(
             name,
             assigner,
             Value::Float(0.0),
             move |acc, e| {
-                let add = e.value.field(field).and_then(Value::as_float).unwrap_or(0.0);
+                let add = e
+                    .value
+                    .field(field)
+                    .and_then(Value::as_float)
+                    .unwrap_or(0.0);
                 Value::Float(acc.as_float().unwrap_or(0.0) + add)
             },
             |acc, n| Value::Float(acc.as_float().unwrap_or(0.0) / n.max(1) as f64),
@@ -370,6 +425,58 @@ impl Operator for WindowAggregate {
             });
         }
         out
+    }
+
+    fn snapshot_state(&self) -> Option<Value> {
+        let windows: Vec<Value> = self
+            .windows
+            .iter()
+            .map(|((start, key), st)| {
+                Value::List(vec![
+                    Value::Int(start.as_nanos() as i64),
+                    Value::Str(key.clone()),
+                    st.acc.clone(),
+                    Value::Int(st.count as i64),
+                    Value::Int(st.min_origin.as_nanos() as i64),
+                ])
+            })
+            .collect();
+        Some(Value::map([
+            ("watermark", Value::Int(self.watermark.as_nanos() as i64)),
+            ("windows", Value::List(windows)),
+        ]))
+    }
+
+    fn restore_state(&mut self, state: Value) {
+        let Some(wm) = state.field("watermark").and_then(Value::as_int) else {
+            return;
+        };
+        let Some(Value::List(windows)) = state.field("windows") else {
+            return;
+        };
+        self.watermark = SimTime::from_nanos(wm as u64);
+        self.windows.clear();
+        for w in windows {
+            let Value::List(parts) = w else { continue };
+            let (Some(start), Some(Value::Str(key)), acc, Some(count), Some(origin)) = (
+                parts.first().and_then(Value::as_int),
+                parts.get(1),
+                parts.get(2),
+                parts.get(3).and_then(Value::as_int),
+                parts.get(4).and_then(Value::as_int),
+            ) else {
+                continue;
+            };
+            let Some(acc) = acc else { continue };
+            self.windows.insert(
+                (SimTime::from_nanos(start as u64), key.clone()),
+                WindowState {
+                    acc: acc.clone(),
+                    count: count as u64,
+                    min_origin: SimTime::from_nanos(origin as u64),
+                },
+            );
+        }
     }
 }
 
@@ -455,6 +562,53 @@ impl Operator for WindowJoin {
         self.watermark = SimTime::MAX;
         self.emit_ready()
     }
+
+    fn snapshot_state(&self) -> Option<Value> {
+        let buffers: Vec<Value> = self
+            .buffers
+            .iter()
+            .map(|((start, key), (lefts, rights))| {
+                Value::List(vec![
+                    Value::Int(start.as_nanos() as i64),
+                    Value::Str(key.clone()),
+                    Value::List(lefts.iter().map(encode_event).collect()),
+                    Value::List(rights.iter().map(encode_event).collect()),
+                ])
+            })
+            .collect();
+        Some(Value::map([
+            ("watermark", Value::Int(self.watermark.as_nanos() as i64)),
+            ("buffers", Value::List(buffers)),
+        ]))
+    }
+
+    fn restore_state(&mut self, state: Value) {
+        let Some(wm) = state.field("watermark").and_then(Value::as_int) else {
+            return;
+        };
+        let Some(Value::List(buffers)) = state.field("buffers") else {
+            return;
+        };
+        self.watermark = SimTime::from_nanos(wm as u64);
+        self.buffers.clear();
+        for b in buffers {
+            let Value::List(parts) = b else { continue };
+            let (Some(start), Some(Value::Str(key)), Some(Value::List(ls)), Some(Value::List(rs))) = (
+                parts.first().and_then(Value::as_int),
+                parts.get(1),
+                parts.get(2),
+                parts.get(3),
+            ) else {
+                continue;
+            };
+            let lefts: Vec<Event> = ls.iter().filter_map(decode_event).collect();
+            let rights: Vec<Event> = rs.iter().filter_map(decode_event).collect();
+            self.buffers.insert(
+                (SimTime::from_nanos(start as u64), key.clone()),
+                (lefts, rights),
+            );
+        }
+    }
 }
 
 #[cfg(test)]
@@ -503,10 +657,16 @@ mod tests {
         let mut op = StatefulMap::new("count", Value::Int(0), |state, e| {
             let n = state.as_int().unwrap() + 1;
             *state = Value::Int(n);
-            vec![Event { value: Value::Int(n), ..e.clone() }]
+            vec![Event {
+                value: Value::Int(n),
+                ..e.clone()
+            }]
         });
-        let batch: Vec<Event> =
-            vec![ev(1, 0).with_key("a"), ev(1, 1).with_key("a"), ev(1, 2).with_key("b")];
+        let batch: Vec<Event> = vec![
+            ev(1, 0).with_key("a"),
+            ev(1, 1).with_key("a"),
+            ev(1, 2).with_key("b"),
+        ];
         let out = op.process(SimTime::ZERO, batch);
         assert_eq!(out[0].value, Value::Int(1));
         assert_eq!(out[1].value, Value::Int(2));
@@ -518,8 +678,14 @@ mod tests {
     fn tumbling_assignment() {
         let a = WindowAssigner::Tumbling(SimDuration::from_secs(10));
         assert_eq!(a.assign(SimTime::from_secs(3)), vec![SimTime::ZERO]);
-        assert_eq!(a.assign(SimTime::from_secs(10)), vec![SimTime::from_secs(10)]);
-        assert_eq!(a.assign(SimTime::from_secs(25)), vec![SimTime::from_secs(20)]);
+        assert_eq!(
+            a.assign(SimTime::from_secs(10)),
+            vec![SimTime::from_secs(10)]
+        );
+        assert_eq!(
+            a.assign(SimTime::from_secs(25)),
+            vec![SimTime::from_secs(20)]
+        );
     }
 
     #[test]
@@ -542,7 +708,11 @@ mod tests {
         // Three events in [0,10), none emitted yet (watermark at 9s).
         let out = op.process(
             SimTime::ZERO,
-            vec![ev(1, 1_000).with_key("k"), ev(1, 5_000).with_key("k"), ev(1, 9_000).with_key("k")],
+            vec![
+                ev(1, 1_000).with_key("k"),
+                ev(1, 5_000).with_key("k"),
+                ev(1, 9_000).with_key("k"),
+            ],
         );
         assert!(out.is_empty());
         // An event at 11s pushes the watermark past the first window.
@@ -560,8 +730,12 @@ mod tests {
     fn window_origin_is_earliest_contributor() {
         let mut op =
             WindowAggregate::count("wc", WindowAssigner::Tumbling(SimDuration::from_secs(10)));
-        let e1 = ev(1, 4_000).with_key("k").with_origin(SimTime::from_millis(100));
-        let e2 = ev(1, 2_000).with_key("k").with_origin(SimTime::from_millis(900));
+        let e1 = ev(1, 4_000)
+            .with_key("k")
+            .with_origin(SimTime::from_millis(100));
+        let e2 = ev(1, 2_000)
+            .with_key("k")
+            .with_origin(SimTime::from_millis(900));
         op.process(SimTime::ZERO, vec![e1, e2]);
         let out = op.flush(SimTime::ZERO);
         assert_eq!(out[0].origin, SimTime::from_millis(100));
@@ -575,7 +749,11 @@ mod tests {
             "x",
         );
         let mk = |x: f64, ms: u64| {
-            Event::new(Value::map([("x", Value::Float(x))]), SimTime::from_millis(ms)).with_key("k")
+            Event::new(
+                Value::map([("x", Value::Float(x))]),
+                SimTime::from_millis(ms),
+            )
+            .with_key("k")
         };
         op.process(SimTime::ZERO, vec![mk(1.0, 100), mk(3.0, 200)]);
         let out = op.flush(SimTime::ZERO);
@@ -587,9 +765,7 @@ mod tests {
         let mut op = WindowJoin::new(
             "j",
             WindowAssigner::Tumbling(SimDuration::from_secs(10)),
-            |l, r| {
-                Value::List(vec![l.value.clone(), r.value.clone()])
-            },
+            |l, r| Value::List(vec![l.value.clone(), r.value.clone()]),
         );
         let mut left = ev(1, 1_000).with_key("k");
         left.source = 0;
@@ -600,7 +776,10 @@ mod tests {
         op.process(SimTime::ZERO, vec![left, right, other]);
         let out = op.flush(SimTime::ZERO);
         assert_eq!(out.len(), 1, "only matching keys join");
-        assert_eq!(out[0].value, Value::List(vec![Value::Int(1), Value::Int(2)]));
+        assert_eq!(
+            out[0].value,
+            Value::List(vec![Value::Int(1), Value::Int(2)])
+        );
     }
 
     #[test]
@@ -611,7 +790,11 @@ mod tests {
             "x",
         );
         let mk = |x: f64, ms: u64| {
-            Event::new(Value::map([("x", Value::Float(x))]), SimTime::from_millis(ms)).with_key("k")
+            Event::new(
+                Value::map([("x", Value::Float(x))]),
+                SimTime::from_millis(ms),
+            )
+            .with_key("k")
         };
         op.process(SimTime::ZERO, vec![mk(1.5, 100), mk(2.5, 200)]);
         let out = op.flush(SimTime::ZERO);

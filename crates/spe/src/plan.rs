@@ -82,7 +82,10 @@ impl Plan {
 
     /// Appends a tumbling-window count.
     pub fn window_count(self, name: &str, width: SimDuration) -> Self {
-        self.then(WindowAggregate::count(name, WindowAssigner::Tumbling(width)))
+        self.then(WindowAggregate::count(
+            name,
+            WindowAssigner::Tumbling(width),
+        ))
     }
 
     /// Appends a custom window aggregation.
@@ -137,6 +140,26 @@ impl Plan {
     /// Operator names, in order.
     pub fn op_names(&self) -> Vec<&str> {
         self.ops.iter().map(|o| o.name()).collect()
+    }
+
+    /// Captures every operator's state, aligned with the chain, plus the
+    /// record counters — the plan half of a checkpoint snapshot.
+    pub fn snapshot_state(&self) -> (Vec<Option<Value>>, u64, u64) {
+        let states = self.ops.iter().map(|o| o.snapshot_state()).collect();
+        (states, self.records_in, self.records_out)
+    }
+
+    /// Restores operator state captured by
+    /// [`snapshot_state`](Plan::snapshot_state). States beyond the chain
+    /// length are ignored; `None` entries leave the operator untouched.
+    pub fn restore_state(&mut self, states: Vec<Option<Value>>, records_in: u64, records_out: u64) {
+        for (op, state) in self.ops.iter_mut().zip(states) {
+            if let Some(s) = state {
+                op.restore_state(s);
+            }
+        }
+        self.records_in = records_in;
+        self.records_out = records_out;
     }
 }
 
@@ -201,7 +224,10 @@ mod tests {
     fn empty_plan_is_identity() {
         let mut plan = Plan::new();
         assert!(plan.is_empty());
-        let out = plan.run_batch(SimTime::ZERO, vec![Event::new(Value::Int(1), SimTime::ZERO)]);
+        let out = plan.run_batch(
+            SimTime::ZERO,
+            vec![Event::new(Value::Int(1), SimTime::ZERO)],
+        );
         assert_eq!(out.len(), 1);
     }
 }

@@ -14,13 +14,15 @@
 use std::collections::HashMap;
 
 use s2g_proto::{ProducerId, Record, TopicPartition};
-use s2g_sim::{
-    Ctx, LedgerHandle, MemSlot, Message, Process, ProcessId, SimDuration, SimTime,
-};
+use s2g_sim::{Ctx, LedgerHandle, MemSlot, Message, Process, ProcessId, SimDuration, SimTime};
 
 use s2g_broker::{ConsumerClient, ConsumerConfig, DataSink, ProducerClient, ProducerConfig};
 use s2g_store::StoreRpc;
 
+use crate::checkpoint::{
+    snapshot_store, CheckpointCfg, CheckpointCoordinator, CheckpointMode, CheckpointStats,
+    InMemoryBackend, RecoverOutcome, RecoveryInfo, StateBackend, StateSnapshot, StoreRpcOutcome,
+};
 use crate::event::{Event, Value};
 use crate::plan::Plan;
 
@@ -46,6 +48,9 @@ pub struct SpeConfig {
     pub consumer: ConsumerConfig,
     /// Producer settings for the sink topic.
     pub producer: ProducerConfig,
+    /// Checkpointing schedule and mode; `None` (the default) disables
+    /// checkpointing, so a crashed worker restarts empty at offset zero.
+    pub checkpoint: Option<CheckpointCfg>,
 }
 
 impl Default for SpeConfig {
@@ -60,6 +65,7 @@ impl Default for SpeConfig {
             idle_flush_batches: 3,
             consumer: ConsumerConfig::default(),
             producer: ProducerConfig::default(),
+            checkpoint: None,
         }
     }
 }
@@ -134,7 +140,13 @@ mod tags {
     pub const BATCH_DONE: u64 = 2;
     pub const BACKGROUND_TICK: u64 = 3;
     pub const BACKGROUND_DONE: u64 = 4;
+    pub const CHECKPOINT_TICK: u64 = 5;
+    pub const CKPT_IO_RETRY: u64 = 6;
 }
+
+/// How long the worker waits for a durable-backend store response before
+/// re-issuing the RPC (a lossy network can drop either direction).
+const CKPT_IO_RETRY_INTERVAL: SimDuration = SimDuration::from_secs(2);
 
 /// The stream-processing worker process.
 pub struct SpeWorker {
@@ -153,6 +165,14 @@ pub struct SpeWorker {
     store_corr: u64,
     store_inserts: u64,
     mem: Option<(LedgerHandle, MemSlot)>,
+    coordinator: Option<CheckpointCoordinator>,
+    recovery: Option<RecoveryInfo>,
+    /// A durable-backend restore round trip is in flight; consuming and
+    /// batching are held until it completes.
+    awaiting_restore: bool,
+    /// Set by the orchestrator on a respawned worker so restart metrics are
+    /// recorded even when checkpointing is disabled.
+    restarted: bool,
 }
 
 impl SpeWorker {
@@ -161,6 +181,7 @@ impl SpeWorker {
     ///
     /// `bootstrap` and `brokers` configure the embedded clients exactly like
     /// standalone producer/consumer stubs.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         name: impl Into<String>,
         cfg: SpeConfig,
@@ -171,8 +192,19 @@ impl SpeWorker {
         brokers: HashMap<s2g_proto::BrokerId, ProcessId>,
         producer_id: ProducerId,
     ) -> Self {
-        let consumer =
-            ConsumerClient::new(cfg.consumer.clone(), bootstrap, brokers.clone(), sources.clone());
+        let name = name.into();
+        let mut cfg = cfg;
+        if cfg.checkpoint.is_some() && cfg.consumer.group.is_none() {
+            // Checkpointed workers are implicitly group members: their
+            // offsets are committed broker-side so a respawn resumes there.
+            cfg.consumer.group = Some(format!("spe-{name}"));
+        }
+        let consumer = ConsumerClient::new(
+            cfg.consumer.clone(),
+            bootstrap,
+            brokers.clone(),
+            sources.clone(),
+        );
         let producer = match &sink {
             SpeSink::Topic(_) => Some(ProducerClient::new(
                 producer_id,
@@ -188,7 +220,7 @@ impl SpeWorker {
             buffer.topic_source.insert(topic.clone(), i as u8);
         }
         SpeWorker {
-            name: name.into(),
+            name,
             cfg,
             plan,
             sink,
@@ -203,12 +235,62 @@ impl SpeWorker {
             store_corr: 0,
             store_inserts: 0,
             mem: None,
+            coordinator: None,
+            recovery: None,
+            awaiting_restore: false,
+            restarted: false,
         }
     }
 
     /// Attaches a memory-ledger slot.
     pub fn set_mem_slot(&mut self, ledger: LedgerHandle, slot: MemSlot) {
         self.mem = Some((ledger, slot));
+    }
+
+    /// Attaches a checkpoint backend. `recover` makes the worker restore
+    /// the latest snapshot before consuming (the respawn path). Requires
+    /// `cfg.checkpoint` to be set; without an explicit attachment a
+    /// checkpointed worker falls back to a private in-memory backend at
+    /// start (self-contained, but lost with the worker on a crash).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker's config has no checkpoint schedule.
+    pub fn attach_checkpointing(&mut self, backend: Box<dyn StateBackend>, recover: bool) {
+        let cfg = self
+            .cfg
+            .checkpoint
+            .expect("attach_checkpointing requires cfg.checkpoint to be set");
+        self.coordinator = Some(CheckpointCoordinator::new(cfg, backend, recover));
+    }
+
+    /// Marks this worker instance as a post-crash respawn, so restart and
+    /// first-batch times are reported even without checkpointing.
+    pub fn mark_restarted(&mut self) {
+        self.restarted = true;
+    }
+
+    /// Checkpoint counters (zero when checkpointing is disabled).
+    pub fn checkpoint_stats(&self) -> CheckpointStats {
+        self.coordinator
+            .as_ref()
+            .map(CheckpointCoordinator::stats)
+            .unwrap_or_default()
+    }
+
+    /// Recovery details when this worker incarnation was restored.
+    pub fn recovery_info(&self) -> Option<RecoveryInfo> {
+        self.recovery
+    }
+
+    /// The embedded consumer (positions, stats).
+    pub fn consumer(&self) -> &ConsumerClient {
+        &self.consumer
+    }
+
+    /// The embedded sink producer, when the sink is a topic.
+    pub fn producer(&self) -> Option<&ProducerClient> {
+        self.producer.as_ref()
     }
 
     /// Per-batch metrics, in execution order.
@@ -267,17 +349,151 @@ impl SpeWorker {
     }
 
     fn finish_batch(&mut self, ctx: &mut Ctx<'_>) {
-        let Some((start, events)) = self.inflight.take() else { return };
+        let Some((start, events)) = self.inflight.take() else {
+            return;
+        };
         let now = ctx.now();
         let n_in = events.len();
         let out = self.plan.run_batch(now, events);
         let n_out = out.len();
         self.emit(ctx, out);
-        self.metrics.push(BatchMetric { start, end: now, records_in: n_in, records_out: n_out });
+        self.metrics.push(BatchMetric {
+            start,
+            end: now,
+            records_in: n_in,
+            records_out: n_out,
+        });
+        if let Some(r) = self.recovery.as_mut() {
+            if r.first_batch_at.is_none() {
+                r.first_batch_at = Some(now);
+            }
+        }
         if let Some((ledger, slot)) = &self.mem {
             // Model executor heap pressure as proportional to live state.
             let state_bytes = (self.collected.len() * 128) as u64;
             ledger.borrow_mut().set_dynamic(*slot, state_bytes);
+        }
+        // A checkpoint due mid-batch waits for the batch boundary: capture
+        // now that the plan state is consistent with the consumed offsets.
+        self.try_capture(ctx);
+    }
+
+    fn try_capture(&mut self, ctx: &mut Ctx<'_>) {
+        let due = self
+            .coordinator
+            .as_ref()
+            .is_some_and(|c| c.should_capture());
+        if !due || self.inflight.is_some() || self.awaiting_restore {
+            return;
+        }
+        let (plan_state, records_in, records_out) = self.plan.snapshot_state();
+        let snapshot = StateSnapshot {
+            taken_at: ctx.now(),
+            plan_state,
+            records_in,
+            records_out,
+            buffer: self.buffer.events.clone(),
+            offsets: self.consumer.positions(),
+        };
+        let producer_sent = self.producer.as_ref().map_or(0, |p| p.stats().sent);
+        let name = self.name.clone();
+        let coord = self.coordinator.as_mut().expect("checked above");
+        coord.accept(ctx, &name, snapshot, producer_sent);
+        if coord.has_pending_io() {
+            ctx.set_timer(CKPT_IO_RETRY_INTERVAL, tags::CKPT_IO_RETRY);
+        }
+        self.pump_commit(ctx);
+    }
+
+    /// Flushes an offset commit whose persist and output barrier are both
+    /// satisfied. Called after any event that can make progress: producer
+    /// acks, store acks, and captures.
+    fn pump_commit(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(coord) = self.coordinator.as_mut() else {
+            return;
+        };
+        let completed = self
+            .producer
+            .as_ref()
+            .map_or(u64::MAX, |p| p.outcomes().len() as u64);
+        if let Some(offsets) = coord.take_ready_commit(completed) {
+            self.consumer.commit_offsets(ctx, offsets);
+        }
+    }
+
+    fn normal_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.consumer.start(ctx);
+        if let Some(p) = self.producer.as_mut() {
+            p.start(ctx);
+        }
+        ctx.set_timer(self.cfg.batch_interval, tags::BATCH_TICK);
+        ctx.set_timer(self.cfg.background_interval, tags::BACKGROUND_TICK);
+        if let Some(c) = &self.coordinator {
+            ctx.set_timer(c.interval(), tags::CHECKPOINT_TICK);
+        }
+    }
+
+    fn apply_restore(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        snapshot: Option<StateSnapshot>,
+        bytes: Option<u64>,
+    ) {
+        let now = ctx.now();
+        if let Some(r) = self.recovery.as_mut() {
+            r.restored_at = Some(now);
+        }
+        let Some(snap) = snapshot else { return };
+        if let Some(r) = self.recovery.as_mut() {
+            r.snapshot_taken_at = Some(snap.taken_at);
+            r.snapshot_bytes = bytes.unwrap_or_else(|| snap.encoded_len() as u64);
+        }
+        let mode = self
+            .coordinator
+            .as_ref()
+            .expect("restore implies coordinator")
+            .mode();
+        self.plan
+            .restore_state(snap.plan_state, snap.records_in, snap.records_out);
+        match mode {
+            CheckpointMode::ExactlyOnce => {
+                // The snapshot is the source of truth: restore the unbatched
+                // input and seek to the offsets captured with the state, so
+                // the replay boundary matches the state exactly even if the
+                // final broker commit raced the crash.
+                self.buffer.events = snap.buffer;
+                self.consumer.seed_positions(snap.offsets.clone());
+            }
+            CheckpointMode::AtLeastOnce => {
+                // Resume from the broker's committed offsets (which trail
+                // the snapshot): records in between replay into restored
+                // state — duplicates, never loss.
+            }
+        }
+        if let Some(c) = self.coordinator.as_mut() {
+            c.seed_prev_offsets(snap.offsets);
+        }
+        ctx.trace(
+            "spe",
+            format!("{} restored checkpoint from {}", self.name, snap.taken_at),
+        );
+    }
+
+    fn handle_store_rpc(&mut self, ctx: &mut Ctx<'_>, rpc: StoreRpc) {
+        let Some(coord) = self.coordinator.as_mut() else {
+            return;
+        };
+        match coord.on_store_rpc(&rpc) {
+            StoreRpcOutcome::PersistCompleted => self.pump_commit(ctx),
+            StoreRpcOutcome::Recovered { snapshot, bytes } => {
+                self.awaiting_restore = false;
+                self.apply_restore(ctx, snapshot, Some(bytes));
+                self.normal_start(ctx);
+            }
+            StoreRpcOutcome::NotMine => {
+                // Sink-insert acks and unrelated store traffic: ignored, as
+                // before checkpointing existed.
+            }
         }
     }
 
@@ -308,7 +524,11 @@ impl SpeWorker {
                     self.store_inserts += 1;
                     ctx.send(
                         store,
-                        StoreRpc::Insert { corr: self.store_corr, table: table.clone(), row },
+                        StoreRpc::Insert {
+                            corr: self.store_corr,
+                            table: table.clone(),
+                            row,
+                        },
                     );
                 }
             }
@@ -323,12 +543,48 @@ impl Process for SpeWorker {
 
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         ctx.exec(self.cfg.startup_cpu, tags::STARTUP_DONE);
-        self.consumer.start(ctx);
-        if let Some(p) = self.producer.as_mut() {
-            p.start(ctx);
+        if let (Some(cfg), None) = (self.cfg.checkpoint, self.coordinator.as_ref()) {
+            // Self-contained default: a private in-memory backend. It dies
+            // with the worker, so orchestrated scenarios attach a shared or
+            // durable backend instead.
+            self.coordinator = Some(CheckpointCoordinator::new(
+                cfg,
+                Box::new(InMemoryBackend::new(snapshot_store())),
+                false,
+            ));
         }
-        ctx.set_timer(self.cfg.batch_interval, tags::BATCH_TICK);
-        ctx.set_timer(self.cfg.background_interval, tags::BACKGROUND_TICK);
+        let wants_recovery = self
+            .coordinator
+            .as_ref()
+            .is_some_and(CheckpointCoordinator::wants_recovery);
+        if self.restarted || wants_recovery {
+            self.recovery = Some(RecoveryInfo {
+                restarted_at: ctx.now(),
+                restored_at: None,
+                snapshot_taken_at: None,
+                snapshot_bytes: 0,
+                first_batch_at: None,
+            });
+        }
+        if wants_recovery {
+            let name = self.name.clone();
+            let coord = self.coordinator.as_mut().expect("checked above");
+            match coord.start_recovery(ctx, &name) {
+                RecoverOutcome::Done(snapshot) => {
+                    self.apply_restore(ctx, snapshot, None);
+                    self.normal_start(ctx);
+                }
+                RecoverOutcome::Pending(_) => {
+                    // Hold consuming and batching until the backend read
+                    // round trip completes — the recovery-latency cost of a
+                    // durable backend. The retry timer covers a lost RPC.
+                    self.awaiting_restore = true;
+                    ctx.set_timer(CKPT_IO_RETRY_INTERVAL, tags::CKPT_IO_RETRY);
+                }
+            }
+        } else {
+            self.normal_start(ctx);
+        }
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: ProcessId, msg: Box<dyn Message>) {
@@ -336,9 +592,15 @@ impl Process for SpeWorker {
             None => return,
             Some(m) => m,
         };
+        let msg = match s2g_sim::downcast::<StoreRpc>(msg) {
+            Ok(rpc) => return self.handle_store_rpc(ctx, *rpc),
+            Err(m) => m,
+        };
         if let Some(p) = self.producer.as_mut() {
             p.handle_message(ctx, msg);
         }
+        // Producer acks may have satisfied an exactly-once output barrier.
+        self.pump_commit(ctx);
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
@@ -347,6 +609,7 @@ impl Process for SpeWorker {
         }
         if let Some(p) = self.producer.as_mut() {
             if p.handle_timer(ctx, tag) {
+                self.pump_commit(ctx);
                 return;
             }
         }
@@ -360,6 +623,25 @@ impl Process for SpeWorker {
                     ctx.exec(self.cfg.background_cpu, tags::BACKGROUND_DONE);
                 }
                 ctx.set_timer(self.cfg.background_interval, tags::BACKGROUND_TICK);
+            }
+            tags::CHECKPOINT_TICK => {
+                if let Some(c) = self.coordinator.as_mut() {
+                    c.request_capture();
+                    let interval = c.interval();
+                    self.try_capture(ctx);
+                    ctx.set_timer(interval, tags::CHECKPOINT_TICK);
+                }
+            }
+            tags::CKPT_IO_RETRY => {
+                let name = self.name.clone();
+                if let Some(c) = self.coordinator.as_mut() {
+                    // A store RPC (persist or restore) is still unanswered:
+                    // the request or its response was lost. Re-issue it and
+                    // keep the timer armed until an answer lands.
+                    if c.retry_pending_io(ctx, &name) {
+                        ctx.set_timer(CKPT_IO_RETRY_INTERVAL, tags::CKPT_IO_RETRY);
+                    }
+                }
             }
             _ => {}
         }

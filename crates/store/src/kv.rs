@@ -49,7 +49,10 @@ impl KvStore {
     pub fn put(&mut self, key: impl Into<String>, value: impl Into<Bytes>) {
         let key = key.into();
         let value = value.into();
-        self.wal.push(WalOp::Put { key: key.clone(), value: value.clone() });
+        self.wal.push(WalOp::Put {
+            key: key.clone(),
+            value: value.clone(),
+        });
         self.mem.insert(key, value);
         self.puts += 1;
     }
@@ -67,7 +70,9 @@ impl KvStore {
 
     /// Deletes a key, returning the previous value.
     pub fn delete(&mut self, key: &str) -> Option<Bytes> {
-        self.wal.push(WalOp::Delete { key: key.to_string() });
+        self.wal.push(WalOp::Delete {
+            key: key.to_string(),
+        });
         self.deletes += 1;
         self.mem.remove(key)
     }
@@ -83,9 +88,12 @@ impl KvStore {
     }
 
     /// Iterates keys in `[from, to)` lexicographic order.
-    pub fn scan<'a>(&'a self, from: &str, to: &str) -> impl Iterator<Item = (&'a String, &'a Bytes)> {
-        self.mem
-            .range(from.to_string()..to.to_string())
+    pub fn scan<'a>(
+        &'a self,
+        from: &str,
+        to: &str,
+    ) -> impl Iterator<Item = (&'a String, &'a Bytes)> {
+        self.mem.range(from.to_string()..to.to_string())
     }
 
     /// Total bytes resident in the memtable (for the memory model).
@@ -108,14 +116,20 @@ impl KvStore {
         self.wal = self
             .mem
             .iter()
-            .map(|(k, v)| WalOp::Put { key: k.clone(), value: v.clone() })
+            .map(|(k, v)| WalOp::Put {
+                key: k.clone(),
+                value: v.clone(),
+            })
             .collect();
     }
 
     /// Drops the memtable and rebuilds it from the WAL — the crash-recovery
     /// path. Returns the recovered store (counters reset).
     pub fn simulate_crash_and_recover(&self) -> KvStore {
-        let mut fresh = KvStore { wal: self.wal.clone(), ..KvStore::default() };
+        let mut fresh = KvStore {
+            wal: self.wal.clone(),
+            ..KvStore::default()
+        };
         let ops = fresh.wal.clone();
         for op in ops {
             match op {

@@ -4,9 +4,7 @@
 //! CPU per operation, and reports resident bytes to the memory ledger —
 //! exactly the role MySQL plays on its own node in the paper's pipelines.
 
-use s2g_sim::{
-    downcast, Ctx, LedgerHandle, MemSlot, Message, Process, ProcessId, SimDuration,
-};
+use s2g_sim::{downcast, Ctx, LedgerHandle, MemSlot, Message, Process, ProcessId, SimDuration};
 
 use crate::kv::KvStore;
 use crate::table::TableStore;
@@ -178,7 +176,9 @@ impl Process for StoreServer {
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_>, from: ProcessId, msg: Box<dyn Message>) {
-        let Ok(rpc) = downcast::<StoreRpc>(msg) else { return };
+        let Ok(rpc) = downcast::<StoreRpc>(msg) else {
+            return;
+        };
         match *rpc {
             StoreRpc::Put { corr, key, value } => {
                 self.kv.put(key, value);
@@ -249,19 +249,38 @@ mod tests {
             "client"
         }
         fn on_start(&mut self, ctx: &mut Ctx<'_>) {
-            ctx.send(self.store, StoreRpc::Put { corr: 1, key: "k".into(), value: b"v".to_vec() });
             ctx.send(
                 self.store,
-                StoreRpc::Insert { corr: 2, table: "t".into(), row: vec!["a".into(), "b".into()] },
+                StoreRpc::Put {
+                    corr: 1,
+                    key: "k".into(),
+                    value: b"v".to_vec(),
+                },
+            );
+            ctx.send(
+                self.store,
+                StoreRpc::Insert {
+                    corr: 2,
+                    table: "t".into(),
+                    row: vec!["a".into(), "b".into()],
+                },
             );
         }
         fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: ProcessId, msg: Box<dyn Message>) {
-            let Ok(rpc) = downcast::<StoreRpc>(msg) else { return };
+            let Ok(rpc) = downcast::<StoreRpc>(msg) else {
+                return;
+            };
             match *rpc {
                 StoreRpc::PutAck { .. } | StoreRpc::InsertAck { .. } => {
                     self.acks += 1;
                     if self.acks == 2 {
-                        ctx.send(self.store, StoreRpc::Get { corr: 3, key: "k".into() });
+                        ctx.send(
+                            self.store,
+                            StoreRpc::Get {
+                                corr: 3,
+                                key: "k".into(),
+                            },
+                        );
                     }
                 }
                 StoreRpc::GetResult { value, .. } => self.got = Some(value),
@@ -274,7 +293,11 @@ mod tests {
     fn put_insert_get_round_trip() {
         let mut sim = Sim::new(0);
         let store = sim.spawn(Box::new(StoreServer::new(StoreConfig::default())));
-        let client = sim.spawn(Box::new(TestClient { store, acks: 0, got: None }));
+        let client = sim.spawn(Box::new(TestClient {
+            store,
+            acks: 0,
+            got: None,
+        }));
         sim.run_until(SimTime::from_secs(5));
         let c = sim.process_ref::<TestClient>(client).unwrap();
         assert_eq!(c.acks, 2);

@@ -86,7 +86,10 @@ impl TableStore {
         }
         self.tables.insert(
             name.to_string(),
-            Table { columns: columns.iter().map(|c| c.to_string()).collect(), rows: Vec::new() },
+            Table {
+                columns: columns.iter().map(|c| c.to_string()).collect(),
+                rows: Vec::new(),
+            },
         );
         Ok(())
     }
@@ -102,7 +105,10 @@ impl TableStore {
             .get_mut(table)
             .ok_or_else(|| TableError::NoSuchTable(table.to_string()))?;
         if row.len() != t.columns.len() {
-            return Err(TableError::ArityMismatch { expected: t.columns.len(), got: row.len() });
+            return Err(TableError::ArityMismatch {
+                expected: t.columns.len(),
+                got: row.len(),
+            });
         }
         t.rows.push(row);
         self.inserts += 1;
@@ -145,7 +151,11 @@ impl TableStore {
     /// # Errors
     ///
     /// Fails on unknown table or column.
-    pub fn count(&mut self, table: &str, filter: Option<(&str, &str)>) -> Result<usize, TableError> {
+    pub fn count(
+        &mut self,
+        table: &str,
+        filter: Option<(&str, &str)>,
+    ) -> Result<usize, TableError> {
         Ok(self.select(table, filter)?.len())
     }
 
@@ -154,7 +164,11 @@ impl TableStore {
     /// # Errors
     ///
     /// Fails on unknown table or column.
-    pub fn group_count(&mut self, table: &str, col: &str) -> Result<Vec<(String, usize)>, TableError> {
+    pub fn group_count(
+        &mut self,
+        table: &str,
+        col: &str,
+    ) -> Result<Vec<(String, usize)>, TableError> {
         self.selects += 1;
         let t = self
             .tables
@@ -182,7 +196,12 @@ impl TableStore {
     pub fn resident_bytes(&self) -> usize {
         self.tables
             .values()
-            .map(|t| t.rows.iter().map(|r| r.iter().map(String::len).sum::<usize>()).sum::<usize>())
+            .map(|t| {
+                t.rows
+                    .iter()
+                    .map(|r| r.iter().map(String::len).sum::<usize>())
+                    .sum::<usize>()
+            })
             .sum()
     }
 
@@ -223,19 +242,34 @@ mod tests {
     #[test]
     fn group_count_sorted() {
         let mut db = sample();
-        assert_eq!(db.group_count("t", "a").unwrap(), vec![("1".into(), 2), ("2".into(), 1)]);
+        assert_eq!(
+            db.group_count("t", "a").unwrap(),
+            vec![("1".into(), 2), ("2".into(), 1)]
+        );
     }
 
     #[test]
     fn errors_are_specific() {
         let mut db = sample();
-        assert_eq!(db.select("zz", None), Err(TableError::NoSuchTable("zz".into())));
-        assert_eq!(db.select("t", Some(("zz", "1"))), Err(TableError::NoSuchColumn("zz".into())));
+        assert_eq!(
+            db.select("zz", None),
+            Err(TableError::NoSuchTable("zz".into()))
+        );
+        assert_eq!(
+            db.select("t", Some(("zz", "1"))),
+            Err(TableError::NoSuchColumn("zz".into()))
+        );
         assert_eq!(
             db.insert("t", vec!["only-one".into()]),
-            Err(TableError::ArityMismatch { expected: 2, got: 1 })
+            Err(TableError::ArityMismatch {
+                expected: 2,
+                got: 1
+            })
         );
-        assert_eq!(db.create_table("t", &["a"]), Err(TableError::TableExists("t".into())));
+        assert_eq!(
+            db.create_table("t", &["a"]),
+            Err(TableError::TableExists("t".into()))
+        );
     }
 
     #[test]

@@ -13,16 +13,29 @@ fn main() {
     let result = scenario.run().expect("scenario is valid");
 
     let store_pid = result.store_pids["h-store"];
-    let store = result.sim.process_ref::<StoreServer>(store_pid).expect("store");
+    let store = result
+        .sim
+        .process_ref::<StoreServer>(store_pid)
+        .expect("store");
     let mut tables = store.tables().clone();
-    let groups = tables.group_count("port_counts", "c0").expect("table exists");
-    let rows: Vec<Vec<String>> =
-        groups.iter().map(|(port, n)| vec![port.clone(), n.to_string()]).collect();
+    let groups = tables
+        .group_count("port_counts", "c0")
+        .expect("table exists");
+    let rows: Vec<Vec<String>> = groups
+        .iter()
+        .map(|(port, n)| vec![port.clone(), n.to_string()])
+        .collect();
     println!(
         "{}",
-        ascii_table("windows persisted per watched port", &["port", "windows"], &rows)
+        ascii_table(
+            "windows persisted per watched port",
+            &["port", "windows"],
+            &rows
+        )
     );
     let (r_in, r_out) = result.report.spe["port-counts"].record_counts;
-    println!("stream job: {r_in} reports in, {r_out} window counts out (filtered to watched ports)");
+    println!(
+        "stream job: {r_in} reports in, {r_out} window counts out (filtered to watched ports)"
+    );
     println!("store now holds {} rows", store.tables().total_rows());
 }

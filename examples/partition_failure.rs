@@ -61,7 +61,10 @@ fn main() {
         .enumerate()
         .map(|(i, r)| (format!("consumer {i}"), r.as_slice()))
         .collect();
-    println!("{}", ascii_matrix("delivery matrix: producer on h1", &rows, 72));
+    println!(
+        "{}",
+        ascii_matrix("delivery matrix: producer on h1", &rows, 72)
+    );
 
     let lost = matrix.total_losses();
     println!(
@@ -80,7 +83,12 @@ fn main() {
         b0.leadership_events.len()
     );
     for s in &result.report.tx_series {
-        println!("  {}: peak tx {:.2} Mbps, mean {:.3} Mbps", s.node, s.peak_tx_mbps(), s.mean_tx_mbps());
+        println!(
+            "  {}: peak tx {:.2} Mbps, mean {:.3} Mbps",
+            s.node,
+            s.peak_tx_mbps(),
+            s.mean_tx_mbps()
+        );
     }
     println!("re-run with CoordinationMode::Kraft and acks=all to see zero loss.");
 }

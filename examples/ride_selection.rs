@@ -18,7 +18,10 @@ fn main() {
 
     // Decode the windowed averages the consumer received.
     let pid = result.consumer_pids[0];
-    let cons = result.sim.process_ref::<ConsumerProcess>(pid).expect("consumer");
+    let cons = result
+        .sim
+        .process_ref::<ConsumerProcess>(pid)
+        .expect("consumer");
     let monitored = cons.sink_as::<MonitoredSink>().expect("monitored sink");
     let inner = (monitored.inner() as &dyn std::any::Any)
         .downcast_ref::<CollectingSink>()
@@ -34,7 +37,10 @@ fn main() {
         .iter()
         .map(|(area, rate)| vec![area.clone(), format!("{:.1}%", rate * 100.0)])
         .collect();
-    println!("{}", ascii_table("best tipping areas", &["area", "mean tip rate"], &rows));
+    println!(
+        "{}",
+        ascii_table("best tipping areas", &["area", "mean tip rate"], &rows)
+    );
     println!(
         "({} joined window results across {} deliveries)",
         events.len(),

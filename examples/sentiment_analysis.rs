@@ -16,7 +16,11 @@ fn main() {
     let mut neg = 0;
     let mut neutral = 0;
     for e in &report.collected {
-        let p = e.value.field("polarity").and_then(Value::as_float).unwrap_or(0.0);
+        let p = e
+            .value
+            .field("polarity")
+            .and_then(Value::as_float)
+            .unwrap_or(0.0);
         if p > 0.1 {
             pos += 1;
         } else if p < -0.1 {
@@ -40,8 +44,16 @@ fn main() {
     // Show a few scored samples.
     for e in report.collected.iter().take(4) {
         let text = e.value.field("text").and_then(Value::as_str).unwrap_or("");
-        let p = e.value.field("polarity").and_then(Value::as_float).unwrap_or(0.0);
-        let s = e.value.field("subjectivity").and_then(Value::as_float).unwrap_or(0.0);
+        let p = e
+            .value
+            .field("polarity")
+            .and_then(Value::as_float)
+            .unwrap_or(0.0);
+        let s = e
+            .value
+            .field("subjectivity")
+            .and_then(Value::as_float)
+            .unwrap_or(0.0);
         println!("  [pol {p:+.2} subj {s:.2}] {text}");
     }
 }

@@ -24,7 +24,10 @@ fn cluster(name: &str, replication: u32, acks: AckMode, link: LinkSpec, seed: u6
             interval: SimDuration::from_millis(50),
             payload: 500,
         },
-        stream2gym::broker::ProducerConfig { acks, ..Default::default() },
+        stream2gym::broker::ProducerConfig {
+            acks,
+            ..Default::default()
+        },
     );
     sc.consumer("hc", Default::default(), &["events"]);
     sc
@@ -35,8 +38,12 @@ fn cluster(name: &str, replication: u32, acks: AckMode, link: LinkSpec, seed: u6
 #[test]
 fn acks_all_costs_replication_latency() {
     let link = LinkSpec::new().latency_ms(10);
-    let acks1 = cluster("acks1", 3, AckMode::Leader, link, 2).run().expect("runs");
-    let acks_all = cluster("acksall", 3, AckMode::All, link, 2).run().expect("runs");
+    let acks1 = cluster("acks1", 3, AckMode::Leader, link, 2)
+        .run()
+        .expect("runs");
+    let acks_all = cluster("acksall", 3, AckMode::All, link, 2)
+        .run()
+        .expect("runs");
     assert_eq!(acks1.total_deliveries(), 200);
     assert_eq!(acks_all.total_deliveries(), 200);
     // Compare producer-observed ack latency.
@@ -60,8 +67,12 @@ fn acks_all_costs_replication_latency() {
 #[test]
 fn replication_traffic_scales_with_factor() {
     let link = LinkSpec::new().latency_ms(2);
-    let r1 = cluster("r1", 1, AckMode::Leader, link, 4).run().expect("runs");
-    let r3 = cluster("r3", 3, AckMode::Leader, link, 4).run().expect("runs");
+    let r1 = cluster("r1", 1, AckMode::Leader, link, 4)
+        .run()
+        .expect("runs");
+    let r3 = cluster("r3", 3, AckMode::Leader, link, 4)
+        .run()
+        .expect("runs");
     let leader_tx = |r: &stream2gym::core::RunResult| {
         let n = r.net.borrow();
         let h1 = n.topology().lookup("h1").expect("leader host");
@@ -121,8 +132,14 @@ fn bandwidth_cap_throttles_delivery() {
         sc.consumer("hc", Default::default(), &["events"]);
         sc.run().expect("runs")
     };
-    let fast_lat = fast.mean_latency("events").expect("deliveries").as_secs_f64();
-    let slow_lat = throttled.mean_latency("events").expect("deliveries").as_secs_f64();
+    let fast_lat = fast
+        .mean_latency("events")
+        .expect("deliveries")
+        .as_secs_f64();
+    let slow_lat = throttled
+        .mean_latency("events")
+        .expect("deliveries")
+        .as_secs_f64();
     assert!(
         slow_lat > fast_lat * 2.0,
         "a link below offered load must queue: {fast_lat:.4}s vs {slow_lat:.4}s"

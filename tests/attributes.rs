@@ -10,7 +10,10 @@ fn split_plan() -> Plan {
             .as_str()
             .unwrap_or("")
             .split_whitespace()
-            .map(|w| Event { value: Value::Str(w.to_string()), ..e.clone() })
+            .map(|w| Event {
+                value: Value::Str(w.to_string()),
+                ..e.clone()
+            })
             .collect()
     })
 }
@@ -63,7 +66,10 @@ fn bundle() -> ResourceBundle {
         )
         .file("corpus.txt", "alpha beta\ngamma delta epsilon\n")
         .file("broker.yaml", "replicaLagMax: 10s\nsessionTimeout: 6s\n")
-        .file("spe.yaml", "app: split\nsourceTopics: raw-data\nsinkTopic: words\nbatchInterval: 250ms\n")
+        .file(
+            "spe.yaml",
+            "app: split\nsourceTopics: raw-data\nsinkTopic: words\nbatchInterval: 250ms\n",
+        )
         .file("sink.yaml", "topics: words\npollInterval: 50ms\n")
         .plan("split", split_plan)
 }
@@ -100,7 +106,11 @@ fn full_surface_description_runs() {
     // The pipeline moved data end to end: 2 documents → 5 words.
     let monitor = result.monitor.borrow();
     let words: Vec<_> = monitor.for_topic("words").collect();
-    assert_eq!(words.len(), 5, "five split words delivered through the pipeline");
+    assert_eq!(
+        words.len(),
+        5,
+        "five split words delivered through the pipeline"
+    );
     // The fault plan applied (loss/latency changes do not break delivery).
     assert_eq!(result.report.producers[0].stats.acked, 2);
 }

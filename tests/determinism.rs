@@ -2,9 +2,11 @@
 //! that makes emulated experiments replayable and debuggable.
 
 use s2g_bench::{fig6_run, Scale};
-use stream2gym::apps::word_count::{self, ComponentDelays};
+use stream2gym::apps::word_count::{self, recovery_scenario, ComponentDelays};
 use stream2gym::broker::CoordinationMode;
+use stream2gym::net::FaultPlan;
 use stream2gym::sim::{SimDuration, SimTime};
+use stream2gym::spe::{CheckpointCfg, CheckpointMode};
 
 #[test]
 fn word_count_runs_reproduce_exactly() {
@@ -32,14 +34,73 @@ fn word_count_runs_reproduce_exactly() {
 }
 
 #[test]
+fn crash_recovery_runs_reproduce_exactly() {
+    let run = |seed: u64, mode: CheckpointMode| {
+        let mut sc = recovery_scenario(
+            100,
+            SimDuration::from_millis(50),
+            SimTime::from_secs(25),
+            seed,
+        );
+        sc.with_checkpointing(CheckpointCfg {
+            interval: SimDuration::from_secs(1),
+            mode,
+        });
+        sc.faults(FaultPlan::new().crash_restart(
+            "wordcount",
+            SimTime::from_millis(3_700),
+            SimDuration::from_millis(800),
+        ));
+        let result = sc.run().expect("runs");
+        let matrix = result.delivery_matrix(0);
+        let spe = result.report.spe["wordcount"].clone();
+        let lat: Vec<(u64, u64)> = result
+            .monitor
+            .borrow()
+            .latency_series(0, "counts")
+            .iter()
+            .map(|(t, l)| (t.as_nanos(), l.as_nanos()))
+            .collect();
+        (
+            matrix,
+            lat,
+            spe.recovery,
+            spe.checkpoints,
+            spe.record_counts,
+            result.report.sim_stats,
+        )
+    };
+    for mode in [CheckpointMode::ExactlyOnce, CheckpointMode::AtLeastOnce] {
+        assert_eq!(
+            run(11, mode),
+            run(11, mode),
+            "same seed must reproduce the crash/recover run exactly ({mode:?})"
+        );
+    }
+}
+
+#[test]
 fn partition_experiment_reproduces_exactly() {
     let run = |seed: u64| {
         let d = fig6_run(CoordinationMode::Zk, 3, Scale::Quick, seed);
-        let topic_mix: Vec<String> =
-            d.matrix.messages.iter().map(|(t, _, _)| t.clone()).collect();
-        (topic_mix, d.lost_messages, d.truncated_records, d.matrix.delivery_rate().to_bits())
+        let topic_mix: Vec<String> = d
+            .matrix
+            .messages
+            .iter()
+            .map(|(t, _, _)| t.clone())
+            .collect();
+        (
+            topic_mix,
+            d.lost_messages,
+            d.truncated_records,
+            d.matrix.delivery_rate().to_bits(),
+        )
     };
     assert_eq!(run(9), run(9), "same seed, same partition run");
     // The random-topic producers make different seeds visibly different.
-    assert_ne!(run(9).0, run(10).0, "different seeds produce different message mixes");
+    assert_ne!(
+        run(9).0,
+        run(10).0,
+        "different seeds produce different message mixes"
+    );
 }

@@ -69,8 +69,15 @@ fn flapping_link_is_survivable() {
     let result = sc.run().expect("runs");
     let p = &result.report.producers[0];
     assert!(p.stats.retries > 0, "flaps must force produce retries");
-    assert_eq!(p.stats.failed, 0, "no record may exhaust its delivery timeout");
-    assert_eq!(result.total_deliveries(), 300, "all records delivered after flaps");
+    assert_eq!(
+        p.stats.failed, 0,
+        "no record may exhaust its delivery timeout"
+    );
+    assert_eq!(
+        result.total_deliveries(),
+        300,
+        "all records delivered after flaps"
+    );
 }
 
 /// Crashing the consumer host mid-run: deliveries stop during the outage

@@ -33,8 +33,14 @@ fn fig5_broker_and_spe_links_dominate() {
     let spe = get(Component::Spe, 150);
     let producer = get(Component::Producer, 150);
     let consumer = get(Component::Consumer, 150);
-    assert!(broker > producer, "broker link hurts more than producer link");
-    assert!(broker > consumer, "broker link hurts more than consumer link");
+    assert!(
+        broker > producer,
+        "broker link hurts more than producer link"
+    );
+    assert!(
+        broker > consumer,
+        "broker link hurts more than consumer link"
+    );
     assert!(spe > producer, "SPE link hurts more than producer link");
 }
 
@@ -44,17 +50,30 @@ fn fig5_broker_and_spe_links_dominate() {
 #[test]
 fn fig6_zk_loses_kraft_does_not() {
     let zk = fig6_run(CoordinationMode::Zk, 4, Scale::Quick, 1);
-    assert!(zk.truncated_records > 0, "healing must truncate the divergent suffix");
-    assert!(zk.lost_messages > 0, "ZooKeeper mode must silently lose messages");
+    assert!(
+        zk.truncated_records > 0,
+        "healing must truncate the divergent suffix"
+    );
+    assert!(
+        zk.lost_messages > 0,
+        "ZooKeeper mode must silently lose messages"
+    );
     // Losses confined to topic A (whose leader was disconnected): messages
     // missed by every consumer must be topic-a.
     for (topic, _, _) in zk.matrix.total_losses() {
-        assert_eq!(topic, "topic-a", "only the disconnected leader's topic loses data");
+        assert_eq!(
+            topic, "topic-a",
+            "only the disconnected leader's topic loses data"
+        );
     }
     // Leadership cycled away and back (events 1 and 4 of Fig. 6d).
     let became: Vec<bool> = zk.leader_events.iter().map(|(_, b)| *b).collect();
     assert!(became.contains(&false), "original leader must step down");
-    assert_eq!(became.last(), Some(&true), "preferred election must restore it");
+    assert_eq!(
+        became.last(),
+        Some(&true),
+        "preferred election must restore it"
+    );
 
     let kraft = fig6_run(CoordinationMode::Kraft, 4, Scale::Quick, 1);
     assert_eq!(kraft.lost_messages, 0, "KRaft mode must lose nothing acked");
@@ -86,7 +105,12 @@ fn fig6_latency_spikes_per_topic() {
 #[test]
 fn fig7a_throughput_plateaus_at_core_count() {
     let data = fig7a_sweep(&[1, 4, 8, 16], 5);
-    let t = |n: usize| data.iter().find(|(c, _)| *c == n).map(|(_, v)| *v).expect("point");
+    let t = |n: usize| {
+        data.iter()
+            .find(|(c, _)| *c == n)
+            .map(|(_, v)| *v)
+            .expect("point")
+    };
     assert!(t(4) > t(1) * 2.5, "4 consumers scale: {} vs {}", t(1), t(4));
     assert!(t(8) > t(4) * 1.5, "8 consumers scale: {} vs {}", t(4), t(8));
     // Beyond the 8 cores: no significant gain (paper: "does not cause a
@@ -130,7 +154,10 @@ fn fig8_backends_match() {
                 .map(|(_, _, v)| *v)
                 .expect("point");
             let gap = (emu - hw).abs() / hw;
-            assert!(gap < 0.05, "backends must agree within 5% at {ms}ms, gap {gap:.3}");
+            assert!(
+                gap < 0.05,
+                "backends must agree within 5% at {ms}ms, gap {gap:.3}"
+            );
         }
     }
 }
@@ -151,12 +178,18 @@ fn fig9_resource_model_shapes() {
         "CPU must stay under 60% for >90% of time at 10 sites"
     );
     // Median grows with sites but stays low overall.
-    assert!(large.cpu_median > small.cpu_median, "median CPU grows with sites");
+    assert!(
+        large.cpu_median > small.cpu_median,
+        "median CPU grows with sites"
+    );
     assert!(large.cpu_median < 0.25, "overall CPU demand stays low");
 
     // Memory: linear-ish growth, and bigger producer buffers cost more.
     let sweep16 = fig9_sweep(&[2, 10], 16 << 20, Scale::Quick, 7);
-    assert!(large.peak_mem_fraction > small.peak_mem_fraction, "memory grows with sites");
+    assert!(
+        large.peak_mem_fraction > small.peak_mem_fraction,
+        "memory grows with sites"
+    );
     assert!(
         sweep32[1].peak_mem_fraction > sweep16[1].peak_mem_fraction,
         "32 MB buffers must cost more than 16 MB: {} vs {}",
