@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p s2g-bench --bin figures -- [--fig 5|6|7a|7b|8|9|table2|all] [--quick]
+//! cargo run --release -p s2g-bench --bin figures -- [--fig 5|6|7a|7b|8|9|recovery|table2|all] [--quick]
 //! ```
 //!
 //! ASCII renderings go to stdout; CSV data lands under `target/figures/`.
@@ -13,8 +13,8 @@ use std::path::PathBuf;
 
 use s2g_bench::experiments::table2_inventory;
 use s2g_bench::{
-    fig5_sweep, fig6_run, fig7a_sweep, fig7b_sweep, fig8_sweep, fig9_sweep, group_by_component,
-    Component, Scale,
+    broker_recovery_sweep, fig5_sweep, fig6_run, fig7a_sweep, fig7b_sweep, fig8_sweep, fig9_sweep,
+    group_by_component, Component, Scale,
 };
 use s2g_broker::CoordinationMode;
 use s2g_core::{ascii_chart, ascii_matrix, ascii_table, cdf, csv_series};
@@ -320,6 +320,47 @@ fn fig9(scale: Scale) {
     );
 }
 
+fn recovery(scale: Scale) {
+    println!("\n#### Broker recovery latency vs pre-crash log size ####");
+    let counts: &[u64] = match scale {
+        Scale::Full => &[200, 1_000, 2_500, 5_000, 10_000],
+        Scale::Quick => &[100, 400, 800],
+    };
+    let points = broker_recovery_sweep(counts, scale, 9);
+    let replay: Vec<(f64, f64)> = points
+        .iter()
+        .map(|p| (p.records as f64, p.replay_latency_s))
+        .collect();
+    let unavail: Vec<(f64, f64)> = points
+        .iter()
+        .map(|p| (p.records as f64, p.unavailability_s))
+        .collect();
+    println!(
+        "{}",
+        ascii_chart(
+            "broker recovery latency",
+            &[("replay", &replay), ("unavailability", &unavail)],
+            64,
+            12,
+            "records in log at crash",
+            "latency (s)",
+        )
+    );
+    for p in &points {
+        println!(
+            "  {:>6} records | {:>3} segments | {:>8} B replayed | replay {:.4}s | unavailable {:.4}s",
+            p.records, p.replayed_segments, p.replayed_bytes, p.replay_latency_s, p.unavailability_s
+        );
+    }
+    write_csv(
+        "broker_recovery.csv",
+        &csv_series(
+            "records",
+            &[("replay_s", &replay), ("unavailability_s", &unavail)],
+        ),
+    );
+}
+
 fn table2() {
     println!("\n#### Table II: example applications ####");
     let rows: Vec<Vec<String>> = table2_inventory()
@@ -356,6 +397,7 @@ fn main() {
         "7b" => fig7b(scale),
         "8" => fig8(scale),
         "9" => fig9(scale),
+        "recovery" => recovery(scale),
         "table2" => table2(),
         "all" => {
             table2();
@@ -365,9 +407,10 @@ fn main() {
             fig7b(scale);
             fig8(scale);
             fig9(scale);
+            recovery(scale);
         }
         other => {
-            eprintln!("unknown figure `{other}`; use 5|6|7a|7b|8|9|table2|all");
+            eprintln!("unknown figure `{other}`; use 5|6|7a|7b|8|9|recovery|table2|all");
             std::process::exit(2);
         }
     }

@@ -336,6 +336,91 @@ pub fn fig9_sweep(
         .collect()
 }
 
+/// One point of the broker-recovery sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct BrokerRecoveryPoint {
+    /// Records in the log when the broker crashed.
+    pub records: u64,
+    /// Restart-to-serving latency (durable-log replay), seconds.
+    pub replay_latency_s: f64,
+    /// Crash-to-serving latency (the unavailability window), seconds.
+    pub unavailability_s: f64,
+    /// Encoded segment bytes read back during replay.
+    pub replayed_bytes: u64,
+    /// Segments read back during replay.
+    pub replayed_segments: u64,
+}
+
+/// **Broker recovery latency** — the ROADMAP follow-up figure: a producer
+/// fills one topic through a broker whose log is persisted via a store
+/// server ([`Scenario::with_durable_broker`]); once production finishes the
+/// broker is crashed and restarted, and the restarted instance replays its
+/// segments before serving. Returns one point per pre-crash log size, with
+/// replay latency growing in the number of persisted segments.
+pub fn broker_recovery_sweep(
+    record_counts: &[u64],
+    scale: Scale,
+    seed: u64,
+) -> Vec<BrokerRecoveryPoint> {
+    use s2g_store::StoreConfig;
+    let interval = match scale {
+        Scale::Full => SimDuration::from_millis(2),
+        Scale::Quick => SimDuration::from_millis(4),
+    };
+    record_counts
+        .iter()
+        .map(|&n| {
+            let produce_ms = interval.as_millis() * n + 500;
+            let crash_at = SimTime::from_millis(produce_ms + 1_000);
+            let duration = crash_at + SimDuration::from_secs(12);
+            let mut sc = Scenario::new("broker-recovery");
+            sc.seed(seed)
+                .duration(duration)
+                .default_link(LinkSpec::new().latency_ms(2))
+                .topic(TopicSpec::new("data"));
+            sc.broker("h1");
+            sc.store("h2", StoreConfig::default());
+            // A bandwidth-limited store link makes replay time scale with
+            // the bytes read back, not just the per-blob round trips.
+            sc.host_link("h2", LinkSpec::new().latency_ms(2).bandwidth_mbps(50.0));
+            sc.with_durable_broker("h2");
+            sc.producer(
+                "h3",
+                SourceSpec::Rate {
+                    topic: "data".into(),
+                    count: n,
+                    interval,
+                    payload: 200,
+                },
+                Default::default(),
+            );
+            sc.consumer("h4", Default::default(), &["data"]);
+            sc.faults(FaultPlan::new().crash_restart_broker(
+                0,
+                crash_at,
+                SimDuration::from_secs(1),
+            ));
+            let result = sc.run().expect("valid scenario");
+            let rec = result.report.brokers[0]
+                .recovery
+                .expect("broker crash recorded");
+            BrokerRecoveryPoint {
+                records: rec.replayed_records,
+                replay_latency_s: rec
+                    .replay_latency()
+                    .map(|d| d.as_secs_f64())
+                    .unwrap_or(f64::NAN),
+                unavailability_s: rec
+                    .unavailability()
+                    .map(|d| d.as_secs_f64())
+                    .unwrap_or(f64::NAN),
+                replayed_bytes: rec.replayed_bytes,
+                replayed_segments: rec.replayed_segments,
+            }
+        })
+        .collect()
+}
+
 /// **Table II** — the application inventory: `(name, components, feature)`.
 pub fn table2_inventory() -> Vec<(&'static str, u32, &'static str)> {
     vec![

@@ -17,19 +17,33 @@
 //!   itself fenced and rejects produce/fetch, and ISR changes only apply
 //!   once the controller quorum confirms them, so the high watermark never
 //!   advances past truly-replicated records.
+//!
+//! # Durability and restart
+//!
+//! With a [`LogBackend`] attached ([`Broker::set_durability`]) the broker
+//! flushes dirty log segments and a [`BrokerLogMeta`] blob (high
+//! watermarks, consumer-group offsets, segment manifest) through the
+//! backend; produce acknowledgements are withheld until the covering flush
+//! is durable, so an acknowledged record can never be lost to a broker
+//! crash. A broker respawned with `recover = true` replays the manifest —
+//! meta first, then every live segment — before serving again; client and
+//! replica requests arriving during replay are dropped (the process is
+//! "booting"), and the controller re-teaches roles when the restarted
+//! broker's heartbeat arrives with a bumped incarnation number.
 
 use std::collections::{BTreeMap, HashMap};
 
 use s2g_proto::{
     AckMode, BrokerId, ClientRpc, ControllerRpc, CorrelationId, ErrorCode, LeaderEpoch, Offset,
-    RecordBatch, ReplicaRpc, TopicPartition,
+    Record, RecordBatch, ReplicaRpc, TopicPartition,
 };
 use s2g_sim::{
     downcast, Ctx, LedgerHandle, MemSlot, Message, Process, ProcessId, SimDuration, SimTime,
 };
+use s2g_store::StoreRpc;
 
 use crate::config::{BrokerConfig, CoordinationMode};
-use crate::log::PartitionLog;
+use crate::log::{BrokerLogMeta, LogBackend, LogPersist, LogRecover, LogSegment, PartitionLog};
 use crate::metadata::MetadataCache;
 
 /// Timer tags used by the broker.
@@ -40,8 +54,14 @@ mod tags {
     pub const HEARTBEAT_TICK: u64 = 3;
     pub const BACKGROUND_TICK: u64 = 4;
     pub const BACKGROUND_DONE: u64 = 5;
+    pub const LOG_FLUSH_TICK: u64 = 6;
+    pub const DURABILITY_RETRY: u64 = 7;
     pub const CPU_BASE: u64 = 1 << 50;
 }
+
+/// How long the broker waits for a store response to a flush or recovery
+/// RPC before re-issuing it (a lossy network can drop either direction).
+const DURABILITY_RETRY_INTERVAL: SimDuration = SimDuration::from_secs(2);
 
 #[derive(Debug)]
 enum OutMsg {
@@ -54,10 +74,99 @@ struct PendingProduce {
     client: ProcessId,
     corr: CorrelationId,
     tp: TopicPartition,
-    /// High watermark needed before acknowledging.
+    /// High watermark needed before acknowledging (`Offset::ZERO` when the
+    /// ack mode does not wait for replication).
     need: Offset,
+    /// Durable log end needed before acknowledging (`Offset::ZERO` when no
+    /// log backend is attached).
+    need_durable: Offset,
     base: Offset,
     records: usize,
+}
+
+/// What a pending durability RPC was carrying, kept so a lost request or
+/// response can be re-issued verbatim under a fresh correlation id.
+enum DurabilityIo {
+    SegmentPut { key: String, bytes: Vec<u8> },
+    MetaPut { key: String, bytes: Vec<u8> },
+    MetaGet { key: String },
+    SegmentGet { key: String, tp: TopicPartition },
+}
+
+/// Recovery metrics for one restarted broker incarnation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BrokerRecoveryInfo {
+    /// When the respawned broker started.
+    pub restarted_at: SimTime,
+    /// When log replay completed and the broker resumed serving (`None`
+    /// while replay is still in flight, or when nothing was recoverable).
+    pub recovered_at: Option<SimTime>,
+    /// Records rebuilt from persisted segments.
+    pub replayed_records: u64,
+    /// Encoded segment bytes read back during replay.
+    pub replayed_bytes: u64,
+    /// Segments read back during replay.
+    pub replayed_segments: u64,
+}
+
+impl BrokerRecoveryInfo {
+    fn new(restarted_at: SimTime) -> Self {
+        BrokerRecoveryInfo {
+            restarted_at,
+            recovered_at: None,
+            replayed_records: 0,
+            replayed_bytes: 0,
+            replayed_segments: 0,
+        }
+    }
+
+    /// Restart-to-serving latency: what log replay costs.
+    pub fn replay_latency(&self) -> Option<SimDuration> {
+        self.recovered_at
+            .map(|t| t.saturating_since(self.restarted_at))
+    }
+}
+
+/// The broker's durability driver: the pluggable backend plus flush and
+/// recovery bookkeeping.
+struct Durability {
+    backend: Box<dyn LogBackend>,
+    /// Key prefix for this broker's blobs.
+    prefix: String,
+    /// Whether un-flushed mutations exist (segments, watermarks, offsets).
+    dirty: bool,
+    /// A flush is awaiting store acks.
+    flush_inflight: bool,
+    /// A mutation arrived while a flush was in flight; flush again after.
+    flush_again: bool,
+    /// Log ends captured when the in-flight flush was issued; applied to
+    /// `durable_end` on completion.
+    flush_ends: BTreeMap<TopicPartition, Offset>,
+    /// Per-partition durable log end — produce acks wait for this.
+    durable_end: BTreeMap<TopicPartition, Offset>,
+    /// Outstanding store RPCs by correlation id (ordered so retry
+    /// re-issues them deterministically).
+    pending: BTreeMap<u64, DurabilityIo>,
+    /// The retry timer is armed.
+    retry_armed: bool,
+    /// Segments staged during recovery, per partition.
+    staged: BTreeMap<TopicPartition, Vec<LogSegment>>,
+    /// The recovered meta blob (manifest applied once segments arrive).
+    staged_meta: Option<BrokerLogMeta>,
+}
+
+impl Durability {
+    fn meta_key(&self) -> String {
+        format!("{}/meta", self.prefix)
+    }
+
+    fn segment_key(&self, tp: &TopicPartition, base: u64) -> String {
+        format!("{}/{}/{}", self.prefix, tp, base)
+    }
+
+    fn durable_floor(&self, tp: &TopicPartition) -> Offset {
+        self.durable_end.get(tp).copied().unwrap_or(Offset::ZERO)
+    }
 }
 
 #[derive(Debug)]
@@ -100,6 +209,10 @@ pub struct BrokerStats {
     pub rejected_fenced: u64,
     /// Requests rejected because this broker was not the leader.
     pub rejected_not_leader: u64,
+    /// Records dropped by idempotent-producer dedup: a retried batch whose
+    /// `(producer, seq)` the log already holds (e.g. the ack was lost to a
+    /// broker crash) is acknowledged without a second append.
+    pub duplicates_filtered: u64,
     /// ISR shrink events initiated by this broker.
     pub isr_shrinks: u64,
     /// ISR expand proposals initiated by this broker.
@@ -108,6 +221,13 @@ pub struct BrokerStats {
     pub offset_commits: u64,
     /// Consumer-group offset fetches served.
     pub offset_fetches: u64,
+    /// Log flushes completed through the attached [`LogBackend`].
+    pub log_flushes: u64,
+    /// Encoded segment bytes handed to the log backend.
+    pub log_flushed_bytes: u64,
+    /// Client/replica requests dropped because the broker was still
+    /// replaying its log after a restart.
+    pub dropped_recovering: u64,
 }
 
 /// A message broker process (the Kafka-broker stand-in).
@@ -122,6 +242,13 @@ pub struct Broker {
     /// the broker-side half of checkpoint/recovery. Commits survive client
     /// crashes because they live here, not in the consumer.
     group_offsets: BTreeMap<(String, TopicPartition), Offset>,
+    /// Highest `(producer_epoch, seq)` appended per `(partition, producer)`
+    /// — the idempotent-producer dedup state. Rebuilt from the log on
+    /// restart replay and after divergence truncation, so a batch retried
+    /// across a broker bounce is acknowledged without duplicating records,
+    /// while a respawned client (bumped epoch, sequence restarting at zero)
+    /// is accepted as fresh.
+    last_producer_seq: BTreeMap<(TopicPartition, u32), (u32, u64)>,
     roles: BTreeMap<TopicPartition, Role>,
     known_epoch: HashMap<TopicPartition, LeaderEpoch>,
     metadata: MetadataCache,
@@ -136,6 +263,18 @@ pub struct Broker {
     /// Leadership-change log for the Fig. 6d event markers: (time, partition,
     /// became_leader).
     leadership_events: Vec<(SimTime, TopicPartition, bool)>,
+    /// Durable-log driver, when a backend is attached.
+    durability: Option<Durability>,
+    /// The respawned broker must replay its persisted log before serving.
+    recover: bool,
+    /// Replay is in flight; client/replica requests are dropped meanwhile.
+    recovering: bool,
+    /// Process incarnation, bumped by the orchestrator on every respawn and
+    /// carried in heartbeats so the controller re-teaches roles to a broker
+    /// that bounced within its session timeout.
+    incarnation: u64,
+    /// Restart/replay metrics for the current incarnation.
+    recovery: Option<BrokerRecoveryInfo>,
 }
 
 impl Broker {
@@ -165,6 +304,7 @@ impl Broker {
             peers,
             logs: BTreeMap::new(),
             group_offsets: BTreeMap::new(),
+            last_producer_seq: BTreeMap::new(),
             roles: BTreeMap::new(),
             known_epoch: HashMap::new(),
             metadata: MetadataCache::new(),
@@ -177,12 +317,67 @@ impl Broker {
             stats: BrokerStats::default(),
             name,
             leadership_events: Vec::new(),
+            durability: None,
+            recover: false,
+            recovering: false,
+            incarnation: 0,
+            recovery: None,
         }
     }
 
     /// Attaches a memory-ledger slot for the resource model.
     pub fn set_mem_slot(&mut self, ledger: LedgerHandle, slot: MemSlot) {
         self.mem = Some((ledger, slot));
+    }
+
+    /// Attaches a durable-log backend. Dirty segments and the meta blob are
+    /// flushed through it, and produce acknowledgements wait for the
+    /// covering flush (instant for [`InMemoryLogBackend`], a store round
+    /// trip for [`DurableLogBackend`]). With `recover` set the broker
+    /// replays the persisted manifest before serving — the respawn path.
+    ///
+    /// [`InMemoryLogBackend`]: crate::InMemoryLogBackend
+    /// [`DurableLogBackend`]: crate::DurableLogBackend
+    pub fn set_durability(&mut self, backend: Box<dyn LogBackend>, recover: bool) {
+        let prefix = format!("brokerlog/b{}", self.id.0);
+        self.durability = Some(Durability {
+            backend,
+            prefix,
+            dirty: false,
+            flush_inflight: false,
+            flush_again: false,
+            flush_ends: BTreeMap::new(),
+            durable_end: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            retry_armed: false,
+            staged: BTreeMap::new(),
+            staged_meta: None,
+        });
+        self.recover = recover;
+    }
+
+    /// Sets the process incarnation carried in controller heartbeats. The
+    /// orchestrator bumps it on every respawn so the controller can detect a
+    /// bounce that happened within the session timeout.
+    pub fn set_incarnation(&mut self, incarnation: u64) {
+        self.incarnation = incarnation;
+    }
+
+    /// Marks this broker instance as a post-crash respawn, so restart
+    /// metrics are reported even when no log backend is attached.
+    pub fn mark_restarted(&mut self) {
+        self.recovery = Some(BrokerRecoveryInfo::new(SimTime::ZERO));
+    }
+
+    /// Restart/replay metrics when this incarnation was respawned.
+    pub fn recovery_info(&self) -> Option<BrokerRecoveryInfo> {
+        self.recovery
+    }
+
+    /// True while the broker is replaying its persisted log after a restart
+    /// (client and replica requests are dropped meanwhile).
+    pub fn is_recovering(&self) -> bool {
+        self.recovering
     }
 
     /// This broker's id.
@@ -269,13 +464,44 @@ impl Broker {
         }
     }
 
-    /// Advances the high watermark of a led partition from follower state and
-    /// acknowledges satisfied `acks=all` produces.
+    /// Rebuilds the idempotent-producer dedup state of one partition from
+    /// its log (after truncation or restart replay).
+    fn rebuild_producer_seq(&mut self, tp: &TopicPartition) {
+        self.last_producer_seq.retain(|(t, _), _| t != tp);
+        let Some(log) = self.logs.get(tp) else {
+            return;
+        };
+        for seg in log.segments() {
+            for e in seg.entries() {
+                let key = (tp.clone(), e.record.producer.0);
+                let stamp = (e.record.producer_epoch, e.record.producer_seq);
+                let entry = self.last_producer_seq.entry(key).or_insert(stamp);
+                *entry = (*entry).max(stamp);
+            }
+        }
+    }
+
+    /// The partition's log, created with the configured segment size on
+    /// first touch. An associated function so call sites can hold other
+    /// `self` borrows.
+    fn log_mut<'l>(
+        logs: &'l mut BTreeMap<TopicPartition, PartitionLog>,
+        cfg: &BrokerConfig,
+        tp: &TopicPartition,
+    ) -> &'l mut PartitionLog {
+        logs.entry(tp.clone())
+            .or_insert_with(|| PartitionLog::with_segment_max(cfg.log_segment_max_records))
+    }
+
+    /// Advances the high watermark of a led partition from follower state
+    /// and acknowledges pending produces whose replication and durability
+    /// requirements are both met.
     fn advance_hw(&mut self, ctx: &mut Ctx<'_>, tp: &TopicPartition) {
         let Some(Role::Leader(ls)) = self.roles.get_mut(tp) else {
             return;
         };
-        let log = self.logs.entry(tp.clone()).or_default();
+        let log = Self::log_mut(&mut self.logs, &self.cfg, tp);
+        let prev_hw = log.high_watermark();
         let mut hw = log.log_end();
         for b in &ls.isr {
             if *b == self.id {
@@ -286,11 +512,22 @@ impl Broker {
         }
         log.advance_high_watermark(hw);
         let hw = log.high_watermark();
-        // Acknowledge pending produces now covered by the HW.
+        if hw != prev_hw {
+            // Watermark moves are metadata; the interval flush persists them.
+            if let Some(d) = &mut self.durability {
+                d.dirty = true;
+            }
+        }
+        let durable = match &self.durability {
+            Some(d) => d.durable_floor(tp),
+            None => Offset(u64::MAX),
+        };
+        // Acknowledge pending produces now covered by the HW and the
+        // durable end.
         let mut still_pending = Vec::new();
         let mut to_send = Vec::new();
         for p in ls.pending.drain(..) {
-            if p.need <= hw {
+            if p.need <= hw && p.need_durable <= durable {
                 to_send.push((
                     p.client,
                     OutMsg::Client(ClientRpc::ProduceResponse {
@@ -372,48 +609,86 @@ impl Broker {
                     );
                     return;
                 }
-                let n = batch.len();
-                let bytes: u64 = batch.records.iter().map(|r| r.encoded_len() as u64).sum();
+                // Idempotent-producer dedup: a record whose `(producer,
+                // seq)` this partition already appended is a retry whose
+                // ack was lost (timeout, broker bounce) — acknowledge it
+                // without appending a second copy.
+                let mut fresh: Vec<Record> = Vec::with_capacity(batch.len());
+                for r in batch.records {
+                    let key = (tp.clone(), r.producer.0);
+                    // Same-or-older (epoch, seq) is a stale retry; a bumped
+                    // epoch is a respawned client restarting at seq zero.
+                    let dup = self
+                        .last_producer_seq
+                        .get(&key)
+                        .is_some_and(|last| (r.producer_epoch, r.producer_seq) <= *last);
+                    if dup {
+                        self.stats.duplicates_filtered += 1;
+                    } else {
+                        self.last_producer_seq
+                            .insert(key, (r.producer_epoch, r.producer_seq));
+                        fresh.push(r);
+                    }
+                }
+                let n = fresh.len();
+                let bytes: u64 = fresh.iter().map(|r| r.encoded_len() as u64).sum();
                 let epoch = match self.roles.get(&tp) {
                     Some(Role::Leader(ls)) => ls.epoch,
                     _ => unreachable!("checked leader above"),
                 };
-                let log = self.logs.entry(tp.clone()).or_default();
-                let base = log.append_batch(epoch, batch.records);
+                let log = Self::log_mut(&mut self.logs, &self.cfg, &tp);
+                let base = log.append_batch(epoch, fresh);
                 self.retained_bytes += bytes;
                 self.update_mem();
                 self.stats.records_appended += n as u64;
-                let need = Offset(base.value() + n as u64);
-                match acks {
-                    AckMode::Leader => {
-                        // Ack immediately; HW may advance later via replication.
-                        let cost = self.request_cost(n);
-                        self.respond_after_cpu(
-                            ctx,
-                            cost,
-                            from,
-                            OutMsg::Client(ClientRpc::ProduceResponse {
-                                corr,
-                                tp: tp.clone(),
-                                base_offset: base,
-                                error: ErrorCode::None,
-                            }),
-                        );
-                        self.advance_hw(ctx, &tp);
+                let end = Offset(base.value() + n as u64);
+                let need = match acks {
+                    AckMode::All => end,
+                    AckMode::Leader => Offset::ZERO,
+                };
+                // With a log backend attached, the ack additionally waits
+                // for the covering flush (fsync-before-ack semantics), so an
+                // acknowledged record can never be lost to a broker crash.
+                let need_durable = if self.durability.is_some() {
+                    end
+                } else {
+                    Offset::ZERO
+                };
+                if need == Offset::ZERO && need_durable == Offset::ZERO {
+                    // acks=1, no durable log: acknowledge immediately; the
+                    // HW may advance later via replication.
+                    let cost = self.request_cost(n);
+                    self.respond_after_cpu(
+                        ctx,
+                        cost,
+                        from,
+                        OutMsg::Client(ClientRpc::ProduceResponse {
+                            corr,
+                            tp: tp.clone(),
+                            base_offset: base,
+                            error: ErrorCode::None,
+                        }),
+                    );
+                    self.advance_hw(ctx, &tp);
+                } else {
+                    if let Some(Role::Leader(ls)) = self.roles.get_mut(&tp) {
+                        ls.pending.push(PendingProduce {
+                            client: from,
+                            corr,
+                            tp: tp.clone(),
+                            need,
+                            need_durable,
+                            base,
+                            records: n,
+                        });
                     }
-                    AckMode::All => {
-                        if let Some(Role::Leader(ls)) = self.roles.get_mut(&tp) {
-                            ls.pending.push(PendingProduce {
-                                client: from,
-                                corr,
-                                tp: tp.clone(),
-                                need,
-                                base,
-                                records: n,
-                            });
-                        }
-                        self.advance_hw(ctx, &tp);
+                    if let Some(d) = &mut self.durability {
+                        d.dirty = true;
                     }
+                    // Watermark first so the flush persists the fresh one;
+                    // the ack stays pending until the flush is durable.
+                    self.advance_hw(ctx, &tp);
+                    self.flush_logs(ctx);
                 }
             }
             ClientRpc::FetchRequest {
@@ -429,7 +704,7 @@ impl Broker {
                 } else {
                     match self.roles.get(&tp) {
                         Some(Role::Leader(_)) => {
-                            let log = self.logs.entry(tp.clone()).or_default();
+                            let log = Self::log_mut(&mut self.logs, &self.cfg, &tp);
                             let hw = log.high_watermark();
                             if offset > hw {
                                 (RecordBatch::new(), hw, ErrorCode::OffsetOutOfRange)
@@ -486,6 +761,10 @@ impl Broker {
                     for (tp, off) in offsets {
                         self.group_offsets.insert((group.clone(), tp), off);
                     }
+                    if let Some(d) = &mut self.durability {
+                        d.dirty = true;
+                    }
+                    self.flush_logs(ctx);
                     ErrorCode::None
                 };
                 let cost = self.cfg.cpu_per_request;
@@ -564,7 +843,7 @@ impl Broker {
                     Some(Role::Leader(ls)) => ls.epoch,
                     _ => unreachable!(),
                 };
-                let log = self.logs.entry(tp.clone()).or_default();
+                let log = Self::log_mut(&mut self.logs, &self.cfg, &tp);
                 // Divergence reconciliation: a follower on an older epoch may
                 // hold a conflicting suffix and must truncate first.
                 let mut truncate_to = None;
@@ -655,18 +934,47 @@ impl Broker {
                 }
                 fs.epoch = epoch;
                 let full_batch = batch.len() >= self.cfg.replica_fetch_max_records;
-                let log = self.logs.entry(tp.clone()).or_default();
-                if let Some(t) = truncate_to {
-                    let before = log.retained_bytes() as u64;
-                    let n = log.truncate_to(t);
-                    self.stats.records_truncated += n as u64;
-                    let after = log.retained_bytes() as u64;
-                    self.retained_bytes = self.retained_bytes + after - before;
+                let mut truncated = false;
+                {
+                    let log = Self::log_mut(&mut self.logs, &self.cfg, &tp);
+                    if let Some(t) = truncate_to {
+                        let before = log.retained_bytes() as u64;
+                        let n = log.truncate_to(t);
+                        self.stats.records_truncated += n as u64;
+                        let after = log.retained_bytes() as u64;
+                        self.retained_bytes = self.retained_bytes + after - before;
+                        truncated = true;
+                    }
                 }
+                if truncated {
+                    // Discarded entries may hold the highest seqs; rebuild
+                    // the dedup state from what remains.
+                    self.rebuild_producer_seq(&tp);
+                    // The durable floor must shrink with the log: offsets
+                    // beyond the truncation point are no longer covered by
+                    // a valid flush, and future appends there must wait for
+                    // their own flush before being acknowledged. An
+                    // in-flight flush's claim is clamped too — its blobs
+                    // hold the discarded divergent suffix, not the live log.
+                    let new_end = self.logs.get(&tp).map_or(Offset::ZERO, |l| l.log_end());
+                    if let Some(d) = &mut self.durability {
+                        if let Some(e) = d.durable_end.get_mut(&tp) {
+                            *e = (*e).min(new_end);
+                        }
+                        if let Some(e) = d.flush_ends.get_mut(&tp) {
+                            *e = (*e).min(new_end);
+                        }
+                    }
+                }
+                let log = Self::log_mut(&mut self.logs, &self.cfg, &tp);
                 let bytes: u64 = batch.records.iter().map(|r| r.encoded_len() as u64).sum();
                 let n = batch.len();
                 for (i, rec) in batch.records.into_iter().enumerate() {
                     let e = epochs.get(i).copied().unwrap_or(epoch);
+                    let key = (tp.clone(), rec.producer.0);
+                    let stamp = (rec.producer_epoch, rec.producer_seq);
+                    let entry = self.last_producer_seq.entry(key).or_insert(stamp);
+                    *entry = (*entry).max(stamp);
                     log.append(e, rec);
                 }
                 self.retained_bytes += bytes;
@@ -674,6 +982,13 @@ impl Broker {
                 let end = log.log_end();
                 log.advance_high_watermark(high_watermark.min(end));
                 self.update_mem();
+                if (n > 0 || truncate_to.is_some()) && self.durability.is_some() {
+                    // Follower-side log changes ride the interval flush; no
+                    // client ack is waiting on them.
+                    if let Some(d) = &mut self.durability {
+                        d.dirty = true;
+                    }
+                }
                 // Catch-up mode: keep fetching immediately while full batches
                 // arrive.
                 if full_batch {
@@ -698,7 +1013,7 @@ impl Broker {
         };
         fs.inflight = true;
         let fallback_epoch = fs.epoch;
-        let log = self.logs.entry(tp.clone()).or_default();
+        let log = Self::log_mut(&mut self.logs, &self.cfg, tp);
         // Report the epoch of our log tail, not the announced leader epoch:
         // that is what lets the leader detect a divergent suffix appended
         // while we were isolated and tell us to truncate it.
@@ -788,6 +1103,344 @@ impl Broker {
         }
     }
 
+    /// The durable meta blob describing the broker's current state: per-
+    /// partition high watermarks and segment manifests plus group offsets.
+    fn build_meta(&self) -> BrokerLogMeta {
+        let partitions = self
+            .logs
+            .iter()
+            .map(|(tp, log)| {
+                let bases = log
+                    .segments()
+                    .iter()
+                    .filter(|s| !s.is_empty())
+                    .map(|s| s.base_offset().value())
+                    .collect();
+                (tp.clone(), log.high_watermark(), bases)
+            })
+            .collect();
+        let group_offsets = self
+            .group_offsets
+            .iter()
+            .map(|((g, tp), off)| (g.clone(), tp.clone(), *off))
+            .collect();
+        BrokerLogMeta {
+            partitions,
+            group_offsets,
+        }
+    }
+
+    fn arm_retry(&mut self, ctx: &mut Ctx<'_>) {
+        if let Some(d) = self.durability.as_mut() {
+            if !d.retry_armed && !d.pending.is_empty() {
+                d.retry_armed = true;
+                ctx.set_timer(DURABILITY_RETRY_INTERVAL, tags::DURABILITY_RETRY);
+            }
+        }
+    }
+
+    /// Persists every dirty segment plus the meta blob through the attached
+    /// backend. Overlapping calls coalesce: a flush requested while one is
+    /// in flight runs right after it completes.
+    fn flush_logs(&mut self, ctx: &mut Ctx<'_>) {
+        if self.recovering || self.durability.is_none() {
+            return;
+        }
+        {
+            let d = self.durability.as_mut().expect("checked above");
+            if d.flush_inflight {
+                d.flush_again = true;
+                return;
+            }
+            if !d.dirty && !self.logs.values().any(PartitionLog::has_dirty_segments) {
+                return;
+            }
+            d.dirty = false;
+        }
+        let meta_bytes = self.build_meta().encode();
+        let ends: BTreeMap<TopicPartition, Offset> = self
+            .logs
+            .iter()
+            .map(|(tp, l)| (tp.clone(), l.log_end()))
+            .collect();
+        let mut seg_blobs: Vec<(TopicPartition, u64, Vec<u8>)> = Vec::new();
+        for (tp, log) in self.logs.iter_mut() {
+            for (base, bytes) in log.take_dirty_segments() {
+                seg_blobs.push((tp.clone(), base, bytes));
+            }
+        }
+        let d = self.durability.as_mut().expect("checked above");
+        let mut pending: Vec<(u64, DurabilityIo)> = Vec::new();
+        let mut flushed_bytes = 0u64;
+        for (tp, base, bytes) in seg_blobs {
+            let key = d.segment_key(&tp, base);
+            flushed_bytes += bytes.len() as u64;
+            match d.backend.persist(ctx, &key, bytes.clone()) {
+                LogPersist::Done => {}
+                LogPersist::Pending(corr) => {
+                    pending.push((corr, DurabilityIo::SegmentPut { key, bytes }));
+                }
+            }
+        }
+        let mkey = d.meta_key();
+        match d.backend.persist(ctx, &mkey, meta_bytes.clone()) {
+            LogPersist::Done => {}
+            LogPersist::Pending(corr) => {
+                pending.push((
+                    corr,
+                    DurabilityIo::MetaPut {
+                        key: mkey,
+                        bytes: meta_bytes,
+                    },
+                ));
+            }
+        }
+        self.stats.log_flushed_bytes += flushed_bytes;
+        if pending.is_empty() {
+            self.complete_flush(ctx, ends);
+        } else {
+            d.flush_inflight = true;
+            d.flush_ends = ends;
+            d.pending.extend(pending);
+            self.arm_retry(ctx);
+        }
+    }
+
+    /// A flush (all its store writes) became durable: advance the durable
+    /// ends, release produce acks that were waiting, and flush again if
+    /// mutations piled up meanwhile.
+    fn complete_flush(&mut self, ctx: &mut Ctx<'_>, ends: BTreeMap<TopicPartition, Offset>) {
+        self.stats.log_flushes += 1;
+        let Some(d) = self.durability.as_mut() else {
+            return;
+        };
+        d.flush_inflight = false;
+        let again = std::mem::take(&mut d.flush_again) || d.dirty;
+        for (tp, end) in ends {
+            let e = d.durable_end.entry(tp).or_insert(Offset::ZERO);
+            *e = (*e).max(end);
+        }
+        let led: Vec<TopicPartition> = self
+            .roles
+            .iter()
+            .filter(|(_, r)| matches!(r, Role::Leader(_)))
+            .map(|(tp, _)| tp.clone())
+            .collect();
+        for tp in led {
+            self.advance_hw(ctx, &tp);
+        }
+        if again || self.logs.values().any(PartitionLog::has_dirty_segments) {
+            self.flush_logs(ctx);
+        }
+    }
+
+    /// Starts the restart replay: read the meta blob, then every live
+    /// segment it lists. Client and replica requests are dropped until
+    /// replay completes.
+    fn begin_recovery(&mut self, ctx: &mut Ctx<'_>) {
+        self.recovering = true;
+        self.recovery = Some(BrokerRecoveryInfo::new(ctx.now()));
+        let d = self
+            .durability
+            .as_mut()
+            .expect("recovery requires a log backend");
+        let key = d.meta_key();
+        match d.backend.recover(ctx, &key) {
+            LogRecover::Done(value) => self.on_meta_recovered(ctx, value),
+            LogRecover::Pending(corr) => {
+                d.pending.insert(corr, DurabilityIo::MetaGet { key });
+                self.arm_retry(ctx);
+            }
+        }
+    }
+
+    fn on_meta_recovered(&mut self, ctx: &mut Ctx<'_>, value: Option<Vec<u8>>) {
+        let meta = value.as_deref().and_then(BrokerLogMeta::decode);
+        let Some(meta) = meta else {
+            // Cold start (or unreadable blob): nothing to replay.
+            self.finish_recovery(ctx);
+            return;
+        };
+        let d = self.durability.as_mut().expect("recovering");
+        let mut gets: Vec<(String, TopicPartition)> = Vec::new();
+        for (tp, _hw, bases) in &meta.partitions {
+            for base in bases {
+                gets.push((d.segment_key(tp, *base), tp.clone()));
+            }
+        }
+        d.staged_meta = Some(meta);
+        let mut done_now: Vec<(TopicPartition, Option<Vec<u8>>)> = Vec::new();
+        for (key, tp) in gets {
+            match d.backend.recover(ctx, &key) {
+                LogRecover::Done(v) => done_now.push((tp, v)),
+                LogRecover::Pending(corr) => {
+                    d.pending.insert(corr, DurabilityIo::SegmentGet { key, tp });
+                }
+            }
+        }
+        for (tp, v) in done_now {
+            self.stage_segment(tp, v);
+        }
+        self.arm_retry(ctx);
+        self.maybe_finish_recovery(ctx);
+    }
+
+    fn stage_segment(&mut self, tp: TopicPartition, value: Option<Vec<u8>>) {
+        let Some(d) = self.durability.as_mut() else {
+            return;
+        };
+        if let Some(bytes) = value {
+            if let Some(r) = self.recovery.as_mut() {
+                r.replayed_bytes += bytes.len() as u64;
+            }
+            if let Some(seg) = LogSegment::decode(&bytes) {
+                d.staged.entry(tp).or_default().push(seg);
+            }
+        }
+    }
+
+    fn maybe_finish_recovery(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(d) = &self.durability else {
+            return;
+        };
+        let reads_left = d.pending.values().any(|io| {
+            matches!(
+                io,
+                DurabilityIo::MetaGet { .. } | DurabilityIo::SegmentGet { .. }
+            )
+        });
+        if !reads_left {
+            self.finish_recovery(ctx);
+        }
+    }
+
+    /// Rebuilds the partition logs and group offsets from the staged
+    /// segments + meta, then resumes serving.
+    fn finish_recovery(&mut self, ctx: &mut Ctx<'_>) {
+        let cfg_max = self.cfg.log_segment_max_records;
+        if let Some(d) = self.durability.as_mut() {
+            if let Some(meta) = d.staged_meta.take() {
+                let mut staged = std::mem::take(&mut d.staged);
+                for (tp, hw, _bases) in meta.partitions {
+                    let segs = staged.remove(&tp).unwrap_or_default();
+                    let log = PartitionLog::from_recovered_segments(segs, hw, cfg_max);
+                    if let Some(r) = self.recovery.as_mut() {
+                        r.replayed_records += log.len() as u64;
+                        r.replayed_segments +=
+                            log.segments().iter().filter(|s| !s.is_empty()).count() as u64;
+                    }
+                    d.durable_end.insert(tp.clone(), log.log_end());
+                    self.retained_bytes += log.retained_bytes() as u64;
+                    self.logs.insert(tp, log);
+                }
+                for (group, tp, off) in meta.group_offsets {
+                    self.group_offsets.insert((group, tp), off);
+                }
+            }
+        }
+        // Rebuild idempotent-producer dedup state from the replayed logs so
+        // batches retried across the bounce are not appended twice.
+        let tps: Vec<TopicPartition> = self.logs.keys().cloned().collect();
+        for tp in &tps {
+            self.rebuild_producer_seq(tp);
+        }
+        self.update_mem();
+        self.recovering = false;
+        if let Some(r) = self.recovery.as_mut() {
+            r.recovered_at = Some(ctx.now());
+        }
+        ctx.trace("broker", format!("{} replayed its durable log", self.name));
+    }
+
+    fn handle_store(&mut self, ctx: &mut Ctx<'_>, rpc: StoreRpc) {
+        let Some(d) = self.durability.as_mut() else {
+            return;
+        };
+        match rpc {
+            StoreRpc::PutAck { corr } => {
+                // Only complete an entry of the matching kind: a delayed
+                // PutAck from a previous broker incarnation must not cancel
+                // a recovery read that reused the correlation id.
+                let is_put = matches!(
+                    d.pending.get(&corr),
+                    Some(DurabilityIo::SegmentPut { .. } | DurabilityIo::MetaPut { .. })
+                );
+                if !is_put {
+                    return; // stale or superseded (retried) write
+                }
+                d.pending.remove(&corr);
+                let writes_left = d.pending.values().any(|io| {
+                    matches!(
+                        io,
+                        DurabilityIo::SegmentPut { .. } | DurabilityIo::MetaPut { .. }
+                    )
+                });
+                if d.flush_inflight && !writes_left {
+                    let ends = std::mem::take(&mut d.flush_ends);
+                    self.complete_flush(ctx, ends);
+                }
+            }
+            StoreRpc::GetResult { corr, value } => {
+                let is_get = matches!(
+                    d.pending.get(&corr),
+                    Some(DurabilityIo::MetaGet { .. } | DurabilityIo::SegmentGet { .. })
+                );
+                if !is_get {
+                    return; // stale or superseded (retried) read
+                }
+                let io = d.pending.remove(&corr).expect("just matched");
+                match io {
+                    DurabilityIo::MetaGet { .. } => self.on_meta_recovered(ctx, value),
+                    DurabilityIo::SegmentGet { tp, .. } => {
+                        self.stage_segment(tp, value);
+                        self.maybe_finish_recovery(ctx);
+                    }
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Re-issues every outstanding durability RPC (the request or its
+    /// response was lost in the network) under fresh correlation ids.
+    fn retry_durability(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(d) = self.durability.as_mut() else {
+            return;
+        };
+        d.retry_armed = false;
+        if d.pending.is_empty() {
+            return;
+        }
+        let items: Vec<DurabilityIo> = std::mem::take(&mut d.pending).into_values().collect();
+        for io in items {
+            match io {
+                DurabilityIo::SegmentPut { key, bytes } => {
+                    if let LogPersist::Pending(corr) = d.backend.persist(ctx, &key, bytes.clone()) {
+                        d.pending
+                            .insert(corr, DurabilityIo::SegmentPut { key, bytes });
+                    }
+                }
+                DurabilityIo::MetaPut { key, bytes } => {
+                    if let LogPersist::Pending(corr) = d.backend.persist(ctx, &key, bytes.clone()) {
+                        d.pending.insert(corr, DurabilityIo::MetaPut { key, bytes });
+                    }
+                }
+                DurabilityIo::MetaGet { key } => {
+                    if let LogRecover::Pending(corr) = d.backend.recover(ctx, &key) {
+                        d.pending.insert(corr, DurabilityIo::MetaGet { key });
+                    }
+                }
+                DurabilityIo::SegmentGet { key, tp } => {
+                    if let LogRecover::Pending(corr) = d.backend.recover(ctx, &key) {
+                        d.pending.insert(corr, DurabilityIo::SegmentGet { key, tp });
+                    }
+                }
+            }
+        }
+        self.arm_retry(ctx);
+    }
+
     fn handle_controller(&mut self, ctx: &mut Ctx<'_>, rpc: ControllerRpc) {
         match rpc {
             ControllerRpc::HeartbeatAck { .. } => {
@@ -836,9 +1489,12 @@ impl Broker {
                                     pending: Vec::new(),
                                 }),
                             );
-                            self.logs.entry(tp.clone()).or_default();
+                            Self::log_mut(&mut self.logs, &self.cfg, &tp);
                             self.leadership_events.push((now, tp.clone(), true));
                             ctx.trace("broker", format!("{} became leader of {tp}", self.name));
+                            // A recovered log may carry a watermark below its
+                            // end; as fresh leader, re-evaluate immediately.
+                            self.advance_hw(ctx, &tp);
                         }
                     }
                 } else if replicas.contains(&self.id) {
@@ -856,7 +1512,7 @@ impl Broker {
                             inflight: false,
                         }),
                     );
-                    self.logs.entry(tp.clone()).or_default();
+                    Self::log_mut(&mut self.logs, &self.cfg, &tp);
                 } else {
                     self.roles.remove(&tp);
                 }
@@ -874,21 +1530,54 @@ impl Process for Broker {
 
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         self.last_hb_ack = ctx.now();
+        if let Some(r) = self.recovery.as_mut() {
+            // A respawn without a log backend still records restart time.
+            r.restarted_at = ctx.now();
+        }
         ctx.exec(self.cfg.startup_cpu, tags::STARTUP_DONE);
         ctx.set_timer(self.cfg.replica_fetch_interval, tags::REPLICA_TICK);
         ctx.set_timer(self.cfg.isr_check_interval, tags::ISR_TICK);
-        self.send_controllers(ctx, ControllerRpc::Heartbeat { broker: self.id });
+        let hb = ControllerRpc::Heartbeat {
+            broker: self.id,
+            incarnation: self.incarnation,
+        };
+        self.send_controllers(ctx, hb);
         ctx.set_timer(self.cfg.heartbeat_interval, tags::HEARTBEAT_TICK);
         ctx.set_timer(self.cfg.background_interval, tags::BACKGROUND_TICK);
+        if self.durability.is_some() {
+            ctx.set_timer(self.cfg.log_flush_interval, tags::LOG_FLUSH_TICK);
+            if self.recover {
+                self.begin_recovery(ctx);
+            }
+        }
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_>, from: ProcessId, msg: Box<dyn Message>) {
+        let msg = match downcast::<StoreRpc>(msg) {
+            Ok(rpc) => return self.handle_store(ctx, *rpc),
+            Err(m) => m,
+        };
         let msg = match downcast::<ClientRpc>(msg) {
-            Ok(rpc) => return self.handle_client(ctx, from, *rpc),
+            Ok(rpc) => {
+                if self.recovering {
+                    // Still replaying the durable log: the process is not
+                    // serving yet, exactly like a booting broker with no
+                    // listener. Client timeouts and retries cover the gap.
+                    self.stats.dropped_recovering += 1;
+                    return;
+                }
+                return self.handle_client(ctx, from, *rpc);
+            }
             Err(m) => m,
         };
         let msg = match downcast::<ReplicaRpc>(msg) {
-            Ok(rpc) => return self.handle_replica(ctx, from, *rpc),
+            Ok(rpc) => {
+                if self.recovering {
+                    self.stats.dropped_recovering += 1;
+                    return;
+                }
+                return self.handle_replica(ctx, from, *rpc);
+            }
             Err(m) => m,
         };
         if let Ok(rpc) = downcast::<ControllerRpc>(msg) {
@@ -899,16 +1588,31 @@ impl Process for Broker {
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
         match tag {
             tags::REPLICA_TICK => {
-                self.replica_tick(ctx);
+                if !self.recovering {
+                    self.replica_tick(ctx);
+                }
                 ctx.set_timer(self.cfg.replica_fetch_interval, tags::REPLICA_TICK);
             }
             tags::ISR_TICK => {
-                self.isr_tick(ctx);
+                if !self.recovering {
+                    self.isr_tick(ctx);
+                }
                 ctx.set_timer(self.cfg.isr_check_interval, tags::ISR_TICK);
             }
             tags::HEARTBEAT_TICK => {
-                self.send_controllers(ctx, ControllerRpc::Heartbeat { broker: self.id });
+                let hb = ControllerRpc::Heartbeat {
+                    broker: self.id,
+                    incarnation: self.incarnation,
+                };
+                self.send_controllers(ctx, hb);
                 ctx.set_timer(self.cfg.heartbeat_interval, tags::HEARTBEAT_TICK);
+            }
+            tags::LOG_FLUSH_TICK => {
+                self.flush_logs(ctx);
+                ctx.set_timer(self.cfg.log_flush_interval, tags::LOG_FLUSH_TICK);
+            }
+            tags::DURABILITY_RETRY => {
+                self.retry_durability(ctx);
             }
             tags::BACKGROUND_TICK => {
                 if !self.cfg.background_cpu.is_zero() {

@@ -57,6 +57,14 @@ pub struct BrokerConfig {
     pub startup_cpu: SimDuration,
     /// Max records returned per consumer fetch.
     pub fetch_max_records: usize,
+    /// Records per log segment before the partition log rolls (Kafka's
+    /// `log.segment.bytes`, counted in records here); segments are the unit
+    /// of durable-log persistence and restart replay.
+    pub log_segment_max_records: usize,
+    /// How often a broker with a log backend flushes follower appends,
+    /// watermark moves, and committed offsets that are not already covered
+    /// by a produce-triggered flush.
+    pub log_flush_interval: SimDuration,
 }
 
 impl Default for BrokerConfig {
@@ -74,6 +82,8 @@ impl Default for BrokerConfig {
             background_interval: SimDuration::from_millis(100),
             startup_cpu: SimDuration::from_millis(600),
             fetch_max_records: 500,
+            log_segment_max_records: 128,
+            log_flush_interval: SimDuration::from_millis(500),
         }
     }
 }

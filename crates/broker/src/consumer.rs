@@ -83,6 +83,9 @@ struct InflightFetch {
 pub struct ConsumerClient {
     cfg: ConsumerConfig,
     bootstrap: ProcessId,
+    /// Every broker endpoint, in broker-id order — the rotation list used
+    /// when the current bootstrap stops answering (broker crash/restart).
+    bootstrap_candidates: Vec<ProcessId>,
     brokers: HashMap<s2g_proto::BrokerId, ProcessId>,
     subscriptions: Vec<String>,
     metadata: MetadataCache,
@@ -111,9 +114,13 @@ impl ConsumerClient {
         brokers: HashMap<s2g_proto::BrokerId, ProcessId>,
         topics: Vec<String>,
     ) -> Self {
+        let mut candidates: Vec<(s2g_proto::BrokerId, ProcessId)> =
+            brokers.iter().map(|(b, p)| (*b, *p)).collect();
+        candidates.sort_by_key(|(b, _)| *b);
         ConsumerClient {
             cfg,
             bootstrap,
+            bootstrap_candidates: candidates.into_iter().map(|(_, p)| p).collect(),
             brokers,
             subscriptions: topics,
             metadata: MetadataCache::new(),
@@ -221,6 +228,21 @@ impl ConsumerClient {
         let timer = ctx.set_timer(self.request_timeout, CONSUMER_TAGS + off::META_TIMEOUT);
         self.meta_inflight = Some((corr, timer));
         ctx.send(self.bootstrap, ClientRpc::MetadataRequest { corr });
+    }
+
+    /// Advances to the next broker endpoint for bootstrap traffic (called
+    /// after a metadata or offset-fetch timeout, i.e. the current endpoint
+    /// is unreachable).
+    fn rotate_bootstrap(&mut self) {
+        if self.bootstrap_candidates.len() < 2 {
+            return;
+        }
+        let cur = self
+            .bootstrap_candidates
+            .iter()
+            .position(|p| *p == self.bootstrap)
+            .unwrap_or(0);
+        self.bootstrap = self.bootstrap_candidates[(cur + 1) % self.bootstrap_candidates.len()];
     }
 
     fn poll(&mut self, ctx: &mut Ctx<'_>) {
@@ -394,7 +416,9 @@ impl ConsumerClient {
             self.poll(ctx);
             ctx.set_timer(self.cfg.poll_interval, CONSUMER_TAGS + off::POLL);
         } else if o == off::META_TIMEOUT {
+            // The bootstrap may be down (broker crash): rotate and retry.
             self.meta_inflight = None;
+            self.rotate_bootstrap();
             self.request_metadata(ctx);
         } else if o == off::AUTO_COMMIT {
             self.commit_positions(ctx);
@@ -403,8 +427,10 @@ impl ConsumerClient {
                 CONSUMER_TAGS + off::AUTO_COMMIT,
             );
         } else if o == off::OFFSET_FETCH_TIMEOUT {
-            // Offset fetch lost; the next poll retries it.
+            // Offset fetch lost; the next poll retries it (against the next
+            // endpoint, in case the group coordinator crashed).
             self.offset_fetch_inflight = None;
+            self.rotate_bootstrap();
         } else if (off::REQ_TIMEOUT_BASE..off::CPU_DELIVER_BASE).contains(&o) {
             let corr = o - off::REQ_TIMEOUT_BASE;
             if let Some(inflight) = self.inflight.remove(&corr) {

@@ -137,8 +137,10 @@ impl ClusterState {
 
     /// The records to commit when `broker`'s session expires: fence it, and
     /// move leadership of every partition it led to the first *alive* ISR
-    /// member (unclean election disabled — if none, the partition goes
-    /// offline).
+    /// member. With unclean election disabled, a partition whose ISR was
+    /// just the failed leader goes offline but keeps that leader in the
+    /// ISR — it is the only replica with the full log, so it (and only it)
+    /// is re-elected when it returns.
     pub fn changes_for_broker_failure(&self, broker: BrokerId) -> Vec<MetadataRecord> {
         let mut out = vec![MetadataRecord::BrokerFenced { broker }];
         for p in self.partitions.values() {
@@ -154,7 +156,11 @@ impl ClusterState {
             out.push(MetadataRecord::PartitionChange {
                 tp: p.tp.clone(),
                 leader: new_leader,
-                isr: if new_isr.is_empty() { vec![] } else { new_isr },
+                isr: if new_isr.is_empty() {
+                    vec![broker]
+                } else {
+                    new_isr
+                },
                 epoch: p.epoch.next(),
             });
         }
@@ -320,6 +326,10 @@ pub struct ZkController {
     state: ClusterState,
     brokers: BTreeMap<BrokerId, ProcessId>,
     sessions: BTreeMap<BrokerId, SimTime>,
+    /// Last seen process incarnation per broker; a jump means the broker
+    /// bounced (possibly within its session timeout) and must be re-taught
+    /// its roles.
+    incarnations: BTreeMap<BrokerId, u64>,
     metadata_version: u64,
     /// Controller decision log for assertions: (time, record).
     decisions: Vec<(SimTime, MetadataRecord)>,
@@ -341,6 +351,7 @@ impl ZkController {
             state,
             brokers,
             sessions: BTreeMap::new(),
+            incarnations: BTreeMap::new(),
             metadata_version: 0,
             decisions: Vec::new(),
             initial_plan: plan,
@@ -431,15 +442,27 @@ impl Process for ZkController {
             return;
         };
         match *rpc {
-            ControllerRpc::Heartbeat { broker } => {
+            ControllerRpc::Heartbeat {
+                broker,
+                incarnation,
+            } => {
                 let now = ctx.now();
                 self.sessions.insert(broker, now);
+                let prev_inc = self.incarnations.insert(broker, incarnation).unwrap_or(0);
+                // A fenced session *or* a bumped incarnation means the
+                // broker restarted: a bounce faster than the session timeout
+                // never expires the session, so the incarnation jump is the
+                // only signal that its roles must be re-taught.
                 let was_dead = !self.state.is_alive(broker);
+                let bounced = incarnation > prev_inc;
                 if was_dead {
-                    // Re-registration: revive, resend its roles, and recover
-                    // any offline partitions it can serve.
+                    // Re-registration: revive it in the replicated state.
                     let recs = self.state.changes_for_broker_registration(broker);
                     self.commit(ctx, recs);
+                }
+                if was_dead || bounced {
+                    // Re-teach the broker its roles and metadata, and
+                    // recover any offline partitions it can serve again.
                     let rpcs = self.state.leader_and_isr_for_broker(broker);
                     if let Some(&pid) = self.brokers.get(&broker) {
                         for r in rpcs {

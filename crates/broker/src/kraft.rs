@@ -71,6 +71,10 @@ pub struct KraftController {
     // Replicated state machine + leader-local soft state.
     state: ClusterState,
     sessions: BTreeMap<BrokerId, SimTime>,
+    /// Last seen process incarnation per broker; a jump means the broker
+    /// bounced and must be re-taught its roles even if its session never
+    /// expired.
+    incarnations: BTreeMap<BrokerId, u64>,
     metadata_version: u64,
     decisions: Vec<(SimTime, MetadataRecord)>,
     bootstrapped: bool,
@@ -111,6 +115,7 @@ impl KraftController {
             election_deadline: SimTime::ZERO,
             state: ClusterState::new(),
             sessions: BTreeMap::new(),
+            incarnations: BTreeMap::new(),
             metadata_version: 0,
             decisions: Vec::new(),
             bootstrapped: false,
@@ -514,14 +519,25 @@ impl KraftController {
             return; // only the active controller serves brokers
         }
         match rpc {
-            ControllerRpc::Heartbeat { broker } => {
+            ControllerRpc::Heartbeat {
+                broker,
+                incarnation,
+            } => {
                 let now = ctx.now();
                 self.sessions.insert(broker, now);
-                if !self.state.is_alive(broker) {
+                let prev_inc = self.incarnations.insert(broker, incarnation).unwrap_or(0);
+                let bounced = incarnation > prev_inc;
+                let was_dead = !self.state.is_alive(broker);
+                if was_dead {
                     // Re-registration goes through the quorum.
                     self.propose(vec![MetadataRecord::BrokerRegistered { broker }]);
                     self.leader_tick(ctx);
-                    // Re-teach the healed broker its roles from applied state.
+                }
+                if was_dead || bounced {
+                    // Re-teach the returned broker its roles from applied
+                    // state — a bounce within the session timeout never
+                    // expires the session, so the incarnation jump is the
+                    // only restart signal.
                     if let Some(&pid) = self.brokers.get(&broker) {
                         for r in self.state.leader_and_isr_for_broker(broker) {
                             ctx.send(pid, r);

@@ -64,7 +64,7 @@ mod metadata;
 mod producer;
 mod sources;
 
-pub use broker::{Broker, BrokerStats};
+pub use broker::{Broker, BrokerRecoveryInfo, BrokerStats};
 pub use config::{
     BrokerConfig, ConsumerConfig, ControllerConfig, CoordinationMode, ProducerConfig, TopicSpec,
 };
@@ -74,7 +74,11 @@ pub use consumer::{
 };
 pub use controller::{ClusterState, PartitionState, ZkController};
 pub use kraft::KraftController;
-pub use log::{LogEntry, PartitionLog};
+pub use log::{
+    log_store, BrokerLogMeta, DurableLogBackend, InMemoryLogBackend, LogBackend, LogEntry,
+    LogPersist, LogRecover, LogSegment, LogStoreHandle, PartitionLog, BROKER_LOG_CORR_BASE,
+    DEFAULT_SEGMENT_MAX_RECORDS,
+};
 pub use metadata::{plan_assignments, MetadataCache};
 pub use producer::{
     DataSource, ProduceOutcome, ProducerClient, ProducerProcess, ProducerStats, SourceAction,

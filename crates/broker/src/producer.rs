@@ -125,8 +125,15 @@ struct Inflight {
 /// The embeddable producer state machine.
 pub struct ProducerClient {
     id: ProducerId,
+    /// This client incarnation's epoch: bumped by the orchestrator when a
+    /// crashed embedding process restarts, so broker-side idempotent dedup
+    /// distinguishes a fresh sequence-zero stream from a stale retry.
+    epoch: u32,
     cfg: ProducerConfig,
     bootstrap: ProcessId,
+    /// Every broker endpoint, in broker-id order — the rotation list used
+    /// when the current bootstrap stops answering (broker crash/restart).
+    bootstrap_candidates: Vec<ProcessId>,
     brokers: HashMap<s2g_proto::BrokerId, ProcessId>,
     metadata: MetadataCache,
     meta_versions: u64,
@@ -159,10 +166,15 @@ impl ProducerClient {
         brokers: HashMap<s2g_proto::BrokerId, ProcessId>,
         corr_parity: u64,
     ) -> Self {
+        let mut candidates: Vec<(s2g_proto::BrokerId, ProcessId)> =
+            brokers.iter().map(|(b, p)| (*b, *p)).collect();
+        candidates.sort_by_key(|(b, _)| *b);
         ProducerClient {
             id,
+            epoch: 0,
             cfg,
             bootstrap,
+            bootstrap_candidates: candidates.into_iter().map(|(_, p)| p).collect(),
             brokers,
             metadata: MetadataCache::new(),
             meta_versions: 0,
@@ -192,6 +204,13 @@ impl ProducerClient {
     /// This producer's id.
     pub fn id(&self) -> ProducerId {
         self.id
+    }
+
+    /// Sets the producer epoch stamped on every record (Kafka's producer
+    /// epoch). Call on a respawned client so its fresh sequence numbers are
+    /// not mistaken for retries of the previous incarnation's.
+    pub fn set_epoch(&mut self, epoch: u32) {
+        self.epoch = epoch;
     }
 
     /// Counters.
@@ -244,6 +263,20 @@ impl ProducerClient {
         ctx.send(self.bootstrap, ClientRpc::MetadataRequest { corr });
     }
 
+    /// Advances to the next broker endpoint for bootstrap traffic (called
+    /// after a metadata timeout, i.e. the current endpoint is unreachable).
+    fn rotate_bootstrap(&mut self) {
+        if self.bootstrap_candidates.len() < 2 {
+            return;
+        }
+        let cur = self
+            .bootstrap_candidates
+            .iter()
+            .position(|p| *p == self.bootstrap)
+            .unwrap_or(0);
+        self.bootstrap = self.bootstrap_candidates[(cur + 1) % self.bootstrap_candidates.len()];
+    }
+
     /// Queues one record for `topic`. Returns `false` (and counts a buffer
     /// rejection) when the buffer pool is exhausted.
     pub fn send(
@@ -257,7 +290,8 @@ impl ProducerClient {
             Some(k) => Record::new(k, value, ctx.now()),
             None => Record::keyless(value, ctx.now()),
         }
-        .from_producer(self.id, self.next_seq);
+        .from_producer(self.id, self.next_seq)
+        .with_producer_epoch(self.epoch);
         let bytes = record.encoded_len();
         if self.buffer_used + bytes > self.cfg.buffer_memory {
             self.stats.buffer_rejected += 1;
@@ -482,8 +516,12 @@ impl ProducerClient {
         if o == off::RETRY_PUMP {
             self.pump(ctx);
         } else if o == off::META_TIMEOUT {
-            // Metadata request lost; retry.
+            // Metadata request lost — the bootstrap may be down (broker
+            // crash). Rotate to the next broker endpoint and retry; a
+            // single-broker cluster retries the same endpoint until its
+            // restart answers.
             self.meta_inflight = None;
+            self.rotate_bootstrap();
             self.request_metadata(ctx);
         } else if (off::LINGER_BASE..off::REQ_TIMEOUT_BASE).contains(&o) {
             let topic_id = o - off::LINGER_BASE;

@@ -60,8 +60,8 @@ pub use graphml::{parse_graphml, GraphmlDoc, GraphmlEdge, GraphmlError, GraphmlN
 pub use monitor::{DeliveryMatrix, DeliveryRecord, MonitorCore, MonitorHandle, MonitoredSink};
 pub use resources::{cdf, cpu_utilization_series, median, MemModel, MemSampler, ServerSpec};
 pub use scenario::{
-    BrokerReport, CheckpointBackendSpec, CheckpointSpec, ConsumerReport, ConsumerSinkSpec,
-    ProducerReport, RecoveryReport, RunReport, RunResult, Scenario, ScenarioError, SourceSpec,
-    SpeJobSpec, SpeReport, SpeSinkSpec,
+    BrokerDurabilitySpec, BrokerRecoveryReport, BrokerReport, CheckpointBackendSpec,
+    CheckpointSpec, ConsumerReport, ConsumerSinkSpec, ProducerReport, RecoveryReport, RunReport,
+    RunResult, Scenario, ScenarioError, SourceSpec, SpeJobSpec, SpeReport, SpeSinkSpec,
 };
 pub use viz::{ascii_chart, ascii_matrix, ascii_table, csv_series};

@@ -12,11 +12,11 @@ use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
 use s2g_broker::{
-    Broker, BrokerConfig, BrokerStats, CollectingSink, ConsumerClient, ConsumerConfig,
+    log_store, Broker, BrokerConfig, BrokerStats, CollectingSink, ConsumerClient, ConsumerConfig,
     ConsumerProcess, ConsumerStats, ControllerConfig, CoordinationMode, DataSink, DataSource,
-    FileLinesSource, KraftController, PoissonSource, ProduceOutcome, ProducerClient,
-    ProducerConfig, ProducerProcess, ProducerStats, RandomTopicSource, RateSource, TopicSpec,
-    ZkController,
+    DurableLogBackend, FileLinesSource, InMemoryLogBackend, KraftController, LogBackend,
+    LogStoreHandle, PoissonSource, ProduceOutcome, ProducerClient, ProducerConfig, ProducerProcess,
+    ProducerStats, RandomTopicSource, RateSource, TopicSpec, ZkController,
 };
 use s2g_net::{
     FaultAction, FaultInjector, FaultPlan, LinkSpec, NetHandle, NetTransport, Network,
@@ -218,6 +218,22 @@ pub struct CheckpointSpec {
     pub backend: CheckpointBackendSpec,
 }
 
+/// Where every broker's log segments and meta blob are persisted, making
+/// broker crash/restart survivable.
+#[derive(Debug, Clone)]
+pub enum BrokerDurabilitySpec {
+    /// Segments on a shared map outside the broker processes — an
+    /// always-synced local disk: instant, free, survives broker crashes.
+    InMemory,
+    /// Segments persisted through the store server on the named host,
+    /// paying simulated CPU/network cost per flush; produce acks wait for
+    /// the covering flush (fsync-before-ack).
+    StoreOn {
+        /// Host carrying the store server.
+        host: String,
+    },
+}
+
 impl fmt::Debug for SpeJobSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("SpeJobSpec")
@@ -248,6 +264,8 @@ pub enum ScenarioError {
     UnknownHost(String),
     /// A crash/restart fault references a name that is not an SPE job.
     UnknownProcess(String),
+    /// A broker crash/restart fault references an undeclared broker index.
+    UnknownBroker(u32),
 }
 
 impl fmt::Display for ScenarioError {
@@ -262,6 +280,9 @@ impl fmt::Display for ScenarioError {
             ScenarioError::UnknownHost(h) => write!(f, "topology has no host `{h}`"),
             ScenarioError::UnknownProcess(p) => {
                 write!(f, "fault plan crashes `{p}`, which is not an SPE job name")
+            }
+            ScenarioError::UnknownBroker(b) => {
+                write!(f, "fault plan crashes broker b{b}, which is not declared")
             }
         }
     }
@@ -291,6 +312,7 @@ pub struct Scenario {
     consumers: Vec<(String, ConsumerConfig, Vec<String>, ConsumerSinkSpec)>,
     faults: FaultPlan,
     checkpointing: Option<CheckpointSpec>,
+    broker_durability: Option<BrokerDurabilitySpec>,
     watch_tx: Vec<String>,
     tracing: bool,
     event_limit: u64,
@@ -320,6 +342,7 @@ impl Scenario {
             consumers: Vec::new(),
             faults: FaultPlan::new(),
             checkpointing: None,
+            broker_durability: None,
             watch_tx: Vec::new(),
             tracing: false,
             event_limit: u64::MAX,
@@ -496,6 +519,69 @@ impl Scenario {
         self
     }
 
+    /// Gives every broker a recoverable log on an always-synced in-memory
+    /// "local disk" outside the broker processes: a crashed-and-restarted
+    /// broker ([`FaultPlan::crash_restart_broker`]) replays its segments,
+    /// rebuilds its high watermarks and consumer-group offsets, and resumes
+    /// serving with nothing lost. Persistence is instant and free — use
+    /// [`with_durable_broker`](Scenario::with_durable_broker) to pay
+    /// simulated cost through a store server instead.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use s2g_broker::TopicSpec;
+    /// use s2g_core::Scenario;
+    /// use s2g_net::FaultPlan;
+    /// use s2g_sim::{SimDuration, SimTime};
+    ///
+    /// let mut sc = Scenario::new("broker-bounce");
+    /// sc.topic(TopicSpec::new("events")).with_recoverable_broker();
+    /// sc.broker("h1");
+    /// sc.faults(FaultPlan::new().crash_restart_broker(
+    ///     0,
+    ///     SimTime::from_secs(10),
+    ///     SimDuration::from_secs(2),
+    /// ));
+    /// let result = sc.run()?;
+    /// let recovery = result.report.brokers[0].recovery.expect("broker bounced");
+    /// assert!(recovery.recovered_at.is_some());
+    /// # Ok::<(), s2g_core::ScenarioError>(())
+    /// ```
+    pub fn with_recoverable_broker(&mut self) -> &mut Self {
+        self.broker_durability = Some(BrokerDurabilitySpec::InMemory);
+        self
+    }
+
+    /// Gives every broker a durable log persisted through the store server
+    /// on `store_host`: dirty segments and the committed-offset/metadata
+    /// snapshot ship over the emulated network on every flush (paying the
+    /// store's CPU cost), produce acknowledgements wait for the covering
+    /// flush, and a restarted broker pays a read round trip per blob while
+    /// it replays — the recovery-latency cost the report surfaces in
+    /// [`BrokerRecoveryReport`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use s2g_broker::TopicSpec;
+    /// use s2g_core::Scenario;
+    /// use s2g_store::StoreConfig;
+    ///
+    /// let mut sc = Scenario::new("durable-broker");
+    /// sc.topic(TopicSpec::new("events"));
+    /// sc.broker("h1");
+    /// sc.store("h2", StoreConfig::default());
+    /// sc.with_durable_broker("h2");
+    /// assert!(sc.run().is_ok());
+    /// ```
+    pub fn with_durable_broker(&mut self, store_host: &str) -> &mut Self {
+        self.broker_durability = Some(BrokerDurabilitySpec::StoreOn {
+            host: store_host.to_string(),
+        });
+        self
+    }
+
     /// Samples per-second transmit throughput of the named nodes (Fig. 6d).
     pub fn watch_throughput(&mut self, nodes: &[&str]) -> &mut Self {
         self.watch_tx = nodes.iter().map(|n| n.to_string()).collect();
@@ -613,13 +699,24 @@ impl Scenario {
                 return Err(ScenarioError::NoStoreOnHost(host.clone()));
             }
         }
+        if let Some(BrokerDurabilitySpec::StoreOn { host }) = &self.broker_durability {
+            if !self.stores.iter().any(|(h, _)| h == host) {
+                return Err(ScenarioError::NoStoreOnHost(host.clone()));
+            }
+        }
         for (_, action) in self.faults.process_events() {
-            let name = match action {
-                FaultAction::CrashProcess(n) | FaultAction::RestartProcess(n) => n,
-                _ => continue,
-            };
-            if !self.spe_jobs.iter().any(|(_, j)| &j.name == name) {
-                return Err(ScenarioError::UnknownProcess(name.clone()));
+            match action {
+                FaultAction::CrashProcess(n) | FaultAction::RestartProcess(n)
+                    if !self.spe_jobs.iter().any(|(_, j)| &j.name == n) =>
+                {
+                    return Err(ScenarioError::UnknownProcess(n.clone()));
+                }
+                FaultAction::CrashBroker(b) | FaultAction::RestartBroker(b)
+                    if *b as usize >= self.brokers.len() =>
+                {
+                    return Err(ScenarioError::UnknownBroker(*b));
+                }
+                _ => {}
             }
         }
         Ok(())
@@ -739,7 +836,12 @@ impl Scenario {
             }
         }
 
-        // Brokers.
+        // Brokers. Each build recipe is retained so a `RestartBroker` fault
+        // can rebuild the broker (fresh process, bumped incarnation, same
+        // pid/slot/durability backend) mid-run.
+        let broker_durability = self.broker_durability.clone();
+        let broker_log_store: LogStoreHandle = log_store();
+        let mut broker_builds: Vec<BrokerBuild> = Vec::new();
         for (i, (host, cfg)) in self.brokers.iter().enumerate() {
             let mut b = Broker::new(
                 BrokerId(i as u32),
@@ -758,6 +860,13 @@ impl Scenario {
                 sim.attach_cpu(pid, cpu.clone());
             }
             placements.push((pid, host.clone()));
+            broker_builds.push(BrokerBuild {
+                host: host.clone(),
+                cfg: cfg.clone(),
+                slot,
+                pid,
+                incarnation: 0,
+            });
         }
 
         let bootstrap_for = |host: &str| -> ProcessId {
@@ -782,6 +891,34 @@ impl Scenario {
             }
             placements.push((pid, host.clone()));
             store_pids.insert(host.clone(), pid);
+        }
+
+        // Attach broker-log durability now that store pids are known. The
+        // backend factory is shared with the restart path below.
+        let make_log_backend = {
+            let store_pids = store_pids.clone();
+            let broker_log_store = broker_log_store.clone();
+            move |spec: &BrokerDurabilitySpec, incarnation: u64| -> Box<dyn LogBackend> {
+                match spec {
+                    BrokerDurabilitySpec::InMemory => {
+                        Box::new(InMemoryLogBackend::new(broker_log_store.clone()))
+                    }
+                    BrokerDurabilitySpec::StoreOn { host } => {
+                        Box::new(DurableLogBackend::for_incarnation(
+                            *store_pids.get(host).expect("validated broker-log store"),
+                            incarnation,
+                        ))
+                    }
+                }
+            }
+        };
+        if let Some(spec) = &broker_durability {
+            for build in &broker_builds {
+                let b = sim
+                    .process_mut::<Broker>(build.pid)
+                    .expect("broker just spawned");
+                b.set_durability(make_log_backend(spec, 0), false);
+            }
         }
 
         // SPE jobs. Producer ids: jobs first, then producer stubs. Each
@@ -820,6 +957,7 @@ impl Scenario {
                 bootstrap: bootstrap_for(&host),
                 slot,
                 pid: ProcessId(0),
+                incarnation: 0,
             };
             let w = build_spe_worker(
                 &build,
@@ -927,10 +1065,13 @@ impl Scenario {
         }
 
         // Execute, pausing at each process-fault instant to kill or respawn
-        // the targeted worker. Crashed workers' remains are kept so the
-        // report can still surface their pre-crash metrics.
+        // the targeted worker or broker. Crashed processes' remains are kept
+        // so the report can still surface their pre-crash metrics.
+        let mode = self.mode;
         let mut crashed_at: BTreeMap<String, SimTime> = BTreeMap::new();
         let mut corpses: BTreeMap<String, Box<dyn s2g_sim::Process>> = BTreeMap::new();
+        let mut broker_crashed_at: BTreeMap<u32, SimTime> = BTreeMap::new();
+        let mut broker_corpses: BTreeMap<u32, Box<dyn s2g_sim::Process>> = BTreeMap::new();
         for (at, action) in process_events {
             if at >= duration {
                 break;
@@ -946,12 +1087,14 @@ impl Scenario {
                 }
                 FaultAction::RestartProcess(name) => {
                     let build = spe_builds
-                        .iter()
+                        .iter_mut()
                         .find(|b| b.name == name)
                         .expect("validated SPE job name");
                     if sim.is_alive(build.pid) {
                         continue; // restart without a preceding crash: no-op
                     }
+                    build.incarnation += 1;
+                    let build = &*build;
                     let mut w = build_spe_worker(
                         build,
                         &brokers_hash,
@@ -962,11 +1105,48 @@ impl Scenario {
                         true,
                     );
                     w.mark_restarted();
+                    w.set_producer_epoch(build.incarnation as u32);
                     sim.respawn(build.pid, Box::new(w));
                     if let Some(cpu) = cpus.get(&build.host) {
                         sim.attach_cpu(build.pid, cpu.clone());
                     }
                     corpses.remove(&name);
+                }
+                FaultAction::CrashBroker(idx) => {
+                    let build = &broker_builds[idx as usize];
+                    if let Some(corpse) = sim.kill(build.pid) {
+                        broker_crashed_at.insert(idx, at);
+                        broker_corpses.insert(idx, corpse);
+                    }
+                }
+                FaultAction::RestartBroker(idx) => {
+                    let build = &mut broker_builds[idx as usize];
+                    if sim.is_alive(build.pid) {
+                        continue; // restart without a preceding crash: no-op
+                    }
+                    build.incarnation += 1;
+                    let mut b = Broker::new(
+                        BrokerId(idx),
+                        build.cfg.clone(),
+                        mode,
+                        controller_pids.clone(),
+                        brokers_hash.clone(),
+                    );
+                    b.set_mem_slot(ledger.clone(), build.slot);
+                    b.set_incarnation(build.incarnation);
+                    match &broker_durability {
+                        Some(spec) => {
+                            b.set_durability(make_log_backend(spec, build.incarnation), true)
+                        }
+                        // Without a log backend the broker restarts empty
+                        // (the data-loss contrast); still record metrics.
+                        None => b.mark_restarted(),
+                    }
+                    sim.respawn(build.pid, Box::new(b));
+                    if let Some(cpu) = cpus.get(&build.host) {
+                        sim.attach_cpu(build.pid, cpu.clone());
+                    }
+                    broker_corpses.remove(&idx);
                 }
                 _ => unreachable!("process_events yields only process actions"),
             }
@@ -998,11 +1178,30 @@ impl Scenario {
         }
         let mut brokers_report = Vec::new();
         for (i, pid) in broker_pids.iter().enumerate() {
-            let b = sim.process_ref::<Broker>(*pid).expect("broker process");
+            // A crashed-and-not-restarted broker is absent from the process
+            // table; report from its corpse instead.
+            let b = sim.process_ref::<Broker>(*pid).or_else(|| {
+                broker_corpses
+                    .get(&(i as u32))
+                    .and_then(|c| (c.as_ref() as &dyn std::any::Any).downcast_ref::<Broker>())
+            });
+            let b = b.expect("broker process (live or corpse)");
+            let recovery = broker_crashed_at.get(&(i as u32)).map(|t| {
+                let info = b.recovery_info();
+                BrokerRecoveryReport {
+                    crashed_at: *t,
+                    restarted_at: info.map(|r| r.restarted_at),
+                    recovered_at: info.and_then(|r| r.recovered_at),
+                    replayed_records: info.map_or(0, |r| r.replayed_records),
+                    replayed_bytes: info.map_or(0, |r| r.replayed_bytes),
+                    replayed_segments: info.map_or(0, |r| r.replayed_segments),
+                }
+            });
             brokers_report.push(BrokerReport {
                 id: BrokerId(i as u32),
                 stats: b.stats(),
                 leadership_events: b.leadership_events().to_vec(),
+                recovery,
             });
         }
         let mut spe_report = BTreeMap::new();
@@ -1092,6 +1291,17 @@ impl Scenario {
     }
 }
 
+/// Everything needed to (re)build one broker: a `RestartBroker` respawn
+/// reuses the original wiring (pid, memory slot, config) around a fresh
+/// process with a bumped incarnation.
+struct BrokerBuild {
+    host: String,
+    cfg: BrokerConfig,
+    slot: MemSlot,
+    pid: ProcessId,
+    incarnation: u64,
+}
+
 /// Everything needed to (re)build one SPE worker: the initial spawn and any
 /// `RestartProcess` respawn share this recipe, so a restarted worker gets
 /// the same wiring (pid, memory slot, clients) around a fresh plan.
@@ -1106,6 +1316,7 @@ struct SpeBuild {
     bootstrap: ProcessId,
     slot: MemSlot,
     pid: ProcessId,
+    incarnation: u64,
 }
 
 fn build_spe_worker(
@@ -1186,6 +1397,42 @@ pub struct BrokerReport {
     pub stats: BrokerStats,
     /// Leadership transitions (time, partition, became-leader).
     pub leadership_events: Vec<(SimTime, TopicPartition, bool)>,
+    /// Crash/recovery metrics; present when this broker was crashed by the
+    /// fault plan.
+    pub recovery: Option<BrokerRecoveryReport>,
+}
+
+/// Recovery metrics for one crashed (and possibly restarted) broker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BrokerRecoveryReport {
+    /// When the fault plan killed the broker.
+    pub crashed_at: SimTime,
+    /// When the respawned broker started (`None`: never restarted).
+    pub restarted_at: Option<SimTime>,
+    /// When log replay completed and the broker resumed serving.
+    pub recovered_at: Option<SimTime>,
+    /// Records rebuilt from persisted segments.
+    pub replayed_records: u64,
+    /// Encoded segment bytes read back during replay.
+    pub replayed_bytes: u64,
+    /// Segments read back during replay.
+    pub replayed_segments: u64,
+}
+
+impl BrokerRecoveryReport {
+    /// Restart-to-serving latency: what durable-log replay costs.
+    pub fn replay_latency(&self) -> Option<SimDuration> {
+        match (self.restarted_at, self.recovered_at) {
+            (Some(a), Some(b)) => Some(b.saturating_since(a)),
+            _ => None,
+        }
+    }
+
+    /// Crash-to-serving latency: the broker's unavailability window.
+    pub fn unavailability(&self) -> Option<SimDuration> {
+        self.recovered_at
+            .map(|t| t.saturating_since(self.crashed_at))
+    }
 }
 
 /// Per-SPE-job results.

@@ -43,6 +43,17 @@ pub enum FaultAction {
     /// enabled it restores the latest snapshot and resumes from committed
     /// offsets.
     RestartProcess(String),
+    /// Kill a broker process (by declaration index): its partition logs,
+    /// group offsets, roles, timers, and in-flight messages are lost.
+    /// Applied by the scenario orchestrator, like [`CrashProcess`].
+    ///
+    /// [`CrashProcess`]: FaultAction::CrashProcess
+    CrashBroker(u32),
+    /// Respawn a previously crashed broker with a bumped incarnation; with
+    /// a durable broker log attached it replays persisted segments, rebuilds
+    /// its high watermarks and consumer-group offsets, and re-registers with
+    /// the controller before serving again.
+    RestartBroker(u32),
 }
 
 impl FaultAction {
@@ -51,7 +62,10 @@ impl FaultAction {
     pub fn is_process_action(&self) -> bool {
         matches!(
             self,
-            FaultAction::CrashProcess(_) | FaultAction::RestartProcess(_)
+            FaultAction::CrashProcess(_)
+                | FaultAction::RestartProcess(_)
+                | FaultAction::CrashBroker(_)
+                | FaultAction::RestartBroker(_)
         )
     }
 }
@@ -70,6 +84,8 @@ impl fmt::Display for FaultAction {
             FaultAction::RecomputeRoutes => write!(f, "recompute routes"),
             FaultAction::CrashProcess(p) => write!(f, "crash process {p}"),
             FaultAction::RestartProcess(p) => write!(f, "restart process {p}"),
+            FaultAction::CrashBroker(b) => write!(f, "crash broker b{b}"),
+            FaultAction::RestartBroker(b) => write!(f, "restart broker b{b}"),
         }
     }
 }
@@ -144,6 +160,34 @@ impl FaultPlan {
     /// Schedules a process crash with no restart.
     pub fn crash_process(self, process: &str, at: SimTime) -> Self {
         self.at(at, FaultAction::CrashProcess(process.into()))
+    }
+
+    /// Schedules a broker crash (by declaration index) at `at`, restarted
+    /// `down_for` later — the broker-bounce scenario in one call.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use s2g_net::{FaultAction, FaultPlan};
+    /// use s2g_sim::{SimDuration, SimTime};
+    ///
+    /// let plan = FaultPlan::new().crash_restart_broker(
+    ///     0,
+    ///     SimTime::from_secs(30),
+    ///     SimDuration::from_secs(5),
+    /// );
+    /// assert_eq!(plan.len(), 2);
+    /// assert_eq!(plan.events()[0].1, FaultAction::CrashBroker(0));
+    /// assert_eq!(plan.events()[1].0, SimTime::from_secs(35));
+    /// ```
+    pub fn crash_restart_broker(self, broker: u32, at: SimTime, down_for: SimDuration) -> Self {
+        self.at(at, FaultAction::CrashBroker(broker))
+            .at(at + down_for, FaultAction::RestartBroker(broker))
+    }
+
+    /// Schedules a broker crash with no restart.
+    pub fn crash_broker(self, broker: u32, at: SimTime) -> Self {
+        self.at(at, FaultAction::CrashBroker(broker))
     }
 
     /// Number of scheduled actions.
@@ -263,7 +307,10 @@ impl FaultInjector {
             // Process-level actions are the scenario orchestrator's job (it
             // owns the simulator's process table); the network injector just
             // records them for the applied-actions log.
-            FaultAction::CrashProcess(_) | FaultAction::RestartProcess(_) => {}
+            FaultAction::CrashProcess(_)
+            | FaultAction::RestartProcess(_)
+            | FaultAction::CrashBroker(_)
+            | FaultAction::RestartBroker(_) => {}
         }
         drop(net);
         self.applied.push((now, action));

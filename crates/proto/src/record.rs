@@ -88,8 +88,13 @@ pub struct Record {
     pub timestamp: SimTime,
     /// The producer that created the record.
     pub producer: ProducerId,
-    /// Producer-assigned sequence number (monotonic per producer), used by
-    /// monitoring to build the message-order axis of delivery matrices.
+    /// The producer's incarnation (Kafka's producer epoch): bumped when a
+    /// crashed client restarts, so broker-side idempotence can tell a
+    /// retried old batch from a fresh one that restarts at sequence zero.
+    pub producer_epoch: u32,
+    /// Producer-assigned sequence number (monotonic per producer
+    /// incarnation), used by idempotent dedup and by monitoring to build
+    /// the message-order axis of delivery matrices.
     pub producer_seq: u64,
 }
 
@@ -105,6 +110,7 @@ impl Record {
             value: value.into(),
             timestamp,
             producer: ProducerId(0),
+            producer_epoch: 0,
             producer_seq: 0,
         }
     }
@@ -116,6 +122,7 @@ impl Record {
             value: value.into(),
             timestamp,
             producer: ProducerId(0),
+            producer_epoch: 0,
             producer_seq: 0,
         }
     }
@@ -124,6 +131,12 @@ impl Record {
     pub fn from_producer(mut self, producer: ProducerId, seq: u64) -> Self {
         self.producer = producer;
         self.producer_seq = seq;
+        self
+    }
+
+    /// Stamps the producer incarnation (builder style).
+    pub fn with_producer_epoch(mut self, epoch: u32) -> Self {
+        self.producer_epoch = epoch;
         self
     }
 

@@ -349,6 +349,11 @@ pub enum ControllerRpc {
     Heartbeat {
         /// The broker.
         broker: BrokerId,
+        /// The broker process's incarnation, bumped on every respawn. A
+        /// jump tells the controller the broker bounced — even within its
+        /// session timeout — so it re-teaches partition roles and metadata
+        /// (Kafka's broker epoch).
+        incarnation: u64,
     },
     /// Heartbeat acknowledgement; carries the controller's metadata version
     /// so brokers notice staleness.
@@ -395,7 +400,7 @@ impl Message for ControllerRpc {
     fn wire_size(&self) -> usize {
         RPC_OVERHEAD
             + match self {
-                ControllerRpc::Heartbeat { .. } => 8,
+                ControllerRpc::Heartbeat { .. } => 16,
                 ControllerRpc::HeartbeatAck { .. } => 12,
                 ControllerRpc::AlterIsr { tp, new_isr, .. } => {
                     tp.topic.len() + 20 + 6 * new_isr.len()

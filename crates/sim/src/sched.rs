@@ -422,6 +422,11 @@ impl Sim {
     /// incarnation is bumped again so messages addressed to the dead period
     /// (sent between kill and respawn) are also voided.
     ///
+    /// The incarnation counter is sim-internal; application protocols that
+    /// need restart detection carry their own incarnation numbers (e.g.
+    /// brokers stamp one into controller heartbeats so their roles are
+    /// re-taught after a bounce faster than the session timeout).
+    ///
     /// # Panics
     ///
     /// Panics if the slot is still occupied or was never allocated.

@@ -270,6 +270,16 @@ impl SpeWorker {
         self.restarted = true;
     }
 
+    /// Sets the sink producer's epoch (Kafka's producer epoch). The
+    /// orchestrator bumps it per respawn so the broker's idempotent dedup
+    /// does not mistake the fresh incarnation's sequence-zero records for
+    /// retries of the crashed one's.
+    pub fn set_producer_epoch(&mut self, epoch: u32) {
+        if let Some(p) = self.producer.as_mut() {
+            p.set_epoch(epoch);
+        }
+    }
+
     /// Checkpoint counters (zero when checkpointing is disabled).
     pub fn checkpoint_stats(&self) -> CheckpointStats {
         self.coordinator

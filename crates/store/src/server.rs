@@ -3,6 +3,13 @@
 //! Hosts a [`KvStore`] and a [`TableStore`] behind an RPC interface, charges
 //! CPU per operation, and reports resident bytes to the memory ledger —
 //! exactly the role MySQL plays on its own node in the paper's pipelines.
+//!
+//! Beyond application sinks, the KV half doubles as the durability tier for
+//! the fault-tolerance subsystems: SPE checkpoints persist snapshots under
+//! `ckpt/<job>` keys (`s2g_spe`'s `DurableBackend`), and durable broker
+//! logs persist segments and meta blobs under `brokerlog/<broker>/...`
+//! keys (`s2g_broker`'s `DurableLogBackend`) — both paying this server's
+//! CPU cost and the network path to reach it.
 
 use s2g_sim::{downcast, Ctx, LedgerHandle, MemSlot, Message, Process, ProcessId, SimDuration};
 

@@ -1,0 +1,141 @@
+//! Broker crash and recovery, narrated: volatile vs durable broker logs.
+//!
+//! The same exactly-once word-count pipeline is run three ways while the
+//! fault plan crashes the (only) broker mid-run and restarts it:
+//!
+//! 1. **volatile** — no log backend: the restarted broker comes back empty,
+//!    acknowledged records vanish, and consumers reset to a truncated log;
+//! 2. **recoverable** — an in-memory "local disk" outside the broker
+//!    process: replay is instant and the output equals the no-fault run;
+//! 3. **durable** — segments persisted through a store server: produce
+//!    acks wait for the covering flush, and the restarted broker pays read
+//!    round trips per segment before serving (the replay latency printed).
+//!
+//! Run with: `cargo run --release --example broker_recovery`
+
+use std::any::Any;
+use std::collections::BTreeMap;
+
+use stream2gym::apps::word_count::{recovery_scenario, word_stream};
+use stream2gym::broker::{Broker, CollectingSink, ConsumerProcess};
+use stream2gym::core::{MonitoredSink, RunResult, Scenario};
+use stream2gym::net::FaultPlan;
+use stream2gym::proto::TopicPartition;
+use stream2gym::sim::{SimDuration, SimTime};
+use stream2gym::spe::{CheckpointCfg, Event};
+use stream2gym::store::StoreConfig;
+
+const WORDS: usize = 160;
+const WORD_EVERY_MS: u64 = 40;
+const CRASH_AT_MS: u64 = 3_500;
+const DOWN_FOR_MS: u64 = 1_500;
+const SEED: u64 = 42;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Durability {
+    Volatile,
+    Recoverable,
+    DurableStore,
+}
+
+fn scenario(durability: Durability) -> Scenario {
+    let mut sc = recovery_scenario(
+        WORDS,
+        SimDuration::from_millis(WORD_EVERY_MS),
+        SimTime::from_secs(30),
+        SEED,
+    );
+    sc.with_checkpointing(CheckpointCfg::exactly_once(SimDuration::from_secs(1)));
+    match durability {
+        Durability::Volatile => {}
+        Durability::Recoverable => {
+            sc.with_recoverable_broker();
+        }
+        Durability::DurableStore => {
+            sc.store("h6", StoreConfig::default());
+            sc.with_durable_broker("h6");
+        }
+    }
+    sc.faults(FaultPlan::new().crash_restart_broker(
+        0,
+        SimTime::from_millis(CRASH_AT_MS),
+        SimDuration::from_millis(DOWN_FOR_MS),
+    ));
+    sc
+}
+
+fn final_counts(result: &RunResult) -> BTreeMap<String, i64> {
+    let cp = result
+        .sim
+        .process_ref::<ConsumerProcess>(result.consumer_pids[0])
+        .expect("consumer");
+    let sink = (cp.sink_as::<MonitoredSink>().expect("monitored").inner() as &dyn Any)
+        .downcast_ref::<CollectingSink>()
+        .expect("collecting");
+    let mut counts = BTreeMap::new();
+    for (_, _, rec) in &sink.deliveries {
+        let e = Event::from_bytes(&rec.value).expect("SPE output decodes");
+        let word = e.key.clone().expect("keyed by word");
+        let n = e.value.as_int().expect("count value");
+        let entry = counts.entry(word).or_insert(0);
+        *entry = (*entry).max(n);
+    }
+    counts
+}
+
+fn main() {
+    let mut truth = BTreeMap::new();
+    for w in word_stream(WORDS, SEED) {
+        *truth.entry(w).or_insert(0i64) += 1;
+    }
+
+    println!(
+        "broker 0 crashes at {CRASH_AT_MS} ms and restarts {DOWN_FOR_MS} ms later;\n\
+         the exactly-once word-count pipeline keeps running throughout.\n"
+    );
+
+    for (label, durability) in [
+        ("volatile (no log backend)", Durability::Volatile),
+        ("recoverable (in-memory disk)", Durability::Recoverable),
+        ("durable (store-backed)", Durability::DurableStore),
+    ] {
+        let result = scenario(durability).run().expect("scenario is valid");
+        let counts = final_counts(&result);
+        let exact = counts == truth;
+        let missing: i64 = truth.values().sum::<i64>() - counts.values().sum::<i64>();
+        let b = &result.report.brokers[0];
+        println!("== {label} ==");
+        let broker = result
+            .sim
+            .process_ref::<Broker>(result.broker_pids[0])
+            .expect("broker");
+        let words_end = broker
+            .log(&TopicPartition::new("words", 0))
+            .map(|l| l.log_end().value())
+            .unwrap_or(0);
+        println!(
+            "  words log at end: {words_end}/{WORDS} records | output exact: {exact} | count deficit: {missing}"
+        );
+        if let Some(rec) = &b.recovery {
+            println!(
+                "  replayed {} records / {} segments / {} B",
+                rec.replayed_records, rec.replayed_segments, rec.replayed_bytes
+            );
+            match (rec.replay_latency(), rec.unavailability()) {
+                (Some(replay), Some(outage)) => {
+                    println!("  replay latency: {replay} | unavailability window: {outage}")
+                }
+                _ => println!("  no replay (nothing durable to recover)"),
+            }
+        }
+        println!(
+            "  broker flushes: {} | flushed bytes: {} | duplicate retries filtered: {}\n",
+            b.stats.log_flushes, b.stats.log_flushed_bytes, b.stats.duplicates_filtered
+        );
+    }
+    println!(
+        "takeaway: a durable (or recoverable) broker log turns a broker bounce\n\
+         into a bounded unavailability window instead of data loss — the\n\
+         exactly-once pipeline's output matches the no-fault baseline."
+    );
+}

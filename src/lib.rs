@@ -1,7 +1,10 @@
 //! # stream2gym — fast prototyping of distributed stream processing applications
 //!
 //! Root façade crate: re-exports the whole workspace under one name.
-//! See the README for a tour and `examples/` for runnable pipelines.
+//! See the README for a tour, `docs/` for the architecture and
+//! fault-tolerance guides, and `examples/` for runnable pipelines.
+
+#![warn(missing_docs)]
 
 pub use s2g_apps as apps;
 pub use s2g_broker as broker;

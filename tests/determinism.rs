@@ -104,3 +104,45 @@ fn partition_experiment_reproduces_exactly() {
         "different seeds produce different message mixes"
     );
 }
+
+#[test]
+fn broker_bounce_runs_reproduce_exactly() {
+    use stream2gym::store::StoreConfig;
+    let run = |seed: u64, durable_store: bool| {
+        let mut sc = recovery_scenario(
+            100,
+            SimDuration::from_millis(50),
+            SimTime::from_secs(25),
+            seed,
+        );
+        sc.with_checkpointing(CheckpointCfg::exactly_once(SimDuration::from_secs(1)));
+        if durable_store {
+            sc.store("h6", StoreConfig::default());
+            sc.with_durable_broker("h6");
+        } else {
+            sc.with_recoverable_broker();
+        }
+        sc.faults(FaultPlan::new().crash_restart_broker(
+            0,
+            SimTime::from_millis(3_700),
+            SimDuration::from_millis(1_200),
+        ));
+        let result = sc.run().expect("runs");
+        let broker = result.report.brokers[0].clone();
+        (
+            result.delivery_matrix(0),
+            broker.recovery,
+            broker.stats.log_flushes,
+            broker.stats.records_appended,
+            broker.stats.duplicates_filtered,
+            result.report.sim_stats,
+        )
+    };
+    for durable in [false, true] {
+        assert_eq!(
+            run(13, durable),
+            run(13, durable),
+            "same seed must reproduce the broker-bounce run exactly (durable_store={durable})"
+        );
+    }
+}

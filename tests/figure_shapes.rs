@@ -3,7 +3,8 @@
 //! `s2g-bench` (`cargo run --release -p s2g-bench --bin figures`).
 
 use s2g_bench::{
-    fig5_sweep, fig6_run, fig7a_sweep, fig7b_sweep, fig8_sweep, fig9_sweep, Component, Scale,
+    broker_recovery_sweep, fig5_sweep, fig6_run, fig7a_sweep, fig7b_sweep, fig8_sweep, fig9_sweep,
+    Component, Scale,
 };
 use stream2gym::broker::CoordinationMode;
 
@@ -195,5 +196,38 @@ fn fig9_resource_model_shapes() {
         "32 MB buffers must cost more than 16 MB: {} vs {}",
         sweep32[1].peak_mem_fraction,
         sweep16[1].peak_mem_fraction
+    );
+}
+
+/// Broker recovery latency: replay work grows with the pre-crash log, and
+/// the unavailability window always includes the configured downtime plus a
+/// positive replay phase (the durable backend's read round trips).
+#[test]
+fn broker_recovery_latency_grows_with_log_size() {
+    let points = broker_recovery_sweep(&[100, 600], Scale::Quick, 9);
+    assert_eq!(points.len(), 2);
+    for p in &points {
+        assert!(p.records > 0, "records were replayed");
+        assert!(p.replayed_bytes > 0, "segment bytes were read back");
+        assert!(p.replay_latency_s > 0.0, "replay takes simulated time");
+        assert!(
+            p.unavailability_s >= 1.0 + p.replay_latency_s,
+            "unavailability covers downtime plus replay"
+        );
+    }
+    let (small, large) = (&points[0], &points[1]);
+    assert!(
+        large.records > small.records,
+        "bigger sweep point replays more records"
+    );
+    assert!(
+        large.replayed_segments > small.replayed_segments,
+        "bigger log means more segments"
+    );
+    assert!(
+        large.replay_latency_s > small.replay_latency_s,
+        "replay latency grows with log size: {} vs {}",
+        large.replay_latency_s,
+        small.replay_latency_s
     );
 }
