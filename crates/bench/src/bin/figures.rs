@@ -3,8 +3,12 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p s2g-bench --bin figures -- [--fig 5|6|7a|7b|8|9|recovery|table2|all] [--quick]
+//! cargo run --release -p s2g-bench --bin figures -- \
+//!     [--fig 5|6|7a|7b|8|9|recovery|compaction|table2|all] [--quick|--smoke]
 //! ```
+//!
+//! `--quick` runs reduced parameters; `--smoke` runs the minimal CI preset
+//! whose only job is to prove every figure still generates.
 //!
 //! ASCII renderings go to stdout; CSV data lands under `target/figures/`.
 
@@ -13,8 +17,8 @@ use std::path::PathBuf;
 
 use s2g_bench::experiments::table2_inventory;
 use s2g_bench::{
-    broker_recovery_sweep, fig5_sweep, fig6_run, fig7a_sweep, fig7b_sweep, fig8_sweep, fig9_sweep,
-    group_by_component, Component, Scale,
+    broker_recovery_sweep, compaction_sweep, fig5_sweep, fig6_run, fig7a_sweep, fig7b_sweep,
+    fig8_sweep, fig9_sweep, group_by_component, Component, Scale,
 };
 use s2g_broker::CoordinationMode;
 use s2g_core::{ascii_chart, ascii_matrix, ascii_table, cdf, csv_series};
@@ -57,6 +61,7 @@ fn fig6(scale: Scale) {
     let sites = match scale {
         Scale::Full => 10,
         Scale::Quick => 6,
+        Scale::Smoke => 3,
     };
     let zk = fig6_run(CoordinationMode::Zk, sites, scale, 1);
     let rows: Vec<(String, &[bool])> = zk
@@ -136,6 +141,7 @@ fn fig7a(scale: Scale) {
     let counts: &[usize] = match scale {
         Scale::Full => &[1, 2, 4, 8, 16],
         Scale::Quick => &[1, 2, 4, 8],
+        Scale::Smoke => &[1, 4],
     };
     let data = fig7a_sweep(counts, 5);
     let series: Vec<(f64, f64)> = data.iter().map(|(n, t)| (*n as f64, *t)).collect();
@@ -164,6 +170,7 @@ fn fig7b(scale: Scale) {
     let users: &[u32] = match scale {
         Scale::Full => &[20, 40, 60, 80, 100],
         Scale::Quick => &[20, 60, 100],
+        Scale::Smoke => &[10, 30],
     };
     let data = fig7b_sweep(users, scale, 3);
     let series: Vec<(f64, f64)> = data.iter().map(|(u, r)| (*u as f64, *r)).collect();
@@ -243,6 +250,7 @@ fn fig9(scale: Scale) {
     let sites: &[u32] = match scale {
         Scale::Full => &[2, 4, 6, 8, 10],
         Scale::Quick => &[2, 6, 10],
+        Scale::Smoke => &[2, 4],
     };
     let sweep32 = fig9_sweep(sites, 32 << 20, scale, 7);
     // Fig 9a: CPU CDFs.
@@ -325,6 +333,7 @@ fn recovery(scale: Scale) {
     let counts: &[u64] = match scale {
         Scale::Full => &[200, 1_000, 2_500, 5_000, 10_000],
         Scale::Quick => &[100, 400, 800],
+        Scale::Smoke => &[50, 200],
     };
     let points = broker_recovery_sweep(counts, scale, 9);
     let replay: Vec<(f64, f64)> = points
@@ -361,6 +370,79 @@ fn recovery(scale: Scale) {
     );
 }
 
+fn compaction(scale: Scale) {
+    println!("\n#### Bounded recovery: incremental checkpoints + log compaction ####");
+    let counts: &[u64] = match scale {
+        Scale::Full => &[500, 1_000, 2_500, 5_000, 10_000],
+        Scale::Quick => &[200, 600, 1_200],
+        Scale::Smoke => &[100, 300],
+    };
+    let points = compaction_sweep(counts, scale, 13);
+    let full_bytes: Vec<(f64, f64)> = points
+        .iter()
+        .map(|p| (p.history as f64, p.full_snapshot_bytes as f64))
+        .collect();
+    let delta_bytes: Vec<(f64, f64)> = points
+        .iter()
+        .map(|p| (p.history as f64, p.delta_snapshot_bytes as f64))
+        .collect();
+    println!(
+        "{}",
+        ascii_chart(
+            "snapshot bytes vs history",
+            &[("full", &full_bytes), ("incremental", &delta_bytes)],
+            64,
+            12,
+            "records produced",
+            "bytes/ckpt",
+        )
+    );
+    let raw_replay: Vec<(f64, f64)> = points
+        .iter()
+        .map(|p| (p.history as f64, p.raw_replay_s))
+        .collect();
+    let compacted_replay: Vec<(f64, f64)> = points
+        .iter()
+        .map(|p| (p.history as f64, p.compacted_replay_s))
+        .collect();
+    println!(
+        "{}",
+        ascii_chart(
+            "broker replay latency vs history",
+            &[("raw log", &raw_replay), ("compacted", &compacted_replay)],
+            64,
+            12,
+            "records produced",
+            "replay (s)",
+        )
+    );
+    for p in &points {
+        println!(
+            "  {:>6} records | snapshot {:>8} B full / {:>6} B delta | replay {:>6} rec {:.4}s raw / {:>5} rec {:.4}s compacted | {:>8} B saved",
+            p.history,
+            p.full_snapshot_bytes,
+            p.delta_snapshot_bytes,
+            p.raw_replay_records,
+            p.raw_replay_s,
+            p.compacted_replay_records,
+            p.compacted_replay_s,
+            p.replay_saved_bytes,
+        );
+    }
+    write_csv(
+        "compaction.csv",
+        &csv_series(
+            "history",
+            &[
+                ("full_snapshot_bytes", &full_bytes),
+                ("delta_snapshot_bytes", &delta_bytes),
+                ("raw_replay_s", &raw_replay),
+                ("compacted_replay_s", &compacted_replay),
+            ],
+        ),
+    );
+}
+
 fn table2() {
     println!("\n#### Table II: example applications ####");
     let rows: Vec<Vec<String>> = table2_inventory()
@@ -380,8 +462,13 @@ fn table2() {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let scale = if quick { Scale::Quick } else { Scale::Full };
+    let scale = if args.iter().any(|a| a == "--smoke") {
+        Scale::Smoke
+    } else if args.iter().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Full
+    };
     let which = args
         .iter()
         .position(|a| a == "--fig")
@@ -398,6 +485,7 @@ fn main() {
         "8" => fig8(scale),
         "9" => fig9(scale),
         "recovery" => recovery(scale),
+        "compaction" => compaction(scale),
         "table2" => table2(),
         "all" => {
             table2();
@@ -408,9 +496,10 @@ fn main() {
             fig8(scale);
             fig9(scale);
             recovery(scale);
+            compaction(scale);
         }
         other => {
-            eprintln!("unknown figure `{other}`; use 5|6|7a|7b|8|9|recovery|table2|all");
+            eprintln!("unknown figure `{other}`; use 5|6|7a|7b|8|9|recovery|compaction|table2|all");
             std::process::exit(2);
         }
     }

@@ -10,13 +10,17 @@ use s2g_proto::AckMode;
 use s2g_sim::{SimDuration, SimTime};
 
 /// Experiment scale: `Full` matches the paper's parameters; `Quick` is a
-/// reduced version for debug-build tests and Criterion iterations.
+/// reduced version for debug-build tests and Criterion iterations; `Smoke`
+/// is the tiny CI preset that exists only to prove the figure code still
+/// runs end to end.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
     /// Paper-scale parameters.
     Full,
     /// Reduced durations/volumes with identical code paths.
     Quick,
+    /// Minimal durations/volumes for the CI `bench-smoke` job.
+    Smoke,
 }
 
 /// The pipeline component whose access link is being delayed (Fig. 5/8).
@@ -70,6 +74,7 @@ pub fn fig5_sweep(delays_ms: &[u64], scale: Scale, seed: u64) -> Vec<(Component,
     let (files, interval, duration) = match scale {
         Scale::Full => (100, SimDuration::from_millis(400), SimTime::from_secs(120)),
         Scale::Quick => (25, SimDuration::from_millis(300), SimTime::from_secs(45)),
+        Scale::Smoke => (8, SimDuration::from_millis(200), SimTime::from_secs(15)),
     };
     let mut out = Vec::new();
     for &component in &Component::ALL {
@@ -119,6 +124,7 @@ pub fn fig6_run(mode: CoordinationMode, sites: u32, scale: Scale, seed: u64) -> 
     let (run_s, cut_at, cut_for) = match scale {
         Scale::Full => (600u64, 240u64, 120u64),
         Scale::Quick => (240, 80, 60),
+        Scale::Smoke => (100, 35, 25),
     };
     let mut sc = Scenario::new("fig6-partition");
     sc.seed(seed)
@@ -222,6 +228,7 @@ pub fn fig7b_sweep(user_counts: &[u32], scale: Scale, seed: u64) -> Vec<(u32, f6
     let duration = match scale {
         Scale::Full => SimTime::from_secs(60),
         Scale::Quick => SimTime::from_secs(25),
+        Scale::Smoke => SimTime::from_secs(12),
     };
     let raw = traffic_monitor::sweep(user_counts, duration, seed);
     let base = raw
@@ -246,6 +253,7 @@ pub fn fig8_sweep(
     let (files, interval, duration) = match scale {
         Scale::Full => (100, SimDuration::from_millis(400), SimTime::from_secs(120)),
         Scale::Quick => (25, SimDuration::from_millis(300), SimTime::from_secs(45)),
+        Scale::Smoke => (8, SimDuration::from_millis(200), SimTime::from_secs(15)),
     };
     let mut out = Vec::new();
     for (backend, net_cfg) in [
@@ -296,6 +304,7 @@ pub fn fig9_sweep(
     let run_s = match scale {
         Scale::Full => 300u64,
         Scale::Quick => 90,
+        Scale::Smoke => 30,
     };
     site_counts
         .iter()
@@ -365,7 +374,7 @@ pub fn broker_recovery_sweep(
     use s2g_store::StoreConfig;
     let interval = match scale {
         Scale::Full => SimDuration::from_millis(2),
-        Scale::Quick => SimDuration::from_millis(4),
+        Scale::Quick | Scale::Smoke => SimDuration::from_millis(4),
     };
     record_counts
         .iter()
@@ -416,6 +425,198 @@ pub fn broker_recovery_sweep(
                     .unwrap_or(f64::NAN),
                 replayed_bytes: rec.replayed_bytes,
                 replayed_segments: rec.replayed_segments,
+            }
+        })
+        .collect()
+}
+
+/// One point of the bounded-recovery (compaction/incremental) sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct CompactionPoint {
+    /// Records produced (the history length).
+    pub history: u64,
+    /// Size of the final full snapshot under full checkpointing — grows
+    /// with total state.
+    pub full_snapshot_bytes: u64,
+    /// Largest delta under incremental checkpointing — bounded by churn
+    /// per interval, ≈ flat in history.
+    pub delta_snapshot_bytes: u64,
+    /// Records replayed by the restarted broker on the raw (uncompacted)
+    /// log — grows with history.
+    pub raw_replay_records: u64,
+    /// Segment bytes replayed on the raw log.
+    pub raw_replay_bytes: u64,
+    /// Restart-to-serving latency on the raw log, seconds.
+    pub raw_replay_s: f64,
+    /// Records replayed with compaction on — bounded by live keys.
+    pub compacted_replay_records: u64,
+    /// Segment bytes replayed with compaction on.
+    pub compacted_replay_bytes: u64,
+    /// Restart-to-serving latency with compaction on, seconds.
+    pub compacted_replay_s: f64,
+    /// Bytes the cleaner reclaimed before the crash (the replay savings).
+    pub replay_saved_bytes: u64,
+}
+
+/// **Bounded recovery** — the `--fig compaction` sweep: how recovery cost
+/// scales with history length, with and without the two bounding
+/// mechanisms.
+///
+/// * **Snapshot half**: a stateful word-count job over an ever-growing key
+///   space checkpoints every interval. Under full snapshots the final
+///   capture is `O(total keys)` = `O(history)`; under incremental
+///   checkpointing each delta carries only the keys touched since the last
+///   capture, so mean delta bytes stay ≈ flat.
+/// * **Replay half**: a keyed producer cycles a fixed key set through a
+///   durable broker that is crashed and restarted after production. On the
+///   raw log, replay cost is `O(history)`; with keyed compaction the
+///   cleaner keeps only the latest record per key, so replay is bounded by
+///   live data.
+pub fn compaction_sweep(history_counts: &[u64], scale: Scale, seed: u64) -> Vec<CompactionPoint> {
+    use s2g_broker::RateSource;
+    use s2g_spe::{CheckpointCfg, Plan, Value};
+    use s2g_store::StoreConfig;
+
+    let interval = match scale {
+        Scale::Full => SimDuration::from_millis(2),
+        Scale::Quick | Scale::Smoke => SimDuration::from_millis(4),
+    };
+    const LIVE_KEYS: u64 = 32;
+
+    // Snapshot half: unique-keyed records into a running count, so state
+    // (and full snapshots) grow with history while per-interval churn is
+    // constant.
+    let snapshot_run = |n: u64, incremental: bool| -> u64 {
+        let produce_ms = interval.as_millis() * n + 500;
+        let duration = SimTime::from_millis(produce_ms + 4_000);
+        let mut sc = Scenario::new("compaction-snapshots");
+        sc.seed(seed)
+            .duration(duration)
+            .default_link(LinkSpec::new().latency_ms(2))
+            .topic(TopicSpec::new("events"));
+        sc.broker("h1");
+        sc.producer(
+            "h2",
+            SourceSpec::Custom {
+                topics: vec!["events".into()],
+                make: Box::new(move || {
+                    // Every record a fresh key: key space == history.
+                    Box::new(RateSource::new("events", n, interval).key_space(n.max(1)))
+                }),
+            },
+            Default::default(),
+        );
+        sc.spe_job(
+            "h3",
+            s2g_core::SpeJobSpec {
+                name: "keycount".into(),
+                sources: vec!["events".into()],
+                plan: Box::new(|| {
+                    Plan::new().stateful("count", Value::Int(0), |state, e| {
+                        let k = state.as_int().unwrap_or(0) + 1;
+                        *state = Value::Int(k);
+                        vec![e.clone()]
+                    })
+                }),
+                sink: s2g_core::SpeSinkSpec::Collect,
+                cfg: Default::default(),
+            },
+        );
+        let cfg = CheckpointCfg::exactly_once(SimDuration::from_millis(500));
+        if incremental {
+            sc.with_incremental_checkpointing(cfg, 8);
+        } else {
+            sc.with_checkpointing(cfg);
+        }
+        let result = sc.run().expect("valid scenario");
+        let stats = result.report.spe["keycount"].checkpoints;
+        if incremental {
+            // The per-capture cost ceiling: the largest delta, bounded by
+            // churn per interval. (The mean would be diluted by the empty
+            // post-production deltas.)
+            if stats.delta_checkpoints == 0 {
+                stats.last_snapshot_bytes
+            } else {
+                stats.max_delta_bytes
+            }
+        } else {
+            stats.last_full_bytes
+        }
+    };
+
+    // Replay half: a fixed key set updated over and over through a durable
+    // broker, crashed and restarted after production.
+    let replay_run = |n: u64, compaction: bool| -> (u64, u64, f64, u64) {
+        let produce_ms = interval.as_millis() * n + 500;
+        let crash_at = SimTime::from_millis(produce_ms + 2_000);
+        let duration = crash_at + SimDuration::from_secs(12);
+        let mut sc = Scenario::new("compaction-replay");
+        sc.seed(seed)
+            .duration(duration)
+            .default_link(LinkSpec::new().latency_ms(2))
+            .topic(TopicSpec::new("data"));
+        let broker_cfg = s2g_broker::BrokerConfig {
+            log_segment_max_records: 64,
+            // Clean aggressively so the pre-crash log is compacted even in
+            // short runs.
+            log_cleanup_interval: SimDuration::from_millis(250),
+            ..Default::default()
+        };
+        sc.broker_with("h1", broker_cfg);
+        sc.store("h2", StoreConfig::default());
+        sc.host_link("h2", LinkSpec::new().latency_ms(2).bandwidth_mbps(50.0));
+        sc.with_durable_broker("h2");
+        if compaction {
+            sc.with_log_compaction();
+        }
+        sc.producer(
+            "h3",
+            SourceSpec::Custom {
+                topics: vec!["data".into()],
+                make: Box::new(move || {
+                    Box::new(
+                        RateSource::new("data", n, interval)
+                            .payload_bytes(200)
+                            .key_space(LIVE_KEYS),
+                    )
+                }),
+            },
+            Default::default(),
+        );
+        sc.consumer("h4", Default::default(), &["data"]);
+        sc.faults(FaultPlan::new().crash_restart_broker(0, crash_at, SimDuration::from_secs(1)));
+        let result = sc.run().expect("valid scenario");
+        let rec = result.report.brokers[0]
+            .recovery
+            .expect("broker crash recorded");
+        (
+            rec.replayed_records,
+            rec.replayed_bytes,
+            rec.replay_latency()
+                .map(|d| d.as_secs_f64())
+                .unwrap_or(f64::NAN),
+            rec.replay_saved_bytes,
+        )
+    };
+
+    history_counts
+        .iter()
+        .map(|&n| {
+            let full_snapshot_bytes = snapshot_run(n, false);
+            let delta_snapshot_bytes = snapshot_run(n, true);
+            let (raw_records, raw_bytes, raw_s, _) = replay_run(n, false);
+            let (c_records, c_bytes, c_s, saved) = replay_run(n, true);
+            CompactionPoint {
+                history: n,
+                full_snapshot_bytes,
+                delta_snapshot_bytes,
+                raw_replay_records: raw_records,
+                raw_replay_bytes: raw_bytes,
+                raw_replay_s: raw_s,
+                compacted_replay_records: c_records,
+                compacted_replay_bytes: c_bytes,
+                compacted_replay_s: c_s,
+                replay_saved_bytes: saved,
             }
         })
         .collect()

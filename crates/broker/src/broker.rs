@@ -43,7 +43,9 @@ use s2g_sim::{
 use s2g_store::StoreRpc;
 
 use crate::config::{BrokerConfig, CoordinationMode};
-use crate::log::{BrokerLogMeta, LogBackend, LogPersist, LogRecover, LogSegment, PartitionLog};
+use crate::log::{
+    BrokerLogMeta, CleanOutcome, LogBackend, LogPersist, LogRecover, LogSegment, PartitionLog,
+};
 use crate::metadata::MetadataCache;
 
 /// Timer tags used by the broker.
@@ -56,6 +58,7 @@ mod tags {
     pub const BACKGROUND_DONE: u64 = 5;
     pub const LOG_FLUSH_TICK: u64 = 6;
     pub const DURABILITY_RETRY: u64 = 7;
+    pub const LOG_CLEANUP_TICK: u64 = 8;
     pub const CPU_BASE: u64 = 1 << 50;
 }
 
@@ -107,6 +110,9 @@ pub struct BrokerRecoveryInfo {
     pub replayed_bytes: u64,
     /// Segments read back during replay.
     pub replayed_segments: u64,
+    /// Bytes compaction/retention reclaimed before the crash — replay work
+    /// the restarted broker was spared (from the recovered meta blob).
+    pub replay_saved_bytes: u64,
 }
 
 impl BrokerRecoveryInfo {
@@ -117,6 +123,7 @@ impl BrokerRecoveryInfo {
             replayed_records: 0,
             replayed_bytes: 0,
             replayed_segments: 0,
+            replay_saved_bytes: 0,
         }
     }
 
@@ -149,6 +156,12 @@ struct Durability {
     pending: BTreeMap<u64, DurabilityIo>,
     /// The retry timer is armed.
     retry_armed: bool,
+    /// Dead segment blobs awaiting deletion. The cleaner stages keys here
+    /// and they are only deleted once the flush carrying the *cleaned*
+    /// manifest is durable — deleting first would let a crash recover a
+    /// stale manifest that still lists the blob, truncating the log at the
+    /// artificial gap.
+    pending_deletes: Vec<String>,
     /// Segments staged during recovery, per partition.
     staged: BTreeMap<TopicPartition, Vec<LogSegment>>,
     /// The recovered meta blob (manifest applied once segments arrive).
@@ -228,6 +241,16 @@ pub struct BrokerStats {
     /// Client/replica requests dropped because the broker was still
     /// replaying its log after a restart.
     pub dropped_recovering: u64,
+    /// Log-cleaner passes that removed anything.
+    pub cleaner_runs: u64,
+    /// Records removed by keyed compaction.
+    pub records_compacted: u64,
+    /// Record bytes reclaimed by keyed compaction.
+    pub compacted_bytes: u64,
+    /// Whole segments dropped by time/size retention.
+    pub segments_retired: u64,
+    /// Record bytes reclaimed by retention.
+    pub retired_bytes: u64,
 }
 
 /// A message broker process (the Kafka-broker stand-in).
@@ -258,6 +281,10 @@ pub struct Broker {
     pending_out: HashMap<u64, Vec<(ProcessId, OutMsg)>>,
     mem: Option<(LedgerHandle, MemSlot)>,
     retained_bytes: u64,
+    /// Cleaning savings recovered from the pre-crash meta blob; per-log
+    /// counters restart at zero after a replay, so this preserves the
+    /// lifetime total.
+    reclaimed_baseline: u64,
     stats: BrokerStats,
     name: String,
     /// Leadership-change log for the Fig. 6d event markers: (time, partition,
@@ -314,6 +341,7 @@ impl Broker {
             pending_out: HashMap::new(),
             mem: None,
             retained_bytes: 0,
+            reclaimed_baseline: 0,
             stats: BrokerStats::default(),
             name,
             leadership_events: Vec::new(),
@@ -350,6 +378,7 @@ impl Broker {
             durable_end: BTreeMap::new(),
             pending: BTreeMap::new(),
             retry_armed: false,
+            pending_deletes: Vec::new(),
             staged: BTreeMap::new(),
             staged_meta: None,
         });
@@ -698,28 +727,47 @@ impl Broker {
                 max_records,
             } => {
                 self.stats.fetches += 1;
-                let (batch, hw, error) = if self.is_fenced(now) {
+                let (batch, hw, next, error) = if self.is_fenced(now) {
                     self.stats.rejected_fenced += 1;
-                    (RecordBatch::new(), Offset::ZERO, ErrorCode::Fenced)
+                    (RecordBatch::new(), Offset::ZERO, offset, ErrorCode::Fenced)
                 } else {
                     match self.roles.get(&tp) {
                         Some(Role::Leader(_)) => {
                             let log = Self::log_mut(&mut self.logs, &self.cfg, &tp);
                             let hw = log.high_watermark();
-                            if offset > hw {
-                                (RecordBatch::new(), hw, ErrorCode::OffsetOutOfRange)
+                            let start = log.log_start();
+                            if offset < start {
+                                // Retention dropped the requested range:
+                                // reset the reader to the earliest record.
+                                (RecordBatch::new(), hw, start, ErrorCode::OffsetOutOfRange)
+                            } else if offset > hw {
+                                (RecordBatch::new(), hw, hw, ErrorCode::OffsetOutOfRange)
                             } else {
-                                let recs = log.read(
+                                let entries = log.read_entries(
                                     offset,
                                     max_records.min(self.cfg.fetch_max_records),
                                     true,
                                 );
-                                (RecordBatch::from_records(recs), hw, ErrorCode::None)
+                                // Advance past the last served record — or,
+                                // on an empty read below the watermark,
+                                // over a fully compacted tail hole.
+                                let next = entries
+                                    .last()
+                                    .map(|e| Offset(e.offset.value() + 1))
+                                    .unwrap_or(if offset < hw { hw } else { offset });
+                                let recs: Vec<Record> =
+                                    entries.iter().map(|e| e.record.clone()).collect();
+                                (RecordBatch::from_records(recs), hw, next, ErrorCode::None)
                             }
                         }
                         _ => {
                             self.stats.rejected_not_leader += 1;
-                            (RecordBatch::new(), Offset::ZERO, ErrorCode::NotLeader)
+                            (
+                                RecordBatch::new(),
+                                Offset::ZERO,
+                                offset,
+                                ErrorCode::NotLeader,
+                            )
                         }
                     }
                 };
@@ -734,6 +782,7 @@ impl Broker {
                         tp,
                         batch,
                         high_watermark: hw,
+                        next_offset: next,
                         error,
                     }),
                 );
@@ -831,6 +880,7 @@ impl Broker {
                             tp,
                             batch: RecordBatch::new(),
                             epochs: Vec::new(),
+                            offsets: Vec::new(),
                             high_watermark: Offset::ZERO,
                             epoch: LeaderEpoch(0),
                             truncate_to: None,
@@ -855,13 +905,10 @@ impl Broker {
                         start = boundary;
                     }
                 }
-                let records = log.read(start, self.cfg.replica_fetch_max_records, false);
-                let epochs: Vec<LeaderEpoch> = (0..records.len())
-                    .map(|i| {
-                        log.epoch_at(Offset(start.value() + i as u64))
-                            .expect("read entries exist")
-                    })
-                    .collect();
+                let entries = log.read_entries(start, self.cfg.replica_fetch_max_records, false);
+                let epochs: Vec<LeaderEpoch> = entries.iter().map(|e| e.epoch).collect();
+                let offsets: Vec<Offset> = entries.iter().map(|e| e.offset).collect();
+                let records: Vec<Record> = entries.iter().map(|e| e.record.clone()).collect();
                 let hw = log.high_watermark();
                 let leader_end = log.log_end();
                 let n = records.len();
@@ -908,6 +955,7 @@ impl Broker {
                         tp,
                         batch: RecordBatch::from_records(records),
                         epochs,
+                        offsets,
                         high_watermark: hw,
                         epoch: my_epoch,
                         truncate_to,
@@ -919,6 +967,7 @@ impl Broker {
                 tp,
                 batch,
                 epochs,
+                offsets,
                 high_watermark,
                 epoch,
                 truncate_to,
@@ -967,18 +1016,25 @@ impl Broker {
                     }
                 }
                 let log = Self::log_mut(&mut self.logs, &self.cfg, &tp);
-                let bytes: u64 = batch.records.iter().map(|r| r.encoded_len() as u64).sum();
-                let n = batch.len();
+                let mut appended = 0u64;
                 for (i, rec) in batch.records.into_iter().enumerate() {
                     let e = epochs.get(i).copied().unwrap_or(epoch);
+                    // Append at the leader's explicit offset: a compacted
+                    // leader log serves holes, and replicas must preserve
+                    // offsets to stay byte-identical.
+                    let off = offsets.get(i).copied().unwrap_or_else(|| log.log_end());
                     let key = (tp.clone(), rec.producer.0);
                     let stamp = (rec.producer_epoch, rec.producer_seq);
                     let entry = self.last_producer_seq.entry(key).or_insert(stamp);
                     *entry = (*entry).max(stamp);
-                    log.append(e, rec);
+                    let bytes = rec.encoded_len() as u64;
+                    if log.append_at(off, e, rec) {
+                        appended += 1;
+                        self.retained_bytes += bytes;
+                    }
                 }
-                self.retained_bytes += bytes;
-                self.stats.records_appended += n as u64;
+                let n = appended as usize;
+                self.stats.records_appended += appended;
                 let end = log.log_end();
                 log.advance_high_watermark(high_watermark.min(end));
                 self.update_mem();
@@ -1103,8 +1159,20 @@ impl Broker {
         }
     }
 
+    /// Total bytes compaction/retention reclaimed so far (including the
+    /// pre-crash total recovered from the meta blob).
+    pub fn reclaimed_bytes(&self) -> u64 {
+        self.reclaimed_baseline
+            + self
+                .logs
+                .values()
+                .map(PartitionLog::reclaimed_bytes)
+                .sum::<u64>()
+    }
+
     /// The durable meta blob describing the broker's current state: per-
-    /// partition high watermarks and segment manifests plus group offsets.
+    /// partition high watermarks, log starts, and segment manifests plus
+    /// group offsets and the cumulative cleaning savings.
     fn build_meta(&self) -> BrokerLogMeta {
         let partitions = self
             .logs
@@ -1116,7 +1184,7 @@ impl Broker {
                     .filter(|s| !s.is_empty())
                     .map(|s| s.base_offset().value())
                     .collect();
-                (tp.clone(), log.high_watermark(), bases)
+                (tp.clone(), log.high_watermark(), log.log_start(), bases)
             })
             .collect();
         let group_offsets = self
@@ -1127,7 +1195,69 @@ impl Broker {
         BrokerLogMeta {
             partitions,
             group_offsets,
+            reclaimed_bytes: self.reclaimed_bytes(),
         }
+    }
+
+    /// One log-cleaner pass: retention first (whole segments are cheapest),
+    /// then keyed compaction, over every hosted partition. Dead segment
+    /// blobs are deleted through the backend and the manifest is re-flushed
+    /// so a post-clean restart replays only live data.
+    fn run_log_cleaner(&mut self, ctx: &mut Ctx<'_>) {
+        if self.recovering || !self.cfg.cleaning_enabled() {
+            return;
+        }
+        let now = ctx.now();
+        let mut total = CleanOutcome::default();
+        let mut dead_keys: Vec<String> = Vec::new();
+        for (tp, log) in self.logs.iter_mut() {
+            let retained = log.apply_retention(
+                now,
+                self.cfg.log_retention_age,
+                self.cfg.log_retention_bytes,
+            );
+            self.stats.segments_retired += retained.dropped_segment_bases.len() as u64;
+            self.stats.retired_bytes += retained.reclaimed_bytes;
+            let compacted = if self.cfg.log_compaction {
+                log.compact()
+            } else {
+                CleanOutcome::default()
+            };
+            self.stats.records_compacted += compacted.removed_records;
+            self.stats.compacted_bytes += compacted.reclaimed_bytes;
+            if let Some(d) = &self.durability {
+                for base in retained
+                    .dropped_segment_bases
+                    .iter()
+                    .chain(&compacted.dropped_segment_bases)
+                {
+                    dead_keys.push(d.segment_key(tp, *base));
+                }
+            }
+            total.merge(retained);
+            total.merge(compacted);
+        }
+        if total.is_noop() {
+            return;
+        }
+        self.stats.cleaner_runs += 1;
+        self.retained_bytes = self.logs.values().map(|l| l.retained_bytes() as u64).sum();
+        self.update_mem();
+        if let Some(d) = &mut self.durability {
+            // Stage the dead blobs; they are deleted only after the flush
+            // that persists the cleaned manifest completes, so a crash in
+            // between still recovers a manifest whose blobs all exist.
+            d.pending_deletes.extend(dead_keys);
+            d.dirty = true;
+        }
+        self.flush_logs(ctx);
+        ctx.trace(
+            "broker",
+            format!(
+                "{} cleaned {} records ({} B) from its logs",
+                self.name, total.removed_records, total.reclaimed_bytes
+            ),
+        );
     }
 
     fn arm_retry(&mut self, ctx: &mut Ctx<'_>) {
@@ -1216,6 +1346,17 @@ impl Broker {
         };
         d.flush_inflight = false;
         let again = std::mem::take(&mut d.flush_again) || d.dirty;
+        if !again {
+            // No newer mutations are waiting, so the manifest that just
+            // became durable reflects the cleaned state: the blobs it no
+            // longer references are safe to drop. (When `again` is set the
+            // completed flush may predate the clean — a coalesced flush was
+            // in flight when the cleaner ran — so the deletes wait for the
+            // follow-up flush's completion.)
+            for key in std::mem::take(&mut d.pending_deletes) {
+                d.backend.remove(ctx, &key);
+            }
+        }
         for (tp, end) in ends {
             let e = d.durable_end.entry(tp).or_insert(Offset::ZERO);
             *e = (*e).max(end);
@@ -1263,7 +1404,7 @@ impl Broker {
         };
         let d = self.durability.as_mut().expect("recovering");
         let mut gets: Vec<(String, TopicPartition)> = Vec::new();
-        for (tp, _hw, bases) in &meta.partitions {
+        for (tp, _hw, _start, bases) in &meta.partitions {
             for base in bases {
                 gets.push((d.segment_key(tp, *base), tp.clone()));
             }
@@ -1321,9 +1462,14 @@ impl Broker {
         if let Some(d) = self.durability.as_mut() {
             if let Some(meta) = d.staged_meta.take() {
                 let mut staged = std::mem::take(&mut d.staged);
-                for (tp, hw, _bases) in meta.partitions {
+                self.reclaimed_baseline = meta.reclaimed_bytes;
+                if let Some(r) = self.recovery.as_mut() {
+                    r.replay_saved_bytes = meta.reclaimed_bytes;
+                }
+                for (tp, hw, start, bases) in meta.partitions {
                     let segs = staged.remove(&tp).unwrap_or_default();
-                    let log = PartitionLog::from_recovered_segments(segs, hw, cfg_max);
+                    let log =
+                        PartitionLog::from_recovered_segments(segs, hw, start, &bases, cfg_max);
                     if let Some(r) = self.recovery.as_mut() {
                         r.replayed_records += log.len() as u64;
                         r.replayed_segments +=
@@ -1550,6 +1696,9 @@ impl Process for Broker {
                 self.begin_recovery(ctx);
             }
         }
+        if self.cfg.cleaning_enabled() {
+            ctx.set_timer(self.cfg.log_cleanup_interval, tags::LOG_CLEANUP_TICK);
+        }
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_>, from: ProcessId, msg: Box<dyn Message>) {
@@ -1613,6 +1762,10 @@ impl Process for Broker {
             }
             tags::DURABILITY_RETRY => {
                 self.retry_durability(ctx);
+            }
+            tags::LOG_CLEANUP_TICK => {
+                self.run_log_cleaner(ctx);
+                ctx.set_timer(self.cfg.log_cleanup_interval, tags::LOG_CLEANUP_TICK);
             }
             tags::BACKGROUND_TICK => {
                 if !self.cfg.background_cpu.is_zero() {

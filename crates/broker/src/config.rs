@@ -65,6 +65,23 @@ pub struct BrokerConfig {
     /// watermark moves, and committed offsets that are not already covered
     /// by a produce-triggered flush.
     pub log_flush_interval: SimDuration,
+    /// How often the log cleaner runs compaction/retention over the
+    /// partition logs (Kafka's `log.cleaner` thread). Cleaning only happens
+    /// when `log_compaction`, `log_retention_age`, or
+    /// `log_retention_bytes` enables a policy.
+    pub log_cleanup_interval: SimDuration,
+    /// Keyed compaction: keep only the latest committed record per key in
+    /// sealed segments (Kafka's `cleanup.policy=compact`). Bounds restart
+    /// replay by live keys instead of by history.
+    pub log_compaction: bool,
+    /// Time-based retention: sealed, fully committed segments whose newest
+    /// record is older than this are dropped and the log start advances
+    /// (Kafka's `log.retention.ms`).
+    pub log_retention_age: Option<SimDuration>,
+    /// Size-based retention: oldest sealed committed segments are dropped
+    /// until retained bytes fit under this cap (Kafka's
+    /// `log.retention.bytes`), per partition.
+    pub log_retention_bytes: Option<usize>,
 }
 
 impl Default for BrokerConfig {
@@ -84,7 +101,20 @@ impl Default for BrokerConfig {
             fetch_max_records: 500,
             log_segment_max_records: 128,
             log_flush_interval: SimDuration::from_millis(500),
+            log_cleanup_interval: SimDuration::from_secs(5),
+            log_compaction: false,
+            log_retention_age: None,
+            log_retention_bytes: None,
         }
+    }
+}
+
+impl BrokerConfig {
+    /// True when any cleaning policy (compaction or retention) is enabled.
+    pub fn cleaning_enabled(&self) -> bool {
+        self.log_compaction
+            || self.log_retention_age.is_some()
+            || self.log_retention_bytes.is_some()
     }
 }
 

@@ -94,7 +94,7 @@ pub struct ConsumerClient {
     offsets: BTreeMap<TopicPartition, Offset>,
     inflight: HashMap<u64, InflightFetch>,
     fetching: BTreeMap<TopicPartition, bool>,
-    pending_delivery: HashMap<u64, (TopicPartition, Vec<Record>)>,
+    pending_delivery: HashMap<u64, (TopicPartition, Vec<Record>, Offset)>,
     next_corr: u64,
     next_deliver_tag: u64,
     stats: ConsumerStats,
@@ -329,7 +329,8 @@ impl ConsumerClient {
                 corr,
                 tp,
                 batch,
-                high_watermark,
+                high_watermark: _,
+                next_offset,
                 error,
             } => {
                 let inflight = self.inflight.remove(&corr.0)?;
@@ -343,18 +344,32 @@ impl ConsumerClient {
                     ErrorCode::None if !batch.is_empty() => {
                         self.fetching.insert(tp.clone(), true);
                         // Pay the per-record CPU cost, then deliver and
-                        // immediately fetch again (pipelining).
+                        // immediately fetch again (pipelining). The position
+                        // advances to the broker-computed next offset, which
+                        // skips compaction holes instead of re-reading
+                        // across them.
                         let tag = CONSUMER_TAGS + off::CPU_DELIVER_BASE + self.next_deliver_tag;
                         self.next_deliver_tag += 1;
                         let n = batch.len() as u64;
-                        self.pending_delivery.insert(tag, (tp, batch.records));
+                        self.pending_delivery
+                            .insert(tag, (tp, batch.records, next_offset));
                         ctx.exec(self.cfg.cpu_per_record * n, tag);
                     }
+                    ErrorCode::None => {
+                        // Empty read: adopt the broker's next offset so a
+                        // fully compacted tail hole is skipped rather than
+                        // re-polled forever.
+                        let pos = self.position(&tp);
+                        if next_offset > pos {
+                            self.offsets.insert(tp, next_offset);
+                        }
+                    }
                     ErrorCode::OffsetOutOfRange => {
-                        // Truncation happened under us: reset to the server's
-                        // high watermark (auto.offset.reset=latest).
+                        // Truncation or retention happened under us: reset
+                        // to the broker-provided position (the log start
+                        // below retention, the high watermark above it).
                         self.stats.offset_resets += 1;
-                        self.offsets.insert(tp, high_watermark);
+                        self.offsets.insert(tp, next_offset);
                     }
                     e if e.is_retriable() => {
                         self.request_metadata(ctx);
@@ -453,14 +468,13 @@ impl ConsumerClient {
         if !(CONSUMER_TAGS..CONSUMER_TAGS_END).contains(&tag) {
             return false;
         }
-        let Some((tp, records)) = self.pending_delivery.remove(&tag) else {
+        let Some((tp, records, next_offset)) = self.pending_delivery.remove(&tag) else {
             return true;
         };
         let now = ctx.now();
         self.stats.records += records.len() as u64;
         let pos = self.position(&tp);
-        self.offsets
-            .insert(tp.clone(), Offset(pos.value() + records.len() as u64));
+        self.offsets.insert(tp.clone(), next_offset.max(pos));
         sink.on_records(now, &tp, &records);
         // Pipelining: fetch the next batch for this partition right away.
         self.fetching.insert(tp.clone(), false);

@@ -1,4 +1,4 @@
-//! The replicated partition log, segmented and recoverable.
+//! The replicated partition log, segmented, compactable, and recoverable.
 //!
 //! Each broker holds one [`PartitionLog`] per replica it hosts. Entries are
 //! tagged with the leader epoch under which they were appended, which is how
@@ -25,19 +25,40 @@
 //!   [`s2g_store::StoreServer`], paying simulated CPU and network cost per
 //!   flush and a read round trip per recovered blob, exactly like the SPE
 //!   checkpoint subsystem's `DurableBackend` does for snapshots.
+//!
+//! # Compaction and retention
+//!
+//! Every entry carries its explicit offset, so the log tolerates holes:
+//!
+//! * [`PartitionLog::compact`] keeps only the latest record per key among
+//!   committed (below-high-watermark) entries of sealed segments — Kafka's
+//!   compacted-topic cleaner. Keyless records and the active segment are
+//!   never touched, offsets never move, and readers see the same per-key
+//!   final state as on the raw log.
+//! * [`PartitionLog::apply_retention`] drops whole sealed, fully committed
+//!   segments past a time or size bound, advancing the log start offset.
+//!
+//! Both report the segments they emptied so the broker can delete the dead
+//! blobs through its [`LogBackend`] — replay cost after a restart is then
+//! bounded by *live* data, not by history.
 
 use std::cell::RefCell;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 
 use bytes::Bytes;
+use s2g_proto::codec::{put_bytes, put_str, put_u32, put_u64, put_u8, Cursor};
 use s2g_proto::{LeaderEpoch, Offset, ProducerId, Record, TopicPartition};
-use s2g_sim::{Ctx, ProcessId, SimTime};
-use s2g_store::StoreRpc;
+use s2g_sim::{Ctx, ProcessId, SimDuration, SimTime};
+use s2g_store::BlobClient;
 
-/// One appended entry: the record plus the epoch it was written under.
+/// One appended entry: the record, its explicit log offset, and the epoch
+/// it was written under.
 #[derive(Debug, Clone)]
 pub struct LogEntry {
+    /// The entry's log offset. Explicit (not derived from position) so
+    /// compaction can remove neighbors without renumbering survivors.
+    pub offset: Offset,
     /// Leader epoch at append time.
     pub epoch: LeaderEpoch,
     /// The record.
@@ -47,11 +68,17 @@ pub struct LogEntry {
 /// Default record capacity of one log segment before the log rolls.
 pub const DEFAULT_SEGMENT_MAX_RECORDS: usize = 128;
 
-/// A contiguous run of log entries starting at a fixed base offset — the
-/// unit of persistence and replay.
+/// Version byte of the segment wire format (offset-carrying entries).
+const SEGMENT_CODEC_VERSION: u8 = 2;
+
+/// A run of log entries covering the offset range `[base, end)` — the unit
+/// of persistence and replay. Compaction may leave holes inside the range;
+/// the range itself never shrinks.
 #[derive(Debug, Clone)]
 pub struct LogSegment {
     base: u64,
+    /// One past the highest offset ever assigned in this segment.
+    end: u64,
     entries: Vec<LogEntry>,
     bytes: usize,
     dirty: bool,
@@ -64,6 +91,7 @@ impl LogSegment {
     fn new(base: u64) -> Self {
         LogSegment {
             base,
+            end: base,
             entries: Vec::new(),
             bytes: 0,
             dirty: false,
@@ -71,14 +99,20 @@ impl LogSegment {
         }
     }
 
-    fn push(&mut self, epoch: LeaderEpoch, record: Record) {
+    fn push(&mut self, offset: u64, epoch: LeaderEpoch, record: Record) {
+        debug_assert!(offset >= self.end, "appends must advance the offset");
         if self.enc.is_empty() && !self.entries.is_empty() {
             // The encoding was shed after a flush; rebuild before extending.
             self.rebuild_enc();
         }
         self.bytes += record.encoded_len();
         self.dirty = true;
-        let entry = LogEntry { epoch, record };
+        self.end = offset + 1;
+        let entry = LogEntry {
+            offset: Offset(offset),
+            epoch,
+            record,
+        };
         encode_entry(&mut self.enc, &entry);
         self.entries.push(entry);
     }
@@ -90,17 +124,18 @@ impl LogSegment {
         }
     }
 
-    /// Offset of the segment's first entry.
+    /// First offset of the segment's range (set at roll time, fixed).
     pub fn base_offset(&self) -> Offset {
         Offset(self.base)
     }
 
-    /// One past the offset of the segment's last entry.
+    /// One past the highest offset ever assigned in the segment.
     pub fn end_offset(&self) -> Offset {
-        Offset(self.base + self.entries.len() as u64)
+        Offset(self.end)
     }
 
-    /// Number of entries held.
+    /// Number of entries held (compaction can make this smaller than the
+    /// offset range).
     pub fn len(&self) -> usize {
         self.entries.len()
     }
@@ -125,12 +160,14 @@ impl LogSegment {
         &self.entries
     }
 
-    /// Serializes the segment for a [`LogBackend`]: a 12-byte header plus
+    /// Serializes the segment for a [`LogBackend`]: a versioned header plus
     /// the incrementally maintained entry encodings (re-serialized from the
     /// entries when the buffer was shed after a flush).
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(12 + self.enc.len());
+        let mut out = Vec::with_capacity(21 + self.enc.len());
+        put_u8(&mut out, SEGMENT_CODEC_VERSION);
         put_u64(&mut out, self.base);
+        put_u64(&mut out, self.end);
         put_u32(&mut out, self.entries.len() as u32);
         if self.enc.is_empty() && !self.entries.is_empty() {
             for e in &self.entries {
@@ -143,15 +180,20 @@ impl LogSegment {
     }
 
     /// Deserializes a segment written by [`encode`](LogSegment::encode).
-    /// Returns `None` on truncated or malformed input.
+    /// Returns `None` on truncated, malformed, or wrong-version input.
     pub fn decode(buf: &[u8]) -> Option<LogSegment> {
-        let mut cur = Cursor { buf, pos: 0 };
+        let mut cur = Cursor::new(buf);
+        if cur.u8()? != SEGMENT_CODEC_VERSION {
+            return None;
+        }
         let base = cur.u64()?;
+        let end = cur.u64()?;
         let count = cur.u32()? as usize;
-        let body_start = cur.pos;
+        let body_start = cur.position();
         let mut entries = Vec::with_capacity(count);
         let mut bytes = 0;
         for _ in 0..count {
+            let offset = Offset(cur.u64()?);
             let epoch = LeaderEpoch(cur.u64()?);
             let key = match cur.u8()? {
                 0 => None,
@@ -171,11 +213,16 @@ impl LogSegment {
                 producer_seq,
             };
             bytes += record.encoded_len();
-            entries.push(LogEntry { epoch, record });
+            entries.push(LogEntry {
+                offset,
+                epoch,
+                record,
+            });
         }
-        let enc = buf[body_start..cur.pos].to_vec();
+        let enc = buf[body_start..cur.position()].to_vec();
         Some(LogSegment {
             base,
+            end,
             entries,
             bytes,
             dirty: false,
@@ -185,13 +232,14 @@ impl LogSegment {
 }
 
 fn encode_entry(out: &mut Vec<u8>, e: &LogEntry) {
+    put_u64(out, e.offset.value());
     put_u64(out, e.epoch.0);
     match &e.record.key {
         Some(k) => {
-            out.push(1);
+            put_u8(out, 1);
             put_bytes(out, k);
         }
-        None => out.push(0),
+        None => put_u8(out, 0),
     }
     put_bytes(out, &e.record.value);
     put_u64(out, e.record.timestamp.as_nanos());
@@ -200,65 +248,35 @@ fn encode_entry(out: &mut Vec<u8>, e: &LogEntry) {
     put_u64(out, e.record.producer_seq);
 }
 
-fn put_u32(out: &mut Vec<u8>, v: u32) {
-    out.extend_from_slice(&v.to_le_bytes());
+/// What one cleaner pass (compaction or retention) did to a partition log.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CleanOutcome {
+    /// Records removed.
+    pub removed_records: u64,
+    /// Record bytes reclaimed.
+    pub reclaimed_bytes: u64,
+    /// Base offsets of segments that were dropped entirely; the broker
+    /// deletes the matching backend blobs so replay never reads them again.
+    pub dropped_segment_bases: Vec<u64>,
 }
 
-fn put_u64(out: &mut Vec<u8>, v: u64) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-
-fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
-    put_u32(out, b.len() as u32);
-    out.extend_from_slice(b);
-}
-
-fn put_str(out: &mut Vec<u8>, s: &str) {
-    put_bytes(out, s.as_bytes());
-}
-
-struct Cursor<'a> {
-    buf: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Cursor<'a> {
-    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
-        let end = self.pos.checked_add(n)?;
-        if end > self.buf.len() {
-            return None;
-        }
-        let s = &self.buf[self.pos..end];
-        self.pos = end;
-        Some(s)
+impl CleanOutcome {
+    /// Folds another outcome into this one.
+    pub fn merge(&mut self, other: CleanOutcome) {
+        self.removed_records += other.removed_records;
+        self.reclaimed_bytes += other.reclaimed_bytes;
+        self.dropped_segment_bases
+            .extend(other.dropped_segment_bases);
     }
 
-    fn u8(&mut self) -> Option<u8> {
-        self.take(1).map(|s| s[0])
-    }
-
-    fn u32(&mut self) -> Option<u32> {
-        self.take(4)
-            .map(|s| u32::from_le_bytes(s.try_into().unwrap()))
-    }
-
-    fn u64(&mut self) -> Option<u64> {
-        self.take(8)
-            .map(|s| u64::from_le_bytes(s.try_into().unwrap()))
-    }
-
-    fn bytes(&mut self) -> Option<&'a [u8]> {
-        let n = self.u32()? as usize;
-        self.take(n)
-    }
-
-    fn str(&mut self) -> Option<String> {
-        let b = self.bytes()?;
-        String::from_utf8(b.to_vec()).ok()
+    /// True when the pass removed nothing.
+    pub fn is_noop(&self) -> bool {
+        self.removed_records == 0 && self.dropped_segment_bases.is_empty()
     }
 }
 
-/// An append-only (except for truncation) record log for one partition.
+/// An append-only (except for truncation and cleaning) record log for one
+/// partition.
 ///
 /// # Examples
 ///
@@ -280,10 +298,15 @@ pub struct PartitionLog {
     segments: Vec<LogSegment>,
     segment_max_records: usize,
     high_watermark: Offset,
+    /// First retained offset; advanced by segment retention.
+    log_start: Offset,
     /// Total record bytes retained (for the memory model).
     retained_bytes: usize,
     /// Records discarded by truncation — the observable "silent loss".
     truncated_records: Vec<Record>,
+    /// Cumulative bytes reclaimed by compaction + retention — the replay
+    /// cost this log will never pay again.
+    reclaimed_bytes: u64,
 }
 
 impl Default for PartitionLog {
@@ -292,8 +315,10 @@ impl Default for PartitionLog {
             segments: vec![LogSegment::new(0)],
             segment_max_records: DEFAULT_SEGMENT_MAX_RECORDS,
             high_watermark: Offset::ZERO,
+            log_start: Offset::ZERO,
             retained_bytes: 0,
             truncated_records: Vec::new(),
+            reclaimed_bytes: 0,
         }
     }
 }
@@ -317,30 +342,36 @@ impl PartitionLog {
         }
     }
 
-    /// Rebuilds a log from recovered segments and a persisted high
-    /// watermark (the broker-restart replay path). Segments are sorted by
-    /// base offset; the watermark is clamped to the recovered log end.
+    /// Rebuilds a log from recovered segments, a persisted high watermark,
+    /// and the manifest's expected segment bases (in order). Recovery keeps
+    /// the longest prefix of `expected_bases` whose blobs all arrived: a
+    /// blob missing from the backend (a lost flush followed by the crash)
+    /// truncates the recoverable log at the gap — offsets beyond it were
+    /// never durable. Bases legitimately absent from the manifest
+    /// (compacted or retired segments) never appear in `expected_bases`, so
+    /// they cost nothing.
     pub fn from_recovered_segments(
         segments: Vec<LogSegment>,
         high_watermark: Offset,
+        log_start: Offset,
+        expected_bases: &[u64],
         segment_max_records: usize,
     ) -> Self {
-        let mut sorted = segments;
-        sorted.sort_by_key(|s| s.base);
-        sorted.retain(|s| !s.is_empty());
-        // Keep only the contiguous prefix: a blob missing from the backend
-        // (a lost flush followed by the crash) truncates the recoverable
-        // log at the gap — offsets beyond it were never durable.
-        let mut contiguous: Vec<LogSegment> = Vec::new();
-        for seg in sorted {
-            match contiguous.last() {
-                Some(prev) if seg.base != prev.end_offset().value() => break,
-                _ => contiguous.push(seg),
+        let mut by_base: BTreeMap<u64, LogSegment> = segments
+            .into_iter()
+            .filter(|s| !s.is_empty())
+            .map(|s| (s.base, s))
+            .collect();
+        let mut recovered: Vec<LogSegment> = Vec::new();
+        for base in expected_bases {
+            match by_base.remove(base) {
+                Some(seg) => recovered.push(seg),
+                None => break, // lost flush: the durable log ends here
             }
         }
-        let mut segments = contiguous;
+        let mut segments = recovered;
         if segments.is_empty() {
-            segments.push(LogSegment::new(0));
+            segments.push(LogSegment::new(log_start.value()));
         }
         // Sealed segments shed their flush encodings; only the active tail
         // keeps one (encode() falls back to re-serialization when absent).
@@ -350,12 +381,19 @@ impl PartitionLog {
         }
         let retained_bytes = segments.iter().map(LogSegment::bytes).sum();
         let end = segments.last().map(|s| s.end_offset()).unwrap_or_default();
+        let start = segments
+            .first()
+            .map(|s| s.base_offset())
+            .unwrap_or_default()
+            .max(log_start.min(end));
         PartitionLog {
             segments,
             segment_max_records: segment_max_records.max(1),
             high_watermark: high_watermark.min(end),
+            log_start: start,
             retained_bytes,
             truncated_records: Vec::new(),
+            reclaimed_bytes: 0,
         }
     }
 
@@ -367,15 +405,19 @@ impl PartitionLog {
             .unwrap_or_default()
     }
 
+    /// First retained offset (advanced by retention).
+    pub fn log_start(&self) -> Offset {
+        self.log_start
+    }
+
     /// Highest offset known committed; consumers only see below this.
     pub fn high_watermark(&self) -> Offset {
         self.high_watermark
     }
 
-    /// Number of records currently in the log.
+    /// Number of records currently held (live data — holes excluded).
     pub fn len(&self) -> usize {
-        let first = self.segments.first().map_or(0, |s| s.base);
-        (self.log_end().value() - first) as usize
+        self.segments.iter().map(LogSegment::len).sum()
     }
 
     /// True when the log holds no records.
@@ -388,6 +430,11 @@ impl PartitionLog {
         self.retained_bytes
     }
 
+    /// Cumulative bytes reclaimed by compaction and retention.
+    pub fn reclaimed_bytes(&self) -> u64 {
+        self.reclaimed_bytes
+    }
+
     /// The segments, oldest first (the last one is the active segment).
     pub fn segments(&self) -> &[LogSegment] {
         &self.segments
@@ -398,27 +445,51 @@ impl PartitionLog {
         self.segments.len()
     }
 
-    fn entry_at(&self, offset: Offset) -> Option<&LogEntry> {
-        let o = offset.value();
-        let idx = self.segments.partition_point(|s| s.base <= o);
-        let seg = self.segments.get(idx.checked_sub(1)?)?;
-        seg.entries.get((o - seg.base) as usize)
+    fn seg_index_for(&self, offset: u64) -> Option<usize> {
+        let idx = self.segments.partition_point(|s| s.base <= offset);
+        let idx = idx.checked_sub(1)?;
+        (offset < self.segments[idx].end).then_some(idx)
     }
 
-    /// Appends one record under `epoch`, returning its offset.
+    fn entry_at(&self, offset: Offset) -> Option<&LogEntry> {
+        let o = offset.value();
+        let seg = &self.segments[self.seg_index_for(o)?];
+        let i = seg
+            .entries
+            .binary_search_by_key(&o, |e| e.offset.value())
+            .ok()?;
+        Some(&seg.entries[i])
+    }
+
+    /// Appends one record under `epoch` at the log end, returning its
+    /// offset.
     pub fn append(&mut self, epoch: LeaderEpoch, record: Record) -> Offset {
         let off = self.log_end();
+        self.append_at(off, epoch, record);
+        off
+    }
+
+    /// Appends one record at an explicit `offset` (the follower-replication
+    /// path: replicas must preserve the leader's offsets even across the
+    /// holes a compacted leader log serves). Entries at or below the
+    /// current log end are ignored — duplicate fetch responses become
+    /// no-ops instead of double-appends.
+    pub fn append_at(&mut self, offset: Offset, epoch: LeaderEpoch, record: Record) -> bool {
+        let o = offset.value();
+        if o < self.log_end().value() {
+            return false;
+        }
         if self
             .segments
             .last()
             .is_none_or(|s| s.len() >= self.segment_max_records)
         {
-            self.segments.push(LogSegment::new(off.value()));
+            self.segments.push(LogSegment::new(o));
         }
         let seg = self.segments.last_mut().expect("just ensured");
         self.retained_bytes += record.encoded_len();
-        seg.push(epoch, record);
-        off
+        seg.push(o, epoch, record);
+        true
     }
 
     /// Appends a batch under `epoch`, returning the base offset.
@@ -442,42 +513,51 @@ impl PartitionLog {
         }
     }
 
-    /// Reads up to `max` records starting at `from`. When `committed_only`
-    /// is set (consumer fetches), records at or above the high watermark are
-    /// withheld; replica fetches read the full log.
-    pub fn read(&self, from: Offset, max: usize, committed_only: bool) -> Vec<Record> {
+    /// Entries at offsets `>= from`, up to `max` of them. When
+    /// `committed_only` is set (consumer fetches), entries at or above the
+    /// high watermark are withheld; replica fetches read the full log.
+    /// Holes left by compaction are skipped — callers must advance by the
+    /// returned entries' offsets, not by their count.
+    pub fn read_entries(&self, from: Offset, max: usize, committed_only: bool) -> Vec<&LogEntry> {
         let end = if committed_only {
             self.high_watermark
         } else {
             self.log_end()
         };
-        if from >= end {
+        if from >= end || max == 0 {
             return Vec::new();
         }
         let lo = from.value();
-        let hi = end.value().min(lo.saturating_add(max as u64));
-        let mut out = Vec::with_capacity((hi - lo) as usize);
-        let mut idx = self.segments.partition_point(|s| s.base <= lo).max(1) - 1;
-        let mut o = lo;
-        while o < hi {
-            let Some(seg) = self.segments.get(idx) else {
-                break;
-            };
-            if o < seg.base {
-                break; // hole — recovery enforces contiguity, but be safe
-            }
-            let within = (o - seg.base) as usize;
-            let take = ((hi - seg.base) as usize).min(seg.entries.len());
-            if within >= take {
+        let mut out = Vec::new();
+        let start_idx = self
+            .segments
+            .partition_point(|s| s.end <= lo)
+            .min(self.segments.len().saturating_sub(1));
+        for seg in &self.segments[start_idx..] {
+            if seg.base >= end.value() {
                 break;
             }
-            for e in &seg.entries[within..take] {
-                out.push(e.record.clone());
+            let within = seg.entries.partition_point(|e| e.offset.value() < lo);
+            for e in &seg.entries[within..] {
+                if e.offset >= end {
+                    return out;
+                }
+                out.push(e);
+                if out.len() >= max {
+                    return out;
+                }
             }
-            o = seg.base + take as u64;
-            idx += 1;
         }
         out
+    }
+
+    /// Reads up to `max` records starting at `from` (see
+    /// [`read_entries`](Self::read_entries)).
+    pub fn read(&self, from: Offset, max: usize, committed_only: bool) -> Vec<Record> {
+        self.read_entries(from, max, committed_only)
+            .into_iter()
+            .map(|e| e.record.clone())
+            .collect()
     }
 
     /// The epoch of the entry at `offset`, if present.
@@ -505,7 +585,7 @@ impl PartitionLog {
         let mut dropped: Vec<LogEntry> = Vec::new();
         let mut keep_until = self.segments.len();
         for (i, seg) in self.segments.iter_mut().enumerate() {
-            if seg.end_offset().value() <= to {
+            if seg.end <= to {
                 continue;
             }
             if seg.base >= to {
@@ -513,8 +593,9 @@ impl PartitionLog {
                 break;
             }
             // `to` falls inside this segment: cut its tail.
-            let within = (to - seg.base) as usize;
+            let within = seg.entries.partition_point(|e| e.offset.value() < to);
             dropped.extend(seg.entries.split_off(within));
+            seg.end = to;
             seg.bytes = seg.entries.iter().map(|e| e.record.encoded_len()).sum();
             seg.dirty = true;
             seg.rebuild_enc();
@@ -567,11 +648,123 @@ impl PartitionLog {
     /// this is the offset a follower stuck at `epoch` must truncate to.
     pub fn end_offset_for_epoch(&self, epoch: LeaderEpoch) -> Offset {
         for seg in self.segments.iter().rev() {
-            if let Some(i) = seg.entries.iter().rposition(|e| e.epoch <= epoch) {
-                return Offset(seg.base + i as u64 + 1);
+            if let Some(e) = seg.entries.iter().rev().find(|e| e.epoch <= epoch) {
+                return Offset(e.offset.value() + 1);
             }
         }
         Offset::ZERO
+    }
+
+    /// Keyed compaction: among committed (below-high-watermark) entries of
+    /// sealed segments, keeps only the latest record per key. Keyless
+    /// records, uncommitted entries, and the active segment are untouched;
+    /// offsets never move. Sealed segments emptied by the pass are dropped
+    /// and reported so dead backend blobs can be deleted.
+    pub fn compact(&mut self) -> CleanOutcome {
+        let mut outcome = CleanOutcome::default();
+        if self.segments.len() < 2 {
+            return outcome;
+        }
+        let hw = self.high_watermark.value();
+        // Latest committed offset per key across the whole log (a committed
+        // copy in the active segment shadows sealed copies; uncommitted
+        // entries never act as "latest" — they could still be truncated).
+        let mut latest: HashMap<Bytes, u64> = HashMap::new();
+        for seg in &self.segments {
+            for e in &seg.entries {
+                if e.offset.value() >= hw {
+                    break;
+                }
+                if let Some(k) = &e.record.key {
+                    let slot = latest.entry(k.clone()).or_insert(0);
+                    *slot = (*slot).max(e.offset.value());
+                }
+            }
+        }
+        let sealed = self.segments.len() - 1;
+        let mut removed_bytes = 0usize;
+        for seg in &mut self.segments[..sealed] {
+            let before = seg.entries.len();
+            if before == 0 {
+                continue;
+            }
+            seg.entries.retain(|e| {
+                let o = e.offset.value();
+                if o >= hw {
+                    return true; // uncommitted: never cleaned
+                }
+                match &e.record.key {
+                    None => true, // keyless: no compaction identity
+                    Some(k) => latest.get(k).copied() == Some(o),
+                }
+            });
+            if seg.entries.len() != before {
+                let kept: usize = seg.entries.iter().map(|e| e.record.encoded_len()).sum();
+                removed_bytes += seg.bytes - kept;
+                outcome.removed_records += (before - seg.entries.len()) as u64;
+                seg.bytes = kept;
+                seg.dirty = true;
+                seg.rebuild_enc();
+            }
+        }
+        // Drop sealed segments the pass emptied entirely.
+        let mut dropped = Vec::new();
+        let last = self.segments.len() - 1;
+        let mut i = 0;
+        self.segments.retain(|seg| {
+            let keep = i == last || !seg.entries.is_empty();
+            if !keep {
+                dropped.push(seg.base);
+            }
+            i += 1;
+            keep
+        });
+        outcome.dropped_segment_bases = dropped;
+        outcome.reclaimed_bytes = removed_bytes as u64;
+        self.retained_bytes -= removed_bytes;
+        self.reclaimed_bytes += removed_bytes as u64;
+        outcome
+    }
+
+    /// Segment retention: drops sealed, fully committed segments whose
+    /// newest record is older than `max_age` (when set), then the oldest
+    /// such segments until retained bytes fit `max_bytes` (when set). The
+    /// log start offset advances past dropped data; late readers get an
+    /// out-of-range reset instead of the vanished records.
+    pub fn apply_retention(
+        &mut self,
+        now: SimTime,
+        max_age: Option<SimDuration>,
+        max_bytes: Option<usize>,
+    ) -> CleanOutcome {
+        let mut outcome = CleanOutcome::default();
+        loop {
+            if self.segments.len() < 2 {
+                break;
+            }
+            let seg = &self.segments[0];
+            // Only whole, committed segments are retired.
+            if seg.end > self.high_watermark.value() {
+                break;
+            }
+            let expired = max_age.is_some_and(|age| {
+                seg.entries
+                    .last()
+                    .is_some_and(|e| e.record.timestamp + age < now)
+            });
+            let oversize = max_bytes.is_some_and(|cap| self.retained_bytes > cap);
+            if !expired && !oversize && !seg.is_empty() {
+                break;
+            }
+            let seg = self.segments.remove(0);
+            outcome.removed_records += seg.entries.len() as u64;
+            outcome.reclaimed_bytes += seg.bytes as u64;
+            outcome.dropped_segment_bases.push(seg.base);
+            self.retained_bytes -= seg.bytes;
+            self.reclaimed_bytes += seg.bytes as u64;
+            self.log_start = self.log_start.max(Offset(seg.end));
+        }
+        outcome
     }
 
     /// Encodes every dirty segment and clears the dirty marks, returning
@@ -599,16 +792,21 @@ impl PartitionLog {
     }
 }
 
-/// The broker's durable metadata blob: per-partition high watermarks and
-/// segment manifests, plus consumer-group committed offsets. Persisted
-/// alongside segments on every flush; read first on recovery so the broker
-/// knows which segment keys to replay.
+/// The broker's durable metadata blob: per-partition high watermarks, log
+/// start offsets, and segment manifests, plus consumer-group committed
+/// offsets and the cumulative bytes cleaning reclaimed. Persisted alongside
+/// segments on every flush; read first on recovery so the broker knows
+/// which segment keys to replay.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct BrokerLogMeta {
-    /// Per partition: high watermark and the base offsets of live segments.
-    pub partitions: Vec<(TopicPartition, Offset, Vec<u64>)>,
+    /// Per partition: high watermark, log start, and the base offsets of
+    /// live segments in order.
+    pub partitions: Vec<(TopicPartition, Offset, Offset, Vec<u64>)>,
     /// Consumer-group committed positions: `(group, partition, offset)`.
     pub group_offsets: Vec<(String, TopicPartition, Offset)>,
+    /// Cumulative bytes reclaimed by compaction + retention across all
+    /// partitions — the replay bytes a restarted broker is spared.
+    pub reclaimed_bytes: u64,
 }
 
 impl BrokerLogMeta {
@@ -616,10 +814,11 @@ impl BrokerLogMeta {
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::new();
         put_u32(&mut out, self.partitions.len() as u32);
-        for (tp, hw, bases) in &self.partitions {
+        for (tp, hw, start, bases) in &self.partitions {
             put_str(&mut out, &tp.topic);
             put_u32(&mut out, tp.partition);
             put_u64(&mut out, hw.value());
+            put_u64(&mut out, start.value());
             put_u32(&mut out, bases.len() as u32);
             for b in bases {
                 put_u64(&mut out, *b);
@@ -632,25 +831,27 @@ impl BrokerLogMeta {
             put_u32(&mut out, tp.partition);
             put_u64(&mut out, off.value());
         }
+        put_u64(&mut out, self.reclaimed_bytes);
         out
     }
 
     /// Deserializes a blob written by [`encode`](BrokerLogMeta::encode).
     /// Returns `None` on truncated or malformed input.
     pub fn decode(buf: &[u8]) -> Option<BrokerLogMeta> {
-        let mut cur = Cursor { buf, pos: 0 };
+        let mut cur = Cursor::new(buf);
         let np = cur.u32()? as usize;
         let mut partitions = Vec::with_capacity(np);
         for _ in 0..np {
             let topic = cur.str()?;
             let partition = cur.u32()?;
             let hw = Offset(cur.u64()?);
+            let start = Offset(cur.u64()?);
             let nb = cur.u32()? as usize;
             let mut bases = Vec::with_capacity(nb);
             for _ in 0..nb {
                 bases.push(cur.u64()?);
             }
-            partitions.push((TopicPartition::new(topic, partition), hw, bases));
+            partitions.push((TopicPartition::new(topic, partition), hw, start, bases));
         }
         let ng = cur.u32()? as usize;
         let mut group_offsets = Vec::with_capacity(ng);
@@ -661,9 +862,11 @@ impl BrokerLogMeta {
             let off = Offset(cur.u64()?);
             group_offsets.push((group, TopicPartition::new(topic, partition), off));
         }
+        let reclaimed_bytes = cur.u64()?;
         Some(BrokerLogMeta {
             partitions,
             group_offsets,
+            reclaimed_bytes,
         })
     }
 }
@@ -688,7 +891,7 @@ pub enum LogPersist {
     /// The blob is durable now.
     Done,
     /// The write is in flight; completion arrives as a
-    /// [`StoreRpc::PutAck`] with this correlation id.
+    /// [`s2g_store::StoreRpc::PutAck`] with this correlation id.
     Pending(u64),
 }
 
@@ -699,12 +902,13 @@ pub enum LogRecover {
     /// written).
     Done(Option<Vec<u8>>),
     /// The read is in flight; the blob arrives as a
-    /// [`StoreRpc::GetResult`] with this correlation id.
+    /// [`s2g_store::StoreRpc::GetResult`] with this correlation id.
     Pending(u64),
 }
 
 /// Pluggable persistence for broker logs: segments and the meta blob are
-/// written under string keys and read back on restart.
+/// written under string keys, read back on restart, and deleted when
+/// cleaning drops them.
 pub trait LogBackend {
     /// True when writes and reads complete synchronously and for free (the
     /// in-memory local-disk model); false when they travel the network.
@@ -715,6 +919,12 @@ pub trait LogBackend {
 
     /// Begins reading the blob stored under `key`.
     fn recover(&mut self, ctx: &mut Ctx<'_>, key: &str) -> LogRecover;
+
+    /// Deletes the blob stored under `key` (a segment dropped by compaction
+    /// or retention). Fire-and-forget: a delete lost in the network merely
+    /// orphans a blob the manifest no longer references, so nothing waits
+    /// on the ack.
+    fn remove(&mut self, ctx: &mut Ctx<'_>, key: &str);
 }
 
 /// Log persistence on a shared map outside the broker's failure domain:
@@ -743,6 +953,10 @@ impl LogBackend for InMemoryLogBackend {
     fn recover(&mut self, _ctx: &mut Ctx<'_>, key: &str) -> LogRecover {
         LogRecover::Done(self.store.borrow().get(key).cloned())
     }
+
+    fn remove(&mut self, _ctx: &mut Ctx<'_>, key: &str) {
+        self.store.borrow_mut().remove(key);
+    }
 }
 
 /// Log persistence through an [`s2g_store::StoreServer`]: every flush ships
@@ -750,8 +964,7 @@ impl LogBackend for InMemoryLogBackend {
 /// cost; recovery pays one read round trip per blob before the broker may
 /// serve again.
 pub struct DurableLogBackend {
-    server: ProcessId,
-    next_corr: u64,
+    blobs: BlobClient,
 }
 
 impl DurableLogBackend {
@@ -765,15 +978,8 @@ impl DurableLogBackend {
     /// bounce can never collide with the respawned incarnation's requests.
     pub fn for_incarnation(server: ProcessId, incarnation: u64) -> Self {
         DurableLogBackend {
-            server,
-            next_corr: incarnation << 32,
+            blobs: BlobClient::for_incarnation(server, BROKER_LOG_CORR_BASE, incarnation),
         }
-    }
-
-    fn corr(&mut self) -> u64 {
-        let c = BROKER_LOG_CORR_BASE + self.next_corr;
-        self.next_corr += 1;
-        c
     }
 }
 
@@ -783,28 +989,15 @@ impl LogBackend for DurableLogBackend {
     }
 
     fn persist(&mut self, ctx: &mut Ctx<'_>, key: &str, bytes: Vec<u8>) -> LogPersist {
-        let corr = self.corr();
-        ctx.send(
-            self.server,
-            StoreRpc::Put {
-                corr,
-                key: key.to_string(),
-                value: bytes,
-            },
-        );
-        LogPersist::Pending(corr)
+        LogPersist::Pending(self.blobs.put(ctx, key, bytes))
     }
 
     fn recover(&mut self, ctx: &mut Ctx<'_>, key: &str) -> LogRecover {
-        let corr = self.corr();
-        ctx.send(
-            self.server,
-            StoreRpc::Get {
-                corr,
-                key: key.to_string(),
-            },
-        );
-        LogRecover::Pending(corr)
+        LogRecover::Pending(self.blobs.get(ctx, key))
+    }
+
+    fn remove(&mut self, ctx: &mut Ctx<'_>, key: &str) {
+        let _ = self.blobs.delete(ctx, key);
     }
 }
 
@@ -815,6 +1008,10 @@ mod tests {
 
     fn rec(v: &str) -> Record {
         Record::keyless(v.to_string(), SimTime::ZERO)
+    }
+
+    fn keyed(k: &str, v: &str, ms: u64) -> Record {
+        Record::new(k.to_string(), v.to_string(), SimTime::from_millis(ms))
     }
 
     #[test]
@@ -981,10 +1178,13 @@ mod tests {
         let seg = &log.segments()[0];
         let decoded = LogSegment::decode(&seg.encode()).expect("round trip");
         assert_eq!(decoded.base_offset(), seg.base_offset());
+        assert_eq!(decoded.end_offset(), seg.end_offset());
         assert_eq!(decoded.len(), 2);
+        assert_eq!(decoded.entries[0].offset, Offset(0));
         assert_eq!(decoded.entries[0].epoch, LeaderEpoch(3));
         assert_eq!(decoded.entries[0].record.key.as_deref(), Some(&b"k1"[..]));
         assert_eq!(decoded.entries[0].record.producer_seq, 42);
+        assert_eq!(decoded.entries[1].offset, Offset(1));
         assert_eq!(decoded.entries[1].record.value_utf8(), "plain");
         assert_eq!(decoded.bytes(), seg.bytes());
         // Garbage is rejected, not mis-decoded.
@@ -995,10 +1195,16 @@ mod tests {
     fn meta_codec_round_trips() {
         let meta = BrokerLogMeta {
             partitions: vec![
-                (TopicPartition::new("ta", 0), Offset(7), vec![0, 128]),
-                (TopicPartition::new("tb", 2), Offset(0), vec![]),
+                (
+                    TopicPartition::new("ta", 0),
+                    Offset(7),
+                    Offset(3),
+                    vec![0, 128],
+                ),
+                (TopicPartition::new("tb", 2), Offset(0), Offset(0), vec![]),
             ],
             group_offsets: vec![("g1".into(), TopicPartition::new("ta", 0), Offset(5))],
+            reclaimed_bytes: 4096,
         };
         let back = BrokerLogMeta::decode(&meta.encode()).expect("round trip");
         assert_eq!(back, meta);
@@ -1027,12 +1233,14 @@ mod tests {
         let mut log = PartitionLog::with_segment_max(3);
         log.append_batch(LeaderEpoch(1), (0..7).map(|i| rec(&i.to_string())));
         log.advance_high_watermark(Offset(6));
-        let blobs: Vec<Vec<u8>> = log.segments().iter().map(LogSegment::encode).collect();
-        let segments: Vec<LogSegment> = blobs
+        let bases: Vec<u64> = log.segments().iter().map(|s| s.base).collect();
+        let segments: Vec<LogSegment> = log
+            .segments()
             .iter()
-            .map(|b| LogSegment::decode(b).expect("decodes"))
+            .map(|s| LogSegment::decode(&s.encode()).expect("decodes"))
             .collect();
-        let rebuilt = PartitionLog::from_recovered_segments(segments, Offset(6), 3);
+        let rebuilt =
+            PartitionLog::from_recovered_segments(segments, Offset(6), Offset::ZERO, &bases, 3);
         assert_eq!(rebuilt.log_end(), log.log_end());
         assert_eq!(rebuilt.high_watermark(), Offset(6));
         assert_eq!(rebuilt.retained_bytes(), log.retained_bytes());
@@ -1040,24 +1248,28 @@ mod tests {
         assert_eq!(all.len(), 7);
         assert_eq!(all[6].value_utf8(), "6");
         // A watermark beyond the recovered end is clamped.
-        let clamped = PartitionLog::from_recovered_segments(vec![], Offset(99), 3);
+        let clamped =
+            PartitionLog::from_recovered_segments(vec![], Offset(99), Offset::ZERO, &[], 3);
         assert_eq!(clamped.high_watermark(), Offset::ZERO);
     }
 
     #[test]
     fn recovery_truncates_at_a_manifest_hole() {
-        // A lost flush can leave a gap in the persisted segment set; the
-        // recoverable log ends at the gap, and reads never panic.
+        // A lost flush can leave a manifest-listed blob missing from the
+        // backend; the recoverable log ends at the gap, and reads never
+        // panic.
         let mut log = PartitionLog::with_segment_max(3);
         log.append_batch(LeaderEpoch(0), (0..9).map(|i| rec(&i.to_string())));
         log.advance_high_watermark(Offset(9));
+        let bases: Vec<u64> = log.segments().iter().map(|s| s.base).collect();
         let mut segments: Vec<LogSegment> = log
             .segments()
             .iter()
             .map(|s| LogSegment::decode(&s.encode()).expect("decodes"))
             .collect();
         segments.remove(1); // the middle blob never made it to the backend
-        let rebuilt = PartitionLog::from_recovered_segments(segments, Offset(9), 3);
+        let rebuilt =
+            PartitionLog::from_recovered_segments(segments, Offset(9), Offset::ZERO, &bases, 3);
         assert_eq!(rebuilt.log_end(), Offset(3), "log ends at the gap");
         assert_eq!(rebuilt.high_watermark(), Offset(3), "HW clamped to it");
         assert_eq!(rebuilt.read(Offset(0), 100, false).len(), 3);
@@ -1086,5 +1298,144 @@ mod tests {
         let seg = LogSegment::decode(&tail[0].1).expect("decodes");
         assert_eq!(seg.len(), 2);
         assert_eq!(seg.entries()[1].record.value_utf8(), "z");
+    }
+
+    #[test]
+    fn compaction_keeps_latest_per_key() {
+        let mut log = PartitionLog::with_segment_max(2);
+        log.append(LeaderEpoch(0), keyed("a", "a1", 1)); // 0 — shadowed
+        log.append(LeaderEpoch(0), keyed("b", "b1", 2)); // 1 — shadowed
+        log.append(LeaderEpoch(0), keyed("a", "a2", 3)); // 2 — shadowed by 4
+        log.append(LeaderEpoch(0), rec("nokey")); // 3 — keyless, kept
+        log.append(LeaderEpoch(0), keyed("a", "a3", 5)); // 4 — latest a
+        log.append(LeaderEpoch(0), keyed("b", "b2", 6)); // 5 — latest b (active)
+        log.advance_high_watermark(Offset(6));
+        let before = log.retained_bytes();
+        let out = log.compact();
+        assert_eq!(out.removed_records, 3);
+        assert!(out.reclaimed_bytes > 0);
+        assert_eq!(out.dropped_segment_bases, vec![0], "segment [0,2) emptied");
+        assert!(log.retained_bytes() < before);
+        assert_eq!(log.reclaimed_bytes(), out.reclaimed_bytes);
+        // Offsets survive: reader sees keyless@3, a3@4, b2@5.
+        let entries = log.read_entries(Offset(0), 10, true);
+        let offs: Vec<u64> = entries.iter().map(|e| e.offset.value()).collect();
+        assert_eq!(offs, vec![3, 4, 5]);
+        assert_eq!(entries[1].record.value_utf8(), "a3");
+        // A second pass is a no-op.
+        assert!(log.compact().is_noop());
+    }
+
+    #[test]
+    fn compaction_never_touches_uncommitted_or_active_entries() {
+        let mut log = PartitionLog::with_segment_max(2);
+        log.append(LeaderEpoch(0), keyed("k", "v1", 1)); // 0
+        log.append(LeaderEpoch(0), keyed("k", "v2", 2)); // 1
+        log.append(LeaderEpoch(0), keyed("k", "v3", 3)); // 2 — above HW
+        log.advance_high_watermark(Offset(2));
+        let out = log.compact();
+        // Only offset 0 is compactable (sealed, below HW, shadowed).
+        assert_eq!(out.removed_records, 1);
+        let all = log.read_entries(Offset(0), 10, false);
+        let offs: Vec<u64> = all.iter().map(|e| e.offset.value()).collect();
+        assert_eq!(offs, vec![1, 2]);
+    }
+
+    #[test]
+    fn compacted_log_round_trips_through_recovery() {
+        let mut log = PartitionLog::with_segment_max(2);
+        for i in 0..8u64 {
+            log.append(
+                LeaderEpoch(0),
+                keyed(&format!("k{}", i % 2), &i.to_string(), i),
+            );
+        }
+        log.advance_high_watermark(Offset(8));
+        log.compact();
+        let bases: Vec<u64> = log.segments().iter().map(|s| s.base).collect();
+        let segments: Vec<LogSegment> = log
+            .segments()
+            .iter()
+            .map(|s| LogSegment::decode(&s.encode()).expect("decodes"))
+            .collect();
+        let rebuilt = PartitionLog::from_recovered_segments(
+            segments,
+            log.high_watermark(),
+            log.log_start(),
+            &bases,
+            2,
+        );
+        assert_eq!(rebuilt.log_end(), log.log_end());
+        let a: Vec<u64> = log
+            .read_entries(Offset(0), 100, false)
+            .iter()
+            .map(|e| e.offset.value())
+            .collect();
+        let b: Vec<u64> = rebuilt
+            .read_entries(Offset(0), 100, false)
+            .iter()
+            .map(|e| e.offset.value())
+            .collect();
+        assert_eq!(a, b, "recovered compacted log serves identical offsets");
+    }
+
+    #[test]
+    fn retention_drops_old_committed_segments() {
+        let mut log = PartitionLog::with_segment_max(2);
+        for i in 0..6u64 {
+            log.append(
+                LeaderEpoch(0),
+                Record::keyless(i.to_string(), SimTime::from_secs(i)),
+            );
+        }
+        log.advance_high_watermark(Offset(4)); // segment [4,6) uncommitted
+        let out = log.apply_retention(
+            SimTime::from_secs(100),
+            Some(SimDuration::from_secs(50)),
+            None,
+        );
+        // Segments [0,2) (newest record t=1s) and [2,4) (t=3s) both expired;
+        // [4,6) is the active segment and stays.
+        assert_eq!(out.dropped_segment_bases, vec![0, 2]);
+        assert_eq!(out.removed_records, 4);
+        assert_eq!(log.log_start(), Offset(4));
+        assert_eq!(log.log_end(), Offset(6));
+        assert!(log.read(Offset(0), 10, false).len() == 2);
+        // Appends continue past retention.
+        assert_eq!(log.append(LeaderEpoch(0), rec("z")), Offset(6));
+    }
+
+    #[test]
+    fn size_retention_bounds_retained_bytes() {
+        let mut log = PartitionLog::with_segment_max(4);
+        for i in 0..16u64 {
+            log.append(
+                LeaderEpoch(0),
+                Record::keyless(vec![0u8; 100], SimTime::from_secs(i)),
+            );
+        }
+        log.advance_high_watermark(Offset(16));
+        let cap = log.retained_bytes() / 2;
+        let out = log.apply_retention(SimTime::from_secs(20), None, Some(cap));
+        assert!(!out.dropped_segment_bases.is_empty());
+        assert!(log.retained_bytes() <= cap);
+        assert!(log.log_start() > Offset::ZERO);
+    }
+
+    #[test]
+    fn replication_append_at_preserves_leader_offsets() {
+        // Leader compacted: serves offsets 3, 5, 7. The follower must land
+        // them at the same offsets.
+        let mut follower = PartitionLog::with_segment_max(4);
+        assert!(follower.append_at(Offset(3), LeaderEpoch(1), rec("x")));
+        assert!(follower.append_at(Offset(5), LeaderEpoch(1), rec("y")));
+        assert!(follower.append_at(Offset(7), LeaderEpoch(2), rec("z")));
+        assert_eq!(follower.log_end(), Offset(8));
+        assert_eq!(follower.len(), 3);
+        assert_eq!(follower.epoch_at(Offset(5)), Some(LeaderEpoch(1)));
+        assert_eq!(follower.epoch_at(Offset(4)), None, "hole stays a hole");
+        // Duplicate responses are no-ops, not double-appends.
+        assert!(!follower.append_at(Offset(5), LeaderEpoch(1), rec("dup")));
+        assert_eq!(follower.len(), 3);
     }
 }

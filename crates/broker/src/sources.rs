@@ -33,6 +33,7 @@ pub struct RateSource {
     interval: SimDuration,
     payload: usize,
     emitted: u64,
+    key_space: Option<u64>,
 }
 
 impl RateSource {
@@ -44,12 +45,26 @@ impl RateSource {
             interval,
             payload: 100,
             emitted: 0,
+            key_space: None,
         }
     }
 
     /// Sets the payload size in bytes (default 100).
     pub fn payload_bytes(mut self, n: usize) -> Self {
         self.payload = n;
+        self
+    }
+
+    /// Keys records round-robin over `k` distinct keys (`k0`..`k{k-1}`) —
+    /// the repeated-update workload log compaction thrives on. Default:
+    /// keyless records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn key_space(mut self, k: u64) -> Self {
+        assert!(k > 0, "key space must be non-empty");
+        self.key_space = Some(k);
         self
     }
 
@@ -65,10 +80,13 @@ impl DataSource for RateSource {
             return SourceAction::Done;
         }
         self.remaining -= 1;
+        let key = self
+            .key_space
+            .map(|k| format!("k{}", self.emitted % k).into_bytes());
         self.emitted += 1;
         SourceAction::Emit {
             topic: self.topic.clone(),
-            key: None,
+            key,
             value: vec![0x5a; self.payload],
             next_after: self.interval,
         }

@@ -61,7 +61,8 @@ pub use monitor::{DeliveryMatrix, DeliveryRecord, MonitorCore, MonitorHandle, Mo
 pub use resources::{cdf, cpu_utilization_series, median, MemModel, MemSampler, ServerSpec};
 pub use scenario::{
     BrokerDurabilitySpec, BrokerRecoveryReport, BrokerReport, CheckpointBackendSpec,
-    CheckpointSpec, ConsumerReport, ConsumerSinkSpec, ProducerReport, RecoveryReport, RunReport,
-    RunResult, Scenario, ScenarioError, SourceSpec, SpeJobSpec, SpeReport, SpeSinkSpec,
+    CheckpointSpec, ClientRecoveryReport, ConsumerReport, ConsumerSinkSpec, ProducerReport,
+    RecoveryReport, RunReport, RunResult, Scenario, ScenarioError, SourceSpec, SpeJobSpec,
+    SpeReport, SpeSinkSpec,
 };
 pub use viz::{ascii_chart, ascii_matrix, ascii_table, csv_series};

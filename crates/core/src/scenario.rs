@@ -84,8 +84,11 @@ pub enum SourceSpec {
     Custom {
         /// Topics this source emits to (for validation).
         topics: Vec<String>,
-        /// Factory producing the source at build time.
-        make: Box<dyn FnOnce() -> Box<dyn DataSource>>,
+        /// Factory producing the source. Called at build time and again for
+        /// each `RestartProcess` fault on this stub, so a respawned
+        /// producer starts its source from the beginning (broker-side
+        /// idempotent dedup then filters the already-appended prefix).
+        make: Box<dyn Fn() -> Box<dyn DataSource>>,
     },
 }
 
@@ -100,31 +103,47 @@ impl SourceSpec {
         }
     }
 
-    fn build(self) -> Box<dyn DataSource> {
+    fn build(&self) -> Box<dyn DataSource> {
         match self {
             SourceSpec::Rate {
                 topic,
                 count,
                 interval,
                 payload,
-            } => Box::new(RateSource::new(topic, count, interval).payload_bytes(payload)),
+            } => {
+                Box::new(RateSource::new(topic.clone(), *count, *interval).payload_bytes(*payload))
+            }
             SourceSpec::RandomTopics {
                 topics,
                 kbps,
                 payload,
                 until,
-            } => Box::new(RandomTopicSource::new(topics, kbps, payload, until)),
+            } => Box::new(RandomTopicSource::new(
+                topics.clone(),
+                *kbps,
+                *payload,
+                *until,
+            )),
             SourceSpec::Poisson {
                 topic,
                 rate_per_sec,
                 payload,
                 until,
-            } => Box::new(PoissonSource::new(topic, rate_per_sec, payload, until)),
+            } => Box::new(PoissonSource::new(
+                topic.clone(),
+                *rate_per_sec,
+                *payload,
+                *until,
+            )),
             SourceSpec::Items {
                 topic,
                 items,
                 interval,
-            } => Box::new(FileLinesSource::new(topic, items, interval)),
+            } => Box::new(FileLinesSource::new(
+                topic.clone(),
+                items.clone(),
+                *interval,
+            )),
             SourceSpec::Custom { make, .. } => make(),
         }
     }
@@ -140,8 +159,19 @@ impl fmt::Debug for SourceSpec {
 pub enum ConsumerSinkSpec {
     /// Collect in memory (the `STANDARD` stub); always monitored.
     Collect,
-    /// A custom sink (still wrapped by the monitor).
-    Custom(Box<dyn FnOnce() -> Box<dyn DataSink>>),
+    /// A custom sink (still wrapped by the monitor). The factory is called
+    /// at build time and again for each `RestartProcess` fault on this
+    /// stub — a respawned consumer starts with a fresh sink.
+    Custom(Box<dyn Fn() -> Box<dyn DataSink>>),
+}
+
+impl ConsumerSinkSpec {
+    fn build(&self) -> Box<dyn DataSink> {
+        match self {
+            ConsumerSinkSpec::Collect => Box::new(CollectingSink::default()),
+            ConsumerSinkSpec::Custom(make) => make(),
+        }
+    }
 }
 
 impl fmt::Debug for ConsumerSinkSpec {
@@ -279,7 +309,11 @@ impl fmt::Display for ScenarioError {
             ScenarioError::DuplicateJobName(n) => write!(f, "duplicate SPE job name `{n}`"),
             ScenarioError::UnknownHost(h) => write!(f, "topology has no host `{h}`"),
             ScenarioError::UnknownProcess(p) => {
-                write!(f, "fault plan crashes `{p}`, which is not an SPE job name")
+                write!(
+                    f,
+                    "fault plan crashes `{p}`, which is neither an SPE job name \
+                     nor a `producer-<idx>`/`consumer-<idx>` stub"
+                )
             }
             ScenarioError::UnknownBroker(b) => {
                 write!(f, "fault plan crashes broker b{b}, which is not declared")
@@ -313,6 +347,9 @@ pub struct Scenario {
     faults: FaultPlan,
     checkpointing: Option<CheckpointSpec>,
     broker_durability: Option<BrokerDurabilitySpec>,
+    log_compaction: bool,
+    log_retention_age: Option<SimDuration>,
+    log_retention_bytes: Option<usize>,
     watch_tx: Vec<String>,
     tracing: bool,
     event_limit: u64,
@@ -343,6 +380,9 @@ impl Scenario {
             faults: FaultPlan::new(),
             checkpointing: None,
             broker_durability: None,
+            log_compaction: false,
+            log_retention_age: None,
+            log_retention_bytes: None,
             watch_tx: Vec::new(),
             tracing: false,
             event_limit: u64::MAX,
@@ -516,6 +556,67 @@ impl Scenario {
                 host: store_host.to_string(),
             },
         });
+        self
+    }
+
+    /// Enables *incremental* checkpointing for every SPE job: after each
+    /// full base snapshot, captures ship only the keys/windows touched
+    /// since the previous capture, so snapshot bytes scale with churn
+    /// instead of with total state. After `max_delta_chain` deltas the next
+    /// capture is forced to re-base, bounding restore work. Composes with
+    /// either backend — call this instead of
+    /// [`with_checkpointing`](Scenario::with_checkpointing), or pass an
+    /// [`incremental`](CheckpointCfg::incremental) config to
+    /// [`with_durable_checkpointing`](Scenario::with_durable_checkpointing).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use s2g_core::Scenario;
+    /// use s2g_spe::CheckpointCfg;
+    /// use s2g_sim::SimDuration;
+    ///
+    /// let mut sc = Scenario::new("incremental");
+    /// sc.with_incremental_checkpointing(
+    ///     CheckpointCfg::exactly_once(SimDuration::from_secs(1)),
+    ///     8,
+    /// );
+    /// ```
+    pub fn with_incremental_checkpointing(
+        &mut self,
+        cfg: CheckpointCfg,
+        max_delta_chain: u32,
+    ) -> &mut Self {
+        self.checkpointing = Some(CheckpointSpec {
+            cfg: cfg.incremental(max_delta_chain),
+            backend: CheckpointBackendSpec::InMemory,
+        });
+        self
+    }
+
+    /// Enables keyed log compaction on every broker: the cleaner keeps only
+    /// the latest committed record per key in sealed segments (Kafka's
+    /// `cleanup.policy=compact`), deletes dead segment blobs through the
+    /// log backend, and bounds restart replay by live keys instead of by
+    /// history. Readers observe the same per-key final state as on the raw
+    /// log.
+    pub fn with_log_compaction(&mut self) -> &mut Self {
+        self.log_compaction = true;
+        self
+    }
+
+    /// Enables time- and/or size-based segment retention on every broker:
+    /// sealed, fully committed segments older than `max_age` (or beyond
+    /// `max_bytes` of retained data per partition) are dropped, the log
+    /// start offset advances, and late readers get an out-of-range reset to
+    /// the earliest retained record.
+    pub fn with_log_retention(
+        &mut self,
+        max_age: Option<SimDuration>,
+        max_bytes: Option<usize>,
+    ) -> &mut Self {
+        self.log_retention_age = max_age;
+        self.log_retention_bytes = max_bytes;
         self
     }
 
@@ -707,7 +808,9 @@ impl Scenario {
         for (_, action) in self.faults.process_events() {
             match action {
                 FaultAction::CrashProcess(n) | FaultAction::RestartProcess(n)
-                    if !self.spe_jobs.iter().any(|(_, j)| &j.name == n) =>
+                    if !self.spe_jobs.iter().any(|(_, j)| &j.name == n)
+                        && stub_index(n, "producer-").is_none_or(|i| i >= self.producers.len())
+                        && stub_index(n, "consumer-").is_none_or(|i| i >= self.consumers.len()) =>
                 {
                     return Err(ScenarioError::UnknownProcess(n.clone()));
                 }
@@ -843,6 +946,12 @@ impl Scenario {
         let broker_log_store: LogStoreHandle = log_store();
         let mut broker_builds: Vec<BrokerBuild> = Vec::new();
         for (i, (host, cfg)) in self.brokers.iter().enumerate() {
+            // Scenario-level cleaning knobs apply to every broker (a
+            // per-broker config that already enables a policy keeps it).
+            let mut cfg = cfg.clone();
+            cfg.log_compaction |= self.log_compaction;
+            cfg.log_retention_age = cfg.log_retention_age.or(self.log_retention_age);
+            cfg.log_retention_bytes = cfg.log_retention_bytes.or(self.log_retention_bytes);
             let mut b = Broker::new(
                 BrokerId(i as u32),
                 cfg.clone(),
@@ -862,7 +971,7 @@ impl Scenario {
             placements.push((pid, host.clone()));
             broker_builds.push(BrokerBuild {
                 host: host.clone(),
-                cfg: cfg.clone(),
+                cfg,
                 slot,
                 pid,
                 incarnation: 0,
@@ -978,53 +1087,63 @@ impl Scenario {
             spe_builds.push(build);
         }
 
-        // Producers.
+        // Producers. Each build recipe is retained so a `RestartProcess`
+        // fault on a `producer-<idx>` stub can rebuild it: the respawn
+        // reuses the same producer id and epoch and restarts the source
+        // from the beginning — the broker's idempotent dedup acknowledges
+        // the already-appended prefix without a second copy, so the log
+        // converges to exactly the no-fault contents.
         let mut producer_pids: Vec<ProcessId> = Vec::new();
+        let mut producer_builds: Vec<ProducerStubBuild> = Vec::new();
         for (i, (host, source, cfg)) in self.producers.into_iter().enumerate() {
-            let mut client = ProducerClient::new(
-                ProducerId(i as u32),
-                cfg.clone(),
-                bootstrap_for(&host),
-                brokers_hash.clone(),
-                0,
-            );
             let base = self.mem_model.producer_base
                 + (cfg.buffer_memory as f64 * self.mem_model.producer_heap_factor) as u64;
             let slot = ledger.borrow_mut().register(format!("producer-{i}"), base);
-            client.set_mem_slot(ledger.clone(), slot);
-            let p = ProducerProcess::new(client, source.build());
+            let build = ProducerStubBuild {
+                host: host.clone(),
+                source,
+                cfg,
+                bootstrap: bootstrap_for(&host),
+                slot,
+                pid: ProcessId(0),
+            };
+            let p = build_producer_stub(i, &build, &brokers_hash, &ledger);
             let pid = sim.spawn(Box::new(p));
             if let Some(cpu) = cpus.get(&host) {
                 sim.attach_cpu(pid, cpu.clone());
             }
             placements.push((pid, host));
             producer_pids.push(pid);
+            producer_builds.push(ProducerStubBuild { pid, ..build });
         }
 
-        // Consumers, each wrapped by the monitor.
+        // Consumers, each wrapped by the monitor; recipes retained for
+        // `consumer-<idx>` crash/restart faults. A respawned member of a
+        // consumer group resumes from its broker-committed offsets; a
+        // group-less consumer restarts at the log start and re-reads.
         let monitor: MonitorHandle = MonitorCore::new_handle();
         let mut consumer_pids: Vec<ProcessId> = Vec::new();
+        let mut consumer_builds: Vec<ConsumerStubBuild> = Vec::new();
         for (i, (host, cfg, topics, sink)) in self.consumers.into_iter().enumerate() {
-            let inner: Box<dyn DataSink> = match sink {
-                ConsumerSinkSpec::Collect => Box::new(CollectingSink::default()),
-                ConsumerSinkSpec::Custom(make) => make(),
-            };
-            let wrapped = MonitoredSink::new(monitor.clone(), i as u32, inner);
-            let client =
-                ConsumerClient::new(cfg, bootstrap_for(&host), brokers_hash.clone(), topics);
             ledger
                 .borrow_mut()
                 .register(format!("consumer-{i}"), self.mem_model.consumer);
-            let pid = sim.spawn(Box::new(ConsumerProcess::new(
-                i as u32,
-                client,
-                Box::new(wrapped),
-            )));
+            let build = ConsumerStubBuild {
+                host: host.clone(),
+                cfg,
+                topics,
+                sink,
+                bootstrap: bootstrap_for(&host),
+                pid: ProcessId(0),
+            };
+            let p = build_consumer_stub(i, &build, &brokers_hash, &monitor);
+            let pid = sim.spawn(Box::new(p));
             if let Some(cpu) = cpus.get(&host) {
                 sim.attach_cpu(pid, cpu.clone());
             }
             placements.push((pid, host));
             consumer_pids.push(pid);
+            consumer_builds.push(ConsumerStubBuild { pid, ..build });
         }
 
         // Fault injector, memory sampler, throughput sampler. Process-level
@@ -1072,18 +1191,67 @@ impl Scenario {
         let mut corpses: BTreeMap<String, Box<dyn s2g_sim::Process>> = BTreeMap::new();
         let mut broker_crashed_at: BTreeMap<u32, SimTime> = BTreeMap::new();
         let mut broker_corpses: BTreeMap<u32, Box<dyn s2g_sim::Process>> = BTreeMap::new();
+        let mut client_crashes: BTreeMap<String, ClientRecoveryReport> = BTreeMap::new();
+        let mut client_corpses: BTreeMap<String, Box<dyn s2g_sim::Process>> = BTreeMap::new();
         for (at, action) in process_events {
             if at >= duration {
                 break;
             }
             sim.run_until(at);
             match action {
-                FaultAction::CrashProcess(name) => {
-                    let pid = *spe_pids.get(&name).expect("validated SPE job name");
+                FaultAction::CrashProcess(name) if spe_pids.contains_key(&name) => {
+                    let pid = *spe_pids.get(&name).expect("just checked");
                     if let Some(corpse) = sim.kill(pid) {
                         crashed_at.insert(name.clone(), at);
                         corpses.insert(name, corpse);
                     }
+                }
+                FaultAction::CrashProcess(name) => {
+                    // A client stub: `producer-<idx>` or `consumer-<idx>`
+                    // (validated above).
+                    let pid = if let Some(i) = stub_index(&name, "producer-") {
+                        producer_builds[i].pid
+                    } else {
+                        consumer_builds[stub_index(&name, "consumer-").expect("validated")].pid
+                    };
+                    if let Some(corpse) = sim.kill(pid) {
+                        client_crashes.insert(
+                            name.clone(),
+                            ClientRecoveryReport {
+                                crashed_at: at,
+                                restarted_at: None,
+                            },
+                        );
+                        client_corpses.insert(name, corpse);
+                    }
+                }
+                FaultAction::RestartProcess(name) if !spe_pids.contains_key(&name) => {
+                    if let Some(i) = stub_index(&name, "producer-") {
+                        let build = &producer_builds[i];
+                        if sim.is_alive(build.pid) {
+                            continue; // restart without a preceding crash
+                        }
+                        let p = build_producer_stub(i, build, &brokers_hash, &ledger);
+                        sim.respawn(build.pid, Box::new(p));
+                        if let Some(cpu) = cpus.get(&build.host) {
+                            sim.attach_cpu(build.pid, cpu.clone());
+                        }
+                    } else {
+                        let i = stub_index(&name, "consumer-").expect("validated");
+                        let build = &consumer_builds[i];
+                        if sim.is_alive(build.pid) {
+                            continue;
+                        }
+                        let p = build_consumer_stub(i, build, &brokers_hash, &monitor);
+                        sim.respawn(build.pid, Box::new(p));
+                        if let Some(cpu) = cpus.get(&build.host) {
+                            sim.attach_cpu(build.pid, cpu.clone());
+                        }
+                    }
+                    if let Some(rec) = client_crashes.get_mut(&name) {
+                        rec.restarted_at = Some(at);
+                    }
+                    client_corpses.remove(&name);
                 }
                 FaultAction::RestartProcess(name) => {
                     let build = spe_builds
@@ -1153,27 +1321,38 @@ impl Scenario {
         }
         sim.run_until(duration);
 
-        // Harvest the report.
+        // Harvest the report. Crashed-and-not-restarted stubs are absent
+        // from the process table; report from their corpses instead.
         let mut producers_report = Vec::new();
         for (i, pid) in producer_pids.iter().enumerate() {
-            let p = sim
-                .process_ref::<ProducerProcess>(*pid)
-                .expect("producer process");
+            let name = format!("producer-{i}");
+            let p = sim.process_ref::<ProducerProcess>(*pid).or_else(|| {
+                client_corpses.get(&name).and_then(|c| {
+                    (c.as_ref() as &dyn std::any::Any).downcast_ref::<ProducerProcess>()
+                })
+            });
+            let p = p.expect("producer process (live or corpse)");
             producers_report.push(ProducerReport {
                 id: ProducerId(i as u32),
                 stats: p.client().stats(),
                 outcomes: p.client().outcomes().to_vec(),
                 sent_index: p.client().sent_index().to_vec(),
+                recovery: client_crashes.get(&name).copied(),
             });
         }
         let mut consumers_report = Vec::new();
         for (i, pid) in consumer_pids.iter().enumerate() {
-            let c = sim
-                .process_ref::<ConsumerProcess>(*pid)
-                .expect("consumer process");
+            let name = format!("consumer-{i}");
+            let c = sim.process_ref::<ConsumerProcess>(*pid).or_else(|| {
+                client_corpses.get(&name).and_then(|c| {
+                    (c.as_ref() as &dyn std::any::Any).downcast_ref::<ConsumerProcess>()
+                })
+            });
+            let c = c.expect("consumer process (live or corpse)");
             consumers_report.push(ConsumerReport {
                 id: i as u32,
                 stats: c.client().stats(),
+                recovery: client_crashes.get(&name).copied(),
             });
         }
         let mut brokers_report = Vec::new();
@@ -1195,6 +1374,7 @@ impl Scenario {
                     replayed_records: info.map_or(0, |r| r.replayed_records),
                     replayed_bytes: info.map_or(0, |r| r.replayed_bytes),
                     replayed_segments: info.map_or(0, |r| r.replayed_segments),
+                    replay_saved_bytes: info.map_or(0, |r| r.replay_saved_bytes),
                 }
             });
             brokers_report.push(BrokerReport {
@@ -1221,6 +1401,7 @@ impl Scenario {
                     restored_at: info.and_then(|i| i.restored_at),
                     snapshot_taken_at: info.and_then(|i| i.snapshot_taken_at),
                     snapshot_bytes: info.map_or(0, |i| i.snapshot_bytes),
+                    delta_chain_len: info.map_or(0, |i| i.delta_chain),
                     first_batch_at: info.and_then(|i| i.first_batch_at),
                 }
             });
@@ -1289,6 +1470,74 @@ impl Scenario {
             report,
         })
     }
+}
+
+/// Parses a client-stub fault target of the form `<prefix><idx>` (e.g.
+/// `producer-0`).
+fn stub_index(name: &str, prefix: &str) -> Option<usize> {
+    name.strip_prefix(prefix)?.parse().ok()
+}
+
+/// Everything needed to (re)build one producer stub for a
+/// `RestartProcess` fault: same host, pid, memory slot, producer id, and —
+/// deliberately — the same producer epoch. The respawned source restarts
+/// from record zero; the broker's idempotent dedup recognizes the
+/// already-appended `(epoch, seq)` prefix and acknowledges it without
+/// appending second copies, so the log converges to the no-fault contents.
+struct ProducerStubBuild {
+    host: String,
+    source: SourceSpec,
+    cfg: ProducerConfig,
+    bootstrap: ProcessId,
+    slot: MemSlot,
+    pid: ProcessId,
+}
+
+fn build_producer_stub(
+    idx: usize,
+    build: &ProducerStubBuild,
+    brokers: &HashMap<BrokerId, ProcessId>,
+    ledger: &LedgerHandle,
+) -> ProducerProcess {
+    let mut client = ProducerClient::new(
+        ProducerId(idx as u32),
+        build.cfg.clone(),
+        build.bootstrap,
+        brokers.clone(),
+        0,
+    );
+    client.set_mem_slot(ledger.clone(), build.slot);
+    ProducerProcess::new(client, build.source.build())
+}
+
+/// Everything needed to (re)build one consumer stub for a
+/// `RestartProcess` fault. A respawned group member resumes from its
+/// broker-committed offsets; without a group it restarts at the log start
+/// and re-reads (duplicate deliveries the monitor makes observable).
+struct ConsumerStubBuild {
+    host: String,
+    cfg: ConsumerConfig,
+    topics: Vec<String>,
+    sink: ConsumerSinkSpec,
+    bootstrap: ProcessId,
+    pid: ProcessId,
+}
+
+fn build_consumer_stub(
+    idx: usize,
+    build: &ConsumerStubBuild,
+    brokers: &HashMap<BrokerId, ProcessId>,
+    monitor: &MonitorHandle,
+) -> ConsumerProcess {
+    let inner = build.sink.build();
+    let wrapped = MonitoredSink::new(monitor.clone(), idx as u32, inner);
+    let client = ConsumerClient::new(
+        build.cfg.clone(),
+        build.bootstrap,
+        brokers.clone(),
+        build.topics.clone(),
+    );
+    ConsumerProcess::new(idx as u32, client, Box::new(wrapped))
 }
 
 /// Everything needed to (re)build one broker: a `RestartBroker` respawn
@@ -1366,17 +1615,31 @@ impl fmt::Debug for Scenario {
     }
 }
 
+/// Crash/restart bookkeeping for one client stub targeted by the fault
+/// plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientRecoveryReport {
+    /// When the fault plan killed the stub.
+    pub crashed_at: SimTime,
+    /// When the respawned stub started (`None`: never restarted).
+    pub restarted_at: Option<SimTime>,
+}
+
 /// Per-producer results.
 #[derive(Debug, Clone)]
 pub struct ProducerReport {
     /// Producer id (declaration order).
     pub id: ProducerId,
-    /// Counters.
+    /// Counters. For a crashed-and-restarted stub these reflect the
+    /// respawned incarnation (the pre-crash one died with its process).
     pub stats: ProducerStats,
     /// Completed record outcomes.
     pub outcomes: Vec<ProduceOutcome>,
     /// All sends as `(topic, seq, created)`.
     pub sent_index: Vec<(String, u64, SimTime)>,
+    /// Crash/restart metrics; present when this stub was crashed by the
+    /// fault plan.
+    pub recovery: Option<ClientRecoveryReport>,
 }
 
 /// Per-consumer results.
@@ -1384,8 +1647,12 @@ pub struct ProducerReport {
 pub struct ConsumerReport {
     /// Consumer index.
     pub id: u32,
-    /// Counters.
+    /// Counters. For a crashed-and-restarted stub these reflect the
+    /// respawned incarnation.
     pub stats: ConsumerStats,
+    /// Crash/restart metrics; present when this stub was crashed by the
+    /// fault plan.
+    pub recovery: Option<ClientRecoveryReport>,
 }
 
 /// Per-broker results.
@@ -1417,6 +1684,10 @@ pub struct BrokerRecoveryReport {
     pub replayed_bytes: u64,
     /// Segments read back during replay.
     pub replayed_segments: u64,
+    /// Bytes compaction/retention reclaimed before the crash — replay work
+    /// the restarted broker never had to do. The replay-savings half of the
+    /// bounded-recovery story.
+    pub replay_saved_bytes: u64,
 }
 
 impl BrokerRecoveryReport {
@@ -1465,10 +1736,13 @@ pub struct RecoveryReport {
     pub restarted_at: Option<SimTime>,
     /// When state restoration completed.
     pub restored_at: Option<SimTime>,
-    /// Capture time of the restored snapshot.
+    /// Capture time of the newest restored chain element.
     pub snapshot_taken_at: Option<SimTime>,
-    /// Encoded size of the restored snapshot.
+    /// Encoded bytes read back during restore (base + deltas).
     pub snapshot_bytes: u64,
+    /// Deltas applied on top of the base during restore (0 for a full
+    /// snapshot restore).
+    pub delta_chain_len: u64,
     /// Completion time of the first post-restart batch with input.
     pub first_batch_at: Option<SimTime>,
 }

@@ -8,6 +8,7 @@
 
 #![warn(missing_docs)]
 
+pub mod codec;
 mod record;
 mod rpc;
 

@@ -153,6 +153,13 @@ pub enum ClientRpc {
         batch: RecordBatch,
         /// The partition's high watermark.
         high_watermark: Offset,
+        /// The offset the consumer should fetch next. On a compacted log
+        /// the served records are not contiguous, so advancing by
+        /// `batch.len()` would re-read across the holes; the broker computes
+        /// the correct next position instead. On `OffsetOutOfRange` this is
+        /// the reset position (the log start below retention, the high
+        /// watermark above it).
+        next_offset: Offset,
         /// Outcome.
         error: ErrorCode,
     },
@@ -213,7 +220,7 @@ impl Message for ClientRpc {
                 ClientRpc::ProduceResponse { tp, .. } => tp.topic.len() + 16,
                 ClientRpc::FetchRequest { tp, .. } => tp.topic.len() + 20,
                 ClientRpc::FetchResponse { tp, batch, .. } => {
-                    tp.topic.len() + 16 + batch.encoded_len()
+                    tp.topic.len() + 24 + batch.encoded_len()
                 }
                 ClientRpc::MetadataRequest { .. } => 4,
                 ClientRpc::MetadataResponse { partitions, .. } => {
@@ -272,6 +279,11 @@ pub enum ReplicaRpc {
         /// Leader epoch of each record in `batch` (aligned by index), so the
         /// follower can tag its log entries for later divergence checks.
         epochs: Vec<LeaderEpoch>,
+        /// Log offset of each record in `batch` (aligned by index). A
+        /// compacted leader log has holes, and replication must preserve
+        /// offsets so replicas stay byte-identical — followers append at
+        /// these explicit positions instead of assuming contiguity.
+        offsets: Vec<Offset>,
         /// Leader's high watermark.
         high_watermark: Offset,
         /// Leader epoch (so stale followers learn they diverged).
@@ -290,7 +302,7 @@ impl Message for ReplicaRpc {
             + match self {
                 ReplicaRpc::Fetch { tp, .. } => tp.topic.len() + 24,
                 ReplicaRpc::FetchResponse { tp, batch, .. } => {
-                    tp.topic.len() + 32 + batch.encoded_len()
+                    tp.topic.len() + 32 + batch.len() * 8 + batch.encoded_len()
                 }
             }
     }

@@ -7,47 +7,61 @@
 //! * [`StateSnapshot`] — a consistent capture of a worker: per-operator
 //!   state, buffered-but-unprocessed input, and the embedded consumer's
 //!   partition offsets, taken only at batch boundaries;
+//! * [`StateDelta`] — an *incremental* capture: only the per-key/per-window
+//!   state that changed since the previous capture, chained onto a periodic
+//!   full base snapshot. Snapshot bytes scale with churn instead of with
+//!   total state, and a configurable chain cap bounds restore work by
+//!   forcing a re-base;
 //! * [`StateBackend`] — pluggable snapshot storage: [`InMemoryBackend`]
 //!   models a job-manager heap outside the worker's failure domain (free,
 //!   instant), [`DurableBackend`] persists through an
 //!   [`s2g_store::StoreServer`], paying simulated CPU and network cost on
-//!   every snapshot and restore;
-//! * [`CheckpointCoordinator`] — drives the interval, the output barrier,
-//!   and the offset-commit schedule that distinguishes
-//!   [`CheckpointMode::ExactlyOnce`] from [`CheckpointMode::AtLeastOnce`].
+//!   every blob written and read;
+//! * [`CheckpointCoordinator`] — drives the interval, full-vs-delta
+//!   scheduling, the output barrier, and the offset-commit schedule that
+//!   distinguishes [`CheckpointMode::ExactlyOnce`] from
+//!   [`CheckpointMode::AtLeastOnce`].
 //!
 //! # The two delivery modes
 //!
-//! **Exactly-once**: the snapshot embeds the consumer offsets captured in
-//! the same instant as the operator state (Flink-style "offsets live in the
+//! **Exactly-once**: the capture embeds the consumer offsets taken in the
+//! same instant as the operator state (Flink-style "offsets live in the
 //! state"), and those offsets are only committed to the broker after (a) the
-//! snapshot is durably persisted and (b) every output emitted before the
+//! capture is durably persisted and (b) every output emitted before the
 //! capture has been acknowledged by the broker. Recovery seeds the consumer
-//! from the snapshot's offsets, restores the input buffer, and replays
+//! from the restored offsets, restores the input buffer, and replays
 //! everything after — with an idempotent or keyed sink the post-recovery
 //! output equals the no-fault run exactly.
 //!
-//! **At-least-once**: the snapshot captures operator state only, and the
+//! **At-least-once**: the capture holds operator state only, and the
 //! coordinator commits the *previous* checkpoint's offsets — so the broker's
 //! committed position always trails the persisted state. Recovery restores
 //! the newer state and resumes from the older committed offsets, replaying
 //! up to one checkpoint interval of records into state that already saw
 //! them: duplicates, never loss, and bounded by the interval.
 //!
+//! # Incremental chains
+//!
 //! ```text
-//!          crash                    restore                 replay
-//!   ───x────╳─────   ⟶   snapshot ──►  plan state   ⟶  ──────────►
-//!      │                 broker   ──►  offsets           records ≥ commit
-//!      └ last checkpoint: state @ tₛ, offsets @ t_c ≤ tₛ
+//!   base ──► Δ1 ──► Δ2 ──► ... ──► Δcap ──► base' ──► Δ1 ...
+//!    │       │       │
+//!    └───────┴───────┴── restore = base + Δ1 + Δ2 (≤ cap deltas)
 //! ```
+//!
+//! Each delta carries the keys/windows touched since the previous capture
+//! plus the windows dropped by emission, and absolute copies of the cheap
+//! worker-level state (offsets, input buffer, record counters). Restore
+//! applies the base then replays the deltas in sequence; the chain cap
+//! bounds both restore work and the blob count a durable backend must read.
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
+use s2g_proto::codec::{put_u64, Cursor};
 use s2g_proto::{Offset, TopicPartition};
 use s2g_sim::{Ctx, ProcessId, SimDuration, SimTime};
-use s2g_store::StoreRpc;
+use s2g_store::{BlobClient, StoreRpc};
 
 use crate::event::{CodecError, Event, Value};
 
@@ -55,14 +69,17 @@ use crate::event::{CodecError, Event, Value};
 /// snapshot traffic apart from sink inserts sharing the same store server.
 pub const CKPT_CORR_BASE: u64 = 1 << 42;
 
+/// Default cap on the delta-chain length before a re-base is forced.
+pub const DEFAULT_MAX_DELTA_CHAIN: u32 = 8;
+
 /// When consumer offsets are committed relative to state persistence.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CheckpointMode {
     /// Offsets are captured atomically with the state and committed only
-    /// once the snapshot is persisted and all pre-capture output is acked.
+    /// once the capture is persisted and all pre-capture output is acked.
     /// Recovery replays nothing that is already reflected in the state.
     ExactlyOnce,
-    /// The previous checkpoint's offsets are committed with each snapshot;
+    /// The previous checkpoint's offsets are committed with each capture;
     /// recovery replays up to one interval of already-processed records.
     AtLeastOnce,
 }
@@ -75,23 +92,56 @@ pub struct CheckpointCfg {
     pub interval: SimDuration,
     /// Offset-commit discipline.
     pub mode: CheckpointMode,
+    /// When set, captures after a base snapshot ship only dirty state
+    /// ([`StateDelta`]s); when clear every capture is a full snapshot.
+    pub incremental: bool,
+    /// Maximum deltas chained onto one base before the next capture is
+    /// forced to be a full re-base (bounds restore work).
+    pub max_delta_chain: u32,
 }
 
 impl CheckpointCfg {
-    /// Exactly-once checkpointing on the given interval.
+    /// Full-snapshot checkpointing on the given interval and mode.
+    pub fn new(interval: SimDuration, mode: CheckpointMode) -> Self {
+        CheckpointCfg {
+            interval,
+            mode,
+            incremental: false,
+            max_delta_chain: DEFAULT_MAX_DELTA_CHAIN,
+        }
+    }
+
+    /// Exactly-once checkpointing on the given interval (full snapshots).
     pub fn exactly_once(interval: SimDuration) -> Self {
         CheckpointCfg {
             interval,
             mode: CheckpointMode::ExactlyOnce,
+            incremental: false,
+            max_delta_chain: DEFAULT_MAX_DELTA_CHAIN,
         }
     }
 
-    /// At-least-once checkpointing on the given interval.
+    /// At-least-once checkpointing on the given interval (full snapshots).
     pub fn at_least_once(interval: SimDuration) -> Self {
         CheckpointCfg {
             interval,
             mode: CheckpointMode::AtLeastOnce,
+            incremental: false,
+            max_delta_chain: DEFAULT_MAX_DELTA_CHAIN,
         }
+    }
+
+    /// Switches to incremental captures with the given delta-chain cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_delta_chain` is zero (a zero cap is just full
+    /// snapshots — ask for that directly).
+    pub fn incremental(mut self, max_delta_chain: u32) -> Self {
+        assert!(max_delta_chain > 0, "delta-chain cap must be positive");
+        self.incremental = true;
+        self.max_delta_chain = max_delta_chain;
+        self
     }
 }
 
@@ -134,6 +184,50 @@ pub(crate) fn decode_event(v: &Value) -> Option<Event> {
     event_from_value(v)
 }
 
+fn offsets_to_value(offsets: &[(TopicPartition, Offset)]) -> Value {
+    Value::List(
+        offsets
+            .iter()
+            .map(|(tp, off)| {
+                Value::List(vec![
+                    Value::Str(tp.topic.clone()),
+                    Value::Int(tp.partition as i64),
+                    Value::Int(off.value() as i64),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn offsets_from_value(v: &Value) -> Option<Vec<(TopicPartition, Offset)>> {
+    let Value::List(offs) = v else { return None };
+    let mut offsets = Vec::with_capacity(offs.len());
+    for o in offs {
+        let Value::List(parts) = o else { return None };
+        if parts.len() != 3 {
+            return None;
+        }
+        offsets.push((
+            TopicPartition::new(parts[0].as_str()?.to_string(), parts[1].as_int()? as u32),
+            Offset(parts[2].as_int()? as u64),
+        ));
+    }
+    Some(offsets)
+}
+
+fn buffer_to_value(buffer: &[Event]) -> Value {
+    Value::List(buffer.iter().map(event_to_value).collect())
+}
+
+fn buffer_from_value(v: &Value) -> Option<Vec<Event>> {
+    let Value::List(buf) = v else { return None };
+    let buffer: Vec<Event> = buf.iter().filter_map(event_from_value).collect();
+    if buffer.len() != buf.len() {
+        return None;
+    }
+    Some(buffer)
+}
+
 /// A consistent capture of one worker, taken at a micro-batch boundary.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StateSnapshot {
@@ -170,25 +264,8 @@ impl StateSnapshot {
                         .collect(),
                 ),
             ),
-            (
-                "buffer",
-                Value::List(self.buffer.iter().map(event_to_value).collect()),
-            ),
-            (
-                "offsets",
-                Value::List(
-                    self.offsets
-                        .iter()
-                        .map(|(tp, off)| {
-                            Value::List(vec![
-                                Value::Str(tp.topic.clone()),
-                                Value::Int(tp.partition as i64),
-                                Value::Int(off.value() as i64),
-                            ])
-                        })
-                        .collect(),
-                ),
-            ),
+            ("buffer", buffer_to_value(&self.buffer)),
+            ("offsets", offsets_to_value(&self.offsets)),
         ])
     }
 
@@ -210,27 +287,8 @@ impl StateSnapshot {
                 }
             })
             .collect();
-        let Value::List(buf) = v.field("buffer")? else {
-            return None;
-        };
-        let buffer: Vec<Event> = buf.iter().filter_map(event_from_value).collect();
-        if buffer.len() != buf.len() {
-            return None;
-        }
-        let Value::List(offs) = v.field("offsets")? else {
-            return None;
-        };
-        let mut offsets = Vec::with_capacity(offs.len());
-        for o in offs {
-            let Value::List(parts) = o else { return None };
-            if parts.len() != 3 {
-                return None;
-            }
-            offsets.push((
-                TopicPartition::new(parts[0].as_str()?.to_string(), parts[1].as_int()? as u32),
-                Offset(parts[2].as_int()? as u64),
-            ));
-        }
+        let buffer = buffer_from_value(v.field("buffer")?)?;
+        let offsets = offsets_from_value(v.field("offsets")?)?;
         Some(StateSnapshot {
             taken_at,
             plan_state,
@@ -262,18 +320,233 @@ impl StateSnapshot {
     }
 }
 
+/// An incremental capture: per-operator dirty state since the previous
+/// capture, plus absolute copies of the cheap worker-level state. Chained
+/// onto the [`StateSnapshot`] base persisted before it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateDelta {
+    /// When the capture happened.
+    pub taken_at: SimTime,
+    /// 1-based position in the chain after its base.
+    pub seq: u64,
+    /// Per-operator dirty-state deltas, aligned with the plan's operator
+    /// chain; `None` for stateless operators.
+    pub plan_delta: Vec<Option<Value>>,
+    /// The plan's cumulative input-record counter at capture time.
+    pub records_in: u64,
+    /// The plan's cumulative output-record counter at capture time.
+    pub records_out: u64,
+    /// Buffered-but-unprocessed input at capture time (absolute, usually
+    /// tiny).
+    pub buffer: Vec<Event>,
+    /// The embedded consumer's position per partition at capture time
+    /// (absolute).
+    pub offsets: Vec<(TopicPartition, Offset)>,
+}
+
+impl StateDelta {
+    /// Encodes the delta as a single [`Value`] tree.
+    pub fn to_value(&self) -> Value {
+        Value::map([
+            ("taken_at", Value::Int(self.taken_at.as_nanos() as i64)),
+            ("seq", Value::Int(self.seq as i64)),
+            ("records_in", Value::Int(self.records_in as i64)),
+            ("records_out", Value::Int(self.records_out as i64)),
+            (
+                "plan",
+                Value::List(
+                    self.plan_delta
+                        .iter()
+                        .map(|s| s.clone().unwrap_or(Value::Null))
+                        .collect(),
+                ),
+            ),
+            ("buffer", buffer_to_value(&self.buffer)),
+            ("offsets", offsets_to_value(&self.offsets)),
+        ])
+    }
+
+    /// Decodes a delta from its [`Value`] tree.
+    pub fn from_value(v: &Value) -> Option<StateDelta> {
+        let taken_at = SimTime::from_nanos(v.field("taken_at")?.as_int()? as u64);
+        let seq = v.field("seq")?.as_int()? as u64;
+        let records_in = v.field("records_in")?.as_int()? as u64;
+        let records_out = v.field("records_out")?.as_int()? as u64;
+        let Value::List(plan) = v.field("plan")? else {
+            return None;
+        };
+        let plan_delta = plan
+            .iter()
+            .map(|s| {
+                if *s == Value::Null {
+                    None
+                } else {
+                    Some(s.clone())
+                }
+            })
+            .collect();
+        let buffer = buffer_from_value(v.field("buffer")?)?;
+        let offsets = offsets_from_value(v.field("offsets")?)?;
+        Some(StateDelta {
+            taken_at,
+            seq,
+            plan_delta,
+            records_in,
+            records_out,
+            buffer,
+            offsets,
+        })
+    }
+
+    /// Serializes to the compact binary format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.to_value().encode()
+    }
+
+    /// Deserializes from [`to_bytes`](StateDelta::to_bytes) output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] on truncated or malformed input.
+    pub fn from_bytes(buf: &[u8]) -> Result<StateDelta, CodecError> {
+        let v = Value::decode(buf)?;
+        StateDelta::from_value(&v).ok_or(CodecError::Truncated)
+    }
+
+    /// Encoded size in bytes.
+    pub fn encoded_len(&self) -> usize {
+        self.to_bytes().len()
+    }
+}
+
+/// One capture handed to a [`StateBackend`]: a full base snapshot or a
+/// delta chained onto the current base.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CheckpointPayload {
+    /// A full snapshot — starts a fresh chain.
+    Full(StateSnapshot),
+    /// A delta — extends the current chain.
+    Delta(StateDelta),
+}
+
+impl CheckpointPayload {
+    /// Capture time.
+    pub fn taken_at(&self) -> SimTime {
+        match self {
+            CheckpointPayload::Full(s) => s.taken_at,
+            CheckpointPayload::Delta(d) => d.taken_at,
+        }
+    }
+
+    /// The consumer offsets captured with this payload.
+    pub fn offsets(&self) -> &[(TopicPartition, Offset)] {
+        match self {
+            CheckpointPayload::Full(s) => &s.offsets,
+            CheckpointPayload::Delta(d) => &d.offsets,
+        }
+    }
+
+    /// Encoded size in bytes.
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            CheckpointPayload::Full(s) => s.encoded_len(),
+            CheckpointPayload::Delta(d) => d.encoded_len(),
+        }
+    }
+}
+
+/// A base snapshot plus the deltas persisted after it — what a backend
+/// stores per job and what recovery replays.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SnapshotChain {
+    /// The base snapshot (a default/empty one only in the unused
+    /// `Default` value).
+    pub base: StateSnapshot,
+    /// Deltas in persistence order (`seq` 1, 2, ...).
+    pub deltas: Vec<StateDelta>,
+}
+
+impl Default for StateSnapshot {
+    fn default() -> Self {
+        StateSnapshot {
+            taken_at: SimTime::ZERO,
+            plan_state: Vec::new(),
+            records_in: 0,
+            records_out: 0,
+            buffer: Vec::new(),
+            offsets: Vec::new(),
+        }
+    }
+}
+
+impl SnapshotChain {
+    /// A chain holding only a base.
+    pub fn new(base: StateSnapshot) -> Self {
+        SnapshotChain {
+            base,
+            deltas: Vec::new(),
+        }
+    }
+
+    /// Number of deltas chained onto the base.
+    pub fn chain_len(&self) -> u64 {
+        self.deltas.len() as u64
+    }
+
+    /// Capture time of the newest element.
+    pub fn taken_at(&self) -> SimTime {
+        self.deltas
+            .last()
+            .map(|d| d.taken_at)
+            .unwrap_or(self.base.taken_at)
+    }
+
+    /// Consumer offsets of the newest element.
+    pub fn offsets(&self) -> &[(TopicPartition, Offset)] {
+        self.deltas
+            .last()
+            .map(|d| d.offsets.as_slice())
+            .unwrap_or(self.base.offsets.as_slice())
+    }
+
+    /// Input buffer of the newest element.
+    pub fn buffer(&self) -> &[Event] {
+        self.deltas
+            .last()
+            .map(|d| d.buffer.as_slice())
+            .unwrap_or(self.base.buffer.as_slice())
+    }
+
+    /// Record counters of the newest element.
+    pub fn record_counts(&self) -> (u64, u64) {
+        self.deltas
+            .last()
+            .map(|d| (d.records_in, d.records_out))
+            .unwrap_or((self.base.records_in, self.base.records_out))
+    }
+
+    /// Total encoded bytes across base and deltas — what a restore reads.
+    pub fn encoded_len(&self) -> usize {
+        self.base.encoded_len()
+            + self
+                .deltas
+                .iter()
+                .map(StateDelta::encoded_len)
+                .sum::<usize>()
+    }
+}
+
 /// The outcome of a [`StateBackend::persist`] call. Both variants carry the
-/// encoded snapshot size so stats never need a second serialization pass.
+/// encoded payload size so stats never need a second serialization pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PersistOutcome {
-    /// The snapshot is durable now; `bytes` is its encoded size.
+    /// The payload is durable now; `bytes` is its encoded size.
     Done(u64),
-    /// Persistence is in flight; completion arrives as a
-    /// [`StoreRpc::PutAck`] with this correlation id.
+    /// Persistence is in flight; completion arrives through
+    /// [`StateBackend::on_store_rpc`] as
+    /// [`BackendEvent::PersistCompleted`].
     Pending {
-        /// Correlation id of the in-flight store write.
-        corr: u64,
-        /// Encoded snapshot size already on the wire.
+        /// Encoded payload size already on the wire.
         bytes: u64,
     },
 }
@@ -281,27 +554,69 @@ pub enum PersistOutcome {
 /// The outcome of a [`StateBackend::recover`] call.
 #[derive(Debug)]
 pub enum RecoverOutcome {
-    /// Recovery finished; the latest snapshot (or `None` if none exists).
-    Done(Option<StateSnapshot>),
-    /// A read is in flight; the snapshot arrives as a
-    /// [`StoreRpc::GetResult`] with this correlation id.
-    Pending(u64),
+    /// Recovery finished; the latest chain (or `None` if none exists).
+    Done(Option<SnapshotChain>),
+    /// Reads are in flight; the chain arrives through
+    /// [`StateBackend::on_store_rpc`] as [`BackendEvent::Recovered`].
+    Pending,
 }
 
-/// Pluggable snapshot storage for checkpoints.
-pub trait StateBackend {
-    /// Begins persisting `snapshot` as the latest checkpoint of `job`.
-    fn persist(&mut self, ctx: &mut Ctx<'_>, job: &str, snapshot: &StateSnapshot)
-        -> PersistOutcome;
+/// What a [`StateBackend`] made of a store RPC routed to it.
+#[derive(Debug)]
+pub enum BackendEvent {
+    /// The message did not belong to this backend's pending IO.
+    NotMine,
+    /// A pending persist completed.
+    PersistCompleted,
+    /// A pending recovery completed with this chain (or none on a cold
+    /// start); `bytes` is the total encoded size read back.
+    Recovered {
+        /// The restored chain, if one was persisted.
+        chain: Option<SnapshotChain>,
+        /// Encoded bytes read (0 on a cold start).
+        bytes: u64,
+    },
+}
 
-    /// Begins recovering the latest persisted checkpoint of `job`.
+/// Pluggable snapshot storage for checkpoints. Backends own their pending
+/// IO: an asynchronous backend routes store replies through
+/// [`on_store_rpc`](StateBackend::on_store_rpc) and re-issues lost RPCs in
+/// [`retry_pending_io`](StateBackend::retry_pending_io).
+pub trait StateBackend {
+    /// Begins persisting `payload` as the next capture of `job`.
+    fn persist(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        job: &str,
+        payload: &CheckpointPayload,
+    ) -> PersistOutcome;
+
+    /// Begins recovering the latest persisted chain of `job`.
     fn recover(&mut self, ctx: &mut Ctx<'_>, job: &str) -> RecoverOutcome;
+
+    /// Routes a store RPC to this backend's pending IO. Synchronous
+    /// backends never have any.
+    fn on_store_rpc(&mut self, _ctx: &mut Ctx<'_>, _job: &str, _rpc: &StoreRpc) -> BackendEvent {
+        BackendEvent::NotMine
+    }
+
+    /// Re-issues whatever store RPCs are still pending (the request — or
+    /// its response — was lost in the network). Returns `true` when
+    /// something was retried.
+    fn retry_pending_io(&mut self, _ctx: &mut Ctx<'_>, _job: &str) -> bool {
+        false
+    }
+
+    /// True while a persist or recovery is awaiting store responses.
+    fn has_pending_io(&self) -> bool {
+        false
+    }
 }
 
 /// Shared snapshot storage for [`InMemoryBackend`]s. Lives outside the
 /// worker process, so it survives worker crashes — the moral equivalent of
-/// a job manager's heap.
-pub type SnapshotStoreHandle = Rc<RefCell<BTreeMap<String, StateSnapshot>>>;
+/// a job manager's heap. Maps job name → its current [`SnapshotChain`].
+pub type SnapshotStoreHandle = Rc<RefCell<BTreeMap<String, SnapshotChain>>>;
 
 /// Creates an empty shared snapshot store.
 pub fn snapshot_store() -> SnapshotStoreHandle {
@@ -326,12 +641,23 @@ impl StateBackend for InMemoryBackend {
         &mut self,
         _ctx: &mut Ctx<'_>,
         job: &str,
-        snapshot: &StateSnapshot,
+        payload: &CheckpointPayload,
     ) -> PersistOutcome {
-        let bytes = snapshot.encoded_len() as u64;
-        self.store
-            .borrow_mut()
-            .insert(job.to_string(), snapshot.clone());
+        let bytes = payload.encoded_len() as u64;
+        let mut store = self.store.borrow_mut();
+        match payload {
+            CheckpointPayload::Full(snapshot) => {
+                store.insert(job.to_string(), SnapshotChain::new(snapshot.clone()));
+            }
+            CheckpointPayload::Delta(delta) => {
+                // The coordinator always persists a base before any delta.
+                if let Some(chain) = store.get_mut(job) {
+                    chain.deltas.push(delta.clone());
+                } else {
+                    debug_assert!(false, "delta persisted before any base");
+                }
+            }
+        }
         PersistOutcome::Done(bytes)
     }
 
@@ -340,32 +666,157 @@ impl StateBackend for InMemoryBackend {
     }
 }
 
+/// What a pending durable-backend RPC was carrying, kept so a lost request
+/// or response can be re-issued verbatim under a fresh correlation id.
+enum CkptIo {
+    BlobPut { key: String, bytes: Vec<u8> },
+    ManifestPut { key: String, bytes: Vec<u8> },
+    ManifestGet { key: String },
+    BaseGet { key: String },
+    DeltaGet { key: String, seq: u64 },
+}
+
+/// Blobs gathered while a durable recovery is in flight.
+#[derive(Default)]
+struct RecoverAssembly {
+    chain: u64,
+    count: u64,
+    base: Option<StateSnapshot>,
+    deltas: BTreeMap<u64, StateDelta>,
+    bytes: u64,
+}
+
 /// Snapshot storage through an [`s2g_store::StoreServer`]: every persist
-/// ships the encoded snapshot over the emulated network and pays the store's
-/// CPU cost; every recovery pays a read round trip before the worker may
-/// process its first post-restart batch.
+/// ships the encoded blob plus a tiny chain manifest over the emulated
+/// network and pays the store's CPU cost; every recovery pays a manifest
+/// read plus one round trip per chained blob before the worker may process
+/// its first post-restart batch — which is exactly why the delta-chain cap
+/// bounds recovery latency.
 pub struct DurableBackend {
-    server: ProcessId,
-    next_corr: u64,
+    blobs: BlobClient,
+    /// Chain counter: bumped per base snapshot so blob keys from superseded
+    /// chains are never read again.
+    chain: u64,
+    /// Deltas persisted on the current chain.
+    delta_count: u64,
+    /// Outstanding store RPCs by correlation id (ordered so retry re-issues
+    /// them deterministically).
+    pending: BTreeMap<u64, CkptIo>,
+    /// A persist is awaiting its put acks.
+    persist_inflight: bool,
+    /// The manifest write of the in-flight persist, staged until the blob
+    /// put is acknowledged: the manifest is the only pointer to the chain,
+    /// so it must never point at a blob that is not durable yet (a lost
+    /// blob put plus a delivered manifest put would turn the next recovery
+    /// into a cold start even though the previous chain is intact).
+    staged_manifest: Option<(String, Vec<u8>)>,
+    /// A recovery is assembling its blobs.
+    recovering: Option<RecoverAssembly>,
 }
 
 impl DurableBackend {
     /// Creates a backend writing to the store server process.
     pub fn new(server: ProcessId) -> Self {
         DurableBackend {
-            server,
-            next_corr: 0,
+            blobs: BlobClient::new(server, CKPT_CORR_BASE),
+            chain: 0,
+            delta_count: 0,
+            pending: BTreeMap::new(),
+            persist_inflight: false,
+            staged_manifest: None,
+            recovering: None,
         }
     }
 
-    fn corr(&mut self) -> u64 {
-        let c = CKPT_CORR_BASE + self.next_corr;
-        self.next_corr += 1;
-        c
+    fn manifest_key(job: &str) -> String {
+        format!("ckpt/{job}")
     }
 
-    fn key(job: &str) -> String {
-        format!("ckpt/{job}")
+    fn base_key(job: &str, chain: u64) -> String {
+        format!("ckpt/{job}/{chain}/base")
+    }
+
+    fn delta_key(job: &str, chain: u64, seq: u64) -> String {
+        format!("ckpt/{job}/{chain}/{seq}")
+    }
+
+    fn manifest_bytes(chain: u64, count: u64) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16);
+        put_u64(&mut out, chain);
+        put_u64(&mut out, count);
+        out
+    }
+
+    fn parse_manifest(buf: &[u8]) -> Option<(u64, u64)> {
+        let mut cur = Cursor::new(buf);
+        let chain = cur.u64()?;
+        let count = cur.u64()?;
+        Some((chain, count))
+    }
+
+    fn put_tracked(&mut self, ctx: &mut Ctx<'_>, io: CkptIo) {
+        let (key, bytes) = match &io {
+            CkptIo::BlobPut { key, bytes } | CkptIo::ManifestPut { key, bytes } => {
+                (key.clone(), bytes.clone())
+            }
+            _ => unreachable!("put_tracked only takes puts"),
+        };
+        let corr = self.blobs.put(ctx, &key, bytes);
+        self.pending.insert(corr, io);
+    }
+
+    fn get_tracked(&mut self, ctx: &mut Ctx<'_>, io: CkptIo) {
+        let key = match &io {
+            CkptIo::ManifestGet { key }
+            | CkptIo::BaseGet { key }
+            | CkptIo::DeltaGet { key, .. } => key.clone(),
+            _ => unreachable!("get_tracked only takes gets"),
+        };
+        let corr = self.blobs.get(ctx, &key);
+        self.pending.insert(corr, io);
+    }
+
+    fn puts_left(&self) -> bool {
+        self.pending
+            .values()
+            .any(|io| matches!(io, CkptIo::BlobPut { .. } | CkptIo::ManifestPut { .. }))
+    }
+
+    fn gets_left(&self) -> bool {
+        self.pending.values().any(|io| {
+            matches!(
+                io,
+                CkptIo::ManifestGet { .. } | CkptIo::BaseGet { .. } | CkptIo::DeltaGet { .. }
+            )
+        })
+    }
+
+    fn finish_recovery(&mut self) -> BackendEvent {
+        let asm = self.recovering.take().expect("recovery in flight");
+        // Resume chain numbering after the recovered chain so the next base
+        // lands on fresh keys.
+        self.chain = asm.chain;
+        self.delta_count = asm.count;
+        let Some(base) = asm.base else {
+            return BackendEvent::Recovered {
+                chain: None,
+                bytes: asm.bytes,
+            };
+        };
+        // Apply deltas in seq order; a missing blob (lost before the crash)
+        // truncates the usable chain at the gap — later deltas were never
+        // covered by a manifest-consistent prefix.
+        let mut deltas = Vec::new();
+        for seq in 1..=asm.count {
+            match asm.deltas.get(&seq) {
+                Some(d) => deltas.push(d.clone()),
+                None => break,
+            }
+        }
+        BackendEvent::Recovered {
+            chain: Some(SnapshotChain { base, deltas }),
+            bytes: asm.bytes,
+        }
     }
 }
 
@@ -374,45 +825,192 @@ impl StateBackend for DurableBackend {
         &mut self,
         ctx: &mut Ctx<'_>,
         job: &str,
-        snapshot: &StateSnapshot,
+        payload: &CheckpointPayload,
     ) -> PersistOutcome {
-        let corr = self.corr();
-        let value = snapshot.to_bytes();
-        let bytes = value.len() as u64;
-        ctx.send(
-            self.server,
-            StoreRpc::Put {
-                corr,
-                key: Self::key(job),
-                value,
+        let (blob_key, blob_bytes) = match payload {
+            CheckpointPayload::Full(snapshot) => {
+                self.chain += 1;
+                self.delta_count = 0;
+                (Self::base_key(job, self.chain), snapshot.to_bytes())
+            }
+            CheckpointPayload::Delta(delta) => {
+                self.delta_count = delta.seq;
+                (
+                    Self::delta_key(job, self.chain, delta.seq),
+                    delta.to_bytes(),
+                )
+            }
+        };
+        let bytes = blob_bytes.len() as u64;
+        self.persist_inflight = true;
+        self.put_tracked(
+            ctx,
+            CkptIo::BlobPut {
+                key: blob_key,
+                bytes: blob_bytes,
             },
         );
-        PersistOutcome::Pending { corr, bytes }
+        // The manifest only goes out once the blob it points at is durable
+        // (see `staged_manifest`); until then a crash recovers the previous
+        // manifest-consistent chain.
+        self.staged_manifest = Some((
+            Self::manifest_key(job),
+            Self::manifest_bytes(self.chain, self.delta_count),
+        ));
+        PersistOutcome::Pending { bytes }
     }
 
     fn recover(&mut self, ctx: &mut Ctx<'_>, job: &str) -> RecoverOutcome {
-        let corr = self.corr();
-        ctx.send(
-            self.server,
-            StoreRpc::Get {
-                corr,
-                key: Self::key(job),
+        self.recovering = Some(RecoverAssembly::default());
+        self.get_tracked(
+            ctx,
+            CkptIo::ManifestGet {
+                key: Self::manifest_key(job),
             },
         );
-        RecoverOutcome::Pending(corr)
+        RecoverOutcome::Pending
+    }
+
+    fn on_store_rpc(&mut self, ctx: &mut Ctx<'_>, job: &str, rpc: &StoreRpc) -> BackendEvent {
+        match rpc {
+            StoreRpc::PutAck { corr } => {
+                let is_put = matches!(
+                    self.pending.get(corr),
+                    Some(CkptIo::BlobPut { .. } | CkptIo::ManifestPut { .. })
+                );
+                if !is_put {
+                    return BackendEvent::NotMine;
+                }
+                self.pending.remove(corr);
+                if self.puts_left() {
+                    return BackendEvent::NotMine;
+                }
+                // Blob durable: now (and only now) publish the manifest
+                // that points at it.
+                if let Some((key, bytes)) = self.staged_manifest.take() {
+                    self.put_tracked(ctx, CkptIo::ManifestPut { key, bytes });
+                    return BackendEvent::NotMine;
+                }
+                if self.persist_inflight {
+                    self.persist_inflight = false;
+                    return BackendEvent::PersistCompleted;
+                }
+                BackendEvent::NotMine
+            }
+            StoreRpc::GetResult { corr, value } => {
+                let Some(io) = self.pending.get(corr) else {
+                    return BackendEvent::NotMine;
+                };
+                let io = match io {
+                    CkptIo::ManifestGet { .. }
+                    | CkptIo::BaseGet { .. }
+                    | CkptIo::DeltaGet { .. } => self.pending.remove(corr).expect("just matched"),
+                    _ => return BackendEvent::NotMine,
+                };
+                let Some(asm) = self.recovering.as_mut() else {
+                    return BackendEvent::NotMine;
+                };
+                asm.bytes += value.as_ref().map_or(0, |b| b.len() as u64);
+                match io {
+                    CkptIo::ManifestGet { .. } => {
+                        let manifest = value.as_deref().and_then(Self::parse_manifest);
+                        let Some((chain, count)) = manifest else {
+                            // Cold start: nothing persisted yet.
+                            return self.finish_recovery();
+                        };
+                        asm.chain = chain;
+                        asm.count = count;
+                        self.get_tracked(
+                            ctx,
+                            CkptIo::BaseGet {
+                                key: Self::base_key(job, chain),
+                            },
+                        );
+                        for seq in 1..=count {
+                            self.get_tracked(
+                                ctx,
+                                CkptIo::DeltaGet {
+                                    key: Self::delta_key(job, chain, seq),
+                                    seq,
+                                },
+                            );
+                        }
+                        BackendEvent::NotMine
+                    }
+                    CkptIo::BaseGet { .. } => {
+                        asm.base = value
+                            .as_deref()
+                            .and_then(|b| StateSnapshot::from_bytes(b).ok());
+                        if !self.gets_left() {
+                            return self.finish_recovery();
+                        }
+                        BackendEvent::NotMine
+                    }
+                    CkptIo::DeltaGet { seq, .. } => {
+                        if let Some(d) = value
+                            .as_deref()
+                            .and_then(|b| StateDelta::from_bytes(b).ok())
+                        {
+                            asm.deltas.insert(seq, d);
+                        }
+                        if !self.gets_left() {
+                            return self.finish_recovery();
+                        }
+                        BackendEvent::NotMine
+                    }
+                    _ => BackendEvent::NotMine,
+                }
+            }
+            _ => BackendEvent::NotMine,
+        }
+    }
+
+    fn retry_pending_io(&mut self, ctx: &mut Ctx<'_>, _job: &str) -> bool {
+        if self.pending.is_empty() {
+            return false;
+        }
+        let items: Vec<CkptIo> = std::mem::take(&mut self.pending).into_values().collect();
+        for io in items {
+            match io {
+                put @ (CkptIo::BlobPut { .. } | CkptIo::ManifestPut { .. }) => {
+                    self.put_tracked(ctx, put)
+                }
+                get => self.get_tracked(ctx, get),
+            }
+        }
+        true
+    }
+
+    fn has_pending_io(&self) -> bool {
+        !self.pending.is_empty()
     }
 }
 
 /// Checkpoint counters, surfaced per job in the run report.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CheckpointStats {
-    /// Snapshots successfully persisted.
+    /// Captures successfully persisted (full + delta).
     pub checkpoints: u64,
-    /// Total encoded snapshot bytes persisted.
+    /// Full (base) snapshots persisted.
+    pub full_checkpoints: u64,
+    /// Incremental deltas persisted.
+    pub delta_checkpoints: u64,
+    /// Total encoded bytes persisted (full + delta).
     pub snapshot_bytes: u64,
-    /// Encoded size of the most recent snapshot.
+    /// Total encoded delta bytes persisted.
+    pub delta_bytes: u64,
+    /// Encoded size of the most recent capture (full or delta).
     pub last_snapshot_bytes: u64,
-    /// Capture time of the most recent persisted snapshot.
+    /// Encoded size of the most recent full snapshot.
+    pub last_full_bytes: u64,
+    /// Encoded size of the most recent delta.
+    pub last_delta_bytes: u64,
+    /// Largest delta persisted — the per-capture cost ceiling, bounded by
+    /// churn per interval rather than by total state.
+    pub max_delta_bytes: u64,
+    /// Deltas currently chained onto the latest base.
+    pub delta_chain_len: u64,
+    /// Capture time of the most recent persisted capture.
     pub last_at: SimTime,
     /// Offset-commit batches issued by the coordinator.
     pub offset_commits: u64,
@@ -425,21 +1023,24 @@ pub struct RecoveryInfo {
     pub restarted_at: SimTime,
     /// When state restoration completed (after any backend read round trip).
     pub restored_at: Option<SimTime>,
-    /// Capture time of the snapshot that was restored, if one existed.
+    /// Capture time of the newest restored chain element, if one existed.
     pub snapshot_taken_at: Option<SimTime>,
-    /// Encoded size of the restored snapshot.
+    /// Encoded bytes read back during restore (base + deltas).
     pub snapshot_bytes: u64,
+    /// Deltas applied on top of the base during restore.
+    pub delta_chain: u64,
     /// Completion time of the first post-restart batch with input — the end
     /// point of recovery latency.
     pub first_batch_at: Option<SimTime>,
 }
 
-#[derive(Debug)]
-struct PendingPersist {
-    corr: u64,
-    snapshot: StateSnapshot,
-    producer_sent: u64,
-    bytes: u64,
+/// Which kind of capture the coordinator wants next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaptureKind {
+    /// A full base snapshot.
+    Full,
+    /// An incremental delta chained onto the current base.
+    Delta,
 }
 
 #[derive(Debug)]
@@ -450,36 +1051,47 @@ struct PendingCommit {
     barrier: u64,
 }
 
+struct PendingPersist {
+    payload: CheckpointPayload,
+    producer_sent: u64,
+    bytes: u64,
+}
+
 /// Drives a worker's checkpoint schedule: interval timing, batch-boundary
-/// alignment, the output barrier, persist bookkeeping, and the offset-commit
-/// discipline of the configured [`CheckpointMode`].
+/// alignment, full-vs-delta scheduling, the output barrier, persist
+/// bookkeeping, and the offset-commit discipline of the configured
+/// [`CheckpointMode`].
 pub struct CheckpointCoordinator {
     cfg: CheckpointCfg,
     backend: Box<dyn StateBackend>,
     recover: bool,
     capture_requested: bool,
+    /// A base snapshot has been persisted (deltas may chain onto it).
+    has_base: bool,
+    /// Deltas chained onto the current base.
+    chain_len: u64,
     /// Offsets committed at the previous completed checkpoint (the lagging
     /// commit used by at-least-once mode).
     prev_offsets: Vec<(TopicPartition, Offset)>,
     pending_persist: Option<PendingPersist>,
     pending_commit: Option<PendingCommit>,
-    pending_recover: Option<u64>,
     stats: CheckpointStats,
 }
 
 impl CheckpointCoordinator {
     /// Creates a coordinator. `recover` makes the worker restore the
-    /// latest snapshot before consuming (the respawn path).
+    /// latest chain before consuming (the respawn path).
     pub fn new(cfg: CheckpointCfg, backend: Box<dyn StateBackend>, recover: bool) -> Self {
         CheckpointCoordinator {
             cfg,
             backend,
             recover,
             capture_requested: false,
+            has_base: false,
+            chain_len: 0,
             prev_offsets: Vec::new(),
             pending_persist: None,
             pending_commit: None,
-            pending_recover: None,
             stats: CheckpointStats::default(),
         }
     }
@@ -516,23 +1128,41 @@ impl CheckpointCoordinator {
         self.capture_requested && self.pending_persist.is_none() && self.pending_commit.is_none()
     }
 
-    /// Accepts a snapshot captured by the worker and begins persisting it.
+    /// Which kind of capture the next [`accept`](Self::accept) should carry:
+    /// full when incremental captures are off, before the first base, and
+    /// whenever the chain hit its cap — delta otherwise.
+    pub fn capture_kind(&self) -> CaptureKind {
+        if !self.cfg.incremental
+            || !self.has_base
+            || self.chain_len >= self.cfg.max_delta_chain as u64
+        {
+            CaptureKind::Full
+        } else {
+            CaptureKind::Delta
+        }
+    }
+
+    /// The `seq` the next delta capture must carry.
+    pub fn next_delta_seq(&self) -> u64 {
+        self.chain_len + 1
+    }
+
+    /// Accepts a capture built by the worker and begins persisting it.
     /// `producer_sent` is the worker's cumulative count of records handed to
     /// its sink producer before this capture — the exactly-once barrier.
     pub fn accept(
         &mut self,
         ctx: &mut Ctx<'_>,
         job: &str,
-        snapshot: StateSnapshot,
+        payload: CheckpointPayload,
         producer_sent: u64,
     ) {
         self.capture_requested = false;
-        match self.backend.persist(ctx, job, &snapshot) {
-            PersistOutcome::Done(bytes) => self.finish_persist(snapshot, producer_sent, bytes),
-            PersistOutcome::Pending { corr, bytes } => {
+        match self.backend.persist(ctx, job, &payload) {
+            PersistOutcome::Done(bytes) => self.finish_persist(payload, producer_sent, bytes),
+            PersistOutcome::Pending { bytes } => {
                 self.pending_persist = Some(PendingPersist {
-                    corr,
-                    snapshot,
+                    payload,
                     producer_sent,
                     bytes,
                 });
@@ -542,64 +1172,52 @@ impl CheckpointCoordinator {
 
     /// True while a persist or recovery RPC is awaiting its store response.
     pub fn has_pending_io(&self) -> bool {
-        self.pending_persist.is_some() || self.pending_recover.is_some()
+        self.backend.has_pending_io()
     }
 
-    /// Re-issues whatever store RPC is still pending (the response — or the
-    /// request itself — was lost in the network). Stale responses to the
-    /// superseded correlation id are ignored by [`on_store_rpc`]. Returns
-    /// `true` when something was retried.
-    ///
-    /// [`on_store_rpc`]: Self::on_store_rpc
+    /// Re-issues whatever store RPCs are still pending (the response — or
+    /// the request itself — was lost in the network). Returns `true` when
+    /// something was retried.
     pub fn retry_pending_io(&mut self, ctx: &mut Ctx<'_>, job: &str) -> bool {
-        if let Some(pending) = self.pending_persist.take() {
-            match self.backend.persist(ctx, job, &pending.snapshot) {
-                PersistOutcome::Done(bytes) => {
-                    self.finish_persist(pending.snapshot, pending.producer_sent, bytes);
-                }
-                PersistOutcome::Pending { corr, bytes } => {
-                    self.pending_persist = Some(PendingPersist {
-                        corr,
-                        snapshot: pending.snapshot,
-                        producer_sent: pending.producer_sent,
-                        bytes,
-                    });
-                }
-            }
-            return true;
-        }
-        if self.pending_recover.is_some() {
-            match self.backend.recover(ctx, job) {
-                RecoverOutcome::Pending(corr) => self.pending_recover = Some(corr),
-                RecoverOutcome::Done(_) => {
-                    // A backend that answers synchronously never left a
-                    // recovery pending in the first place; nothing to do.
-                }
-            }
-            return true;
-        }
-        false
+        self.backend.retry_pending_io(ctx, job)
     }
 
-    fn finish_persist(&mut self, snapshot: StateSnapshot, producer_sent: u64, bytes: u64) {
+    fn finish_persist(&mut self, payload: CheckpointPayload, producer_sent: u64, bytes: u64) {
         self.stats.checkpoints += 1;
         self.stats.snapshot_bytes += bytes;
         self.stats.last_snapshot_bytes = bytes;
-        self.stats.last_at = snapshot.taken_at;
+        self.stats.last_at = payload.taken_at();
+        match &payload {
+            CheckpointPayload::Full(_) => {
+                self.stats.full_checkpoints += 1;
+                self.stats.last_full_bytes = bytes;
+                self.has_base = true;
+                self.chain_len = 0;
+            }
+            CheckpointPayload::Delta(_) => {
+                self.stats.delta_checkpoints += 1;
+                self.stats.delta_bytes += bytes;
+                self.stats.last_delta_bytes = bytes;
+                self.stats.max_delta_bytes = self.stats.max_delta_bytes.max(bytes);
+                self.chain_len += 1;
+            }
+        }
+        self.stats.delta_chain_len = self.chain_len;
+        let offsets = payload.offsets().to_vec();
         match self.cfg.mode {
             CheckpointMode::ExactlyOnce => {
                 // Commit the captured offsets once every pre-capture output
                 // is acknowledged.
                 self.pending_commit = Some(PendingCommit {
-                    offsets: snapshot.offsets.clone(),
+                    offsets: offsets.clone(),
                     barrier: producer_sent,
                 });
-                self.prev_offsets = snapshot.offsets;
+                self.prev_offsets = offsets;
             }
             CheckpointMode::AtLeastOnce => {
                 // Commit the previous checkpoint's offsets: the broker's
                 // committed position deliberately trails the state.
-                let lagging = std::mem::replace(&mut self.prev_offsets, snapshot.offsets);
+                let lagging = std::mem::replace(&mut self.prev_offsets, offsets);
                 if !lagging.is_empty() {
                     self.pending_commit = Some(PendingCommit {
                         offsets: lagging,
@@ -632,46 +1250,49 @@ impl CheckpointCoordinator {
     /// Begins recovery through the backend.
     pub fn start_recovery(&mut self, ctx: &mut Ctx<'_>, job: &str) -> RecoverOutcome {
         let outcome = self.backend.recover(ctx, job);
-        if let RecoverOutcome::Pending(corr) = outcome {
-            self.pending_recover = Some(corr);
+        if let RecoverOutcome::Done(chain) = &outcome {
+            self.note_recovered_chain(chain.as_ref());
         }
         outcome
     }
 
-    /// Routes a store RPC to pending persist/recover bookkeeping. Returns
-    /// the restored snapshot when a pending recovery completed.
-    pub fn on_store_rpc(&mut self, rpc: &StoreRpc) -> StoreRpcOutcome {
-        match rpc {
-            StoreRpc::PutAck { corr } => {
-                if self
-                    .pending_persist
-                    .as_ref()
-                    .is_some_and(|p| p.corr == *corr)
-                {
-                    let p = self.pending_persist.take().expect("just checked");
-                    self.finish_persist(p.snapshot, p.producer_sent, p.bytes);
-                    return StoreRpcOutcome::PersistCompleted;
+    fn note_recovered_chain(&mut self, chain: Option<&SnapshotChain>) {
+        if let Some(c) = chain {
+            // Continue the chain the restore produced: the next capture may
+            // extend it (until the cap) instead of forcing a re-base.
+            self.has_base = true;
+            self.chain_len = c.chain_len();
+            self.stats.delta_chain_len = self.chain_len;
+        }
+    }
+
+    /// Routes a store RPC to the backend's pending persist/recover
+    /// bookkeeping. Returns the restored chain when a pending recovery
+    /// completed.
+    pub fn on_store_rpc(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        job: &str,
+        rpc: &StoreRpc,
+    ) -> StoreRpcOutcome {
+        match self.backend.on_store_rpc(ctx, job, rpc) {
+            BackendEvent::NotMine => StoreRpcOutcome::NotMine,
+            BackendEvent::PersistCompleted => {
+                if let Some(p) = self.pending_persist.take() {
+                    self.finish_persist(p.payload, p.producer_sent, p.bytes);
                 }
-                StoreRpcOutcome::NotMine
+                StoreRpcOutcome::PersistCompleted
             }
-            StoreRpc::GetResult { corr, value } => {
-                if self.pending_recover == Some(*corr) {
-                    self.pending_recover = None;
-                    let bytes = value.as_ref().map_or(0, |b| b.len() as u64);
-                    let snapshot = value
-                        .as_deref()
-                        .and_then(|b| StateSnapshot::from_bytes(b).ok());
-                    return StoreRpcOutcome::Recovered { snapshot, bytes };
-                }
-                StoreRpcOutcome::NotMine
+            BackendEvent::Recovered { chain, bytes } => {
+                self.note_recovered_chain(chain.as_ref());
+                StoreRpcOutcome::Recovered { chain, bytes }
             }
-            _ => StoreRpcOutcome::NotMine,
         }
     }
 
     /// Seeds the lagging-commit baseline after a restore, so the first
     /// post-recovery checkpoint commits positions at or after the restored
-    /// snapshot.
+    /// chain.
     pub fn seed_prev_offsets(&mut self, offsets: Vec<(TopicPartition, Offset)>) {
         self.prev_offsets = offsets;
     }
@@ -682,14 +1303,14 @@ impl CheckpointCoordinator {
 pub enum StoreRpcOutcome {
     /// The message did not belong to checkpoint bookkeeping.
     NotMine,
-    /// A pending snapshot persist completed.
+    /// A pending capture persist completed.
     PersistCompleted,
-    /// A pending recovery completed with this snapshot (or none on a cold
+    /// A pending recovery completed with this chain (or none on a cold
     /// start); `bytes` is the encoded size read back.
     Recovered {
-        /// The restored snapshot, if one was persisted.
-        snapshot: Option<StateSnapshot>,
-        /// Encoded size of the read value (0 on a cold start).
+        /// The restored chain, if one was persisted.
+        chain: Option<SnapshotChain>,
+        /// Encoded bytes read (0 on a cold start).
         bytes: u64,
     },
 }
@@ -699,6 +1320,8 @@ impl std::fmt::Debug for CheckpointCoordinator {
         f.debug_struct("CheckpointCoordinator")
             .field("mode", &self.cfg.mode)
             .field("interval", &self.cfg.interval)
+            .field("incremental", &self.cfg.incremental)
+            .field("chain_len", &self.chain_len)
             .field("stats", &self.stats)
             .finish()
     }
@@ -728,12 +1351,64 @@ mod tests {
         }
     }
 
+    fn sample_delta(seq: u64) -> StateDelta {
+        StateDelta {
+            taken_at: SimTime::from_millis(2000 + seq),
+            seq,
+            plan_delta: vec![
+                None,
+                Some(Value::map([("set", Value::Map(Default::default()))])),
+            ],
+            records_in: 20 + seq,
+            records_out: 11,
+            buffer: Vec::new(),
+            offsets: vec![(TopicPartition::new("raw", 0), Offset(44 + seq))],
+        }
+    }
+
+    /// Runs `f` inside a one-shot harness process so backend calls get a
+    /// real `Ctx`.
+    fn with_ctx(f: impl FnOnce(&mut Ctx<'_>) + 'static) {
+        struct Harness {
+            #[allow(clippy::type_complexity)]
+            f: Option<Box<dyn FnOnce(&mut Ctx<'_>)>>,
+        }
+        impl s2g_sim::Process for Harness {
+            fn name(&self) -> &str {
+                "harness"
+            }
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                (self.f.take().unwrap())(ctx);
+            }
+            fn on_message(
+                &mut self,
+                _: &mut Ctx<'_>,
+                _: s2g_sim::ProcessId,
+                _: Box<dyn s2g_sim::Message>,
+            ) {
+            }
+        }
+        let mut sim = s2g_sim::Sim::new(0);
+        sim.spawn(Box::new(Harness {
+            f: Some(Box::new(f)),
+        }));
+        sim.run_to_completion();
+    }
+
     #[test]
     fn snapshot_round_trips_through_bytes() {
         let snap = sample_snapshot();
         let back = StateSnapshot::from_bytes(&snap.to_bytes()).expect("round trip");
         assert_eq!(back, snap);
         assert_eq!(snap.encoded_len(), snap.to_bytes().len());
+    }
+
+    #[test]
+    fn delta_round_trips_through_bytes() {
+        let delta = sample_delta(3);
+        let back = StateDelta::from_bytes(&delta.to_bytes()).expect("round trip");
+        assert_eq!(back, delta);
+        assert!(StateDelta::from_bytes(&[9, 9]).is_err());
     }
 
     #[test]
@@ -751,108 +1426,139 @@ mod tests {
     }
 
     #[test]
+    fn chain_tail_accessors_prefer_the_newest_delta() {
+        let mut chain = SnapshotChain::new(sample_snapshot());
+        assert_eq!(chain.chain_len(), 0);
+        assert_eq!(chain.record_counts(), (17, 9));
+        chain.deltas.push(sample_delta(1));
+        chain.deltas.push(sample_delta(2));
+        assert_eq!(chain.chain_len(), 2);
+        assert_eq!(chain.record_counts(), (22, 11));
+        assert_eq!(chain.taken_at(), SimTime::from_millis(2002));
+        assert_eq!(chain.offsets()[0].1, Offset(46));
+        assert!(chain.encoded_len() > chain.base.encoded_len());
+    }
+
+    #[test]
     fn exactly_once_commit_waits_for_barrier() {
         let store = snapshot_store();
-        let mut coord = CheckpointCoordinator::new(
-            CheckpointCfg::exactly_once(SimDuration::from_secs(1)),
-            Box::new(InMemoryBackend::new(store.clone())),
-            false,
-        );
-        let mut sim = s2g_sim::Sim::new(0);
-        struct Nop;
-        impl s2g_sim::Process for Nop {
-            fn name(&self) -> &str {
-                "nop"
-            }
-            fn on_message(
-                &mut self,
-                _: &mut Ctx<'_>,
-                _: s2g_sim::ProcessId,
-                _: Box<dyn s2g_sim::Message>,
-            ) {
-            }
-        }
-        sim.spawn(Box::new(Nop));
-        // Drive the coordinator through a one-off harness process? The
-        // coordinator only needs a Ctx for backend IO; the in-memory backend
-        // ignores it, so exercise the logic through a scratch context by
-        // capturing inside a process start hook.
-        struct Harness {
-            coord: Option<CheckpointCoordinator>,
-            store: SnapshotStoreHandle,
-        }
-        impl s2g_sim::Process for Harness {
-            fn name(&self) -> &str {
-                "harness"
-            }
-            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
-                let coord = self.coord.as_mut().unwrap();
-                coord.request_capture();
-                assert!(coord.should_capture());
-                let snap = sample_snapshot();
-                coord.accept(ctx, "job", snap.clone(), 5);
-                assert_eq!(self.store.borrow().get("job"), Some(&snap));
-                // Barrier of 5 sent records: 4 completions are not enough.
-                assert!(coord.take_ready_commit(4).is_none());
-                let commit = coord.take_ready_commit(5).expect("barrier satisfied");
-                assert_eq!(commit, snap.offsets);
-                assert!(coord.take_ready_commit(100).is_none(), "commit is one-shot");
-                assert_eq!(coord.stats().checkpoints, 1);
-            }
-            fn on_message(
-                &mut self,
-                _: &mut Ctx<'_>,
-                _: s2g_sim::ProcessId,
-                _: Box<dyn s2g_sim::Message>,
-            ) {
-            }
-        }
-        coord.request_capture();
-        let h = Harness {
-            coord: Some(coord),
-            store,
-        };
-        let mut sim2 = s2g_sim::Sim::new(0);
-        sim2.spawn(Box::new(h));
-        sim2.run_to_completion();
-        let _ = sim;
+        let coord_store = store.clone();
+        with_ctx(move |ctx| {
+            let mut coord = CheckpointCoordinator::new(
+                CheckpointCfg::exactly_once(SimDuration::from_secs(1)),
+                Box::new(InMemoryBackend::new(coord_store.clone())),
+                false,
+            );
+            coord.request_capture();
+            assert!(coord.should_capture());
+            assert_eq!(coord.capture_kind(), CaptureKind::Full);
+            let snap = sample_snapshot();
+            coord.accept(ctx, "job", CheckpointPayload::Full(snap.clone()), 5);
+            assert_eq!(
+                coord_store.borrow().get("job").map(|c| c.base.clone()),
+                Some(snap.clone())
+            );
+            // Barrier of 5 sent records: 4 completions are not enough.
+            assert!(coord.take_ready_commit(4).is_none());
+            let commit = coord.take_ready_commit(5).expect("barrier satisfied");
+            assert_eq!(commit, snap.offsets);
+            assert!(coord.take_ready_commit(100).is_none(), "commit is one-shot");
+            assert_eq!(coord.stats().checkpoints, 1);
+            assert_eq!(coord.stats().full_checkpoints, 1);
+        });
+        assert!(!store.borrow().is_empty());
     }
 
     #[test]
     fn at_least_once_commits_lagging_offsets() {
-        struct Harness;
-        impl s2g_sim::Process for Harness {
-            fn name(&self) -> &str {
-                "harness"
+        with_ctx(|ctx| {
+            let mut coord = CheckpointCoordinator::new(
+                CheckpointCfg::at_least_once(SimDuration::from_secs(1)),
+                Box::new(InMemoryBackend::new(snapshot_store())),
+                false,
+            );
+            let mut snap1 = sample_snapshot();
+            snap1.offsets = vec![(TopicPartition::new("raw", 0), Offset(10))];
+            coord.accept(ctx, "job", CheckpointPayload::Full(snap1), 0);
+            // First checkpoint has no predecessor: nothing to commit.
+            assert!(coord.take_ready_commit(0).is_none());
+            let mut snap2 = sample_snapshot();
+            snap2.offsets = vec![(TopicPartition::new("raw", 0), Offset(25))];
+            coord.accept(ctx, "job", CheckpointPayload::Full(snap2), 0);
+            // Second checkpoint commits the first's offsets.
+            let commit = coord.take_ready_commit(0).expect("lagging commit");
+            assert_eq!(commit, vec![(TopicPartition::new("raw", 0), Offset(10))]);
+        });
+    }
+
+    #[test]
+    fn incremental_schedule_rebases_at_the_chain_cap() {
+        let store = snapshot_store();
+        let coord_store = store.clone();
+        with_ctx(move |ctx| {
+            let cfg = CheckpointCfg::exactly_once(SimDuration::from_secs(1)).incremental(2);
+            let mut coord = CheckpointCoordinator::new(
+                cfg,
+                Box::new(InMemoryBackend::new(coord_store.clone())),
+                false,
+            );
+            // No base yet: the first capture is full.
+            assert_eq!(coord.capture_kind(), CaptureKind::Full);
+            coord.accept(ctx, "job", CheckpointPayload::Full(sample_snapshot()), 0);
+            let _ = coord.take_ready_commit(u64::MAX);
+            // Two deltas fit under the cap of 2.
+            for seq in 1..=2 {
+                assert_eq!(coord.capture_kind(), CaptureKind::Delta);
+                assert_eq!(coord.next_delta_seq(), seq);
+                coord.accept(ctx, "job", CheckpointPayload::Delta(sample_delta(seq)), 0);
+                let _ = coord.take_ready_commit(u64::MAX);
             }
-            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
-                let mut coord = CheckpointCoordinator::new(
-                    CheckpointCfg::at_least_once(SimDuration::from_secs(1)),
-                    Box::new(InMemoryBackend::new(snapshot_store())),
-                    false,
-                );
-                let mut snap1 = sample_snapshot();
-                snap1.offsets = vec![(TopicPartition::new("raw", 0), Offset(10))];
-                coord.accept(ctx, "job", snap1, 0);
-                // First checkpoint has no predecessor: nothing to commit.
-                assert!(coord.take_ready_commit(0).is_none());
-                let mut snap2 = sample_snapshot();
-                snap2.offsets = vec![(TopicPartition::new("raw", 0), Offset(25))];
-                coord.accept(ctx, "job", snap2, 0);
-                // Second checkpoint commits the first's offsets.
-                let commit = coord.take_ready_commit(0).expect("lagging commit");
-                assert_eq!(commit, vec![(TopicPartition::new("raw", 0), Offset(10))]);
+            // The cap forces a re-base.
+            assert_eq!(coord.capture_kind(), CaptureKind::Full);
+            coord.accept(ctx, "job", CheckpointPayload::Full(sample_snapshot()), 0);
+            let stats = coord.stats();
+            assert_eq!(stats.full_checkpoints, 2);
+            assert_eq!(stats.delta_checkpoints, 2);
+            assert_eq!(stats.delta_chain_len, 0, "re-base reset the chain");
+            assert!(stats.delta_bytes > 0);
+        });
+        // The store holds the fresh chain (base only).
+        assert_eq!(
+            store.borrow().get("job").map(SnapshotChain::chain_len),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn in_memory_recovery_returns_the_chain() {
+        let store = snapshot_store();
+        let coord_store = store.clone();
+        with_ctx(move |ctx| {
+            let cfg = CheckpointCfg::exactly_once(SimDuration::from_secs(1)).incremental(8);
+            let mut coord = CheckpointCoordinator::new(
+                cfg,
+                Box::new(InMemoryBackend::new(coord_store.clone())),
+                false,
+            );
+            coord.accept(ctx, "job", CheckpointPayload::Full(sample_snapshot()), 0);
+            let _ = coord.take_ready_commit(u64::MAX);
+            coord.accept(ctx, "job", CheckpointPayload::Delta(sample_delta(1)), 0);
+            let _ = coord.take_ready_commit(u64::MAX);
+            let mut rec = CheckpointCoordinator::new(
+                cfg,
+                Box::new(InMemoryBackend::new(coord_store.clone())),
+                true,
+            );
+            match rec.start_recovery(ctx, "job") {
+                RecoverOutcome::Done(Some(chain)) => {
+                    assert_eq!(chain.chain_len(), 1);
+                    assert_eq!(chain.record_counts(), (21, 11));
+                }
+                other => panic!("expected a restored chain, got {other:?}"),
             }
-            fn on_message(
-                &mut self,
-                _: &mut Ctx<'_>,
-                _: s2g_sim::ProcessId,
-                _: Box<dyn s2g_sim::Message>,
-            ) {
-            }
-        }
-        let mut sim = s2g_sim::Sim::new(0);
-        sim.spawn(Box::new(Harness));
-        sim.run_to_completion();
+            // The restored chain seeds the schedule: next capture extends it.
+            assert_eq!(rec.capture_kind(), CaptureKind::Delta);
+            assert_eq!(rec.next_delta_seq(), 2);
+        });
     }
 }

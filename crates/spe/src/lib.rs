@@ -37,9 +37,10 @@ mod plan;
 mod worker;
 
 pub use checkpoint::{
-    snapshot_store, CheckpointCfg, CheckpointCoordinator, CheckpointMode, CheckpointStats,
-    DurableBackend, InMemoryBackend, PersistOutcome, RecoverOutcome, RecoveryInfo,
-    SnapshotStoreHandle, StateBackend, StateSnapshot, StoreRpcOutcome, CKPT_CORR_BASE,
+    snapshot_store, BackendEvent, CaptureKind, CheckpointCfg, CheckpointCoordinator,
+    CheckpointMode, CheckpointPayload, CheckpointStats, DurableBackend, InMemoryBackend,
+    PersistOutcome, RecoverOutcome, RecoveryInfo, SnapshotChain, SnapshotStoreHandle, StateBackend,
+    StateDelta, StateSnapshot, StoreRpcOutcome, CKPT_CORR_BASE, DEFAULT_MAX_DELTA_CHAIN,
 };
 pub use event::{CodecError, Event, Value};
 pub use ops::{

@@ -4,7 +4,7 @@
 //! state across batches. Event-time windows emit when the operator's
 //! watermark — the maximum event time seen — passes the window end.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use s2g_sim::{SimDuration, SimTime};
 
@@ -35,6 +35,29 @@ pub trait Operator {
     /// [`snapshot_state`](Operator::snapshot_state). Stateless operators
     /// ignore the call (the default).
     fn restore_state(&mut self, _state: Value) {}
+
+    /// Captures only the state that changed since the last capture (the
+    /// incremental-checkpoint path) and resets the operator's dirty
+    /// tracking. Operators without dirty tracking fall back to shipping
+    /// their full state, which keeps delta chains correct at full-snapshot
+    /// cost; stateless operators still return `None`.
+    fn snapshot_delta(&mut self) -> Option<Value> {
+        let full = self.snapshot_state();
+        self.mark_clean();
+        full
+    }
+
+    /// Applies a delta captured by [`snapshot_delta`](Operator::snapshot_delta)
+    /// on top of previously restored state. The default matches the default
+    /// `snapshot_delta`: the delta is a full state, so applying it is a
+    /// restore.
+    fn apply_delta(&mut self, delta: Value) {
+        self.restore_state(delta);
+    }
+
+    /// Resets dirty tracking without capturing — called after a full (base)
+    /// snapshot, which by definition covers every pending change.
+    fn mark_clean(&mut self) {}
 }
 
 /// Stateless 1→1 transform.
@@ -150,6 +173,8 @@ impl Operator for KeyBy {
 pub struct StatefulMap {
     name: String,
     state: BTreeMap<String, Value>,
+    /// Keys whose state changed since the last checkpoint capture.
+    dirty: BTreeSet<String>,
     #[allow(clippy::type_complexity)]
     f: Box<dyn FnMut(&mut Value, &Event) -> Vec<Event>>,
     init: Value,
@@ -165,6 +190,7 @@ impl StatefulMap {
         StatefulMap {
             name: name.into(),
             state: BTreeMap::new(),
+            dirty: BTreeSet::new(),
             f: Box::new(f),
             init,
         }
@@ -173,6 +199,11 @@ impl StatefulMap {
     /// The number of keys currently held in state.
     pub fn key_count(&self) -> usize {
         self.state.len()
+    }
+
+    /// The number of keys touched since the last checkpoint capture.
+    pub fn dirty_count(&self) -> usize {
+        self.dirty.len()
     }
 }
 
@@ -184,6 +215,7 @@ impl Operator for StatefulMap {
         let mut out = Vec::new();
         for e in batch {
             let key = e.key.clone().unwrap_or_default();
+            self.dirty.insert(key.clone());
             let slot = self.state.entry(key).or_insert_with(|| self.init.clone());
             out.extend((self.f)(slot, &e));
         }
@@ -198,6 +230,29 @@ impl Operator for StatefulMap {
         if let Value::Map(m) = state {
             self.state = m;
         }
+        self.dirty.clear();
+    }
+
+    fn snapshot_delta(&mut self) -> Option<Value> {
+        let set: BTreeMap<String, Value> = self
+            .dirty
+            .iter()
+            .filter_map(|k| self.state.get(k).map(|v| (k.clone(), v.clone())))
+            .collect();
+        self.dirty.clear();
+        Some(Value::map([("set", Value::Map(set))]))
+    }
+
+    fn apply_delta(&mut self, delta: Value) {
+        if let Some(Value::Map(set)) = delta.field("set") {
+            for (k, v) in set {
+                self.state.insert(k.clone(), v.clone());
+            }
+        }
+    }
+
+    fn mark_clean(&mut self) {
+        self.dirty.clear();
     }
 }
 
@@ -279,6 +334,10 @@ pub struct WindowAggregate {
     finish: Box<dyn Fn(Value, u64) -> Value>,
     windows: BTreeMap<(SimTime, String), WindowState>,
     watermark: SimTime,
+    /// Windows touched since the last checkpoint capture.
+    dirty: BTreeSet<(SimTime, String)>,
+    /// Windows emitted (and dropped) since the last checkpoint capture.
+    removed: BTreeSet<(SimTime, String)>,
 }
 
 impl WindowAggregate {
@@ -298,6 +357,8 @@ impl WindowAggregate {
             finish: Box::new(finish),
             windows: BTreeMap::new(),
             watermark: SimTime::ZERO,
+            dirty: BTreeSet::new(),
+            removed: BTreeSet::new(),
         }
     }
 
@@ -366,6 +427,8 @@ impl WindowAggregate {
             .collect();
         for key in ready {
             let st = self.windows.remove(&key).expect("key just listed");
+            self.dirty.remove(&key);
+            self.removed.insert(key.clone());
             let (start, group) = key;
             let end = start + width;
             let value = (self.finish)(st.acc, st.count);
@@ -390,14 +453,13 @@ impl Operator for WindowAggregate {
             self.watermark = self.watermark.max(e.ts);
             let key = e.key.clone().unwrap_or_default();
             for start in self.assigner.assign(e.ts) {
-                let st = self
-                    .windows
-                    .entry((start, key.clone()))
-                    .or_insert_with(|| WindowState {
-                        acc: self.init.clone(),
-                        count: 0,
-                        min_origin: e.origin,
-                    });
+                let wkey = (start, key.clone());
+                self.dirty.insert(wkey.clone());
+                let st = self.windows.entry(wkey).or_insert_with(|| WindowState {
+                    acc: self.init.clone(),
+                    count: 0,
+                    min_origin: e.origin,
+                });
                 st.acc = (self.fold)(std::mem::replace(&mut st.acc, Value::Null), &e);
                 st.count += 1;
                 st.min_origin = st.min_origin.min(e.origin);
@@ -415,6 +477,8 @@ impl Operator for WindowAggregate {
         let all: Vec<(SimTime, String)> = self.windows.keys().cloned().collect();
         for key in all {
             let st = self.windows.remove(&key).expect("listed");
+            self.dirty.remove(&key);
+            self.removed.insert(key.clone());
             let (start, group) = key;
             out.push(Event {
                 key: Some(group),
@@ -431,15 +495,7 @@ impl Operator for WindowAggregate {
         let windows: Vec<Value> = self
             .windows
             .iter()
-            .map(|((start, key), st)| {
-                Value::List(vec![
-                    Value::Int(start.as_nanos() as i64),
-                    Value::Str(key.clone()),
-                    st.acc.clone(),
-                    Value::Int(st.count as i64),
-                    Value::Int(st.min_origin.as_nanos() as i64),
-                ])
-            })
+            .map(|((start, key), st)| encode_window_entry(start, key, st))
             .collect();
         Some(Value::map([
             ("watermark", Value::Int(self.watermark.as_nanos() as i64)),
@@ -456,28 +512,106 @@ impl Operator for WindowAggregate {
         };
         self.watermark = SimTime::from_nanos(wm as u64);
         self.windows.clear();
+        self.dirty.clear();
+        self.removed.clear();
         for w in windows {
-            let Value::List(parts) = w else { continue };
-            let (Some(start), Some(Value::Str(key)), acc, Some(count), Some(origin)) = (
-                parts.first().and_then(Value::as_int),
-                parts.get(1),
-                parts.get(2),
-                parts.get(3).and_then(Value::as_int),
-                parts.get(4).and_then(Value::as_int),
-            ) else {
+            let Some((key, st)) = decode_window_entry(w) else {
                 continue;
             };
-            let Some(acc) = acc else { continue };
-            self.windows.insert(
-                (SimTime::from_nanos(start as u64), key.clone()),
-                WindowState {
-                    acc: acc.clone(),
-                    count: count as u64,
-                    min_origin: SimTime::from_nanos(origin as u64),
-                },
-            );
+            self.windows.insert(key, st);
         }
     }
+
+    fn snapshot_delta(&mut self) -> Option<Value> {
+        let set: Vec<Value> = self
+            .dirty
+            .iter()
+            .filter_map(|k| {
+                self.windows
+                    .get(k)
+                    .map(|st| encode_window_entry(&k.0, &k.1, st))
+            })
+            .collect();
+        let del: Vec<Value> = self
+            .removed
+            .iter()
+            .map(|(start, key)| {
+                Value::List(vec![
+                    Value::Int(start.as_nanos() as i64),
+                    Value::Str(key.clone()),
+                ])
+            })
+            .collect();
+        self.dirty.clear();
+        self.removed.clear();
+        Some(Value::map([
+            ("watermark", Value::Int(self.watermark.as_nanos() as i64)),
+            ("set", Value::List(set)),
+            ("del", Value::List(del)),
+        ]))
+    }
+
+    fn apply_delta(&mut self, delta: Value) {
+        if let Some(wm) = delta.field("watermark").and_then(Value::as_int) {
+            self.watermark = SimTime::from_nanos(wm as u64);
+        }
+        if let Some(Value::List(del)) = delta.field("del") {
+            for d in del {
+                let Value::List(parts) = d else { continue };
+                let (Some(start), Some(Value::Str(key))) =
+                    (parts.first().and_then(Value::as_int), parts.get(1))
+                else {
+                    continue;
+                };
+                self.windows
+                    .remove(&(SimTime::from_nanos(start as u64), key.clone()));
+            }
+        }
+        if let Some(Value::List(set)) = delta.field("set") {
+            for w in set {
+                let Some((key, st)) = decode_window_entry(w) else {
+                    continue;
+                };
+                self.windows.insert(key, st);
+            }
+        }
+    }
+
+    fn mark_clean(&mut self) {
+        self.dirty.clear();
+        self.removed.clear();
+    }
+}
+
+fn encode_window_entry(start: &SimTime, key: &str, st: &WindowState) -> Value {
+    Value::List(vec![
+        Value::Int(start.as_nanos() as i64),
+        Value::Str(key.to_string()),
+        st.acc.clone(),
+        Value::Int(st.count as i64),
+        Value::Int(st.min_origin.as_nanos() as i64),
+    ])
+}
+
+fn decode_window_entry(v: &Value) -> Option<((SimTime, String), WindowState)> {
+    let Value::List(parts) = v else { return None };
+    let (Some(start), Some(Value::Str(key)), Some(acc), Some(count), Some(origin)) = (
+        parts.first().and_then(Value::as_int),
+        parts.get(1),
+        parts.get(2),
+        parts.get(3).and_then(Value::as_int),
+        parts.get(4).and_then(Value::as_int),
+    ) else {
+        return None;
+    };
+    Some((
+        (SimTime::from_nanos(start as u64), key.clone()),
+        WindowState {
+            acc: acc.clone(),
+            count: count as u64,
+            min_origin: SimTime::from_nanos(origin as u64),
+        },
+    ))
 }
 
 /// Windowed two-input equi-join: pairs events with equal keys from sources
@@ -490,6 +624,10 @@ pub struct WindowJoin {
     joiner: Box<dyn Fn(&Event, &Event) -> Value>,
     buffers: BTreeMap<(SimTime, String), (Vec<Event>, Vec<Event>)>,
     watermark: SimTime,
+    /// Windows whose buffers grew since the last checkpoint capture.
+    dirty: BTreeSet<(SimTime, String)>,
+    /// Windows emitted (and dropped) since the last checkpoint capture.
+    removed: BTreeSet<(SimTime, String)>,
 }
 
 impl WindowJoin {
@@ -505,6 +643,8 @@ impl WindowJoin {
             joiner: Box::new(joiner),
             buffers: BTreeMap::new(),
             watermark: SimTime::ZERO,
+            dirty: BTreeSet::new(),
+            removed: BTreeSet::new(),
         }
     }
 
@@ -519,6 +659,8 @@ impl WindowJoin {
         let mut out = Vec::new();
         for key in ready {
             let (lefts, rights) = self.buffers.remove(&key).expect("listed");
+            self.dirty.remove(&key);
+            self.removed.insert(key.clone());
             let (start, group) = key;
             let end = start + width;
             for l in &lefts {
@@ -547,7 +689,9 @@ impl Operator for WindowJoin {
             self.watermark = self.watermark.max(e.ts);
             let key = e.key.clone().unwrap_or_default();
             for start in self.assigner.assign(e.ts) {
-                let slot = self.buffers.entry((start, key.clone())).or_default();
+                let wkey = (start, key.clone());
+                self.dirty.insert(wkey.clone());
+                let slot = self.buffers.entry(wkey).or_default();
                 if e.source == 0 {
                     slot.0.push(e.clone());
                 } else {
@@ -567,14 +711,7 @@ impl Operator for WindowJoin {
         let buffers: Vec<Value> = self
             .buffers
             .iter()
-            .map(|((start, key), (lefts, rights))| {
-                Value::List(vec![
-                    Value::Int(start.as_nanos() as i64),
-                    Value::Str(key.clone()),
-                    Value::List(lefts.iter().map(encode_event).collect()),
-                    Value::List(rights.iter().map(encode_event).collect()),
-                ])
-            })
+            .map(|((start, key), bufs)| encode_join_entry(start, key, bufs))
             .collect();
         Some(Value::map([
             ("watermark", Value::Int(self.watermark.as_nanos() as i64)),
@@ -591,24 +728,106 @@ impl Operator for WindowJoin {
         };
         self.watermark = SimTime::from_nanos(wm as u64);
         self.buffers.clear();
+        self.dirty.clear();
+        self.removed.clear();
         for b in buffers {
-            let Value::List(parts) = b else { continue };
-            let (Some(start), Some(Value::Str(key)), Some(Value::List(ls)), Some(Value::List(rs))) = (
-                parts.first().and_then(Value::as_int),
-                parts.get(1),
-                parts.get(2),
-                parts.get(3),
-            ) else {
+            let Some((key, bufs)) = decode_join_entry(b) else {
                 continue;
             };
-            let lefts: Vec<Event> = ls.iter().filter_map(decode_event).collect();
-            let rights: Vec<Event> = rs.iter().filter_map(decode_event).collect();
-            self.buffers.insert(
-                (SimTime::from_nanos(start as u64), key.clone()),
-                (lefts, rights),
-            );
+            self.buffers.insert(key, bufs);
         }
     }
+
+    fn snapshot_delta(&mut self) -> Option<Value> {
+        // Per-window granularity: a dirty window ships its whole buffer
+        // pair, which is still tiny next to the full operator state.
+        let set: Vec<Value> = self
+            .dirty
+            .iter()
+            .filter_map(|k| {
+                self.buffers
+                    .get(k)
+                    .map(|bufs| encode_join_entry(&k.0, &k.1, bufs))
+            })
+            .collect();
+        let del: Vec<Value> = self
+            .removed
+            .iter()
+            .map(|(start, key)| {
+                Value::List(vec![
+                    Value::Int(start.as_nanos() as i64),
+                    Value::Str(key.clone()),
+                ])
+            })
+            .collect();
+        self.dirty.clear();
+        self.removed.clear();
+        Some(Value::map([
+            ("watermark", Value::Int(self.watermark.as_nanos() as i64)),
+            ("set", Value::List(set)),
+            ("del", Value::List(del)),
+        ]))
+    }
+
+    fn apply_delta(&mut self, delta: Value) {
+        if let Some(wm) = delta.field("watermark").and_then(Value::as_int) {
+            self.watermark = SimTime::from_nanos(wm as u64);
+        }
+        if let Some(Value::List(del)) = delta.field("del") {
+            for d in del {
+                let Value::List(parts) = d else { continue };
+                let (Some(start), Some(Value::Str(key))) =
+                    (parts.first().and_then(Value::as_int), parts.get(1))
+                else {
+                    continue;
+                };
+                self.buffers
+                    .remove(&(SimTime::from_nanos(start as u64), key.clone()));
+            }
+        }
+        if let Some(Value::List(set)) = delta.field("set") {
+            for b in set {
+                let Some((key, bufs)) = decode_join_entry(b) else {
+                    continue;
+                };
+                self.buffers.insert(key, bufs);
+            }
+        }
+    }
+
+    fn mark_clean(&mut self) {
+        self.dirty.clear();
+        self.removed.clear();
+    }
+}
+
+#[allow(clippy::type_complexity)]
+fn encode_join_entry(start: &SimTime, key: &str, bufs: &(Vec<Event>, Vec<Event>)) -> Value {
+    Value::List(vec![
+        Value::Int(start.as_nanos() as i64),
+        Value::Str(key.to_string()),
+        Value::List(bufs.0.iter().map(encode_event).collect()),
+        Value::List(bufs.1.iter().map(encode_event).collect()),
+    ])
+}
+
+#[allow(clippy::type_complexity)]
+fn decode_join_entry(v: &Value) -> Option<((SimTime, String), (Vec<Event>, Vec<Event>))> {
+    let Value::List(parts) = v else { return None };
+    let (Some(start), Some(Value::Str(key)), Some(Value::List(ls)), Some(Value::List(rs))) = (
+        parts.first().and_then(Value::as_int),
+        parts.get(1),
+        parts.get(2),
+        parts.get(3),
+    ) else {
+        return None;
+    };
+    let lefts: Vec<Event> = ls.iter().filter_map(decode_event).collect();
+    let rights: Vec<Event> = rs.iter().filter_map(decode_event).collect();
+    Some((
+        (SimTime::from_nanos(start as u64), key.clone()),
+        (lefts, rights),
+    ))
 }
 
 #[cfg(test)]

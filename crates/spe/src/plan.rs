@@ -161,6 +161,34 @@ impl Plan {
         self.records_in = records_in;
         self.records_out = records_out;
     }
+
+    /// Captures only the per-operator state that changed since the last
+    /// capture and resets every operator's dirty tracking — the plan half
+    /// of an incremental checkpoint delta.
+    pub fn snapshot_delta(&mut self) -> Vec<Option<Value>> {
+        self.ops.iter_mut().map(|o| o.snapshot_delta()).collect()
+    }
+
+    /// Applies a delta captured by [`snapshot_delta`](Plan::snapshot_delta)
+    /// on top of previously restored state, advancing the record counters
+    /// to the delta's capture point.
+    pub fn apply_delta(&mut self, deltas: Vec<Option<Value>>, records_in: u64, records_out: u64) {
+        for (op, delta) in self.ops.iter_mut().zip(deltas) {
+            if let Some(d) = delta {
+                op.apply_delta(d);
+            }
+        }
+        self.records_in = records_in;
+        self.records_out = records_out;
+    }
+
+    /// Resets every operator's dirty tracking without capturing — called
+    /// after a full (base) snapshot, which covers all pending changes.
+    pub fn mark_clean(&mut self) {
+        for op in &mut self.ops {
+            op.mark_clean();
+        }
+    }
 }
 
 impl std::fmt::Debug for Plan {

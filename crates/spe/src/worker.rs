@@ -20,8 +20,9 @@ use s2g_broker::{ConsumerClient, ConsumerConfig, DataSink, ProducerClient, Produ
 use s2g_store::StoreRpc;
 
 use crate::checkpoint::{
-    snapshot_store, CheckpointCfg, CheckpointCoordinator, CheckpointMode, CheckpointStats,
-    InMemoryBackend, RecoverOutcome, RecoveryInfo, StateBackend, StateSnapshot, StoreRpcOutcome,
+    snapshot_store, CaptureKind, CheckpointCfg, CheckpointCoordinator, CheckpointMode,
+    CheckpointPayload, CheckpointStats, InMemoryBackend, RecoverOutcome, RecoveryInfo,
+    SnapshotChain, StateBackend, StateDelta, StateSnapshot, StoreRpcOutcome,
 };
 use crate::event::{Event, Value};
 use crate::plan::Plan;
@@ -396,19 +397,49 @@ impl SpeWorker {
         if !due || self.inflight.is_some() || self.awaiting_restore {
             return;
         }
-        let (plan_state, records_in, records_out) = self.plan.snapshot_state();
-        let snapshot = StateSnapshot {
-            taken_at: ctx.now(),
-            plan_state,
-            records_in,
-            records_out,
-            buffer: self.buffer.events.clone(),
-            offsets: self.consumer.positions(),
+        let kind = self
+            .coordinator
+            .as_ref()
+            .map(CheckpointCoordinator::capture_kind)
+            .expect("checked above");
+        let payload = match kind {
+            CaptureKind::Full => {
+                let (plan_state, records_in, records_out) = self.plan.snapshot_state();
+                // The full snapshot covers every pending change: reset the
+                // operators' dirty tracking so the next delta starts clean.
+                self.plan.mark_clean();
+                CheckpointPayload::Full(StateSnapshot {
+                    taken_at: ctx.now(),
+                    plan_state,
+                    records_in,
+                    records_out,
+                    buffer: self.buffer.events.clone(),
+                    offsets: self.consumer.positions(),
+                })
+            }
+            CaptureKind::Delta => {
+                let seq = self
+                    .coordinator
+                    .as_ref()
+                    .map(CheckpointCoordinator::next_delta_seq)
+                    .expect("checked above");
+                let plan_delta = self.plan.snapshot_delta();
+                let (records_in, records_out) = self.plan.record_counts();
+                CheckpointPayload::Delta(StateDelta {
+                    taken_at: ctx.now(),
+                    seq,
+                    plan_delta,
+                    records_in,
+                    records_out,
+                    buffer: self.buffer.events.clone(),
+                    offsets: self.consumer.positions(),
+                })
+            }
         };
         let producer_sent = self.producer.as_ref().map_or(0, |p| p.stats().sent);
         let name = self.name.clone();
         let coord = self.coordinator.as_mut().expect("checked above");
-        coord.accept(ctx, &name, snapshot, producer_sent);
+        coord.accept(ctx, &name, payload, producer_sent);
         if coord.has_pending_io() {
             ctx.set_timer(CKPT_IO_RETRY_INTERVAL, tags::CKPT_IO_RETRY);
         }
@@ -446,58 +477,77 @@ impl SpeWorker {
     fn apply_restore(
         &mut self,
         ctx: &mut Ctx<'_>,
-        snapshot: Option<StateSnapshot>,
+        chain: Option<SnapshotChain>,
         bytes: Option<u64>,
     ) {
         let now = ctx.now();
         if let Some(r) = self.recovery.as_mut() {
             r.restored_at = Some(now);
         }
-        let Some(snap) = snapshot else { return };
+        let Some(chain) = chain else { return };
         if let Some(r) = self.recovery.as_mut() {
-            r.snapshot_taken_at = Some(snap.taken_at);
-            r.snapshot_bytes = bytes.unwrap_or_else(|| snap.encoded_len() as u64);
+            r.snapshot_taken_at = Some(chain.taken_at());
+            r.snapshot_bytes = bytes.unwrap_or_else(|| chain.encoded_len() as u64);
+            r.delta_chain = chain.chain_len();
         }
         let mode = self
             .coordinator
             .as_ref()
             .expect("restore implies coordinator")
             .mode();
+        // Base first, then every delta in persistence order — the chained
+        // restore an incremental checkpoint pays for its smaller captures.
+        let base = chain.base;
         self.plan
-            .restore_state(snap.plan_state, snap.records_in, snap.records_out);
+            .restore_state(base.plan_state, base.records_in, base.records_out);
+        let mut tail_buffer = base.buffer;
+        let mut tail_offsets = base.offsets;
+        let taken_at = chain
+            .deltas
+            .last()
+            .map(|d| d.taken_at)
+            .unwrap_or(base.taken_at);
+        for delta in chain.deltas {
+            self.plan
+                .apply_delta(delta.plan_delta, delta.records_in, delta.records_out);
+            tail_buffer = delta.buffer;
+            tail_offsets = delta.offsets;
+        }
         match mode {
             CheckpointMode::ExactlyOnce => {
-                // The snapshot is the source of truth: restore the unbatched
-                // input and seek to the offsets captured with the state, so
-                // the replay boundary matches the state exactly even if the
-                // final broker commit raced the crash.
-                self.buffer.events = snap.buffer;
-                self.consumer.seed_positions(snap.offsets.clone());
+                // The chain is the source of truth: restore the unbatched
+                // input and seek to the offsets captured with the newest
+                // element, so the replay boundary matches the state exactly
+                // even if the final broker commit raced the crash.
+                self.buffer.events = tail_buffer;
+                self.consumer.seed_positions(tail_offsets.clone());
             }
             CheckpointMode::AtLeastOnce => {
                 // Resume from the broker's committed offsets (which trail
-                // the snapshot): records in between replay into restored
+                // the chain): records in between replay into restored
                 // state — duplicates, never loss.
             }
         }
         if let Some(c) = self.coordinator.as_mut() {
-            c.seed_prev_offsets(snap.offsets);
+            c.seed_prev_offsets(tail_offsets);
         }
         ctx.trace(
             "spe",
-            format!("{} restored checkpoint from {}", self.name, snap.taken_at),
+            format!("{} restored checkpoint from {}", self.name, taken_at),
         );
     }
 
     fn handle_store_rpc(&mut self, ctx: &mut Ctx<'_>, rpc: StoreRpc) {
-        let Some(coord) = self.coordinator.as_mut() else {
+        if self.coordinator.is_none() {
             return;
-        };
-        match coord.on_store_rpc(&rpc) {
+        }
+        let name = self.name.clone();
+        let coord = self.coordinator.as_mut().expect("just checked");
+        match coord.on_store_rpc(ctx, &name, &rpc) {
             StoreRpcOutcome::PersistCompleted => self.pump_commit(ctx),
-            StoreRpcOutcome::Recovered { snapshot, bytes } => {
+            StoreRpcOutcome::Recovered { chain, bytes } => {
                 self.awaiting_restore = false;
-                self.apply_restore(ctx, snapshot, Some(bytes));
+                self.apply_restore(ctx, chain, Some(bytes));
                 self.normal_start(ctx);
             }
             StoreRpcOutcome::NotMine => {
@@ -573,6 +623,7 @@ impl Process for SpeWorker {
                 restored_at: None,
                 snapshot_taken_at: None,
                 snapshot_bytes: 0,
+                delta_chain: 0,
                 first_batch_at: None,
             });
         }
@@ -580,11 +631,11 @@ impl Process for SpeWorker {
             let name = self.name.clone();
             let coord = self.coordinator.as_mut().expect("checked above");
             match coord.start_recovery(ctx, &name) {
-                RecoverOutcome::Done(snapshot) => {
-                    self.apply_restore(ctx, snapshot, None);
+                RecoverOutcome::Done(chain) => {
+                    self.apply_restore(ctx, chain, None);
                     self.normal_start(ctx);
                 }
-                RecoverOutcome::Pending(_) => {
+                RecoverOutcome::Pending => {
                     // Hold consuming and batching until the backend read
                     // round trip completes — the recovery-latency cost of a
                     // durable backend. The retry timer covers a lost RPC.

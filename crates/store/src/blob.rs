@@ -1,0 +1,103 @@
+//! A small client for durable blob traffic against a [`StoreServer`].
+//!
+//! Both remote durability tiers in the workspace — the SPE checkpoint
+//! backend (`s2g_spe::DurableBackend`) and the broker log backend
+//! (`s2g_broker::DurableLogBackend`) — speak the same pattern to a
+//! [`StoreServer`]: allocate a correlation id from a private namespace
+//! (salted with the owning process's incarnation so replies delayed across
+//! a crash/restart can never collide with the respawn's requests), send a
+//! [`StoreRpc`], and pay the store's simulated CPU plus the network path
+//! for every flush and every replayed blob. [`BlobClient`] is that shared
+//! machinery, deduplicated here so the two tiers cannot drift apart.
+//!
+//! [`StoreServer`]: crate::StoreServer
+
+use s2g_sim::{Ctx, ProcessId};
+
+use crate::server::StoreRpc;
+
+/// Issues `Put`/`Get`/`Delete` RPCs to one store server under a private
+/// correlation-id namespace.
+#[derive(Debug)]
+pub struct BlobClient {
+    server: ProcessId,
+    corr_base: u64,
+    next: u64,
+}
+
+impl BlobClient {
+    /// Creates a client whose correlation ids start at `corr_base`
+    /// (a namespace disjoint from other store users in the same process).
+    pub fn new(server: ProcessId, corr_base: u64) -> Self {
+        Self::for_incarnation(server, corr_base, 0)
+    }
+
+    /// Creates a client whose correlation ids are additionally salted with
+    /// the owning process's `incarnation` (shifted into the high half of
+    /// the per-namespace counter), so a store reply delayed across a
+    /// process bounce can never be mistaken for an answer to the respawned
+    /// incarnation's requests.
+    pub fn for_incarnation(server: ProcessId, corr_base: u64, incarnation: u64) -> Self {
+        BlobClient {
+            server,
+            corr_base,
+            next: incarnation << 32,
+        }
+    }
+
+    /// The store server this client writes to.
+    pub fn server(&self) -> ProcessId {
+        self.server
+    }
+
+    fn corr(&mut self) -> u64 {
+        let c = self.corr_base + self.next;
+        self.next += 1;
+        c
+    }
+
+    /// Sends a `Put` for `key`, returning the correlation id its
+    /// [`StoreRpc::PutAck`] will carry.
+    pub fn put(&mut self, ctx: &mut Ctx<'_>, key: &str, value: Vec<u8>) -> u64 {
+        let corr = self.corr();
+        ctx.send(
+            self.server,
+            StoreRpc::Put {
+                corr,
+                key: key.to_string(),
+                value,
+            },
+        );
+        corr
+    }
+
+    /// Sends a `Get` for `key`, returning the correlation id its
+    /// [`StoreRpc::GetResult`] will carry.
+    pub fn get(&mut self, ctx: &mut Ctx<'_>, key: &str) -> u64 {
+        let corr = self.corr();
+        ctx.send(
+            self.server,
+            StoreRpc::Get {
+                corr,
+                key: key.to_string(),
+            },
+        );
+        corr
+    }
+
+    /// Sends a `Delete` for `key`, returning the correlation id its
+    /// [`StoreRpc::DeleteAck`] will carry. Callers that treat deletes as
+    /// fire-and-forget (dead log segments, superseded checkpoints) may
+    /// ignore the returned id.
+    pub fn delete(&mut self, ctx: &mut Ctx<'_>, key: &str) -> u64 {
+        let corr = self.corr();
+        ctx.send(
+            self.server,
+            StoreRpc::Delete {
+                corr,
+                key: key.to_string(),
+            },
+        );
+        corr
+    }
+}

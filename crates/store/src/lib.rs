@@ -10,10 +10,12 @@
 
 #![warn(missing_docs)]
 
+mod blob;
 mod kv;
 mod server;
 mod table;
 
+pub use blob::BlobClient;
 pub use kv::KvStore;
 pub use server::{StoreConfig, StoreRpc, StoreServer};
 pub use table::{TableError, TableStore};

@@ -47,6 +47,20 @@ pub enum StoreRpc {
         /// The value, if present.
         value: Option<Vec<u8>>,
     },
+    /// Remove a key (dead log segments, superseded checkpoint blobs).
+    Delete {
+        /// Request id.
+        corr: u64,
+        /// Key.
+        key: String,
+    },
+    /// Ack for a delete.
+    DeleteAck {
+        /// Request id.
+        corr: u64,
+        /// Whether the key existed.
+        existed: bool,
+    },
     /// Insert a row into a table (auto-creates the table with generic
     /// column names on first insert).
     Insert {
@@ -73,6 +87,8 @@ impl Message for StoreRpc {
             StoreRpc::PutAck { .. } => 8,
             StoreRpc::Get { key, .. } => key.len(),
             StoreRpc::GetResult { value, .. } => 8 + value.as_ref().map_or(0, Vec::len),
+            StoreRpc::Delete { key, .. } => key.len(),
+            StoreRpc::DeleteAck { .. } => 9,
             StoreRpc::Insert { table, row, .. } => {
                 table.len() + row.iter().map(String::len).sum::<usize>()
             }
@@ -196,6 +212,11 @@ impl Process for StoreServer {
                 let value = self.kv.get_counted(&key).map(|b| b.to_vec());
                 self.respond_after_cpu(ctx, from, StoreRpc::GetResult { corr, value });
             }
+            StoreRpc::Delete { corr, key } => {
+                let existed = self.kv.delete(&key).is_some();
+                self.update_mem();
+                self.respond_after_cpu(ctx, from, StoreRpc::DeleteAck { corr, existed });
+            }
             StoreRpc::Insert { corr, table, row } => {
                 if self.tables.table_names().iter().all(|t| *t != table) {
                     let cols: Vec<String> = (0..row.len()).map(|i| format!("c{i}")).collect();
@@ -209,7 +230,10 @@ impl Process for StoreServer {
                 self.respond_after_cpu(ctx, from, StoreRpc::InsertAck { corr, ok });
             }
             // Responses are never received by the server.
-            StoreRpc::PutAck { .. } | StoreRpc::GetResult { .. } | StoreRpc::InsertAck { .. } => {}
+            StoreRpc::PutAck { .. }
+            | StoreRpc::GetResult { .. }
+            | StoreRpc::DeleteAck { .. }
+            | StoreRpc::InsertAck { .. } => {}
         }
     }
 

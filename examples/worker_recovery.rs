@@ -33,10 +33,7 @@ fn scenario(mode: Option<CheckpointMode>, crash: bool) -> Scenario {
         SEED,
     );
     if let Some(mode) = mode {
-        sc.with_checkpointing(CheckpointCfg {
-            interval: SimDuration::from_secs(1),
-            mode,
-        });
+        sc.with_checkpointing(CheckpointCfg::new(SimDuration::from_secs(1), mode));
     }
     if crash {
         sc.faults(FaultPlan::new().crash_restart(

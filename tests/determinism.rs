@@ -42,10 +42,7 @@ fn crash_recovery_runs_reproduce_exactly() {
             SimTime::from_secs(25),
             seed,
         );
-        sc.with_checkpointing(CheckpointCfg {
-            interval: SimDuration::from_secs(1),
-            mode,
-        });
+        sc.with_checkpointing(CheckpointCfg::new(SimDuration::from_secs(1), mode));
         sc.faults(FaultPlan::new().crash_restart(
             "wordcount",
             SimTime::from_millis(3_700),
@@ -145,4 +142,65 @@ fn broker_bounce_runs_reproduce_exactly() {
             "same seed must reproduce the broker-bounce run exactly (durable_store={durable})"
         );
     }
+}
+
+/// The CI determinism gate: a fault-heavy scenario — producer stub crash,
+/// SPE worker crash, broker bounce, and a network partition, with
+/// incremental checkpointing and log compaction both on — run twice with
+/// the same seed, diffing the full run reports.
+#[test]
+fn fault_heavy_runs_reproduce_exactly() {
+    let run = |seed: u64| -> String {
+        let mut sc = recovery_scenario(
+            100,
+            SimDuration::from_millis(50),
+            SimTime::from_secs(25),
+            seed,
+        );
+        sc.with_incremental_checkpointing(
+            CheckpointCfg::exactly_once(SimDuration::from_secs(1)),
+            4,
+        );
+        sc.with_recoverable_broker();
+        sc.with_log_compaction();
+        sc.faults(
+            FaultPlan::new()
+                .crash_restart(
+                    "producer-0",
+                    SimTime::from_millis(2_000),
+                    SimDuration::from_millis(700),
+                )
+                .crash_restart(
+                    "wordcount",
+                    SimTime::from_millis(4_300),
+                    SimDuration::from_millis(800),
+                )
+                .crash_restart_broker(
+                    0,
+                    SimTime::from_millis(9_000),
+                    SimDuration::from_millis(1_200),
+                )
+                .transient_disconnect("h5", SimTime::from_secs(13), SimDuration::from_secs(2)),
+        );
+        let result = sc.run().expect("runs");
+        // Diff the whole observable surface: producer/consumer/broker/SPE
+        // reports, the delivery matrix, and the kernel counters.
+        format!(
+            "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}",
+            result.report.producers,
+            result.report.consumers,
+            result.report.brokers,
+            result.report.spe,
+            result.delivery_matrix(0),
+            result.report.sim_stats,
+        )
+    };
+    let a = run(17);
+    let b = run(17);
+    assert_eq!(a, b, "same seed must reproduce the fault-heavy run exactly");
+    assert_ne!(
+        a,
+        run(18),
+        "a different seed must shift the fault-heavy run"
+    );
 }

@@ -3,8 +3,8 @@
 //! `s2g-bench` (`cargo run --release -p s2g-bench --bin figures`).
 
 use s2g_bench::{
-    broker_recovery_sweep, fig5_sweep, fig6_run, fig7a_sweep, fig7b_sweep, fig8_sweep, fig9_sweep,
-    Component, Scale,
+    broker_recovery_sweep, compaction_sweep, fig5_sweep, fig6_run, fig7a_sweep, fig7b_sweep,
+    fig8_sweep, fig9_sweep, Component, Scale,
 };
 use stream2gym::broker::CoordinationMode;
 
@@ -229,5 +229,61 @@ fn broker_recovery_latency_grows_with_log_size() {
         "replay latency grows with log size: {} vs {}",
         large.replay_latency_s,
         small.replay_latency_s
+    );
+}
+
+/// Bounded recovery (`--fig compaction`): full snapshots and raw-log replay
+/// grow with history; incremental deltas and compacted replay stay
+/// sub-linear (≈ flat in live data) — the acceptance shape of the
+/// incremental-checkpoint + log-compaction subsystem.
+#[test]
+fn compaction_bounds_snapshot_bytes_and_replay() {
+    let points = compaction_sweep(&[200, 1_200], Scale::Quick, 13);
+    assert_eq!(points.len(), 2);
+    let (small, large) = (&points[0], &points[1]);
+    let history_ratio = large.history as f64 / small.history as f64; // 6x
+
+    // Baselines grow roughly linearly with history.
+    assert!(
+        large.full_snapshot_bytes as f64 >= 3.0 * small.full_snapshot_bytes as f64,
+        "full snapshots must grow with history: {} vs {}",
+        small.full_snapshot_bytes,
+        large.full_snapshot_bytes
+    );
+    assert!(
+        large.raw_replay_records > 2 * small.raw_replay_records,
+        "raw replay must grow with history: {} vs {}",
+        small.raw_replay_records,
+        large.raw_replay_records
+    );
+
+    // Bounded variants grow sub-linearly: far slower than the 6x history.
+    let delta_growth = large.delta_snapshot_bytes as f64 / small.delta_snapshot_bytes.max(1) as f64;
+    let full_growth = large.full_snapshot_bytes as f64 / small.full_snapshot_bytes.max(1) as f64;
+    assert!(
+        delta_growth < full_growth && delta_growth < history_ratio,
+        "delta bytes must grow sub-linearly: delta x{delta_growth:.2} vs full x{full_growth:.2}"
+    );
+    let compacted_growth =
+        large.compacted_replay_records as f64 / small.compacted_replay_records.max(1) as f64;
+    assert!(
+        compacted_growth < 2.0,
+        "compacted replay must stay ≈ flat in live keys: {} vs {} records",
+        small.compacted_replay_records,
+        large.compacted_replay_records
+    );
+    assert!(
+        large.compacted_replay_records < large.raw_replay_records / 4,
+        "compaction must cut replay records: {} vs {}",
+        large.compacted_replay_records,
+        large.raw_replay_records
+    );
+    assert!(
+        large.compacted_replay_s < large.raw_replay_s,
+        "compaction must cut replay latency"
+    );
+    assert!(
+        large.replay_saved_bytes > small.replay_saved_bytes,
+        "cleaning savings accumulate with history"
     );
 }
