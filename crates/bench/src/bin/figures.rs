@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! cargo run --release -p s2g-bench --bin figures -- \
-//!     [--fig 5|6|7a|7b|8|9|recovery|compaction|table2|all] [--quick|--smoke]
+//!     [--fig 5|6|7a|7b|8|9|recovery|compaction|replication|table2|all] [--quick|--smoke]
 //! ```
 //!
 //! `--quick` runs reduced parameters; `--smoke` runs the minimal CI preset
@@ -18,7 +18,7 @@ use std::path::PathBuf;
 use s2g_bench::experiments::table2_inventory;
 use s2g_bench::{
     broker_recovery_sweep, compaction_sweep, fig5_sweep, fig6_run, fig7a_sweep, fig7b_sweep,
-    fig8_sweep, fig9_sweep, group_by_component, Component, Scale,
+    fig8_sweep, fig9_sweep, group_by_component, store_replication_sweep, Component, Scale,
 };
 use s2g_broker::CoordinationMode;
 use s2g_core::{ascii_chart, ascii_matrix, ascii_table, cdf, csv_series};
@@ -443,6 +443,66 @@ fn compaction(scale: Scale) {
     );
 }
 
+fn replication(scale: Scale) {
+    println!("\n#### Store replication: checkpoint latency & unavailability vs factor ####");
+    let counts: &[usize] = match scale {
+        Scale::Full => &[1, 2, 3, 5],
+        Scale::Quick => &[1, 3],
+        Scale::Smoke => &[1, 3],
+    };
+    let points = store_replication_sweep(counts, scale, 21);
+    let latency_ms: Vec<(f64, f64)> = points
+        .iter()
+        .map(|p| (p.replicas as f64, p.checkpoint_latency_s * 1_000.0))
+        .collect();
+    let unavail: Vec<(f64, f64)> = points
+        .iter()
+        .map(|p| (p.replicas as f64, p.unavailability_s))
+        .collect();
+    println!(
+        "{}",
+        ascii_chart(
+            "checkpoint latency vs replication factor",
+            &[("latency (ms)", &latency_ms)],
+            56,
+            12,
+            "store replicas",
+            "ms/ckpt",
+        )
+    );
+    println!(
+        "{}",
+        ascii_chart(
+            "durability unavailability around a store-primary crash",
+            &[("unavailability (s)", &unavail)],
+            56,
+            12,
+            "store replicas",
+            "seconds",
+        )
+    );
+    for p in &points {
+        println!(
+            "  {:>2} replicas | {:>3} ckpts | {:>8.3} ms/ckpt | unavailable {:>7.3}s | resync {:>5} ops",
+            p.replicas,
+            p.checkpoints,
+            p.checkpoint_latency_s * 1_000.0,
+            p.unavailability_s,
+            p.resync_ops,
+        );
+    }
+    write_csv(
+        "replication.csv",
+        &csv_series(
+            "replicas",
+            &[
+                ("checkpoint_latency_ms", &latency_ms),
+                ("unavailability_s", &unavail),
+            ],
+        ),
+    );
+}
+
 fn table2() {
     println!("\n#### Table II: example applications ####");
     let rows: Vec<Vec<String>> = table2_inventory()
@@ -486,6 +546,7 @@ fn main() {
         "9" => fig9(scale),
         "recovery" => recovery(scale),
         "compaction" => compaction(scale),
+        "replication" => replication(scale),
         "table2" => table2(),
         "all" => {
             table2();
@@ -497,9 +558,12 @@ fn main() {
             fig9(scale);
             recovery(scale);
             compaction(scale);
+            replication(scale);
         }
         other => {
-            eprintln!("unknown figure `{other}`; use 5|6|7a|7b|8|9|recovery|compaction|table2|all");
+            eprintln!(
+                "unknown figure `{other}`; use 5|6|7a|7b|8|9|recovery|compaction|replication|table2|all"
+            );
             std::process::exit(2);
         }
     }

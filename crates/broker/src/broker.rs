@@ -205,6 +205,57 @@ enum Role {
     Follower(FollowerState),
 }
 
+/// Transaction bookkeeping for one partition: open transactions (their
+/// records are withheld from read-committed consumers) and aborted offset
+/// ranges (skipped forever). Persisted in the meta blob so isolation
+/// survives a broker bounce.
+#[derive(Debug, Default, Clone)]
+struct PartitionTxns {
+    /// `(producer, txn)` → `(first, end, producer_epoch)` offset range
+    /// staged so far, tagged with the staging incarnation's epoch so a
+    /// recover from a newer incarnation can fence older leftovers without
+    /// ever touching its own transactions.
+    ongoing: BTreeMap<(u32, u64), (u64, u64, u32)>,
+    /// Aborted `[start, end)` offset ranges.
+    aborted: Vec<(u64, u64)>,
+}
+
+impl PartitionTxns {
+    /// The last stable offset: no record at or above it belongs to an open
+    /// transaction. `None` when no transaction is open.
+    fn lso(&self) -> Option<u64> {
+        self.ongoing.values().map(|(first, _, _)| *first).min()
+    }
+
+    fn is_aborted(&self, offset: u64) -> bool {
+        // `aborted` is kept sorted and merged, so a binary search suffices.
+        let i = self.aborted.partition_point(|(s, _)| *s <= offset);
+        i > 0 && offset < self.aborted[i - 1].1
+    }
+
+    /// Inserts an aborted `[start, end)` range, keeping the list sorted and
+    /// coalescing overlapping/adjacent ranges so fetch-path lookups stay
+    /// logarithmic and the meta blob stays small.
+    fn add_aborted(&mut self, start: u64, end: u64) {
+        let i = self.aborted.partition_point(|(s, _)| *s < start);
+        self.aborted.insert(i, (start, end));
+        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(self.aborted.len());
+        for &(s, e) in &self.aborted {
+            match merged.last_mut() {
+                Some(last) if s <= last.1 => last.1 = last.1.max(e),
+                _ => merged.push((s, e)),
+            }
+        }
+        self.aborted = merged;
+    }
+
+    /// Drops aborted ranges wholly below the retention-advanced log start:
+    /// their records no longer exist, so nothing can fetch them.
+    fn prune_aborted_below(&mut self, log_start: u64) {
+        self.aborted.retain(|(_, e)| *e > log_start);
+    }
+}
+
 /// Counters exposed for tests and monitoring.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct BrokerStats {
@@ -251,6 +302,11 @@ pub struct BrokerStats {
     pub segments_retired: u64,
     /// Record bytes reclaimed by retention.
     pub retired_bytes: u64,
+    /// Transactions committed (markers flipped to visible).
+    pub txns_committed: u64,
+    /// Transactions aborted (their records hidden from read-committed
+    /// consumers forever).
+    pub txns_aborted: u64,
 }
 
 /// A message broker process (the Kafka-broker stand-in).
@@ -272,6 +328,8 @@ pub struct Broker {
     /// while a respawned client (bumped epoch, sequence restarting at zero)
     /// is accepted as fresh.
     last_producer_seq: BTreeMap<(TopicPartition, u32), (u32, u64)>,
+    /// Per-partition transaction markers (transactional sinks).
+    txns: BTreeMap<TopicPartition, PartitionTxns>,
     roles: BTreeMap<TopicPartition, Role>,
     known_epoch: HashMap<TopicPartition, LeaderEpoch>,
     metadata: MetadataCache,
@@ -332,6 +390,7 @@ impl Broker {
             logs: BTreeMap::new(),
             group_offsets: BTreeMap::new(),
             last_producer_seq: BTreeMap::new(),
+            txns: BTreeMap::new(),
             roles: BTreeMap::new(),
             known_epoch: HashMap::new(),
             metadata: MetadataCache::new(),
@@ -603,6 +662,7 @@ impl Broker {
                 tp,
                 batch,
                 acks,
+                txn,
             } => {
                 self.stats.produces += 1;
                 if self.is_fenced(now) {
@@ -665,12 +725,43 @@ impl Broker {
                     Some(Role::Leader(ls)) => ls.epoch,
                     _ => unreachable!("checked leader above"),
                 };
+                let producer_of_batch = fresh.first().map(|r| (r.producer.0, r.producer_epoch));
                 let log = Self::log_mut(&mut self.logs, &self.cfg, &tp);
                 let base = log.append_batch(epoch, fresh);
                 self.retained_bytes += bytes;
                 self.update_mem();
                 self.stats.records_appended += n as u64;
                 let end = Offset(base.value() + n as u64);
+                // A transactional batch stays invisible to read-committed
+                // consumers until its EndTxn marker: record (or extend) the
+                // open transaction's staged offset range. A leftover entry
+                // from an older producer epoch (the crashed incarnation
+                // reused the txn sequence) is fenced — its range aborts and
+                // the fresh epoch starts a new one.
+                if let (Some(t), Some((pid, rec_epoch)), true) = (txn, producer_of_batch, n > 0) {
+                    let ptx = self.txns.entry(tp.clone()).or_default();
+                    let key = (pid, t);
+                    match ptx.ongoing.get(&key).copied() {
+                        Some((f, l, e)) if e == rec_epoch => {
+                            ptx.ongoing.insert(key, (f, l.max(end.value()), e));
+                        }
+                        Some((f, l, _)) => {
+                            ptx.ongoing
+                                .insert(key, (base.value(), end.value(), rec_epoch));
+                            if l > f {
+                                ptx.add_aborted(f, l);
+                            }
+                            self.stats.txns_aborted += 1;
+                        }
+                        None => {
+                            ptx.ongoing
+                                .insert(key, (base.value(), end.value(), rec_epoch));
+                        }
+                    }
+                    if let Some(d) = &mut self.durability {
+                        d.dirty = true;
+                    }
+                }
                 let need = match acks {
                     AckMode::All => end,
                     AckMode::Leader => Offset::ZERO,
@@ -725,6 +816,7 @@ impl Broker {
                 tp,
                 offset,
                 max_records,
+                read_committed,
             } => {
                 self.stats.fetches += 1;
                 let (batch, hw, next, error) = if self.is_fenced(now) {
@@ -733,9 +825,21 @@ impl Broker {
                 } else {
                     match self.roles.get(&tp) {
                         Some(Role::Leader(_)) => {
+                            let txns = self.txns.get(&tp);
                             let log = Self::log_mut(&mut self.logs, &self.cfg, &tp);
                             let hw = log.high_watermark();
                             let start = log.log_start();
+                            // Read-committed isolation caps the read at the
+                            // last stable offset: nothing of an open
+                            // transaction leaks out before its marker flips.
+                            let visible_end = if read_committed {
+                                txns.and_then(PartitionTxns::lso)
+                                    .map(Offset)
+                                    .unwrap_or(hw)
+                                    .min(hw)
+                            } else {
+                                hw
+                            };
                             if offset < start {
                                 // Retention dropped the requested range:
                                 // reset the reader to the earliest record.
@@ -743,20 +847,43 @@ impl Broker {
                             } else if offset > hw {
                                 (RecordBatch::new(), hw, hw, ErrorCode::OffsetOutOfRange)
                             } else {
-                                let entries = log.read_entries(
+                                let scanned = log.read_entries(
                                     offset,
                                     max_records.min(self.cfg.fetch_max_records),
                                     true,
                                 );
-                                // Advance past the last served record — or,
-                                // on an empty read below the watermark,
-                                // over a fully compacted tail hole.
-                                let next = entries
+                                let scanned: Vec<_> = scanned
+                                    .into_iter()
+                                    .filter(|e| e.offset < visible_end)
+                                    .collect();
+                                // Aborted transactions' records are holes to
+                                // a read-committed reader, exactly like
+                                // compacted entries.
+                                let served: Vec<_> = scanned
+                                    .iter()
+                                    .filter(|e| {
+                                        !read_committed
+                                            || !txns.is_some_and(|t| t.is_aborted(e.offset.value()))
+                                    })
+                                    .collect();
+                                // Advance past the last scanned record (so
+                                // aborted suffixes are skipped), or, on an
+                                // empty read below the visible end, over a
+                                // fully compacted tail hole. A reader parked
+                                // at the LSO simply re-polls.
+                                let next = served
                                     .last()
                                     .map(|e| Offset(e.offset.value() + 1))
-                                    .unwrap_or(if offset < hw { hw } else { offset });
+                                    .or_else(|| {
+                                        scanned.last().map(|e| Offset(e.offset.value() + 1))
+                                    })
+                                    .unwrap_or(if offset < visible_end {
+                                        visible_end
+                                    } else {
+                                        offset
+                                    });
                                 let recs: Vec<Record> =
-                                    entries.iter().map(|e| e.record.clone()).collect();
+                                    served.iter().map(|e| e.record.clone()).collect();
                                 (RecordBatch::from_records(recs), hw, next, ErrorCode::None)
                             }
                         }
@@ -844,12 +971,100 @@ impl Broker {
                     OutMsg::Client(ClientRpc::OffsetFetchResponse { corr, offsets }),
                 );
             }
+            ClientRpc::EndTxn {
+                corr,
+                producer,
+                txn,
+                commit,
+            } => {
+                let error = if self.is_fenced(now) {
+                    self.stats.rejected_fenced += 1;
+                    ErrorCode::Fenced
+                } else {
+                    self.resolve_txns(ctx, producer.0, |t| t == txn, None, commit);
+                    ErrorCode::None
+                };
+                let cost = self.cfg.cpu_per_request;
+                self.respond_after_cpu(
+                    ctx,
+                    cost,
+                    from,
+                    OutMsg::Client(ClientRpc::EndTxnResponse { corr, error }),
+                );
+            }
+            ClientRpc::TxnRecover {
+                corr,
+                producer,
+                commit_upto,
+                epoch,
+            } => {
+                // Roll forward every prepared transaction of the crashed
+                // incarnation, abort the rest: replay re-stages them. Only
+                // pre-`epoch` transactions are touched, so a retried or
+                // delayed recover never aborts the new incarnation's own
+                // staged output.
+                self.resolve_txns(ctx, producer.0, |t| t <= commit_upto, Some(epoch), true);
+                self.resolve_txns(ctx, producer.0, |t| t > commit_upto, Some(epoch), false);
+                let cost = self.cfg.cpu_per_request;
+                self.respond_after_cpu(
+                    ctx,
+                    cost,
+                    from,
+                    OutMsg::Client(ClientRpc::TxnRecoverResponse { corr }),
+                );
+            }
             // Responses are not expected here; brokers only serve.
             ClientRpc::ProduceResponse { .. }
             | ClientRpc::FetchResponse { .. }
             | ClientRpc::MetadataResponse { .. }
             | ClientRpc::OffsetCommitResponse { .. }
-            | ClientRpc::OffsetFetchResponse { .. } => {}
+            | ClientRpc::OffsetFetchResponse { .. }
+            | ClientRpc::EndTxnResponse { .. }
+            | ClientRpc::TxnRecoverResponse { .. } => {}
+        }
+    }
+
+    /// Resolves every open transaction of `producer` whose sequence matches
+    /// `which` — and, when `below_epoch` is set, whose staging producer
+    /// epoch is older than it (the fencing rule) — committing or aborting,
+    /// across all hosted partitions. The updated marker state rides the
+    /// next meta flush.
+    fn resolve_txns(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        producer: u32,
+        which: impl Fn(u64) -> bool,
+        below_epoch: Option<u32>,
+        commit: bool,
+    ) {
+        let mut changed = false;
+        for ptx in self.txns.values_mut() {
+            let keys: Vec<(u32, u64)> = ptx
+                .ongoing
+                .iter()
+                .filter(|((p, t), (_, _, e))| {
+                    *p == producer && which(*t) && below_epoch.is_none_or(|fence| *e < fence)
+                })
+                .map(|(k, _)| *k)
+                .collect();
+            for k in keys {
+                let (first, end, _) = ptx.ongoing.remove(&k).expect("just listed");
+                changed = true;
+                if commit {
+                    self.stats.txns_committed += 1;
+                } else {
+                    self.stats.txns_aborted += 1;
+                    if end > first {
+                        ptx.add_aborted(first, end);
+                    }
+                }
+            }
+        }
+        if changed {
+            if let Some(d) = &mut self.durability {
+                d.dirty = true;
+            }
+            self.flush_logs(ctx);
         }
     }
 
@@ -1192,10 +1407,24 @@ impl Broker {
             .iter()
             .map(|((g, tp), off)| (g.clone(), tp.clone(), *off))
             .collect();
+        let txns = self
+            .txns
+            .iter()
+            .filter(|(_, t)| !t.ongoing.is_empty() || !t.aborted.is_empty())
+            .map(|(tp, t)| {
+                let ongoing = t
+                    .ongoing
+                    .iter()
+                    .map(|((p, x), (first, end, e))| (*p, *x, *first, *end, *e))
+                    .collect();
+                (tp.clone(), ongoing, t.aborted.clone())
+            })
+            .collect();
         BrokerLogMeta {
             partitions,
             group_offsets,
             reclaimed_bytes: self.reclaimed_bytes(),
+            txns,
         }
     }
 
@@ -1236,6 +1465,14 @@ impl Broker {
             }
             total.merge(retained);
             total.merge(compacted);
+        }
+        // Aborted ranges wholly below the advanced log starts reference
+        // vanished records; drop them so the list (and the meta blob) stays
+        // bounded by live history.
+        for (tp, ptx) in self.txns.iter_mut() {
+            if let Some(log) = self.logs.get(tp) {
+                ptx.prune_aborted_below(log.log_start().value());
+            }
         }
         if total.is_noop() {
             return;
@@ -1482,6 +1719,13 @@ impl Broker {
                 for (group, tp, off) in meta.group_offsets {
                     self.group_offsets.insert((group, tp), off);
                 }
+                for (tp, ongoing, aborted) in meta.txns {
+                    let ptx = self.txns.entry(tp).or_default();
+                    for (p, x, first, end, e) in ongoing {
+                        ptx.ongoing.insert((p, x), (first, end, e));
+                    }
+                    ptx.aborted = aborted;
+                }
             }
         }
         // Rebuild idempotent-producer dedup state from the replayed logs so
@@ -1558,6 +1802,9 @@ impl Broker {
         if d.pending.is_empty() {
             return;
         }
+        // The store endpoint may be the reason nothing answered: a backend
+        // over a replicated store group rotates to the next member first.
+        d.backend.rotate_endpoint();
         let items: Vec<DurabilityIo> = std::mem::take(&mut d.pending).into_values().collect();
         for io in items {
             match io {

@@ -192,6 +192,11 @@ pub struct ConsumerConfig {
     /// [`SimDuration::ZERO`] disables periodic commits; an embedding
     /// checkpoint coordinator then owns the commit schedule.
     pub auto_commit_interval: SimDuration,
+    /// Read-committed isolation (Kafka's `isolation.level`): fetches are
+    /// capped at the partition's last stable offset and records of aborted
+    /// transactions are skipped — required to observe a transactional
+    /// sink's exactly-once output.
+    pub read_committed: bool,
 }
 
 impl Default for ConsumerConfig {
@@ -205,6 +210,7 @@ impl Default for ConsumerConfig {
             startup_cpu: SimDuration::from_millis(300),
             group: None,
             auto_commit_interval: SimDuration::ZERO,
+            read_committed: false,
         }
     }
 }

@@ -306,6 +306,7 @@ impl ConsumerClient {
                 tp: tp.clone(),
                 offset,
                 max_records: self.cfg.max_poll_records,
+                read_committed: self.cfg.read_committed,
             },
         );
         self.stats.fetches += 1;

@@ -76,8 +76,8 @@ pub use controller::{ClusterState, PartitionState, ZkController};
 pub use kraft::KraftController;
 pub use log::{
     log_store, BrokerLogMeta, CleanOutcome, DurableLogBackend, InMemoryLogBackend, LogBackend,
-    LogEntry, LogPersist, LogRecover, LogSegment, LogStoreHandle, PartitionLog,
-    BROKER_LOG_CORR_BASE, DEFAULT_SEGMENT_MAX_RECORDS,
+    LogEntry, LogPersist, LogRecover, LogSegment, LogStoreHandle, MetaPartitionTxns, MetaTxnEntry,
+    PartitionLog, BROKER_LOG_CORR_BASE, DEFAULT_SEGMENT_MAX_RECORDS,
 };
 pub use metadata::{plan_assignments, MetadataCache};
 pub use producer::{

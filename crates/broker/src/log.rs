@@ -168,7 +168,12 @@ impl LogSegment {
         put_u8(&mut out, SEGMENT_CODEC_VERSION);
         put_u64(&mut out, self.base);
         put_u64(&mut out, self.end);
-        put_u32(&mut out, self.entries.len() as u32);
+        // A silent `as u32` here would truncate an oversized segment's
+        // count and corrupt every replay of it; fail loudly instead.
+        put_u32(
+            &mut out,
+            u32::try_from(self.entries.len()).expect("segment entry count fits u32"),
+        );
         if self.enc.is_empty() && !self.entries.is_empty() {
             for e in &self.entries {
                 encode_entry(&mut out, e);
@@ -375,9 +380,12 @@ impl PartitionLog {
         }
         // Sealed segments shed their flush encodings; only the active tail
         // keeps one (encode() falls back to re-serialization when absent).
-        let n = segments.len();
-        for seg in &mut segments[..n - 1] {
-            seg.enc = Vec::new();
+        // `split_last_mut` keeps this total even for a single (or, should
+        // an invariant ever break, zero) recovered segment.
+        if let Some((_, sealed)) = segments.split_last_mut() {
+            for seg in sealed {
+                seg.enc = Vec::new();
+            }
         }
         let retained_bytes = segments.iter().map(LogSegment::bytes).sum();
         let end = segments.last().map(|s| s.end_offset()).unwrap_or_default();
@@ -578,7 +586,11 @@ impl PartitionLog {
     /// the divergence-reconciliation step a rejoining follower performs, and
     /// the source of silent loss under ZooKeeper-mode coordination.
     pub fn truncate_to(&mut self, to: Offset) -> usize {
-        let to = to.value();
+        // Never truncate below the log start: retention already dropped
+        // everything before it, and regressing the log end past the start
+        // would leave an inverted `[start, end)` range that later reads and
+        // appends mis-handle.
+        let to = to.value().max(self.log_start.value());
         if to >= self.log_end().value() {
             return 0;
         }
@@ -807,24 +819,43 @@ pub struct BrokerLogMeta {
     /// Cumulative bytes reclaimed by compaction + retention across all
     /// partitions — the replay bytes a restarted broker is spared.
     pub reclaimed_bytes: u64,
+    /// Per-partition transaction state: open transactions as
+    /// `(producer, txn, first_offset, end_offset, producer_epoch)` and
+    /// aborted offset ranges as `[start, end)` pairs — so read-committed
+    /// isolation survives a broker bounce.
+    pub txns: Vec<MetaPartitionTxns>,
+}
+
+/// One open transaction in the meta blob:
+/// `(producer, txn, first_offset, end_offset, producer_epoch)`.
+pub type MetaTxnEntry = (u32, u64, u64, u64, u32);
+
+/// One partition's persisted transaction state: the partition, its open
+/// transactions, and its aborted `[start, end)` offset ranges.
+pub type MetaPartitionTxns = (TopicPartition, Vec<MetaTxnEntry>, Vec<(u64, u64)>);
+
+/// Encodes a length header, failing loudly if it does not fit `u32` —
+/// a silent `as u32` truncation here would corrupt every replay.
+fn put_len(out: &mut Vec<u8>, len: usize) {
+    put_u32(out, u32::try_from(len).expect("collection length fits u32"));
 }
 
 impl BrokerLogMeta {
     /// Serializes the meta blob.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::new();
-        put_u32(&mut out, self.partitions.len() as u32);
+        put_len(&mut out, self.partitions.len());
         for (tp, hw, start, bases) in &self.partitions {
             put_str(&mut out, &tp.topic);
             put_u32(&mut out, tp.partition);
             put_u64(&mut out, hw.value());
             put_u64(&mut out, start.value());
-            put_u32(&mut out, bases.len() as u32);
+            put_len(&mut out, bases.len());
             for b in bases {
                 put_u64(&mut out, *b);
             }
         }
-        put_u32(&mut out, self.group_offsets.len() as u32);
+        put_len(&mut out, self.group_offsets.len());
         for (group, tp, off) in &self.group_offsets {
             put_str(&mut out, group);
             put_str(&mut out, &tp.topic);
@@ -832,6 +863,24 @@ impl BrokerLogMeta {
             put_u64(&mut out, off.value());
         }
         put_u64(&mut out, self.reclaimed_bytes);
+        put_len(&mut out, self.txns.len());
+        for (tp, ongoing, aborted) in &self.txns {
+            put_str(&mut out, &tp.topic);
+            put_u32(&mut out, tp.partition);
+            put_len(&mut out, ongoing.len());
+            for (producer, txn, first, end, epoch) in ongoing {
+                put_u32(&mut out, *producer);
+                put_u64(&mut out, *txn);
+                put_u64(&mut out, *first);
+                put_u64(&mut out, *end);
+                put_u32(&mut out, *epoch);
+            }
+            put_len(&mut out, aborted.len());
+            for (s, e) in aborted {
+                put_u64(&mut out, *s);
+                put_u64(&mut out, *e);
+            }
+        }
         out
     }
 
@@ -863,10 +912,35 @@ impl BrokerLogMeta {
             group_offsets.push((group, TopicPartition::new(topic, partition), off));
         }
         let reclaimed_bytes = cur.u64()?;
+        let nt = cur.u32()? as usize;
+        let mut txns = Vec::with_capacity(nt);
+        for _ in 0..nt {
+            let topic = cur.str()?;
+            let partition = cur.u32()?;
+            let no = cur.u32()? as usize;
+            let mut ongoing = Vec::with_capacity(no);
+            for _ in 0..no {
+                let producer = cur.u32()?;
+                let txn = cur.u64()?;
+                let first = cur.u64()?;
+                let end = cur.u64()?;
+                let epoch = cur.u32()?;
+                ongoing.push((producer, txn, first, end, epoch));
+            }
+            let na = cur.u32()? as usize;
+            let mut aborted = Vec::with_capacity(na);
+            for _ in 0..na {
+                let s = cur.u64()?;
+                let e = cur.u64()?;
+                aborted.push((s, e));
+            }
+            txns.push((TopicPartition::new(topic, partition), ongoing, aborted));
+        }
         Some(BrokerLogMeta {
             partitions,
             group_offsets,
             reclaimed_bytes,
+            txns,
         })
     }
 }
@@ -925,6 +999,11 @@ pub trait LogBackend {
     /// orphans a blob the manifest no longer references, so nothing waits
     /// on the ack.
     fn remove(&mut self, ctx: &mut Ctx<'_>, key: &str);
+
+    /// Called right before the broker re-issues unanswered RPCs: a backend
+    /// over a replicated store group rotates to its next endpoint (the
+    /// current one may have crashed). Default: no-op.
+    fn rotate_endpoint(&mut self) {}
 }
 
 /// Log persistence on a shared map outside the broker's failure domain:
@@ -977,8 +1056,19 @@ impl DurableLogBackend {
     /// process's incarnation, so a store reply delayed across a broker
     /// bounce can never collide with the respawned incarnation's requests.
     pub fn for_incarnation(server: ProcessId, incarnation: u64) -> Self {
+        Self::replicated(vec![server], incarnation)
+    }
+
+    /// Creates a backend over every member of a replicated store group;
+    /// unanswered flushes rotate to the next member on retry, so the broker
+    /// log survives a store crash.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers` is empty.
+    pub fn replicated(servers: Vec<ProcessId>, incarnation: u64) -> Self {
         DurableLogBackend {
-            blobs: BlobClient::for_incarnation(server, BROKER_LOG_CORR_BASE, incarnation),
+            blobs: BlobClient::replicated(servers, BROKER_LOG_CORR_BASE, incarnation),
         }
     }
 }
@@ -998,6 +1088,10 @@ impl LogBackend for DurableLogBackend {
 
     fn remove(&mut self, ctx: &mut Ctx<'_>, key: &str) {
         let _ = self.blobs.delete(ctx, key);
+    }
+
+    fn rotate_endpoint(&mut self) {
+        self.blobs.rotate();
     }
 }
 
@@ -1205,6 +1299,11 @@ mod tests {
             ],
             group_offsets: vec![("g1".into(), TopicPartition::new("ta", 0), Offset(5))],
             reclaimed_bytes: 4096,
+            txns: vec![(
+                TopicPartition::new("ta", 0),
+                vec![(7, 3, 10, 14, 1)],
+                vec![(2, 5)],
+            )],
         };
         let back = BrokerLogMeta::decode(&meta.encode()).expect("round trip");
         assert_eq!(back, meta);
@@ -1420,6 +1519,104 @@ mod tests {
         assert!(!out.dropped_segment_bases.is_empty());
         assert!(log.retained_bytes() <= cap);
         assert!(log.log_start() > Offset::ZERO);
+    }
+
+    #[test]
+    fn fetch_at_exact_log_start_after_retention() {
+        // Retention advanced the log start; a fetch at exactly that offset
+        // must serve the first retained record, and one below it must serve
+        // from the start without panicking — including when only the single
+        // active segment remains.
+        let mut log = PartitionLog::with_segment_max(2);
+        for i in 0..6u64 {
+            log.append(
+                LeaderEpoch(0),
+                Record::keyless(i.to_string(), SimTime::from_secs(i)),
+            );
+        }
+        log.advance_high_watermark(Offset(6));
+        log.apply_retention(
+            SimTime::from_secs(100),
+            Some(SimDuration::from_secs(50)),
+            None,
+        );
+        assert_eq!(log.log_start(), Offset(4));
+        assert_eq!(log.segment_count(), 1, "only the active segment remains");
+        let at_start = log.read_entries(Offset(4), 10, true);
+        assert_eq!(at_start.len(), 2);
+        assert_eq!(at_start[0].offset, Offset(4));
+        // Below the start: the log serves what it has (the broker layer
+        // turns this into an OffsetOutOfRange reset).
+        let below = log.read_entries(Offset(0), 10, true);
+        assert_eq!(below.first().map(|e| e.offset), Some(Offset(4)));
+        // At the end: empty, no panic.
+        assert!(log.read_entries(Offset(6), 10, true).is_empty());
+    }
+
+    #[test]
+    fn compact_then_fetch_first_offset() {
+        // Compaction empties and drops the first sealed segment; a fetch at
+        // offset 0 must skip the hole and serve the survivors.
+        let mut log = PartitionLog::with_segment_max(2);
+        log.append(LeaderEpoch(0), keyed("k", "v1", 1)); // 0
+        log.append(LeaderEpoch(0), keyed("k", "v2", 2)); // 1
+        log.append(LeaderEpoch(0), keyed("k", "v3", 3)); // 2
+        log.append(LeaderEpoch(0), keyed("k", "v4", 4)); // 3
+        log.append(LeaderEpoch(0), keyed("k", "v5", 5)); // 4 (active)
+        log.advance_high_watermark(Offset(5));
+        let out = log.compact();
+        assert!(out.dropped_segment_bases.contains(&0), "segment 0 emptied");
+        let from_zero = log.read_entries(Offset(0), 10, true);
+        assert!(!from_zero.is_empty(), "fetch at 0 skips the dropped prefix");
+        assert!(from_zero[0].offset > Offset(0));
+        // Recovery of the compacted shape keeps serving the same offsets.
+        let bases: Vec<u64> = log.segments().iter().map(|s| s.base).collect();
+        let segments: Vec<LogSegment> = log
+            .segments()
+            .iter()
+            .map(|s| LogSegment::decode(&s.encode()).expect("decodes"))
+            .collect();
+        let rebuilt = PartitionLog::from_recovered_segments(
+            segments,
+            log.high_watermark(),
+            log.log_start(),
+            &bases,
+            2,
+        );
+        let a: Vec<u64> = from_zero.iter().map(|e| e.offset.value()).collect();
+        let b: Vec<u64> = rebuilt
+            .read_entries(Offset(0), 10, true)
+            .iter()
+            .map(|e| e.offset.value())
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn truncation_below_log_start_is_clamped() {
+        // After retention advances the start, a divergence truncation that
+        // asks for an offset below it must clamp instead of regressing the
+        // log end below the log start.
+        let mut log = PartitionLog::with_segment_max(2);
+        for i in 0..6u64 {
+            log.append(
+                LeaderEpoch(0),
+                Record::keyless(i.to_string(), SimTime::from_secs(i)),
+            );
+        }
+        log.advance_high_watermark(Offset(6));
+        log.apply_retention(
+            SimTime::from_secs(100),
+            Some(SimDuration::from_secs(50)),
+            None,
+        );
+        assert_eq!(log.log_start(), Offset(4));
+        let n = log.truncate_to(Offset(1));
+        assert_eq!(n, 2, "only the retained suffix is dropped");
+        assert_eq!(log.log_end(), Offset(4), "end clamps at the log start");
+        assert!(log.log_end() >= log.log_start(), "range never inverts");
+        // Appends continue at the clamped end.
+        assert_eq!(log.append(LeaderEpoch(1), rec("z")), Offset(4));
     }
 
     #[test]

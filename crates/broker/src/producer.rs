@@ -39,6 +39,7 @@ mod off {
     pub const RETRY_PUMP: u64 = 1;
     pub const META_TIMEOUT: u64 = 2;
     pub const NOOP_CPU: u64 = 3;
+    pub const TXN_RETRY: u64 = 4;
     pub const LINGER_BASE: u64 = 1_000;
     pub const REQ_TIMEOUT_BASE: u64 = 1_000_000;
 }
@@ -114,6 +115,25 @@ struct ReadyBatch {
     bytes: usize,
     created: SimTime,
     attempts: u32,
+    /// The open transaction the batch belongs to, captured at flush time.
+    txn: Option<u64>,
+}
+
+/// One outstanding transaction-control RPC (EndTxn / TxnRecover), kept so a
+/// lost request or response can be re-sent — a lost commit marker would
+/// otherwise park read-committed consumers at the stale LSO forever.
+#[derive(Debug, Clone, Copy)]
+enum TxnCtl {
+    End {
+        broker: ProcessId,
+        txn: u64,
+        commit: bool,
+    },
+    Recover {
+        broker: ProcessId,
+        commit_upto: u64,
+        epoch: u32,
+    },
 }
 
 #[derive(Debug)]
@@ -152,6 +172,17 @@ pub struct ProducerClient {
     outcomes: Vec<ProduceOutcome>,
     sent_index: Vec<(String, u64, SimTime)>,
     mem: Option<(LedgerHandle, MemSlot)>,
+    /// The open transaction stamped on produced batches, when transactional.
+    txn: Option<u64>,
+    /// Records handed to the buffer per transaction.
+    txn_sent: BTreeMap<u64, u64>,
+    /// Records *acknowledged* per transaction. Failed (delivery-timeout)
+    /// records deliberately do not count: a transaction whose staged batch
+    /// did not fully reach the broker must never look committable — the
+    /// checkpoint stalls instead of committing a hole into the sink.
+    txn_done: BTreeMap<u64, u64>,
+    /// Outstanding EndTxn/TxnRecover RPCs by correlation id.
+    txn_ctl: HashMap<u64, TxnCtl>,
 }
 
 impl ProducerClient {
@@ -193,6 +224,10 @@ impl ProducerClient {
             outcomes: Vec::new(),
             sent_index: Vec::new(),
             mem: None,
+            txn: None,
+            txn_sent: BTreeMap::new(),
+            txn_done: BTreeMap::new(),
+            txn_ctl: HashMap::new(),
         }
     }
 
@@ -211,6 +246,146 @@ impl ProducerClient {
     /// not mistaken for retries of the previous incarnation's.
     pub fn set_epoch(&mut self, epoch: u32) {
         self.epoch = epoch;
+    }
+
+    /// Opens (or closes, with `None`) the transaction stamped on produced
+    /// batches. Call [`flush_all`](Self::flush_all) first when switching
+    /// transactions so accumulating records are not carried into the new
+    /// one — a transactional sink flushes at every checkpoint capture.
+    pub fn set_transactional(&mut self, txn: Option<u64>) {
+        self.txn = txn;
+    }
+
+    /// The currently open transaction, if any.
+    pub fn current_txn(&self) -> Option<u64> {
+        self.txn
+    }
+
+    /// Records of transaction `txn` not yet acknowledged by the broker —
+    /// the commit barrier of a transactional sink. Failed records keep the
+    /// count positive forever: committing (or durably preparing) a
+    /// transaction with records missing from the log would silently break
+    /// exactly-once, so the pipeline stalls instead.
+    pub fn txn_outstanding(&self, txn: u64) -> u64 {
+        let sent = self.txn_sent.get(&txn).copied().unwrap_or(0);
+        let done = self.txn_done.get(&txn).copied().unwrap_or(0);
+        sent.saturating_sub(done)
+    }
+
+    /// True while an EndTxn/TxnRecover marker is awaiting its broker ack.
+    pub fn txn_ctl_pending(&self) -> bool {
+        !self.txn_ctl.is_empty()
+    }
+
+    /// Sends the commit (or abort) marker for `txn` to every broker; lost
+    /// markers are re-sent on the retry timer until acknowledged.
+    pub fn end_txn(&mut self, ctx: &mut Ctx<'_>, txn: u64, commit: bool) {
+        let brokers = self.broker_endpoints();
+        for broker in brokers {
+            let corr = self.next_corr();
+            self.txn_ctl.insert(
+                corr.0,
+                TxnCtl::End {
+                    broker,
+                    txn,
+                    commit,
+                },
+            );
+            ctx.send(
+                broker,
+                ClientRpc::EndTxn {
+                    corr,
+                    producer: self.id,
+                    txn,
+                    commit,
+                },
+            );
+        }
+        self.arm_txn_retry(ctx);
+    }
+
+    /// Asks every broker to resolve the transactions a crashed incarnation
+    /// of this producer left open: commit those at or below `commit_upto`
+    /// (their checkpoint is durable), abort the rest. The recover carries
+    /// this incarnation's epoch, so only older incarnations' transactions
+    /// are touched even when the RPC is delayed or retried.
+    pub fn recover_txns(&mut self, ctx: &mut Ctx<'_>, commit_upto: u64) {
+        let brokers = self.broker_endpoints();
+        let epoch = self.epoch;
+        for broker in brokers {
+            let corr = self.next_corr();
+            self.txn_ctl.insert(
+                corr.0,
+                TxnCtl::Recover {
+                    broker,
+                    commit_upto,
+                    epoch,
+                },
+            );
+            ctx.send(
+                broker,
+                ClientRpc::TxnRecover {
+                    corr,
+                    producer: self.id,
+                    commit_upto,
+                    epoch,
+                },
+            );
+        }
+        self.arm_txn_retry(ctx);
+    }
+
+    fn broker_endpoints(&self) -> Vec<ProcessId> {
+        let mut pids: Vec<(s2g_proto::BrokerId, ProcessId)> =
+            self.brokers.iter().map(|(b, p)| (*b, *p)).collect();
+        pids.sort_by_key(|(b, _)| *b);
+        pids.into_iter().map(|(_, p)| p).collect()
+    }
+
+    fn arm_txn_retry(&mut self, ctx: &mut Ctx<'_>) {
+        if !self.txn_ctl.is_empty() {
+            ctx.set_timer(self.cfg.request_timeout, PRODUCER_TAGS + off::TXN_RETRY);
+        }
+    }
+
+    fn retry_txn_ctl(&mut self, ctx: &mut Ctx<'_>) {
+        if self.txn_ctl.is_empty() {
+            return;
+        }
+        let pending: Vec<TxnCtl> = self.txn_ctl.drain().map(|(_, c)| c).collect();
+        for ctl in pending {
+            let corr = self.next_corr();
+            self.txn_ctl.insert(corr.0, ctl);
+            match ctl {
+                TxnCtl::End {
+                    broker,
+                    txn,
+                    commit,
+                } => ctx.send(
+                    broker,
+                    ClientRpc::EndTxn {
+                        corr,
+                        producer: self.id,
+                        txn,
+                        commit,
+                    },
+                ),
+                TxnCtl::Recover {
+                    broker,
+                    commit_upto,
+                    epoch,
+                } => ctx.send(
+                    broker,
+                    ClientRpc::TxnRecover {
+                        corr,
+                        producer: self.id,
+                        commit_upto,
+                        epoch,
+                    },
+                ),
+            }
+        }
+        self.arm_txn_retry(ctx);
     }
 
     /// Counters.
@@ -301,6 +476,9 @@ impl ProducerClient {
             .push((topic.to_string(), record.producer_seq, ctx.now()));
         self.next_seq += 1;
         self.stats.sent += 1;
+        if let Some(t) = self.txn {
+            *self.txn_sent.entry(t).or_insert(0) += 1;
+        }
         self.buffer_used += bytes;
         self.update_mem();
         if !self.cfg.cpu_per_record.is_zero() {
@@ -372,6 +550,7 @@ impl ProducerClient {
                 bytes,
                 created,
                 attempts: 0,
+                txn: self.txn,
             });
         self.pump(ctx);
     }
@@ -413,6 +592,7 @@ impl ProducerClient {
                     tp: tp.clone(),
                     batch: RecordBatch::from_records(batch.records.clone()),
                     acks: self.cfg.acks,
+                    txn: batch.txn,
                 },
             );
             self.corr_to_tp.insert(corr.0, tp.clone());
@@ -426,6 +606,9 @@ impl ProducerClient {
     fn complete_batch(&mut self, now: SimTime, batch: ReadyBatch, delivered: bool) {
         self.buffer_used -= batch.bytes;
         self.update_mem();
+        if let (Some(t), true) = (batch.txn, delivered) {
+            *self.txn_done.entry(t).or_insert(0) += batch.records.len() as u64;
+        }
         if delivered {
             self.stats.acked += batch.records.len() as u64;
         } else {
@@ -502,6 +685,19 @@ impl ProducerClient {
                     _ => Some(Box::new(ClientRpc::MetadataResponse { corr, partitions })),
                 }
             }
+            ClientRpc::EndTxnResponse { corr, error } => {
+                // A fenced (or otherwise failed) marker was NOT applied:
+                // keep the entry so the retry timer re-sends it, or the LSO
+                // would park read-committed consumers forever.
+                if error.is_ok() {
+                    self.txn_ctl.remove(&corr.0);
+                }
+                None
+            }
+            ClientRpc::TxnRecoverResponse { corr } => {
+                self.txn_ctl.remove(&corr.0);
+                None
+            }
             other => Some(Box::new(other)),
         }
     }
@@ -515,6 +711,8 @@ impl ProducerClient {
         let o = tag - PRODUCER_TAGS;
         if o == off::RETRY_PUMP {
             self.pump(ctx);
+        } else if o == off::TXN_RETRY {
+            self.retry_txn_ctl(ctx);
         } else if o == off::META_TIMEOUT {
             // Metadata request lost — the bootstrap may be down (broker
             // crash). Rotate to the next broker endpoint and retry; a

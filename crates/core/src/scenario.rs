@@ -296,6 +296,8 @@ pub enum ScenarioError {
     UnknownProcess(String),
     /// A broker crash/restart fault references an undeclared broker index.
     UnknownBroker(u32),
+    /// A store crash/restart fault references an undeclared replica index.
+    UnknownStoreReplica(u32),
 }
 
 impl fmt::Display for ScenarioError {
@@ -317,6 +319,13 @@ impl fmt::Display for ScenarioError {
             }
             ScenarioError::UnknownBroker(b) => {
                 write!(f, "fault plan crashes broker b{b}, which is not declared")
+            }
+            ScenarioError::UnknownStoreReplica(r) => {
+                write!(
+                    f,
+                    "fault plan crashes store replica {r}, which is not declared \
+                     (declared stores x replication factor bound the index)"
+                )
             }
         }
     }
@@ -341,6 +350,8 @@ pub struct Scenario {
     topics: Vec<TopicSpec>,
     brokers: Vec<(String, BrokerConfig)>,
     stores: Vec<(String, StoreConfig)>,
+    store_replication: usize,
+    transactional_sinks: bool,
     spe_jobs: Vec<(String, SpeJobSpec)>,
     producers: Vec<(String, SourceSpec, ProducerConfig)>,
     consumers: Vec<(String, ConsumerConfig, Vec<String>, ConsumerSinkSpec)>,
@@ -374,6 +385,8 @@ impl Scenario {
             topics: Vec::new(),
             brokers: Vec::new(),
             stores: Vec::new(),
+            store_replication: 1,
+            transactional_sinks: false,
             spe_jobs: Vec::new(),
             producers: Vec::new(),
             consumers: Vec::new(),
@@ -559,6 +572,56 @@ impl Scenario {
         self
     }
 
+    /// Replicates every declared store server across `n` replicas: the
+    /// declared host carries replica 0 (the initial primary) and replicas
+    /// `1..n` land on auto-added hosts `<host>-r<i>`. The primary
+    /// quorum-replicates every `Put`/`Delete`/`Insert` before acking — a
+    /// write is durable iff a majority applied it — and a crashed primary
+    /// fails over to the lowest surviving member after the group session
+    /// timeout, so checkpoints and durable broker logs survive any minority
+    /// of store crashes ([`FaultPlan::crash_restart_store`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use s2g_core::Scenario;
+    /// use s2g_spe::CheckpointCfg;
+    /// use s2g_sim::SimDuration;
+    /// use s2g_store::StoreConfig;
+    ///
+    /// let mut sc = Scenario::new("replicated-store");
+    /// sc.store("h6", StoreConfig::default());
+    /// sc.with_replicated_store(3);
+    /// sc.with_durable_checkpointing(
+    ///     CheckpointCfg::exactly_once(SimDuration::from_secs(1)),
+    ///     "h6",
+    /// );
+    /// ```
+    pub fn with_replicated_store(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "a store group needs at least one replica");
+        self.store_replication = n;
+        self
+    }
+
+    /// Turns every topic-sink SPE job into a checkpoint-aligned
+    /// *transactional* sink and every consumer stub into a read-committed
+    /// reader: sink output is staged under a transaction marker per
+    /// checkpoint epoch and only becomes visible once the covering
+    /// checkpoint is durable and the marker flips — end-to-end exactly-once
+    /// into the sink topic, not just state-level exactly-once. A crash
+    /// between the snapshot persist and the commit either rolls the
+    /// transaction forward (the prepare completed) or aborts it and
+    /// replays, so the committed output stream equals the fault-free run's.
+    /// Requires exactly-once checkpointing on the jobs.
+    pub fn with_transactional_sinks(&mut self) -> &mut Self {
+        self.transactional_sinks = true;
+        self
+    }
+
     /// Enables *incremental* checkpointing for every SPE job: after each
     /// full base snapshot, captures ship only the keys/windows touched
     /// since the previous capture, so snapshot bytes scale with churn
@@ -709,6 +772,20 @@ impl Scenario {
         (1..=n).map(|i| format!("ctl{i}")).collect()
     }
 
+    /// Hosts carrying one store declaration's replicas: the declared host
+    /// first, then the auto-added `-r<i>` hosts.
+    fn store_replica_hosts(&self, host: &str) -> Vec<String> {
+        (0..self.store_replication)
+            .map(|i| {
+                if i == 0 {
+                    host.to_string()
+                } else {
+                    format!("{host}-r{i}")
+                }
+            })
+            .collect()
+    }
+
     fn component_hosts(&self) -> Vec<String> {
         let mut seen = Vec::new();
         let mut push = |h: &String| {
@@ -720,7 +797,9 @@ impl Scenario {
             push(h);
         }
         for (h, _) in &self.stores {
-            push(h);
+            for rh in self.store_replica_hosts(h) {
+                push(&rh);
+            }
         }
         for (h, _) in &self.spe_jobs {
             push(h);
@@ -818,6 +897,11 @@ impl Scenario {
                     if *b as usize >= self.brokers.len() =>
                 {
                     return Err(ScenarioError::UnknownBroker(*b));
+                }
+                FaultAction::CrashStore(r) | FaultAction::RestartStore(r)
+                    if *r as usize >= self.stores.len() * self.store_replication =>
+                {
+                    return Err(ScenarioError::UnknownStoreReplica(*r));
                 }
                 _ => {}
             }
@@ -986,26 +1070,62 @@ impl Scenario {
                 .unwrap_or(broker_pids[0])
         };
 
-        // Stores.
+        // Stores. With `with_replicated_store(n)` each declaration becomes
+        // an n-member group: replica 0 on the declared host, the rest on
+        // auto-added `<host>-r<i>` hosts. `store_pids` keeps the declared
+        // host's replica-0 pid for components that address "the store on
+        // host X" directly (SPE store sinks); durability clients get the
+        // whole group and rotate through it on timeout.
+        let store_replication = self.store_replication;
         let mut store_pids: BTreeMap<String, ProcessId> = BTreeMap::new();
+        let mut store_groups: BTreeMap<String, Vec<ProcessId>> = BTreeMap::new();
+        let mut store_builds: Vec<StoreBuild> = Vec::new();
         for (host, cfg) in &self.stores {
-            let mut s = StoreServer::new(cfg.clone());
-            let slot = ledger
-                .borrow_mut()
-                .register(format!("store-{host}"), self.mem_model.store);
-            s.set_mem_slot(ledger.clone(), slot);
-            let pid = sim.spawn(Box::new(s));
-            if let Some(cpu) = cpus.get(host) {
-                sim.attach_cpu(pid, cpu.clone());
+            let replica_hosts = self.store_replica_hosts(host);
+            let mut group: Vec<ProcessId> = Vec::new();
+            for (i, rh) in replica_hosts.iter().enumerate() {
+                let mut st = StoreServer::new(cfg.clone());
+                st.set_name(format!("store-{rh}"));
+                let slot = ledger
+                    .borrow_mut()
+                    .register(format!("store-{rh}"), self.mem_model.store);
+                st.set_mem_slot(ledger.clone(), slot);
+                let pid = sim.spawn(Box::new(st));
+                if let Some(cpu) = cpus.get(rh) {
+                    sim.attach_cpu(pid, cpu.clone());
+                }
+                placements.push((pid, rh.clone()));
+                group.push(pid);
+                store_builds.push(StoreBuild {
+                    group_host: host.clone(),
+                    replica_host: rh.clone(),
+                    replica: i as u32,
+                    cfg: cfg.clone(),
+                    group: Vec::new(),
+                    index: i,
+                    slot,
+                    pid,
+                });
             }
-            placements.push((pid, host.clone()));
-            store_pids.insert(host.clone(), pid);
+            if store_replication > 1 {
+                for (i, pid) in group.iter().enumerate() {
+                    sim.process_mut::<StoreServer>(*pid)
+                        .expect("store just spawned")
+                        .set_group(group.clone(), i, false);
+                }
+            }
+            store_pids.insert(host.clone(), group[0]);
+            store_groups.insert(host.clone(), group.clone());
+            let filled = store_builds.len();
+            for b in &mut store_builds[filled - group.len()..] {
+                b.group = group.clone();
+            }
         }
 
         // Attach broker-log durability now that store pids are known. The
         // backend factory is shared with the restart path below.
         let make_log_backend = {
-            let store_pids = store_pids.clone();
+            let store_groups = store_groups.clone();
             let broker_log_store = broker_log_store.clone();
             move |spec: &BrokerDurabilitySpec, incarnation: u64| -> Box<dyn LogBackend> {
                 match spec {
@@ -1013,8 +1133,11 @@ impl Scenario {
                         Box::new(InMemoryLogBackend::new(broker_log_store.clone()))
                     }
                     BrokerDurabilitySpec::StoreOn { host } => {
-                        Box::new(DurableLogBackend::for_incarnation(
-                            *store_pids.get(host).expect("validated broker-log store"),
+                        Box::new(DurableLogBackend::replicated(
+                            store_groups
+                                .get(host)
+                                .expect("validated broker-log store")
+                                .clone(),
                             incarnation,
                         ))
                     }
@@ -1052,6 +1175,13 @@ impl Scenario {
                     cfg.checkpoint = Some(spec.cfg);
                 }
             }
+            if self.transactional_sinks {
+                // Stage topic-sink output under per-epoch transaction
+                // markers, and read upstream (possibly also transactional)
+                // topics with read-committed isolation.
+                cfg.transactional_sink = true;
+                cfg.consumer.read_committed = true;
+            }
             let slot = ledger
                 .borrow_mut()
                 .register(format!("spe-{}", job.name), self.mem_model.spe);
@@ -1074,7 +1204,7 @@ impl Scenario {
                 &ledger,
                 &checkpoint_spec,
                 &checkpoint_snapshots,
-                &store_pids,
+                &store_groups,
                 false,
             );
             let pid = sim.spawn(Box::new(w));
@@ -1124,7 +1254,12 @@ impl Scenario {
         let monitor: MonitorHandle = MonitorCore::new_handle();
         let mut consumer_pids: Vec<ProcessId> = Vec::new();
         let mut consumer_builds: Vec<ConsumerStubBuild> = Vec::new();
-        for (i, (host, cfg, topics, sink)) in self.consumers.into_iter().enumerate() {
+        for (i, (host, mut cfg, topics, sink)) in self.consumers.into_iter().enumerate() {
+            if self.transactional_sinks {
+                // Observing a transactional sink's exactly-once output
+                // requires read-committed isolation on the reader.
+                cfg.read_committed = true;
+            }
             ledger
                 .borrow_mut()
                 .register(format!("consumer-{i}"), self.mem_model.consumer);
@@ -1191,6 +1326,8 @@ impl Scenario {
         let mut corpses: BTreeMap<String, Box<dyn s2g_sim::Process>> = BTreeMap::new();
         let mut broker_crashed_at: BTreeMap<u32, SimTime> = BTreeMap::new();
         let mut broker_corpses: BTreeMap<u32, Box<dyn s2g_sim::Process>> = BTreeMap::new();
+        let mut store_crashed_at: BTreeMap<u32, SimTime> = BTreeMap::new();
+        let mut store_corpses: BTreeMap<u32, Box<dyn s2g_sim::Process>> = BTreeMap::new();
         let mut client_crashes: BTreeMap<String, ClientRecoveryReport> = BTreeMap::new();
         let mut client_corpses: BTreeMap<String, Box<dyn s2g_sim::Process>> = BTreeMap::new();
         for (at, action) in process_events {
@@ -1269,7 +1406,7 @@ impl Scenario {
                         &ledger,
                         &checkpoint_spec,
                         &checkpoint_snapshots,
-                        &store_pids,
+                        &store_groups,
                         true,
                     );
                     w.mark_restarted();
@@ -1286,6 +1423,32 @@ impl Scenario {
                         broker_crashed_at.insert(idx, at);
                         broker_corpses.insert(idx, corpse);
                     }
+                }
+                FaultAction::CrashStore(idx) => {
+                    let build = &store_builds[idx as usize];
+                    if let Some(corpse) = sim.kill(build.pid) {
+                        store_crashed_at.insert(idx, at);
+                        store_corpses.insert(idx, corpse);
+                    }
+                }
+                FaultAction::RestartStore(idx) => {
+                    let build = &store_builds[idx as usize];
+                    if sim.is_alive(build.pid) {
+                        continue; // restart without a preceding crash: no-op
+                    }
+                    let mut st = StoreServer::new(build.cfg.clone());
+                    st.set_name(format!("store-{}", build.replica_host));
+                    st.set_mem_slot(ledger.clone(), build.slot);
+                    if build.group.len() > 1 {
+                        // Rejoin recovering: pull the op log from a ready
+                        // member before serving again.
+                        st.set_group(build.group.clone(), build.index, true);
+                    }
+                    sim.respawn(build.pid, Box::new(st));
+                    if let Some(cpu) = cpus.get(&build.replica_host) {
+                        sim.attach_cpu(build.pid, cpu.clone());
+                    }
+                    store_corpses.remove(&idx);
                 }
                 FaultAction::RestartBroker(idx) => {
                     let build = &mut broker_builds[idx as usize];
@@ -1384,6 +1547,33 @@ impl Scenario {
                 recovery,
             });
         }
+        let mut stores_report = Vec::new();
+        for (idx, build) in store_builds.iter().enumerate() {
+            // A crashed-and-not-restarted replica is absent from the
+            // process table; report from its corpse instead.
+            let st = sim.process_ref::<StoreServer>(build.pid).or_else(|| {
+                store_corpses
+                    .get(&(idx as u32))
+                    .and_then(|c| (c.as_ref() as &dyn std::any::Any).downcast_ref::<StoreServer>())
+            });
+            let recovery = store_crashed_at.get(&(idx as u32)).map(|t| {
+                let info = st.and_then(StoreServer::recovery_info);
+                StoreRecoveryReport {
+                    crashed_at: *t,
+                    restarted_at: info.map(|i| i.restarted_at),
+                    resynced_at: info.and_then(|i| i.resynced_at),
+                    sync_ops: info.map_or(0, |i| i.sync_ops),
+                    sync_bytes: info.map_or(0, |i| i.sync_bytes),
+                }
+            });
+            stores_report.push(StoreReport {
+                host: build.group_host.clone(),
+                replica: build.replica,
+                kv_keys: st.map_or(0, |sv| sv.kv().len() as u64),
+                is_primary: st.is_some_and(StoreServer::is_primary),
+                recovery,
+            });
+        }
         let mut spe_report = BTreeMap::new();
         for (name, pid) in &spe_pids {
             // A crashed-and-not-restarted worker is absent from the process
@@ -1414,6 +1604,7 @@ impl Scenario {
                     collected: w.collected().to_vec(),
                     mean_busy_runtime: w.mean_busy_runtime(),
                     checkpoints: w.checkpoint_stats(),
+                    checkpoint_log: w.checkpoint_persist_log(),
                     consumer_stats: w.consumer().stats(),
                     recovery,
                 },
@@ -1448,6 +1639,7 @@ impl Scenario {
             producers: producers_report,
             consumers: consumers_report,
             brokers: brokers_report,
+            stores: stores_report,
             spe: spe_report,
             mem_samples,
             peak_mem_bytes,
@@ -1466,6 +1658,7 @@ impl Scenario {
             consumer_pids,
             spe_pids,
             store_pids,
+            store_group_pids: store_groups,
             checkpoint_snapshots,
             report,
         })
@@ -1551,6 +1744,24 @@ struct BrokerBuild {
     incarnation: u64,
 }
 
+/// Everything needed to (re)build one store-group replica: a `RestartStore`
+/// respawn reuses the original wiring (pid, memory slot, config, group
+/// membership) around a fresh recovering process.
+struct StoreBuild {
+    /// The declared host (names the group).
+    group_host: String,
+    /// The host this replica runs on (`<host>` or `<host>-r<i>`).
+    replica_host: String,
+    /// Member index within the group.
+    replica: u32,
+    cfg: StoreConfig,
+    /// Every member's pid, in index order.
+    group: Vec<ProcessId>,
+    index: usize,
+    slot: MemSlot,
+    pid: ProcessId,
+}
+
 /// Everything needed to (re)build one SPE worker: the initial spawn and any
 /// `RestartProcess` respawn share this recipe, so a restarted worker gets
 /// the same wiring (pid, memory slot, clients) around a fresh plan.
@@ -1574,7 +1785,7 @@ fn build_spe_worker(
     ledger: &LedgerHandle,
     spec: &Option<CheckpointSpec>,
     snapshots: &SnapshotStoreHandle,
-    store_pids: &BTreeMap<String, ProcessId>,
+    store_groups: &BTreeMap<String, Vec<ProcessId>>,
     recover: bool,
 ) -> SpeWorker {
     let mut w = SpeWorker::new(
@@ -1590,10 +1801,11 @@ fn build_spe_worker(
     w.set_mem_slot(ledger.clone(), build.slot);
     if build.cfg.checkpoint.is_some() {
         let backend: Box<dyn StateBackend> = match spec.as_ref().map(|s| &s.backend) {
-            Some(CheckpointBackendSpec::StoreOn { host }) => Box::new(DurableBackend::new(
-                *store_pids
+            Some(CheckpointBackendSpec::StoreOn { host }) => Box::new(DurableBackend::replicated(
+                store_groups
                     .get(host)
-                    .expect("validated checkpoint store host"),
+                    .expect("validated checkpoint store host")
+                    .clone(),
             )),
             _ => Box::new(InMemoryBackend::new(snapshots.clone())),
         };
@@ -1706,6 +1918,53 @@ impl BrokerRecoveryReport {
     }
 }
 
+/// Per-store-replica results.
+#[derive(Debug, Clone)]
+pub struct StoreReport {
+    /// The declared store host (the group's name).
+    pub host: String,
+    /// Replica index within the group (0 = initial primary).
+    pub replica: u32,
+    /// KV keys resident at the end of the run.
+    pub kv_keys: u64,
+    /// Whether this replica was the acting primary at the end of the run.
+    pub is_primary: bool,
+    /// Crash/recovery metrics; present when this replica was crashed by the
+    /// fault plan.
+    pub recovery: Option<StoreRecoveryReport>,
+}
+
+/// Recovery metrics for one crashed (and possibly restarted) store replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreRecoveryReport {
+    /// When the fault plan killed the replica.
+    pub crashed_at: SimTime,
+    /// When the respawned replica started (`None`: never restarted).
+    pub restarted_at: Option<SimTime>,
+    /// When op-log catch-up completed and the replica rejoined its group.
+    pub resynced_at: Option<SimTime>,
+    /// Ops pulled from a peer during catch-up.
+    pub sync_ops: u64,
+    /// Approximate bytes transferred during catch-up.
+    pub sync_bytes: u64,
+}
+
+impl StoreRecoveryReport {
+    /// Restart-to-rejoined latency: what op-log catch-up costs.
+    pub fn resync_latency(&self) -> Option<SimDuration> {
+        match (self.restarted_at, self.resynced_at) {
+            (Some(a), Some(b)) => Some(b.saturating_since(a)),
+            _ => None,
+        }
+    }
+
+    /// Crash-to-rejoined latency: how long the group ran a member short.
+    pub fn unavailability(&self) -> Option<SimDuration> {
+        self.resynced_at
+            .map(|t| t.saturating_since(self.crashed_at))
+    }
+}
+
 /// Per-SPE-job results.
 #[derive(Debug, Clone)]
 pub struct SpeReport {
@@ -1719,6 +1978,9 @@ pub struct SpeReport {
     pub mean_busy_runtime: SimDuration,
     /// Checkpoint counters (zeros when checkpointing is disabled).
     pub checkpoints: CheckpointStats,
+    /// `(accepted, durable)` instants of every persisted capture — the
+    /// per-checkpoint latency series (what store replication inflates).
+    pub checkpoint_log: Vec<(SimTime, SimTime)>,
     /// The worker's embedded consumer counters; `offset_resets == 0` on a
     /// recovery run means the worker resumed from committed offsets.
     pub consumer_stats: ConsumerStats,
@@ -1780,6 +2042,9 @@ pub struct RunReport {
     pub consumers: Vec<ConsumerReport>,
     /// Broker results, by id.
     pub brokers: Vec<BrokerReport>,
+    /// Store-replica results, in flattened replica order (declaration
+    /// order x replication factor). Empty when no store is declared.
+    pub stores: Vec<StoreReport>,
     /// SPE results, by job name.
     pub spe: BTreeMap<String, SpeReport>,
     /// Memory samples (500 ms cadence).
@@ -1824,8 +2089,11 @@ pub struct RunResult {
     pub consumer_pids: Vec<ProcessId>,
     /// SPE process ids, by job name.
     pub spe_pids: BTreeMap<String, ProcessId>,
-    /// Store process ids, by host.
+    /// Store process ids, by host (a replicated store's replica 0).
     pub store_pids: BTreeMap<String, ProcessId>,
+    /// Every store replica's process id, by declared host, in member-index
+    /// order (equals `store_pids` singletons without replication).
+    pub store_group_pids: BTreeMap<String, Vec<ProcessId>>,
     /// The in-memory checkpoint snapshots taken during the run, by job name
     /// (empty for durable backends, whose snapshots live in the store).
     pub checkpoint_snapshots: SnapshotStoreHandle,

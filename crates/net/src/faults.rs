@@ -54,6 +54,19 @@ pub enum FaultAction {
     /// its high watermarks and consumer-group offsets, and re-registers with
     /// the controller before serving again.
     RestartBroker(u32),
+    /// Kill a store-server replica (by flattened replica index across the
+    /// scenario's store declarations): its KV blobs, tables, and group
+    /// op log are lost with the process. With a replicated store
+    /// (`Scenario::with_replicated_store`) the surviving members fail over;
+    /// standalone, the durability tier is simply gone. Applied by the
+    /// scenario orchestrator, like [`CrashProcess`].
+    ///
+    /// [`CrashProcess`]: FaultAction::CrashProcess
+    CrashStore(u32),
+    /// Respawn a previously crashed store replica in a recovering state: it
+    /// pulls the op log from a ready group member, applies it, and only
+    /// then rejoins (a standalone store restarts empty).
+    RestartStore(u32),
 }
 
 impl FaultAction {
@@ -66,6 +79,8 @@ impl FaultAction {
                 | FaultAction::RestartProcess(_)
                 | FaultAction::CrashBroker(_)
                 | FaultAction::RestartBroker(_)
+                | FaultAction::CrashStore(_)
+                | FaultAction::RestartStore(_)
         )
     }
 }
@@ -86,6 +101,8 @@ impl fmt::Display for FaultAction {
             FaultAction::RestartProcess(p) => write!(f, "restart process {p}"),
             FaultAction::CrashBroker(b) => write!(f, "crash broker b{b}"),
             FaultAction::RestartBroker(b) => write!(f, "restart broker b{b}"),
+            FaultAction::CrashStore(r) => write!(f, "crash store replica {r}"),
+            FaultAction::RestartStore(r) => write!(f, "restart store replica {r}"),
         }
     }
 }
@@ -188,6 +205,34 @@ impl FaultPlan {
     /// Schedules a broker crash with no restart.
     pub fn crash_broker(self, broker: u32, at: SimTime) -> Self {
         self.at(at, FaultAction::CrashBroker(broker))
+    }
+
+    /// Schedules a store-replica crash (by flattened replica index) at
+    /// `at`, restarted `down_for` later — the store-failover scenario in
+    /// one call.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use s2g_net::{FaultAction, FaultPlan};
+    /// use s2g_sim::{SimDuration, SimTime};
+    ///
+    /// let plan = FaultPlan::new().crash_restart_store(
+    ///     0,
+    ///     SimTime::from_secs(10),
+    ///     SimDuration::from_secs(3),
+    /// );
+    /// assert_eq!(plan.events()[0].1, FaultAction::CrashStore(0));
+    /// assert_eq!(plan.events()[1].0, SimTime::from_secs(13));
+    /// ```
+    pub fn crash_restart_store(self, replica: u32, at: SimTime, down_for: SimDuration) -> Self {
+        self.at(at, FaultAction::CrashStore(replica))
+            .at(at + down_for, FaultAction::RestartStore(replica))
+    }
+
+    /// Schedules a store-replica crash with no restart.
+    pub fn crash_store(self, replica: u32, at: SimTime) -> Self {
+        self.at(at, FaultAction::CrashStore(replica))
     }
 
     /// Number of scheduled actions.
@@ -310,7 +355,9 @@ impl FaultInjector {
             FaultAction::CrashProcess(_)
             | FaultAction::RestartProcess(_)
             | FaultAction::CrashBroker(_)
-            | FaultAction::RestartBroker(_) => {}
+            | FaultAction::RestartBroker(_)
+            | FaultAction::CrashStore(_)
+            | FaultAction::RestartStore(_) => {}
         }
         drop(net);
         self.applied.push((now, action));

@@ -5,7 +5,7 @@ use std::fmt;
 
 use s2g_sim::Message;
 
-use crate::record::{Offset, RecordBatch, TopicPartition};
+use crate::record::{Offset, ProducerId, RecordBatch, TopicPartition};
 
 /// Identifies a broker in the cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -119,6 +119,14 @@ pub enum ClientRpc {
         batch: RecordBatch,
         /// Acknowledgement mode.
         acks: AckMode,
+        /// When set, the batch is part of the producer's open transaction
+        /// with this sequence number: the records are appended but withheld
+        /// from read-committed consumers until an [`EndTxn`] commit marker
+        /// arrives (a checkpoint-aligned transactional sink's staging
+        /// write).
+        ///
+        /// [`EndTxn`]: ClientRpc::EndTxn
+        txn: Option<u64>,
     },
     /// Result of a produce.
     ProduceResponse {
@@ -141,6 +149,10 @@ pub enum ClientRpc {
         offset: Offset,
         /// Cap on returned records.
         max_records: usize,
+        /// Read-committed isolation: records of an open transaction are
+        /// withheld (the fetch is capped at the partition's last stable
+        /// offset) and records of aborted transactions are skipped.
+        read_committed: bool,
     },
     /// Records returned by a fetch.
     FetchResponse {
@@ -210,6 +222,49 @@ pub enum ClientRpc {
         /// Per-partition committed position, aligned with the request.
         offsets: Vec<(TopicPartition, Option<Offset>)>,
     },
+    /// Flip a transaction marker: commit makes the staged records visible
+    /// to read-committed consumers, abort hides them forever (Kafka's
+    /// `EndTxn`). Applied on every partition this broker hosts.
+    EndTxn {
+        /// Correlation id.
+        corr: CorrelationId,
+        /// The transactional producer.
+        producer: ProducerId,
+        /// The transaction's sequence number.
+        txn: u64,
+        /// True to commit, false to abort.
+        commit: bool,
+    },
+    /// Acknowledgement of an [`EndTxn`](ClientRpc::EndTxn).
+    EndTxnResponse {
+        /// Correlation id.
+        corr: CorrelationId,
+        /// Outcome.
+        error: ErrorCode,
+    },
+    /// Resolve every open transaction a crashed producer incarnation left
+    /// behind: transactions at or below `commit_upto` are committed (their
+    /// prepare completed — the matching checkpoint is durable), newer ones
+    /// are aborted and will be re-staged by the recovered worker's replay.
+    /// Only transactions staged under a producer epoch *below* `epoch` are
+    /// touched (Kafka-style fencing), so a delayed or retried recover can
+    /// never abort the new incarnation's own staged output.
+    TxnRecover {
+        /// Correlation id.
+        corr: CorrelationId,
+        /// The transactional producer being recovered.
+        producer: ProducerId,
+        /// Highest transaction sequence whose commit must roll forward.
+        commit_upto: u64,
+        /// The recovering incarnation's producer epoch; only transactions
+        /// from older epochs are resolved.
+        epoch: u32,
+    },
+    /// Acknowledgement of a [`TxnRecover`](ClientRpc::TxnRecover).
+    TxnRecoverResponse {
+        /// Correlation id.
+        corr: CorrelationId,
+    },
 }
 
 impl Message for ClientRpc {
@@ -248,6 +303,10 @@ impl Message for ClientRpc {
                         .sum::<usize>()
                         + 4
                 }
+                ClientRpc::EndTxn { .. } => 21,
+                ClientRpc::EndTxnResponse { .. } => 6,
+                ClientRpc::TxnRecover { .. } => 24,
+                ClientRpc::TxnRecoverResponse { .. } => 4,
             }
     }
 }
@@ -523,12 +582,14 @@ mod tests {
             tp: tp.clone(),
             batch: RecordBatch::from_records(vec![Record::keyless(vec![0u8; 10], SimTime::ZERO)]),
             acks: AckMode::Leader,
+            txn: None,
         };
         let big = ClientRpc::ProduceRequest {
             corr: CorrelationId(2),
             tp,
             batch: RecordBatch::from_records(vec![Record::keyless(vec![0u8; 1000], SimTime::ZERO)]),
             acks: AckMode::Leader,
+            txn: None,
         };
         assert_eq!(big.wire_size() - small.wire_size(), 990);
         assert!(small.wire_size() > RPC_OVERHEAD);

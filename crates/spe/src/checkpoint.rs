@@ -246,6 +246,10 @@ pub struct StateSnapshot {
     pub buffer: Vec<Event>,
     /// The embedded consumer's position per partition at capture time.
     pub offsets: Vec<(TopicPartition, Offset)>,
+    /// The sink transaction this capture closes (0 when the sink is not
+    /// transactional). On recovery, transactions at or below this sequence
+    /// roll forward; newer ones abort and are re-staged by replay.
+    pub txn_seq: u64,
 }
 
 impl StateSnapshot {
@@ -255,6 +259,7 @@ impl StateSnapshot {
             ("taken_at", Value::Int(self.taken_at.as_nanos() as i64)),
             ("records_in", Value::Int(self.records_in as i64)),
             ("records_out", Value::Int(self.records_out as i64)),
+            ("txn", Value::Int(self.txn_seq as i64)),
             (
                 "plan",
                 Value::List(
@@ -289,6 +294,7 @@ impl StateSnapshot {
             .collect();
         let buffer = buffer_from_value(v.field("buffer")?)?;
         let offsets = offsets_from_value(v.field("offsets")?)?;
+        let txn_seq = v.field("txn").and_then(Value::as_int).unwrap_or(0) as u64;
         Some(StateSnapshot {
             taken_at,
             plan_state,
@@ -296,6 +302,7 @@ impl StateSnapshot {
             records_out,
             buffer,
             offsets,
+            txn_seq,
         })
     }
 
@@ -342,6 +349,8 @@ pub struct StateDelta {
     /// The embedded consumer's position per partition at capture time
     /// (absolute).
     pub offsets: Vec<(TopicPartition, Offset)>,
+    /// The sink transaction this capture closes (0 when not transactional).
+    pub txn_seq: u64,
 }
 
 impl StateDelta {
@@ -352,6 +361,7 @@ impl StateDelta {
             ("seq", Value::Int(self.seq as i64)),
             ("records_in", Value::Int(self.records_in as i64)),
             ("records_out", Value::Int(self.records_out as i64)),
+            ("txn", Value::Int(self.txn_seq as i64)),
             (
                 "plan",
                 Value::List(
@@ -387,6 +397,7 @@ impl StateDelta {
             .collect();
         let buffer = buffer_from_value(v.field("buffer")?)?;
         let offsets = offsets_from_value(v.field("offsets")?)?;
+        let txn_seq = v.field("txn").and_then(Value::as_int).unwrap_or(0) as u64;
         Some(StateDelta {
             taken_at,
             seq,
@@ -395,6 +406,7 @@ impl StateDelta {
             records_out,
             buffer,
             offsets,
+            txn_seq,
         })
     }
 
@@ -453,6 +465,14 @@ impl CheckpointPayload {
             CheckpointPayload::Delta(d) => d.encoded_len(),
         }
     }
+
+    /// The sink transaction this capture closes (0 when not transactional).
+    pub fn txn_seq(&self) -> u64 {
+        match self {
+            CheckpointPayload::Full(s) => s.txn_seq,
+            CheckpointPayload::Delta(d) => d.txn_seq,
+        }
+    }
 }
 
 /// A base snapshot plus the deltas persisted after it — what a backend
@@ -475,6 +495,7 @@ impl Default for StateSnapshot {
             records_out: 0,
             buffer: Vec::new(),
             offsets: Vec::new(),
+            txn_seq: 0,
         }
     }
 }
@@ -515,6 +536,14 @@ impl SnapshotChain {
             .last()
             .map(|d| d.buffer.as_slice())
             .unwrap_or(self.base.buffer.as_slice())
+    }
+
+    /// Sink transaction of the newest element (0 when not transactional).
+    pub fn txn_seq(&self) -> u64 {
+        self.deltas
+            .last()
+            .map(|d| d.txn_seq)
+            .unwrap_or(self.base.txn_seq)
     }
 
     /// Record counters of the newest element.
@@ -717,8 +746,19 @@ pub struct DurableBackend {
 impl DurableBackend {
     /// Creates a backend writing to the store server process.
     pub fn new(server: ProcessId) -> Self {
+        Self::replicated(vec![server])
+    }
+
+    /// Creates a backend over every member of a replicated store group:
+    /// unanswered RPCs rotate to the next member on retry, so checkpoints
+    /// survive a store crash with no change above this backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers` is empty.
+    pub fn replicated(servers: Vec<ProcessId>) -> Self {
         DurableBackend {
-            blobs: BlobClient::new(server, CKPT_CORR_BASE),
+            blobs: BlobClient::replicated(servers, CKPT_CORR_BASE, 0),
             chain: 0,
             delta_count: 0,
             pending: BTreeMap::new(),
@@ -969,6 +1009,9 @@ impl StateBackend for DurableBackend {
         if self.pending.is_empty() {
             return false;
         }
+        // The silent endpoint may be a crashed store-group member: rotate
+        // to the next one before re-issuing.
+        self.blobs.rotate();
         let items: Vec<CkptIo> = std::mem::take(&mut self.pending).into_values().collect();
         for io in items {
             match io {
@@ -1014,6 +1057,12 @@ pub struct CheckpointStats {
     pub last_at: SimTime,
     /// Offset-commit batches issued by the coordinator.
     pub offset_commits: u64,
+    /// Total accept-to-durable latency across all persisted captures, in
+    /// nanoseconds (divide by `checkpoints` for the mean — the figure a
+    /// replicated store's quorum round trips inflate).
+    pub persist_nanos: u64,
+    /// Sink transactions committed by the coordinator's commit phase.
+    pub txn_commits: u64,
 }
 
 /// How a worker recovered, for the run report's recovery metrics.
@@ -1049,12 +1098,16 @@ struct PendingCommit {
     /// Producer records that must be completed (acked or failed) before the
     /// commit may go out — the exactly-once output barrier.
     barrier: u64,
+    /// The sink transaction to commit alongside the offsets (0 when the
+    /// sink is not transactional).
+    txn: u64,
 }
 
 struct PendingPersist {
     payload: CheckpointPayload,
     producer_sent: u64,
     bytes: u64,
+    accepted_at: SimTime,
 }
 
 /// Drives a worker's checkpoint schedule: interval timing, batch-boundary
@@ -1076,6 +1129,9 @@ pub struct CheckpointCoordinator {
     pending_persist: Option<PendingPersist>,
     pending_commit: Option<PendingCommit>,
     stats: CheckpointStats,
+    /// `(accepted, durable)` instants of every persisted capture, in order
+    /// — the checkpoint-latency series the replication figure plots.
+    persist_log: Vec<(SimTime, SimTime)>,
 }
 
 impl CheckpointCoordinator {
@@ -1093,6 +1149,7 @@ impl CheckpointCoordinator {
             pending_persist: None,
             pending_commit: None,
             stats: CheckpointStats::default(),
+            persist_log: Vec::new(),
         }
     }
 
@@ -1158,13 +1215,17 @@ impl CheckpointCoordinator {
         producer_sent: u64,
     ) {
         self.capture_requested = false;
+        let accepted_at = ctx.now();
         match self.backend.persist(ctx, job, &payload) {
-            PersistOutcome::Done(bytes) => self.finish_persist(payload, producer_sent, bytes),
+            PersistOutcome::Done(bytes) => {
+                self.finish_persist(payload, producer_sent, bytes, accepted_at, accepted_at)
+            }
             PersistOutcome::Pending { bytes } => {
                 self.pending_persist = Some(PendingPersist {
                     payload,
                     producer_sent,
                     bytes,
+                    accepted_at,
                 });
             }
         }
@@ -1182,11 +1243,20 @@ impl CheckpointCoordinator {
         self.backend.retry_pending_io(ctx, job)
     }
 
-    fn finish_persist(&mut self, payload: CheckpointPayload, producer_sent: u64, bytes: u64) {
+    fn finish_persist(
+        &mut self,
+        payload: CheckpointPayload,
+        producer_sent: u64,
+        bytes: u64,
+        accepted_at: SimTime,
+        durable_at: SimTime,
+    ) {
         self.stats.checkpoints += 1;
         self.stats.snapshot_bytes += bytes;
         self.stats.last_snapshot_bytes = bytes;
         self.stats.last_at = payload.taken_at();
+        self.stats.persist_nanos += durable_at.saturating_since(accepted_at).as_nanos();
+        self.persist_log.push((accepted_at, durable_at));
         match &payload {
             CheckpointPayload::Full(_) => {
                 self.stats.full_checkpoints += 1;
@@ -1204,6 +1274,7 @@ impl CheckpointCoordinator {
         }
         self.stats.delta_chain_len = self.chain_len;
         let offsets = payload.offsets().to_vec();
+        let txn = payload.txn_seq();
         match self.cfg.mode {
             CheckpointMode::ExactlyOnce => {
                 // Commit the captured offsets once every pre-capture output
@@ -1211,6 +1282,7 @@ impl CheckpointCoordinator {
                 self.pending_commit = Some(PendingCommit {
                     offsets: offsets.clone(),
                     barrier: producer_sent,
+                    txn,
                 });
                 self.prev_offsets = offsets;
             }
@@ -1222,10 +1294,27 @@ impl CheckpointCoordinator {
                     self.pending_commit = Some(PendingCommit {
                         offsets: lagging,
                         barrier: 0,
+                        txn: 0,
                     });
                 }
             }
         }
+    }
+
+    /// The sink transaction the pending commit would flip, when one is
+    /// waiting (0 means the capture was not transactional).
+    pub fn pending_commit_txn(&self) -> Option<u64> {
+        self.pending_commit.as_ref().map(|p| p.txn)
+    }
+
+    /// `(accepted, durable)` instants of every persisted capture so far.
+    pub fn persist_log(&self) -> &[(SimTime, SimTime)] {
+        &self.persist_log
+    }
+
+    /// Counts a sink-transaction commit issued by the worker.
+    pub fn note_txn_commit(&mut self) {
+        self.stats.txn_commits += 1;
     }
 
     /// Returns the offsets to commit once `producer_completed` (records
@@ -1279,7 +1368,13 @@ impl CheckpointCoordinator {
             BackendEvent::NotMine => StoreRpcOutcome::NotMine,
             BackendEvent::PersistCompleted => {
                 if let Some(p) = self.pending_persist.take() {
-                    self.finish_persist(p.payload, p.producer_sent, p.bytes);
+                    self.finish_persist(
+                        p.payload,
+                        p.producer_sent,
+                        p.bytes,
+                        p.accepted_at,
+                        ctx.now(),
+                    );
                 }
                 StoreRpcOutcome::PersistCompleted
             }
@@ -1348,6 +1443,7 @@ mod tests {
                 (TopicPartition::new("raw", 0), Offset(41)),
                 (TopicPartition::new("raw", 1), Offset(7)),
             ],
+            txn_seq: 3,
         }
     }
 
@@ -1363,6 +1459,7 @@ mod tests {
             records_out: 11,
             buffer: Vec::new(),
             offsets: vec![(TopicPartition::new("raw", 0), Offset(44 + seq))],
+            txn_seq: 3 + seq,
         }
     }
 

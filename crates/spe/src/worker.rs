@@ -52,6 +52,13 @@ pub struct SpeConfig {
     /// Checkpointing schedule and mode; `None` (the default) disables
     /// checkpointing, so a crashed worker restarts empty at offset zero.
     pub checkpoint: Option<CheckpointCfg>,
+    /// Checkpoint-aligned transactional sink: topic-sink output is staged
+    /// under a transaction marker per checkpoint epoch and only committed
+    /// (made visible to read-committed consumers) once the covering
+    /// checkpoint is durable — end-to-end exactly-once into the sink topic.
+    /// Requires a topic sink and exactly-once checkpointing; ignored
+    /// otherwise.
+    pub transactional_sink: bool,
 }
 
 impl Default for SpeConfig {
@@ -67,6 +74,7 @@ impl Default for SpeConfig {
             consumer: ConsumerConfig::default(),
             producer: ProducerConfig::default(),
             checkpoint: None,
+            transactional_sink: false,
         }
     }
 }
@@ -168,6 +176,15 @@ pub struct SpeWorker {
     mem: Option<(LedgerHandle, MemSlot)>,
     coordinator: Option<CheckpointCoordinator>,
     recovery: Option<RecoveryInfo>,
+    /// The open sink transaction (the next capture closes it); 0 when the
+    /// sink is not transactional.
+    txn_seq: u64,
+    /// A capture whose closing transaction still has staged records in
+    /// flight: the persist is withheld until the broker acknowledged every
+    /// one, because a durable snapshot is the *prepared* marker — rolling
+    /// its transaction forward on recovery is only sound once the whole
+    /// staged batch provably reached the broker.
+    staged_capture: Option<(CheckpointPayload, u64)>,
     /// A durable-backend restore round trip is in flight; consuming and
     /// batching are held until it completes.
     awaiting_restore: bool,
@@ -238,6 +255,8 @@ impl SpeWorker {
             mem: None,
             coordinator: None,
             recovery: None,
+            txn_seq: 0,
+            staged_capture: None,
             awaiting_restore: false,
             restarted: false,
         }
@@ -287,6 +306,27 @@ impl SpeWorker {
             .as_ref()
             .map(CheckpointCoordinator::stats)
             .unwrap_or_default()
+    }
+
+    /// `(accepted, durable)` instants of every persisted capture — the
+    /// checkpoint-latency series (empty without checkpointing).
+    pub fn checkpoint_persist_log(&self) -> Vec<(SimTime, SimTime)> {
+        self.coordinator
+            .as_ref()
+            .map(|c| c.persist_log().to_vec())
+            .unwrap_or_default()
+    }
+
+    /// True when this worker stages its sink output transactionally: a
+    /// configured transactional sink over a topic, under exactly-once
+    /// checkpointing.
+    fn txn_mode(&self) -> bool {
+        self.cfg.transactional_sink
+            && self.producer.is_some()
+            && self
+                .cfg
+                .checkpoint
+                .is_some_and(|c| c.mode == CheckpointMode::ExactlyOnce)
     }
 
     /// Recovery details when this worker incarnation was restored.
@@ -394,7 +434,8 @@ impl SpeWorker {
             .coordinator
             .as_ref()
             .is_some_and(|c| c.should_capture());
-        if !due || self.inflight.is_some() || self.awaiting_restore {
+        if !due || self.inflight.is_some() || self.awaiting_restore || self.staged_capture.is_some()
+        {
             return;
         }
         let kind = self
@@ -402,6 +443,16 @@ impl SpeWorker {
             .as_ref()
             .map(CheckpointCoordinator::capture_kind)
             .expect("checked above");
+        let txn_mode = self.txn_mode();
+        if txn_mode {
+            // Close the transaction at the capture boundary: everything
+            // accumulated so far is staged under the closing transaction
+            // before the bump below opens the next one.
+            if let Some(p) = self.producer.as_mut() {
+                p.flush_all(ctx);
+            }
+        }
+        let txn_seq = self.txn_seq;
         let payload = match kind {
             CaptureKind::Full => {
                 let (plan_state, records_in, records_out) = self.plan.snapshot_state();
@@ -415,6 +466,7 @@ impl SpeWorker {
                     records_out,
                     buffer: self.buffer.events.clone(),
                     offsets: self.consumer.positions(),
+                    txn_seq,
                 })
             }
             CaptureKind::Delta => {
@@ -433,36 +485,128 @@ impl SpeWorker {
                     records_out,
                     buffer: self.buffer.events.clone(),
                     offsets: self.consumer.positions(),
+                    txn_seq,
                 })
             }
         };
         let producer_sent = self.producer.as_ref().map_or(0, |p| p.stats().sent);
+        if txn_mode {
+            // Open the next transaction: output emitted after this capture
+            // belongs to the next checkpoint epoch and only commits with it.
+            self.txn_seq += 1;
+            if let Some(p) = self.producer.as_mut() {
+                p.set_transactional(Some(self.txn_seq));
+            }
+        }
+        let outstanding = txn_mode
+            && self
+                .producer
+                .as_ref()
+                .is_some_and(|p| p.txn_outstanding(txn_seq) > 0);
+        if outstanding {
+            // Prepare ordering: the staged batch must be fully acknowledged
+            // *before* the snapshot persists. If the snapshot became
+            // durable first and the worker crashed with part of the batch
+            // unsent, recovery would roll the transaction forward and the
+            // missing records — whose inputs lie before the captured
+            // offsets — would never be replayed.
+            self.staged_capture = Some((payload, producer_sent));
+            return;
+        }
+        self.accept_capture(ctx, payload, producer_sent);
+        self.pump_commit(ctx);
+    }
+
+    /// Hands a capture to the coordinator's persist machinery.
+    fn accept_capture(&mut self, ctx: &mut Ctx<'_>, payload: CheckpointPayload, sent: u64) {
         let name = self.name.clone();
-        let coord = self.coordinator.as_mut().expect("checked above");
-        coord.accept(ctx, &name, payload, producer_sent);
+        let coord = self
+            .coordinator
+            .as_mut()
+            .expect("capture implies coordinator");
+        coord.accept(ctx, &name, payload, sent);
         if coord.has_pending_io() {
             ctx.set_timer(CKPT_IO_RETRY_INTERVAL, tags::CKPT_IO_RETRY);
         }
-        self.pump_commit(ctx);
+    }
+
+    /// Persists a staged capture once its transaction's last staged record
+    /// is acknowledged (the prepare's first half completing).
+    fn try_accept_staged(&mut self, ctx: &mut Ctx<'_>) {
+        let ready = match &self.staged_capture {
+            Some((payload, _)) => self
+                .producer
+                .as_ref()
+                .is_none_or(|p| p.txn_outstanding(payload.txn_seq()) == 0),
+            None => return,
+        };
+        if ready {
+            let (payload, sent) = self.staged_capture.take().expect("just checked");
+            self.accept_capture(ctx, payload, sent);
+        }
     }
 
     /// Flushes an offset commit whose persist and output barrier are both
     /// satisfied. Called after any event that can make progress: producer
-    /// acks, store acks, and captures.
+    /// acks, store acks, and captures. Under a transactional sink the
+    /// barrier is stricter — every record of the closing transaction must
+    /// be completed — and the commit additionally flips the transaction
+    /// marker on the brokers (the second phase of the checkpoint-aligned
+    /// two-phase commit).
     fn pump_commit(&mut self, ctx: &mut Ctx<'_>) {
-        let Some(coord) = self.coordinator.as_mut() else {
+        let txn_mode = self.txn_mode();
+        // Producer acks may have completed a staged capture's batch.
+        self.try_accept_staged(ctx);
+        let Some(coord) = self.coordinator.as_ref() else {
             return;
         };
-        let completed = self
-            .producer
-            .as_ref()
-            .map_or(u64::MAX, |p| p.outcomes().len() as u64);
+        let completed = if txn_mode {
+            match coord.pending_commit_txn() {
+                // The commit barrier for transaction t: zero outstanding
+                // records of t (cumulative outcome counts would let later
+                // transactions' acks mask an unacked staged record).
+                Some(t) if t > 0 => {
+                    let clear = self
+                        .producer
+                        .as_ref()
+                        .is_some_and(|p| p.txn_outstanding(t) == 0);
+                    if clear {
+                        u64::MAX
+                    } else {
+                        0
+                    }
+                }
+                _ => 0,
+            }
+        } else {
+            self.producer
+                .as_ref()
+                .map_or(u64::MAX, |p| p.outcomes().len() as u64)
+        };
+        let txn = coord.pending_commit_txn().unwrap_or(0);
+        let coord = self.coordinator.as_mut().expect("checked above");
         if let Some(offsets) = coord.take_ready_commit(completed) {
+            if txn_mode && txn > 0 {
+                coord.note_txn_commit();
+                if let Some(p) = self.producer.as_mut() {
+                    p.end_txn(ctx, txn, true);
+                }
+            }
             self.consumer.commit_offsets(ctx, offsets);
         }
     }
 
     fn normal_start(&mut self, ctx: &mut Ctx<'_>) {
+        if self.txn_mode() && self.txn_seq == 0 {
+            // Fresh start: open transaction 1 (a restore already seeded the
+            // sequence past the recovered chain's).
+            self.txn_seq = 1;
+        }
+        if self.txn_mode() {
+            if let Some(p) = self.producer.as_mut() {
+                p.set_transactional(Some(self.txn_seq));
+            }
+        }
         self.consumer.start(ctx);
         if let Some(p) = self.producer.as_mut() {
             p.start(ctx);
@@ -483,6 +627,19 @@ impl SpeWorker {
         let now = ctx.now();
         if let Some(r) = self.recovery.as_mut() {
             r.restored_at = Some(now);
+        }
+        if self.txn_mode() {
+            // Resolve the crashed incarnation's transactions: everything at
+            // or below the restored capture's transaction rolls forward
+            // (its prepare — snapshot + staged batch — is durable); newer
+            // ones abort, and replay from the restored offsets re-stages
+            // exactly their records under fresh transactions.
+            let committed = chain.as_ref().map_or(0, SnapshotChain::txn_seq);
+            self.txn_seq = committed + 1;
+            if let Some(p) = self.producer.as_mut() {
+                p.recover_txns(ctx, committed);
+                p.set_transactional(Some(self.txn_seq));
+            }
         }
         let Some(chain) = chain else { return };
         if let Some(r) = self.recovery.as_mut() {

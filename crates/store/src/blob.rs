@@ -10,17 +10,30 @@
 //! for every flush and every replayed blob. [`BlobClient`] is that shared
 //! machinery, deduplicated here so the two tiers cannot drift apart.
 //!
+//! # Replicated store groups
+//!
+//! A client built with [`BlobClient::replicated`] knows every member of a
+//! store group. Requests go to one current endpoint; when the owner's retry
+//! machinery fires (a request went unanswered — the endpoint crashed, or
+//! the network ate the RPC), calling [`rotate`](BlobClient::rotate) before
+//! re-issuing moves the client to the next member. Non-primary members
+//! proxy to the primary, so any live endpoint eventually serves the
+//! request — which is how `DurableBackend` and `DurableLogBackend` survive
+//! a store crash with zero code changes above this client.
+//!
 //! [`StoreServer`]: crate::StoreServer
 
 use s2g_sim::{Ctx, ProcessId};
 
 use crate::server::StoreRpc;
 
-/// Issues `Put`/`Get`/`Delete` RPCs to one store server under a private
+/// Issues `Put`/`Get`/`Delete` RPCs to one store server (or, for a
+/// replicated group, to its current endpoint) under a private
 /// correlation-id namespace.
 #[derive(Debug)]
 pub struct BlobClient {
-    server: ProcessId,
+    servers: Vec<ProcessId>,
+    current: usize,
     corr_base: u64,
     next: u64,
 }
@@ -38,16 +51,44 @@ impl BlobClient {
     /// process bounce can never be mistaken for an answer to the respawned
     /// incarnation's requests.
     pub fn for_incarnation(server: ProcessId, corr_base: u64, incarnation: u64) -> Self {
+        Self::replicated(vec![server], corr_base, incarnation)
+    }
+
+    /// Creates a client over every member of a replicated store group, in
+    /// member-index order. Requests start at member 0 (the initial
+    /// primary); [`rotate`](BlobClient::rotate) advances on timeout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers` is empty.
+    pub fn replicated(servers: Vec<ProcessId>, corr_base: u64, incarnation: u64) -> Self {
+        assert!(!servers.is_empty(), "a blob client needs an endpoint");
         BlobClient {
-            server,
+            servers,
+            current: 0,
             corr_base,
             next: incarnation << 32,
         }
     }
 
-    /// The store server this client writes to.
+    /// The store endpoint this client currently writes to.
     pub fn server(&self) -> ProcessId {
-        self.server
+        self.servers[self.current]
+    }
+
+    /// Every endpoint this client can rotate through.
+    pub fn servers(&self) -> &[ProcessId] {
+        &self.servers
+    }
+
+    /// Advances to the next store-group member. Call right before
+    /// re-issuing a request that went unanswered: the current endpoint may
+    /// be down, and the group's surviving members proxy to whichever member
+    /// is primary now. A single-endpoint client is unaffected.
+    pub fn rotate(&mut self) {
+        if self.servers.len() > 1 {
+            self.current = (self.current + 1) % self.servers.len();
+        }
     }
 
     fn corr(&mut self) -> u64 {
@@ -61,7 +102,7 @@ impl BlobClient {
     pub fn put(&mut self, ctx: &mut Ctx<'_>, key: &str, value: Vec<u8>) -> u64 {
         let corr = self.corr();
         ctx.send(
-            self.server,
+            self.server(),
             StoreRpc::Put {
                 corr,
                 key: key.to_string(),
@@ -76,7 +117,7 @@ impl BlobClient {
     pub fn get(&mut self, ctx: &mut Ctx<'_>, key: &str) -> u64 {
         let corr = self.corr();
         ctx.send(
-            self.server,
+            self.server(),
             StoreRpc::Get {
                 corr,
                 key: key.to_string(),
@@ -92,7 +133,7 @@ impl BlobClient {
     pub fn delete(&mut self, ctx: &mut Ctx<'_>, key: &str) -> u64 {
         let corr = self.corr();
         ctx.send(
-            self.server,
+            self.server(),
             StoreRpc::Delete {
                 corr,
                 key: key.to_string(),

@@ -204,3 +204,50 @@ fn fault_heavy_runs_reproduce_exactly() {
         "a different seed must shift the fault-heavy run"
     );
 }
+
+/// The replicated-store half of the determinism gate: transactional sinks
+/// over a 3-replica store group, with the group primary crashed and
+/// restarted mid-run (failover, client rotation, op-log resync) plus an SPE
+/// worker crash — run twice with the same seed, diffing the full run
+/// reports including the store-replica reports.
+#[test]
+fn store_failover_runs_reproduce_exactly() {
+    use stream2gym::store::StoreConfig;
+    let run = |seed: u64| -> String {
+        let mut sc = recovery_scenario(
+            100,
+            SimDuration::from_millis(50),
+            SimTime::from_secs(25),
+            seed,
+        );
+        sc.store("h6", StoreConfig::default());
+        sc.with_replicated_store(3);
+        sc.with_durable_checkpointing(CheckpointCfg::exactly_once(SimDuration::from_secs(1)), "h6");
+        sc.with_transactional_sinks();
+        sc.faults(
+            FaultPlan::new()
+                .crash_restart_store(0, SimTime::from_millis(3_900), SimDuration::from_secs(3))
+                .crash_restart(
+                    "wordcount",
+                    SimTime::from_millis(9_300),
+                    SimDuration::from_millis(800),
+                ),
+        );
+        let result = sc.run().expect("runs");
+        format!(
+            "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}",
+            result.report.producers,
+            result.report.consumers,
+            result.report.brokers,
+            result.report.stores,
+            result.report.spe,
+            result.report.sim_stats,
+        )
+    };
+    let a = run(29);
+    let b = run(29);
+    assert_eq!(
+        a, b,
+        "same seed must reproduce the store-failover run exactly"
+    );
+}

@@ -287,3 +287,33 @@ fn compaction_bounds_snapshot_bytes_and_replay() {
         "cleaning savings accumulate with history"
     );
 }
+
+#[test]
+fn replication_sweep_trades_latency_for_availability() {
+    use s2g_bench::store_replication_sweep;
+    let points = store_replication_sweep(&[1, 3], Scale::Smoke, 21);
+    assert_eq!(points.len(), 2);
+    let standalone = &points[0];
+    let replicated = &points[1];
+    assert!(standalone.checkpoints > 0 && replicated.checkpoints > 0);
+    assert!(
+        standalone.checkpoint_latency_s.is_finite() && replicated.checkpoint_latency_s.is_finite()
+    );
+    // Quorum replication makes each capture dearer...
+    assert!(
+        replicated.checkpoint_latency_s > standalone.checkpoint_latency_s,
+        "quorum round trips must cost something: {} vs {}",
+        replicated.checkpoint_latency_s,
+        standalone.checkpoint_latency_s
+    );
+    // ...but failover beats a full store restart around the crash.
+    assert!(
+        replicated.unavailability_s < standalone.unavailability_s,
+        "failover must shrink the durability outage: {} vs {}",
+        replicated.unavailability_s,
+        standalone.unavailability_s
+    );
+    // Only a group member resyncs an op log.
+    assert_eq!(standalone.resync_ops, 0);
+    assert!(replicated.resync_ops > 0);
+}

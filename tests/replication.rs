@@ -1,0 +1,457 @@
+//! Replicated snapshot store + checkpoint-aligned transactional sinks.
+//!
+//! The acceptance gate for the store-replication / transactional-sink
+//! subsystem: with `with_replicated_store(3)` and
+//! `with_transactional_sinks()`, neither crashing the store primary
+//! mid-checkpoint nor crashing an SPE worker mid-epoch may change a single
+//! byte of the sink-topic output a read-committed consumer observes —
+//! end-to-end exactly-once, not just state-level exactly-once.
+//!
+//! The durability-ordering tests pin the manifest-after-blob discipline of
+//! the durable checkpoint backend: the chain manifest — the only pointer to
+//! a checkpoint — is published only after the blob it references is acked,
+//! so a store failure between the two leaves the previous complete chain
+//! restorable (never a half-written one, never a cold start).
+
+use std::any::Any;
+use std::collections::BTreeMap;
+
+use stream2gym::apps::word_count::{recovery_scenario, word_stream};
+use stream2gym::broker::{Broker, CollectingSink, ConsumerProcess};
+use stream2gym::core::{MonitoredSink, RunResult, Scenario};
+use stream2gym::net::FaultPlan;
+use stream2gym::sim::{downcast, Ctx, Message, Process, ProcessId, Sim, SimDuration, SimTime};
+use stream2gym::spe::{
+    BackendEvent, CheckpointCfg, CheckpointPayload, DurableBackend, Event, StateBackend,
+    StateSnapshot,
+};
+use stream2gym::store::{StoreConfig, StoreRpc, StoreServer};
+
+const WORDS: usize = 120;
+const WORD_INTERVAL_MS: u64 = 50;
+const CHECKPOINT_INTERVAL: SimDuration = SimDuration::from_secs(1);
+const SEED: u64 = 23;
+
+/// The transactional pipeline: word count into a sink topic, durable
+/// checkpoints on a replicated store group, transactional sink commits.
+fn build_txn(replicas: usize) -> Scenario {
+    let mut sc = recovery_scenario(
+        WORDS,
+        SimDuration::from_millis(WORD_INTERVAL_MS),
+        SimTime::from_secs(30),
+        SEED,
+    );
+    sc.store("h6", StoreConfig::default());
+    sc.with_replicated_store(replicas);
+    sc.with_durable_checkpointing(CheckpointCfg::exactly_once(CHECKPOINT_INTERVAL), "h6");
+    sc.with_transactional_sinks();
+    sc
+}
+
+/// Every record value the (read-committed) consumer stub observed on the
+/// sink topic, in delivery order — the byte-identity axis.
+fn sink_bytes(result: &RunResult) -> Vec<Vec<u8>> {
+    let pid = result.consumer_pids[0];
+    let cp = result
+        .sim
+        .process_ref::<ConsumerProcess>(pid)
+        .expect("consumer");
+    let monitored = cp.sink_as::<MonitoredSink>().expect("monitored sink");
+    let sink = (monitored.inner() as &dyn Any)
+        .downcast_ref::<CollectingSink>()
+        .expect("collecting sink");
+    sink.deliveries
+        .iter()
+        .map(|(_, _, rec)| rec.value.to_vec())
+        .collect()
+}
+
+/// Highest count per word the consumer saw (the state-level check).
+fn final_counts(result: &RunResult) -> BTreeMap<String, i64> {
+    let mut counts = BTreeMap::new();
+    for value in sink_bytes(result) {
+        let e = Event::from_bytes(&value).expect("SPE output decodes");
+        let word = e.key.clone().expect("keyed by word");
+        let n = e.value.as_int().expect("count value");
+        let entry = counts.entry(word).or_insert(0);
+        *entry = (*entry).max(n);
+    }
+    counts
+}
+
+fn ground_truth() -> BTreeMap<String, i64> {
+    let mut tally = BTreeMap::new();
+    for w in word_stream(WORDS, SEED) {
+        *tally.entry(w).or_insert(0) += 1;
+    }
+    tally
+}
+
+#[test]
+fn transactional_baseline_commits_every_epoch() {
+    let result = build_txn(3).run().expect("runs");
+    assert_eq!(final_counts(&result), ground_truth());
+    let spe = &result.report.spe["wordcount"];
+    assert!(spe.checkpoints.checkpoints > 0, "checkpoints were taken");
+    assert!(
+        spe.checkpoints.txn_commits > 0,
+        "sink transactions were committed"
+    );
+    assert!(
+        !spe.checkpoint_log.is_empty(),
+        "per-checkpoint latency series recorded"
+    );
+    // Quorum persistence is not free: captures take simulated time.
+    assert!(spe
+        .checkpoint_log
+        .iter()
+        .all(|(accepted, durable)| durable >= accepted));
+    // The broker flipped commit markers.
+    let broker = result
+        .sim
+        .process_ref::<Broker>(result.broker_pids[0])
+        .expect("broker");
+    assert!(broker.stats().txns_committed > 0, "commit markers arrived");
+    assert_eq!(broker.stats().txns_aborted, 0, "no fault, no aborts");
+    // Every store replica holds the replicated checkpoint blobs.
+    assert_eq!(result.report.stores.len(), 3);
+    for replica in &result.report.stores {
+        assert!(
+            replica.kv_keys > 0,
+            "replica {} holds checkpoint blobs",
+            replica.replica
+        );
+    }
+    assert!(result.report.stores[0].is_primary, "no fault, no failover");
+}
+
+#[test]
+fn worker_crash_mid_epoch_is_end_to_end_exactly_once() {
+    // The staged-but-uncommitted transaction of the crashed epoch must be
+    // aborted and replayed; a read-committed consumer sees output
+    // byte-identical to the fault-free run.
+    let baseline = build_txn(3).run().expect("baseline runs");
+    let mut sc = build_txn(3);
+    sc.faults(FaultPlan::new().crash_restart(
+        "wordcount",
+        SimTime::from_millis(4_300),
+        SimDuration::from_millis(1_000),
+    ));
+    let faulted = sc.run().expect("faulted runs");
+    assert_eq!(
+        sink_bytes(&faulted),
+        sink_bytes(&baseline),
+        "committed sink output must be byte-identical to the fault-free run"
+    );
+    let spe = &faulted.report.spe["wordcount"];
+    let rec = spe.recovery.expect("crash recorded");
+    assert!(rec.restored_at.is_some(), "state restored from the group");
+    assert_eq!(spe.consumer_stats.offset_resets, 0);
+    // The broker aborted the crashed epoch's staged transaction.
+    let broker = faulted
+        .sim
+        .process_ref::<Broker>(faulted.broker_pids[0])
+        .expect("broker");
+    assert!(
+        broker.stats().txns_aborted > 0,
+        "the crashed epoch's staged output was aborted"
+    );
+}
+
+#[test]
+fn store_primary_crash_mid_checkpoint_fails_over_and_stays_exact() {
+    // Crash the store-group primary while checkpoints are in flight: the
+    // blob client rotates to a surviving member, the group fails over, the
+    // restarted replica resyncs — and the sink output stays byte-identical.
+    let baseline = build_txn(3).run().expect("baseline runs");
+    let mut sc = build_txn(3);
+    sc.faults(FaultPlan::new().crash_restart_store(
+        0,
+        SimTime::from_millis(3_900),
+        SimDuration::from_secs(3),
+    ));
+    let faulted = sc.run().expect("faulted runs");
+    assert_eq!(
+        sink_bytes(&faulted),
+        sink_bytes(&baseline),
+        "a store crash must not change the committed sink output"
+    );
+    assert_eq!(final_counts(&faulted), ground_truth());
+    let spe = &faulted.report.spe["wordcount"];
+    assert!(
+        spe.checkpoints.checkpoints > 0,
+        "checkpoints kept landing through the failover"
+    );
+    // Checkpoints persisted after the crash prove the failover worked.
+    let crash = SimTime::from_millis(3_900);
+    assert!(
+        spe.checkpoint_log
+            .iter()
+            .any(|(_, durable)| *durable > crash),
+        "captures persisted after the primary died"
+    );
+    // The group's view: a surviving member claimed primary; the restarted
+    // replica resynced the op log.
+    let s0 = &faulted.report.stores[0];
+    let rec = s0.recovery.expect("store crash recorded");
+    assert_eq!(rec.crashed_at, crash);
+    assert_eq!(rec.restarted_at, Some(SimTime::from_millis(6_900)));
+    assert!(rec.resynced_at.is_some(), "op-log catch-up completed");
+    assert!(rec.sync_ops > 0, "the rejoining replica pulled missed ops");
+    assert!(rec.sync_bytes > 0);
+    assert!(!s0.is_primary, "the bounced replica rejoins as a follower");
+    assert!(
+        faulted.report.stores.iter().any(|r| r.is_primary),
+        "a surviving member holds the primary role"
+    );
+    // All live replicas converge to the same blob set.
+    let keys: Vec<u64> = faulted.report.stores.iter().map(|r| r.kv_keys).collect();
+    assert!(
+        keys.iter().all(|k| *k == keys[0]),
+        "replicas converged: {keys:?}"
+    );
+}
+
+#[test]
+fn lossy_store_link_worker_crash_stays_exactly_once() {
+    // A 20%-lossy access link to the store primary drops snapshot puts,
+    // quorum replication traffic, and transaction-control RPCs — forcing
+    // the retry paths (blob-client rotation, re-sent EndTxn/TxnRecover).
+    // The epoch fence on TxnRecover means even a duplicated recover can
+    // never abort the new incarnation's staged output: the committed sink
+    // stream must still match the fault-free run byte for byte.
+    use stream2gym::net::LinkSpec;
+    let lossy = |sc: &mut Scenario| {
+        sc.host_link(
+            "h6",
+            LinkSpec::new()
+                .latency(SimDuration::from_millis(2))
+                .loss_pct(20.0),
+        );
+    };
+    let mut base = build_txn(3);
+    lossy(&mut base);
+    let baseline = base.run().expect("baseline runs");
+    let mut sc = build_txn(3);
+    lossy(&mut sc);
+    sc.faults(FaultPlan::new().crash_restart(
+        "wordcount",
+        SimTime::from_millis(4_300),
+        SimDuration::from_millis(1_000),
+    ));
+    let faulted = sc.run().expect("faulted runs");
+    assert!(
+        faulted.report.sim_stats.messages_dropped > 0,
+        "the lossy link must actually drop store traffic"
+    );
+    assert_eq!(
+        sink_bytes(&faulted),
+        sink_bytes(&baseline),
+        "retried transaction control must stay idempotent"
+    );
+}
+
+#[test]
+fn unreplicated_store_group_still_works() {
+    // `with_replicated_store(1)` degenerates to the standalone store.
+    let result = build_txn(1).run().expect("runs");
+    assert_eq!(final_counts(&result), ground_truth());
+    assert_eq!(result.report.stores.len(), 1);
+    assert!(result.report.stores[0].is_primary);
+}
+
+// ---------------------------------------------------------------------------
+// Durability-ordering tests: manifest-after-blob.
+// ---------------------------------------------------------------------------
+
+fn sample_snapshot(tag: i64) -> StateSnapshot {
+    StateSnapshot {
+        taken_at: SimTime::from_millis(100 + tag as u64),
+        plan_state: vec![Some(stream2gym::spe::Value::Int(tag))],
+        records_in: tag as u64,
+        records_out: 0,
+        buffer: Vec::new(),
+        offsets: Vec::new(),
+        txn_seq: 0,
+    }
+}
+
+/// Drives a [`DurableBackend`] against a real store: persists snapshot A to
+/// completion, then plants an *orphan* chain-2 base blob (exactly the state
+/// left by a store failure after the blob write but before the manifest
+/// publish), then recovers through a fresh backend.
+struct OrphanBlobHarness {
+    store: ProcessId,
+    backend: DurableBackend,
+    recover_backend: Option<DurableBackend>,
+    stage: u8,
+    restored: Option<Option<StateSnapshot>>,
+}
+
+const ORPHAN_CORR: u64 = 424_242;
+
+impl Process for OrphanBlobHarness {
+    fn name(&self) -> &str {
+        "harness"
+    }
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let payload = CheckpointPayload::Full(sample_snapshot(1));
+        self.backend.persist(ctx, "job", &payload);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: ProcessId, msg: Box<dyn Message>) {
+        let Ok(rpc) = downcast::<StoreRpc>(msg) else {
+            return;
+        };
+        if let StoreRpc::PutAck { corr: ORPHAN_CORR } = *rpc {
+            // Orphan blob durable; now recover through a fresh backend,
+            // exactly like a respawned worker would.
+            self.stage = 2;
+            let mut rb = DurableBackend::new(self.store);
+            rb.recover(ctx, "job");
+            self.recover_backend = Some(rb);
+            return;
+        }
+        if let Some(rb) = self.recover_backend.as_mut() {
+            if let BackendEvent::Recovered { chain, .. } = rb.on_store_rpc(ctx, "job", &rpc) {
+                self.restored = Some(chain.map(|c| c.base));
+            }
+            return;
+        }
+        match self.backend.on_store_rpc(ctx, "job", &rpc) {
+            BackendEvent::PersistCompleted if self.stage == 0 => {
+                // Snapshot A is fully durable (blob + manifest). Plant the
+                // chain-2 base blob WITHOUT its manifest: the post-failure
+                // state of a persist interrupted between the two writes.
+                self.stage = 1;
+                ctx.send(
+                    self.store,
+                    StoreRpc::Put {
+                        corr: ORPHAN_CORR,
+                        key: "ckpt/job/2/base".into(),
+                        value: sample_snapshot(2).to_bytes(),
+                    },
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn store_failure_between_blob_and_manifest_falls_back_to_previous_chain() {
+    let mut sim = Sim::new(7);
+    let store = sim.spawn(Box::new(StoreServer::new(StoreConfig::default())));
+    let harness = sim.spawn(Box::new(OrphanBlobHarness {
+        store,
+        backend: DurableBackend::new(store),
+        recover_backend: None,
+        stage: 0,
+        restored: None,
+    }));
+    sim.run_until(SimTime::from_secs(10));
+    let h = sim
+        .process_ref::<OrphanBlobHarness>(harness)
+        .expect("harness");
+    let restored = h
+        .restored
+        .as_ref()
+        .expect("recovery completed")
+        .as_ref()
+        .expect("no cold start: the previous chain is intact");
+    assert_eq!(
+        restored,
+        &sample_snapshot(1),
+        "restore must fall back to the last manifest-consistent chain, \
+         never adopt the orphaned newer blob"
+    );
+}
+
+/// A store stand-in that records arriving Put keys and deliberately
+/// withholds the ack for blob keys, to pin the backend's write ordering.
+struct BlackholeBlobStore {
+    received: Vec<String>,
+    ack_blobs: bool,
+}
+
+impl Process for BlackholeBlobStore {
+    fn name(&self) -> &str {
+        "blackhole-store"
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: ProcessId, msg: Box<dyn Message>) {
+        let Ok(rpc) = downcast::<StoreRpc>(msg) else {
+            return;
+        };
+        if let StoreRpc::Put { corr, key, .. } = *rpc {
+            let is_blob = key.contains("/base")
+                || key
+                    .rsplit('/')
+                    .next()
+                    .is_some_and(|t| t.parse::<u64>().is_ok());
+            self.received.push(key);
+            if !is_blob || self.ack_blobs {
+                ctx.send(from, StoreRpc::PutAck { corr });
+            }
+        }
+    }
+}
+
+/// Drives one persist against the blackhole store.
+struct PersistDriver {
+    backend: DurableBackend,
+}
+
+impl Process for PersistDriver {
+    fn name(&self) -> &str {
+        "persist-driver"
+    }
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let payload = CheckpointPayload::Full(sample_snapshot(1));
+        self.backend.persist(ctx, "job", &payload);
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: ProcessId, msg: Box<dyn Message>) {
+        if let Ok(rpc) = downcast::<StoreRpc>(msg) {
+            let _ = self.backend.on_store_rpc(ctx, "job", &rpc);
+        }
+    }
+}
+
+#[test]
+fn manifest_put_waits_for_the_blob_ack() {
+    // Phase 1: the store never acks the blob — the manifest must never be
+    // published, or a crash here would dangle the manifest on a missing
+    // blob.
+    let mut sim = Sim::new(3);
+    let store = sim.spawn(Box::new(BlackholeBlobStore {
+        received: Vec::new(),
+        ack_blobs: false,
+    }));
+    sim.spawn(Box::new(PersistDriver {
+        backend: DurableBackend::new(store),
+    }));
+    sim.run_until(SimTime::from_secs(5));
+    let st = sim.process_ref::<BlackholeBlobStore>(store).expect("store");
+    assert_eq!(
+        st.received,
+        vec!["ckpt/job/1/base".to_string()],
+        "without the blob ack the manifest is withheld"
+    );
+
+    // Phase 2: acks flow — the manifest follows the blob, strictly after.
+    let mut sim = Sim::new(3);
+    let store = sim.spawn(Box::new(BlackholeBlobStore {
+        received: Vec::new(),
+        ack_blobs: true,
+    }));
+    sim.spawn(Box::new(PersistDriver {
+        backend: DurableBackend::new(store),
+    }));
+    sim.run_until(SimTime::from_secs(5));
+    let st = sim.process_ref::<BlackholeBlobStore>(store).expect("store");
+    assert_eq!(
+        st.received,
+        vec!["ckpt/job/1/base".to_string(), "ckpt/job".to_string()],
+        "the manifest publish strictly follows the blob's durability"
+    );
+}
