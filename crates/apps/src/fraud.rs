@@ -91,14 +91,63 @@ pub fn scenario(n: usize, training_size: usize, duration: SimTime, seed: u64) ->
     );
     sc.spe_job(
         "h-spe",
-        SpeJobSpec {
-            name: "fraud-scoring".into(),
-            sources: vec!["transactions".into()],
-            plan: Box::new(move || fraud_plan(train_model(training_size, seed))),
-            sink: SpeSinkSpec::Topic("fraud-alerts".into()),
-            cfg: SpeConfig::default(),
-        },
+        SpeJobSpec::new(
+            "fraud-scoring",
+            vec!["transactions".into()],
+            move || fraud_plan(train_model(training_size, seed)),
+            SpeSinkSpec::Topic("fraud-alerts".into()),
+            SpeConfig::default(),
+        ),
     );
+    sc.consumer("h-alerts", Default::default(), &["fraud-alerts"]);
+    sc
+}
+
+/// The parallel port of [`scenario`]: the same SVM-scoring pipeline, but
+/// the transactions topic gets 8 partitions and the (stateless, single
+/// stage) job runs `parallelism` instances, each statically owning a
+/// contiguous partition range. With `parallelism == 1` this degenerates to
+/// the classic single-worker layout (the output-parity baseline).
+pub fn parallel_scenario(
+    n: usize,
+    training_size: usize,
+    duration: SimTime,
+    seed: u64,
+    parallelism: usize,
+) -> Scenario {
+    let mut sc = Scenario::new("fraud-detection-parallel");
+    sc.seed(seed)
+        .duration(duration)
+        .default_link(LinkSpec::new().latency(SimDuration::from_millis(3)))
+        .topic(TopicSpec::new("transactions").partitions(8))
+        .topic(TopicSpec::new("fraud-alerts"));
+    sc.broker("h-broker");
+    let stream: Vec<String> = transactions(n, seed ^ 0x00ff)
+        .iter()
+        .map(Transaction::to_record)
+        .collect();
+    sc.producer(
+        "h-src",
+        SourceSpec::Items {
+            topic: "transactions".into(),
+            items: stream,
+            interval: SimDuration::from_millis(20),
+        },
+        Default::default(),
+    );
+    let mut job = SpeJobSpec::new(
+        "fraud-scoring",
+        vec!["transactions".into()],
+        move || fraud_plan(train_model(training_size, seed)),
+        SpeSinkSpec::Topic("fraud-alerts".into()),
+        SpeConfig::default(),
+    );
+    if parallelism > 1 {
+        // A stateless plan has one stage; forcing the parallel layout makes
+        // the instances split the source partitions between them.
+        job = job.parallelism(parallelism);
+    }
+    sc.spe_job("h-spe", job);
     sc.consumer("h-alerts", Default::default(), &["fraud-alerts"]);
     sc
 }

@@ -81,16 +81,16 @@ pub fn scenario(n: usize, duration: SimTime, seed: u64) -> Scenario {
     );
     sc.spe_job(
         "h-spe",
-        SpeJobSpec {
-            name: "port-counts".into(),
-            sources: vec!["ais".into()],
-            plan: Box::new(port_count_plan),
-            sink: SpeSinkSpec::StoreOn {
+        SpeJobSpec::new(
+            "port-counts",
+            vec!["ais".into()],
+            port_count_plan,
+            SpeSinkSpec::StoreOn {
                 host: "h-store".into(),
                 table: "port_counts".into(),
             },
-            cfg: SpeConfig::default(),
-        },
+            SpeConfig::default(),
+        ),
     );
     sc
 }

@@ -117,13 +117,13 @@ pub fn scenario(n: usize, duration: SimTime, seed: u64) -> Scenario {
     );
     sc.spe_job(
         "h-spe",
-        SpeJobSpec {
-            name: "best-tipping-areas".into(),
-            sources: vec!["rides".into(), "fares".into()],
-            plan: Box::new(best_tipping_areas_plan),
-            sink: SpeSinkSpec::Topic("best-areas".into()),
-            cfg: SpeConfig::default(),
-        },
+        SpeJobSpec::new(
+            "best-tipping-areas",
+            vec!["rides".into(), "fares".into()],
+            best_tipping_areas_plan,
+            SpeSinkSpec::Topic("best-areas".into()),
+            SpeConfig::default(),
+        ),
     );
     sc.consumer("h-sink", Default::default(), &["best-areas"]);
     sc

@@ -48,13 +48,13 @@ pub fn scenario(n: usize, duration: SimTime, seed: u64) -> Scenario {
     );
     sc.spe_job(
         "h-spe",
-        SpeJobSpec {
-            name: "sentiment".into(),
-            sources: vec!["tweets".into()],
-            plan: Box::new(sentiment_plan),
-            sink: SpeSinkSpec::Collect,
-            cfg: SpeConfig::default(),
-        },
+        SpeJobSpec::new(
+            "sentiment",
+            vec!["tweets".into()],
+            sentiment_plan,
+            SpeSinkSpec::Collect,
+            SpeConfig::default(),
+        ),
     );
     sc
 }

@@ -137,13 +137,13 @@ pub fn scenario(users: u32, duration: SimTime, seed: u64) -> Scenario {
     }
     sc.spe_job(
         "h-spark",
-        SpeJobSpec {
-            name: "traffic-metrics".into(),
-            sources: vec!["packets".into()],
-            plan: Box::new(monitoring_plan),
-            sink: SpeSinkSpec::Collect,
-            cfg: spark_config(),
-        },
+        SpeJobSpec::new(
+            "traffic-metrics",
+            vec!["packets".into()],
+            monitoring_plan,
+            SpeSinkSpec::Collect,
+            spark_config(),
+        ),
     );
     sc
 }

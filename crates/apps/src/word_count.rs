@@ -126,23 +126,23 @@ pub fn scenario(
     };
     sc.spe_job(
         "h3",
-        SpeJobSpec {
-            name: "job1-word-count".into(),
-            sources: vec!["raw-data".into()],
-            plan: Box::new(count_words_plan),
-            sink: SpeSinkSpec::Topic("words-per-doc".into()),
-            cfg: fast_batches.clone(),
-        },
+        SpeJobSpec::new(
+            "job1-word-count",
+            vec!["raw-data".into()],
+            count_words_plan,
+            SpeSinkSpec::Topic("words-per-doc".into()),
+            fast_batches.clone(),
+        ),
     );
     sc.spe_job(
         "h4",
-        SpeJobSpec {
-            name: "job2-avg-length".into(),
-            sources: vec!["words-per-doc".into()],
-            plan: Box::new(avg_doc_length_plan),
-            sink: SpeSinkSpec::Topic("avg-words-per-topic".into()),
-            cfg: fast_batches,
-        },
+        SpeJobSpec::new(
+            "job2-avg-length",
+            vec!["words-per-doc".into()],
+            avg_doc_length_plan,
+            SpeSinkSpec::Topic("avg-words-per-topic".into()),
+            fast_batches,
+        ),
     );
     sc.consumer("h5", Default::default(), &["avg-words-per-topic"]);
     sc
@@ -215,14 +215,65 @@ pub fn recovery_scenario(
     };
     sc.spe_job(
         "h3",
-        SpeJobSpec {
-            name: "wordcount".into(),
-            sources: vec!["words".into()],
-            plan: Box::new(running_count_plan),
-            sink: SpeSinkSpec::Topic("counts".into()),
+        SpeJobSpec::new(
+            "wordcount",
+            vec!["words".into()],
+            running_count_plan,
+            SpeSinkSpec::Topic("counts".into()),
             cfg,
-        },
+        ),
     );
+    sc.consumer("h5", Default::default(), &["counts"]);
+    sc
+}
+
+/// The parallel port of [`recovery_scenario`]: the same stateful word-count
+/// pipeline, but the source topic gets 8 partitions and the job runs
+/// `parallelism` instances per stage — stage 0 (`key_by`) splits the source
+/// partitions, the keyed shuffle routes each word to the instance owning
+/// its key group, and the running counts live sliced across the stage-1
+/// instances. With `parallelism == 1` this degenerates to the classic
+/// single-worker layout (the output-parity baseline).
+pub fn parallel_recovery_scenario(
+    words: usize,
+    interval: SimDuration,
+    duration: SimTime,
+    seed: u64,
+    parallelism: usize,
+) -> Scenario {
+    let mut sc = Scenario::new("word-count-parallel");
+    sc.seed(seed)
+        .duration(duration)
+        .default_link(LinkSpec::new().latency(SimDuration::from_millis(2)))
+        .topic(TopicSpec::new("words").partitions(8))
+        .topic(TopicSpec::new("counts"));
+    sc.broker("h2");
+    sc.producer(
+        "h1",
+        SourceSpec::Items {
+            topic: "words".into(),
+            items: word_stream(words, seed),
+            interval,
+        },
+        Default::default(),
+    );
+    let cfg = SpeConfig {
+        batch_interval: SimDuration::from_millis(250),
+        scheduling_overhead: SimDuration::from_millis(20),
+        startup_cpu: SimDuration::from_millis(200),
+        ..SpeConfig::default()
+    };
+    let mut job = SpeJobSpec::new(
+        "wordcount",
+        vec!["words".into()],
+        running_count_plan,
+        SpeSinkSpec::Topic("counts".into()),
+        cfg,
+    );
+    if parallelism > 1 {
+        job = job.parallelism(parallelism);
+    }
+    sc.spe_job("h3", job);
     sc.consumer("h5", Default::default(), &["counts"]);
     sc
 }

@@ -18,7 +18,8 @@ use std::path::PathBuf;
 use s2g_bench::experiments::table2_inventory;
 use s2g_bench::{
     broker_recovery_sweep, compaction_sweep, fig5_sweep, fig6_run, fig7a_sweep, fig7b_sweep,
-    fig8_sweep, fig9_sweep, group_by_component, store_replication_sweep, Component, Scale,
+    fig8_sweep, fig9_sweep, group_by_component, scaling_sweep, store_replication_sweep, Component,
+    Scale,
 };
 use s2g_broker::CoordinationMode;
 use s2g_core::{ascii_chart, ascii_matrix, ascii_table, cdf, csv_series};
@@ -503,6 +504,59 @@ fn replication(scale: Scale) {
     );
 }
 
+fn scaling(scale: Scale) {
+    println!("\n#### Scaling: throughput & recovery vs parallelism degree ####");
+    let degrees: &[usize] = match scale {
+        Scale::Full => &[1, 2, 4, 8],
+        Scale::Quick => &[1, 2, 4, 8],
+        Scale::Smoke => &[1, 2, 4],
+    };
+    let points = scaling_sweep(degrees, scale, 33);
+    let throughput: Vec<(f64, f64)> = points
+        .iter()
+        .map(|p| (p.parallelism as f64, p.throughput_rps))
+        .collect();
+    let crash_throughput: Vec<(f64, f64)> = points
+        .iter()
+        .map(|p| (p.parallelism as f64, p.crash_throughput_rps))
+        .collect();
+    let recovery: Vec<(f64, f64)> = points
+        .iter()
+        .map(|p| (p.parallelism as f64, p.recovery_s))
+        .collect();
+    println!(
+        "{}",
+        ascii_chart(
+            "keyed job throughput vs parallelism",
+            &[
+                ("fault-free (rec/s)", &throughput),
+                ("one instance crashed (rec/s)", &crash_throughput),
+            ],
+            56,
+            12,
+            "parallelism",
+            "records/s",
+        )
+    );
+    for p in &points {
+        println!(
+            "  p={:>2} | {:>9.1} rec/s | crashed {:>9.1} rec/s | recovery {:>6.3}s",
+            p.parallelism, p.throughput_rps, p.crash_throughput_rps, p.recovery_s,
+        );
+    }
+    write_csv(
+        "scaling.csv",
+        &csv_series(
+            "parallelism",
+            &[
+                ("throughput_rps", &throughput),
+                ("crash_throughput_rps", &crash_throughput),
+                ("recovery_s", &recovery),
+            ],
+        ),
+    );
+}
+
 fn table2() {
     println!("\n#### Table II: example applications ####");
     let rows: Vec<Vec<String>> = table2_inventory()
@@ -547,6 +601,7 @@ fn main() {
         "recovery" => recovery(scale),
         "compaction" => compaction(scale),
         "replication" => replication(scale),
+        "scaling" => scaling(scale),
         "table2" => table2(),
         "all" => {
             table2();
@@ -559,10 +614,12 @@ fn main() {
             recovery(scale);
             compaction(scale);
             replication(scale);
+            scaling(scale);
         }
         other => {
             eprintln!(
-                "unknown figure `{other}`; use 5|6|7a|7b|8|9|recovery|compaction|replication|table2|all"
+                "unknown figure `{other}`; use \
+                 5|6|7a|7b|8|9|recovery|compaction|replication|scaling|table2|all"
             );
             std::process::exit(2);
         }

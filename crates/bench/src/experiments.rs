@@ -508,19 +508,19 @@ pub fn compaction_sweep(history_counts: &[u64], scale: Scale, seed: u64) -> Vec<
         );
         sc.spe_job(
             "h3",
-            s2g_core::SpeJobSpec {
-                name: "keycount".into(),
-                sources: vec!["events".into()],
-                plan: Box::new(|| {
+            s2g_core::SpeJobSpec::new(
+                "keycount",
+                vec!["events".into()],
+                || {
                     Plan::new().stateful("count", Value::Int(0), |state, e| {
                         let k = state.as_int().unwrap_or(0) + 1;
                         *state = Value::Int(k);
                         vec![e.clone()]
                     })
-                }),
-                sink: s2g_core::SpeSinkSpec::Collect,
-                cfg: Default::default(),
-            },
+                },
+                s2g_core::SpeSinkSpec::Collect,
+                Default::default(),
+            ),
         );
         let cfg = CheckpointCfg::exactly_once(SimDuration::from_millis(500));
         if incremental {
@@ -718,6 +718,141 @@ pub fn store_replication_sweep(
                 },
                 unavailability_s: unavailability,
                 resync_ops,
+            }
+        })
+        .collect()
+}
+
+/// One point of the scaling sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalingPoint {
+    /// Instances per stage.
+    pub parallelism: usize,
+    /// Fault-free records through the job per second of run time.
+    pub throughput_rps: f64,
+    /// Same with one keyed-stage instance crashed mid-run.
+    pub crash_throughput_rps: f64,
+    /// Crash-to-first-processed-batch latency of the crashed worker,
+    /// seconds.
+    pub recovery_s: f64,
+}
+
+/// **Scaling** — the `--fig scaling` sweep: a compute-bound keyed
+/// word-count job (per-record CPU far above what one worker can sustain at
+/// the offered rate) runs at parallelism 1/2/4/8, with and without a
+/// mid-run crash of one keyed-stage instance. Throughput grows with the
+/// parallelism degree until the offered rate is met — the dominant knob
+/// PDSP-Bench identifies — while recovery latency stays roughly flat
+/// (only the crashed instance's key groups restore).
+pub fn scaling_sweep(parallelisms: &[usize], scale: Scale, seed: u64) -> Vec<ScalingPoint> {
+    use s2g_broker::TopicSpec;
+    use s2g_core::{SpeJobSpec, SpeSinkSpec};
+    use s2g_spe::{CheckpointCfg, SpeConfig};
+
+    // Per-record CPU is set so one worker is far below the offered rate —
+    // the sweep then shows throughput climbing with the parallelism degree
+    // until the offered rate is met.
+    let (records, interval_ms, cpu_ms, tail_ms) = match scale {
+        Scale::Full => (4_000u64, 2u64, 8u64, 8_000u64),
+        Scale::Quick => (800, 5, 30, 8_000),
+        Scale::Smoke => (300, 5, 30, 6_000),
+    };
+    let produce_ms = records * interval_ms + 500;
+    let crash_at = SimTime::from_millis(produce_ms / 2);
+    let duration = SimTime::from_millis(produce_ms + tail_ms);
+    let run = |parallelism: usize, crash: bool| -> (f64, f64) {
+        let mut sc = Scenario::new("scaling");
+        sc.seed(seed)
+            .duration(duration)
+            .topic(TopicSpec::new("events").partitions(8))
+            .topic(TopicSpec::new("counts"));
+        sc.broker("h0");
+        sc.producer(
+            "hp",
+            SourceSpec::Custom {
+                topics: vec!["events".into()],
+                make: Box::new(move || {
+                    Box::new(
+                        s2g_broker::RateSource::new(
+                            "events",
+                            records,
+                            SimDuration::from_millis(interval_ms),
+                        )
+                        .payload_bytes(64)
+                        .key_space(32),
+                    )
+                }),
+            },
+            ProducerConfig::default(),
+        );
+        let mut job = SpeJobSpec::new(
+            "scalecount",
+            vec!["events".into()],
+            || {
+                use s2g_spe::{Event, Plan, Value};
+                Plan::new()
+                    .key_by("by-payload", |e| {
+                        e.key.clone().unwrap_or_else(|| {
+                            e.value.as_str().unwrap_or("").chars().take(8).collect()
+                        })
+                    })
+                    .stateful("count", Value::Int(0), |state, e| {
+                        let n = state.as_int().unwrap_or(0) + 1;
+                        *state = Value::Int(n);
+                        vec![Event {
+                            value: Value::Int(n),
+                            ..e.clone()
+                        }]
+                    })
+            },
+            SpeSinkSpec::Topic("counts".into()),
+            SpeConfig {
+                batch_interval: SimDuration::from_millis(250),
+                scheduling_overhead: SimDuration::from_millis(10),
+                cpu_per_record: SimDuration::from_millis(cpu_ms),
+                startup_cpu: SimDuration::from_millis(200),
+                max_batch_records: 64,
+                ..SpeConfig::default()
+            },
+        );
+        if parallelism > 1 {
+            job = job.parallelism(parallelism);
+        }
+        sc.spe_job("hs", job);
+        sc.consumer("hc", Default::default(), &["counts"]);
+        sc.with_checkpointing(CheckpointCfg::exactly_once(SimDuration::from_millis(500)));
+        if crash {
+            let target = if parallelism > 1 {
+                format!("scalecount/1/{}", 1.min(parallelism - 1))
+            } else {
+                "scalecount".to_string()
+            };
+            sc.faults(FaultPlan::new().crash_restart(
+                &target,
+                crash_at,
+                SimDuration::from_millis(800),
+            ));
+        }
+        let result = sc.run().expect("valid scenario");
+        let spe = &result.report.spe["scalecount"];
+        let throughput = spe.record_counts.1 as f64 / duration.as_secs_f64();
+        let recovery = spe
+            .recovery
+            .and_then(|r| r.recovery_latency())
+            .map(|d| d.as_secs_f64())
+            .unwrap_or(f64::NAN);
+        (throughput, recovery)
+    };
+    parallelisms
+        .iter()
+        .map(|&p| {
+            let (throughput_rps, _) = run(p, false);
+            let (crash_throughput_rps, recovery_s) = run(p, true);
+            ScalingPoint {
+                parallelism: p,
+                throughput_rps,
+                crash_throughput_rps,
+                recovery_s,
             }
         })
         .collect()

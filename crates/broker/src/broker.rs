@@ -43,6 +43,7 @@ use s2g_sim::{
 use s2g_store::StoreRpc;
 
 use crate::config::{BrokerConfig, CoordinationMode};
+use crate::groups::GroupCoordinator;
 use crate::log::{
     BrokerLogMeta, CleanOutcome, LogBackend, LogPersist, LogRecover, LogSegment, PartitionLog,
 };
@@ -321,6 +322,10 @@ pub struct Broker {
     /// the broker-side half of checkpoint/recovery. Commits survive client
     /// crashes because they live here, not in the consumer.
     group_offsets: BTreeMap<(String, TopicPartition), Offset>,
+    /// Consumer-group membership + partition assignment for the groups this
+    /// broker coordinates (clients route group RPCs by `fnv1a(group) %
+    /// brokers`, so exactly one broker coordinates each group).
+    groups: GroupCoordinator,
     /// Highest `(producer_epoch, seq)` appended per `(partition, producer)`
     /// — the idempotent-producer dedup state. Rebuilt from the log on
     /// restart replay and after divergence truncation, so a batch retried
@@ -389,6 +394,7 @@ impl Broker {
             peers,
             logs: BTreeMap::new(),
             group_offsets: BTreeMap::new(),
+            groups: GroupCoordinator::new(),
             last_producer_seq: BTreeMap::new(),
             txns: BTreeMap::new(),
             roles: BTreeMap::new(),
@@ -476,6 +482,12 @@ impl Broker {
     /// Counters.
     pub fn stats(&self) -> BrokerStats {
         self.stats
+    }
+
+    /// The consumer-group coordinator hosted on this broker (generation,
+    /// membership, and assignment introspection for tests and monitors).
+    pub fn group_coordinator(&self) -> &GroupCoordinator {
+        &self.groups
     }
 
     /// Read access to a partition log (tests, monitors).
@@ -928,20 +940,31 @@ impl Broker {
                 corr,
                 group,
                 offsets,
+                member,
             } => {
                 self.stats.offset_commits += 1;
                 let error = if self.is_fenced(now) {
                     self.stats.rejected_fenced += 1;
                     ErrorCode::Fenced
                 } else {
-                    for (tp, off) in offsets {
-                        self.group_offsets.insert((group.clone(), tp), off);
+                    // Generation fencing: a commit stamped with a member id
+                    // must come from a member current at exactly that
+                    // generation — an evicted zombie's commit is rejected
+                    // instead of clobbering its successor's positions.
+                    let fence = match &member {
+                        Some((m, generation)) => self.groups.check_commit(&group, m, *generation),
+                        None => ErrorCode::None,
+                    };
+                    if fence.is_ok() {
+                        for (tp, off) in offsets {
+                            self.group_offsets.insert((group.clone(), tp), off);
+                        }
+                        if let Some(d) = &mut self.durability {
+                            d.dirty = true;
+                        }
+                        self.flush_logs(ctx);
                     }
-                    if let Some(d) = &mut self.durability {
-                        d.dirty = true;
-                    }
-                    self.flush_logs(ctx);
-                    ErrorCode::None
+                    fence
                 };
                 let cost = self.cfg.cpu_per_request;
                 self.respond_after_cpu(
@@ -1013,6 +1036,56 @@ impl Broker {
                     OutMsg::Client(ClientRpc::TxnRecoverResponse { corr }),
                 );
             }
+            ClientRpc::JoinGroup {
+                corr,
+                group,
+                member,
+                topics,
+            } => {
+                let (generation, assigned, error) = if self.is_fenced(now) {
+                    self.stats.rejected_fenced += 1;
+                    (0, Vec::new(), ErrorCode::Fenced)
+                } else {
+                    let metadata = &self.metadata;
+                    let partitions_of = |t: &str| metadata.partitions_of(t);
+                    let (generation, assigned) =
+                        self.groups
+                            .join(now, &group, &member, topics, &partitions_of);
+                    (generation, assigned, ErrorCode::None)
+                };
+                let cost = self.cfg.cpu_per_request;
+                self.respond_after_cpu(
+                    ctx,
+                    cost,
+                    from,
+                    OutMsg::Client(ClientRpc::JoinGroupResponse {
+                        corr,
+                        generation,
+                        assigned,
+                        error,
+                    }),
+                );
+            }
+            ClientRpc::GroupHeartbeat {
+                corr,
+                group,
+                member,
+                generation,
+            } => {
+                let error = if self.is_fenced(now) {
+                    self.stats.rejected_fenced += 1;
+                    ErrorCode::Fenced
+                } else {
+                    self.groups.heartbeat(now, &group, &member, generation)
+                };
+                let cost = self.cfg.cpu_per_request;
+                self.respond_after_cpu(
+                    ctx,
+                    cost,
+                    from,
+                    OutMsg::Client(ClientRpc::GroupHeartbeatResponse { corr, error }),
+                );
+            }
             // Responses are not expected here; brokers only serve.
             ClientRpc::ProduceResponse { .. }
             | ClientRpc::FetchResponse { .. }
@@ -1020,7 +1093,9 @@ impl Broker {
             | ClientRpc::OffsetCommitResponse { .. }
             | ClientRpc::OffsetFetchResponse { .. }
             | ClientRpc::EndTxnResponse { .. }
-            | ClientRpc::TxnRecoverResponse { .. } => {}
+            | ClientRpc::TxnRecoverResponse { .. }
+            | ClientRpc::JoinGroupResponse { .. }
+            | ClientRpc::GroupHeartbeatResponse { .. } => {}
         }
     }
 
@@ -2001,6 +2076,14 @@ impl Process for Broker {
                     incarnation: self.incarnation,
                 };
                 self.send_controllers(ctx, hb);
+                // Consumer-group session sweep rides the broker heartbeat:
+                // members silent past the group session timeout are evicted
+                // and their partitions reassigned to the survivors.
+                let now = ctx.now();
+                let metadata = &self.metadata;
+                let partitions_of = |t: &str| metadata.partitions_of(t);
+                self.groups
+                    .sweep_sessions(now, self.cfg.group_session_timeout, &partitions_of);
                 ctx.set_timer(self.cfg.heartbeat_interval, tags::HEARTBEAT_TICK);
             }
             tags::LOG_FLUSH_TICK => {

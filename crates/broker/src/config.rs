@@ -82,6 +82,10 @@ pub struct BrokerConfig {
     /// until retained bytes fit under this cap (Kafka's
     /// `log.retention.bytes`), per partition.
     pub log_retention_bytes: Option<usize>,
+    /// A consumer-group member whose heartbeats stop for longer than this
+    /// is evicted by the coordinator and its partitions are reassigned to
+    /// the surviving members (Kafka's `group.session.timeout.ms`).
+    pub group_session_timeout: SimDuration,
 }
 
 impl Default for BrokerConfig {
@@ -105,6 +109,7 @@ impl Default for BrokerConfig {
             log_compaction: false,
             log_retention_age: None,
             log_retention_bytes: None,
+            group_session_timeout: SimDuration::from_secs(4),
         }
     }
 }
@@ -197,6 +202,20 @@ pub struct ConsumerConfig {
     /// transactions are skipped — required to observe a transactional
     /// sink's exactly-once output.
     pub read_committed: bool,
+    /// When a group is set, join the coordinator's membership protocol:
+    /// the client fetches only the partitions the coordinator assigned it,
+    /// heartbeats to stay admitted, rejoins on rebalance, and stamps
+    /// commits with its `(member, generation)` fence. Off (the default),
+    /// a grouped client fetches every partition of its subscriptions —
+    /// the pre-membership behavior, still right for single-member groups
+    /// and statically assigned SPE stage instances.
+    pub group_membership: bool,
+    /// Membership heartbeat period (only used with `group_membership`).
+    pub group_heartbeat_interval: SimDuration,
+    /// Stable member id for the membership protocol. Empty picks an
+    /// unsticky default; orchestrators set it so a respawned stub rejoins
+    /// as itself and sticky assignment gives its old partitions back.
+    pub group_member_id: String,
 }
 
 impl Default for ConsumerConfig {
@@ -211,6 +230,9 @@ impl Default for ConsumerConfig {
             group: None,
             auto_commit_interval: SimDuration::ZERO,
             read_committed: false,
+            group_membership: false,
+            group_heartbeat_interval: SimDuration::from_secs(1),
+            group_member_id: String::new(),
         }
     }
 }

@@ -29,6 +29,8 @@ mod off {
     pub const META_TIMEOUT: u64 = 2;
     pub const AUTO_COMMIT: u64 = 3;
     pub const OFFSET_FETCH_TIMEOUT: u64 = 4;
+    pub const GROUP_HEARTBEAT: u64 = 5;
+    pub const JOIN_TIMEOUT: u64 = 6;
     pub const REQ_TIMEOUT_BASE: u64 = 1_000_000;
     pub const CPU_DELIVER_BASE: u64 = 2_000_000_000;
 }
@@ -71,6 +73,11 @@ pub struct ConsumerStats {
     /// Partitions whose position was resumed from a broker-side committed
     /// offset at startup — the recovery-worked signal.
     pub resumed_partitions: u64,
+    /// Successful group joins (membership protocol only).
+    pub group_joins: u64,
+    /// Rebalances observed: heartbeats or commits bounced with a
+    /// rejoin-required error (membership protocol only).
+    pub rebalances: u64,
 }
 
 #[derive(Debug)]
@@ -104,6 +111,25 @@ pub struct ConsumerClient {
     /// rather than at zero.
     offsets_restored: bool,
     offset_fetch_inflight: Option<(CorrelationId, TimerToken)>,
+    /// Static partition assignment `(instance, parallelism)`: only
+    /// partitions whose contiguous-range owner is `instance` are fetched.
+    /// The SPE's parallel stage instances use this — keyed state cannot
+    /// migrate on a dynamic rebalance, so their partition split is fixed by
+    /// the key-group formula instead of by the membership protocol.
+    static_assignment: Option<(u32, u32)>,
+    /// Membership-protocol state (when `cfg.group_membership` is on).
+    membership: Option<Membership>,
+}
+
+/// Client-side state of the group-membership protocol.
+#[derive(Debug)]
+struct Membership {
+    member: String,
+    generation: u64,
+    assigned: Vec<TopicPartition>,
+    joined: bool,
+    join_inflight: Option<(CorrelationId, TimerToken)>,
+    hb_inflight: Option<CorrelationId>,
 }
 
 impl ConsumerClient {
@@ -136,7 +162,116 @@ impl ConsumerClient {
             request_timeout: SimDuration::from_secs(2),
             offsets_restored: false,
             offset_fetch_inflight: None,
+            static_assignment: None,
+            membership: None,
         }
+    }
+
+    /// Restricts fetching to the partitions instance `instance` of
+    /// `parallelism` owns under the contiguous-range formula
+    /// ([`s2g_proto::owner_of_group`]) — the static split parallel SPE
+    /// stage instances use.
+    pub fn set_static_assignment(&mut self, instance: u32, parallelism: u32) {
+        assert!(parallelism > 0, "parallelism must be positive");
+        assert!(instance < parallelism, "instance out of range");
+        self.static_assignment = Some((instance, parallelism));
+    }
+
+    /// True when this client fetches `tp` given the partition count of its
+    /// topic: statically assigned clients own a contiguous range,
+    /// membership-protocol clients own what the coordinator assigned, and
+    /// everyone else owns everything.
+    fn owns(&self, tp: &TopicPartition, n_parts: usize) -> bool {
+        if let Some((instance, parallelism)) = self.static_assignment {
+            if n_parts == 0 {
+                return false;
+            }
+            return s2g_proto::owner_of_group(tp.partition, parallelism, n_parts as u32)
+                == instance;
+        }
+        match &self.membership {
+            Some(m) => m.joined && m.assigned.contains(tp),
+            None => true,
+        }
+    }
+
+    /// The broker coordinating this client's group: every member hashes the
+    /// group name with the shared FNV-1a helper, so they all pick the same
+    /// one without any lookup round trip.
+    fn coordinator(&self) -> ProcessId {
+        let group = self.cfg.group.as_deref().unwrap_or("");
+        if self.bootstrap_candidates.is_empty() {
+            return self.bootstrap;
+        }
+        let idx =
+            (s2g_proto::fnv1a(group.as_bytes()) % self.bootstrap_candidates.len() as u64) as usize;
+        self.bootstrap_candidates[idx]
+    }
+
+    fn send_join(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(group) = self.cfg.group.clone() else {
+            return;
+        };
+        if self
+            .membership
+            .as_ref()
+            .is_none_or(|m| m.join_inflight.is_some())
+        {
+            return;
+        }
+        let corr = self.next_corr();
+        let timer = ctx.set_timer(self.request_timeout, CONSUMER_TAGS + off::JOIN_TIMEOUT);
+        let coordinator = self.coordinator();
+        let m = self.membership.as_mut().expect("checked above");
+        m.join_inflight = Some((corr, timer));
+        let member = m.member.clone();
+        let topics = self.subscriptions.clone();
+        ctx.send(
+            coordinator,
+            ClientRpc::JoinGroup {
+                corr,
+                group,
+                member,
+                topics,
+            },
+        );
+    }
+
+    fn send_group_heartbeat(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(group) = self.cfg.group.clone() else {
+            return;
+        };
+        let coordinator = self.coordinator();
+        let corr = self.next_corr();
+        let Some(m) = self.membership.as_mut() else {
+            return;
+        };
+        if !m.joined {
+            return;
+        }
+        m.hb_inflight = Some(corr);
+        let member = m.member.clone();
+        let generation = m.generation;
+        ctx.send(
+            coordinator,
+            ClientRpc::GroupHeartbeat {
+                corr,
+                group,
+                member,
+                generation,
+            },
+        );
+    }
+
+    /// Drops membership back to "must rejoin": the next poll (and the
+    /// armed join timer) re-runs the join, picking up the new generation
+    /// and assignment.
+    fn mark_rejoin(&mut self, ctx: &mut Ctx<'_>) {
+        self.stats.rebalances += 1;
+        if let Some(m) = self.membership.as_mut() {
+            m.joined = false;
+        }
+        self.send_join(ctx);
     }
 
     /// Counters.
@@ -163,8 +298,43 @@ impl ConsumerClient {
         self.cfg.group.as_deref()
     }
 
+    /// The partitions the coordinator currently assigns this member (empty
+    /// without the membership protocol or before the first join).
+    pub fn group_assignment(&self) -> Vec<TopicPartition> {
+        self.membership
+            .as_ref()
+            .filter(|m| m.joined)
+            .map(|m| m.assigned.clone())
+            .unwrap_or_default()
+    }
+
+    /// The group generation this member last joined at (0 before joining).
+    pub fn group_generation(&self) -> u64 {
+        self.membership.as_ref().map_or(0, |m| m.generation)
+    }
+
     /// Kicks off metadata discovery and the poll loop. Call from `on_start`.
     pub fn start(&mut self, ctx: &mut Ctx<'_>) {
+        if self.cfg.group.is_some() && self.cfg.group_membership && self.membership.is_none() {
+            let member = if self.cfg.group_member_id.is_empty() {
+                format!("m{}", ctx.self_id().0)
+            } else {
+                self.cfg.group_member_id.clone()
+            };
+            self.membership = Some(Membership {
+                member,
+                generation: 0,
+                assigned: Vec::new(),
+                joined: false,
+                join_inflight: None,
+                hb_inflight: None,
+            });
+            self.send_join(ctx);
+            ctx.set_timer(
+                self.cfg.group_heartbeat_interval,
+                CONSUMER_TAGS + off::GROUP_HEARTBEAT,
+            );
+        }
         self.request_metadata(ctx);
         ctx.set_timer(self.cfg.poll_interval, CONSUMER_TAGS + off::POLL);
         if self.cfg.group.is_some() && !self.cfg.auto_commit_interval.is_zero() {
@@ -198,12 +368,20 @@ impl ConsumerClient {
         }
         let corr = self.next_corr();
         self.stats.offset_commits += 1;
+        // Membership-protocol commits go to the coordinator stamped with
+        // the (member, generation) fence; plain grouped commits keep the
+        // original bootstrap path.
+        let (to, member) = match &self.membership {
+            Some(m) => (self.coordinator(), Some((m.member.clone(), m.generation))),
+            None => (self.bootstrap, None),
+        };
         ctx.send(
-            self.bootstrap,
+            to,
             ClientRpc::OffsetCommit {
                 corr,
                 group,
                 offsets,
+                member,
             },
         );
     }
@@ -246,9 +424,17 @@ impl ConsumerClient {
     }
 
     fn poll(&mut self, ctx: &mut Ctx<'_>) {
+        if self.membership.as_ref().is_some_and(|m| !m.joined) {
+            // Not admitted (or bounced by a rebalance): rejoin before
+            // fetching anything.
+            self.send_join(ctx);
+            return;
+        }
         let mut tps: Vec<TopicPartition> = Vec::new();
         for topic in &self.subscriptions {
-            tps.extend(self.metadata.partitions_of(topic));
+            let parts = self.metadata.partitions_of(topic);
+            let n = parts.len();
+            tps.extend(parts.into_iter().filter(|tp| self.owns(tp, n)));
         }
         if tps.is_empty() {
             self.request_metadata(ctx);
@@ -276,7 +462,13 @@ impl ConsumerClient {
         );
         self.offset_fetch_inflight = Some((corr, timer));
         let group = self.cfg.group.clone().expect("caller checked group");
-        ctx.send(self.bootstrap, ClientRpc::OffsetFetch { corr, group, tps });
+        // Membership commits live on the coordinator; fetch them there.
+        let to = if self.membership.is_some() {
+            self.coordinator()
+        } else {
+            self.bootstrap
+        };
+        ctx.send(to, ClientRpc::OffsetFetch { corr, group, tps });
     }
 
     fn fetch_one(&mut self, ctx: &mut Ctx<'_>, tp: TopicPartition) {
@@ -284,6 +476,10 @@ impl ConsumerClient {
             return;
         }
         if self.cfg.group.is_some() && !self.offsets_restored {
+            return;
+        }
+        let n_parts = self.metadata.partitions_of(&tp.topic).len();
+        if !self.owns(&tp, n_parts) {
             return;
         }
         let Some(leader) = self.metadata.leader(&tp) else {
@@ -402,8 +598,14 @@ impl ConsumerClient {
                         let mut tps: Vec<TopicPartition> = Vec::new();
                         for (tp, committed) in offsets {
                             if let Some(off) = committed {
-                                self.stats.resumed_partitions += 1;
-                                self.offsets.insert(tp.clone(), off);
+                                // Never move an already-established local
+                                // position backwards: a rebalance-triggered
+                                // re-fetch may race ahead of the last
+                                // commit.
+                                if !self.offsets.contains_key(&tp) {
+                                    self.stats.resumed_partitions += 1;
+                                    self.offsets.insert(tp.clone(), off);
+                                }
                             }
                             tps.push(tp);
                         }
@@ -415,8 +617,69 @@ impl ConsumerClient {
                 }
                 None
             }
-            // Commits are fire-and-forget; the ack only confirms receipt.
-            ClientRpc::OffsetCommitResponse { .. } => None,
+            ClientRpc::JoinGroupResponse {
+                corr,
+                generation,
+                assigned,
+                error,
+            } => {
+                let matches = self
+                    .membership
+                    .as_ref()
+                    .and_then(|m| m.join_inflight)
+                    .is_some_and(|(c, _)| c == corr);
+                if matches {
+                    let (_, timer) = self
+                        .membership
+                        .as_mut()
+                        .expect("checked")
+                        .join_inflight
+                        .take()
+                        .expect("checked");
+                    ctx.cancel_timer(timer);
+                    if error.is_ok() {
+                        self.stats.group_joins += 1;
+                        let newly_assigned = {
+                            let m = self.membership.as_mut().expect("checked");
+                            m.generation = generation;
+                            m.assigned = assigned;
+                            m.joined = true;
+                            m.assigned.clone()
+                        };
+                        // Resume newly owned partitions from their group
+                        // commits before fetching them.
+                        if newly_assigned
+                            .iter()
+                            .any(|tp| !self.offsets.contains_key(tp))
+                        {
+                            self.offsets_restored = false;
+                        }
+                        self.poll(ctx);
+                    }
+                }
+                None
+            }
+            ClientRpc::GroupHeartbeatResponse { corr, error } => {
+                let matches = self
+                    .membership
+                    .as_ref()
+                    .is_some_and(|m| m.hb_inflight == Some(corr));
+                if matches {
+                    self.membership.as_mut().expect("checked").hb_inflight = None;
+                    if error.needs_rejoin() {
+                        self.mark_rejoin(ctx);
+                    }
+                }
+                None
+            }
+            // Commits are mostly fire-and-forget, but a generation-fenced
+            // rejection means this member was rebalanced away: rejoin.
+            ClientRpc::OffsetCommitResponse { error, .. } => {
+                if error.needs_rejoin() && self.membership.is_some() {
+                    self.mark_rejoin(ctx);
+                }
+                None
+            }
             other => Some(Box::new(other)),
         }
     }
@@ -447,6 +710,22 @@ impl ConsumerClient {
             // endpoint, in case the group coordinator crashed).
             self.offset_fetch_inflight = None;
             self.rotate_bootstrap();
+        } else if o == off::GROUP_HEARTBEAT {
+            self.send_group_heartbeat(ctx);
+            ctx.set_timer(
+                self.cfg.group_heartbeat_interval,
+                CONSUMER_TAGS + off::GROUP_HEARTBEAT,
+            );
+        } else if o == off::JOIN_TIMEOUT {
+            // The join (or its answer) was lost — possibly a bounced
+            // coordinator. Re-send; the coordinator address is a pure
+            // function of the group name, so the retry finds the restarted
+            // broker at the same endpoint.
+            if let Some(m) = self.membership.as_mut() {
+                if m.join_inflight.take().is_some() {
+                    self.send_join(ctx);
+                }
+            }
         } else if (off::REQ_TIMEOUT_BASE..off::CPU_DELIVER_BASE).contains(&o) {
             let corr = o - off::REQ_TIMEOUT_BASE;
             if let Some(inflight) = self.inflight.remove(&corr) {

@@ -58,6 +58,7 @@ mod broker;
 mod config;
 mod consumer;
 mod controller;
+mod groups;
 mod kraft;
 mod log;
 mod metadata;
@@ -73,6 +74,7 @@ pub use consumer::{
     CONSUMER_TAGS_END,
 };
 pub use controller::{ClusterState, PartitionState, ZkController};
+pub use groups::{GroupCoordinator, GroupCoordinatorStats};
 pub use kraft::KraftController;
 pub use log::{
     log_store, BrokerLogMeta, CleanOutcome, DurableLogBackend, InMemoryLogBackend, LogBackend,

@@ -131,6 +131,7 @@ enum TxnCtl {
     },
     Recover {
         broker: ProcessId,
+        producer: ProducerId,
         commit_upto: u64,
         epoch: u32,
     },
@@ -310,6 +311,15 @@ impl ProducerClient {
     /// this incarnation's epoch, so only older incarnations' transactions
     /// are touched even when the RPC is delayed or retried.
     pub fn recover_txns(&mut self, ctx: &mut Ctx<'_>, commit_upto: u64) {
+        let id = self.id;
+        self.recover_txns_for(ctx, id, commit_upto);
+    }
+
+    /// Like [`recover_txns`](Self::recover_txns) but for an arbitrary
+    /// producer id — the rescale path, where a shrunk stage's surviving
+    /// instance resolves the transactions of old instances that have no
+    /// successor (their producer ids never come back).
+    pub fn recover_txns_for(&mut self, ctx: &mut Ctx<'_>, producer: ProducerId, commit_upto: u64) {
         let brokers = self.broker_endpoints();
         let epoch = self.epoch;
         for broker in brokers {
@@ -318,6 +328,7 @@ impl ProducerClient {
                 corr.0,
                 TxnCtl::Recover {
                     broker,
+                    producer,
                     commit_upto,
                     epoch,
                 },
@@ -326,7 +337,7 @@ impl ProducerClient {
                 broker,
                 ClientRpc::TxnRecover {
                     corr,
-                    producer: self.id,
+                    producer,
                     commit_upto,
                     epoch,
                 },
@@ -372,13 +383,14 @@ impl ProducerClient {
                 ),
                 TxnCtl::Recover {
                     broker,
+                    producer,
                     commit_upto,
                     epoch,
                 } => ctx.send(
                     broker,
                     ClientRpc::TxnRecover {
                         corr,
-                        producer: self.id,
+                        producer,
                         commit_upto,
                         epoch,
                     },
@@ -525,33 +537,55 @@ impl ProducerClient {
             ctx.cancel_timer(t);
         }
         let records = std::mem::take(&mut batch.records);
-        let bytes = std::mem::replace(&mut batch.bytes, 0);
-        // Partition selection: round-robin over known partitions; partition 0
-        // optimistically when metadata has not arrived yet.
+        batch.bytes = 0;
+        // Partition selection. Keyed records route by the stable FNV-1a
+        // key hash (`hash(key) % partitions`) — the same helper that
+        // assigns key groups, so a keyed record always lands on the
+        // partition whose downstream owner holds its state. Keyless
+        // records keep the original behavior: the whole sub-batch goes to
+        // the next round-robin partition. Partition 0 optimistically when
+        // metadata has not arrived yet.
         let parts = self.metadata.partitions_of(topic);
-        let tp = if parts.is_empty() {
-            TopicPartition::new(topic.clone(), 0)
-        } else {
-            let rr = self.rr.entry(topic.clone()).or_insert(0);
-            let tp = parts[*rr as usize % parts.len()].clone();
-            *rr += 1;
-            tp
-        };
-        let created = records
-            .first()
-            .map(|r| r.timestamp)
-            .unwrap_or_else(|| ctx.now());
-        self.ready
-            .entry(tp.clone())
-            .or_default()
-            .push_back(ReadyBatch {
-                tp,
-                records,
-                bytes,
-                created,
-                attempts: 0,
-                txn: self.txn,
-            });
+        let n_parts = parts.len() as u32;
+        let mut split: BTreeMap<TopicPartition, (Vec<Record>, usize)> = BTreeMap::new();
+        let mut rr_tp: Option<TopicPartition> = None;
+        for r in records {
+            let rbytes = r.encoded_len();
+            let tp = match (&r.key, n_parts) {
+                (_, 0) => TopicPartition::new(topic.clone(), 0),
+                (Some(k), _) => {
+                    TopicPartition::new(topic.clone(), s2g_proto::partition_for_key(k, n_parts))
+                }
+                (None, _) => rr_tp
+                    .get_or_insert_with(|| {
+                        let rr = self.rr.entry(topic.clone()).or_insert(0);
+                        let tp = parts[*rr as usize % parts.len()].clone();
+                        *rr += 1;
+                        tp
+                    })
+                    .clone(),
+            };
+            let slot = split.entry(tp).or_default();
+            slot.0.push(r);
+            slot.1 += rbytes;
+        }
+        for (tp, (records, bytes)) in split {
+            let created = records
+                .first()
+                .map(|r| r.timestamp)
+                .unwrap_or_else(|| ctx.now());
+            self.ready
+                .entry(tp.clone())
+                .or_default()
+                .push_back(ReadyBatch {
+                    tp,
+                    records,
+                    bytes,
+                    created,
+                    attempts: 0,
+                    txn: self.txn,
+                });
+        }
         self.pump(ctx);
     }
 

@@ -518,13 +518,13 @@ pub fn scenario_from_graphml(
             }
             sc.spe_job(
                 &n.id,
-                SpeJobSpec {
-                    name: format!("{}-{}", n.id, app),
+                SpeJobSpec::new(
+                    format!("{}-{}", n.id, app),
                     sources,
-                    plan: Box::new(move || factory()),
+                    move || factory(),
                     sink,
-                    cfg: scfg,
-                },
+                    scfg,
+                ),
             );
         }
         if n.data.contains_key("storeType") {

@@ -60,9 +60,9 @@ pub use graphml::{parse_graphml, GraphmlDoc, GraphmlEdge, GraphmlError, GraphmlN
 pub use monitor::{DeliveryMatrix, DeliveryRecord, MonitorCore, MonitorHandle, MonitoredSink};
 pub use resources::{cdf, cpu_utilization_series, median, MemModel, MemSampler, ServerSpec};
 pub use scenario::{
-    BrokerDurabilitySpec, BrokerRecoveryReport, BrokerReport, CheckpointBackendSpec,
-    CheckpointSpec, ClientRecoveryReport, ConsumerReport, ConsumerSinkSpec, ProducerReport,
-    RecoveryReport, RunReport, RunResult, Scenario, ScenarioError, SourceSpec, SpeJobSpec,
-    SpeReport, SpeSinkSpec,
+    instance_name, shuffle_topic, BrokerDurabilitySpec, BrokerRecoveryReport, BrokerReport,
+    CheckpointBackendSpec, CheckpointSpec, ClientRecoveryReport, ConsumerReport, ConsumerSinkSpec,
+    ProducerReport, RecoveryReport, RunReport, RunResult, Scenario, ScenarioError, SourceSpec,
+    SpeJobSpec, SpeReport, SpeSinkSpec, StoreRecoveryReport, StoreReport, DEFAULT_KEY_GROUPS,
 };
 pub use viz::{ascii_chart, ascii_matrix, ascii_table, csv_series};

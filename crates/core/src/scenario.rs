@@ -29,7 +29,8 @@ use s2g_sim::{
 };
 use s2g_spe::{
     snapshot_store, BatchMetric, CheckpointCfg, CheckpointStats, DurableBackend, Event,
-    InMemoryBackend, Plan, SnapshotStoreHandle, SpeConfig, SpeSink, SpeWorker, StateBackend,
+    InMemoryBackend, Plan, SnapshotStoreHandle, SpeConfig, SpeSink, SpeWorker, StageInstanceCfg,
+    StateBackend,
 };
 use s2g_store::{StoreConfig, StoreServer};
 
@@ -222,6 +223,128 @@ pub struct SpeJobSpec {
     pub sink: SpeSinkSpec,
     /// Engine configuration.
     pub cfg: SpeConfig,
+    /// Parallel instances per stage. `1` (the default) keeps the classic
+    /// one-worker-per-job layout; `n > 1` splits the plan at its `KeyBy`
+    /// boundaries into stages of `n` instances each, connected by keyed
+    /// shuffle topics, with instance `i` of a stage statically owning a
+    /// contiguous range of its input partitions (and key groups).
+    pub parallelism: usize,
+    /// Per-stage parallelism overrides (`stage index → instances`).
+    pub stage_parallelism: BTreeMap<usize, usize>,
+    /// Fixed key-group count: keyed state is sliced into this many groups
+    /// (`hash(key) % key_groups`), shuffle topics get exactly this many
+    /// partitions, and a rescale redistributes whole groups. Must be at
+    /// least the largest stage parallelism.
+    pub key_groups: u32,
+    /// When set, a whole-job `RestartProcess` fault respawns every stage at
+    /// *this* parallelism instead of the original one — the rescale path.
+    /// Each restored instance reassembles its key groups from all old
+    /// instances' checkpoint chains.
+    pub rescale_on_restart: Option<usize>,
+    /// Cached stage count: probing it builds a full throwaway plan, which
+    /// can be arbitrarily expensive (a factory may train a model), so it
+    /// runs at most once per spec.
+    stage_count: std::cell::OnceCell<usize>,
+}
+
+impl SpeJobSpec {
+    /// Creates a job spec with the classic single-worker layout.
+    pub fn new(
+        name: impl Into<String>,
+        sources: Vec<String>,
+        plan: impl Fn() -> Plan + 'static,
+        sink: SpeSinkSpec,
+        cfg: SpeConfig,
+    ) -> Self {
+        SpeJobSpec {
+            name: name.into(),
+            sources,
+            plan: Box::new(plan),
+            sink,
+            cfg,
+            parallelism: 1,
+            stage_parallelism: BTreeMap::new(),
+            key_groups: DEFAULT_KEY_GROUPS,
+            rescale_on_restart: None,
+            stage_count: std::cell::OnceCell::new(),
+        }
+    }
+
+    /// Runs every stage with `n` parallel instances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn parallelism(mut self, n: usize) -> Self {
+        assert!(n > 0, "parallelism must be at least 1");
+        self.parallelism = n;
+        self
+    }
+
+    /// Overrides one stage's parallelism (stage 0 reads the job's source
+    /// topics; each `KeyBy` boundary starts the next stage).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn stage_parallelism(mut self, stage: usize, n: usize) -> Self {
+        assert!(n > 0, "stage parallelism must be at least 1");
+        self.stage_parallelism.insert(stage, n);
+        self
+    }
+
+    /// Sets the fixed key-group count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn key_groups(mut self, n: u32) -> Self {
+        assert!(n > 0, "key_groups must be at least 1");
+        self.key_groups = n;
+        self
+    }
+
+    /// Restarts the whole job at parallelism `m` after a job-level
+    /// crash/restart fault (rescale N→M).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn rescale_on_restart(mut self, m: usize) -> Self {
+        assert!(m > 0, "rescale parallelism must be at least 1");
+        self.rescale_on_restart = Some(m);
+        self
+    }
+
+    /// True when this job uses the parallel stage machinery.
+    fn is_parallel(&self) -> bool {
+        self.parallelism > 1
+            || self.rescale_on_restart.is_some()
+            || self.stage_parallelism.values().any(|n| *n > 1)
+    }
+
+    /// The effective parallelism of `stage`.
+    fn par_of(&self, stage: usize) -> usize {
+        self.stage_parallelism
+            .get(&stage)
+            .copied()
+            .unwrap_or(self.parallelism)
+    }
+}
+
+/// Default key-group count for parallel jobs (Flink's `maxParallelism`
+/// scaled down to simulation size).
+pub const DEFAULT_KEY_GROUPS: u32 = 16;
+
+/// The intermediate shuffle topic feeding `stage` of `job` (declared
+/// automatically with `key_groups` partitions).
+pub fn shuffle_topic(job: &str, stage: usize) -> String {
+    format!("__shuffle.{job}.{stage}")
+}
+
+/// The process name of one parallel stage instance.
+pub fn instance_name(job: &str, stage: usize, instance: usize) -> String {
+    format!("{job}/{stage}/{instance}")
 }
 
 /// Where scenario-level checkpoints are stored.
@@ -294,6 +417,10 @@ pub enum ScenarioError {
     UnknownHost(String),
     /// A crash/restart fault references a name that is not an SPE job.
     UnknownProcess(String),
+    /// A parallel job's knobs are inconsistent (key groups smaller than a
+    /// stage's parallelism, a topic colliding with a generated shuffle
+    /// topic, ...).
+    InvalidParallelism(String),
     /// A broker crash/restart fault references an undeclared broker index.
     UnknownBroker(u32),
     /// A store crash/restart fault references an undeclared replica index.
@@ -313,9 +440,13 @@ impl fmt::Display for ScenarioError {
             ScenarioError::UnknownProcess(p) => {
                 write!(
                     f,
-                    "fault plan crashes `{p}`, which is neither an SPE job name \
-                     nor a `producer-<idx>`/`consumer-<idx>` stub"
+                    "fault plan crashes `{p}`, which is neither an SPE job name, \
+                     a `<job>/<stage>/<instance>` (or `<job>/<instance>`) stage \
+                     instance, nor a `producer-<idx>`/`consumer-<idx>` stub"
                 )
+            }
+            ScenarioError::InvalidParallelism(msg) => {
+                write!(f, "invalid parallel-job configuration: {msg}")
             }
             ScenarioError::UnknownBroker(b) => {
                 write!(f, "fault plan crashes broker b{b}, which is not declared")
@@ -786,6 +917,24 @@ impl Scenario {
             .collect()
     }
 
+    /// The host one parallel stage instance runs on (auto-added, so each
+    /// instance gets its own access link and CPU — the point of scaling
+    /// out).
+    fn instance_host(host: &str, stage: usize, index: usize) -> String {
+        format!("{host}-{stage}-{index}")
+    }
+
+    /// `(stage count, per-stage maximum instance count)` of one job —
+    /// maximum covers both the initial parallelism and any rescale target,
+    /// so hosts are provisioned for every instance that may ever exist.
+    fn job_stage_layout(job: &SpeJobSpec) -> (usize, Vec<usize>) {
+        let n_stages = *job.stage_count.get_or_init(|| (job.plan)().stage_count());
+        let max_per: Vec<usize> = (0..n_stages)
+            .map(|s| job.par_of(s).max(job.rescale_on_restart.unwrap_or(0)))
+            .collect();
+        (n_stages, max_per)
+    }
+
     fn component_hosts(&self) -> Vec<String> {
         let mut seen = Vec::new();
         let mut push = |h: &String| {
@@ -801,8 +950,17 @@ impl Scenario {
                 push(&rh);
             }
         }
-        for (h, _) in &self.spe_jobs {
-            push(h);
+        for (h, job) in &self.spe_jobs {
+            if job.is_parallel() {
+                let (n_stages, max_per) = Self::job_stage_layout(job);
+                for (s, max) in max_per.iter().enumerate().take(n_stages) {
+                    for i in 0..*max {
+                        push(&Self::instance_host(h, s, i));
+                    }
+                }
+            } else {
+                push(h);
+            }
         }
         for (h, _, _) in &self.producers {
             push(h);
@@ -811,6 +969,26 @@ impl Scenario {
             push(h);
         }
         seen
+    }
+
+    /// True when `n` names a parallel stage instance: `job/stage/instance`,
+    /// or the `job/instance` shorthand targeting the last stage (where the
+    /// keyed state lives).
+    fn is_instance_target(&self, n: &str) -> bool {
+        self.spe_jobs.iter().any(|(_, j)| {
+            if !j.is_parallel() {
+                return false;
+            }
+            let Some(rest) = n
+                .strip_prefix(j.name.as_str())
+                .and_then(|r| r.strip_prefix('/'))
+            else {
+                return false;
+            };
+            let (n_stages, max_per) = Self::job_stage_layout(j);
+            parse_instance_suffix(rest, n_stages - 1)
+                .is_some_and(|(s, i)| s < n_stages && i < max_per[s])
+        })
     }
 
     fn validate(&self) -> Result<(), ScenarioError> {
@@ -848,6 +1026,24 @@ impl Scenario {
             job_names.push(&job.name);
             for t in &job.sources {
                 check("SPE job source", t)?;
+            }
+            if job.is_parallel() {
+                let (n_stages, max_per) = Self::job_stage_layout(job);
+                let max_par = max_per.iter().copied().max().unwrap_or(1);
+                if (job.key_groups as usize) < max_par {
+                    return Err(ScenarioError::InvalidParallelism(format!(
+                        "job `{}` has key_groups {} < its largest parallelism {max_par}",
+                        job.name, job.key_groups
+                    )));
+                }
+                for s in 1..n_stages {
+                    let t = shuffle_topic(&job.name, s);
+                    if declared.contains(&t.as_str()) {
+                        return Err(ScenarioError::InvalidParallelism(format!(
+                            "declared topic `{t}` collides with a generated shuffle topic"
+                        )));
+                    }
+                }
             }
             match &job.sink {
                 SpeSinkSpec::Topic(t) => check("SPE job sink", t)?,
@@ -888,6 +1084,7 @@ impl Scenario {
             match action {
                 FaultAction::CrashProcess(n) | FaultAction::RestartProcess(n)
                     if !self.spe_jobs.iter().any(|(_, j)| &j.name == n)
+                        && !self.is_instance_target(n)
                         && stub_index(n, "producer-").is_none_or(|i| i >= self.producers.len())
                         && stub_index(n, "consumer-").is_none_or(|i| i >= self.consumers.len()) =>
                 {
@@ -939,8 +1136,24 @@ impl Scenario {
     /// # Errors
     ///
     /// Returns a [`ScenarioError`] when the description is inconsistent.
-    pub fn run(self) -> Result<RunResult, ScenarioError> {
+    pub fn run(mut self) -> Result<RunResult, ScenarioError> {
         self.validate()?;
+        // Auto-declare the intermediate shuffle topics of parallel jobs
+        // (before controllers are built — they own topic creation). One
+        // topic per stage boundary, with exactly `key_groups` partitions so
+        // the keyed partitioner *is* the shuffle router.
+        let mut shuffle_specs: Vec<TopicSpec> = Vec::new();
+        for (_, job) in &self.spe_jobs {
+            if job.is_parallel() {
+                let (n_stages, _) = Self::job_stage_layout(job);
+                for s in 1..n_stages {
+                    shuffle_specs.push(
+                        TopicSpec::new(shuffle_topic(&job.name, s)).partitions(job.key_groups),
+                    );
+                }
+            }
+        }
+        self.topics.extend(shuffle_specs);
         let duration = self.duration;
         let topo = self.build_topology();
         let n_switches = topo
@@ -1153,14 +1366,27 @@ impl Scenario {
             }
         }
 
-        // SPE jobs. Producer ids: jobs first, then producer stubs. Each
-        // job's build recipe is retained so a RestartProcess fault can
-        // rebuild the worker (fresh plan, same pid/slot) mid-run.
+        // SPE jobs. Each job expands into one worker per (stage, instance):
+        // the classic layout is the degenerate 1×1 case keeping the job
+        // name, hosts, and producer ids it always had. Build recipes are
+        // retained so crash/restart faults can rebuild any instance — and a
+        // rescale restart can change how many there are — mid-run.
         let checkpoint_spec = self.checkpointing.clone();
         let checkpoint_snapshots: SnapshotStoreHandle = snapshot_store();
         let mut spe_pids: BTreeMap<String, ProcessId> = BTreeMap::new();
-        let mut spe_builds: Vec<SpeBuild> = Vec::new();
-        for (i, (host, job)) in self.spe_jobs.into_iter().enumerate() {
+        let mut job_metas: Vec<SpeJobMeta> = Vec::new();
+        let mut instance_builds: BTreeMap<(usize, usize, usize), SpeInstanceBuild> =
+            BTreeMap::new();
+        for (j, (host, job)) in self.spe_jobs.into_iter().enumerate() {
+            let parallel = job.is_parallel();
+            let (n_stages, _) = if parallel {
+                Self::job_stage_layout(&job)
+            } else {
+                (1, vec![1])
+            };
+            let stage_par: Vec<usize> = (0..n_stages)
+                .map(|s| if parallel { job.par_of(s) } else { 1 })
+                .collect();
             let sink = match job.sink {
                 SpeSinkSpec::Topic(t) => SpeSink::Topic(t),
                 SpeSinkSpec::Collect => SpeSink::Collect,
@@ -1176,45 +1402,64 @@ impl Scenario {
                 }
             }
             if self.transactional_sinks {
-                // Stage topic-sink output under per-epoch transaction
-                // markers, and read upstream (possibly also transactional)
-                // topics with read-committed isolation.
+                // Stage topic-sink (and shuffle) output under per-epoch
+                // transaction markers, and read upstream (possibly also
+                // transactional) topics with read-committed isolation.
                 cfg.transactional_sink = true;
                 cfg.consumer.read_committed = true;
             }
-            let slot = ledger
-                .borrow_mut()
-                .register(format!("spe-{}", job.name), self.mem_model.spe);
-            let mut build = SpeBuild {
-                host: host.clone(),
+            let meta = SpeJobMeta {
                 name: job.name.clone(),
+                host: host.clone(),
+                plan: job.plan,
                 cfg,
                 sources: job.sources,
                 sink,
-                plan: job.plan,
-                producer_id: ProducerId(1_000 + i as u32),
+                parallel,
+                n_stages,
+                key_groups: job.key_groups,
+                stage_par: stage_par.clone(),
+                prev_stage_par: stage_par.clone(),
+                rescale: job.rescale_on_restart,
+                job_idx: j,
                 bootstrap: bootstrap_for(&host),
-                slot,
-                pid: ProcessId(0),
-                incarnation: 0,
             };
-            let w = build_spe_worker(
-                &build,
-                &brokers_hash,
-                &ledger,
-                &checkpoint_spec,
-                &checkpoint_snapshots,
-                &store_groups,
-                false,
-            );
-            let pid = sim.spawn(Box::new(w));
-            if let Some(cpu) = cpus.get(&host) {
-                sim.attach_cpu(pid, cpu.clone());
+            for (s, par) in stage_par.iter().enumerate() {
+                for i in 0..*par {
+                    let name = meta.instance_name(s, i);
+                    let ihost = meta.instance_host(s, i);
+                    let slot = ledger
+                        .borrow_mut()
+                        .register(format!("spe-{name}"), self.mem_model.spe);
+                    let inst = SpeInstanceBuild {
+                        stage: s,
+                        index: i,
+                        name: name.clone(),
+                        host: ihost.clone(),
+                        slot,
+                        pid: ProcessId(0),
+                        incarnation: 0,
+                    };
+                    let w = build_instance_worker(
+                        &meta,
+                        &inst,
+                        &brokers_hash,
+                        &ledger,
+                        &checkpoint_spec,
+                        &checkpoint_snapshots,
+                        &store_groups,
+                        false,
+                    );
+                    let pid = sim.spawn(Box::new(w));
+                    if let Some(cpu) = cpus.get(&ihost) {
+                        sim.attach_cpu(pid, cpu.clone());
+                    }
+                    placements.push((pid, ihost));
+                    spe_pids.insert(name, pid);
+                    instance_builds.insert((j, s, i), SpeInstanceBuild { pid, ..inst });
+                }
             }
-            placements.push((pid, host.clone()));
-            spe_pids.insert(job.name, pid);
-            build.pid = pid;
-            spe_builds.push(build);
+            job_metas.push(meta);
         }
 
         // Producers. Each build recipe is retained so a `RestartProcess`
@@ -1259,6 +1504,11 @@ impl Scenario {
                 // Observing a transactional sink's exactly-once output
                 // requires read-committed isolation on the reader.
                 cfg.read_committed = true;
+            }
+            if cfg.group_membership && cfg.group_member_id.is_empty() {
+                // A stable member id makes sticky assignment stick across
+                // this stub's crash/restart.
+                cfg.group_member_id = format!("consumer-{i}");
             }
             ledger
                 .borrow_mut()
@@ -1336,11 +1586,27 @@ impl Scenario {
             }
             sim.run_until(at);
             match action {
-                FaultAction::CrashProcess(name) if spe_pids.contains_key(&name) => {
-                    let pid = *spe_pids.get(&name).expect("just checked");
-                    if let Some(corpse) = sim.kill(pid) {
-                        crashed_at.insert(name.clone(), at);
-                        corpses.insert(name, corpse);
+                FaultAction::CrashProcess(name)
+                    if resolve_spe_target(&job_metas, &name).is_some() =>
+                {
+                    // A job name kills every stage instance; an instance
+                    // name kills exactly that one.
+                    let targets: Vec<(usize, usize, usize)> =
+                        match resolve_spe_target(&job_metas, &name).expect("guard") {
+                            SpeFaultTarget::Job(j) => instance_builds
+                                .range((j, 0, 0)..(j + 1, 0, 0))
+                                .map(|(k, _)| *k)
+                                .collect(),
+                            SpeFaultTarget::Instance(j, s, i) => vec![(j, s, i)],
+                        };
+                    for key in targets {
+                        let Some(inst) = instance_builds.get(&key) else {
+                            continue;
+                        };
+                        if let Some(corpse) = sim.kill(inst.pid) {
+                            crashed_at.insert(inst.name.clone(), at);
+                            corpses.insert(inst.name.clone(), corpse);
+                        }
                     }
                 }
                 FaultAction::CrashProcess(name) => {
@@ -1362,7 +1628,9 @@ impl Scenario {
                         client_corpses.insert(name, corpse);
                     }
                 }
-                FaultAction::RestartProcess(name) if !spe_pids.contains_key(&name) => {
+                FaultAction::RestartProcess(name)
+                    if resolve_spe_target(&job_metas, &name).is_none() =>
+                {
                     if let Some(i) = stub_index(&name, "producer-") {
                         let build = &producer_builds[i];
                         if sim.is_alive(build.pid) {
@@ -1391,31 +1659,127 @@ impl Scenario {
                     client_corpses.remove(&name);
                 }
                 FaultAction::RestartProcess(name) => {
-                    let build = spe_builds
-                        .iter_mut()
-                        .find(|b| b.name == name)
-                        .expect("validated SPE job name");
-                    if sim.is_alive(build.pid) {
-                        continue; // restart without a preceding crash: no-op
+                    let target = resolve_spe_target(&job_metas, &name).expect("validated");
+                    let (j, keys) = match target {
+                        SpeFaultTarget::Instance(j, s, i) => (j, vec![(s, i)]),
+                        SpeFaultTarget::Job(j) => {
+                            // A job-level restart is where a rescale takes
+                            // effect: every stage adopts the target
+                            // parallelism, and each respawned instance
+                            // restores from the *previous* layout's chains.
+                            let meta = &mut job_metas[j];
+                            meta.prev_stage_par = meta.stage_par.clone();
+                            if let (Some(m), true) = (meta.rescale, meta.parallel) {
+                                for p in meta.stage_par.iter_mut() {
+                                    *p = m;
+                                }
+                            }
+                            // A rescale redraws every instance's key-group
+                            // ownership, so still-running instances of the
+                            // old layout are bounced too: left alive they
+                            // would keep fetching their old partitions,
+                            // overlapping the new layout's owners. Those
+                            // within the new layout respawn below with the
+                            // new wiring; those beyond it are retired.
+                            if meta.stage_par != meta.prev_stage_par {
+                                for ((jj, _, _), inst) in instance_builds.iter() {
+                                    if *jj != j || !sim.is_alive(inst.pid) {
+                                        continue;
+                                    }
+                                    if let Some(corpse) = sim.kill(inst.pid) {
+                                        crashed_at.insert(inst.name.clone(), at);
+                                        corpses.insert(inst.name.clone(), corpse);
+                                    }
+                                }
+                            }
+                            let keys: Vec<(usize, usize)> = (0..meta.n_stages)
+                                .flat_map(|s| (0..meta.stage_par[s]).map(move |i| (s, i)))
+                                .collect();
+                            (j, keys)
+                        }
+                    };
+                    for (s, i) in keys {
+                        let meta = &job_metas[j];
+                        match instance_builds.get_mut(&(j, s, i)) {
+                            Some(inst) => {
+                                if sim.is_alive(inst.pid) {
+                                    continue; // restart without a crash: no-op
+                                }
+                                inst.incarnation += 1;
+                                let inst = &*inst;
+                                let mut w = build_instance_worker(
+                                    meta,
+                                    inst,
+                                    &brokers_hash,
+                                    &ledger,
+                                    &checkpoint_spec,
+                                    &checkpoint_snapshots,
+                                    &store_groups,
+                                    true,
+                                );
+                                w.mark_restarted();
+                                w.set_producer_epoch(inst.incarnation as u32);
+                                sim.respawn(inst.pid, Box::new(w));
+                                if let Some(cpu) = cpus.get(&inst.host) {
+                                    sim.attach_cpu(inst.pid, cpu.clone());
+                                }
+                                corpses.remove(&inst.name);
+                            }
+                            None => {
+                                // A rescale grew the stage: spawn a brand-new
+                                // instance on its pre-provisioned host. It
+                                // still restores (filtered) state from the
+                                // old instances' chains.
+                                let iname = meta.instance_name(s, i);
+                                let ihost = meta.instance_host(s, i);
+                                let slot = ledger
+                                    .borrow_mut()
+                                    .register(format!("spe-{iname}"), self.mem_model.spe);
+                                let mut inst = SpeInstanceBuild {
+                                    stage: s,
+                                    index: i,
+                                    name: iname.clone(),
+                                    host: ihost.clone(),
+                                    slot,
+                                    pid: ProcessId(0),
+                                    incarnation: 1,
+                                };
+                                let mut w = build_instance_worker(
+                                    meta,
+                                    &inst,
+                                    &brokers_hash,
+                                    &ledger,
+                                    &checkpoint_spec,
+                                    &checkpoint_snapshots,
+                                    &store_groups,
+                                    true,
+                                );
+                                w.mark_restarted();
+                                w.set_producer_epoch(1);
+                                let pid = sim.spawn_at(at, Box::new(w));
+                                if let Some(cpu) = cpus.get(&ihost) {
+                                    sim.attach_cpu(pid, cpu.clone());
+                                }
+                                {
+                                    let mut n = net.borrow_mut();
+                                    let node = n
+                                        .topology()
+                                        .lookup(&ihost)
+                                        .expect("pre-provisioned instance host");
+                                    n.place(pid, node);
+                                }
+                                inst.pid = pid;
+                                spe_pids.insert(iname, pid);
+                                instance_builds.insert((j, s, i), inst);
+                            }
+                        }
                     }
-                    build.incarnation += 1;
-                    let build = &*build;
-                    let mut w = build_spe_worker(
-                        build,
-                        &brokers_hash,
-                        &ledger,
-                        &checkpoint_spec,
-                        &checkpoint_snapshots,
-                        &store_groups,
-                        true,
-                    );
-                    w.mark_restarted();
-                    w.set_producer_epoch(build.incarnation as u32);
-                    sim.respawn(build.pid, Box::new(w));
-                    if let Some(cpu) = cpus.get(&build.host) {
-                        sim.attach_cpu(build.pid, cpu.clone());
+                    if let SpeFaultTarget::Job(j) = target {
+                        // Future single-instance respawns restore from the
+                        // post-rescale layout.
+                        let meta = &mut job_metas[j];
+                        meta.prev_stage_par = meta.stage_par.clone();
                     }
-                    corpses.remove(&name);
                 }
                 FaultAction::CrashBroker(idx) => {
                     let build = &broker_builds[idx as usize];
@@ -1571,34 +1935,38 @@ impl Scenario {
                 replica: build.replica,
                 kv_keys: st.map_or(0, |sv| sv.kv().len() as u64),
                 is_primary: st.is_some_and(StoreServer::is_primary),
+                oplog_len: st.map_or(0, |sv| sv.oplog_len() as u64),
+                oplog_truncated: st.map_or(0, StoreServer::oplog_truncated),
                 recovery,
             });
         }
         let mut spe_report = BTreeMap::new();
-        for (name, pid) in &spe_pids {
-            // A crashed-and-not-restarted worker is absent from the process
-            // table; report from its corpse instead.
-            let w = sim.process_ref::<SpeWorker>(*pid).or_else(|| {
-                corpses
-                    .get(name)
-                    .and_then(|c| (c.as_ref() as &dyn std::any::Any).downcast_ref::<SpeWorker>())
-            });
-            let recovery = crashed_at.get(name).map(|t| {
-                let info = w.and_then(SpeWorker::recovery_info);
-                RecoveryReport {
-                    crashed_at: *t,
-                    restarted_at: info.map(|i| i.restarted_at),
-                    restored_at: info.and_then(|i| i.restored_at),
-                    snapshot_taken_at: info.and_then(|i| i.snapshot_taken_at),
-                    snapshot_bytes: info.map_or(0, |i| i.snapshot_bytes),
-                    delta_chain_len: info.map_or(0, |i| i.delta_chain),
-                    first_batch_at: info.and_then(|i| i.first_batch_at),
-                }
-            });
-            let w = w.expect("spe process (live or corpse)");
-            spe_report.insert(
-                name.clone(),
-                SpeReport {
+        let mut spe_instances = BTreeMap::new();
+        for meta in &job_metas {
+            let j = meta.job_idx;
+            let mut per: Vec<(usize, SpeReport)> = Vec::new();
+            for (key, inst) in instance_builds.range((j, 0, 0)..(j + 1, 0, 0)) {
+                // A crashed-and-not-restarted instance is absent from the
+                // process table; report from its corpse instead.
+                let w = sim.process_ref::<SpeWorker>(inst.pid).or_else(|| {
+                    corpses.get(&inst.name).and_then(|c| {
+                        (c.as_ref() as &dyn std::any::Any).downcast_ref::<SpeWorker>()
+                    })
+                });
+                let recovery = crashed_at.get(&inst.name).map(|t| {
+                    let info = w.and_then(SpeWorker::recovery_info);
+                    RecoveryReport {
+                        crashed_at: *t,
+                        restarted_at: info.map(|i| i.restarted_at),
+                        restored_at: info.and_then(|i| i.restored_at),
+                        snapshot_taken_at: info.and_then(|i| i.snapshot_taken_at),
+                        snapshot_bytes: info.map_or(0, |i| i.snapshot_bytes),
+                        delta_chain_len: info.map_or(0, |i| i.delta_chain),
+                        first_batch_at: info.and_then(|i| i.first_batch_at),
+                    }
+                });
+                let w = w.expect("spe instance (live or corpse)");
+                let report = SpeReport {
                     metrics: w.metrics().to_vec(),
                     record_counts: w.plan().record_counts(),
                     collected: w.collected().to_vec(),
@@ -1607,8 +1975,21 @@ impl Scenario {
                     checkpoint_log: w.checkpoint_persist_log(),
                     consumer_stats: w.consumer().stats(),
                     recovery,
-                },
-            );
+                };
+                if meta.parallel {
+                    spe_instances.insert(inst.name.clone(), report.clone());
+                }
+                per.push((key.1, report));
+            }
+            let agg = if meta.parallel {
+                aggregate_spe_reports(meta, &per)
+            } else {
+                per.into_iter()
+                    .next()
+                    .map(|(_, r)| r)
+                    .expect("one worker per classic job")
+            };
+            spe_report.insert(meta.name.clone(), agg);
         }
         let sampler = sim
             .process_ref::<MemSampler>(sampler_pid)
@@ -1641,6 +2022,7 @@ impl Scenario {
             brokers: brokers_report,
             stores: stores_report,
             spe: spe_report,
+            spe_instances,
             mem_samples,
             peak_mem_bytes,
             cpu_series,
@@ -1762,25 +2144,95 @@ struct StoreBuild {
     pid: ProcessId,
 }
 
-/// Everything needed to (re)build one SPE worker: the initial spawn and any
-/// `RestartProcess` respawn share this recipe, so a restarted worker gets
-/// the same wiring (pid, memory slot, clients) around a fresh plan.
-struct SpeBuild {
-    host: String,
+/// The per-job half of the SPE build state: everything shared by (and
+/// needed to rebuild) the job's stage instances, plus the current and
+/// previous per-stage parallelism — the rescale bookkeeping.
+struct SpeJobMeta {
     name: String,
+    host: String,
+    plan: Box<dyn Fn() -> Plan>,
     cfg: SpeConfig,
     sources: Vec<String>,
     sink: SpeSink,
-    plan: Box<dyn Fn() -> Plan>,
-    producer_id: ProducerId,
+    parallel: bool,
+    n_stages: usize,
+    key_groups: u32,
+    /// Current parallelism per stage (changes on a rescale restart).
+    stage_par: Vec<usize>,
+    /// Parallelism each stage ran at before the in-flight restart — the
+    /// instance set whose chains a respawn restores from.
+    prev_stage_par: Vec<usize>,
+    rescale: Option<usize>,
+    job_idx: usize,
     bootstrap: ProcessId,
+}
+
+impl SpeJobMeta {
+    fn instance_name(&self, stage: usize, index: usize) -> String {
+        if self.parallel {
+            instance_name(&self.name, stage, index)
+        } else {
+            self.name.clone()
+        }
+    }
+
+    fn instance_host(&self, stage: usize, index: usize) -> String {
+        if self.parallel {
+            Scenario::instance_host(&self.host, stage, index)
+        } else {
+            self.host.clone()
+        }
+    }
+
+    /// Stable producer id per (job, stage, instance); the classic layout
+    /// keeps its original `1000 + job` id.
+    fn producer_id(&self, stage: usize, index: usize) -> ProducerId {
+        if self.parallel {
+            ProducerId(100_000 + self.job_idx as u32 * 10_000 + stage as u32 * 100 + index as u32)
+        } else {
+            ProducerId(1_000 + self.job_idx as u32)
+        }
+    }
+
+    /// Stage 0 reads the job's declared sources; later stages read their
+    /// keyed shuffle topic.
+    fn stage_sources(&self, stage: usize) -> Vec<String> {
+        if stage == 0 {
+            self.sources.clone()
+        } else {
+            vec![shuffle_topic(&self.name, stage)]
+        }
+    }
+
+    /// The last stage feeds the job's declared sink; earlier stages feed
+    /// the next stage's shuffle topic.
+    fn stage_sink(&self, stage: usize) -> SpeSink {
+        if stage + 1 == self.n_stages {
+            self.sink.clone()
+        } else {
+            SpeSink::Topic(shuffle_topic(&self.name, stage + 1))
+        }
+    }
+}
+
+/// Everything needed to (re)build one worker instance: the initial spawn
+/// and any `RestartProcess` respawn share this recipe, so a restarted
+/// instance gets the same wiring (pid, memory slot, clients) around a fresh
+/// plan.
+struct SpeInstanceBuild {
+    stage: usize,
+    index: usize,
+    name: String,
+    host: String,
     slot: MemSlot,
     pid: ProcessId,
     incarnation: u64,
 }
 
-fn build_spe_worker(
-    build: &SpeBuild,
+#[allow(clippy::too_many_arguments)]
+fn build_instance_worker(
+    meta: &SpeJobMeta,
+    inst: &SpeInstanceBuild,
     brokers: &HashMap<BrokerId, ProcessId>,
     ledger: &LedgerHandle,
     spec: &Option<CheckpointSpec>,
@@ -1788,18 +2240,51 @@ fn build_spe_worker(
     store_groups: &BTreeMap<String, Vec<ProcessId>>,
     recover: bool,
 ) -> SpeWorker {
+    let full = (meta.plan)();
+    let plan = if meta.parallel {
+        full.into_stages()
+            .into_iter()
+            .nth(inst.stage)
+            .expect("stage index within the probed stage count")
+    } else {
+        full
+    };
     let mut w = SpeWorker::new(
-        build.name.clone(),
-        build.cfg.clone(),
-        build.sources.clone(),
-        (build.plan)(),
-        build.sink.clone(),
-        build.bootstrap,
+        inst.name.clone(),
+        meta.cfg.clone(),
+        meta.stage_sources(inst.stage),
+        plan,
+        meta.stage_sink(inst.stage),
+        meta.bootstrap,
         brokers.clone(),
-        build.producer_id,
+        meta.producer_id(inst.stage, inst.index),
     );
-    w.set_mem_slot(ledger.clone(), build.slot);
-    if build.cfg.checkpoint.is_some() {
+    w.set_mem_slot(ledger.clone(), inst.slot);
+    if meta.parallel {
+        // A recovering instance restores from every old instance of its
+        // stage (under the pre-restart parallelism) and keeps only the key
+        // groups it owns now — the rescale-correct redistribution.
+        let old_par = meta.prev_stage_par[inst.stage];
+        let restore_from: Vec<String> = if recover {
+            (0..old_par)
+                .map(|k| instance_name(&meta.name, inst.stage, k))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let old_producers: Vec<ProducerId> = (0..old_par)
+            .map(|k| meta.producer_id(inst.stage, k))
+            .collect();
+        w.set_instance(StageInstanceCfg {
+            stage: inst.stage,
+            instance: inst.index as u32,
+            parallelism: meta.stage_par[inst.stage] as u32,
+            key_groups: meta.key_groups,
+            restore_from,
+            old_producers,
+        });
+    }
+    if meta.cfg.checkpoint.is_some() {
         let backend: Box<dyn StateBackend> = match spec.as_ref().map(|s| &s.backend) {
             Some(CheckpointBackendSpec::StoreOn { host }) => Box::new(DurableBackend::replicated(
                 store_groups
@@ -1812,6 +2297,122 @@ fn build_spe_worker(
         w.attach_checkpointing(backend, recover);
     }
     w
+}
+
+/// Folds a parallel job's per-instance reports into one job-level report:
+/// input records are counted at stage 0, output records at the last stage,
+/// batch metrics interleave in time order, checkpoint/consumer counters
+/// add, and the recovery entry follows the earliest-crashed instance.
+fn aggregate_spe_reports(meta: &SpeJobMeta, per: &[(usize, SpeReport)]) -> SpeReport {
+    let mut metrics: Vec<BatchMetric> = per
+        .iter()
+        .flat_map(|(_, r)| r.metrics.iter().copied())
+        .collect();
+    metrics.sort_by_key(|m| (m.start, m.end));
+    let records_in: u64 = per
+        .iter()
+        .filter(|(s, _)| *s == 0)
+        .map(|(_, r)| r.record_counts.0)
+        .sum();
+    let records_out: u64 = per
+        .iter()
+        .filter(|(s, _)| *s + 1 == meta.n_stages)
+        .map(|(_, r)| r.record_counts.1)
+        .sum();
+    let collected: Vec<Event> = per
+        .iter()
+        .flat_map(|(_, r)| r.collected.iter().cloned())
+        .collect();
+    let busy: Vec<&BatchMetric> = metrics.iter().filter(|m| m.records_in > 0).collect();
+    let mean_busy_runtime = if busy.is_empty() {
+        SimDuration::ZERO
+    } else {
+        SimDuration::from_nanos(
+            busy.iter().map(|m| m.runtime().as_nanos()).sum::<u64>() / busy.len() as u64,
+        )
+    };
+    let mut checkpoints = CheckpointStats::default();
+    for (_, r) in per {
+        checkpoints.absorb(&r.checkpoints);
+    }
+    let mut checkpoint_log: Vec<(SimTime, SimTime)> = per
+        .iter()
+        .flat_map(|(_, r)| r.checkpoint_log.iter().copied())
+        .collect();
+    checkpoint_log.sort();
+    let mut consumer_stats = ConsumerStats::default();
+    for (_, r) in per {
+        let c = &r.consumer_stats;
+        consumer_stats.fetches += c.fetches;
+        consumer_stats.records += c.records;
+        consumer_stats.timeouts += c.timeouts;
+        consumer_stats.offset_resets += c.offset_resets;
+        consumer_stats.offset_commits += c.offset_commits;
+        consumer_stats.resumed_partitions += c.resumed_partitions;
+        consumer_stats.group_joins += c.group_joins;
+        consumer_stats.rebalances += c.rebalances;
+    }
+    let recovery = per
+        .iter()
+        .filter_map(|(_, r)| r.recovery)
+        .min_by_key(|r| r.crashed_at);
+    SpeReport {
+        metrics,
+        record_counts: (records_in, records_out),
+        collected,
+        mean_busy_runtime,
+        checkpoints,
+        checkpoint_log,
+        consumer_stats,
+        recovery,
+    }
+}
+
+/// What an SPE crash/restart fault resolves to.
+enum SpeFaultTarget {
+    /// The whole job (every instance of every stage).
+    Job(usize),
+    /// One stage instance: `(job index, stage, instance)`.
+    Instance(usize, usize, usize),
+}
+
+/// Resolves a fault-plan target name against the built jobs: the exact job
+/// name, `job/stage/instance`, or the `job/instance` last-stage shorthand.
+fn resolve_spe_target(job_metas: &[SpeJobMeta], name: &str) -> Option<SpeFaultTarget> {
+    if let Some(j) = job_metas.iter().position(|m| m.name == name) {
+        return Some(SpeFaultTarget::Job(j));
+    }
+    for (j, m) in job_metas.iter().enumerate() {
+        if !m.parallel {
+            continue;
+        }
+        let Some(rest) = name
+            .strip_prefix(m.name.as_str())
+            .and_then(|r| r.strip_prefix('/'))
+        else {
+            continue;
+        };
+        if let Some((s, i)) = parse_instance_suffix(rest, m.n_stages - 1) {
+            return Some(SpeFaultTarget::Instance(j, s, i));
+        }
+    }
+    None
+}
+
+/// Parses the `stage/instance` (or bare `instance`, meaning the last —
+/// keyed — stage) suffix of a `job/...` fault target. Bounds are the
+/// caller's concern: `validate` checks them against the stage layout, the
+/// fault executor relies on its build-map lookups.
+fn parse_instance_suffix(rest: &str, last_stage: usize) -> Option<(usize, usize)> {
+    let parts: Vec<&str> = rest.split('/').collect();
+    match parts.as_slice() {
+        [i] => i.parse().ok().map(|i| (last_stage, i)),
+        [s, i] => match (s.parse(), i.parse()) {
+            (Ok(s), Ok(i)) => Some((s, i)),
+            _ => None,
+        },
+        _ => None,
+    }
 }
 
 impl fmt::Debug for Scenario {
@@ -1929,6 +2530,11 @@ pub struct StoreReport {
     pub kv_keys: u64,
     /// Whether this replica was the acting primary at the end of the run.
     pub is_primary: bool,
+    /// Group op-log entries still retained at the end of the run (bounded
+    /// by peer-acked truncation).
+    pub oplog_len: u64,
+    /// Ops this replica discarded as primary via peer-acked truncation.
+    pub oplog_truncated: u64,
     /// Crash/recovery metrics; present when this replica was crashed by the
     /// fault plan.
     pub recovery: Option<StoreRecoveryReport>,
@@ -2045,8 +2651,14 @@ pub struct RunReport {
     /// Store-replica results, in flattened replica order (declaration
     /// order x replication factor). Empty when no store is declared.
     pub stores: Vec<StoreReport>,
-    /// SPE results, by job name.
+    /// SPE results, by job name. For parallel jobs this is the aggregated
+    /// view (stage-0 input, last-stage output, summed counters); the
+    /// per-instance breakdown is in
+    /// [`spe_instances`](RunReport::spe_instances).
     pub spe: BTreeMap<String, SpeReport>,
+    /// Per-instance SPE results of parallel jobs, keyed by
+    /// `job/stage/instance` (empty when no job is parallel).
+    pub spe_instances: BTreeMap<String, SpeReport>,
     /// Memory samples (500 ms cadence).
     pub mem_samples: Vec<(SimTime, u64)>,
     /// Peak memory observed.
@@ -2087,7 +2699,8 @@ pub struct RunResult {
     pub producer_pids: Vec<ProcessId>,
     /// Consumer process ids, by declaration order.
     pub consumer_pids: Vec<ProcessId>,
-    /// SPE process ids, by job name.
+    /// SPE worker process ids: by job name for classic jobs, by
+    /// `job/stage/instance` for parallel jobs' instances.
     pub spe_pids: BTreeMap<String, ProcessId>,
     /// Store process ids, by host (a replicated store's replica 0).
     pub store_pids: BTreeMap<String, ProcessId>,

@@ -1,0 +1,118 @@
+//! Stable record-key hashing, shared by every layer that must agree on
+//! where a key lives.
+//!
+//! One FNV-1a implementation backs three decisions that have to be
+//! mutually consistent for keyed parallelism to be correct:
+//!
+//! * the producer's keyed partitioner ([`partition_for_key`]) — which
+//!   partition a keyed record is appended to;
+//! * key-group assignment ([`key_group`]) — which of the job's fixed
+//!   `key_groups` a record key belongs to (state is sliced along these
+//!   groups, so a rescale redistributes groups, never single keys);
+//! * key-group → operator-instance ownership ([`owner_of_group`],
+//!   Flink's `operator_index = group * parallelism / max_parallelism`
+//!   formula) — which parallel instance owns a group at a given
+//!   parallelism.
+//!
+//! Because intermediate shuffle topics are declared with exactly
+//! `key_groups` partitions, the keyed partitioner *is* the shuffle router:
+//! `partition == key_group`, and the downstream instance that owns the
+//! group is the one consuming the partition.
+
+/// 64-bit FNV-1a over a byte string. Deterministic across runs and
+/// platforms — the stability contract every keyed route depends on.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// The key group a record key hashes into, out of `groups` fixed groups.
+///
+/// # Panics
+///
+/// Panics if `groups` is zero.
+pub fn key_group(key: &[u8], groups: u32) -> u32 {
+    assert!(groups > 0, "key_groups must be positive");
+    (fnv1a(key) % groups as u64) as u32
+}
+
+/// The partition a keyed record routes to on a topic with `partitions`
+/// partitions (the keyed half of the producer's partitioner; keyless
+/// records stay round-robin).
+///
+/// # Panics
+///
+/// Panics if `partitions` is zero.
+pub fn partition_for_key(key: &[u8], partitions: u32) -> u32 {
+    assert!(partitions > 0, "a topic has at least one partition");
+    (fnv1a(key) % partitions as u64) as u32
+}
+
+/// The parallel instance that owns key group (or partition) `group` when
+/// `total` groups are split across `parallelism` instances — contiguous
+/// ranges, so a rescale moves whole group ranges between instances.
+///
+/// # Panics
+///
+/// Panics if `parallelism` or `total` is zero, or `group >= total`.
+pub fn owner_of_group(group: u32, parallelism: u32, total: u32) -> u32 {
+    assert!(parallelism > 0, "parallelism must be positive");
+    assert!(total > 0, "group count must be positive");
+    assert!(group < total, "group {group} out of range {total}");
+    ((group as u64 * parallelism as u64) / total as u64) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Classic FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn key_group_and_partition_agree_when_counts_match() {
+        for key in ["alpha", "beta", "gamma", "delta", ""] {
+            assert_eq!(
+                key_group(key.as_bytes(), 16),
+                partition_for_key(key.as_bytes(), 16),
+                "shuffle routing must equal key-group assignment"
+            );
+        }
+    }
+
+    #[test]
+    fn ownership_is_a_partition_of_the_group_space() {
+        for parallelism in 1..=8u32 {
+            let mut counts = vec![0u32; parallelism as usize];
+            for g in 0..32 {
+                let o = owner_of_group(g, parallelism, 32);
+                assert!(o < parallelism);
+                counts[o as usize] += 1;
+            }
+            // Contiguous-range assignment is balanced to within one range
+            // quantum.
+            let min = counts.iter().min().unwrap();
+            let max = counts.iter().max().unwrap();
+            assert!(max - min <= 32 / parallelism + 1);
+        }
+    }
+
+    #[test]
+    fn ownership_ranges_are_contiguous() {
+        let owners: Vec<u32> = (0..32).map(|g| owner_of_group(g, 3, 32)).collect();
+        let mut sorted = owners.clone();
+        sorted.sort_unstable();
+        assert_eq!(owners, sorted, "owners must be monotone in the group id");
+    }
+}

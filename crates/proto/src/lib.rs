@@ -9,9 +9,11 @@
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod hash;
 mod record;
 mod rpc;
 
+pub use hash::{fnv1a, key_group, owner_of_group, partition_for_key};
 pub use record::{Offset, ProducerId, Record, RecordBatch, TopicPartition};
 pub use rpc::{
     AckMode, BrokerId, ClientRpc, ControllerRpc, CorrelationId, ErrorCode, LeaderEpoch,

@@ -62,6 +62,13 @@ pub enum ErrorCode {
     NotEnoughReplicas,
     /// The request carried a stale leader epoch.
     StaleEpoch,
+    /// The consumer group's membership or assignment changed; the member
+    /// must rejoin to learn the new generation and assignment.
+    RebalanceInProgress,
+    /// The request carried a stale group generation (or an unknown member):
+    /// a fenced offset commit from an evicted member, or a heartbeat from a
+    /// forgotten one. The member must rejoin.
+    IllegalGeneration,
 }
 
 impl ErrorCode {
@@ -78,6 +85,14 @@ impl ErrorCode {
                 | ErrorCode::Fenced
                 | ErrorCode::NotEnoughReplicas
                 | ErrorCode::StaleEpoch
+        )
+    }
+
+    /// True for errors that require the consumer to rejoin its group.
+    pub fn needs_rejoin(self) -> bool {
+        matches!(
+            self,
+            ErrorCode::RebalanceInProgress | ErrorCode::IllegalGeneration
         )
     }
 }
@@ -197,6 +212,13 @@ pub enum ClientRpc {
         group: String,
         /// Positions to record, one per partition.
         offsets: Vec<(TopicPartition, Offset)>,
+        /// Generation fencing: `(member id, generation)` of the committing
+        /// member. When present, the coordinator rejects the commit with
+        /// [`ErrorCode::IllegalGeneration`] unless the member is current at
+        /// exactly that generation — a zombie evicted by a rebalance can
+        /// never clobber the offsets its successor is advancing. `None`
+        /// (group-less or membership-less commits) skips the fence.
+        member: Option<(String, u64)>,
     },
     /// Acknowledgement of an offset commit.
     OffsetCommitResponse {
@@ -265,6 +287,58 @@ pub enum ClientRpc {
         /// Correlation id.
         corr: CorrelationId,
     },
+    /// Join (or rejoin) a consumer group on its coordinator broker
+    /// (`fnv1a(group) % brokers`). The coordinator admits the member,
+    /// bumps the generation when membership changed, computes a sticky
+    /// partition assignment server-side (KIP-848 style), and answers with
+    /// [`JoinGroupResponse`](ClientRpc::JoinGroupResponse).
+    JoinGroup {
+        /// Correlation id.
+        corr: CorrelationId,
+        /// Consumer group name.
+        group: String,
+        /// This member's stable id (survives rejoin; a respawned stub
+        /// reuses it, which is what makes assignment sticky across its
+        /// crash).
+        member: String,
+        /// Topics the member subscribes to.
+        topics: Vec<String>,
+    },
+    /// The coordinator's admission + assignment answer.
+    JoinGroupResponse {
+        /// Correlation id.
+        corr: CorrelationId,
+        /// The group generation this assignment belongs to; commits and
+        /// heartbeats are fenced against it.
+        generation: u64,
+        /// Partitions this member owns until the next rebalance.
+        assigned: Vec<TopicPartition>,
+        /// Outcome.
+        error: ErrorCode,
+    },
+    /// Group-membership liveness beacon. A member whose heartbeats stop
+    /// for the group session timeout is evicted and its partitions are
+    /// reassigned to the survivors.
+    GroupHeartbeat {
+        /// Correlation id.
+        corr: CorrelationId,
+        /// Consumer group name.
+        group: String,
+        /// The heartbeating member.
+        member: String,
+        /// The generation the member believes is current.
+        generation: u64,
+    },
+    /// Heartbeat answer. [`ErrorCode::RebalanceInProgress`] (stale
+    /// generation) or [`ErrorCode::IllegalGeneration`] (unknown member —
+    /// evicted, or the coordinator restarted) sends the member back to
+    /// [`JoinGroup`](ClientRpc::JoinGroup).
+    GroupHeartbeatResponse {
+        /// Correlation id.
+        corr: CorrelationId,
+        /// Outcome.
+        error: ErrorCode,
+    },
 }
 
 impl Message for ClientRpc {
@@ -285,12 +359,18 @@ impl Message for ClientRpc {
                         .sum::<usize>()
                         + 8
                 }
-                ClientRpc::OffsetCommit { group, offsets, .. } => {
+                ClientRpc::OffsetCommit {
+                    group,
+                    offsets,
+                    member,
+                    ..
+                } => {
                     group.len()
                         + offsets
                             .iter()
                             .map(|(tp, _)| tp.topic.len() + 12)
                             .sum::<usize>()
+                        + member.as_ref().map_or(0, |(m, _)| m.len() + 8)
                 }
                 ClientRpc::OffsetCommitResponse { .. } => 6,
                 ClientRpc::OffsetFetch { group, tps, .. } => {
@@ -307,6 +387,17 @@ impl Message for ClientRpc {
                 ClientRpc::EndTxnResponse { .. } => 6,
                 ClientRpc::TxnRecover { .. } => 24,
                 ClientRpc::TxnRecoverResponse { .. } => 4,
+                ClientRpc::JoinGroup {
+                    group,
+                    member,
+                    topics,
+                    ..
+                } => group.len() + member.len() + topics.iter().map(|t| t.len() + 2).sum::<usize>(),
+                ClientRpc::JoinGroupResponse { assigned, .. } => {
+                    14 + assigned.iter().map(|tp| tp.topic.len() + 4).sum::<usize>()
+                }
+                ClientRpc::GroupHeartbeat { group, member, .. } => group.len() + member.len() + 12,
+                ClientRpc::GroupHeartbeatResponse { .. } => 6,
             }
     }
 }
@@ -646,11 +737,13 @@ mod tests {
             corr: CorrelationId(0),
             group: "g".into(),
             offsets: vec![(TopicPartition::new("topic", 0), Offset(42))],
+            member: None,
         };
         let none = ClientRpc::OffsetCommit {
             corr: CorrelationId(0),
             group: "g".into(),
             offsets: vec![],
+            member: Some(("m0".into(), 3)),
         };
         assert!(one.wire_size() > none.wire_size());
         let fetch = ClientRpc::OffsetFetch {

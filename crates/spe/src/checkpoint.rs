@@ -834,8 +834,11 @@ impl DurableBackend {
     fn finish_recovery(&mut self) -> BackendEvent {
         let asm = self.recovering.take().expect("recovery in flight");
         // Resume chain numbering after the recovered chain so the next base
-        // lands on fresh keys.
-        self.chain = asm.chain;
+        // lands on fresh keys. Monotone max: a multi-name rescale recovery
+        // reads several manifests through this one backend, and the next
+        // base must not collide with *any* chain it saw (a reused chain id
+        // could overwrite a blob an old manifest still points at).
+        self.chain = self.chain.max(asm.chain);
         self.delta_count = asm.count;
         let Some(base) = asm.base else {
             return BackendEvent::Recovered {
@@ -1065,6 +1068,30 @@ pub struct CheckpointStats {
     pub txn_commits: u64,
 }
 
+impl CheckpointStats {
+    /// Folds another worker's counters into this one — the aggregation a
+    /// parallel job's per-instance stats go through for its job-level
+    /// report. Totals add; `last_*` follows the newer capture; maxima max.
+    pub fn absorb(&mut self, other: &CheckpointStats) {
+        self.checkpoints += other.checkpoints;
+        self.full_checkpoints += other.full_checkpoints;
+        self.delta_checkpoints += other.delta_checkpoints;
+        self.snapshot_bytes += other.snapshot_bytes;
+        self.delta_bytes += other.delta_bytes;
+        if other.last_at >= self.last_at {
+            self.last_at = other.last_at;
+            self.last_snapshot_bytes = other.last_snapshot_bytes;
+            self.last_full_bytes = other.last_full_bytes;
+            self.last_delta_bytes = other.last_delta_bytes;
+        }
+        self.max_delta_bytes = self.max_delta_bytes.max(other.max_delta_bytes);
+        self.delta_chain_len = self.delta_chain_len.max(other.delta_chain_len);
+        self.offset_commits += other.offset_commits;
+        self.persist_nanos += other.persist_nanos;
+        self.txn_commits += other.txn_commits;
+    }
+}
+
 /// How a worker recovered, for the run report's recovery metrics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RecoveryInfo {
@@ -1110,6 +1137,26 @@ struct PendingPersist {
     accepted_at: SimTime,
 }
 
+/// A multi-name recovery in flight: the rescale path reads the chain of
+/// *every* old instance of the stage, one backend recovery at a time.
+struct MultiRecover {
+    names: Vec<String>,
+    next: usize,
+    chains: Vec<Option<SnapshotChain>>,
+    bytes: u64,
+}
+
+/// The outcome of [`CheckpointCoordinator::start_recovery_multi`].
+pub enum MultiRecoverOutcome {
+    /// All chains gathered synchronously (in-memory backend), aligned with
+    /// the requested names.
+    Done(Vec<Option<SnapshotChain>>),
+    /// Backend reads are in flight; the chains arrive through
+    /// [`CheckpointCoordinator::on_store_rpc`] as
+    /// [`StoreRpcOutcome::RecoveredMulti`].
+    Pending,
+}
+
 /// Drives a worker's checkpoint schedule: interval timing, batch-boundary
 /// alignment, full-vs-delta scheduling, the output barrier, persist
 /// bookkeeping, and the offset-commit discipline of the configured
@@ -1128,6 +1175,7 @@ pub struct CheckpointCoordinator {
     prev_offsets: Vec<(TopicPartition, Offset)>,
     pending_persist: Option<PendingPersist>,
     pending_commit: Option<PendingCommit>,
+    multi_recover: Option<MultiRecover>,
     stats: CheckpointStats,
     /// `(accepted, durable)` instants of every persisted capture, in order
     /// — the checkpoint-latency series the replication figure plots.
@@ -1148,6 +1196,7 @@ impl CheckpointCoordinator {
             prev_offsets: Vec::new(),
             pending_persist: None,
             pending_commit: None,
+            multi_recover: None,
             stats: CheckpointStats::default(),
             persist_log: Vec::new(),
         }
@@ -1345,6 +1394,49 @@ impl CheckpointCoordinator {
         outcome
     }
 
+    /// Begins a rescale-aware recovery reading the chains of every name in
+    /// `names` (the old instances of this worker's stage), one backend
+    /// recovery at a time. The merged restore produces state that matches
+    /// no single stored chain, so the schedule is reset: the first capture
+    /// after a multi-recovery is always a full re-base.
+    pub fn start_recovery_multi(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        names: Vec<String>,
+    ) -> MultiRecoverOutcome {
+        assert!(!names.is_empty(), "multi-recovery needs at least one name");
+        self.multi_recover = Some(MultiRecover {
+            names,
+            next: 0,
+            chains: Vec::new(),
+            bytes: 0,
+        });
+        self.drive_multi_recover(ctx)
+    }
+
+    /// Advances a multi-recovery until it blocks on the backend or
+    /// finishes. Synchronous backends complete in one call.
+    fn drive_multi_recover(&mut self, ctx: &mut Ctx<'_>) -> MultiRecoverOutcome {
+        loop {
+            let Some(m) = self.multi_recover.as_ref() else {
+                return MultiRecoverOutcome::Pending;
+            };
+            if m.next >= m.names.len() {
+                let m = self.multi_recover.take().expect("checked");
+                return MultiRecoverOutcome::Done(m.chains);
+            }
+            let name = m.names[m.next].clone();
+            match self.backend.recover(ctx, &name) {
+                RecoverOutcome::Done(chain) => {
+                    let m = self.multi_recover.as_mut().expect("checked");
+                    m.chains.push(chain);
+                    m.next += 1;
+                }
+                RecoverOutcome::Pending => return MultiRecoverOutcome::Pending,
+            }
+        }
+    }
+
     fn note_recovered_chain(&mut self, chain: Option<&SnapshotChain>) {
         if let Some(c) = chain {
             // Continue the chain the restore produced: the next capture may
@@ -1364,7 +1456,15 @@ impl CheckpointCoordinator {
         job: &str,
         rpc: &StoreRpc,
     ) -> StoreRpcOutcome {
-        match self.backend.on_store_rpc(ctx, job, rpc) {
+        // During a multi-recovery the backend is reading the chain of one
+        // *old-run* instance; blob keys derive from that name, not from the
+        // restoring worker's own.
+        let backend_job = self
+            .multi_recover
+            .as_ref()
+            .and_then(|m| m.names.get(m.next).cloned())
+            .unwrap_or_else(|| job.to_string());
+        match self.backend.on_store_rpc(ctx, &backend_job, rpc) {
             BackendEvent::NotMine => StoreRpcOutcome::NotMine,
             BackendEvent::PersistCompleted => {
                 if let Some(p) = self.pending_persist.take() {
@@ -1379,8 +1479,29 @@ impl CheckpointCoordinator {
                 StoreRpcOutcome::PersistCompleted
             }
             BackendEvent::Recovered { chain, bytes } => {
-                self.note_recovered_chain(chain.as_ref());
-                StoreRpcOutcome::Recovered { chain, bytes }
+                if self.multi_recover.is_some() {
+                    {
+                        let m = self.multi_recover.as_mut().expect("checked");
+                        m.chains.push(chain);
+                        m.bytes += bytes;
+                        m.next += 1;
+                    }
+                    let total = self
+                        .multi_recover
+                        .as_ref()
+                        .map(|m| m.bytes)
+                        .unwrap_or_default();
+                    match self.drive_multi_recover(ctx) {
+                        MultiRecoverOutcome::Done(chains) => StoreRpcOutcome::RecoveredMulti {
+                            chains,
+                            bytes: total,
+                        },
+                        MultiRecoverOutcome::Pending => StoreRpcOutcome::NotMine,
+                    }
+                } else {
+                    self.note_recovered_chain(chain.as_ref());
+                    StoreRpcOutcome::Recovered { chain, bytes }
+                }
             }
         }
     }
@@ -1406,6 +1527,16 @@ pub enum StoreRpcOutcome {
         /// The restored chain, if one was persisted.
         chain: Option<SnapshotChain>,
         /// Encoded bytes read (0 on a cold start).
+        bytes: u64,
+    },
+    /// A pending multi-name (rescale) recovery completed; `chains` aligns
+    /// with the names passed to
+    /// [`CheckpointCoordinator::start_recovery_multi`].
+    RecoveredMulti {
+        /// One chain per requested old-instance name (`None` where nothing
+        /// was persisted).
+        chains: Vec<Option<SnapshotChain>>,
+        /// Total encoded bytes read across every chain.
         bytes: u64,
     },
 }

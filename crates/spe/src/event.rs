@@ -316,13 +316,17 @@ impl Event {
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(64);
         out.push(0xE7);
+        // Flag byte: bit 0 = key present, bits 1..7 = source index. The
+        // source must survive the wire so a windowed join downstream of a
+        // keyed shuffle still knows which input each event came from.
+        let flag = u8::from(self.key.is_some()) | (self.source << 1);
         match &self.key {
             Some(k) => {
-                out.push(1);
+                out.push(flag);
                 out.extend_from_slice(&(k.len() as u32).to_le_bytes());
                 out.extend_from_slice(k.as_bytes());
             }
-            None => out.push(0),
+            None => out.push(flag),
         }
         out.extend_from_slice(&self.ts.as_nanos().to_le_bytes());
         out.extend_from_slice(&self.origin.as_nanos().to_le_bytes());
@@ -342,9 +346,9 @@ impl Event {
             return Err(CodecError::BadTag(magic));
         }
         pos += 1;
-        let has_key = *buf.get(pos).ok_or(CodecError::Truncated)?;
+        let flag = *buf.get(pos).ok_or(CodecError::Truncated)?;
         pos += 1;
-        let key = if has_key == 1 {
+        let key = if flag & 1 == 1 {
             Some(read_str(buf, &mut pos)?)
         } else {
             None
@@ -357,7 +361,7 @@ impl Event {
             value,
             ts,
             origin,
-            source: 0,
+            source: flag >> 1,
         })
     }
 }

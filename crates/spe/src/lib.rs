@@ -39,12 +39,13 @@ mod worker;
 pub use checkpoint::{
     snapshot_store, BackendEvent, CaptureKind, CheckpointCfg, CheckpointCoordinator,
     CheckpointMode, CheckpointPayload, CheckpointStats, DurableBackend, InMemoryBackend,
-    PersistOutcome, RecoverOutcome, RecoveryInfo, SnapshotChain, SnapshotStoreHandle, StateBackend,
-    StateDelta, StateSnapshot, StoreRpcOutcome, CKPT_CORR_BASE, DEFAULT_MAX_DELTA_CHAIN,
+    MultiRecoverOutcome, PersistOutcome, RecoverOutcome, RecoveryInfo, SnapshotChain,
+    SnapshotStoreHandle, StateBackend, StateDelta, StateSnapshot, StoreRpcOutcome, CKPT_CORR_BASE,
+    DEFAULT_MAX_DELTA_CHAIN,
 };
 pub use event::{CodecError, Event, Value};
 pub use ops::{
     Filter, FlatMap, KeyBy, Map, Operator, StatefulMap, WindowAggregate, WindowAssigner, WindowJoin,
 };
 pub use plan::Plan;
-pub use worker::{BatchMetric, SpeConfig, SpeSink, SpeWorker};
+pub use worker::{BatchMetric, SpeConfig, SpeSink, SpeWorker, StageInstanceCfg};

@@ -58,6 +58,28 @@ pub trait Operator {
     /// Resets dirty tracking without capturing — called after a full (base)
     /// snapshot, which by definition covers every pending change.
     fn mark_clean(&mut self) {}
+
+    /// True when this operator ends a pipeline stage in a parallel plan:
+    /// records leaving it carry a grouping key and are shuffled (by the
+    /// shared key hash) to the instances of the next stage. Only [`KeyBy`]
+    /// returns true.
+    fn is_stage_boundary(&self) -> bool {
+        false
+    }
+
+    /// Merges state captured by [`snapshot_state`](Operator::snapshot_state)
+    /// into this operator, keeping only entries whose key `keep` accepts —
+    /// the rescale-restore path, where a new instance reassembles its key
+    /// groups from *every* old instance's capture. Unlike
+    /// [`restore_state`](Operator::restore_state) this never clears what was
+    /// already merged from another capture. Operators without keyed state
+    /// ignore the call.
+    fn merge_restore(&mut self, _state: Value, _keep: &dyn Fn(&str) -> bool) {}
+
+    /// Applies a delta captured by [`snapshot_delta`](Operator::snapshot_delta)
+    /// on top of merged state, keeping only entries whose key `keep`
+    /// accepts (the rescale-restore path for incremental chains).
+    fn merge_delta(&mut self, _delta: Value, _keep: &dyn Fn(&str) -> bool) {}
 }
 
 /// Stateless 1→1 transform.
@@ -164,6 +186,9 @@ impl Operator for KeyBy {
             })
             .collect()
     }
+    fn is_stage_boundary(&self) -> bool {
+        true
+    }
 }
 
 /// Keyed running state across the whole stream: for every input event the
@@ -254,6 +279,26 @@ impl Operator for StatefulMap {
     fn mark_clean(&mut self) {
         self.dirty.clear();
     }
+
+    fn merge_restore(&mut self, state: Value, keep: &dyn Fn(&str) -> bool) {
+        if let Value::Map(m) = state {
+            for (k, v) in m {
+                if keep(&k) {
+                    self.state.insert(k, v);
+                }
+            }
+        }
+    }
+
+    fn merge_delta(&mut self, delta: Value, keep: &dyn Fn(&str) -> bool) {
+        if let Some(Value::Map(set)) = delta.field("set") {
+            for (k, v) in set {
+                if keep(k) {
+                    self.state.insert(k.clone(), v.clone());
+                }
+            }
+        }
+    }
 }
 
 /// How events map to event-time windows.
@@ -334,6 +379,11 @@ pub struct WindowAggregate {
     finish: Box<dyn Fn(Value, u64) -> Value>,
     windows: BTreeMap<(SimTime, String), WindowState>,
     watermark: SimTime,
+    /// Min watermark over the chains merged during a rescale restore. The
+    /// merged stream is only as advanced as its least-advanced input: a
+    /// higher chain's watermark must not fire windows restored from a
+    /// slower chain before their remaining events replay.
+    merged_watermark: Option<SimTime>,
     /// Windows touched since the last checkpoint capture.
     dirty: BTreeSet<(SimTime, String)>,
     /// Windows emitted (and dropped) since the last checkpoint capture.
@@ -357,6 +407,7 @@ impl WindowAggregate {
             finish: Box::new(finish),
             windows: BTreeMap::new(),
             watermark: SimTime::ZERO,
+            merged_watermark: None,
             dirty: BTreeSet::new(),
             removed: BTreeSet::new(),
         }
@@ -581,6 +632,68 @@ impl Operator for WindowAggregate {
         self.dirty.clear();
         self.removed.clear();
     }
+
+    fn merge_restore(&mut self, state: Value, keep: &dyn Fn(&str) -> bool) {
+        if let Some(wm) = state.field("watermark").and_then(Value::as_int) {
+            merge_chain_watermark(
+                &mut self.merged_watermark,
+                &mut self.watermark,
+                SimTime::from_nanos(wm as u64),
+            );
+        }
+        if let Some(Value::List(windows)) = state.field("windows") {
+            for w in windows {
+                if let Some((key, st)) = decode_window_entry(w) {
+                    if keep(&key.1) {
+                        self.windows.insert(key, st);
+                    }
+                }
+            }
+        }
+    }
+
+    fn merge_delta(&mut self, delta: Value, keep: &dyn Fn(&str) -> bool) {
+        if let Some(wm) = delta.field("watermark").and_then(Value::as_int) {
+            merge_chain_watermark(
+                &mut self.merged_watermark,
+                &mut self.watermark,
+                SimTime::from_nanos(wm as u64),
+            );
+        }
+        if let Some(Value::List(del)) = delta.field("del") {
+            for d in del {
+                let Value::List(parts) = d else { continue };
+                let (Some(start), Some(Value::Str(key))) =
+                    (parts.first().and_then(Value::as_int), parts.get(1))
+                else {
+                    continue;
+                };
+                if keep(key) {
+                    self.windows
+                        .remove(&(SimTime::from_nanos(start as u64), key.clone()));
+                }
+            }
+        }
+        if let Some(Value::List(set)) = delta.field("set") {
+            for w in set {
+                if let Some((key, st)) = decode_window_entry(w) {
+                    if keep(&key.1) {
+                        self.windows.insert(key, st);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Folds one restored chain's watermark into a rescale merge. The merged
+/// operator is only as advanced as its *least*-advanced chain: the max
+/// would fire windows restored from a slower chain before that chain's
+/// remaining events replay, splitting their aggregates in two.
+fn merge_chain_watermark(merged: &mut Option<SimTime>, watermark: &mut SimTime, wm: SimTime) {
+    let m = merged.map_or(wm, |prev| prev.min(wm));
+    *merged = Some(m);
+    *watermark = m;
 }
 
 fn encode_window_entry(start: &SimTime, key: &str, st: &WindowState) -> Value {
@@ -624,6 +737,9 @@ pub struct WindowJoin {
     joiner: Box<dyn Fn(&Event, &Event) -> Value>,
     buffers: BTreeMap<(SimTime, String), (Vec<Event>, Vec<Event>)>,
     watermark: SimTime,
+    /// Min watermark over the chains merged during a rescale restore —
+    /// see [`WindowAggregate::merged_watermark`].
+    merged_watermark: Option<SimTime>,
     /// Windows whose buffers grew since the last checkpoint capture.
     dirty: BTreeSet<(SimTime, String)>,
     /// Windows emitted (and dropped) since the last checkpoint capture.
@@ -643,6 +759,7 @@ impl WindowJoin {
             joiner: Box::new(joiner),
             buffers: BTreeMap::new(),
             watermark: SimTime::ZERO,
+            merged_watermark: None,
             dirty: BTreeSet::new(),
             removed: BTreeSet::new(),
         }
@@ -798,6 +915,58 @@ impl Operator for WindowJoin {
     fn mark_clean(&mut self) {
         self.dirty.clear();
         self.removed.clear();
+    }
+
+    fn merge_restore(&mut self, state: Value, keep: &dyn Fn(&str) -> bool) {
+        if let Some(wm) = state.field("watermark").and_then(Value::as_int) {
+            merge_chain_watermark(
+                &mut self.merged_watermark,
+                &mut self.watermark,
+                SimTime::from_nanos(wm as u64),
+            );
+        }
+        if let Some(Value::List(buffers)) = state.field("buffers") {
+            for b in buffers {
+                if let Some((key, bufs)) = decode_join_entry(b) {
+                    if keep(&key.1) {
+                        self.buffers.insert(key, bufs);
+                    }
+                }
+            }
+        }
+    }
+
+    fn merge_delta(&mut self, delta: Value, keep: &dyn Fn(&str) -> bool) {
+        if let Some(wm) = delta.field("watermark").and_then(Value::as_int) {
+            merge_chain_watermark(
+                &mut self.merged_watermark,
+                &mut self.watermark,
+                SimTime::from_nanos(wm as u64),
+            );
+        }
+        if let Some(Value::List(del)) = delta.field("del") {
+            for d in del {
+                let Value::List(parts) = d else { continue };
+                let (Some(start), Some(Value::Str(key))) =
+                    (parts.first().and_then(Value::as_int), parts.get(1))
+                else {
+                    continue;
+                };
+                if keep(key) {
+                    self.buffers
+                        .remove(&(SimTime::from_nanos(start as u64), key.clone()));
+                }
+            }
+        }
+        if let Some(Value::List(set)) = delta.field("set") {
+            for b in set {
+                if let Some((key, bufs)) = decode_join_entry(b) {
+                    if keep(&key.1) {
+                        self.buffers.insert(key, bufs);
+                    }
+                }
+            }
+        }
     }
 }
 

@@ -142,6 +142,76 @@ impl Plan {
         self.ops.iter().map(|o| o.name()).collect()
     }
 
+    /// How many pipeline stages this plan splits into at its [`KeyBy`]
+    /// boundaries: each `KeyBy` *ends* a stage (the key it assigns is what
+    /// the shuffle routes on), and whatever follows starts the next one. A
+    /// trailing `KeyBy` with nothing after it does not open an empty stage.
+    pub fn stage_count(&self) -> usize {
+        let mut stages = 1;
+        for (i, op) in self.ops.iter().enumerate() {
+            if op.is_stage_boundary() && i + 1 < self.ops.len() {
+                stages += 1;
+            }
+        }
+        stages
+    }
+
+    /// Splits the plan into its stages (see
+    /// [`stage_count`](Plan::stage_count)). Each returned plan owns the
+    /// operators of one stage; record counters stay with stage 0.
+    pub fn into_stages(mut self) -> Vec<Plan> {
+        let mut stages: Vec<Plan> = Vec::new();
+        let mut current: Vec<Box<dyn Operator>> = Vec::new();
+        let n = self.ops.len();
+        for (i, op) in self.ops.drain(..).enumerate() {
+            let boundary = op.is_stage_boundary();
+            current.push(op);
+            if boundary && i + 1 < n {
+                stages.push(Plan {
+                    ops: std::mem::take(&mut current),
+                    records_in: 0,
+                    records_out: 0,
+                });
+            }
+        }
+        stages.push(Plan {
+            ops: current,
+            records_in: self.records_in,
+            records_out: self.records_out,
+        });
+        stages
+    }
+
+    /// Overwrites the record counters (the rescale-restore path, where the
+    /// counters come from the restored chain rather than live processing).
+    pub fn set_record_counts(&mut self, records_in: u64, records_out: u64) {
+        self.records_in = records_in;
+        self.records_out = records_out;
+    }
+
+    /// Merges operator state captured by
+    /// [`snapshot_state`](Plan::snapshot_state), keeping only entries whose
+    /// key `keep` accepts — the rescale-restore path reassembling this
+    /// instance's key groups from every old instance's capture.
+    pub fn merge_restore_state(&mut self, states: Vec<Option<Value>>, keep: &dyn Fn(&str) -> bool) {
+        for (op, state) in self.ops.iter_mut().zip(states) {
+            if let Some(s) = state {
+                op.merge_restore(s, keep);
+            }
+        }
+    }
+
+    /// Applies a delta captured by [`snapshot_delta`](Plan::snapshot_delta)
+    /// on top of merged state, keeping only entries whose key `keep`
+    /// accepts.
+    pub fn merge_apply_delta(&mut self, deltas: Vec<Option<Value>>, keep: &dyn Fn(&str) -> bool) {
+        for (op, delta) in self.ops.iter_mut().zip(deltas) {
+            if let Some(d) = delta {
+                op.merge_delta(d, keep);
+            }
+        }
+    }
+
     /// Captures every operator's state, aligned with the chain, plus the
     /// record counters — the plan half of a checkpoint snapshot.
     pub fn snapshot_state(&self) -> (Vec<Option<Value>>, u64, u64) {

@@ -11,9 +11,9 @@
 //! Ocampo et al. reproduction (Fig. 7b) reports as "Spark mean execution
 //! time per one-second slot".
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
-use s2g_proto::{ProducerId, Record, TopicPartition};
+use s2g_proto::{Offset, ProducerId, Record, TopicPartition};
 use s2g_sim::{Ctx, LedgerHandle, MemSlot, Message, Process, ProcessId, SimDuration, SimTime};
 
 use s2g_broker::{ConsumerClient, ConsumerConfig, DataSink, ProducerClient, ProducerConfig};
@@ -21,11 +21,48 @@ use s2g_store::StoreRpc;
 
 use crate::checkpoint::{
     snapshot_store, CaptureKind, CheckpointCfg, CheckpointCoordinator, CheckpointMode,
-    CheckpointPayload, CheckpointStats, InMemoryBackend, RecoverOutcome, RecoveryInfo,
-    SnapshotChain, StateBackend, StateDelta, StateSnapshot, StoreRpcOutcome,
+    CheckpointPayload, CheckpointStats, InMemoryBackend, MultiRecoverOutcome, RecoverOutcome,
+    RecoveryInfo, SnapshotChain, StateBackend, StateDelta, StateSnapshot, StoreRpcOutcome,
 };
 use crate::event::{Event, Value};
 use crate::plan::Plan;
+
+/// Identity and rescale context of one parallel stage instance.
+///
+/// A parallel job is split at its `KeyBy` boundaries into stages; each
+/// stage runs `parallelism` instances. Instance `i` statically owns the
+/// contiguous range of its input partitions (and, equivalently, key
+/// groups) given by [`s2g_proto::owner_of_group`], and its keyed operator
+/// state covers exactly the keys hashing into its owned groups.
+#[derive(Debug, Clone)]
+pub struct StageInstanceCfg {
+    /// Stage index within the job (0 = reads the job's source topics).
+    pub stage: usize,
+    /// This instance's index within the stage.
+    pub instance: u32,
+    /// The stage's current parallelism.
+    pub parallelism: u32,
+    /// The job's fixed key-group count (shuffle topics have exactly this
+    /// many partitions, so `partition == key group`).
+    pub key_groups: u32,
+    /// On a respawn: the *previous* run's instance names of this stage, in
+    /// old-instance order. The restore reads every chain and keeps only the
+    /// key groups this instance owns under the new parallelism — which is
+    /// what makes an N→M rescale redistribute state correctly.
+    pub restore_from: Vec<String>,
+    /// Producer ids of the old instances, aligned with `restore_from` —
+    /// instance 0 resolves the open transactions of old instances that
+    /// have no successor after a shrink.
+    pub old_producers: Vec<ProducerId>,
+}
+
+impl StageInstanceCfg {
+    /// True when this instance owns `key` under the key-group formula.
+    pub fn owns_key(&self, key: &str) -> bool {
+        let group = s2g_proto::key_group(key.as_bytes(), self.key_groups);
+        s2g_proto::owner_of_group(group, self.parallelism, self.key_groups) == self.instance
+    }
+}
 
 /// SPE tunables (the `streamProcCfg` YAML file, Fig. 3b).
 #[derive(Debug, Clone)]
@@ -45,6 +82,11 @@ pub struct SpeConfig {
     /// After this many consecutive empty batches, flush windowed state
     /// downstream (end-of-stream heuristic); 0 disables flushing.
     pub idle_flush_batches: u32,
+    /// Cap on records per micro-batch (Spark's max-rate backpressure knob).
+    /// A backlogged worker otherwise forms ever-larger batches whose CPU
+    /// cost can exceed the remaining run. `usize::MAX` (the default)
+    /// disables the cap.
+    pub max_batch_records: usize,
     /// Consumer settings for source topics.
     pub consumer: ConsumerConfig,
     /// Producer settings for the sink topic.
@@ -71,6 +113,7 @@ impl Default for SpeConfig {
             background_cpu: SimDuration::from_millis(4),
             background_interval: SimDuration::from_millis(100),
             idle_flush_batches: 3,
+            max_batch_records: usize::MAX,
             consumer: ConsumerConfig::default(),
             producer: ProducerConfig::default(),
             checkpoint: None,
@@ -121,6 +164,11 @@ impl BatchMetric {
 #[derive(Default)]
 struct EventBuffer {
     topic_source: HashMap<String, u8>,
+    /// Keep the source index carried in the event encoding instead of
+    /// overriding it with the topic index — set on shuffle-topic consumers,
+    /// where all inputs arrive over one topic but a downstream join still
+    /// needs to know which original source each event came from.
+    preserve_source: bool,
     events: Vec<Event>,
 }
 
@@ -134,7 +182,9 @@ impl DataSink for EventBuffer {
                 // whose origin is the record's produce time.
                 Err(_) => Event::new(Value::Str(r.value_utf8()), r.timestamp),
             };
-            event.source = source;
+            if !self.preserve_source {
+                event.source = source;
+            }
             if let (None, Some(k)) = (&event.key, &r.key) {
                 event.key = Some(String::from_utf8_lossy(k).into_owned());
             }
@@ -191,6 +241,9 @@ pub struct SpeWorker {
     /// Set by the orchestrator on a respawned worker so restart metrics are
     /// recorded even when checkpointing is disabled.
     restarted: bool,
+    /// Parallel-stage identity; `None` for the classic one-worker-per-job
+    /// layout.
+    instance: Option<StageInstanceCfg>,
 }
 
 impl SpeWorker {
@@ -259,7 +312,23 @@ impl SpeWorker {
             staged_capture: None,
             awaiting_restore: false,
             restarted: false,
+            instance: None,
         }
+    }
+
+    /// Declares this worker a parallel stage instance: its embedded
+    /// consumer fetches only the contiguous partition range the instance
+    /// owns, and (for stages past the first) the shuffle input's encoded
+    /// source index is preserved for joins. Respawns with a non-empty
+    /// `restore_from` reassemble the instance's key groups from every old
+    /// instance's chain — the rescale path.
+    pub fn set_instance(&mut self, cfg: StageInstanceCfg) {
+        self.consumer
+            .set_static_assignment(cfg.instance, cfg.parallelism);
+        if cfg.stage > 0 {
+            self.buffer.preserve_source = true;
+        }
+        self.instance = Some(cfg);
     }
 
     /// Attaches a memory-ledger slot.
@@ -378,7 +447,14 @@ impl SpeWorker {
         if self.inflight.is_some() {
             return; // previous batch still executing; records keep buffering
         }
-        let events = std::mem::take(&mut self.buffer.events);
+        let events = if self.buffer.events.len() > self.cfg.max_batch_records {
+            self.buffer
+                .events
+                .drain(..self.cfg.max_batch_records)
+                .collect()
+        } else {
+            std::mem::take(&mut self.buffer.events)
+        };
         if events.is_empty() {
             self.empty_streak += 1;
             if self.cfg.idle_flush_batches > 0
@@ -707,11 +783,161 @@ impl SpeWorker {
                 self.apply_restore(ctx, chain, Some(bytes));
                 self.normal_start(ctx);
             }
+            StoreRpcOutcome::RecoveredMulti { chains, bytes } => {
+                self.awaiting_restore = false;
+                self.apply_restore_multi(ctx, chains, bytes);
+                self.normal_start(ctx);
+            }
             StoreRpcOutcome::NotMine => {
                 // Sink-insert acks and unrelated store traffic: ignored, as
                 // before checkpointing existed.
             }
         }
+    }
+
+    /// The rescale-aware restore: merges the chains of *every* old instance
+    /// of this stage, keeping only the key groups this instance owns under
+    /// the new parallelism. Per-key-group consistency holds because a key
+    /// group, its shuffle partition, and its captured offsets all lived on
+    /// exactly one old instance.
+    fn apply_restore_multi(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        chains: Vec<Option<SnapshotChain>>,
+        bytes: u64,
+    ) {
+        let now = ctx.now();
+        if let Some(r) = self.recovery.as_mut() {
+            r.restored_at = Some(now);
+        }
+        let inst = self
+            .instance
+            .clone()
+            .expect("multi restore implies a stage instance");
+        let own_idx = inst.instance as usize;
+        if self.txn_mode() {
+            // Resolve this producer id's crashed transactions exactly like
+            // the single-instance path...
+            let committed = chains
+                .get(own_idx)
+                .and_then(Option::as_ref)
+                .map_or(0, SnapshotChain::txn_seq);
+            self.txn_seq = committed + 1;
+            if let Some(p) = self.producer.as_mut() {
+                p.recover_txns(ctx, committed);
+                // ...and, from instance 0, the transactions of old
+                // instances with no successor under a shrunk parallelism —
+                // their staged output would otherwise pin the LSO forever.
+                if inst.instance == 0 {
+                    for (idx, old_pid) in inst.old_producers.iter().enumerate() {
+                        if idx >= inst.parallelism as usize {
+                            let upto = chains
+                                .get(idx)
+                                .and_then(Option::as_ref)
+                                .map_or(0, SnapshotChain::txn_seq);
+                            p.recover_txns_for(ctx, *old_pid, upto);
+                        }
+                    }
+                }
+                p.set_transactional(Some(self.txn_seq));
+            }
+        }
+        let restored_any = chains.iter().any(Option::is_some);
+        if let Some(r) = self.recovery.as_mut() {
+            r.snapshot_taken_at = chains.iter().flatten().map(SnapshotChain::taken_at).max();
+            r.snapshot_bytes = if bytes > 0 {
+                bytes
+            } else {
+                chains
+                    .iter()
+                    .flatten()
+                    .map(|c| c.encoded_len() as u64)
+                    .sum()
+            };
+            r.delta_chain = chains
+                .iter()
+                .flatten()
+                .map(SnapshotChain::chain_len)
+                .max()
+                .unwrap_or(0);
+        }
+        if !restored_any {
+            return; // cold start: nothing was ever persisted
+        }
+        let mode = self
+            .coordinator
+            .as_ref()
+            .expect("restore implies coordinator")
+            .mode();
+        let keep = |k: &str| inst.owns_key(k);
+        let mut tail_offsets: BTreeMap<TopicPartition, Offset> = BTreeMap::new();
+        let mut buffer: Vec<Event> = Vec::new();
+        for (idx, chain) in chains.iter().enumerate() {
+            let Some(chain) = chain else { continue };
+            // Base first, then its deltas. Chains from different instances
+            // interleave safely: each key lived on exactly one of them.
+            self.plan
+                .merge_restore_state(chain.base.plan_state.clone(), &keep);
+            for delta in &chain.deltas {
+                self.plan.merge_apply_delta(delta.plan_delta.clone(), &keep);
+            }
+            for (tp, off) in chain.offsets() {
+                let e = tail_offsets.entry(tp.clone()).or_insert(*off);
+                *e = (*e).max(*off);
+            }
+            for ev in chain.buffer() {
+                // Keyed buffered input follows its key's owner. Keyless
+                // input is pre-KeyBy and therefore stateless here: any one
+                // new instance may replay it (the shuffle re-routes by key
+                // afterwards), so old chain `k`'s buffer goes to new
+                // instance `k mod M` — every chain covered exactly once.
+                let keep_ev = match &ev.key {
+                    Some(k) => keep(k),
+                    None => idx % inst.parallelism as usize == own_idx,
+                };
+                if keep_ev {
+                    buffer.push(ev.clone());
+                }
+            }
+        }
+        // Record counters aren't keyed, so exact per-group attribution is
+        // impossible after a rescale; adopting old chain `k`'s counters on
+        // new instance `k mod M` (the keyless-buffer rule above) keeps the
+        // job-level totals equal to what the old layout actually processed.
+        let (records_in, records_out) = chains
+            .iter()
+            .enumerate()
+            .filter(|(idx, _)| idx % inst.parallelism as usize == own_idx)
+            .filter_map(|(_, c)| c.as_ref())
+            .map(SnapshotChain::record_counts)
+            .fold((0, 0), |(ai, ao), (i, o)| (ai + i, ao + o));
+        self.plan.set_record_counts(records_in, records_out);
+        let offsets: Vec<(TopicPartition, Offset)> = tail_offsets.into_iter().collect();
+        match mode {
+            CheckpointMode::ExactlyOnce => {
+                // The union of every chain's tail offsets is the replay
+                // boundary; the consumer's static assignment restricts
+                // actual fetching to the partitions this instance owns.
+                self.buffer.events = buffer;
+                self.consumer.seed_positions(offsets.clone());
+            }
+            CheckpointMode::AtLeastOnce => {
+                // Resume from the broker's committed offsets (duplicates,
+                // never loss — partitions that changed owner replay from
+                // their new group's start).
+            }
+        }
+        if let Some(c) = self.coordinator.as_mut() {
+            c.seed_prev_offsets(offsets);
+        }
+        ctx.trace(
+            "spe",
+            format!(
+                "{} restored {} old-instance chain(s) for its key groups",
+                self.name,
+                chains.iter().flatten().count()
+            ),
+        );
     }
 
     fn emit(&mut self, ctx: &mut Ctx<'_>, events: Vec<Event>) {
@@ -786,19 +1012,37 @@ impl Process for SpeWorker {
         }
         if wants_recovery {
             let name = self.name.clone();
+            let multi = self
+                .instance
+                .as_ref()
+                .map(|i| i.restore_from.clone())
+                .filter(|names| !names.is_empty());
             let coord = self.coordinator.as_mut().expect("checked above");
-            match coord.start_recovery(ctx, &name) {
-                RecoverOutcome::Done(chain) => {
-                    self.apply_restore(ctx, chain, None);
-                    self.normal_start(ctx);
-                }
-                RecoverOutcome::Pending => {
-                    // Hold consuming and batching until the backend read
-                    // round trip completes — the recovery-latency cost of a
-                    // durable backend. The retry timer covers a lost RPC.
-                    self.awaiting_restore = true;
-                    ctx.set_timer(CKPT_IO_RETRY_INTERVAL, tags::CKPT_IO_RETRY);
-                }
+            match multi {
+                Some(names) => match coord.start_recovery_multi(ctx, names) {
+                    MultiRecoverOutcome::Done(chains) => {
+                        self.apply_restore_multi(ctx, chains, 0);
+                        self.normal_start(ctx);
+                    }
+                    MultiRecoverOutcome::Pending => {
+                        self.awaiting_restore = true;
+                        ctx.set_timer(CKPT_IO_RETRY_INTERVAL, tags::CKPT_IO_RETRY);
+                    }
+                },
+                None => match coord.start_recovery(ctx, &name) {
+                    RecoverOutcome::Done(chain) => {
+                        self.apply_restore(ctx, chain, None);
+                        self.normal_start(ctx);
+                    }
+                    RecoverOutcome::Pending => {
+                        // Hold consuming and batching until the backend read
+                        // round trip completes — the recovery-latency cost of
+                        // a durable backend. The retry timer covers a lost
+                        // RPC.
+                        self.awaiting_restore = true;
+                        ctx.set_timer(CKPT_IO_RETRY_INTERVAL, tags::CKPT_IO_RETRY);
+                    }
+                },
             }
         } else {
             self.normal_start(ctx);

@@ -87,6 +87,12 @@ impl KvStore {
         self.mem.is_empty()
     }
 
+    /// Iterates every resident key/value pair in key order (state-snapshot
+    /// transfers for group resync).
+    pub fn entries(&self) -> impl Iterator<Item = (&String, &Bytes)> {
+        self.mem.iter()
+    }
+
     /// Iterates keys in `[from, to)` lexicographic order.
     pub fn scan<'a>(
         &'a self,

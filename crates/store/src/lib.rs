@@ -17,5 +17,5 @@ mod table;
 
 pub use blob::BlobClient;
 pub use kv::KvStore;
-pub use server::{StoreConfig, StoreOp, StoreRecoveryInfo, StoreRpc, StoreServer};
+pub use server::{StateTransfer, StoreConfig, StoreOp, StoreRecoveryInfo, StoreRpc, StoreServer};
 pub use table::{TableError, TableStore};

@@ -195,7 +195,44 @@ pub enum StoreRpc {
         from_seq: u64,
         /// The ops after `from_seq`, in sequence order.
         entries: Vec<StoreOp>,
+        /// Full-state bootstrap, sent when the requester's needed suffix
+        /// was truncated by peer-acked op-log cleaning: the responder's
+        /// complete state as of `from_seq`. The receiver installs it,
+        /// adopts `from_seq` as both its applied sequence and its log
+        /// start, and applies `entries` (normally empty) on top.
+        snapshot: Option<StateTransfer>,
     },
+}
+
+/// A full-state transfer for group resync below the truncated log start.
+#[derive(Debug, Clone, Default)]
+pub struct StateTransfer {
+    /// Every KV pair.
+    pub kv: Vec<(String, Vec<u8>)>,
+    /// Every table as `(name, columns, rows)`.
+    pub tables: Vec<(String, Vec<String>, Vec<Vec<String>>)>,
+}
+
+impl StateTransfer {
+    /// Approximate wire size of the transfer.
+    pub fn wire_size(&self) -> usize {
+        self.kv
+            .iter()
+            .map(|(k, v)| k.len() + v.len() + 8)
+            .sum::<usize>()
+            + self
+                .tables
+                .iter()
+                .map(|(n, cols, rows)| {
+                    n.len()
+                        + cols.iter().map(String::len).sum::<usize>()
+                        + rows
+                            .iter()
+                            .map(|r| r.iter().map(String::len).sum::<usize>() + 4)
+                            .sum::<usize>()
+                })
+                .sum::<usize>()
+    }
 }
 
 impl Message for StoreRpc {
@@ -216,8 +253,11 @@ impl Message for StoreRpc {
             StoreRpc::ReplicateAck { .. } => 20,
             StoreRpc::GroupHeartbeat { .. } => 29,
             StoreRpc::SyncRequest { .. } => 16,
-            StoreRpc::SyncResponse { entries, .. } => {
+            StoreRpc::SyncResponse {
+                entries, snapshot, ..
+            } => {
                 28 + entries.iter().map(StoreOp::wire_size).sum::<usize>()
+                    + snapshot.as_ref().map_or(0, StateTransfer::wire_size)
             }
         }
     }
@@ -300,10 +340,16 @@ struct GroupState {
     epoch: u64,
     primary: usize,
     applied_seq: u64,
-    /// The full operation log: `oplog[i]` holds seq `i + 1`. Retained so a
-    /// cold-restarted member (or a catching-up claimant) can be brought back
-    /// byte-for-byte by replay.
+    /// The retained operation log: `oplog[i]` holds seq `log_start + i + 1`.
+    /// The prefix every live member has acked is truncated away
+    /// (`log_start` advances); members needing older history are brought
+    /// back by a full [`StateTransfer`] instead of replay.
     oplog: Vec<StoreOp>,
+    /// Sequences discarded from the front of `oplog` (0 = nothing
+    /// truncated yet).
+    log_start: u64,
+    /// Lifetime count of ops this member truncated as primary.
+    truncated_ops: u64,
     ready: bool,
     peer_last_seen: Vec<SimTime>,
     peer_seq: Vec<u64>,
@@ -385,6 +431,8 @@ impl StoreServer {
             primary: 0,
             applied_seq: 0,
             oplog: Vec::new(),
+            log_start: 0,
+            truncated_ops: 0,
             ready: !recovering,
             peer_last_seen: vec![SimTime::ZERO; n],
             peer_seq: vec![0; n],
@@ -414,6 +462,17 @@ impl StoreServer {
     /// The highest contiguously applied group-log sequence (0 standalone).
     pub fn applied_seq(&self) -> u64 {
         self.group.as_ref().map_or(0, |g| g.applied_seq)
+    }
+
+    /// Op-log entries currently retained (0 standalone) — bounded by
+    /// peer-acked truncation instead of growing with run length.
+    pub fn oplog_len(&self) -> usize {
+        self.group.as_ref().map_or(0, |g| g.oplog.len())
+    }
+
+    /// Ops this member discarded as primary via peer-acked truncation.
+    pub fn oplog_truncated(&self) -> u64 {
+        self.group.as_ref().map_or(0, |g| g.truncated_ops)
     }
 
     /// Recovery details when this member incarnation rejoined its group.
@@ -654,6 +713,7 @@ impl StoreServer {
                 g.ready = false;
                 g.applied_seq = 0;
                 g.oplog.clear();
+                g.log_start = 0;
                 g.ooo.clear();
                 g.pending_writes.clear();
             }
@@ -809,15 +869,20 @@ impl StoreServer {
             // replica is missing (lost Replicate messages heal here).
             if g.primary == g.index && g.ready && ready && applied_seq < g.applied_seq {
                 let peer = g.members[i];
-                let upto = (applied_seq + REPAIR_BATCH).min(g.applied_seq);
-                for seq in (applied_seq + 1)..=upto {
+                // Truncated prefix cannot be repaired record-by-record; a
+                // peer that far behind resyncs via the snapshot path when
+                // it asks. (A live ready peer is never behind `log_start` —
+                // truncation only discards what every live member acked.)
+                let start = applied_seq.max(g.log_start);
+                let upto = (start + REPAIR_BATCH).min(g.applied_seq);
+                for seq in (start + 1)..=upto {
                     repair.push((
                         peer,
                         StoreRpc::Replicate {
                             epoch: g.epoch,
                             primary: g.index as u32,
                             seq,
-                            op: g.oplog[(seq - 1) as usize].clone(),
+                            op: g.oplog[(seq - 1 - g.log_start) as usize].clone(),
                         },
                     ));
                 }
@@ -835,24 +900,55 @@ impl StoreServer {
         corr: u64,
         from_seq: u64,
     ) {
-        let Some(g) = self.group.as_ref() else { return };
-        if !g.ready {
-            return; // cannot seed others while recovering ourselves
+        let (epoch, primary, log_start, applied) = {
+            let Some(g) = self.group.as_ref() else { return };
+            if !g.ready {
+                return; // cannot seed others while recovering ourselves
+            }
+            (g.epoch, g.primary as u32, g.log_start, g.applied_seq)
+        };
+        if from_seq < log_start {
+            // The suffix the requester needs was truncated away by
+            // peer-acked cleaning: ship a full state snapshot instead. The
+            // receiver adopts our applied sequence wholesale.
+            let snapshot = StateTransfer {
+                kv: self
+                    .kv
+                    .entries()
+                    .map(|(k, v)| (k.clone(), v.to_vec()))
+                    .collect(),
+                tables: self.tables.dump(),
+            };
+            ctx.send(
+                from,
+                StoreRpc::SyncResponse {
+                    corr,
+                    epoch,
+                    primary,
+                    from_seq: applied,
+                    entries: Vec::new(),
+                    snapshot: Some(snapshot),
+                },
+            );
+            return;
         }
-        let start = from_seq.min(g.applied_seq) as usize;
-        let entries: Vec<StoreOp> = g.oplog[start..].to_vec();
+        let g = self.group.as_ref().expect("checked above");
+        let start = from_seq.min(applied);
+        let entries: Vec<StoreOp> = g.oplog[(start - log_start) as usize..].to_vec();
         ctx.send(
             from,
             StoreRpc::SyncResponse {
                 corr,
-                epoch: g.epoch,
-                primary: g.primary as u32,
-                from_seq: start as u64,
+                epoch,
+                primary,
+                from_seq: start,
                 entries,
+                snapshot: None,
             },
         );
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn handle_sync_response(
         &mut self,
         ctx: &mut Ctx<'_>,
@@ -861,6 +957,7 @@ impl StoreServer {
         primary: u32,
         from_seq: u64,
         entries: Vec<StoreOp>,
+        snapshot: Option<StateTransfer>,
     ) {
         {
             let Some(g) = self.group.as_ref() else { return };
@@ -870,6 +967,35 @@ impl StoreServer {
         }
         let mut sync_ops = 0u64;
         let mut sync_bytes = 0u64;
+        if let Some(snap) = snapshot {
+            // Bootstrap from the full state transfer: install it, adopt the
+            // responder's applied sequence, and start an empty log there.
+            sync_bytes += snap.wire_size() as u64;
+            sync_ops += (snap.kv.len()
+                + snap
+                    .tables
+                    .iter()
+                    .map(|(_, _, rows)| rows.len())
+                    .sum::<usize>()) as u64;
+            self.kv = KvStore::new();
+            self.tables = TableStore::new();
+            for (k, v) in snap.kv {
+                self.kv.put(k, v);
+            }
+            for (name, cols, rows) in snap.tables {
+                let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+                let _ = self.tables.create_table(&name, &col_refs);
+                for row in rows {
+                    let _ = self.tables.insert(&name, row);
+                }
+            }
+            self.update_mem();
+            let g = self.group.as_mut().expect("grouped");
+            g.oplog.clear();
+            g.ooo.clear();
+            g.applied_seq = from_seq;
+            g.log_start = from_seq;
+        }
         for (i, op) in entries.iter().enumerate() {
             let seq = from_seq + 1 + i as u64;
             let applied = self.group.as_ref().expect("grouped").applied_seq;
@@ -997,6 +1123,38 @@ impl StoreServer {
         self.send_heartbeats(ctx);
     }
 
+    /// Primary-side op-log truncation: discards the prefix every *live*
+    /// member has acknowledged applying (their heartbeat/ack sequences are
+    /// cumulative state snapshots of their progress), so long runs stop
+    /// growing the log — and the resync cost of the next rejoin. A member
+    /// that was dead past the truncation point is brought back by a full
+    /// [`StateTransfer`] instead of replay.
+    fn truncate_acked_oplog(&mut self, now: SimTime) {
+        let timeout = self.cfg.group_session_timeout;
+        let Some(g) = self.group.as_mut() else { return };
+        if g.primary != g.index || !g.ready || g.members.len() < 2 {
+            return;
+        }
+        let mut floor = g.applied_seq;
+        for i in 0..g.members.len() {
+            if i == g.index {
+                continue;
+            }
+            if g.peer_alive(i, now, timeout) {
+                // A live recovering member reports 0 until its sync lands,
+                // which (correctly) freezes truncation meanwhile.
+                floor = floor.min(g.peer_seq[i]);
+            }
+        }
+        if floor <= g.log_start {
+            return;
+        }
+        let drop = (floor - g.log_start) as usize;
+        g.oplog.drain(..drop);
+        g.truncated_ops += drop as u64;
+        g.log_start = floor;
+    }
+
     fn send_heartbeats(&mut self, ctx: &mut Ctx<'_>) {
         let Some(g) = self.group.as_ref() else { return };
         let hb = StoreRpc::GroupHeartbeat {
@@ -1096,7 +1254,8 @@ impl Process for StoreServer {
                 primary,
                 from_seq,
                 entries,
-            } => self.handle_sync_response(ctx, corr, epoch, primary, from_seq, entries),
+                snapshot,
+            } => self.handle_sync_response(ctx, corr, epoch, primary, from_seq, entries, snapshot),
             client_rpc @ (StoreRpc::Put { .. }
             | StoreRpc::Get { .. }
             | StoreRpc::Delete { .. }
@@ -1122,6 +1281,7 @@ impl Process for StoreServer {
             tags::GROUP_HB_TICK => {
                 self.send_heartbeats(ctx);
                 self.try_claim_primary(ctx);
+                self.truncate_acked_oplog(ctx.now());
                 ctx.set_timer(self.cfg.group_heartbeat_interval, tags::GROUP_HB_TICK);
             }
             tags::SYNC_RETRY => {

@@ -182,6 +182,15 @@ impl TableStore {
         Ok(groups.into_iter().collect())
     }
 
+    /// Dumps every table as `(name, columns, rows)` — the table half of a
+    /// state-snapshot transfer for group resync.
+    pub fn dump(&self) -> Vec<(String, Vec<String>, Vec<Vec<String>>)> {
+        self.tables
+            .iter()
+            .map(|(name, t)| (name.clone(), t.columns.clone(), t.rows.clone()))
+            .collect()
+    }
+
     /// Names of existing tables.
     pub fn table_names(&self) -> Vec<&str> {
         self.tables.keys().map(|s| s.as_str()).collect()

@@ -251,3 +251,51 @@ fn store_failover_runs_reproduce_exactly() {
         "same seed must reproduce the store-failover run exactly"
     );
 }
+
+/// The parallel half of the determinism gate: a `parallelism(4)` keyed job
+/// with transactional sinks, one keyed-stage instance crashed and
+/// restarted, plus a broker bounce — run twice with the same seed, diffing
+/// the full run reports including every stage instance's.
+#[test]
+fn parallel_fault_runs_reproduce_exactly() {
+    use stream2gym::apps::word_count::parallel_recovery_scenario;
+    let run = |seed: u64| -> String {
+        let mut sc = parallel_recovery_scenario(
+            120,
+            SimDuration::from_millis(40),
+            SimTime::from_secs(25),
+            seed,
+            4,
+        );
+        sc.with_checkpointing(CheckpointCfg::exactly_once(SimDuration::from_millis(500)));
+        sc.with_transactional_sinks();
+        sc.with_recoverable_broker();
+        sc.faults(
+            FaultPlan::new()
+                .crash_restart(
+                    "wordcount/1/1",
+                    SimTime::from_millis(3_300),
+                    SimDuration::from_millis(800),
+                )
+                .crash_restart_broker(
+                    0,
+                    SimTime::from_millis(8_000),
+                    SimDuration::from_millis(1_200),
+                ),
+        );
+        let result = sc.run().expect("runs");
+        format!(
+            "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}",
+            result.report.producers,
+            result.report.brokers,
+            result.report.spe,
+            result.report.spe_instances,
+            result.delivery_matrix(0),
+            result.report.sim_stats,
+        )
+    };
+    let a = run(31);
+    let b = run(31);
+    assert_eq!(a, b, "same seed must reproduce the parallel run exactly");
+    assert_ne!(a, run(32), "a different seed must shift the parallel run");
+}

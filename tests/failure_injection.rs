@@ -137,13 +137,13 @@ fn cpu_percentage_cap_slows_processing() {
         );
         sc.spe_job(
             "hs",
-            SpeJobSpec {
-                name: "identity".into(),
-                sources: vec!["in".into()],
-                plan: Box::new(Plan::new),
-                sink: SpeSinkSpec::Collect,
-                cfg: SpeConfig::default(),
-            },
+            SpeJobSpec::new(
+                "identity",
+                vec!["in".into()],
+                Plan::new,
+                SpeSinkSpec::Collect,
+                SpeConfig::default(),
+            ),
         );
         sc.run().expect("runs").report.spe["identity"].mean_busy_runtime
     };

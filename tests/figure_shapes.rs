@@ -4,7 +4,7 @@
 
 use s2g_bench::{
     broker_recovery_sweep, compaction_sweep, fig5_sweep, fig6_run, fig7a_sweep, fig7b_sweep,
-    fig8_sweep, fig9_sweep, Component, Scale,
+    fig8_sweep, fig9_sweep, scaling_sweep, Component, Scale,
 };
 use stream2gym::broker::CoordinationMode;
 
@@ -316,4 +316,47 @@ fn replication_sweep_trades_latency_for_availability() {
     // Only a group member resyncs an op log.
     assert_eq!(standalone.resync_ops, 0);
     assert!(replicated.resync_ops > 0);
+}
+
+/// Scaling: throughput is monotone non-decreasing in the parallelism
+/// degree of a compute-bound keyed job, parallel configurations genuinely
+/// beat the single worker, and an instance crash at higher parallelism
+/// costs only the crashed instance's share.
+#[test]
+fn scaling_throughput_is_monotone_in_parallelism() {
+    let points = scaling_sweep(&[1, 2, 4], Scale::Smoke, 33);
+    assert_eq!(points.len(), 3);
+    for w in points.windows(2) {
+        assert!(
+            w[1].throughput_rps >= w[0].throughput_rps * 0.98,
+            "throughput must not drop with parallelism: p={} {:.1} vs p={} {:.1}",
+            w[0].parallelism,
+            w[0].throughput_rps,
+            w[1].parallelism,
+            w[1].throughput_rps
+        );
+    }
+    assert!(
+        points[2].throughput_rps > points[0].throughput_rps * 1.1,
+        "parallelism 4 must beat parallelism 1: {:.1} vs {:.1}",
+        points[2].throughput_rps,
+        points[0].throughput_rps
+    );
+    for p in &points {
+        assert!(
+            p.recovery_s.is_finite() && p.recovery_s > 0.0,
+            "recovery latency measured at p={}",
+            p.parallelism
+        );
+        assert!(p.crash_throughput_rps > 0.0);
+    }
+    // At parallelism > 1 the crash stalls one instance's share only, so
+    // the hit is bounded; at parallelism 1 it stalls the whole pipeline.
+    let p4 = &points[2];
+    assert!(
+        p4.crash_throughput_rps >= p4.throughput_rps * 0.8,
+        "a single-instance crash must not halve a 4-way job: {:.1} vs {:.1}",
+        p4.crash_throughput_rps,
+        p4.throughput_rps
+    );
 }

@@ -1,0 +1,196 @@
+//! Consumer-group membership: server-side sticky assignment, heartbeat
+//! sessions, survivor takeover of a crashed member's partitions, and
+//! generation fencing.
+
+use std::collections::BTreeSet;
+
+use stream2gym::broker::{
+    Broker, BrokerConfig, CollectingSink, ConsumerConfig, ConsumerProcess, TopicSpec,
+};
+use stream2gym::core::{MonitoredSink, RunResult, Scenario, SourceSpec};
+use stream2gym::net::FaultPlan;
+use stream2gym::sim::{SimDuration, SimTime};
+
+const RECORDS: u64 = 400;
+
+fn membership_cfg() -> ConsumerConfig {
+    ConsumerConfig {
+        group: Some("readers".into()),
+        group_membership: true,
+        auto_commit_interval: SimDuration::from_millis(500),
+        ..ConsumerConfig::default()
+    }
+}
+
+fn build(faults: Option<FaultPlan>) -> Scenario {
+    let mut sc = Scenario::new("rebalance");
+    sc.seed(9)
+        .duration(SimTime::from_secs(30))
+        .topic(TopicSpec::new("events").partitions(6));
+    // A quick session sweep so the takeover happens well inside the run.
+    let bcfg = BrokerConfig {
+        group_session_timeout: SimDuration::from_secs(3),
+        heartbeat_interval: SimDuration::from_secs(1),
+        ..BrokerConfig::default()
+    };
+    sc.broker_with("h0", bcfg);
+    sc.producer(
+        "hp",
+        SourceSpec::Rate {
+            topic: "events".into(),
+            count: RECORDS,
+            interval: SimDuration::from_millis(25),
+            payload: 64,
+        },
+        Default::default(),
+    );
+    for i in 0..3 {
+        sc.consumer(&format!("hc{i}"), membership_cfg(), &["events"]);
+    }
+    if let Some(f) = faults {
+        sc.faults(f);
+    }
+    sc
+}
+
+/// Record sequences a (still-alive) consumer stub delivered; empty when
+/// the stub crashed and never came back (its sink died with it).
+fn delivered_seqs(result: &RunResult, consumer: usize) -> Vec<u64> {
+    let pid = result.consumer_pids[consumer];
+    let Some(cp) = result.sim.process_ref::<ConsumerProcess>(pid) else {
+        return Vec::new();
+    };
+    let monitored = cp.sink_as::<MonitoredSink>().expect("monitored");
+    let sink = (monitored.inner() as &dyn std::any::Any)
+        .downcast_ref::<CollectingSink>()
+        .expect("collecting");
+    sink.deliveries
+        .iter()
+        .map(|(_, _, r)| r.producer_seq)
+        .collect()
+}
+
+#[test]
+fn members_split_partitions_disjointly() {
+    let result = build(None).run().expect("runs");
+    // Every member got a non-empty, disjoint slice of the 6 partitions.
+    let mut seen: BTreeSet<u32> = BTreeSet::new();
+    let mut total = 0usize;
+    for pid in &result.consumer_pids {
+        let cp = result
+            .sim
+            .process_ref::<ConsumerProcess>(*pid)
+            .expect("consumer");
+        let assigned = cp.client().group_assignment();
+        assert_eq!(assigned.len(), 2, "6 partitions over 3 members");
+        for tp in &assigned {
+            assert!(seen.insert(tp.partition), "partition owned twice");
+        }
+        total += assigned.len();
+        assert!(cp.client().stats().group_joins >= 1);
+    }
+    assert_eq!(total, 6, "every partition owned");
+    // Between them the members saw every record, and once the group
+    // settled (all three joined within the first heartbeat intervals) the
+    // disjoint assignment means no duplicates — overlapping reads are
+    // possible only in the formation window, while an early joiner still
+    // holds partitions a later joiner was assigned.
+    let mut all: Vec<u64> = (0..3).flat_map(|i| delivered_seqs(&result, i)).collect();
+    all.sort_unstable();
+    let unique: BTreeSet<u64> = all.iter().copied().collect();
+    assert_eq!(unique.len() as u64, RECORDS, "every record delivered");
+    let dup_after_settle = all
+        .windows(2)
+        .filter(|w| w[0] == w[1] && w[0] >= 100)
+        .count();
+    assert_eq!(
+        dup_after_settle, 0,
+        "no duplicates once the membership settled"
+    );
+    // The coordinator settled at one generation bump per join.
+    let broker = result
+        .sim
+        .process_ref::<Broker>(result.broker_pids[0])
+        .expect("broker");
+    assert_eq!(broker.group_coordinator().generation("readers"), 3);
+    assert_eq!(broker.group_coordinator().members("readers").len(), 3);
+}
+
+#[test]
+fn survivors_absorb_a_crashed_members_partitions() {
+    let result = build(Some(
+        FaultPlan::new().crash_process("consumer-1", SimTime::from_secs(5)),
+    ))
+    .run()
+    .expect("runs");
+    let broker = result
+        .sim
+        .process_ref::<Broker>(result.broker_pids[0])
+        .expect("broker");
+    let coord = broker.group_coordinator();
+    // The dead member was evicted and its partitions reassigned.
+    assert_eq!(coord.members("readers"), vec!["consumer-0", "consumer-2"]);
+    assert!(coord.stats().evictions >= 1);
+    let survivors: usize = [0usize, 2]
+        .iter()
+        .map(|i| {
+            let cp = result
+                .sim
+                .process_ref::<ConsumerProcess>(result.consumer_pids[*i])
+                .expect("consumer");
+            let assigned = cp.client().group_assignment();
+            assert!(
+                cp.client().stats().rebalances >= 1,
+                "observed the rebalance"
+            );
+            assigned.len()
+        })
+        .sum();
+    assert_eq!(survivors, 6, "survivors own every partition between them");
+    // Coverage: the crashed member's sink died with it, but the survivors
+    // took over its partitions from the group's committed offsets — so
+    // everything produced from the crash point on reached a survivor (and
+    // more: the uncommitted tail before the crash is re-read).
+    let crash_seq = 5_000 / 25; // crash at 5 s, one record per 25 ms
+    let union: BTreeSet<u64> = [0usize, 2]
+        .iter()
+        .flat_map(|i| delivered_seqs(&result, *i))
+        .collect();
+    for seq in crash_seq..RECORDS {
+        assert!(
+            union.contains(&seq),
+            "record {seq} went dark after takeover"
+        );
+    }
+}
+
+#[test]
+fn respawned_member_rejoins_stickily() {
+    let result = build(Some(FaultPlan::new().crash_restart(
+        "consumer-1",
+        SimTime::from_secs(5),
+        SimDuration::from_secs(6),
+    )))
+    .run()
+    .expect("runs");
+    let broker = result
+        .sim
+        .process_ref::<Broker>(result.broker_pids[0])
+        .expect("broker");
+    let coord = broker.group_coordinator();
+    assert_eq!(
+        coord.members("readers"),
+        vec!["consumer-0", "consumer-1", "consumer-2"],
+        "the respawned stub rejoined under its stable member id"
+    );
+    // Balance is restored after the rejoin.
+    for m in ["consumer-0", "consumer-1", "consumer-2"] {
+        assert_eq!(coord.assignment("readers", m).len(), 2, "member {m}");
+    }
+    // Fenced commits (a zombie generation) never clobbered offsets.
+    let mut union: BTreeSet<u64> = BTreeSet::new();
+    for i in 0..3 {
+        union.extend(delivered_seqs(&result, i));
+    }
+    assert_eq!(union.len() as u64, RECORDS);
+}

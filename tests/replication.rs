@@ -455,3 +455,47 @@ fn manifest_put_waits_for_the_blob_ack() {
         "the manifest publish strictly follows the blob's durability"
     );
 }
+
+/// Peer-acked op-log truncation: primaries discard the op-log prefix every
+/// live member has applied, so long runs stop growing the log — and a
+/// member restarted after truncation is bootstrapped by a full state
+/// transfer instead of replaying from sequence zero.
+#[test]
+fn oplog_truncation_bounds_the_log_and_snapshot_resync_still_works() {
+    // Fault-free long run: the log is truncated down to (near) nothing.
+    let result = build_txn(3).run().expect("runs");
+    let primary = &result.report.stores[0];
+    assert!(
+        primary.oplog_truncated > 0,
+        "the primary must discard peer-acked prefixes"
+    );
+    assert!(
+        (primary.oplog_len as i64) < (primary.oplog_truncated as i64),
+        "retained log ({}) must stay well below lifetime ops ({})",
+        primary.oplog_len,
+        primary.oplog_truncated + primary.oplog_len
+    );
+    assert_eq!(final_counts(&result), ground_truth());
+
+    // Crash replica 1 early and bring it back late — by then the primary
+    // has truncated the prefix the rejoin would have replayed, so the
+    // resync arrives as a state snapshot (still counted as sync work).
+    let mut sc = build_txn(3);
+    sc.faults(FaultPlan::new().crash_restart_store(
+        1,
+        SimTime::from_millis(2_500),
+        SimDuration::from_secs(8),
+    ));
+    let faulted = sc.run().expect("runs");
+    assert_eq!(
+        sink_bytes(&faulted),
+        sink_bytes(&result),
+        "truncation must never change committed output"
+    );
+    let replica = &faulted.report.stores[1];
+    let rec = replica.recovery.expect("replica crash recorded");
+    assert!(rec.resynced_at.is_some(), "the replica rejoined");
+    assert!(rec.sync_ops > 0, "the rejoin transferred state");
+    // Truncation kept running on the primary throughout.
+    assert!(faulted.report.stores[0].oplog_truncated > 0);
+}
