@@ -4,7 +4,8 @@
 //!
 //! ```text
 //! cargo run --release -p s2g-bench --bin figures -- \
-//!     [--fig 5|6|7a|7b|8|9|recovery|compaction|replication|table2|all] [--quick|--smoke]
+//!     [--fig 5|6|7a|7b|8|9|recovery|compaction|replication|scaling|timeline|table2|all] \
+//!     [--quick|--smoke]
 //! ```
 //!
 //! `--quick` runs reduced parameters; `--smoke` runs the minimal CI preset
@@ -18,8 +19,8 @@ use std::path::PathBuf;
 use s2g_bench::experiments::table2_inventory;
 use s2g_bench::{
     broker_recovery_sweep, compaction_sweep, fig5_sweep, fig6_run, fig7a_sweep, fig7b_sweep,
-    fig8_sweep, fig9_sweep, group_by_component, scaling_sweep, store_replication_sweep, Component,
-    Scale,
+    fig8_sweep, fig9_sweep, group_by_component, scaling_sweep, store_replication_sweep,
+    timeline_sweep, Component, Scale,
 };
 use s2g_broker::CoordinationMode;
 use s2g_core::{ascii_chart, ascii_matrix, ascii_table, cdf, csv_series};
@@ -557,6 +558,57 @@ fn scaling(scale: Scale) {
     );
 }
 
+fn timeline(scale: Scale) {
+    println!("\n#### Timeline: per-instance lag/throughput around a crash ####");
+    let data = timeline_sweep(scale, 17);
+    let lag_refs: Vec<(&str, &[(f64, f64)])> = data
+        .lag
+        .iter()
+        .map(|(n, v)| (n.as_str(), v.as_slice()))
+        .collect();
+    println!(
+        "{}",
+        ascii_chart(
+            "consumer lag per instance",
+            &lag_refs,
+            64,
+            12,
+            "time (s)",
+            "records behind",
+        )
+    );
+    let thr_refs: Vec<(&str, &[(f64, f64)])> = data
+        .throughput
+        .iter()
+        .map(|(n, v)| (n.as_str(), v.as_slice()))
+        .collect();
+    println!(
+        "{}",
+        ascii_chart(
+            "processing rate per instance",
+            &thr_refs,
+            64,
+            12,
+            "time (s)",
+            "records/s",
+        )
+    );
+    println!("  fault & recovery markers:");
+    for (t, scope, name) in &data.markers {
+        println!("    t={t:>7.3}s  {scope:<16} {name}");
+    }
+    write_csv("timeline.csv", &data.tidy_csv);
+    let trace_path = out_dir().join("timeline_trace.json");
+    fs::write(&trace_path, &data.chrome_json).expect("write trace json");
+    println!("  wrote {}", trace_path.display());
+    let summary =
+        s2g_telemetry::validate_chrome_trace(&data.chrome_json).expect("well-formed chrome trace");
+    println!(
+        "  trace: {} events ({} spans, {} instants) across {} processes",
+        summary.events, summary.spans, summary.instants, summary.processes
+    );
+}
+
 fn table2() {
     println!("\n#### Table II: example applications ####");
     let rows: Vec<Vec<String>> = table2_inventory()
@@ -602,6 +654,7 @@ fn main() {
         "compaction" => compaction(scale),
         "replication" => replication(scale),
         "scaling" => scaling(scale),
+        "timeline" => timeline(scale),
         "table2" => table2(),
         "all" => {
             table2();
@@ -615,11 +668,12 @@ fn main() {
             compaction(scale);
             replication(scale);
             scaling(scale);
+            timeline(scale);
         }
         other => {
             eprintln!(
                 "unknown figure `{other}`; use \
-                 5|6|7a|7b|8|9|recovery|compaction|replication|scaling|table2|all"
+                 5|6|7a|7b|8|9|recovery|compaction|replication|scaling|timeline|table2|all"
             );
             std::process::exit(2);
         }

@@ -689,8 +689,7 @@ pub fn store_replication_sweep(
                 .filter(|(_, d)| *d < crash_at)
                 .map(|(a, d)| d.saturating_since(*a).as_secs_f64())
                 .collect();
-            let latency_total: f64 = steady.iter().sum();
-            let steady_n = steady.len();
+            let steady_stats = s2g_telemetry::summarize(&steady);
             // The unavailability window: the longest durable-to-durable gap
             // that spans the crash instant (falling back to crash→end when
             // no checkpoint landed afterwards).
@@ -711,11 +710,7 @@ pub fn store_replication_sweep(
             ReplicationPoint {
                 replicas: n,
                 checkpoints,
-                checkpoint_latency_s: if steady_n == 0 {
-                    f64::NAN
-                } else {
-                    latency_total / steady_n as f64
-                },
+                checkpoint_latency_s: steady_stats.map_or(f64::NAN, |s| s.mean),
                 unavailability_s: unavailability,
                 resync_ops,
             }
@@ -856,6 +851,188 @@ pub fn scaling_sweep(parallelisms: &[usize], scale: Scale, seed: u64) -> Vec<Sca
             }
         })
         .collect()
+}
+
+/// Everything the `--fig timeline` figure plots: per-instance telemetry
+/// series around a crash→recovery window, plus the raw exports behind them.
+#[derive(Debug, Clone)]
+pub struct TimelineData {
+    /// Per-instance consumer lag (records behind the broker high
+    /// watermark), summed across the instance's partitions:
+    /// `(instance, (seconds, lag))`.
+    pub lag: Vec<(String, Vec<(f64, f64)>)>,
+    /// Per-instance processing rate in records/s, derived from successive
+    /// sampler snapshots of the cumulative `records_out` counter.
+    pub throughput: Vec<(String, Vec<(f64, f64)>)>,
+    /// Fault and recovery-phase markers from the causal trace:
+    /// `(seconds, scope, event)`.
+    pub markers: Vec<(f64, String, String)>,
+    /// The run's full tidy-CSV metric export (`t_s,scope,metric,value`).
+    pub tidy_csv: String,
+    /// The run's Chrome-trace JSON export — load it in `chrome://tracing`
+    /// or Perfetto to walk the crash→recovery window span by span.
+    pub chrome_json: String,
+}
+
+/// **Timeline** — the `--fig timeline` figure: a parallelism-2 keyed
+/// word-count job runs with the telemetry sampler on a fine interval and
+/// the causal tracer enabled while the fault plan crashes (and later
+/// restarts) one keyed-stage instance mid-run. The figure shows consumer
+/// lag ballooning on the crashed instance and draining after recovery,
+/// per-instance throughput dipping and rebounding, and markers for the
+/// fault and every recovery phase pulled straight from the trace.
+pub fn timeline_sweep(scale: Scale, seed: u64) -> TimelineData {
+    use s2g_core::{SpeJobSpec, SpeSinkSpec};
+    use s2g_spe::{CheckpointCfg, SpeConfig};
+
+    let (records, interval_ms, tail_ms) = match scale {
+        Scale::Full => (4_000u64, 2u64, 8_000u64),
+        Scale::Quick => (800, 5, 8_000),
+        Scale::Smoke => (300, 5, 6_000),
+    };
+    // Unlike the scaling sweep this job is consumer-bound, not
+    // batch-CPU-bound: per-record deserialization caps each instance's
+    // drain rate at ~1.25x its offered rate, so the backlog a crash builds
+    // up sits in the broker and shows as consumer lag until it drains.
+    let consumer_cpu = SimDuration::from_micros(interval_ms * 1_600);
+    let produce_ms = records * interval_ms + 500;
+    let crash_at = SimTime::from_millis(produce_ms / 2);
+    let duration = SimTime::from_millis(produce_ms + tail_ms);
+    let mut sc = Scenario::new("timeline");
+    sc.seed(seed)
+        .duration(duration)
+        .topic(TopicSpec::new("events").partitions(4))
+        .topic(TopicSpec::new("counts"));
+    sc.telemetry_interval(SimDuration::from_millis(100));
+    sc.with_telemetry_trace(true);
+    // A small fetch cap makes the broker dole the backlog out gradually, so
+    // consumer lag is visible at sampler ticks instead of collapsing to
+    // zero inside a single fetch round trip.
+    sc.broker_with(
+        "h0",
+        s2g_broker::BrokerConfig {
+            fetch_max_records: 5,
+            ..Default::default()
+        },
+    );
+    sc.producer(
+        "hp",
+        SourceSpec::Custom {
+            topics: vec!["events".into()],
+            make: Box::new(move || {
+                Box::new(
+                    s2g_broker::RateSource::new(
+                        "events",
+                        records,
+                        SimDuration::from_millis(interval_ms),
+                    )
+                    .payload_bytes(64)
+                    .key_space(32),
+                )
+            }),
+        },
+        ProducerConfig::default(),
+    );
+    let job = SpeJobSpec::new(
+        "timeline",
+        vec!["events".into()],
+        || {
+            use s2g_spe::{Event, Plan, Value};
+            Plan::new()
+                .key_by("by-payload", |e| {
+                    e.key
+                        .clone()
+                        .unwrap_or_else(|| e.value.as_str().unwrap_or("").chars().take(8).collect())
+                })
+                .stateful("count", Value::Int(0), |state, e| {
+                    let n = state.as_int().unwrap_or(0) + 1;
+                    *state = Value::Int(n);
+                    vec![Event {
+                        value: Value::Int(n),
+                        ..e.clone()
+                    }]
+                })
+        },
+        SpeSinkSpec::Topic("counts".into()),
+        SpeConfig {
+            batch_interval: SimDuration::from_millis(250),
+            scheduling_overhead: SimDuration::from_millis(10),
+            cpu_per_record: SimDuration::from_millis(2),
+            startup_cpu: SimDuration::from_millis(200),
+            max_batch_records: 64,
+            consumer: s2g_broker::ConsumerConfig {
+                cpu_per_record: consumer_cpu,
+                ..Default::default()
+            },
+            ..SpeConfig::default()
+        },
+    )
+    .parallelism(2)
+    // Few key groups concentrate each instance's backlog into a couple of
+    // shuffle partitions, where it registers as per-partition lag instead
+    // of vanishing below one fetch's worth per partition.
+    .key_groups(4);
+    sc.spe_job("hs", job);
+    sc.consumer("hc", Default::default(), &["counts"]);
+    sc.with_checkpointing(CheckpointCfg::exactly_once(SimDuration::from_millis(500)));
+    sc.faults(FaultPlan::new().crash_restart(
+        "timeline/1/1",
+        crash_at,
+        SimDuration::from_millis(2_000),
+    ));
+    let result = sc.run().expect("valid scenario");
+
+    // Per-instance lag: sum each instance's per-partition gauges at every
+    // sampler tick. Per-instance throughput: differentiate the cumulative
+    // records-out counter between consecutive ticks.
+    let mut lag_by_instance: BTreeMap<String, BTreeMap<SimTime, f64>> = BTreeMap::new();
+    let mut throughput: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
+    for s in &result.report.metric_series {
+        if !s.scope.starts_with("timeline/") {
+            continue;
+        }
+        if s.name.starts_with("lag/") {
+            let agg = lag_by_instance.entry(s.scope.clone()).or_default();
+            for (t, v) in &s.points {
+                *agg.entry(*t).or_insert(0.0) += *v;
+            }
+        } else if s.name == "records_out" {
+            let mut rate = Vec::new();
+            let mut prev: Option<(SimTime, f64)> = None;
+            for (t, v) in &s.points {
+                if let Some((pt, pv)) = prev {
+                    let dt = t.saturating_since(pt).as_secs_f64();
+                    if dt > 0.0 {
+                        rate.push((t.as_secs_f64(), (v - pv) / dt));
+                    }
+                }
+                prev = Some((*t, *v));
+            }
+            throughput.push((s.scope.clone(), rate));
+        }
+    }
+    let lag = lag_by_instance
+        .into_iter()
+        .map(|(scope, pts)| {
+            let series = pts.into_iter().map(|(t, v)| (t.as_secs_f64(), v)).collect();
+            (scope, series)
+        })
+        .collect();
+    let markers = result
+        .telemetry
+        .tracer()
+        .events()
+        .iter()
+        .filter(|e| e.cat == "fault" || e.cat == "recovery")
+        .map(|e| (e.at.as_secs_f64(), e.scope.clone(), e.name.clone()))
+        .collect();
+    TimelineData {
+        lag,
+        throughput,
+        markers,
+        tidy_csv: result.telemetry.tidy_csv(),
+        chrome_json: result.telemetry.chrome_json(),
+    }
 }
 
 /// **Table II** — the application inventory: `(name, components, feature)`.

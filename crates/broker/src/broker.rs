@@ -41,6 +41,7 @@ use s2g_sim::{
     downcast, Ctx, LedgerHandle, MemSlot, Message, Process, ProcessId, SimDuration, SimTime,
 };
 use s2g_store::StoreRpc;
+use s2g_telemetry::Telemetry;
 
 use crate::config::{BrokerConfig, CoordinationMode};
 use crate::groups::GroupCoordinator;
@@ -365,6 +366,9 @@ pub struct Broker {
     incarnation: u64,
     /// Restart/replay metrics for the current incarnation.
     recovery: Option<BrokerRecoveryInfo>,
+    /// Telemetry sink (an unshared default until the orchestrator attaches
+    /// the run-wide one).
+    tele: Telemetry,
 }
 
 impl Broker {
@@ -415,12 +419,41 @@ impl Broker {
             recovering: false,
             incarnation: 0,
             recovery: None,
+            tele: Telemetry::new(),
         }
     }
 
     /// Attaches a memory-ledger slot for the resource model.
     pub fn set_mem_slot(&mut self, ledger: LedgerHandle, slot: MemSlot) {
         self.mem = Some((ledger, slot));
+    }
+
+    /// Attaches the run-wide telemetry sink. The broker records produce /
+    /// fetch / append counters, log-size and watermark-gap gauges, and
+    /// append trace events under its own name (`broker-<id>`).
+    pub fn set_telemetry(&mut self, tele: Telemetry) {
+        self.tele = tele;
+    }
+
+    /// Refreshes this partition's watermark-gap gauges: `hw_gap` is the
+    /// unreplicated suffix (log end minus high watermark) and `lso_gap` is
+    /// the open-transaction window (high watermark minus last stable
+    /// offset) that read-committed consumers cannot see yet.
+    fn telemetry_partition_gauges(&mut self, tp: &TopicPartition) {
+        let Some(log) = self.logs.get(tp) else {
+            return;
+        };
+        let hw = log.high_watermark().value();
+        let hw_gap = log.log_end().value().saturating_sub(hw);
+        let lso = self
+            .txns
+            .get(tp)
+            .and_then(PartitionTxns::lso)
+            .map_or(hw, |l| l.min(hw));
+        self.tele
+            .gauge_set(&self.name, &format!("hw_gap/{tp}"), hw_gap as f64);
+        self.tele
+            .gauge_set(&self.name, &format!("lso_gap/{tp}"), (hw - lso) as f64);
     }
 
     /// Attaches a durable-log backend. Dirty segments and the meta blob are
@@ -647,6 +680,7 @@ impl Broker {
             let cost = self.request_cost(records);
             self.respond_after_cpu(ctx, cost, to, msg);
         }
+        self.telemetry_partition_gauges(tp);
     }
 
     fn fail_pending(&mut self, ctx: &mut Ctx<'_>, tp: &TopicPartition, error: ErrorCode) {
@@ -743,6 +777,15 @@ impl Broker {
                 self.retained_bytes += bytes;
                 self.update_mem();
                 self.stats.records_appended += n as u64;
+                self.tele.counter_add(&self.name, "produces", 1);
+                self.tele
+                    .counter_add(&self.name, "records_appended", n as u64);
+                self.tele
+                    .gauge_set(&self.name, "log_bytes", self.retained_bytes as f64);
+                if self.tele.trace_enabled() && n > 0 {
+                    self.tele
+                        .trace_instant(now, &self.name, &format!("append:{tp}"), "broker");
+                }
                 let end = Offset(base.value() + n as u64);
                 // A transactional batch stays invisible to read-committed
                 // consumers until its EndTxn marker: record (or extend) the
@@ -911,6 +954,13 @@ impl Broker {
                     }
                 };
                 let n = batch.len();
+                self.tele.counter_add(&self.name, "fetches", 1);
+                self.tele
+                    .counter_add(&self.name, "records_fetched", n as u64);
+                if self.tele.trace_enabled() && n > 0 {
+                    self.tele
+                        .trace_instant(now, &self.name, &format!("fetch:{tp}"), "broker");
+                }
                 let cost = self.request_cost(n);
                 self.respond_after_cpu(
                     ctx,
@@ -1133,6 +1183,25 @@ impl Broker {
                         ptx.add_aborted(first, end);
                     }
                 }
+            }
+        }
+        if changed {
+            self.tele.counter_add(
+                &self.name,
+                if commit {
+                    "txns_committed"
+                } else {
+                    "txns_aborted"
+                },
+                1,
+            );
+            if self.tele.trace_enabled() {
+                self.tele.trace_instant(
+                    ctx.now(),
+                    &self.name,
+                    if commit { "txn:commit" } else { "txn:abort" },
+                    "txn",
+                );
             }
         }
         if changed {
@@ -1693,6 +1762,8 @@ impl Broker {
     fn begin_recovery(&mut self, ctx: &mut Ctx<'_>) {
         self.recovering = true;
         self.recovery = Some(BrokerRecoveryInfo::new(ctx.now()));
+        self.tele
+            .trace_begin(ctx.now(), &self.name, "recovery:replay", "recovery");
         let d = self
             .durability
             .as_mut()
@@ -1814,6 +1885,8 @@ impl Broker {
         if let Some(r) = self.recovery.as_mut() {
             r.recovered_at = Some(ctx.now());
         }
+        self.tele
+            .trace_end(ctx.now(), &self.name, "recovery:replay", "recovery");
         ctx.trace("broker", format!("{} replayed its durable log", self.name));
     }
 

@@ -15,6 +15,7 @@ use std::collections::{BTreeMap, HashMap};
 
 use s2g_proto::{ClientRpc, CorrelationId, ErrorCode, Offset, Record, TopicPartition};
 use s2g_sim::{downcast, Ctx, Message, Process, ProcessId, SimDuration, SimTime, TimerToken};
+use s2g_telemetry::Telemetry;
 
 use crate::config::ConsumerConfig;
 use crate::metadata::MetadataCache;
@@ -119,6 +120,11 @@ pub struct ConsumerClient {
     static_assignment: Option<(u32, u32)>,
     /// Membership-protocol state (when `cfg.group_membership` is on).
     membership: Option<Membership>,
+    /// Telemetry sink; records nothing until a scope is attached.
+    tele: Telemetry,
+    /// Scope metrics are recorded under (`consumer-0`, `job/stage/i`, ...);
+    /// empty means telemetry is detached.
+    tele_scope: String,
 }
 
 /// Client-side state of the group-membership protocol.
@@ -164,7 +170,18 @@ impl ConsumerClient {
             offset_fetch_inflight: None,
             static_assignment: None,
             membership: None,
+            tele: Telemetry::new(),
+            tele_scope: String::new(),
         }
+    }
+
+    /// Attaches the run-wide telemetry sink. The client records delivered
+    /// record counts and a per-partition `lag/<topic>-<part>` gauge (the
+    /// broker high watermark minus the local position, from every fetch
+    /// response) under `scope`.
+    pub fn set_telemetry(&mut self, tele: Telemetry, scope: impl Into<String>) {
+        self.tele = tele;
+        self.tele_scope = scope.into();
     }
 
     /// Restricts fetching to the partitions instance `instance` of
@@ -526,7 +543,7 @@ impl ConsumerClient {
                 corr,
                 tp,
                 batch,
-                high_watermark: _,
+                high_watermark,
                 next_offset,
                 error,
             } => {
@@ -537,6 +554,23 @@ impl ConsumerClient {
                 // the delivery CPU completes, or the poll timer would issue
                 // a duplicate fetch at the not-yet-advanced offset.
                 self.fetching.insert(tp.clone(), false);
+                if !self.tele_scope.is_empty() && error == ErrorCode::None {
+                    // Consumer lag per partition: broker high watermark
+                    // minus the position after this response.
+                    let lag = high_watermark.value().saturating_sub(next_offset.value());
+                    self.tele
+                        .gauge_set(&self.tele_scope, &format!("lag/{tp}"), lag as f64);
+                    self.tele
+                        .counter_add(&self.tele_scope, "records_consumed", batch.len() as u64);
+                    if self.tele.trace_enabled() && !batch.is_empty() {
+                        self.tele.trace_instant(
+                            ctx.now(),
+                            &self.tele_scope,
+                            &format!("fetch:{tp}"),
+                            "consumer",
+                        );
+                    }
+                }
                 match error {
                     ErrorCode::None if !batch.is_empty() => {
                         self.fetching.insert(tp.clone(), true);
@@ -797,6 +831,12 @@ impl ConsumerProcess {
     /// The embedded client (stats, positions).
     pub fn client(&self) -> &ConsumerClient {
         &self.client
+    }
+
+    /// Attaches the run-wide telemetry sink under this process's name.
+    pub fn set_telemetry(&mut self, tele: Telemetry) {
+        let scope = self.name.clone();
+        self.client.set_telemetry(tele, scope);
     }
 
     /// The sink, downcast to its concrete type.

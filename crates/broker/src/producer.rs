@@ -25,6 +25,7 @@ use s2g_sim::{
     downcast, Ctx, LedgerHandle, MemSlot, Message, Process, ProcessId, SimDuration, SimTime,
     TimerToken,
 };
+use s2g_telemetry::Telemetry;
 
 use crate::config::ProducerConfig;
 use crate::metadata::MetadataCache;
@@ -184,6 +185,10 @@ pub struct ProducerClient {
     txn_done: BTreeMap<u64, u64>,
     /// Outstanding EndTxn/TxnRecover RPCs by correlation id.
     txn_ctl: HashMap<u64, TxnCtl>,
+    /// Telemetry sink; records nothing until a scope is attached.
+    tele: Telemetry,
+    /// Scope metrics are recorded under; empty means detached.
+    tele_scope: String,
 }
 
 impl ProducerClient {
@@ -229,7 +234,17 @@ impl ProducerClient {
             txn_sent: BTreeMap::new(),
             txn_done: BTreeMap::new(),
             txn_ctl: HashMap::new(),
+            tele: Telemetry::new(),
+            tele_scope: String::new(),
         }
+    }
+
+    /// Attaches the run-wide telemetry sink. The client records sent /
+    /// acked record counts, produce trace events, and transaction
+    /// begin/commit instants under `scope`.
+    pub fn set_telemetry(&mut self, tele: Telemetry, scope: impl Into<String>) {
+        self.tele = tele;
+        self.tele_scope = scope.into();
     }
 
     /// Attaches a memory-ledger slot; dynamic usage tracks the buffer fill.
@@ -281,6 +296,18 @@ impl ProducerClient {
     /// Sends the commit (or abort) marker for `txn` to every broker; lost
     /// markers are re-sent on the retry timer until acknowledged.
     pub fn end_txn(&mut self, ctx: &mut Ctx<'_>, txn: u64, commit: bool) {
+        if !self.tele_scope.is_empty() && self.tele.trace_enabled() {
+            self.tele.trace_instant(
+                ctx.now(),
+                &self.tele_scope,
+                if commit {
+                    "txn:end:commit"
+                } else {
+                    "txn:end:abort"
+                },
+                "txn",
+            );
+        }
         let brokers = self.broker_endpoints();
         for broker in brokers {
             let corr = self.next_corr();
@@ -629,6 +656,18 @@ impl ProducerClient {
                     txn: batch.txn,
                 },
             );
+            if !self.tele_scope.is_empty() {
+                self.tele
+                    .counter_add(&self.tele_scope, "records_sent", batch.records.len() as u64);
+                if self.tele.trace_enabled() {
+                    self.tele.trace_instant(
+                        ctx.now(),
+                        &self.tele_scope,
+                        &format!("produce:{tp}"),
+                        "producer",
+                    );
+                }
+            }
             self.corr_to_tp.insert(corr.0, tp.clone());
             self.inflight.insert(tp, Inflight { batch, timer });
         }
@@ -647,6 +686,17 @@ impl ProducerClient {
             self.stats.acked += batch.records.len() as u64;
         } else {
             self.stats.failed += batch.records.len() as u64;
+        }
+        if !self.tele_scope.is_empty() {
+            self.tele.counter_add(
+                &self.tele_scope,
+                if delivered {
+                    "records_acked"
+                } else {
+                    "records_failed"
+                },
+                batch.records.len() as u64,
+            );
         }
         for r in &batch.records {
             self.outcomes.push(ProduceOutcome {
@@ -805,6 +855,12 @@ const BACKGROUND_DONE: u64 = 2;
 const STARTUP_DONE: u64 = 3;
 
 impl ProducerProcess {
+    /// Attaches the run-wide telemetry sink under this process's name.
+    pub fn set_telemetry(&mut self, tele: Telemetry) {
+        let scope = self.name.clone();
+        self.client.set_telemetry(tele, scope);
+    }
+
     /// Creates a producer stub.
     pub fn new(client: ProducerClient, source: Box<dyn DataSource>) -> Self {
         let name = format!("producer-{}", client.id().0);

@@ -14,6 +14,7 @@ use s2g_broker::DataSink;
 use s2g_proto::{ProducerId, Record, TopicPartition};
 use s2g_sim::{SimDuration, SimTime};
 use s2g_spe::Event;
+use s2g_telemetry::{Histogram, SummaryStats};
 
 /// One observed delivery: a record reaching a consumer.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,9 +36,18 @@ pub struct DeliveryRecord {
 }
 
 impl DeliveryRecord {
-    /// End-to-end latency of this delivery.
+    /// End-to-end latency of this delivery. A delivery whose origin
+    /// timestamp lies *after* its arrival (possible when an SPE operator
+    /// stamps synthetic origins) clamps to zero; the monitor counts those
+    /// in [`MonitorCore::clamped_latencies`] so they can't silently skew
+    /// latency statistics toward zero.
     pub fn latency(&self) -> SimDuration {
         self.delivered.saturating_since(self.produced)
+    }
+
+    /// Whether [`latency`](Self::latency) clamped a negative interval.
+    pub fn latency_clamped(&self) -> bool {
+        self.produced > self.delivered
     }
 }
 
@@ -46,6 +56,9 @@ impl DeliveryRecord {
 pub struct MonitorCore {
     /// Every delivery, in arrival order.
     pub deliveries: Vec<DeliveryRecord>,
+    /// Deliveries whose produced-after-delivered latency was clamped to
+    /// zero by [`DeliveryRecord::latency`].
+    pub clamped_latencies: u64,
 }
 
 /// Shared handle to the monitor.
@@ -81,6 +94,17 @@ impl MonitorCore {
         Some(SimDuration::from_nanos(
             lats.iter().sum::<u64>() / lats.len() as u64,
         ))
+    }
+
+    /// Mean and tail latency (p50/p95/p99, in seconds) over a topic's
+    /// deliveries, computed through the telemetry latency histogram —
+    /// `None` when the topic saw no deliveries.
+    pub fn latency_stats(&self, topic: &str) -> Option<SummaryStats> {
+        let mut hist = Histogram::latency_seconds();
+        for d in self.for_topic(topic) {
+            hist.observe(d.latency().as_secs_f64());
+        }
+        hist.stats()
     }
 
     /// Latency series for one consumer and topic, ordered by delivery time
@@ -145,6 +169,9 @@ impl DataSink for MonitoredSink {
                     Ok(e) => e.origin,
                     Err(_) => r.timestamp,
                 };
+                if produced > now {
+                    core.clamped_latencies += 1;
+                }
                 core.deliveries.push(DeliveryRecord {
                     consumer: self.consumer,
                     topic: tp.topic.clone(),
@@ -306,6 +333,52 @@ mod tests {
         let core = handle.borrow();
         assert_eq!(core.deliveries[0].produced, SimTime::from_millis(100));
         assert_eq!(core.deliveries[0].latency(), SimDuration::from_millis(900));
+    }
+
+    #[test]
+    fn latency_stats_cover_tail_quantiles() {
+        let handle = MonitorCore::new_handle();
+        let mut sink = MonitoredSink::new(handle.clone(), 0, Box::new(CollectingSink::default()));
+        let tp = TopicPartition::new("t", 0);
+        // 90 deliveries at ~10 ms and 10 stragglers at ~1 s: the median
+        // stays near the bulk while p99 lands among the stragglers.
+        for i in 0..90 {
+            sink.on_records(
+                SimTime::from_millis(i * 20 + 10),
+                &tp,
+                &[record(1, i, i * 20)],
+            );
+        }
+        for i in 90..100 {
+            sink.on_records(
+                SimTime::from_millis(i * 20 + 1_000),
+                &tp,
+                &[record(1, i, i * 20)],
+            );
+        }
+        let core = handle.borrow();
+        let stats = core.latency_stats("t").expect("deliveries exist");
+        assert_eq!(stats.count, 100);
+        assert!(stats.p50 < 0.05, "median near the 10ms bulk: {}", stats.p50);
+        assert!(stats.p99 > 0.5, "p99 sees the 1s straggler: {}", stats.p99);
+        assert!(stats.mean > stats.p50);
+        assert!(core.latency_stats("zz").is_none());
+    }
+
+    #[test]
+    fn clamped_negative_latencies_are_counted() {
+        let handle = MonitorCore::new_handle();
+        let mut sink = MonitoredSink::new(handle.clone(), 0, Box::new(CollectingSink::default()));
+        let tp = TopicPartition::new("t", 0);
+        // Produced at 500 ms but "delivered" at 100 ms: the latency clamps
+        // to zero and the clamp is counted instead of silently vanishing.
+        sink.on_records(SimTime::from_millis(100), &tp, &[record(1, 0, 500)]);
+        sink.on_records(SimTime::from_millis(700), &tp, &[record(1, 1, 600)]);
+        let core = handle.borrow();
+        assert_eq!(core.clamped_latencies, 1);
+        assert!(core.deliveries[0].latency_clamped());
+        assert_eq!(core.deliveries[0].latency(), SimDuration::ZERO);
+        assert!(!core.deliveries[1].latency_clamped());
     }
 
     #[test]

@@ -33,6 +33,7 @@ use s2g_spe::{
     StateBackend,
 };
 use s2g_store::{StoreConfig, StoreServer};
+use s2g_telemetry::{MetricSeries, Telemetry};
 
 use crate::monitor::{DeliveryMatrix, MonitorCore, MonitorHandle, MonitoredSink};
 use crate::resources::{cpu_utilization_series, MemModel, MemSampler, ServerSpec};
@@ -495,6 +496,9 @@ pub struct Scenario {
     watch_tx: Vec<String>,
     tracing: bool,
     event_limit: u64,
+    telemetry: bool,
+    telemetry_interval: SimDuration,
+    telemetry_trace: bool,
 }
 
 impl Scenario {
@@ -530,6 +534,9 @@ impl Scenario {
             watch_tx: Vec::new(),
             tracing: false,
             event_limit: u64::MAX,
+            telemetry: true,
+            telemetry_interval: SimDuration::from_millis(500),
+            telemetry_trace: false,
         }
     }
 
@@ -889,6 +896,37 @@ impl Scenario {
         self
     }
 
+    /// Turns the always-on metrics registry's periodic sampling on or off.
+    /// On (the default), a sampler process snapshots every registered
+    /// metric — consumer lag, per-instance record counts, broker log
+    /// sizes, checkpoint histograms, host CPU occupancy — into per-metric
+    /// time series every [`telemetry_interval`](Scenario::telemetry_interval),
+    /// surfaced through [`RunReport::metric_series`] and
+    /// [`RunResult::telemetry`]. Sampling is a pure observer (no RNG, no
+    /// messages), so same-seed runs are identical with it on or off.
+    pub fn with_telemetry(&mut self, on: bool) -> &mut Self {
+        self.telemetry = on;
+        self
+    }
+
+    /// Sets the metric-sampling cadence (default 500 ms).
+    pub fn telemetry_interval(&mut self, d: SimDuration) -> &mut Self {
+        self.telemetry_interval = d;
+        self
+    }
+
+    /// Enables causal event tracing: typed spans for record lifecycle
+    /// (produce, broker append, fetch, shuffle hop, operator batch, sink
+    /// commit), checkpoint barriers and persists, transaction phases, and
+    /// every fault-injection and recovery phase. Off by default (traces
+    /// grow with traffic); export with
+    /// [`RunResult::telemetry`]`.chrome_json()` and open the file in
+    /// `chrome://tracing` or Perfetto.
+    pub fn with_telemetry_trace(&mut self, on: bool) -> &mut Self {
+        self.telemetry_trace = on;
+        self
+    }
+
     /// Caps the total number of simulation events (livelock guard).
     pub fn event_limit(&mut self, limit: u64) -> &mut Self {
         self.event_limit = limit;
@@ -1166,6 +1204,12 @@ impl Scenario {
         sim.set_tracing(self.tracing);
         sim.set_event_limit(self.event_limit);
 
+        // Run-wide telemetry: one shared registry/series/tracer handle every
+        // component records into. Created before the components so build and
+        // respawn recipes alike attach the same handle.
+        let tele = Telemetry::new();
+        tele.set_trace_enabled(self.telemetry_trace);
+
         // CPU per host; ledger for memory.
         let mut cpus: BTreeMap<String, CpuHandle> = BTreeMap::new();
         {
@@ -1260,6 +1304,7 @@ impl Scenario {
                 .borrow_mut()
                 .register(format!("broker-{i}"), self.mem_model.broker);
             b.set_mem_slot(ledger.clone(), slot);
+            b.set_telemetry(tele.clone());
             let pid = sim.spawn(Box::new(b));
             debug_assert_eq!(pid, broker_pids[i]);
             if let Some(cpu) = cpus.get(host) {
@@ -1303,6 +1348,7 @@ impl Scenario {
                     .borrow_mut()
                     .register(format!("store-{rh}"), self.mem_model.store);
                 st.set_mem_slot(ledger.clone(), slot);
+                st.set_telemetry(tele.clone());
                 let pid = sim.spawn(Box::new(st));
                 if let Some(cpu) = cpus.get(rh) {
                     sim.attach_cpu(pid, cpu.clone());
@@ -1448,6 +1494,7 @@ impl Scenario {
                         &checkpoint_spec,
                         &checkpoint_snapshots,
                         &store_groups,
+                        &tele,
                         false,
                     );
                     let pid = sim.spawn(Box::new(w));
@@ -1482,7 +1529,7 @@ impl Scenario {
                 slot,
                 pid: ProcessId(0),
             };
-            let p = build_producer_stub(i, &build, &brokers_hash, &ledger);
+            let p = build_producer_stub(i, &build, &brokers_hash, &ledger, &tele);
             let pid = sim.spawn(Box::new(p));
             if let Some(cpu) = cpus.get(&host) {
                 sim.attach_cpu(pid, cpu.clone());
@@ -1521,7 +1568,7 @@ impl Scenario {
                 bootstrap: bootstrap_for(&host),
                 pid: ProcessId(0),
             };
-            let p = build_consumer_stub(i, &build, &brokers_hash, &monitor);
+            let p = build_consumer_stub(i, &build, &brokers_hash, &monitor, &tele);
             let pid = sim.spawn(Box::new(p));
             if let Some(cpu) = cpus.get(&host) {
                 sim.attach_cpu(pid, cpu.clone());
@@ -1555,6 +1602,16 @@ impl Scenario {
                 duration,
             ))))
         };
+        // The telemetry sampler is spawned after every other process so
+        // toggling it never shifts an existing pid (and with it the
+        // deterministic event order of a seeded run).
+        if self.telemetry {
+            let sampler_cpus: Vec<(String, CpuHandle)> =
+                cpus.iter().map(|(h, c)| (h.clone(), c.clone())).collect();
+            sim.spawn(Box::new(
+                tele.sampler(self.telemetry_interval, sampler_cpus),
+            ));
+        }
 
         // Placement.
         {
@@ -1589,6 +1646,7 @@ impl Scenario {
                 FaultAction::CrashProcess(name)
                     if resolve_spe_target(&job_metas, &name).is_some() =>
                 {
+                    tele.trace_instant(at, &name, "fault:crash", "fault");
                     // A job name kills every stage instance; an instance
                     // name kills exactly that one.
                     let targets: Vec<(usize, usize, usize)> =
@@ -1610,6 +1668,7 @@ impl Scenario {
                     }
                 }
                 FaultAction::CrashProcess(name) => {
+                    tele.trace_instant(at, &name, "fault:crash", "fault");
                     // A client stub: `producer-<idx>` or `consumer-<idx>`
                     // (validated above).
                     let pid = if let Some(i) = stub_index(&name, "producer-") {
@@ -1631,12 +1690,13 @@ impl Scenario {
                 FaultAction::RestartProcess(name)
                     if resolve_spe_target(&job_metas, &name).is_none() =>
                 {
+                    tele.trace_instant(at, &name, "fault:restart", "fault");
                     if let Some(i) = stub_index(&name, "producer-") {
                         let build = &producer_builds[i];
                         if sim.is_alive(build.pid) {
                             continue; // restart without a preceding crash
                         }
-                        let p = build_producer_stub(i, build, &brokers_hash, &ledger);
+                        let p = build_producer_stub(i, build, &brokers_hash, &ledger, &tele);
                         sim.respawn(build.pid, Box::new(p));
                         if let Some(cpu) = cpus.get(&build.host) {
                             sim.attach_cpu(build.pid, cpu.clone());
@@ -1647,7 +1707,7 @@ impl Scenario {
                         if sim.is_alive(build.pid) {
                             continue;
                         }
-                        let p = build_consumer_stub(i, build, &brokers_hash, &monitor);
+                        let p = build_consumer_stub(i, build, &brokers_hash, &monitor, &tele);
                         sim.respawn(build.pid, Box::new(p));
                         if let Some(cpu) = cpus.get(&build.host) {
                             sim.attach_cpu(build.pid, cpu.clone());
@@ -1659,6 +1719,7 @@ impl Scenario {
                     client_corpses.remove(&name);
                 }
                 FaultAction::RestartProcess(name) => {
+                    tele.trace_instant(at, &name, "fault:restart", "fault");
                     let target = resolve_spe_target(&job_metas, &name).expect("validated");
                     let (j, keys) = match target {
                         SpeFaultTarget::Instance(j, s, i) => (j, vec![(s, i)]),
@@ -1715,6 +1776,7 @@ impl Scenario {
                                     &checkpoint_spec,
                                     &checkpoint_snapshots,
                                     &store_groups,
+                                    &tele,
                                     true,
                                 );
                                 w.mark_restarted();
@@ -1752,6 +1814,7 @@ impl Scenario {
                                     &checkpoint_spec,
                                     &checkpoint_snapshots,
                                     &store_groups,
+                                    &tele,
                                     true,
                                 );
                                 w.mark_restarted();
@@ -1782,6 +1845,7 @@ impl Scenario {
                     }
                 }
                 FaultAction::CrashBroker(idx) => {
+                    tele.trace_instant(at, &format!("broker-{idx}"), "fault:crash", "fault");
                     let build = &broker_builds[idx as usize];
                     if let Some(corpse) = sim.kill(build.pid) {
                         broker_crashed_at.insert(idx, at);
@@ -1790,6 +1854,8 @@ impl Scenario {
                 }
                 FaultAction::CrashStore(idx) => {
                     let build = &store_builds[idx as usize];
+                    let scope = format!("store-{}", build.replica_host);
+                    tele.trace_instant(at, &scope, "fault:crash", "fault");
                     if let Some(corpse) = sim.kill(build.pid) {
                         store_crashed_at.insert(idx, at);
                         store_corpses.insert(idx, corpse);
@@ -1797,12 +1863,15 @@ impl Scenario {
                 }
                 FaultAction::RestartStore(idx) => {
                     let build = &store_builds[idx as usize];
+                    let scope = format!("store-{}", build.replica_host);
+                    tele.trace_instant(at, &scope, "fault:restart", "fault");
                     if sim.is_alive(build.pid) {
                         continue; // restart without a preceding crash: no-op
                     }
                     let mut st = StoreServer::new(build.cfg.clone());
                     st.set_name(format!("store-{}", build.replica_host));
                     st.set_mem_slot(ledger.clone(), build.slot);
+                    st.set_telemetry(tele.clone());
                     if build.group.len() > 1 {
                         // Rejoin recovering: pull the op log from a ready
                         // member before serving again.
@@ -1815,6 +1884,7 @@ impl Scenario {
                     store_corpses.remove(&idx);
                 }
                 FaultAction::RestartBroker(idx) => {
+                    tele.trace_instant(at, &format!("broker-{idx}"), "fault:restart", "fault");
                     let build = &mut broker_builds[idx as usize];
                     if sim.is_alive(build.pid) {
                         continue; // restart without a preceding crash: no-op
@@ -1829,6 +1899,7 @@ impl Scenario {
                     );
                     b.set_mem_slot(ledger.clone(), build.slot);
                     b.set_incarnation(build.incarnation);
+                    b.set_telemetry(tele.clone());
                     match &broker_durability {
                         Some(spec) => {
                             b.set_durability(make_log_backend(spec, build.incarnation), true)
@@ -2012,6 +2083,8 @@ impl Scenario {
             self.server.cores,
         );
 
+        let metric_series: Vec<MetricSeries> = tele.series().all().to_vec();
+
         let report = RunReport {
             name: self.name,
             duration,
@@ -2027,6 +2100,7 @@ impl Scenario {
             peak_mem_bytes,
             cpu_series,
             tx_series,
+            metric_series,
         };
 
         Ok(RunResult {
@@ -2042,6 +2116,7 @@ impl Scenario {
             store_pids,
             store_group_pids: store_groups,
             checkpoint_snapshots,
+            telemetry: tele,
             report,
         })
     }
@@ -2073,6 +2148,7 @@ fn build_producer_stub(
     build: &ProducerStubBuild,
     brokers: &HashMap<BrokerId, ProcessId>,
     ledger: &LedgerHandle,
+    tele: &Telemetry,
 ) -> ProducerProcess {
     let mut client = ProducerClient::new(
         ProducerId(idx as u32),
@@ -2082,7 +2158,9 @@ fn build_producer_stub(
         0,
     );
     client.set_mem_slot(ledger.clone(), build.slot);
-    ProducerProcess::new(client, build.source.build())
+    let mut p = ProducerProcess::new(client, build.source.build());
+    p.set_telemetry(tele.clone());
+    p
 }
 
 /// Everything needed to (re)build one consumer stub for a
@@ -2103,6 +2181,7 @@ fn build_consumer_stub(
     build: &ConsumerStubBuild,
     brokers: &HashMap<BrokerId, ProcessId>,
     monitor: &MonitorHandle,
+    tele: &Telemetry,
 ) -> ConsumerProcess {
     let inner = build.sink.build();
     let wrapped = MonitoredSink::new(monitor.clone(), idx as u32, inner);
@@ -2112,7 +2191,9 @@ fn build_consumer_stub(
         brokers.clone(),
         build.topics.clone(),
     );
-    ConsumerProcess::new(idx as u32, client, Box::new(wrapped))
+    let mut p = ConsumerProcess::new(idx as u32, client, Box::new(wrapped));
+    p.set_telemetry(tele.clone());
+    p
 }
 
 /// Everything needed to (re)build one broker: a `RestartBroker` respawn
@@ -2238,6 +2319,7 @@ fn build_instance_worker(
     spec: &Option<CheckpointSpec>,
     snapshots: &SnapshotStoreHandle,
     store_groups: &BTreeMap<String, Vec<ProcessId>>,
+    tele: &Telemetry,
     recover: bool,
 ) -> SpeWorker {
     let full = (meta.plan)();
@@ -2296,6 +2378,8 @@ fn build_instance_worker(
         };
         w.attach_checkpointing(backend, recover);
     }
+    // After the checkpointing attach so the coordinator is covered too.
+    w.set_telemetry(tele.clone());
     w
 }
 
@@ -2667,6 +2751,11 @@ pub struct RunReport {
     pub cpu_series: Vec<(SimTime, f64)>,
     /// Per-node transmit throughput series (when watched).
     pub tx_series: Vec<TxSeries>,
+    /// Every metric time series the telemetry sampler collected (empty when
+    /// sampling is disabled via [`Scenario::with_telemetry`]): consumer lag
+    /// per partition, per-instance record counts, broker log/LSO gauges,
+    /// checkpoint counters, store op-log lengths, host CPU occupancy.
+    pub metric_series: Vec<MetricSeries>,
 }
 
 impl RunReport {
@@ -2710,6 +2799,10 @@ pub struct RunResult {
     /// The in-memory checkpoint snapshots taken during the run, by job name
     /// (empty for durable backends, whose snapshots live in the store).
     pub checkpoint_snapshots: SnapshotStoreHandle,
+    /// The run-wide telemetry handle: the live metrics registry, the
+    /// sampled time series (`tidy_csv()`), and the causal event trace
+    /// (`chrome_json()` when tracing was enabled).
+    pub telemetry: Telemetry,
     /// The measurements.
     pub report: RunReport,
 }

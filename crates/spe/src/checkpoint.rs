@@ -62,6 +62,7 @@ use s2g_proto::codec::{put_u64, Cursor};
 use s2g_proto::{Offset, TopicPartition};
 use s2g_sim::{Ctx, ProcessId, SimDuration, SimTime};
 use s2g_store::{BlobClient, StoreRpc};
+use s2g_telemetry::Telemetry;
 
 use crate::event::{CodecError, Event, Value};
 
@@ -1180,6 +1181,10 @@ pub struct CheckpointCoordinator {
     /// `(accepted, durable)` instants of every persisted capture, in order
     /// — the checkpoint-latency series the replication figure plots.
     persist_log: Vec<(SimTime, SimTime)>,
+    /// Telemetry sink (an unshared default until attached) and the scope —
+    /// the owning worker's name — its samples are recorded under.
+    tele: Telemetry,
+    tele_scope: String,
 }
 
 impl CheckpointCoordinator {
@@ -1199,7 +1204,18 @@ impl CheckpointCoordinator {
             multi_recover: None,
             stats: CheckpointStats::default(),
             persist_log: Vec::new(),
+            tele: Telemetry::new(),
+            tele_scope: String::new(),
         }
+    }
+
+    /// Attaches the run-wide telemetry sink; `scope` is the owning
+    /// worker's name. Each persisted capture then records its duration and
+    /// size histograms, a `checkpoints` counter, and a `checkpoint:persist`
+    /// trace span.
+    pub fn set_telemetry(&mut self, tele: Telemetry, scope: String) {
+        self.tele = tele;
+        self.tele_scope = scope;
     }
 
     /// The configured interval.
@@ -1306,6 +1322,23 @@ impl CheckpointCoordinator {
         self.stats.last_at = payload.taken_at();
         self.stats.persist_nanos += durable_at.saturating_since(accepted_at).as_nanos();
         self.persist_log.push((accepted_at, durable_at));
+        if !self.tele_scope.is_empty() {
+            let scope = &self.tele_scope;
+            self.tele.counter_add(scope, "checkpoints", 1);
+            self.tele.observe_latency(
+                scope,
+                "checkpoint_duration_s",
+                durable_at.saturating_since(accepted_at),
+            );
+            self.tele.observe_bytes(scope, "checkpoint_bytes", bytes);
+            self.tele.trace_complete(
+                accepted_at,
+                durable_at.saturating_since(accepted_at),
+                scope,
+                "checkpoint:persist",
+                "checkpoint",
+            );
+        }
         match &payload {
             CheckpointPayload::Full(_) => {
                 self.stats.full_checkpoints += 1;

@@ -18,6 +18,7 @@ use s2g_sim::{Ctx, LedgerHandle, MemSlot, Message, Process, ProcessId, SimDurati
 
 use s2g_broker::{ConsumerClient, ConsumerConfig, DataSink, ProducerClient, ProducerConfig};
 use s2g_store::StoreRpc;
+use s2g_telemetry::Telemetry;
 
 use crate::checkpoint::{
     snapshot_store, CaptureKind, CheckpointCfg, CheckpointCoordinator, CheckpointMode,
@@ -244,6 +245,9 @@ pub struct SpeWorker {
     /// Parallel-stage identity; `None` for the classic one-worker-per-job
     /// layout.
     instance: Option<StageInstanceCfg>,
+    /// Telemetry sink (an unshared default until the orchestrator attaches
+    /// the run-wide one).
+    tele: Telemetry,
 }
 
 impl SpeWorker {
@@ -313,7 +317,26 @@ impl SpeWorker {
             awaiting_restore: false,
             restarted: false,
             instance: None,
+            tele: Telemetry::new(),
         }
+    }
+
+    /// Attaches the run-wide telemetry sink under this worker's name
+    /// (`job` or `job/stage/instance`): per-batch record counters, the
+    /// shuffle-buffer depth gauge, checkpoint duration/size histograms,
+    /// and batch/checkpoint/txn/recovery trace events. The embedded
+    /// consumer and producer clients share the sink and scope, which is
+    /// where per-instance consumer lag comes from.
+    pub fn set_telemetry(&mut self, tele: Telemetry) {
+        let scope = self.name.clone();
+        self.consumer.set_telemetry(tele.clone(), scope.clone());
+        if let Some(p) = self.producer.as_mut() {
+            p.set_telemetry(tele.clone(), scope.clone());
+        }
+        if let Some(c) = self.coordinator.as_mut() {
+            c.set_telemetry(tele.clone(), scope);
+        }
+        self.tele = tele;
     }
 
     /// Declares this worker a parallel stage instance: its embedded
@@ -350,7 +373,9 @@ impl SpeWorker {
             .cfg
             .checkpoint
             .expect("attach_checkpointing requires cfg.checkpoint to be set");
-        self.coordinator = Some(CheckpointCoordinator::new(cfg, backend, recover));
+        let mut coord = CheckpointCoordinator::new(cfg, backend, recover);
+        coord.set_telemetry(self.tele.clone(), self.name.clone());
+        self.coordinator = Some(coord);
     }
 
     /// Marks this worker instance as a post-crash respawn, so restart and
@@ -490,9 +515,23 @@ impl SpeWorker {
             records_in: n_in,
             records_out: n_out,
         });
+        self.tele.counter_add(&self.name, "records_in", n_in as u64);
+        self.tele
+            .counter_add(&self.name, "records_out", n_out as u64);
+        self.tele
+            .gauge_set(&self.name, "buffer_depth", self.buffer.events.len() as f64);
+        self.tele.trace_complete(
+            start,
+            now.saturating_since(start),
+            &self.name,
+            "batch",
+            "spe",
+        );
         if let Some(r) = self.recovery.as_mut() {
             if r.first_batch_at.is_none() {
                 r.first_batch_at = Some(now);
+                self.tele
+                    .trace_instant(now, &self.name, "recovery:first_batch", "recovery");
             }
         }
         if let Some((ledger, slot)) = &self.mem {
@@ -519,6 +558,8 @@ impl SpeWorker {
             .as_ref()
             .map(CheckpointCoordinator::capture_kind)
             .expect("checked above");
+        self.tele
+            .trace_instant(ctx.now(), &self.name, "checkpoint:barrier", "checkpoint");
         let txn_mode = self.txn_mode();
         if txn_mode {
             // Close the transaction at the capture boundary: everything
@@ -586,6 +627,8 @@ impl SpeWorker {
             // unsent, recovery would roll the transaction forward and the
             // missing records — whose inputs lie before the captured
             // offsets — would never be replayed.
+            self.tele
+                .trace_instant(ctx.now(), &self.name, "txn:prepare", "txn");
             self.staged_capture = Some((payload, producer_sent));
             return;
         }
@@ -703,6 +746,8 @@ impl SpeWorker {
         let now = ctx.now();
         if let Some(r) = self.recovery.as_mut() {
             r.restored_at = Some(now);
+            self.tele
+                .trace_end(now, &self.name, "recovery:restore", "recovery");
         }
         if self.txn_mode() {
             // Resolve the crashed incarnation's transactions: everything at
@@ -809,6 +854,8 @@ impl SpeWorker {
         let now = ctx.now();
         if let Some(r) = self.recovery.as_mut() {
             r.restored_at = Some(now);
+            self.tele
+                .trace_end(now, &self.name, "recovery:restore", "recovery");
         }
         let inst = self
             .instance
@@ -954,6 +1001,10 @@ impl SpeWorker {
                 }
             }
             SpeSink::Store { store, table } => {
+                self.tele
+                    .counter_add(&self.name, "sink_inserts", events.len() as u64);
+                self.tele
+                    .trace_instant(ctx.now(), &self.name, "sink:insert", "sink");
                 for e in events {
                     let mut row: Vec<String> = Vec::new();
                     if let Some(k) = &e.key {
@@ -990,11 +1041,13 @@ impl Process for SpeWorker {
             // Self-contained default: a private in-memory backend. It dies
             // with the worker, so orchestrated scenarios attach a shared or
             // durable backend instead.
-            self.coordinator = Some(CheckpointCoordinator::new(
+            let mut coord = CheckpointCoordinator::new(
                 cfg,
                 Box::new(InMemoryBackend::new(snapshot_store())),
                 false,
-            ));
+            );
+            coord.set_telemetry(self.tele.clone(), self.name.clone());
+            self.coordinator = Some(coord);
         }
         let wants_recovery = self
             .coordinator
@@ -1011,6 +1064,8 @@ impl Process for SpeWorker {
             });
         }
         if wants_recovery {
+            self.tele
+                .trace_begin(ctx.now(), &self.name, "recovery:restore", "recovery");
             let name = self.name.clone();
             let multi = self
                 .instance

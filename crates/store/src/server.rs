@@ -31,6 +31,7 @@
 use s2g_sim::{
     downcast, Ctx, LedgerHandle, MemSlot, Message, Process, ProcessId, SimDuration, SimTime,
 };
+use s2g_telemetry::Telemetry;
 
 use crate::kv::KvStore;
 use crate::table::{TableError, TableStore};
@@ -385,6 +386,9 @@ pub struct StoreServer {
     mem: Option<(LedgerHandle, MemSlot)>,
     group: Option<GroupState>,
     name: String,
+    /// Telemetry sink (an unshared default until the orchestrator attaches
+    /// the run-wide one).
+    tele: Telemetry,
 }
 
 impl StoreServer {
@@ -399,12 +403,29 @@ impl StoreServer {
             mem: None,
             group: None,
             name: "store".to_string(),
+            tele: Telemetry::new(),
         }
     }
 
     /// Names the server (distinguishes group replicas in traces).
     pub fn set_name(&mut self, name: impl Into<String>) {
         self.name = name.into();
+    }
+
+    /// Attaches the run-wide telemetry sink. The server records its op-log
+    /// length and applied sequence as gauges under its own name.
+    pub fn set_telemetry(&mut self, tele: Telemetry) {
+        self.tele = tele;
+    }
+
+    /// Refreshes the op-log gauges after message/timer handling.
+    fn telemetry_gauges(&self) {
+        if self.group.is_some() {
+            self.tele
+                .gauge_set(&self.name, "oplog_len", self.oplog_len() as f64);
+            self.tele
+                .gauge_set(&self.name, "applied_seq", self.applied_seq() as f64);
+        }
     }
 
     /// Attaches a memory-ledger slot.
@@ -1025,6 +1046,8 @@ impl StoreServer {
                     r.sync_ops += sync_ops;
                     r.sync_bytes += sync_bytes;
                 }
+                self.tele
+                    .trace_end(ctx.now(), &self.name, "recovery:resync", "recovery");
                 ctx.trace(
                     "store",
                     format!("{} resynced {} ops from its group", self.name, sync_ops),
@@ -1207,6 +1230,8 @@ impl Process for StoreServer {
                     sync_ops: 0,
                     sync_bytes: 0,
                 });
+                self.tele
+                    .trace_begin(now, &self.name, "recovery:resync", "recovery");
             }
             ctx.set_timer(self.cfg.group_heartbeat_interval, tags::GROUP_HB_TICK);
         }
@@ -1268,6 +1293,7 @@ impl Process for StoreServer {
             | StoreRpc::DeleteAck { .. }
             | StoreRpc::InsertAck { .. } => {}
         }
+        self.telemetry_gauges();
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
@@ -1282,6 +1308,7 @@ impl Process for StoreServer {
                 self.send_heartbeats(ctx);
                 self.try_claim_primary(ctx);
                 self.truncate_acked_oplog(ctx.now());
+                self.telemetry_gauges();
                 ctx.set_timer(self.cfg.group_heartbeat_interval, tags::GROUP_HB_TICK);
             }
             tags::SYNC_RETRY => {

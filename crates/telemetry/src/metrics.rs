@@ -1,0 +1,469 @@
+//! The metrics registry: counters, gauges, and fixed-bucket histograms.
+//!
+//! Every instrumented process registers metrics under a `(scope, name)`
+//! pair, where the scope is the process identity (`broker-0`,
+//! `wordcount/split/1`, `store-h2-r1`) and the name is the signal
+//! (`records_in`, `log_bytes`, `checkpoint_duration_s`). Registration is
+//! implicit — the first update creates the metric — so instrumentation
+//! call sites stay one-liners and the registry is cheap enough to leave
+//! always-on.
+
+use std::collections::BTreeMap;
+
+/// Exact summary statistics over a raw sample set (nearest-rank
+/// percentiles). This is the shared replacement for the ad-hoc
+/// mean/percentile arithmetic that used to be re-derived per experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SummaryStats {
+    /// Number of samples.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (nearest rank).
+    pub p50: f64,
+    /// 95th percentile (nearest rank).
+    pub p95: f64,
+    /// 99th percentile (nearest rank).
+    pub p99: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+/// Computes exact [`SummaryStats`] for a sample set; `None` when empty.
+///
+/// # Examples
+///
+/// ```
+/// use s2g_telemetry::summarize;
+///
+/// let s = summarize(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+/// assert_eq!(s.count, 4);
+/// assert!((s.mean - 2.5).abs() < 1e-12);
+/// assert_eq!(s.max, 4.0);
+/// ```
+pub fn summarize(samples: &[f64]) -> Option<SummaryStats> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+    let rank = |q: f64| -> f64 {
+        let idx = ((q * sorted.len() as f64).ceil() as usize).max(1) - 1;
+        sorted[idx.min(sorted.len() - 1)]
+    };
+    Some(SummaryStats {
+        count: sorted.len() as u64,
+        mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+        p50: rank(0.50),
+        p95: rank(0.95),
+        p99: rank(0.99),
+        min: sorted[0],
+        max: sorted[sorted.len() - 1],
+    })
+}
+
+/// A fixed-bucket histogram with an explicit overflow bucket.
+///
+/// Bucket `i` counts samples `v <= bounds[i]` (and above `bounds[i-1]`);
+/// samples above the last bound land in the overflow bucket. Quantiles are
+/// estimated by linear interpolation inside the owning bucket, which keeps
+/// updates O(log buckets) and memory constant — the property that lets the
+/// registry stay always-on.
+///
+/// # Examples
+///
+/// ```
+/// use s2g_telemetry::Histogram;
+///
+/// let mut h = Histogram::latency_seconds();
+/// for ms in [1u64, 2, 3, 100] {
+///     h.observe(ms as f64 / 1e3);
+/// }
+/// assert_eq!(h.count(), 4);
+/// let p50 = h.quantile(0.5).unwrap();
+/// assert!(p50 > 0.0005 && p50 < 0.01, "p50 {p50}");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    overflow: u64,
+    sum: f64,
+    count: u64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// A histogram with explicit ascending bucket upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly ascending.
+    pub fn with_bounds(bounds: Vec<f64>) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "bucket bounds must be strictly ascending"
+        );
+        let n = bounds.len();
+        Histogram {
+            bounds,
+            counts: vec![0; n],
+            overflow: 0,
+            sum: 0.0,
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Log-spaced latency buckets from 1 µs to ~100 s (5 per decade).
+    pub fn latency_seconds() -> Self {
+        Histogram::with_bounds(log_bounds(1e-6, 8 * 5))
+    }
+
+    /// Log-spaced size buckets from 64 B to ~64 GB (5 per decade).
+    pub fn bytes() -> Self {
+        Histogram::with_bounds(log_bounds(64.0, 9 * 5))
+    }
+
+    /// Records one sample.
+    pub fn observe(&mut self, v: f64) {
+        self.sum += v;
+        self.count += 1;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        let idx = self.bounds.partition_point(|b| *b < v);
+        if idx < self.counts.len() {
+            self.counts[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Arithmetic mean; `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Samples that exceeded the last bucket bound.
+    pub fn overflow_count(&self) -> u64 {
+        self.overflow
+    }
+
+    /// The bucket upper bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts (excluding overflow).
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Estimates the `q`-quantile (`0.0..=1.0`) by linear interpolation
+    /// inside the owning bucket; `None` when the histogram is empty.
+    ///
+    /// Samples in the overflow bucket are attributed to the recorded
+    /// maximum, so `quantile(1.0)` is exact.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            if *c == 0 {
+                continue;
+            }
+            seen += c;
+            if seen >= target {
+                let hi = self.bounds[i].min(self.max);
+                let lo = if i == 0 {
+                    self.min.min(hi)
+                } else {
+                    self.bounds[i - 1].max(self.min).min(hi)
+                };
+                let into = (target - (seen - c)) as f64 / *c as f64;
+                return Some(lo + (hi - lo) * into);
+            }
+        }
+        // Target falls in the overflow bucket.
+        Some(self.max)
+    }
+
+    /// Exact summary built from the histogram's moments plus interpolated
+    /// percentiles.
+    pub fn stats(&self) -> Option<SummaryStats> {
+        let mean = self.mean()?;
+        Some(SummaryStats {
+            count: self.count,
+            mean,
+            p50: self.quantile(0.50).expect("non-empty"),
+            p95: self.quantile(0.95).expect("non-empty"),
+            p99: self.quantile(0.99).expect("non-empty"),
+            min: self.min,
+            max: self.max,
+        })
+    }
+}
+
+/// `n` log-spaced bounds starting at `first`, 5 per decade.
+fn log_bounds(first: f64, n: usize) -> Vec<f64> {
+    let step = 10f64.powf(0.2);
+    (0..n).map(|i| first * step.powi(i as i32)).collect()
+}
+
+/// The current value of one registered metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// A monotonically increasing count.
+    Counter(u64),
+    /// A point-in-time level.
+    Gauge(f64),
+    /// A fixed-bucket distribution.
+    Histogram(Histogram),
+}
+
+impl MetricValue {
+    /// The scalar a sampler records for this metric: the cumulative count
+    /// for counters, the level for gauges, and the number of observations
+    /// for histograms (distribution quantiles are surfaced separately).
+    pub fn sample(&self) -> f64 {
+        match self {
+            MetricValue::Counter(c) => *c as f64,
+            MetricValue::Gauge(g) => *g,
+            MetricValue::Histogram(h) => h.count() as f64,
+        }
+    }
+}
+
+/// One registered metric: identity plus current value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    /// Owning process identity (`broker-0`, `job/stage/instance`, ...).
+    pub scope: String,
+    /// Signal name (`records_in`, `log_bytes`, ...).
+    pub name: String,
+    /// Current value.
+    pub value: MetricValue,
+}
+
+/// The per-run metrics registry. Metrics are stored in first-update order,
+/// which is deterministic because the whole simulation is.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Vec<Metric>,
+    index: BTreeMap<(String, String), usize>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn slot(&mut self, scope: &str, name: &str, make: impl FnOnce() -> MetricValue) -> usize {
+        let key = (scope.to_string(), name.to_string());
+        if let Some(idx) = self.index.get(&key) {
+            return *idx;
+        }
+        let idx = self.metrics.len();
+        self.metrics.push(Metric {
+            scope: key.0.clone(),
+            name: key.1.clone(),
+            value: make(),
+        });
+        self.index.insert(key, idx);
+        idx
+    }
+
+    /// Adds `delta` to the `(scope, name)` counter, creating it at zero on
+    /// first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the metric exists with a different kind.
+    pub fn counter_add(&mut self, scope: &str, name: &str, delta: u64) {
+        let idx = self.slot(scope, name, || MetricValue::Counter(0));
+        match &mut self.metrics[idx].value {
+            MetricValue::Counter(c) => *c += delta,
+            other => panic!("{scope}/{name} is not a counter: {other:?}"),
+        }
+    }
+
+    /// Sets the `(scope, name)` gauge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the metric exists with a different kind.
+    pub fn gauge_set(&mut self, scope: &str, name: &str, value: f64) {
+        let idx = self.slot(scope, name, || MetricValue::Gauge(0.0));
+        match &mut self.metrics[idx].value {
+            MetricValue::Gauge(g) => *g = value,
+            other => panic!("{scope}/{name} is not a gauge: {other:?}"),
+        }
+    }
+
+    /// Records a sample into the `(scope, name)` histogram, creating it
+    /// with [`Histogram::latency_seconds`] buckets on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the metric exists with a different kind.
+    pub fn observe(&mut self, scope: &str, name: &str, value: f64) {
+        self.observe_in(scope, name, value, Histogram::latency_seconds);
+    }
+
+    /// Records a sample into the `(scope, name)` histogram, creating it
+    /// with caller-chosen buckets on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the metric exists with a different kind.
+    pub fn observe_in(
+        &mut self,
+        scope: &str,
+        name: &str,
+        value: f64,
+        make: impl FnOnce() -> Histogram,
+    ) {
+        let idx = self.slot(scope, name, || MetricValue::Histogram(make()));
+        match &mut self.metrics[idx].value {
+            MetricValue::Histogram(h) => h.observe(value),
+            other => panic!("{scope}/{name} is not a histogram: {other:?}"),
+        }
+    }
+
+    /// Looks up a metric; `None` when it was never registered.
+    pub fn get(&self, scope: &str, name: &str) -> Option<&Metric> {
+        self.index
+            .get(&(scope.to_string(), name.to_string()))
+            .map(|i| &self.metrics[*i])
+    }
+
+    /// The current counter value; `None` for unregistered or non-counter.
+    pub fn counter(&self, scope: &str, name: &str) -> Option<u64> {
+        match self.get(scope, name)?.value {
+            MetricValue::Counter(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// The current gauge level; `None` for unregistered or non-gauge.
+    pub fn gauge(&self, scope: &str, name: &str) -> Option<f64> {
+        match self.get(scope, name)?.value {
+            MetricValue::Gauge(g) => Some(g),
+            _ => None,
+        }
+    }
+
+    /// The histogram; `None` for unregistered or non-histogram.
+    pub fn histogram(&self, scope: &str, name: &str) -> Option<&Histogram> {
+        match &self.get(scope, name)?.value {
+            MetricValue::Histogram(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// All metrics in first-update order.
+    pub fn metrics(&self) -> &[Metric] {
+        &self.metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summarize_percentiles_are_nearest_rank() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = summarize(&samples).unwrap();
+        assert_eq!(s.p50, 50.0);
+        assert_eq!(s.p95, 95.0);
+        assert_eq!(s.p99, 99.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert!(summarize(&[]).is_none());
+    }
+
+    #[test]
+    fn histogram_overflow_bucket_counts_and_quantiles() {
+        let mut h = Histogram::with_bounds(vec![1.0, 10.0]);
+        h.observe(0.5);
+        h.observe(5.0);
+        h.observe(1e6); // beyond the last bound
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.overflow_count(), 1);
+        // The top quantile is served from the overflow bucket at the
+        // recorded max, not the last bound.
+        assert_eq!(h.quantile(1.0), Some(1e6));
+        assert!(h.quantile(0.5).unwrap() <= 10.0);
+    }
+
+    #[test]
+    fn histogram_empty_has_no_quantiles() {
+        let h = Histogram::latency_seconds();
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.mean(), None);
+        assert!(h.stats().is_none());
+    }
+
+    #[test]
+    fn histogram_interpolation_tracks_exact() {
+        let mut h = Histogram::latency_seconds();
+        let samples: Vec<f64> = (1..=1000).map(|i| i as f64 / 1e4).collect();
+        for s in &samples {
+            h.observe(*s);
+        }
+        let exact = summarize(&samples).unwrap();
+        let est = h.stats().unwrap();
+        assert!((est.p50 - exact.p50).abs() / exact.p50 < 0.35);
+        assert!((est.p99 - exact.p99).abs() / exact.p99 < 0.35);
+        assert!((est.mean - exact.mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn registry_implicit_registration_and_lookup() {
+        let mut r = Registry::new();
+        r.counter_add("broker-0", "produces", 2);
+        r.counter_add("broker-0", "produces", 3);
+        r.gauge_set("store-0", "oplog_len", 7.0);
+        r.observe("job/s/0", "batch_latency_s", 0.004);
+        assert_eq!(r.counter("broker-0", "produces"), Some(5));
+        assert_eq!(r.gauge("store-0", "oplog_len"), Some(7.0));
+        assert_eq!(
+            r.histogram("job/s/0", "batch_latency_s").unwrap().count(),
+            1
+        );
+        // Unregistered metric.
+        assert!(r.get("nobody", "nothing").is_none());
+        assert_eq!(r.counter("nobody", "nothing"), None);
+        // Wrong kind reads answer None rather than panicking.
+        assert_eq!(r.counter("store-0", "oplog_len"), None);
+        assert_eq!(r.metrics().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a counter")]
+    fn registry_kind_mismatch_update_panics() {
+        let mut r = Registry::new();
+        r.gauge_set("a", "x", 1.0);
+        r.counter_add("a", "x", 1);
+    }
+}

@@ -15,3 +15,4 @@ pub use s2g_proto as proto;
 pub use s2g_sim as sim;
 pub use s2g_spe as spe;
 pub use s2g_store as store;
+pub use s2g_telemetry as telemetry;

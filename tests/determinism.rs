@@ -299,3 +299,55 @@ fn parallel_fault_runs_reproduce_exactly() {
     assert_eq!(a, b, "same seed must reproduce the parallel run exactly");
     assert_ne!(a, run(32), "a different seed must shift the parallel run");
 }
+
+/// Telemetry determinism: with the sampler on a fine interval and the
+/// causal tracer enabled, a fault-heavy seeded run emits byte-identical
+/// metric time series and trace event sequences every time — and enabling
+/// telemetry never shifts the simulation itself (the sampler is a pure
+/// observer spawned after every other process, so pids are unchanged).
+#[test]
+fn telemetry_runs_reproduce_exactly() {
+    let run = |seed: u64, trace: bool| {
+        let mut sc = recovery_scenario(
+            100,
+            SimDuration::from_millis(50),
+            SimTime::from_secs(25),
+            seed,
+        );
+        sc.with_checkpointing(CheckpointCfg::exactly_once(SimDuration::from_secs(1)));
+        sc.telemetry_interval(SimDuration::from_millis(200));
+        sc.with_telemetry_trace(trace);
+        sc.faults(FaultPlan::new().crash_restart(
+            "wordcount",
+            SimTime::from_millis(3_700),
+            SimDuration::from_millis(800),
+        ));
+        let result = sc.run().expect("runs");
+        let behavior = format!(
+            "{:?}|{:?}|{:?}",
+            result.report.producers,
+            result.report.spe,
+            result.delivery_matrix(0)
+        );
+        (
+            result.telemetry.tidy_csv(),
+            result.telemetry.chrome_json(),
+            behavior,
+        )
+    };
+    let (csv_a, trace_a, behavior_a) = run(19, true);
+    let (csv_b, trace_b, behavior_b) = run(19, true);
+    assert_eq!(csv_a, csv_b, "same seed, same metric time series");
+    assert_eq!(trace_a, trace_b, "same seed, same trace events");
+    assert_eq!(behavior_a, behavior_b, "same seed, same behavior");
+    assert!(
+        trace_a.contains("fault:crash"),
+        "fault markers in the trace"
+    );
+    // Tracing off must leave the simulated behavior untouched.
+    let (_, _, behavior_off) = run(19, false);
+    assert_eq!(
+        behavior_a, behavior_off,
+        "toggling the tracer must not change the run"
+    );
+}

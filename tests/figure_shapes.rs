@@ -360,3 +360,44 @@ fn scaling_throughput_is_monotone_in_parallelism() {
         p4.throughput_rps
     );
 }
+
+/// Timeline figure: the mid-run crash leaves visible telemetry —
+/// per-instance lag and throughput series with a real lag hump on the
+/// crashed instance, fault/recovery markers, and schema-valid exports.
+#[test]
+fn timeline_figure_has_series_markers_and_trace() {
+    use s2g_bench::timeline_sweep;
+    use stream2gym::telemetry::validate_chrome_trace;
+
+    let data = timeline_sweep(Scale::Smoke, 17);
+    assert!(!data.lag.is_empty(), "per-instance lag series present");
+    assert!(
+        !data.throughput.is_empty(),
+        "per-instance throughput present"
+    );
+    assert!(
+        data.lag
+            .iter()
+            .any(|(_, pts)| pts.iter().any(|(_, v)| *v > 0.0)),
+        "the crash backlog must register as non-zero consumer lag"
+    );
+    assert!(
+        data.markers.iter().any(|(_, _, n)| n == "fault:crash"),
+        "fault marker present"
+    );
+    assert!(
+        data.markers
+            .iter()
+            .any(|(_, _, n)| n.starts_with("recovery:")),
+        "recovery-phase markers present"
+    );
+    assert!(
+        data.tidy_csv.starts_with("t_s,scope,metric,value"),
+        "tidy CSV header"
+    );
+    let summary = validate_chrome_trace(&data.chrome_json).expect("valid Chrome trace");
+    assert!(
+        summary.spans > 0 && summary.instants > 0,
+        "trace has spans and instants"
+    );
+}

@@ -1,0 +1,173 @@
+//! Telemetry subsystem: seeded runs stay deterministic with telemetry
+//! enabled (including a fault-heavy run), toggling telemetry never changes
+//! what a run does, and the registry/series/histogram edge cases hold.
+
+use stream2gym::apps::word_count::recovery_scenario;
+use stream2gym::core::Scenario;
+use stream2gym::net::FaultPlan;
+use stream2gym::sim::{SimDuration, SimTime};
+use stream2gym::spe::CheckpointCfg;
+use stream2gym::telemetry::{validate_chrome_trace, Histogram, Registry, SeriesStore, Telemetry};
+
+/// A checkpointed word-count run with a worker crash and restart mid-run —
+/// the fault-heavy workload the determinism assertions run against.
+fn fault_heavy(seed: u64) -> Scenario {
+    let mut sc = recovery_scenario(
+        100,
+        SimDuration::from_millis(50),
+        SimTime::from_secs(25),
+        seed,
+    );
+    sc.with_checkpointing(CheckpointCfg::exactly_once(SimDuration::from_secs(1)));
+    sc.telemetry_interval(SimDuration::from_millis(200));
+    sc.with_telemetry_trace(true);
+    sc.faults(FaultPlan::new().crash_restart(
+        "wordcount",
+        SimTime::from_millis(3_700),
+        SimDuration::from_millis(800),
+    ));
+    sc
+}
+
+#[test]
+fn same_seed_runs_emit_identical_telemetry() {
+    let run = |seed: u64| {
+        let result = fault_heavy(seed).run().expect("runs");
+        (result.telemetry.tidy_csv(), result.telemetry.chrome_json())
+    };
+    let (csv_a, trace_a) = run(7);
+    let (csv_b, trace_b) = run(7);
+    assert_eq!(csv_a, csv_b, "same seed, same metric time series");
+    assert_eq!(trace_a, trace_b, "same seed, same trace event sequence");
+    assert!(
+        csv_a.lines().count() > 50,
+        "the sampler must have recorded a real series, got:\n{csv_a}"
+    );
+    let summary = validate_chrome_trace(&trace_a).expect("well-formed trace");
+    assert!(summary.events > 0, "the tracer must have collected events");
+    // The fault and every recovery phase appear in the trace.
+    for marker in ["fault:crash", "fault:restart", "recovery:first_batch"] {
+        assert!(trace_a.contains(marker), "trace must contain {marker}");
+    }
+}
+
+#[test]
+fn telemetry_toggle_does_not_change_the_run() {
+    // The sampler is a pure observer spawned after every other process, so
+    // switching it (or the tracer) on and off must leave the simulated
+    // behavior — deliveries, recovery, checkpoints — byte-identical.
+    let run = |telemetry: bool, trace: bool| {
+        let mut sc = fault_heavy(11);
+        sc.with_telemetry(telemetry);
+        sc.with_telemetry_trace(trace);
+        let result = sc.run().expect("runs");
+        format!(
+            "{:?}|{:?}|{:?}|{:?}",
+            result.report.producers,
+            result.report.spe,
+            result.delivery_matrix(0),
+            result.report.brokers,
+        )
+    };
+    let on = run(true, true);
+    assert_eq!(on, run(true, false), "tracer toggle must not shift the run");
+    assert_eq!(
+        on,
+        run(false, false),
+        "sampler toggle must not shift the run"
+    );
+}
+
+#[test]
+fn run_report_surfaces_sampled_series() {
+    let result = fault_heavy(3).run().expect("runs");
+    let series = &result.report.metric_series;
+    assert!(!series.is_empty(), "report must carry the sampled series");
+    let find = |name: &str| {
+        series
+            .iter()
+            .find(|s| s.name == name || s.name.starts_with(name))
+            .unwrap_or_else(|| panic!("series `{name}` missing from the report"))
+    };
+    // One signal per subsystem: broker, SPE worker, checkpoint
+    // coordinator, consumer client, and the host CPU sampler.
+    for name in [
+        "records_appended",
+        "records_in",
+        "checkpoints",
+        "lag/",
+        "cpu_occupancy",
+    ] {
+        let s = find(name);
+        assert!(
+            !s.points.is_empty(),
+            "series `{}`/`{}` sampled no points",
+            s.scope,
+            s.name
+        );
+    }
+}
+
+#[test]
+fn unregistered_metrics_read_as_none() {
+    let reg = Registry::new();
+    assert_eq!(reg.counter("nowhere", "nothing"), None);
+    assert_eq!(reg.gauge("nowhere", "nothing"), None);
+    assert!(reg.histogram("nowhere", "nothing").is_none());
+    assert!(reg.get("nowhere", "nothing").is_none());
+
+    // A registered metric of one kind never answers for another.
+    let mut reg = Registry::new();
+    reg.counter_add("b", "c", 1);
+    assert_eq!(reg.counter("b", "c"), Some(1));
+    assert_eq!(reg.gauge("b", "c"), None);
+    assert!(reg.histogram("b", "c").is_none());
+}
+
+#[test]
+fn empty_series_store_is_well_behaved() {
+    let store = SeriesStore::new();
+    assert!(store.get("any", "thing").is_none());
+    assert!(store.all().is_empty());
+    assert_eq!(
+        store.to_tidy_csv().lines().next(),
+        Some("t_s,scope,metric,value")
+    );
+
+    // A fresh handle exports header-only CSV and an empty (but valid)
+    // Chrome trace.
+    let tele = Telemetry::new();
+    assert_eq!(tele.tidy_csv().lines().count(), 1);
+    let summary = validate_chrome_trace(&tele.chrome_json()).expect("valid empty trace");
+    assert_eq!(summary.events, 0);
+}
+
+#[test]
+fn histogram_overflow_bucket_keeps_quantiles_sane() {
+    let mut h = Histogram::latency_seconds();
+    assert!(
+        h.quantile(0.5).is_none(),
+        "empty histogram has no quantiles"
+    );
+    assert!(h.stats().is_none(), "empty histogram has no stats");
+
+    // 99 in-range samples plus one far beyond the last bound (~100 s).
+    for _ in 0..99 {
+        h.observe(0.010);
+    }
+    h.observe(1.0e6);
+    assert_eq!(h.count(), 100);
+    assert_eq!(h.overflow_count(), 1, "the straggler lands in overflow");
+    let stats = h.stats().expect("non-empty");
+    assert_eq!(stats.max, 1.0e6, "overflow samples still track the max");
+    assert!(
+        stats.p50 < 0.02,
+        "median stays in range despite overflow, got {}",
+        stats.p50
+    );
+    assert_eq!(
+        h.quantile(1.0),
+        Some(1.0e6),
+        "the top quantile is attributed to the recorded max"
+    );
+}
