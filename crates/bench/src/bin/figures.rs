@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! cargo run --release -p s2g-bench --bin figures -- \
-//!     [--fig 5|6|7a|7b|8|9|recovery|compaction|replication|scaling|timeline|table2|all] \
+//!     [--fig 5|6|7a|7b|8|9|recovery|compaction|replication|broker-replication|scaling|timeline|table2|all] \
 //!     [--quick|--smoke]
 //! ```
 //!
@@ -18,9 +18,9 @@ use std::path::PathBuf;
 
 use s2g_bench::experiments::table2_inventory;
 use s2g_bench::{
-    broker_recovery_sweep, compaction_sweep, fig5_sweep, fig6_run, fig7a_sweep, fig7b_sweep,
-    fig8_sweep, fig9_sweep, group_by_component, scaling_sweep, store_replication_sweep,
-    timeline_sweep, Component, Scale,
+    broker_recovery_sweep, broker_replication_sweep, compaction_sweep, fig5_sweep, fig6_run,
+    fig7a_sweep, fig7b_sweep, fig8_sweep, fig9_sweep, group_by_component, scaling_sweep,
+    store_replication_sweep, timeline_sweep, Component, Scale,
 };
 use s2g_broker::CoordinationMode;
 use s2g_core::{ascii_chart, ascii_matrix, ascii_table, cdf, csv_series};
@@ -505,6 +505,72 @@ fn replication(scale: Scale) {
     );
 }
 
+fn broker_replication(scale: Scale) {
+    println!("\n#### Broker replication: produce availability & tail latency vs factor ####");
+    let rfs: &[u32] = match scale {
+        Scale::Full => &[1, 2, 3],
+        Scale::Quick => &[1, 3],
+        Scale::Smoke => &[1, 3],
+    };
+    let points = broker_replication_sweep(rfs, scale, 27);
+    let avail: Vec<(f64, f64)> = points
+        .iter()
+        .map(|p| (p.rf as f64, p.availability_pct))
+        .collect();
+    let p99: Vec<(f64, f64)> = points
+        .iter()
+        .map(|p| (p.rf as f64, p.produce_p99_ms))
+        .collect();
+    let unavail: Vec<(f64, f64)> = points
+        .iter()
+        .map(|p| (p.rf as f64, p.unavailability_s))
+        .collect();
+    let moves: Vec<(f64, f64)> = points
+        .iter()
+        .map(|p| (p.rf as f64, p.leadership_moves as f64))
+        .collect();
+    println!(
+        "{}",
+        ascii_chart(
+            "produce availability (1s SLO) around a leader crash",
+            &[("availability (%)", &avail)],
+            56,
+            12,
+            "replication factor",
+            "% in SLO",
+        )
+    );
+    println!(
+        "{}",
+        ascii_chart(
+            "produce unavailability window around a leader crash",
+            &[("unavailability (s)", &unavail)],
+            56,
+            12,
+            "replication factor",
+            "seconds",
+        )
+    );
+    for p in &points {
+        println!(
+            "  rf={} | available {:>6.2}% | produce p99 {:>8.2} ms | unavailable {:>6.3}s | {} leadership moves",
+            p.rf, p.availability_pct, p.produce_p99_ms, p.unavailability_s, p.leadership_moves,
+        );
+    }
+    write_csv(
+        "broker_replication.csv",
+        &csv_series(
+            "rf",
+            &[
+                ("availability_pct", &avail),
+                ("produce_p99_ms", &p99),
+                ("unavailability_s", &unavail),
+                ("leadership_moves", &moves),
+            ],
+        ),
+    );
+}
+
 fn scaling(scale: Scale) {
     println!("\n#### Scaling: throughput & recovery vs parallelism degree ####");
     let degrees: &[usize] = match scale {
@@ -653,6 +719,7 @@ fn main() {
         "recovery" => recovery(scale),
         "compaction" => compaction(scale),
         "replication" => replication(scale),
+        "broker-replication" => broker_replication(scale),
         "scaling" => scaling(scale),
         "timeline" => timeline(scale),
         "table2" => table2(),
@@ -667,13 +734,15 @@ fn main() {
             recovery(scale);
             compaction(scale);
             replication(scale);
+            broker_replication(scale);
             scaling(scale);
             timeline(scale);
         }
         other => {
             eprintln!(
                 "unknown figure `{other}`; use \
-                 5|6|7a|7b|8|9|recovery|compaction|replication|scaling|timeline|table2|all"
+                 5|6|7a|7b|8|9|recovery|compaction|replication|broker-replication|scaling|\
+                 timeline|table2|all"
             );
             std::process::exit(2);
         }

@@ -718,6 +718,149 @@ pub fn store_replication_sweep(
         .collect()
 }
 
+/// One point of the broker-replication sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct BrokerReplicationPoint {
+    /// Topic replication factor.
+    pub rf: u32,
+    /// Percentage of produced records acked within the 1-second SLO —
+    /// records created during the leader outage blow it unless a follower
+    /// takes over quickly.
+    pub availability_pct: f64,
+    /// 99th-percentile produce ack latency over acked records,
+    /// milliseconds. `acks=all` pays follower round trips at steady state
+    /// and election time across the crash.
+    pub produce_p99_ms: f64,
+    /// The produce-unavailability window: the longest gap between
+    /// consecutive acked records spanning the leader crash, seconds. At
+    /// RF=1 it is the full crash-to-recovery window; with followers it
+    /// shrinks to the election time.
+    pub unavailability_s: f64,
+    /// Partitions whose leadership moved to a surviving broker during the
+    /// outage (from `BrokerRecoveryReport::leadership_moves`).
+    pub leadership_moves: u64,
+}
+
+/// **Broker replication** — the `--fig broker-replication` sweep: a
+/// single-partition topic is produced at `acks=all` through a 3-broker
+/// cluster while the fault plan kills (and 4 s later restarts) the
+/// partition leader mid-run. Per replication factor it reports produce
+/// availability and tail latency around the crash: at RF=1 the partition
+/// is dark until the broker returns, while at RF=3 a follower is elected
+/// within the session timeout and acked produce continues — availability
+/// up, unavailability down, with the steady-state `acks=all` latency tax
+/// as the price.
+pub fn broker_replication_sweep(
+    rfs: &[u32],
+    scale: Scale,
+    seed: u64,
+) -> Vec<BrokerReplicationPoint> {
+    // The produce window must span the whole outage (crash + 4 s restart
+    // delay + catch-up) or every point just measures backlog drain; keep
+    // the rate modest so steady-state records ack well inside the SLO.
+    let (records, interval) = match scale {
+        Scale::Full => (4_000u64, SimDuration::from_millis(10)),
+        Scale::Quick => (800, SimDuration::from_millis(25)),
+        Scale::Smoke => (300, SimDuration::from_millis(40)),
+    };
+    let produce_ms = interval.as_millis() * records + 500;
+    let crash_at = SimTime::from_millis(produce_ms / 2);
+    let duration = SimTime::from_millis(produce_ms + 5_000);
+    let slo = SimDuration::from_secs(1);
+    rfs.iter()
+        .map(|&rf| {
+            let mut sc = Scenario::new(format!("broker-replication-rf{rf}"));
+            sc.seed(seed).duration(duration);
+            // Failure detection must beat the outage or no election happens
+            // at any RF: tighten heartbeats and the controller session so
+            // the dead leader is expired in ~1 s of its 4 s downtime.
+            let broker_cfg = s2g_broker::BrokerConfig {
+                heartbeat_interval: SimDuration::from_millis(300),
+                session_timeout: SimDuration::from_secs(1),
+                // Followers fetch near-continuously (Kafka's replica
+                // fetcher long-polls): with the 50 ms default, every
+                // `acks=all` batch pays a full fetch cycle and the
+                // one-inflight-per-partition producer can't keep up with
+                // the record rate.
+                replica_fetch_interval: SimDuration::from_millis(10),
+                ..Default::default()
+            };
+            sc.broker_with("h1", broker_cfg.clone());
+            sc.broker_with("h2", broker_cfg.clone());
+            sc.broker_with("h3", broker_cfg);
+            sc.controller_config(s2g_broker::ControllerConfig {
+                session_timeout: SimDuration::from_secs(1),
+                session_check_interval: SimDuration::from_millis(250),
+                ..Default::default()
+            });
+            sc.topic(TopicSpec::new("data"));
+            sc.with_replicated_partitions(rf);
+            sc.with_acks(AckMode::All);
+            sc.producer(
+                "h4",
+                SourceSpec::Rate {
+                    topic: "data".into(),
+                    count: records,
+                    interval,
+                    payload: 200,
+                },
+                // A tight request timeout bounds leader rediscovery: a
+                // produce aimed at the dead leader and the follow-up
+                // metadata probe each give up after 500 ms instead of the
+                // 2 s default, so the client finds the elected leader soon
+                // after the controller installs it.
+                ProducerConfig {
+                    request_timeout: SimDuration::from_millis(500),
+                    ..Default::default()
+                },
+            );
+            sc.consumer("h5", Default::default(), &["data"]);
+            sc.faults(FaultPlan::new().crash_restart_broker(
+                0,
+                crash_at,
+                SimDuration::from_secs(4),
+            ));
+            let result = sc.run().expect("valid scenario");
+            let outcomes = &result.report.producers[0].outcomes;
+            let total = outcomes.len().max(1) as f64;
+            let within_slo = outcomes
+                .iter()
+                .filter(|o| o.delivered && o.completed.saturating_since(o.created) <= slo)
+                .count() as f64;
+            let lat_ms: Vec<f64> = outcomes
+                .iter()
+                .filter(|o| o.delivered)
+                .map(|o| o.completed.saturating_since(o.created).as_secs_f64() * 1e3)
+                .collect();
+            let lat_stats = s2g_telemetry::summarize(&lat_ms);
+            // The produce-unavailability window: the gap from the crash to
+            // the first ack at or after it (falling back to crash→end when
+            // produce never resumed).
+            let mut acked: Vec<SimTime> = outcomes
+                .iter()
+                .filter(|o| o.delivered)
+                .map(|o| o.completed)
+                .collect();
+            acked.sort_unstable();
+            let unavailability = acked
+                .iter()
+                .find(|t| **t >= crash_at)
+                .map(|t| t.saturating_since(crash_at).as_secs_f64())
+                .unwrap_or_else(|| duration.saturating_since(crash_at).as_secs_f64());
+            let leadership_moves = result.report.brokers[0]
+                .recovery
+                .map_or(0, |r| r.leadership_moves);
+            BrokerReplicationPoint {
+                rf,
+                availability_pct: 100.0 * within_slo / total,
+                produce_p99_ms: lat_stats.map_or(f64::NAN, |s| s.p99),
+                unavailability_s: unavailability,
+                leadership_moves,
+            }
+        })
+        .collect()
+}
+
 /// One point of the scaling sweep.
 #[derive(Debug, Clone, Copy)]
 pub struct ScalingPoint {

@@ -211,7 +211,7 @@ enum Role {
 /// records are withheld from read-committed consumers) and aborted offset
 /// ranges (skipped forever). Persisted in the meta blob so isolation
 /// survives a broker bounce.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 struct PartitionTxns {
     /// `(producer, txn)` → `(first, end, producer_epoch)` offset range
     /// staged so far, tagged with the staging incarnation's epoch so a
@@ -275,6 +275,13 @@ pub struct BrokerStats {
     pub rejected_fenced: u64,
     /// Requests rejected because this broker was not the leader.
     pub rejected_not_leader: u64,
+    /// Produce requests bounced by leader-epoch fencing: the request was
+    /// stamped with an epoch older than this leader's reign (a zombie
+    /// client, or traffic delayed across an election).
+    pub rejected_stale_epoch: u64,
+    /// `acks=all` produce requests rejected because the ISR had shrunk
+    /// below `min.insync.replicas`.
+    pub rejected_not_enough_replicas: u64,
     /// Records dropped by idempotent-producer dedup: a retried batch whose
     /// `(producer, seq)` the log already holds (e.g. the ack was lost to a
     /// broker crash) is acknowledged without a second append.
@@ -336,6 +343,14 @@ pub struct Broker {
     last_producer_seq: BTreeMap<(TopicPartition, u32), (u32, u64)>,
     /// Per-partition transaction markers (transactional sinks).
     txns: BTreeMap<TopicPartition, PartitionTxns>,
+    /// Producer dedup state mirrored from the leader while following,
+    /// merged into `last_producer_seq` on promotion. This carries the
+    /// in-memory-only knowledge a bare log replay cannot rebuild (e.g. a
+    /// producer's highest sequence whose record compaction since removed),
+    /// so a failover never re-admits a duplicate the old leader had
+    /// filtered. Only populated from fetches made while fully caught up,
+    /// so every mirrored stamp is covered by the local log.
+    mirrored_seqs: BTreeMap<(TopicPartition, u32), (u32, u64)>,
     roles: BTreeMap<TopicPartition, Role>,
     known_epoch: HashMap<TopicPartition, LeaderEpoch>,
     metadata: MetadataCache,
@@ -401,6 +416,7 @@ impl Broker {
             groups: GroupCoordinator::new(),
             last_producer_seq: BTreeMap::new(),
             txns: BTreeMap::new(),
+            mirrored_seqs: BTreeMap::new(),
             roles: BTreeMap::new(),
             known_epoch: HashMap::new(),
             metadata: MetadataCache::new(),
@@ -540,6 +556,16 @@ impl Broker {
         matches!(self.roles.get(tp), Some(Role::Leader(_)))
     }
 
+    /// The leadership epoch under which this broker currently leads `tp`,
+    /// or `None` if it is not the leader. Tests use this to stamp a
+    /// deliberately stale produce and pin the fencing behaviour.
+    pub fn leader_epoch(&self, tp: &TopicPartition) -> Option<LeaderEpoch> {
+        match self.roles.get(tp) {
+            Some(Role::Leader(ls)) => Some(ls.epoch),
+            _ => None,
+        }
+    }
+
     /// The ISR as this broker (when leader) sees it.
     pub fn isr(&self, tp: &TopicPartition) -> Option<Vec<BrokerId>> {
         match self.roles.get(tp) {
@@ -551,6 +577,24 @@ impl Broker {
     /// Leadership transitions observed, for event-marker plots (Fig. 6d).
     pub fn leadership_events(&self) -> &[(SimTime, TopicPartition, bool)] {
         &self.leadership_events
+    }
+
+    /// A byte-level fingerprint of one partition log — every entry's
+    /// offset, leader epoch, and full record — for replica-identity
+    /// assertions: two brokers whose fingerprints match hold
+    /// byte-identical logs for the partition.
+    pub fn log_fingerprint(&self, tp: &TopicPartition) -> String {
+        use std::fmt::Write;
+        let Some(log) = self.logs.get(tp) else {
+            return String::new();
+        };
+        let mut s = String::new();
+        for seg in log.segments() {
+            for e in seg.entries() {
+                let _ = write!(s, "{}:{}:{:?};", e.offset.value(), e.epoch.0, e.record);
+            }
+        }
+        s
     }
 
     /// Total record bytes retained across partition logs.
@@ -635,14 +679,31 @@ impl Broker {
         };
         let log = Self::log_mut(&mut self.logs, &self.cfg, tp);
         let prev_hw = log.high_watermark();
-        let mut hw = log.log_end();
-        for b in &ls.isr {
-            if *b == self.id {
-                continue;
-            }
-            let end = ls.follower_end.get(b).copied().unwrap_or(Offset::ZERO);
-            hw = hw.min(end);
+        // The watermark is the highest offset held by "enough" of the ISR:
+        // all of it with the strict default, all-but-`acks_all_slack`
+        // members when slack tolerates stragglers. Equivalently, the k-th
+        // highest log end where k = |ISR| - slack (at least one — the
+        // leader itself). Never past the leader's own end.
+        let mut ends: Vec<Offset> = ls
+            .isr
+            .iter()
+            .map(|b| {
+                if *b == self.id {
+                    log.log_end()
+                } else {
+                    ls.follower_end.get(b).copied().unwrap_or(Offset::ZERO)
+                }
+            })
+            .collect();
+        if ends.is_empty() {
+            ends.push(log.log_end());
         }
+        ends.sort_unstable_by(|a, b| b.cmp(a));
+        let needed = ends
+            .len()
+            .saturating_sub(self.cfg.acks_all_slack as usize)
+            .max(1);
+        let hw = ends[needed - 1].min(log.log_end());
         log.advance_high_watermark(hw);
         let hw = log.high_watermark();
         if hw != prev_hw {
@@ -708,6 +769,7 @@ impl Broker {
                 tp,
                 batch,
                 acks,
+                epoch: req_epoch,
                 txn,
             } => {
                 self.stats.produces += 1;
@@ -743,6 +805,68 @@ impl Broker {
                         }),
                     );
                     return;
+                }
+                // Leader-epoch fencing. A request stamped with an *older*
+                // epoch is aimed at a deposed leader's reign — a delayed
+                // produce released after an election, or a zombie client
+                // that never refreshed — and must bounce (StaleEpoch is
+                // retriable, so a live client refreshes metadata and
+                // retries against the new reign). A *newer* epoch means
+                // this broker is the deposed one still serving on stale
+                // state: NotLeader sends the client to the real leader.
+                // (Note an isolated ZK-mode leader and its co-located
+                // clients share the same stale epoch, so the Fig. 6b
+                // silent-loss pathology is untouched by this fence.)
+                let my_epoch = match self.roles.get(&tp) {
+                    Some(Role::Leader(ls)) => ls.epoch,
+                    _ => unreachable!("checked leader above"),
+                };
+                if req_epoch != my_epoch {
+                    let error = if req_epoch < my_epoch {
+                        self.stats.rejected_stale_epoch += 1;
+                        ErrorCode::StaleEpoch
+                    } else {
+                        self.stats.rejected_not_leader += 1;
+                        ErrorCode::NotLeader
+                    };
+                    let cost = self.cfg.cpu_per_request;
+                    self.respond_after_cpu(
+                        ctx,
+                        cost,
+                        from,
+                        OutMsg::Client(ClientRpc::ProduceResponse {
+                            corr,
+                            tp,
+                            base_offset: Offset::ZERO,
+                            error,
+                        }),
+                    );
+                    return;
+                }
+                // acks=all needs a healthy quorum: with the ISR shrunk
+                // below min.insync.replicas, reject rather than accept
+                // records only a rump of the replica set would hold.
+                if acks == AckMode::All {
+                    let isr_len = match self.roles.get(&tp) {
+                        Some(Role::Leader(ls)) => ls.isr.len(),
+                        _ => 0,
+                    };
+                    if isr_len < self.cfg.min_insync_replicas as usize {
+                        self.stats.rejected_not_enough_replicas += 1;
+                        let cost = self.cfg.cpu_per_request;
+                        self.respond_after_cpu(
+                            ctx,
+                            cost,
+                            from,
+                            OutMsg::Client(ClientRpc::ProduceResponse {
+                                corr,
+                                tp,
+                                base_offset: Offset::ZERO,
+                                error: ErrorCode::NotEnoughReplicas,
+                            }),
+                        );
+                        return;
+                    }
                 }
                 // Idempotent-producer dedup: a record whose `(producer,
                 // seq)` this partition already appended is a retry whose
@@ -1243,6 +1367,9 @@ impl Broker {
                             high_watermark: Offset::ZERO,
                             epoch: LeaderEpoch(0),
                             truncate_to: None,
+                            txn_ongoing: Vec::new(),
+                            txn_aborted: Vec::new(),
+                            producer_seqs: Vec::new(),
                             error: err,
                         }),
                     );
@@ -1304,6 +1431,42 @@ impl Broker {
                     );
                 }
                 self.advance_hw(ctx, &tp);
+                // Transactional-state handover: every reply mirrors the
+                // leader's open/aborted transaction ranges so a promoted
+                // follower can keep read-committed isolation and resolve
+                // in-flight transactions itself. Producer dedup stamps ride
+                // along only when the follower is fully caught up (then
+                // every stamp is covered by its log and can never phantom-
+                // ack a record the follower does not hold).
+                let txn_ongoing: Vec<(u32, u64, Offset, Offset, u32)> = self
+                    .txns
+                    .get(&tp)
+                    .map(|t| {
+                        t.ongoing
+                            .iter()
+                            .map(|((p, x), (f, e, pe))| (*p, *x, Offset(*f), Offset(*e), *pe))
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                let txn_aborted: Vec<(Offset, Offset)> = self
+                    .txns
+                    .get(&tp)
+                    .map(|t| {
+                        t.aborted
+                            .iter()
+                            .map(|(s, e)| (Offset(*s), Offset(*e)))
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                let producer_seqs: Vec<(u32, u32, u64)> = if start >= leader_end {
+                    self.last_producer_seq
+                        .iter()
+                        .filter(|((t, _), _)| *t == tp)
+                        .map(|((_, p), (e, s))| (*p, *e, *s))
+                        .collect()
+                } else {
+                    Vec::new()
+                };
                 let cost = self.request_cost(n);
                 self.respond_after_cpu(
                     ctx,
@@ -1318,6 +1481,9 @@ impl Broker {
                         high_watermark: hw,
                         epoch: my_epoch,
                         truncate_to,
+                        txn_ongoing,
+                        txn_aborted,
+                        producer_seqs,
                         error: ErrorCode::None,
                     }),
                 );
@@ -1330,6 +1496,9 @@ impl Broker {
                 high_watermark,
                 epoch,
                 truncate_to,
+                txn_ongoing,
+                txn_aborted,
+                producer_seqs,
                 error,
                 ..
             } => {
@@ -1356,8 +1525,12 @@ impl Broker {
                 }
                 if truncated {
                     // Discarded entries may hold the highest seqs; rebuild
-                    // the dedup state from what remains.
+                    // the dedup state from what remains. Mirrored stamps
+                    // predate the truncation and may cover discarded
+                    // records — drop them; the next caught-up fetch
+                    // repopulates from the new reign's leader.
                     self.rebuild_producer_seq(&tp);
+                    self.mirrored_seqs.retain(|(t, _), _| *t != tp);
                     // The durable floor must shrink with the log: offsets
                     // beyond the truncation point are no longer covered by
                     // a valid flush, and future appends there must wait for
@@ -1396,8 +1569,36 @@ impl Broker {
                 self.stats.records_appended += appended;
                 let end = log.log_end();
                 log.advance_high_watermark(high_watermark.min(end));
+                // Mirror the leader's transactional state, clamped to the
+                // records this follower actually holds: ranges wholly past
+                // our log end describe records that never replicated here
+                // and must not be resurrected after a promotion.
+                let log_end = end.value();
+                let mut mirrored = PartitionTxns::default();
+                for (p, x, first, range_end, pe) in txn_ongoing {
+                    if first.value() < log_end {
+                        mirrored
+                            .ongoing
+                            .insert((p, x), (first.value(), range_end.value().min(log_end), pe));
+                    }
+                }
+                for (s, e) in txn_aborted {
+                    if s.value() < log_end {
+                        mirrored.add_aborted(s.value(), e.value().min(log_end));
+                    }
+                }
+                let txns_changed = self.txns.get(&tp).cloned().unwrap_or_default() != mirrored;
+                if txns_changed {
+                    self.txns.insert(tp.clone(), mirrored);
+                }
+                // Caught-up fetches carry the leader's dedup stamps (all
+                // covered by our log); stash them for promotion time.
+                for (p, e, s) in producer_seqs {
+                    let entry = self.mirrored_seqs.entry((tp.clone(), p)).or_insert((e, s));
+                    *entry = (*entry).max((e, s));
+                }
                 self.update_mem();
-                if (n > 0 || truncate_to.is_some()) && self.durability.is_some() {
+                if (n > 0 || truncate_to.is_some() || txns_changed) && self.durability.is_some() {
                     // Follower-side log changes ride the interval flush; no
                     // client ack is waiting on them.
                     if let Some(d) = &mut self.durability {
@@ -2031,6 +2232,26 @@ impl Broker {
                                 }),
                             );
                             Self::log_mut(&mut self.logs, &self.cfg, &tp);
+                            // Promotion: fold the dedup stamps mirrored from
+                            // the old leader into the live filter, so the new
+                            // reign rejects exactly the duplicates the old
+                            // one would have. (The mirrored transaction
+                            // ranges are already installed in `txns` and
+                            // carry over as-is.)
+                            let mirrored: Vec<(u32, (u32, u64))> = self
+                                .mirrored_seqs
+                                .iter()
+                                .filter(|((t, _), _)| *t == tp)
+                                .map(|((_, p), stamp)| (*p, *stamp))
+                                .collect();
+                            for (p, stamp) in mirrored {
+                                let entry = self
+                                    .last_producer_seq
+                                    .entry((tp.clone(), p))
+                                    .or_insert(stamp);
+                                *entry = (*entry).max(stamp);
+                            }
+                            self.mirrored_seqs.retain(|(t, _), _| *t != tp);
                             self.leadership_events.push((now, tp.clone(), true));
                             ctx.trace("broker", format!("{} became leader of {tp}", self.name));
                             // A recovered log may carry a watermark below its

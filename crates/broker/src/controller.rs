@@ -16,7 +16,9 @@ use s2g_proto::{
 use s2g_sim::{downcast, Ctx, Message, Process, ProcessId, SimTime};
 
 use crate::config::{ControllerConfig, TopicSpec};
+#[cfg(test)]
 use crate::metadata::plan_assignments;
+use crate::metadata::plan_assignments_racked;
 
 /// Controller-side state for one partition.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -343,8 +345,28 @@ impl ZkController {
         brokers: BTreeMap<BrokerId, ProcessId>,
         topics: &[TopicSpec],
     ) -> Self {
+        Self::with_racks(cfg, brokers, topics, &BTreeMap::new())
+    }
+
+    /// Like [`ZkController::new`], but with rack/host labels steering
+    /// replica placement: followers land on racks not already holding a
+    /// replica whenever possible, so one host failure costs at most one
+    /// replica. Brokers missing from `racks` count as a rack of their own.
+    pub fn with_racks(
+        cfg: ControllerConfig,
+        brokers: BTreeMap<BrokerId, ProcessId>,
+        topics: &[TopicSpec],
+        racks: &BTreeMap<BrokerId, String>,
+    ) -> Self {
         let ids: Vec<BrokerId> = brokers.keys().copied().collect();
-        let plan = plan_assignments(topics, &ids);
+        let racked: Vec<(BrokerId, String)> = ids
+            .iter()
+            .map(|b| {
+                let rack = racks.get(b).cloned().unwrap_or_else(|| format!("b{}", b.0));
+                (*b, rack)
+            })
+            .collect();
+        let plan = plan_assignments_racked(topics, &racked);
         let state = ClusterState::from_plan(&plan, &ids);
         ZkController {
             cfg,

@@ -17,7 +17,7 @@ use s2g_sim::{downcast, Ctx, Message, Process, ProcessId, SimDuration, SimTime};
 
 use crate::config::{ControllerConfig, TopicSpec};
 use crate::controller::ClusterState;
-use crate::metadata::plan_assignments;
+use crate::metadata::plan_assignments_racked;
 
 mod tags {
     pub const ELECTION_CHECK: u64 = 1;
@@ -58,6 +58,9 @@ pub struct KraftController {
     brokers: BTreeMap<BrokerId, ProcessId>,
     cfg: ControllerConfig,
     topics: Vec<TopicSpec>,
+    /// Rack/host labels steering the bootstrap replica placement; brokers
+    /// missing from the map count as a rack of their own.
+    racks: BTreeMap<BrokerId, String>,
 
     // Raft state.
     term: u64,
@@ -94,6 +97,20 @@ impl KraftController {
         cfg: ControllerConfig,
         topics: Vec<TopicSpec>,
     ) -> Self {
+        Self::with_racks(me, quorum, brokers, cfg, topics, BTreeMap::new())
+    }
+
+    /// Like [`KraftController::new`], but with rack/host labels steering
+    /// replica placement at bootstrap: followers land on racks not already
+    /// holding a replica whenever the rack count allows it.
+    pub fn with_racks(
+        me: BrokerId,
+        quorum: BTreeMap<BrokerId, ProcessId>,
+        brokers: BTreeMap<BrokerId, ProcessId>,
+        cfg: ControllerConfig,
+        topics: Vec<TopicSpec>,
+        racks: BTreeMap<BrokerId, String>,
+    ) -> Self {
         assert!(quorum.contains_key(&me), "quorum must include this member");
         assert!(
             quorum.keys().all(|q| !brokers.contains_key(q)),
@@ -106,6 +123,7 @@ impl KraftController {
             brokers,
             cfg,
             topics,
+            racks,
             term: 0,
             voted_for: None,
             log: Vec::new(),
@@ -230,7 +248,18 @@ impl KraftController {
             // First leadership over an empty metadata log: install the
             // initial topic assignment.
             let ids: Vec<BrokerId> = self.brokers.keys().copied().collect();
-            let plan = plan_assignments(&self.topics, &ids);
+            let racked: Vec<(BrokerId, String)> = ids
+                .iter()
+                .map(|b| {
+                    let rack = self
+                        .racks
+                        .get(b)
+                        .cloned()
+                        .unwrap_or_else(|| format!("b{}", b.0));
+                    (*b, rack)
+                })
+                .collect();
+            let plan = plan_assignments_racked(&self.topics, &racked);
             let mut records: Vec<MetadataRecord> = ids
                 .iter()
                 .map(|b| MetadataRecord::BrokerRegistered { broker: *b })

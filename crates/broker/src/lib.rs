@@ -81,7 +81,7 @@ pub use log::{
     LogEntry, LogPersist, LogRecover, LogSegment, LogStoreHandle, MetaPartitionTxns, MetaTxnEntry,
     PartitionLog, BROKER_LOG_CORR_BASE, DEFAULT_SEGMENT_MAX_RECORDS,
 };
-pub use metadata::{plan_assignments, MetadataCache};
+pub use metadata::{plan_assignments, plan_assignments_racked, MetadataCache};
 pub use producer::{
     DataSource, ProduceOutcome, ProducerClient, ProducerProcess, ProducerStats, SourceAction,
     PRODUCER_TAGS, PRODUCER_TAGS_END,

@@ -18,6 +18,28 @@ use crate::config::TopicSpec;
 /// Panics if a topic's replication factor exceeds the broker count or its
 /// pinned primary is not in `brokers`.
 pub fn plan_assignments(topics: &[TopicSpec], brokers: &[BrokerId]) -> Vec<PartitionMetadata> {
+    // Every broker on its own rack: the rack-aware planner then always
+    // prefers the cyclically next broker, i.e. Kafka's plain round-robin.
+    let racked: Vec<(BrokerId, String)> =
+        brokers.iter().map(|b| (*b, format!("b{}", b.0))).collect();
+    plan_assignments_racked(topics, &racked)
+}
+
+/// Rack/host-aware replica placement: like [`plan_assignments`], but each
+/// broker carries a rack (in practice, the emulated host it runs on).
+/// Followers are chosen walking cyclically from the leader, preferring
+/// brokers on racks not yet holding a replica of the partition, so a
+/// single rack/host failure takes out at most one replica whenever the
+/// rack count allows it. When racks are all distinct this degenerates to
+/// the plain consecutive round-robin.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`plan_assignments`].
+pub fn plan_assignments_racked(
+    topics: &[TopicSpec],
+    brokers: &[(BrokerId, String)],
+) -> Vec<PartitionMetadata> {
     assert!(
         !brokers.is_empty(),
         "cannot assign partitions with no brokers"
@@ -33,27 +55,38 @@ pub fn plan_assignments(topics: &[TopicSpec], brokers: &[BrokerId]) -> Vec<Parti
             brokers.len()
         );
         for p in 0..topic.partitions {
-            let lead_idx =
-                match (p, topic.primary) {
-                    (0, Some(primary)) => brokers
-                        .iter()
-                        .position(|b| b.0 == primary)
-                        .unwrap_or_else(|| {
-                            panic!(
-                                "topic `{}` pins unknown primary broker {primary}",
-                                topic.name
-                            )
-                        }),
-                    _ => {
-                        let i = rr % brokers.len();
-                        rr += 1;
-                        i
-                    }
-                };
-            let mut replicas = Vec::with_capacity(topic.replication as usize);
-            for k in 0..topic.replication as usize {
-                replicas.push(brokers[(lead_idx + k) % brokers.len()]);
+            let lead_idx = match (p, topic.primary) {
+                (0, Some(primary)) => brokers
+                    .iter()
+                    .position(|(b, _)| b.0 == primary)
+                    .unwrap_or_else(|| {
+                        panic!(
+                            "topic `{}` pins unknown primary broker {primary}",
+                            topic.name
+                        )
+                    }),
+                _ => {
+                    let i = rr % brokers.len();
+                    rr += 1;
+                    i
+                }
+            };
+            let mut chosen = vec![lead_idx];
+            while chosen.len() < topic.replication as usize {
+                let on_new_rack =
+                    |i: &usize| !chosen.iter().any(|c| brokers[*c].1 == brokers[*i].1);
+                // Cyclic-first candidate on an unused rack, else
+                // cyclic-first unchosen broker.
+                let candidates = (1..brokers.len()).map(|k| (lead_idx + k) % brokers.len());
+                let pick = candidates
+                    .clone()
+                    .filter(|i| !chosen.contains(i))
+                    .find(on_new_rack)
+                    .or_else(|| candidates.clone().find(|i| !chosen.contains(i)))
+                    .expect("replication bounded by broker count");
+                chosen.push(pick);
             }
+            let replicas: Vec<BrokerId> = chosen.iter().map(|i| brokers[*i].0).collect();
             out.push(PartitionMetadata {
                 tp: TopicPartition::new(topic.name.clone(), p),
                 leader: Some(replicas[0]),
@@ -209,6 +242,49 @@ mod tests {
         assert_eq!(leaders, vec![0, 1, 2, 0]);
         // Replicas wrap around the broker list.
         assert_eq!(plan[2].replicas, vec![BrokerId(2), BrokerId(0)]);
+    }
+
+    #[test]
+    fn racked_assignment_spreads_across_racks() {
+        // Six brokers on three racks, two per rack. An RF=3 partition must
+        // land one replica per rack even though the consecutive brokers
+        // share racks.
+        let racked: Vec<(BrokerId, String)> = (0..6)
+            .map(|i| (BrokerId(i), format!("rack-{}", i / 2)))
+            .collect();
+        let topics = vec![TopicSpec::new("t").replication(3).primary(0)];
+        let plan = plan_assignments_racked(&topics, &racked);
+        assert_eq!(plan[0].leader, Some(BrokerId(0)));
+        // b1 shares rack-0 with the leader, so the planner skips to b2
+        // (rack-1) and then b4 (rack-2).
+        assert_eq!(
+            plan[0].replicas,
+            vec![BrokerId(0), BrokerId(2), BrokerId(4)]
+        );
+        let racks: std::collections::BTreeSet<&str> = plan[0]
+            .replicas
+            .iter()
+            .map(|b| racked[b.0 as usize].1.as_str())
+            .collect();
+        assert_eq!(racks.len(), 3, "one replica per rack");
+    }
+
+    #[test]
+    fn racked_assignment_falls_back_when_racks_run_out() {
+        // Three brokers on two racks with RF=3: the third replica must
+        // reuse a rack, and the planner must still produce three distinct
+        // brokers instead of stalling.
+        let racked = vec![
+            (BrokerId(0), "ra".to_string()),
+            (BrokerId(1), "ra".to_string()),
+            (BrokerId(2), "rb".to_string()),
+        ];
+        let topics = vec![TopicSpec::new("t").replication(3).primary(0)];
+        let plan = plan_assignments_racked(&topics, &racked);
+        assert_eq!(
+            plan[0].replicas,
+            vec![BrokerId(0), BrokerId(2), BrokerId(1)]
+        );
     }
 
     #[test]

@@ -653,6 +653,10 @@ impl ProducerClient {
                     tp: tp.clone(),
                     batch: RecordBatch::from_records(batch.records.clone()),
                     acks: self.cfg.acks,
+                    // Stamp the reign this produce is aimed at; a broker on
+                    // a newer epoch bounces it (StaleEpoch, retriable) and
+                    // the metadata refresh re-aims the retry.
+                    epoch: self.metadata.epoch(&tp),
                     txn: batch.txn,
                 },
             );

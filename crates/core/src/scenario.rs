@@ -12,17 +12,18 @@ use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
 use s2g_broker::{
-    log_store, Broker, BrokerConfig, BrokerStats, CollectingSink, ConsumerClient, ConsumerConfig,
-    ConsumerProcess, ConsumerStats, ControllerConfig, CoordinationMode, DataSink, DataSource,
-    DurableLogBackend, FileLinesSource, InMemoryLogBackend, KraftController, LogBackend,
-    LogStoreHandle, PoissonSource, ProduceOutcome, ProducerClient, ProducerConfig, ProducerProcess,
-    ProducerStats, RandomTopicSource, RateSource, TopicSpec, ZkController,
+    log_store, Broker, BrokerConfig, BrokerRecoveryInfo, BrokerStats, CollectingSink,
+    ConsumerClient, ConsumerConfig, ConsumerProcess, ConsumerStats, ControllerConfig,
+    CoordinationMode, DataSink, DataSource, DurableLogBackend, FileLinesSource, InMemoryLogBackend,
+    KraftController, LogBackend, LogStoreHandle, PoissonSource, ProduceOutcome, ProducerClient,
+    ProducerConfig, ProducerProcess, ProducerStats, RandomTopicSource, RateSource, TopicSpec,
+    ZkController,
 };
 use s2g_net::{
     FaultAction, FaultInjector, FaultPlan, LinkSpec, NetHandle, NetTransport, Network,
     NetworkConfig, Topology, TxSampler, TxSeries,
 };
-use s2g_proto::{BrokerId, ProducerId, TopicPartition};
+use s2g_proto::{AckMode, BrokerId, ProducerId, TopicPartition};
 use s2g_sim::{
     CpuHandle, HostCpu, LedgerHandle, MemLedger, MemSlot, ProcessId, Sim, SimDuration, SimStats,
     SimTime,
@@ -483,6 +484,8 @@ pub struct Scenario {
     brokers: Vec<(String, BrokerConfig)>,
     stores: Vec<(String, StoreConfig)>,
     store_replication: usize,
+    partition_replication: Option<u32>,
+    acks_override: Option<AckMode>,
     transactional_sinks: bool,
     spe_jobs: Vec<(String, SpeJobSpec)>,
     producers: Vec<(String, SourceSpec, ProducerConfig)>,
@@ -521,6 +524,8 @@ impl Scenario {
             brokers: Vec::new(),
             stores: Vec::new(),
             store_replication: 1,
+            partition_replication: None,
+            acks_override: None,
             transactional_sinks: false,
             spe_jobs: Vec::new(),
             producers: Vec::new(),
@@ -742,6 +747,44 @@ impl Scenario {
     pub fn with_replicated_store(&mut self, n: usize) -> &mut Self {
         assert!(n > 0, "a store group needs at least one replica");
         self.store_replication = n;
+        self
+    }
+
+    /// Overrides the replication factor of **every** topic — the ones
+    /// declared with [`topic`](Scenario::topic) *and* the shuffle topics
+    /// parallel SPE jobs auto-declare — so a whole scenario can be run at
+    /// RF=1 and RF=3 without touching each spec. The factor is capped at
+    /// the declared broker count (a 2-broker cluster can't host 3
+    /// replicas). Placement is rack-aware: each broker's rack is the host
+    /// it was placed on, so replicas of one partition land on distinct
+    /// hosts whenever enough hosts exist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use s2g_core::Scenario;
+    ///
+    /// let mut sc = Scenario::new("replicated-partitions");
+    /// sc.broker("h1").broker("h2").broker("h3");
+    /// sc.with_replicated_partitions(3);
+    /// ```
+    pub fn with_replicated_partitions(&mut self, n: u32) -> &mut Self {
+        assert!(n > 0, "replication factor must be at least 1");
+        self.partition_replication = Some(n);
+        self
+    }
+
+    /// Overrides the ack mode of **every** producer — standalone stubs and
+    /// the embedded sink producers of topic-sink SPE jobs. With
+    /// [`AckMode::All`] an append is only acknowledged once the in-sync
+    /// replicas (minus each broker's configured `acks_all_slack`) have it,
+    /// so a leader crash after the ack cannot lose the record.
+    pub fn with_acks(&mut self, acks: AckMode) -> &mut Self {
+        self.acks_override = Some(acks);
         self
     }
 
@@ -1192,6 +1235,15 @@ impl Scenario {
             }
         }
         self.topics.extend(shuffle_specs);
+        if let Some(rf) = self.partition_replication {
+            // Applied after shuffle-topic finalization so auto-declared
+            // topics replicate too; capped at the broker count so a small
+            // cluster still runs.
+            let cap = (self.brokers.len() as u32).max(1);
+            for t in &mut self.topics {
+                t.replication = rf.min(cap);
+            }
+        }
         let duration = self.duration;
         let topo = self.build_topology();
         let n_switches = topo
@@ -1240,15 +1292,24 @@ impl Scenario {
             brokers_btree.iter().map(|(k, v)| (*k, *v)).collect();
         let mut placements: Vec<(ProcessId, String)> = Vec::new();
 
-        // Controllers.
+        // Controllers. Each broker's rack is the host it is placed on, so
+        // topic creation spreads a partition's replicas across hosts before
+        // reusing one (Kafka's `broker.rack`).
+        let racks: BTreeMap<BrokerId, String> = self
+            .brokers
+            .iter()
+            .enumerate()
+            .map(|(i, (host, _))| (BrokerId(i as u32), host.clone()))
+            .collect();
         match self.mode {
             CoordinationMode::Zk => {
                 let mut c = self.controller_cfg.clone();
                 c.mode = CoordinationMode::Zk;
-                let pid = sim.spawn(Box::new(ZkController::new(
+                let pid = sim.spawn(Box::new(ZkController::with_racks(
                     c,
                     brokers_btree.clone(),
                     &self.topics,
+                    &racks,
                 )));
                 debug_assert_eq!(pid, controller_pids[0]);
                 placements.push((pid, ctrl_hosts[0].clone()));
@@ -1264,12 +1325,13 @@ impl Scenario {
                 for i in 0..n_ctrl {
                     let mut c = self.controller_cfg.clone();
                     c.mode = CoordinationMode::Kraft;
-                    let pid = sim.spawn(Box::new(KraftController::new(
+                    let pid = sim.spawn(Box::new(KraftController::with_racks(
                         BrokerId(100_000 + i),
                         quorum.clone(),
                         brokers_btree.clone(),
                         c,
                         self.topics.clone(),
+                        racks.clone(),
                     )));
                     debug_assert_eq!(pid, controller_pids[i as usize]);
                     placements.push((pid, ctrl_hosts[i as usize].clone()));
@@ -1454,6 +1516,9 @@ impl Scenario {
                 cfg.transactional_sink = true;
                 cfg.consumer.read_committed = true;
             }
+            if let Some(acks) = self.acks_override {
+                cfg.producer.acks = acks;
+            }
             let meta = SpeJobMeta {
                 name: job.name.clone(),
                 host: host.clone(),
@@ -1517,7 +1582,10 @@ impl Scenario {
         // converges to exactly the no-fault contents.
         let mut producer_pids: Vec<ProcessId> = Vec::new();
         let mut producer_builds: Vec<ProducerStubBuild> = Vec::new();
-        for (i, (host, source, cfg)) in self.producers.into_iter().enumerate() {
+        for (i, (host, source, mut cfg)) in self.producers.into_iter().enumerate() {
+            if let Some(acks) = self.acks_override {
+                cfg.acks = acks;
+            }
             let base = self.mem_model.producer_base
                 + (cfg.buffer_memory as f64 * self.mem_model.producer_heap_factor) as u64;
             let slot = ledger.borrow_mut().register(format!("producer-{i}"), base);
@@ -1953,7 +2021,14 @@ impl Scenario {
                 recovery: client_crashes.get(&name).copied(),
             });
         }
-        let mut brokers_report = Vec::new();
+        // Two passes over the brokers: attributing leadership moves to one
+        // crashed broker needs every *other* broker's election history.
+        type BrokerView = (
+            BrokerStats,
+            Vec<(SimTime, TopicPartition, bool)>,
+            Option<BrokerRecoveryInfo>,
+        );
+        let mut broker_views: Vec<BrokerView> = Vec::new();
         for (i, pid) in broker_pids.iter().enumerate() {
             // A crashed-and-not-restarted broker is absent from the process
             // table; report from its corpse instead.
@@ -1963,8 +2038,25 @@ impl Scenario {
                     .and_then(|c| (c.as_ref() as &dyn std::any::Any).downcast_ref::<Broker>())
             });
             let b = b.expect("broker process (live or corpse)");
+            broker_views.push((b.stats(), b.leadership_events().to_vec(), b.recovery_info()));
+        }
+        let isr_shrinks: u64 = broker_views.iter().map(|(s, _, _)| s.isr_shrinks).sum();
+        let isr_expands: u64 = broker_views.iter().map(|(s, _, _)| s.isr_expands).sum();
+        let mut brokers_report = Vec::new();
+        for (i, (stats, events, info)) in broker_views.iter().enumerate() {
+            let info = *info;
             let recovery = broker_crashed_at.get(&(i as u32)).map(|t| {
-                let info = b.recovery_info();
+                // Partitions some *other* broker won at/after the crash:
+                // leadership that moved off (or shuffled around) this
+                // broker while it was down.
+                let moved: std::collections::BTreeSet<&TopicPartition> = broker_views
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != i)
+                    .flat_map(|(_, (_, ev, _))| ev.iter())
+                    .filter(|(at, _, became)| *became && *at >= *t)
+                    .map(|(_, tp, _)| tp)
+                    .collect();
                 BrokerRecoveryReport {
                     crashed_at: *t,
                     restarted_at: info.map(|r| r.restarted_at),
@@ -1973,12 +2065,15 @@ impl Scenario {
                     replayed_bytes: info.map_or(0, |r| r.replayed_bytes),
                     replayed_segments: info.map_or(0, |r| r.replayed_segments),
                     replay_saved_bytes: info.map_or(0, |r| r.replay_saved_bytes),
+                    leadership_moves: moved.len() as u64,
+                    isr_shrinks,
+                    isr_expands,
                 }
             });
             brokers_report.push(BrokerReport {
                 id: BrokerId(i as u32),
-                stats: b.stats(),
-                leadership_events: b.leadership_events().to_vec(),
+                stats: *stats,
+                leadership_events: events.clone(),
                 recovery,
             });
         }
@@ -2585,6 +2680,17 @@ pub struct BrokerRecoveryReport {
     /// the restarted broker never had to do. The replay-savings half of the
     /// bounded-recovery story.
     pub replay_saved_bytes: u64,
+    /// Distinct partitions some *other* broker was elected leader of at or
+    /// after the crash — leadership that moved off (or shuffled around)
+    /// this broker while it was down. Zero at RF=1: nobody else can take
+    /// over, the partitions just go dark.
+    pub leadership_moves: u64,
+    /// ISR shrink events recorded cluster-wide over the run (leaders
+    /// dropping a lagging or dead replica from the in-sync set).
+    pub isr_shrinks: u64,
+    /// ISR expand events recorded cluster-wide over the run (caught-up
+    /// followers re-admitted to the in-sync set).
+    pub isr_expands: u64,
 }
 
 impl BrokerRecoveryReport {

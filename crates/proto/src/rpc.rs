@@ -134,6 +134,12 @@ pub enum ClientRpc {
         batch: RecordBatch,
         /// Acknowledgement mode.
         acks: AckMode,
+        /// The leader epoch the producer believes is current for `tp`
+        /// (from its metadata cache). A broker whose leadership epoch is
+        /// newer rejects the request with [`ErrorCode::StaleEpoch`] — this
+        /// is the fence that bounces a delayed produce aimed at a deposed
+        /// leader's reign after a new election.
+        epoch: LeaderEpoch,
         /// When set, the batch is part of the producer's open transaction
         /// with this sequence number: the records are appended but withheld
         /// from read-committed consumers until an [`EndTxn`] commit marker
@@ -345,7 +351,9 @@ impl Message for ClientRpc {
     fn wire_size(&self) -> usize {
         RPC_OVERHEAD
             + match self {
-                ClientRpc::ProduceRequest { tp, batch, .. } => tp.topic.len() + batch.encoded_len(),
+                ClientRpc::ProduceRequest { tp, batch, .. } => {
+                    tp.topic.len() + 8 + batch.encoded_len()
+                }
                 ClientRpc::ProduceResponse { tp, .. } => tp.topic.len() + 16,
                 ClientRpc::FetchRequest { tp, .. } => tp.topic.len() + 20,
                 ClientRpc::FetchResponse { tp, batch, .. } => {
@@ -441,6 +449,21 @@ pub enum ReplicaRpc {
         /// When set, the follower must truncate its log to this offset
         /// before appending — the divergence-reconciliation path.
         truncate_to: Option<Offset>,
+        /// Ongoing (unresolved) transaction ranges on the leader, as
+        /// `(producer, txn, first_offset, end_offset, producer_epoch)`
+        /// tuples. Followers mirror these so that on promotion the new
+        /// leader can serve read-committed fetches and resolve or fence
+        /// the in-flight transactions itself — transactional state moves
+        /// with leadership instead of dying with the old leader.
+        txn_ongoing: Vec<(u32, u64, Offset, Offset, u32)>,
+        /// Aborted transaction ranges `(first_offset, end_offset)` still
+        /// inside the leader's log, mirrored for read-committed filtering
+        /// after promotion.
+        txn_aborted: Vec<(Offset, Offset)>,
+        /// Producer idempotence state `(producer, epoch, last_seq)`,
+        /// mirrored so a promoted follower keeps filtering duplicate
+        /// produce retries exactly where the old leader left off.
+        producer_seqs: Vec<(u32, u32, u64)>,
         /// Outcome.
         error: ErrorCode,
     },
@@ -451,8 +474,21 @@ impl Message for ReplicaRpc {
         RPC_OVERHEAD
             + match self {
                 ReplicaRpc::Fetch { tp, .. } => tp.topic.len() + 24,
-                ReplicaRpc::FetchResponse { tp, batch, .. } => {
-                    tp.topic.len() + 32 + batch.len() * 8 + batch.encoded_len()
+                ReplicaRpc::FetchResponse {
+                    tp,
+                    batch,
+                    txn_ongoing,
+                    txn_aborted,
+                    producer_seqs,
+                    ..
+                } => {
+                    tp.topic.len()
+                        + 32
+                        + batch.len() * 8
+                        + batch.encoded_len()
+                        + txn_ongoing.len() * 32
+                        + txn_aborted.len() * 16
+                        + producer_seqs.len() * 16
                 }
             }
     }
@@ -673,6 +709,7 @@ mod tests {
             tp: tp.clone(),
             batch: RecordBatch::from_records(vec![Record::keyless(vec![0u8; 10], SimTime::ZERO)]),
             acks: AckMode::Leader,
+            epoch: LeaderEpoch(0),
             txn: None,
         };
         let big = ClientRpc::ProduceRequest {
@@ -680,6 +717,7 @@ mod tests {
             tp,
             batch: RecordBatch::from_records(vec![Record::keyless(vec![0u8; 1000], SimTime::ZERO)]),
             acks: AckMode::Leader,
+            epoch: LeaderEpoch(0),
             txn: None,
         };
         assert_eq!(big.wire_size() - small.wire_size(), 990);

@@ -318,6 +318,40 @@ fn replication_sweep_trades_latency_for_availability() {
     assert!(replicated.resync_ops > 0);
 }
 
+/// Broker replication (`--fig broker-replication`): with a mid-run leader
+/// crash, growing the replication factor at `acks=all` buys availability —
+/// an RF=3 cluster elects a replica and keeps serving inside the SLO while
+/// the RF=1 "cluster" is down until its only broker returns.
+#[test]
+fn broker_replication_availability_grows_with_rf() {
+    use s2g_bench::broker_replication_sweep;
+    let points = broker_replication_sweep(&[1, 3], Scale::Smoke, 27);
+    assert_eq!(points.len(), 2);
+    let (single, replicated) = (&points[0], &points[1]);
+    assert!(
+        replicated.availability_pct > single.availability_pct,
+        "replication must raise availability: rf=1 {:.1}% vs rf=3 {:.1}%",
+        single.availability_pct,
+        replicated.availability_pct
+    );
+    assert!(
+        replicated.unavailability_s < single.unavailability_s,
+        "failover must shrink the produce outage: rf=1 {:.2}s vs rf=3 {:.2}s",
+        single.unavailability_s,
+        replicated.unavailability_s
+    );
+    // RF=1 has nowhere to move leadership; RF=3 must have elected.
+    assert_eq!(single.leadership_moves, 0, "no replicas, no election");
+    assert!(
+        replicated.leadership_moves > 0,
+        "the crash must move partition leadership to a replica"
+    );
+    assert!(
+        replicated.produce_p99_ms.is_finite() && single.produce_p99_ms.is_finite(),
+        "p99 produce latency measured at both points"
+    );
+}
+
 /// Scaling: throughput is monotone non-decreasing in the parallelism
 /// degree of a compute-bound keyed job, parallel configurations genuinely
 /// beat the single worker, and an instance crash at higher parallelism
