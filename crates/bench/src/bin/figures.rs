@@ -4,12 +4,15 @@
 //!
 //! ```text
 //! cargo run --release -p s2g-bench --bin figures -- \
-//!     [--fig 5|6|7a|7b|8|9|recovery|compaction|replication|broker-replication|scaling|timeline|table2|all] \
+//!     [--fig 5|6|7a|7b|8|9|recovery|compaction|replication|broker-replication|scaling|timeline|throughput|table2|all] \
+//!     [--bench hotpath] \
 //!     [--quick|--smoke]
 //! ```
 //!
 //! `--quick` runs reduced parameters; `--smoke` runs the minimal CI preset
-//! whose only job is to prove every figure still generates.
+//! whose only job is to prove every figure still generates. `--bench
+//! hotpath` runs the record-hot-path micro-benchmark instead and writes
+//! `target/figures/BENCH_hotpath.json` for the CI perf gate.
 //!
 //! ASCII renderings go to stdout; CSV data lands under `target/figures/`.
 
@@ -19,8 +22,8 @@ use std::path::PathBuf;
 use s2g_bench::experiments::table2_inventory;
 use s2g_bench::{
     broker_recovery_sweep, broker_replication_sweep, compaction_sweep, fig5_sweep, fig6_run,
-    fig7a_sweep, fig7b_sweep, fig8_sweep, fig9_sweep, group_by_component, scaling_sweep,
-    store_replication_sweep, timeline_sweep, Component, Scale,
+    fig7a_sweep, fig7b_sweep, fig8_sweep, fig9_sweep, group_by_component, hotpath_sweep,
+    scaling_sweep, store_replication_sweep, throughput_sweep, timeline_sweep, Component, Scale,
 };
 use s2g_broker::CoordinationMode;
 use s2g_core::{ascii_chart, ascii_matrix, ascii_table, cdf, csv_series};
@@ -675,6 +678,115 @@ fn timeline(scale: Scale) {
     );
 }
 
+fn throughput(scale: Scale) {
+    println!("\n#### Throughput: records/s & produce p99 across the batching grid ####");
+    let points = throughput_sweep(scale, 11);
+    // One series per (linger, compression) combination, x = batch bytes.
+    let mut series: std::collections::BTreeMap<String, Vec<(f64, f64)>> =
+        std::collections::BTreeMap::new();
+    for p in &points {
+        let label = format!(
+            "linger={}ms{}",
+            p.linger_ms,
+            if p.compression { " lz4" } else { "" }
+        );
+        series
+            .entry(label)
+            .or_default()
+            .push((p.batch_max_bytes as f64, p.records_per_sec));
+    }
+    let refs: Vec<(&str, &[(f64, f64)])> = series
+        .iter()
+        .map(|(n, v)| (n.as_str(), v.as_slice()))
+        .collect();
+    println!(
+        "{}",
+        ascii_chart(
+            "records/s vs producer batch size",
+            &refs,
+            64,
+            12,
+            "batch_max_bytes",
+            "records/s",
+        )
+    );
+    let mut csv =
+        String::from("batch_max_bytes,linger_ms,compression,records_per_sec,produce_p99_ms\n");
+    for p in &points {
+        csv.push_str(&format!(
+            "{},{},{},{:.1},{:.3}\n",
+            p.batch_max_bytes, p.linger_ms, p.compression, p.records_per_sec, p.produce_p99_ms
+        ));
+        println!(
+            "  {:>6} B | linger {:>2} ms | lz4 {:<5} | {:>9.1} rec/s | produce p99 {:>9.2} ms",
+            p.batch_max_bytes, p.linger_ms, p.compression, p.records_per_sec, p.produce_p99_ms,
+        );
+    }
+    write_csv("throughput.csv", &csv);
+}
+
+fn bench_hotpath(scale: Scale) {
+    println!("\n#### Bench: record hot path (produce→fetch→operator→fetch) ####");
+    let points = hotpath_sweep(scale, 11);
+    let unbatched = points
+        .iter()
+        .find(|p| p.setting == "unbatched")
+        .map(|p| p.records_per_sec)
+        .unwrap_or(f64::NAN);
+    let best = points
+        .iter()
+        .filter(|p| p.setting != "unbatched")
+        .map(|p| p.records_per_sec)
+        .fold(f64::NAN, f64::max);
+    let ratio = best / unbatched;
+    let copies: u64 = points.iter().map(|p| p.shared_batch_copies).sum();
+    let mut csv = String::from(
+        "setting,batch_max_bytes,linger_ms,compression,records_per_sec,produce_p99_ms,delivered\n",
+    );
+    let mut json = String::from("{\n  \"bench\": \"hotpath\",\n");
+    json.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
+    json.push_str(&format!("  \"batched_vs_unbatched_ratio\": {ratio:.3},\n"));
+    json.push_str(&format!("  \"shared_batch_copies\": {copies},\n"));
+    json.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        println!(
+            "  {:<14} | {:>9.1} rec/s | produce p99 {:>10.2} ms | {:>6} delivered",
+            p.setting, p.records_per_sec, p.produce_p99_ms, p.delivered,
+        );
+        csv.push_str(&format!(
+            "{},{},{},{},{:.1},{:.3},{}\n",
+            p.setting,
+            p.batch_max_bytes,
+            p.linger_ms,
+            p.compression,
+            p.records_per_sec,
+            p.produce_p99_ms,
+            p.delivered
+        ));
+        json.push_str(&format!(
+            "    {{\"setting\": \"{}\", \"batch_max_bytes\": {}, \"linger_ms\": {}, \
+             \"compression\": {}, \"records_per_sec\": {:.1}, \"produce_p99_ms\": {:.3}, \
+             \"delivered\": {}}}{}\n",
+            p.setting,
+            p.batch_max_bytes,
+            p.linger_ms,
+            p.compression,
+            p.records_per_sec,
+            p.produce_p99_ms,
+            p.delivered,
+            if i + 1 == points.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    println!(
+        "  batched/unbatched ratio: {ratio:.2}x | shared batch deep copies: {copies} (want 0)"
+    );
+    write_csv("hotpath.csv", &csv);
+    let path = out_dir().join("BENCH_hotpath.json");
+    fs::write(&path, &json).expect("write bench json");
+    println!("  wrote {}", path.display());
+}
+
 fn table2() {
     println!("\n#### Table II: example applications ####");
     let rows: Vec<Vec<String>> = table2_inventory()
@@ -701,6 +813,21 @@ fn main() {
     } else {
         Scale::Full
     };
+    if let Some(bench) = args
+        .iter()
+        .position(|a| a == "--bench")
+        .and_then(|i| args.get(i + 1))
+    {
+        println!("stream2gym-rs micro-bench (scale: {scale:?})");
+        match bench.as_str() {
+            "hotpath" => bench_hotpath(scale),
+            other => {
+                eprintln!("unknown bench `{other}`; use hotpath");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
     let which = args
         .iter()
         .position(|a| a == "--fig")
@@ -722,6 +849,7 @@ fn main() {
         "broker-replication" => broker_replication(scale),
         "scaling" => scaling(scale),
         "timeline" => timeline(scale),
+        "throughput" => throughput(scale),
         "table2" => table2(),
         "all" => {
             table2();
@@ -737,12 +865,13 @@ fn main() {
             broker_replication(scale);
             scaling(scale);
             timeline(scale);
+            throughput(scale);
         }
         other => {
             eprintln!(
                 "unknown figure `{other}`; use \
                  5|6|7a|7b|8|9|recovery|compaction|replication|broker-replication|scaling|\
-                 timeline|table2|all"
+                 timeline|throughput|table2|all"
             );
             std::process::exit(2);
         }

@@ -178,7 +178,7 @@ pub fn fig6_run(mode: CoordinationMode, sites: u32, scale: Scale, seed: u64) -> 
                 !core.deliveries.iter().any(|d| {
                     d.producer == result.report.producers[0].id
                         && d.seq == *seq
-                        && d.topic == *topic
+                        && *d.topic == **topic
                         && d.consumer != 0 // remote consumers only
                 })
             })
@@ -1187,6 +1187,269 @@ pub fn table2_inventory() -> Vec<(&'static str, u32, &'static str)> {
         ("Maritime monitoring", 4, "Persistent storage"),
         ("Fraud detection", 5, "Machine learning prediction"),
     ]
+}
+
+/// One configuration point of the `--bench hotpath` micro-benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct HotpathPoint {
+    /// Human-readable setting label (`unbatched`, `batch-64k`, ...).
+    pub setting: &'static str,
+    /// Producer `batch.size` in bytes (1 when batching is disabled).
+    pub batch_max_bytes: usize,
+    /// Producer linger in milliseconds (0 when batching is disabled).
+    pub linger_ms: u64,
+    /// Whether batch compression was on.
+    pub compression: bool,
+    /// Simulated end-to-end records per second: records delivered at the
+    /// sink consumer divided by the last delivery's simulated time.
+    pub records_per_sec: f64,
+    /// 99th-percentile produce ack latency over acked records,
+    /// milliseconds. Unbatched at saturation this balloons (every record
+    /// queues behind one-request-per-record round trips).
+    pub produce_p99_ms: f64,
+    /// Records that made it to the sink consumer within the run window.
+    pub delivered: u64,
+    /// [`RunReport::shared_batch_copies`](s2g_core::RunReport) for the
+    /// run — the zero-copy data plane keeps this at 0.
+    pub shared_batch_copies: u64,
+}
+
+/// Batching knobs for one hot-path run.
+#[derive(Debug, Clone, Copy)]
+struct HotpathCfg {
+    batching: bool,
+    batch_max_bytes: usize,
+    linger_ms: u64,
+    compression: bool,
+}
+
+/// Runs the produce→fetch→operator→fetch loop once: a saturating
+/// single-partition producer, an identity-map SPE job, and a monitored
+/// sink consumer. Returns `(records_per_sec, produce_p99_ms, delivered,
+/// shared_batch_copies)`.
+fn hotpath_run(
+    records: u64,
+    interval: SimDuration,
+    duration: SimTime,
+    seed: u64,
+    cfg: HotpathCfg,
+) -> (f64, f64, u64, u64) {
+    use s2g_broker::ConsumerConfig;
+    use s2g_core::{SpeJobSpec, SpeSinkSpec};
+    use s2g_spe::SpeConfig;
+
+    // Fast polling keeps the fetch path from capping throughput: the knob
+    // under test is the produce path (per-request CPU + RPC framing), not
+    // the poll cadence.
+    let fast_consumer = ConsumerConfig {
+        poll_interval: SimDuration::from_millis(5),
+        max_poll_records: 5_000,
+        ..Default::default()
+    };
+    let mut sc = Scenario::new("hotpath");
+    sc.seed(seed)
+        .duration(duration)
+        .topic(TopicSpec::new("hot"))
+        .topic(TopicSpec::new("out"));
+    sc.broker("h0");
+    sc.producer(
+        "hp",
+        SourceSpec::Rate {
+            topic: "hot".into(),
+            count: records,
+            interval,
+            payload: 64,
+        },
+        ProducerConfig::default(),
+    );
+    sc.spe_job(
+        "hs",
+        SpeJobSpec::new(
+            "hotmap",
+            vec!["hot".into()],
+            || s2g_spe::Plan::new().map("ident", |e| e),
+            SpeSinkSpec::Topic("out".into()),
+            SpeConfig {
+                batch_interval: SimDuration::from_millis(10),
+                scheduling_overhead: SimDuration::from_millis(1),
+                cpu_per_record: SimDuration::from_micros(2),
+                startup_cpu: SimDuration::from_millis(100),
+                consumer: fast_consumer.clone(),
+                ..SpeConfig::default()
+            },
+        ),
+    );
+    sc.consumer("hc", fast_consumer, &["out"]);
+    if cfg.batching {
+        sc.batch_max_bytes(cfg.batch_max_bytes);
+        sc.linger_ms(cfg.linger_ms);
+        sc.with_compression(cfg.compression);
+    } else {
+        sc.with_batching(false);
+    }
+    let result = sc.run().expect("valid scenario");
+    let (delivered, last) = {
+        let core = result.monitor.borrow();
+        let mut count = 0u64;
+        let mut last = SimTime::ZERO;
+        for d in core.for_topic("out") {
+            count += 1;
+            last = last.max(d.delivered);
+        }
+        (count, last)
+    };
+    let rps = if last > SimTime::ZERO {
+        delivered as f64 / last.as_secs_f64()
+    } else {
+        0.0
+    };
+    let lat_ms: Vec<f64> = result.report.producers[0]
+        .outcomes
+        .iter()
+        .filter(|o| o.delivered)
+        .map(|o| o.completed.saturating_since(o.created).as_secs_f64() * 1e3)
+        .collect();
+    let p99 = s2g_telemetry::summarize(&lat_ms).map_or(f64::NAN, |s| s.p99);
+    (rps, p99, delivered, result.report.shared_batch_copies)
+}
+
+/// Saturating offered load per scale: `(records, interval, duration)`.
+/// The offered rate (40-50k records/s) sits far above what the
+/// one-request-per-record baseline can move, so the sweep measures each
+/// setting's ceiling rather than the source's.
+fn hotpath_load(scale: Scale) -> (u64, SimDuration, SimTime) {
+    match scale {
+        Scale::Full => (40_000, SimDuration::from_micros(20), SimTime::from_secs(6)),
+        Scale::Quick => (8_000, SimDuration::from_micros(20), SimTime::from_secs(3)),
+        Scale::Smoke => (2_000, SimDuration::from_micros(25), SimTime::from_secs(2)),
+    }
+}
+
+/// **Hotpath** — the `--bench hotpath` micro-benchmark: the same
+/// produce→fetch→operator→fetch loop at five batching settings, from the
+/// one-record-per-request baseline to 64 KiB compressed batches. The
+/// simulator is deterministic, so the resulting records/s are stable
+/// across machines and gate CI (`perf-gate` fails on >20% regression
+/// against the committed floor, and on a batched/unbatched ratio < 3).
+pub fn hotpath_sweep(scale: Scale, seed: u64) -> Vec<HotpathPoint> {
+    let (records, interval, duration) = hotpath_load(scale);
+    let settings: [(&'static str, HotpathCfg); 5] = [
+        (
+            "unbatched",
+            HotpathCfg {
+                batching: false,
+                batch_max_bytes: 1,
+                linger_ms: 0,
+                compression: false,
+            },
+        ),
+        (
+            "batch-4k",
+            HotpathCfg {
+                batching: true,
+                batch_max_bytes: 4 * 1024,
+                linger_ms: 1,
+                compression: false,
+            },
+        ),
+        (
+            "batch-16k",
+            HotpathCfg {
+                batching: true,
+                batch_max_bytes: 16 * 1024,
+                linger_ms: 2,
+                compression: false,
+            },
+        ),
+        (
+            "batch-64k",
+            HotpathCfg {
+                batching: true,
+                batch_max_bytes: 64 * 1024,
+                linger_ms: 5,
+                compression: false,
+            },
+        ),
+        (
+            "batch-64k-lz4",
+            HotpathCfg {
+                batching: true,
+                batch_max_bytes: 64 * 1024,
+                linger_ms: 5,
+                compression: true,
+            },
+        ),
+    ];
+    settings
+        .iter()
+        .map(|&(setting, cfg)| {
+            let (records_per_sec, produce_p99_ms, delivered, shared_batch_copies) =
+                hotpath_run(records, interval, duration, seed, cfg);
+            HotpathPoint {
+                setting,
+                batch_max_bytes: cfg.batch_max_bytes,
+                linger_ms: cfg.linger_ms,
+                compression: cfg.compression,
+                records_per_sec,
+                produce_p99_ms,
+                delivered,
+                shared_batch_copies,
+            }
+        })
+        .collect()
+}
+
+/// One point of the `--fig throughput` sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct ThroughputPoint {
+    /// Producer `batch.size` in bytes.
+    pub batch_max_bytes: usize,
+    /// Producer linger in milliseconds.
+    pub linger_ms: u64,
+    /// Whether batch compression was on.
+    pub compression: bool,
+    /// Simulated end-to-end records per second.
+    pub records_per_sec: f64,
+    /// 99th-percentile produce ack latency, milliseconds.
+    pub produce_p99_ms: f64,
+}
+
+/// **Throughput** — the `--fig throughput` sweep: simulated records/s and
+/// produce p99 across the batching grid (`batch_max_bytes` ×
+/// `linger_ms` × compression on/off) on the hot-path loop. The shape the
+/// figure demonstrates: throughput climbs steeply with batch size until
+/// the offered rate is met, extra linger mostly trades produce latency,
+/// and compression shaves wire bytes for a CPU surcharge.
+pub fn throughput_sweep(scale: Scale, seed: u64) -> Vec<ThroughputPoint> {
+    let (records, interval, duration) = hotpath_load(scale);
+    let (bytes, lingers): (&[usize], &[u64]) = match scale {
+        Scale::Full => (&[1_024, 4_096, 16_384, 65_536], &[1, 5]),
+        Scale::Quick => (&[1_024, 65_536], &[1, 5]),
+        Scale::Smoke => (&[1_024, 65_536], &[2]),
+    };
+    let mut out = Vec::new();
+    for &batch_max_bytes in bytes {
+        for &linger_ms in lingers {
+            for compression in [false, true] {
+                let cfg = HotpathCfg {
+                    batching: true,
+                    batch_max_bytes,
+                    linger_ms,
+                    compression,
+                };
+                let (records_per_sec, produce_p99_ms, _, _) =
+                    hotpath_run(records, interval, duration, seed, cfg);
+                out.push(ThroughputPoint {
+                    batch_max_bytes,
+                    linger_ms,
+                    compression,
+                    records_per_sec,
+                    produce_p99_ms,
+                });
+            }
+        }
+    }
+    out
 }
 
 /// Collects results per component into labeled series for plotting.

@@ -34,8 +34,8 @@
 use std::collections::{BTreeMap, HashMap};
 
 use s2g_proto::{
-    AckMode, BrokerId, ClientRpc, ControllerRpc, CorrelationId, ErrorCode, LeaderEpoch, Offset,
-    Record, RecordBatch, ReplicaRpc, TopicPartition,
+    AckMode, BrokerId, ClientRpc, Compression, ControllerRpc, CorrelationId, ErrorCode,
+    LeaderEpoch, Offset, Record, RecordBatch, ReplicaRpc, TopicPartition,
 };
 use s2g_sim::{
     downcast, Ctx, LedgerHandle, MemSlot, Message, Process, ProcessId, SimDuration, SimTime,
@@ -351,6 +351,11 @@ pub struct Broker {
     /// filtered. Only populated from fetches made while fully caught up,
     /// so every mirrored stamp is covered by the local log.
     mirrored_seqs: BTreeMap<(TopicPartition, u32), (u32, u64)>,
+    /// Sticky per-partition compression: the codec of the last produced (or
+    /// replicated) batch, stamped onto fetch responses so consumers pay the
+    /// decompress cost — the broker itself never re-codes batches, exactly
+    /// like Kafka's zero-copy fetch path.
+    batch_compression: HashMap<TopicPartition, Compression>,
     roles: BTreeMap<TopicPartition, Role>,
     known_epoch: HashMap<TopicPartition, LeaderEpoch>,
     metadata: MetadataCache,
@@ -417,6 +422,7 @@ impl Broker {
             last_producer_seq: BTreeMap::new(),
             txns: BTreeMap::new(),
             mirrored_seqs: BTreeMap::new(),
+            batch_compression: HashMap::new(),
             roles: BTreeMap::new(),
             known_epoch: HashMap::new(),
             metadata: MetadataCache::new(),
@@ -868,12 +874,23 @@ impl Broker {
                         return;
                     }
                 }
+                // The sticky per-partition codec: fetches of this partition
+                // are served with whatever the last producer sealed.
+                self.batch_compression
+                    .insert(tp.clone(), batch.compression());
+                self.tele
+                    .observe_count(&self.name, "batch_records", batch.len() as u64);
+                self.tele
+                    .observe_bytes(&self.name, "batch_bytes", batch.record_bytes() as u64);
                 // Idempotent-producer dedup: a record whose `(producer,
                 // seq)` this partition already appended is a retry whose
                 // ack was lost (timeout, broker bounce) — acknowledge it
-                // without appending a second copy.
+                // without appending a second copy. The batch is borrowed,
+                // not consumed: the producer still holds it for retries, so
+                // taking ownership here would force a deep copy. Cloning a
+                // `Record` only bumps the payload refcounts.
                 let mut fresh: Vec<Record> = Vec::with_capacity(batch.len());
-                for r in batch.records {
+                for r in batch.iter() {
                     let key = (tp.clone(), r.producer.0);
                     // Same-or-older (epoch, seq) is a stale retry; a bumped
                     // epoch is a respawned client restarting at seq zero.
@@ -886,7 +903,7 @@ impl Broker {
                     } else {
                         self.last_producer_seq
                             .insert(key, (r.producer_epoch, r.producer_seq));
-                        fresh.push(r);
+                        fresh.push(r.clone());
                     }
                 }
                 let n = fresh.len();
@@ -998,6 +1015,7 @@ impl Broker {
                 read_committed,
             } => {
                 self.stats.fetches += 1;
+                let codec = self.batch_compression.get(&tp).copied().unwrap_or_default();
                 let (batch, hw, next, error) = if self.is_fenced(now) {
                     self.stats.rejected_fenced += 1;
                     (RecordBatch::new(), Offset::ZERO, offset, ErrorCode::Fenced)
@@ -1063,7 +1081,12 @@ impl Broker {
                                     });
                                 let recs: Vec<Record> =
                                     served.iter().map(|e| e.record.clone()).collect();
-                                (RecordBatch::from_records(recs), hw, next, ErrorCode::None)
+                                (
+                                    RecordBatch::from_records(recs).with_compression(codec),
+                                    hw,
+                                    next,
+                                    ErrorCode::None,
+                                )
                             }
                         }
                         _ => {
@@ -1474,8 +1497,10 @@ impl Broker {
                     from_pid,
                     OutMsg::Replica(ReplicaRpc::FetchResponse {
                         corr,
-                        tp,
-                        batch: RecordBatch::from_records(records),
+                        tp: tp.clone(),
+                        batch: RecordBatch::from_records(records).with_compression(
+                            self.batch_compression.get(&tp).copied().unwrap_or_default(),
+                        ),
                         epochs,
                         offsets,
                         high_watermark: hw,
@@ -1547,9 +1572,17 @@ impl Broker {
                         }
                     }
                 }
+                // Remember the leader's codec so a promotion keeps serving
+                // fetches with the right compression flag.
+                if !batch.is_empty() {
+                    self.batch_compression
+                        .insert(tp.clone(), batch.compression());
+                }
                 let log = Self::log_mut(&mut self.logs, &self.cfg, &tp);
                 let mut appended = 0u64;
-                for (i, rec) in batch.records.into_iter().enumerate() {
+                // The follower is the batch's sole owner (the leader built
+                // it for this reply), so this unwraps the Arc in place.
+                for (i, rec) in batch.into_records().into_iter().enumerate() {
                     let e = epochs.get(i).copied().unwrap_or(epoch);
                     // Append at the leader's explicit offset: a compacted
                     // leader log serves holes, and replicas must preserve

@@ -4,7 +4,7 @@
 //! configuration files (`brokerCfg`, `prodCfg`, `consCfg` in Table I) plus
 //! the topic configuration graph attribute (`topicCfg`).
 
-use s2g_proto::AckMode;
+use s2g_proto::{AckMode, Compression};
 use s2g_sim::SimDuration;
 
 /// How cluster metadata and leader election are coordinated.
@@ -148,6 +148,20 @@ pub struct ProducerConfig {
     pub linger: SimDuration,
     /// Max records per produce request.
     pub batch_max_records: usize,
+    /// Max accumulated record bytes before a batch is sealed and sent even
+    /// if `linger` has not elapsed and `batch_max_records` is not reached
+    /// (Kafka `batch.size`).
+    pub batch_max_bytes: usize,
+    /// Compression codec applied when a batch is sealed. Shrinks the wire
+    /// footprint of every hop that carries the batch (produce, replica
+    /// fetch, consumer fetch) at the price of
+    /// [`compress_cpu_per_byte`](Self::compress_cpu_per_byte) here and
+    /// [`decompress_cpu_per_byte`](ConsumerConfig::decompress_cpu_per_byte)
+    /// on the consumer (Kafka `compression.type`).
+    pub compression: Compression,
+    /// CPU cost per record byte spent compressing a sealed batch. Only
+    /// charged when [`compression`](Self::compression) is not `None`.
+    pub compress_cpu_per_byte: SimDuration,
     /// Per-request timeout before a retry (Kafka `request.timeout.ms`,
     /// Fig. 3a shows 2000 ms).
     pub request_timeout: SimDuration,
@@ -174,6 +188,9 @@ impl Default for ProducerConfig {
             buffer_memory: 32 * 1024 * 1024,
             linger: SimDuration::from_millis(5),
             batch_max_records: 500,
+            batch_max_bytes: 64 * 1024,
+            compression: Compression::None,
+            compress_cpu_per_byte: SimDuration::from_nanos(2),
             request_timeout: SimDuration::from_secs(2),
             delivery_timeout: SimDuration::from_secs(120),
             retry_backoff: SimDuration::from_millis(100),
@@ -196,6 +213,9 @@ pub struct ConsumerConfig {
     /// CPU cost per record consumed (deserialization + app work); this is
     /// what caps aggregate throughput at the host core count in Fig. 7a.
     pub cpu_per_record: SimDuration,
+    /// CPU cost per record byte spent decompressing fetched batches; only
+    /// charged when a batch arrives compressed.
+    pub decompress_cpu_per_byte: SimDuration,
     /// Background CPU churn per `background_interval`.
     pub background_cpu: SimDuration,
     /// Period of the background churn.
@@ -239,6 +259,7 @@ impl Default for ConsumerConfig {
             poll_interval: SimDuration::from_millis(100),
             max_poll_records: 500,
             cpu_per_record: SimDuration::from_micros(2),
+            decompress_cpu_per_byte: SimDuration::from_nanos(1),
             background_cpu: SimDuration::from_millis(2),
             background_interval: SimDuration::from_millis(100),
             startup_cpu: SimDuration::from_millis(300),

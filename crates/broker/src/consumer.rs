@@ -13,7 +13,7 @@
 use std::any::Any;
 use std::collections::{BTreeMap, HashMap};
 
-use s2g_proto::{ClientRpc, CorrelationId, ErrorCode, Offset, Record, TopicPartition};
+use s2g_proto::{ClientRpc, CorrelationId, ErrorCode, Offset, Record, RecordBatch, TopicPartition};
 use s2g_sim::{downcast, Ctx, Message, Process, ProcessId, SimDuration, SimTime, TimerToken};
 use s2g_telemetry::Telemetry;
 
@@ -102,7 +102,10 @@ pub struct ConsumerClient {
     offsets: BTreeMap<TopicPartition, Offset>,
     inflight: HashMap<u64, InflightFetch>,
     fetching: BTreeMap<TopicPartition, bool>,
-    pending_delivery: HashMap<u64, (TopicPartition, Vec<Record>, Offset)>,
+    /// Batches whose delivery CPU is in flight, by tag. Holding the
+    /// refcounted [`RecordBatch`] (not a rebuilt `Vec`) means the payloads
+    /// fetched from the broker are never copied on the way to the sink.
+    pending_delivery: HashMap<u64, (TopicPartition, RecordBatch, Offset)>,
     next_corr: u64,
     next_deliver_tag: u64,
     stats: ConsumerStats,
@@ -582,9 +585,15 @@ impl ConsumerClient {
                         let tag = CONSUMER_TAGS + off::CPU_DELIVER_BASE + self.next_deliver_tag;
                         self.next_deliver_tag += 1;
                         let n = batch.len() as u64;
-                        self.pending_delivery
-                            .insert(tag, (tp, batch.records, next_offset));
-                        ctx.exec(self.cfg.cpu_per_record * n, tag);
+                        // Consumer-side half of the compression trade:
+                        // decompressing the fetched batch costs CPU
+                        // proportional to its raw record bytes.
+                        let mut cpu = self.cfg.cpu_per_record * n;
+                        if !batch.compression().is_none() {
+                            cpu += self.cfg.decompress_cpu_per_byte * batch.record_bytes() as u64;
+                        }
+                        self.pending_delivery.insert(tag, (tp, batch, next_offset));
+                        ctx.exec(cpu, tag);
                     }
                     ErrorCode::None => {
                         // Empty read: adopt the broker's next offset so a
@@ -782,14 +791,15 @@ impl ConsumerClient {
         if !(CONSUMER_TAGS..CONSUMER_TAGS_END).contains(&tag) {
             return false;
         }
-        let Some((tp, records, next_offset)) = self.pending_delivery.remove(&tag) else {
+        let Some((tp, batch, next_offset)) = self.pending_delivery.remove(&tag) else {
             return true;
         };
         let now = ctx.now();
-        self.stats.records += records.len() as u64;
+        self.stats.records += batch.len() as u64;
         let pos = self.position(&tp);
         self.offsets.insert(tp.clone(), next_offset.max(pos));
-        sink.on_records(now, &tp, &records);
+        // The sink iterates the shared batch in place; no per-consumer copy.
+        sink.on_records(now, &tp, batch.records());
         // Pipelining: fetch the next batch for this partition right away.
         self.fetching.insert(tp.clone(), false);
         self.fetch_one(ctx, tp);

@@ -47,8 +47,10 @@ use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 
 use bytes::Bytes;
-use s2g_proto::codec::{put_bytes, put_str, put_u32, put_u64, put_u8, Cursor};
-use s2g_proto::{LeaderEpoch, Offset, ProducerId, Record, TopicPartition};
+use s2g_proto::codec::{put_str, put_u32, put_u64, put_u8, put_uvarint, Cursor};
+use s2g_proto::{
+    put_frame_record, read_frame_record, LeaderEpoch, Offset, ProducerId, Record, TopicPartition,
+};
 use s2g_sim::{Ctx, ProcessId, SimDuration, SimTime};
 use s2g_store::BlobClient;
 
@@ -68,8 +70,13 @@ pub struct LogEntry {
 /// Default record capacity of one log segment before the log rolls.
 pub const DEFAULT_SEGMENT_MAX_RECORDS: usize = 128;
 
-/// Version byte of the segment wire format (offset-carrying entries).
-const SEGMENT_CODEC_VERSION: u8 = 2;
+/// Version byte of the segment wire format: the shared batch-frame record
+/// layout ([`put_frame_record`]) prefixed per entry with its leader epoch.
+const SEGMENT_CODEC_VERSION: u8 = 3;
+
+/// Previous segment format (absolute fixed-width fields per entry); still
+/// decoded so logs persisted before the batch-frame refactor replay.
+const SEGMENT_CODEC_V2: u8 = 2;
 
 /// A run of log entries covering the offset range `[base, end)` — the unit
 /// of persistence and replay. Compaction may leave holes inside the range;
@@ -79,6 +86,10 @@ pub struct LogSegment {
     base: u64,
     /// One past the highest offset ever assigned in this segment.
     end: u64,
+    /// Timestamp base the per-entry deltas are encoded against; pinned to
+    /// the first record pushed so the incrementally built encoding stays
+    /// valid across later pushes and compaction.
+    base_ts: SimTime,
     entries: Vec<LogEntry>,
     bytes: usize,
     dirty: bool,
@@ -92,6 +103,7 @@ impl LogSegment {
         LogSegment {
             base,
             end: base,
+            base_ts: SimTime::ZERO,
             entries: Vec::new(),
             bytes: 0,
             dirty: false,
@@ -101,7 +113,9 @@ impl LogSegment {
 
     fn push(&mut self, offset: u64, epoch: LeaderEpoch, record: Record) {
         debug_assert!(offset >= self.end, "appends must advance the offset");
-        if self.enc.is_empty() && !self.entries.is_empty() {
+        if self.entries.is_empty() {
+            self.base_ts = record.timestamp;
+        } else if self.enc.is_empty() {
             // The encoding was shed after a flush; rebuild before extending.
             self.rebuild_enc();
         }
@@ -113,14 +127,14 @@ impl LogSegment {
             epoch,
             record,
         };
-        encode_entry(&mut self.enc, &entry);
+        encode_entry(&mut self.enc, Offset(self.base), self.base_ts, &entry);
         self.entries.push(entry);
     }
 
     fn rebuild_enc(&mut self) {
         self.enc.clear();
         for e in &self.entries {
-            encode_entry(&mut self.enc, e);
+            encode_entry(&mut self.enc, Offset(self.base), self.base_ts, e);
         }
     }
 
@@ -164,10 +178,11 @@ impl LogSegment {
     /// the incrementally maintained entry encodings (re-serialized from the
     /// entries when the buffer was shed after a flush).
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(21 + self.enc.len());
+        let mut out = Vec::with_capacity(29 + self.enc.len());
         put_u8(&mut out, SEGMENT_CODEC_VERSION);
         put_u64(&mut out, self.base);
         put_u64(&mut out, self.end);
+        put_u64(&mut out, self.base_ts.as_nanos());
         // A silent `as u32` here would truncate an oversized segment's
         // count and corrupt every replay of it; fail loudly instead.
         put_u32(
@@ -176,7 +191,7 @@ impl LogSegment {
         );
         if self.enc.is_empty() && !self.entries.is_empty() {
             for e in &self.entries {
-                encode_entry(&mut out, e);
+                encode_entry(&mut out, Offset(self.base), self.base_ts, e);
             }
         } else {
             out.extend_from_slice(&self.enc);
@@ -184,18 +199,54 @@ impl LogSegment {
         out
     }
 
-    /// Deserializes a segment written by [`encode`](LogSegment::encode).
-    /// Returns `None` on truncated, malformed, or wrong-version input.
+    /// Deserializes a segment written by [`encode`](LogSegment::encode),
+    /// accepting both the current frame-delta format and the previous
+    /// absolute-field format. Returns `None` on truncated, malformed, or
+    /// unknown-version input.
     pub fn decode(buf: &[u8]) -> Option<LogSegment> {
         let mut cur = Cursor::new(buf);
-        if cur.u8()? != SEGMENT_CODEC_VERSION {
-            return None;
+        match cur.u8()? {
+            SEGMENT_CODEC_VERSION => Self::decode_v3(&mut cur, buf),
+            SEGMENT_CODEC_V2 => Self::decode_v2(&mut cur),
+            _ => None,
         }
+    }
+
+    fn decode_v3(cur: &mut Cursor<'_>, buf: &[u8]) -> Option<LogSegment> {
+        let base = cur.u64()?;
+        let end = cur.u64()?;
+        let base_ts = SimTime::from_nanos(cur.u64()?);
+        let count = cur.u32()? as usize;
+        let body_start = cur.position();
+        let mut entries = Vec::with_capacity(count.min(1 << 16));
+        let mut bytes = 0;
+        for _ in 0..count {
+            let epoch = LeaderEpoch(cur.uvarint()?);
+            let (offset, record) = read_frame_record(cur, Offset(base), base_ts)?;
+            bytes += record.encoded_len();
+            entries.push(LogEntry {
+                offset,
+                epoch,
+                record,
+            });
+        }
+        let enc = buf[body_start..cur.position()].to_vec();
+        Some(LogSegment {
+            base,
+            end,
+            base_ts,
+            entries,
+            bytes,
+            dirty: false,
+            enc,
+        })
+    }
+
+    fn decode_v2(cur: &mut Cursor<'_>) -> Option<LogSegment> {
         let base = cur.u64()?;
         let end = cur.u64()?;
         let count = cur.u32()? as usize;
-        let body_start = cur.position();
-        let mut entries = Vec::with_capacity(count);
+        let mut entries = Vec::with_capacity(count.min(1 << 16));
         let mut bytes = 0;
         for _ in 0..count {
             let offset = Offset(cur.u64()?);
@@ -224,33 +275,28 @@ impl LogSegment {
                 record,
             });
         }
-        let enc = buf[body_start..cur.position()].to_vec();
-        Some(LogSegment {
+        let base_ts = entries
+            .first()
+            .map(|e| e.record.timestamp)
+            .unwrap_or(SimTime::ZERO);
+        let mut seg = LogSegment {
             base,
             end,
+            base_ts,
             entries,
             bytes,
             dirty: false,
-            enc,
-        })
+            enc: Vec::new(),
+        };
+        // Re-encode in the current format so a later flush persists v3.
+        seg.rebuild_enc();
+        Some(seg)
     }
 }
 
-fn encode_entry(out: &mut Vec<u8>, e: &LogEntry) {
-    put_u64(out, e.offset.value());
-    put_u64(out, e.epoch.0);
-    match &e.record.key {
-        Some(k) => {
-            put_u8(out, 1);
-            put_bytes(out, k);
-        }
-        None => put_u8(out, 0),
-    }
-    put_bytes(out, &e.record.value);
-    put_u64(out, e.record.timestamp.as_nanos());
-    put_u32(out, e.record.producer.0);
-    put_u32(out, e.record.producer_epoch);
-    put_u64(out, e.record.producer_seq);
+fn encode_entry(out: &mut Vec<u8>, base: Offset, base_ts: SimTime, e: &LogEntry) {
+    put_uvarint(out, e.epoch.0);
+    put_frame_record(out, base, base_ts, e.offset, &e.record);
 }
 
 /// What one cleaner pass (compaction or retention) did to a partition log.

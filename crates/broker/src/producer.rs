@@ -112,7 +112,11 @@ struct AccumBatch {
 #[derive(Debug)]
 struct ReadyBatch {
     tp: TopicPartition,
-    records: Vec<Record>,
+    /// The sealed, shareable batch. Sealed once at flush time; every send
+    /// and retry reuses it with a reference-count bump instead of cloning
+    /// the records.
+    batch: RecordBatch,
+    /// Uncompressed record bytes, for buffer-pool accounting.
     bytes: usize,
     created: SimTime,
     attempts: u32,
@@ -539,7 +543,9 @@ impl ProducerClient {
             let t = ctx.set_timer(self.cfg.linger, PRODUCER_TAGS + off::LINGER_BASE + topic_id);
             entry.linger_timer = Some(t);
         }
-        if entry.records.len() >= self.cfg.batch_max_records {
+        if entry.records.len() >= self.cfg.batch_max_records
+            || entry.bytes >= self.cfg.batch_max_bytes
+        {
             self.flush_topic(ctx, &topic.to_string());
         }
         true
@@ -601,12 +607,22 @@ impl ProducerClient {
                 .first()
                 .map(|r| r.timestamp)
                 .unwrap_or_else(|| ctx.now());
+            let sealed = RecordBatch::from_records(records).with_compression(self.cfg.compression);
+            if !sealed.compression().is_none() && !self.cfg.compress_cpu_per_byte.is_zero() {
+                // Compressing the sealed batch costs CPU proportional to
+                // the raw record bytes — the produce-side half of the
+                // compression trade (the wire carries fewer bytes).
+                ctx.exec(
+                    self.cfg.compress_cpu_per_byte * bytes as u64,
+                    PRODUCER_TAGS + off::NOOP_CPU,
+                );
+            }
             self.ready
                 .entry(tp.clone())
                 .or_default()
                 .push_back(ReadyBatch {
                     tp,
-                    records,
+                    batch: sealed,
                     bytes,
                     created,
                     attempts: 0,
@@ -651,7 +667,9 @@ impl ProducerClient {
                 ClientRpc::ProduceRequest {
                     corr,
                     tp: tp.clone(),
-                    batch: RecordBatch::from_records(batch.records.clone()),
+                    // Arc bump, not a record copy — the retry path keeps
+                    // the same sealed batch alive in `inflight`.
+                    batch: batch.batch.clone(),
                     acks: self.cfg.acks,
                     // Stamp the reign this produce is aimed at; a broker on
                     // a newer epoch bounces it (StaleEpoch, retriable) and
@@ -662,7 +680,7 @@ impl ProducerClient {
             );
             if !self.tele_scope.is_empty() {
                 self.tele
-                    .counter_add(&self.tele_scope, "records_sent", batch.records.len() as u64);
+                    .counter_add(&self.tele_scope, "records_sent", batch.batch.len() as u64);
                 if self.tele.trace_enabled() {
                     self.tele.trace_instant(
                         ctx.now(),
@@ -684,12 +702,12 @@ impl ProducerClient {
         self.buffer_used -= batch.bytes;
         self.update_mem();
         if let (Some(t), true) = (batch.txn, delivered) {
-            *self.txn_done.entry(t).or_insert(0) += batch.records.len() as u64;
+            *self.txn_done.entry(t).or_insert(0) += batch.batch.len() as u64;
         }
         if delivered {
-            self.stats.acked += batch.records.len() as u64;
+            self.stats.acked += batch.batch.len() as u64;
         } else {
-            self.stats.failed += batch.records.len() as u64;
+            self.stats.failed += batch.batch.len() as u64;
         }
         if !self.tele_scope.is_empty() {
             self.tele.counter_add(
@@ -699,10 +717,10 @@ impl ProducerClient {
                 } else {
                     "records_failed"
                 },
-                batch.records.len() as u64,
+                batch.batch.len() as u64,
             );
         }
-        for r in &batch.records {
+        for r in batch.batch.iter() {
             self.outcomes.push(ProduceOutcome {
                 seq: r.producer_seq,
                 topic: batch.tp.topic.clone(),

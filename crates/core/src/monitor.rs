@@ -21,8 +21,10 @@ use s2g_telemetry::{Histogram, SummaryStats};
 pub struct DeliveryRecord {
     /// The receiving consumer's index.
     pub consumer: u32,
-    /// Topic the record came from.
-    pub topic: String,
+    /// Topic the record came from. Interned (`Rc<str>`): the monitor sees
+    /// every delivered record in the run, so a per-record `String` clone
+    /// here would be one of the hottest allocations in the simulator.
+    pub topic: Rc<str>,
     /// The producer that created the record (or the original source record,
     /// for SPE outputs carrying provenance).
     pub producer: ProducerId,
@@ -72,7 +74,7 @@ impl MonitorCore {
 
     /// Deliveries for one topic (any consumer).
     pub fn for_topic<'a>(&'a self, topic: &'a str) -> impl Iterator<Item = &'a DeliveryRecord> {
-        self.deliveries.iter().filter(move |d| d.topic == topic)
+        self.deliveries.iter().filter(move |d| &*d.topic == topic)
     }
 
     /// Deliveries seen by one consumer.
@@ -113,7 +115,7 @@ impl MonitorCore {
         let mut v: Vec<(SimTime, SimDuration)> = self
             .deliveries
             .iter()
-            .filter(|d| d.consumer == consumer && d.topic == topic)
+            .filter(|d| d.consumer == consumer && &*d.topic == topic)
             .map(|d| (d.delivered, d.latency()))
             .collect();
         v.sort();
@@ -129,7 +131,7 @@ impl MonitorCore {
         seq: u64,
     ) -> bool {
         self.deliveries.iter().any(|d| {
-            d.consumer == consumer && d.topic == topic && d.producer == producer && d.seq == seq
+            d.consumer == consumer && &*d.topic == topic && d.producer == producer && d.seq == seq
         })
     }
 }
@@ -140,6 +142,10 @@ pub struct MonitoredSink {
     handle: MonitorHandle,
     consumer: u32,
     inner: Box<dyn DataSink>,
+    /// Interned topic of the last delivery — consumers poll per partition,
+    /// so the same topic repeats and one `Rc` bump replaces a `String`
+    /// clone per record.
+    topic_cache: Option<Rc<str>>,
 }
 
 impl MonitoredSink {
@@ -149,6 +155,7 @@ impl MonitoredSink {
             handle,
             consumer,
             inner,
+            topic_cache: None,
         }
     }
 
@@ -160,21 +167,28 @@ impl MonitoredSink {
 
 impl DataSink for MonitoredSink {
     fn on_records(&mut self, now: SimTime, tp: &TopicPartition, records: &[Record]) {
+        let topic: Rc<str> = match &self.topic_cache {
+            Some(t) if **t == *tp.topic => t.clone(),
+            _ => {
+                let t: Rc<str> = Rc::from(tp.topic.as_str());
+                self.topic_cache = Some(t.clone());
+                t
+            }
+        };
         {
             let mut core = self.handle.borrow_mut();
             for r in records {
                 // SPE outputs carry their provenance in the encoded event;
-                // raw records use their own produce time.
-                let produced = match Event::from_bytes(&r.value) {
-                    Ok(e) => e.origin,
-                    Err(_) => r.timestamp,
-                };
+                // raw records use their own produce time. `peek_origin`
+                // walks the borrowed payload without decoding it — the
+                // monitor never copies record bytes.
+                let produced = Event::peek_origin(&r.value).unwrap_or(r.timestamp);
                 if produced > now {
                     core.clamped_latencies += 1;
                 }
                 core.deliveries.push(DeliveryRecord {
                     consumer: self.consumer,
-                    topic: tp.topic.clone(),
+                    topic: topic.clone(),
                     producer: r.producer,
                     seq: r.producer_seq,
                     produced,
@@ -219,7 +233,7 @@ impl DeliveryMatrix {
             };
             if let Some(col) = messages
                 .iter()
-                .position(|(t, s, _)| *s == d.seq && *t == d.topic)
+                .position(|(t, s, _)| *s == d.seq && *t == *d.topic)
             {
                 received[row][col] = true;
             }

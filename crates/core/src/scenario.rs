@@ -23,7 +23,7 @@ use s2g_net::{
     FaultAction, FaultInjector, FaultPlan, LinkSpec, NetHandle, NetTransport, Network,
     NetworkConfig, Topology, TxSampler, TxSeries,
 };
-use s2g_proto::{AckMode, BrokerId, ProducerId, TopicPartition};
+use s2g_proto::{AckMode, BrokerId, Compression, ProducerId, TopicPartition};
 use s2g_sim::{
     CpuHandle, HostCpu, LedgerHandle, MemLedger, MemSlot, ProcessId, Sim, SimDuration, SimStats,
     SimTime,
@@ -486,6 +486,7 @@ pub struct Scenario {
     store_replication: usize,
     partition_replication: Option<u32>,
     acks_override: Option<AckMode>,
+    batching: BatchingOverrides,
     transactional_sinks: bool,
     spe_jobs: Vec<(String, SpeJobSpec)>,
     producers: Vec<(String, SourceSpec, ProducerConfig)>,
@@ -526,6 +527,7 @@ impl Scenario {
             store_replication: 1,
             partition_replication: None,
             acks_override: None,
+            batching: BatchingOverrides::default(),
             transactional_sinks: false,
             spe_jobs: Vec::new(),
             producers: Vec::new(),
@@ -785,6 +787,44 @@ impl Scenario {
     /// so a leader crash after the ack cannot lose the record.
     pub fn with_acks(&mut self, acks: AckMode) -> &mut Self {
         self.acks_override = Some(acks);
+        self
+    }
+
+    /// Enables or disables producer batching for **every** producer —
+    /// standalone stubs and embedded SPE sink producers. Batching is on by
+    /// default; `with_batching(false)` degrades producers to one record per
+    /// produce request (batch of 1, zero linger), which pays the full
+    /// per-request broker CPU and RPC framing for every record — the
+    /// baseline the `hotpath` micro-bench compares against.
+    pub fn with_batching(&mut self, on: bool) -> &mut Self {
+        self.batching.disabled = !on;
+        self
+    }
+
+    /// Overrides every producer's linger (the wait for more records before
+    /// a partial batch is sent, Kafka `linger.ms`).
+    pub fn linger_ms(&mut self, ms: u64) -> &mut Self {
+        self.batching.linger = Some(SimDuration::from_millis(ms));
+        self
+    }
+
+    /// Overrides every producer's batch byte threshold (Kafka
+    /// `batch.size`): a batch is sealed as soon as this many record bytes
+    /// accumulate, even before the linger elapses.
+    pub fn batch_max_bytes(&mut self, bytes: usize) -> &mut Self {
+        self.batching.max_bytes = Some(bytes);
+        self
+    }
+
+    /// Enables batch compression on every producer: sealed batches carry
+    /// fewer bytes on every hop (produce, replication, fetch) in exchange
+    /// for compress CPU at the producer and decompress CPU at consumers.
+    pub fn with_compression(&mut self, on: bool) -> &mut Self {
+        self.batching.compression = Some(if on {
+            Compression::Lz4
+        } else {
+            Compression::None
+        });
         self
     }
 
@@ -1219,6 +1259,9 @@ impl Scenario {
     /// Returns a [`ScenarioError`] when the description is inconsistent.
     pub fn run(mut self) -> Result<RunResult, ScenarioError> {
         self.validate()?;
+        // Baseline for the zero-copy regression gate: any delta over the
+        // run means some path deep-copied a shared RecordBatch.
+        let batch_copies_before = s2g_proto::shared_batch_copies();
         // Auto-declare the intermediate shuffle topics of parallel jobs
         // (before controllers are built — they own topic creation). One
         // topic per stage boundary, with exactly `key_groups` partitions so
@@ -1519,6 +1562,7 @@ impl Scenario {
             if let Some(acks) = self.acks_override {
                 cfg.producer.acks = acks;
             }
+            self.batching.apply(&mut cfg.producer);
             let meta = SpeJobMeta {
                 name: job.name.clone(),
                 host: host.clone(),
@@ -1586,6 +1630,7 @@ impl Scenario {
             if let Some(acks) = self.acks_override {
                 cfg.acks = acks;
             }
+            self.batching.apply(&mut cfg);
             let base = self.mem_model.producer_base
                 + (cfg.buffer_memory as f64 * self.mem_model.producer_heap_factor) as u64;
             let slot = ledger.borrow_mut().register(format!("producer-{i}"), base);
@@ -2178,6 +2223,13 @@ impl Scenario {
             self.server.cores,
         );
 
+        // The data plane is designed so no hop ever deep-copies a shared
+        // batch (producers retry Arc clones, brokers borrow, followers are
+        // sole owners); surface the run's delta so tests and the CI perf
+        // gate can assert it stayed zero.
+        let shared_batch_copies = s2g_proto::shared_batch_copies() - batch_copies_before;
+        tele.counter_add("runtime", "shared_batch_copies", shared_batch_copies);
+
         let metric_series: Vec<MetricSeries> = tele.series().all().to_vec();
 
         let report = RunReport {
@@ -2196,6 +2248,7 @@ impl Scenario {
             cpu_series,
             tx_series,
             metric_series,
+            shared_batch_copies,
         };
 
         Ok(RunResult {
@@ -2214,6 +2267,39 @@ impl Scenario {
             telemetry: tele,
             report,
         })
+    }
+}
+
+/// Scenario-wide batching overrides applied to every producer config
+/// (standalone stubs and embedded SPE sink producers).
+#[derive(Debug, Clone, Copy, Default)]
+struct BatchingOverrides {
+    /// `with_batching(false)`: collapse to one record per produce request.
+    disabled: bool,
+    linger: Option<SimDuration>,
+    max_bytes: Option<usize>,
+    compression: Option<Compression>,
+}
+
+impl BatchingOverrides {
+    fn apply(&self, cfg: &mut ProducerConfig) {
+        if let Some(l) = self.linger {
+            cfg.linger = l;
+        }
+        if let Some(b) = self.max_bytes {
+            cfg.batch_max_bytes = b;
+        }
+        if let Some(c) = self.compression {
+            cfg.compression = c;
+        }
+        if self.disabled {
+            // Per-record requests: every record pays the full request
+            // overhead. Compression is pointless on batches of one.
+            cfg.batch_max_records = 1;
+            cfg.batch_max_bytes = 1;
+            cfg.linger = SimDuration::ZERO;
+            cfg.compression = Compression::None;
+        }
     }
 }
 
@@ -2862,6 +2948,12 @@ pub struct RunReport {
     /// per partition, per-instance record counts, broker log/LSO gauges,
     /// checkpoint counters, store op-log lengths, host CPU occupancy.
     pub metric_series: Vec<MetricSeries>,
+    /// Times a shared [`RecordBatch`](s2g_proto::RecordBatch) had to be
+    /// deep-copied during the run. The batch-first data plane keeps this at
+    /// zero; a regression that reintroduces per-consumer record cloning
+    /// shows up here (also exported as the `runtime/shared_batch_copies`
+    /// telemetry counter).
+    pub shared_batch_copies: u64,
 }
 
 impl RunReport {

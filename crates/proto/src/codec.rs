@@ -27,6 +27,27 @@ pub fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
     out.extend_from_slice(b);
 }
 
+/// Appends a LEB128 unsigned varint (7 bits per byte, high bit continues).
+/// Small values — the offset and timestamp deltas batch frames are built
+/// from — take one byte instead of eight.
+pub fn put_uvarint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Appends a zigzag-encoded signed varint (small magnitudes of either sign
+/// stay short).
+pub fn put_svarint(out: &mut Vec<u8>, v: i64) {
+    put_uvarint(out, ((v << 1) ^ (v >> 63)) as u64);
+}
+
 /// Appends a length-prefixed UTF-8 string.
 pub fn put_str(out: &mut Vec<u8>, s: &str) {
     put_bytes(out, s.as_bytes());
@@ -80,6 +101,25 @@ impl<'a> Cursor<'a> {
             .map(|s| u64::from_le_bytes(s.try_into().unwrap()))
     }
 
+    /// Reads a LEB128 unsigned varint (rejects encodings past 10 bytes).
+    pub fn uvarint(&mut self) -> Option<u64> {
+        let mut v: u64 = 0;
+        for shift in (0..64).step_by(7) {
+            let b = self.u8()?;
+            v |= u64::from(b & 0x7f) << shift;
+            if b & 0x80 == 0 {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    /// Reads a zigzag-encoded signed varint.
+    pub fn svarint(&mut self) -> Option<i64> {
+        let z = self.uvarint()?;
+        Some(((z >> 1) as i64) ^ -((z & 1) as i64))
+    }
+
     /// Reads a length-prefixed byte string.
     pub fn bytes(&mut self) -> Option<&'a [u8]> {
         let n = self.u32()? as usize;
@@ -113,6 +153,37 @@ mod tests {
         assert_eq!(cur.str().as_deref(), Some("topic-a"));
         assert_eq!(cur.position(), out.len());
         assert_eq!(cur.u8(), None, "exhausted cursor yields None");
+    }
+
+    #[test]
+    fn varints_round_trip() {
+        let cases: [u64; 7] = [0, 1, 127, 128, 300, u32::MAX as u64, u64::MAX];
+        let mut out = Vec::new();
+        for v in cases {
+            put_uvarint(&mut out, v);
+        }
+        let scases: [i64; 6] = [0, -1, 1, -64, 1 << 40, i64::MIN];
+        for v in scases {
+            put_svarint(&mut out, v);
+        }
+        let mut cur = Cursor::new(&out);
+        for v in cases {
+            assert_eq!(cur.uvarint(), Some(v));
+        }
+        for v in scases {
+            assert_eq!(cur.svarint(), Some(v));
+        }
+        assert_eq!(cur.position(), out.len());
+        // Small values really are small on the wire.
+        let mut one = Vec::new();
+        put_uvarint(&mut one, 100);
+        assert_eq!(one.len(), 1);
+    }
+
+    #[test]
+    fn overlong_varint_is_rejected() {
+        let mut cur = Cursor::new(&[0xff; 11]);
+        assert_eq!(cur.uvarint(), None);
     }
 
     #[test]

@@ -8,13 +8,17 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod codec;
 pub mod hash;
 mod record;
 mod rpc;
 
+pub use batch::{put_frame_record, read_frame_record, BATCH_FRAME_VERSION};
 pub use hash::{fnv1a, key_group, owner_of_group, partition_for_key};
-pub use record::{Offset, ProducerId, Record, RecordBatch, TopicPartition};
+pub use record::{
+    shared_batch_copies, Compression, Offset, ProducerId, Record, RecordBatch, TopicPartition,
+};
 pub use rpc::{
     AckMode, BrokerId, ClientRpc, ControllerRpc, CorrelationId, ErrorCode, LeaderEpoch,
     MetadataRecord, PartitionMetadata, RaftRpc, ReplicaRpc, RPC_OVERHEAD,

@@ -1,6 +1,8 @@
 //! Records, offsets, and batches — the data plane vocabulary.
 
+use std::cell::Cell;
 use std::fmt;
+use std::sync::Arc;
 
 use bytes::Bytes;
 use s2g_sim::SimTime;
@@ -151,11 +153,93 @@ impl Record {
     }
 }
 
+/// The batch compression codec. The simulator never mutates payload bytes;
+/// a codec is a deterministic cost model: the batch shrinks on the wire by
+/// the codec's ratio and the compressing/decompressing ends pay CPU per
+/// payload byte (configured on the producer/consumer). That preserves
+/// byte-exact record delivery while exposing the real trade — fewer network
+/// bytes against more endpoint CPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Compression {
+    /// Records travel at their raw encoded size.
+    #[default]
+    None,
+    /// An LZ4-class codec: payload bytes shrink to ~60% on the wire, at a
+    /// few ns of CPU per byte on each end.
+    Lz4,
+}
+
+impl Compression {
+    /// True for [`Compression::None`].
+    pub fn is_none(self) -> bool {
+        self == Compression::None
+    }
+
+    /// Simulated on-the-wire size of `n` record bytes under this codec.
+    pub fn compressed_len(self, n: usize) -> usize {
+        match self {
+            Compression::None => n,
+            Compression::Lz4 => {
+                if n == 0 {
+                    0
+                } else {
+                    n * 60 / 100 + 1
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Compression {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Compression::None => write!(f, "none"),
+            Compression::Lz4 => write!(f, "lz4"),
+        }
+    }
+}
+
+thread_local! {
+    /// Deep copies of *shared* batches (see
+    /// [`RecordBatch::into_records`]). The data plane is designed so this
+    /// never fires: senders keep an `Arc` clone for retries, receivers
+    /// iterate in place or inherit sole ownership. `tests/batching.rs`
+    /// asserts the count stays zero across monitored runs, so a reintroduced
+    /// per-consumer copy fails CI instead of silently costing memory.
+    static SHARED_BATCH_COPIES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Cumulative count of deep copies made from shared batches on this thread.
+pub fn shared_batch_copies() -> u64 {
+    SHARED_BATCH_COPIES.with(Cell::get)
+}
+
 /// A batch of records bound for (or fetched from) one partition.
+///
+/// The record set is reference counted: cloning a batch (a producer keeping
+/// its retry copy next to the in-flight request, a broker handing the same
+/// fetched run to many consumers) bumps an `Arc` instead of duplicating
+/// records, and the payloads inside are [`Bytes`] — themselves shared — so
+/// a record travels producer→broker→consumer→operator as one allocation.
+///
+/// # Examples
+///
+/// ```
+/// use s2g_proto::{Record, RecordBatch};
+/// use s2g_sim::SimTime;
+///
+/// let batch = RecordBatch::from_records(vec![
+///     Record::keyless("a", SimTime::ZERO),
+///     Record::keyless("b", SimTime::ZERO),
+/// ]);
+/// let retry_copy = batch.clone(); // refcount bump, not a record copy
+/// assert_eq!(batch.share_count(), 2);
+/// assert_eq!(retry_copy.records().len(), 2);
+/// ```
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct RecordBatch {
-    /// The records, in append order.
-    pub records: Vec<Record>,
+    records: Arc<Vec<Record>>,
+    compression: Compression,
 }
 
 /// Per-batch framing overhead, approximating Kafka's batch header.
@@ -167,9 +251,35 @@ impl RecordBatch {
         Self::default()
     }
 
-    /// Wraps a record list.
+    /// Seals a record list into a shareable batch.
     pub fn from_records(records: Vec<Record>) -> Self {
-        RecordBatch { records }
+        RecordBatch {
+            records: Arc::new(records),
+            compression: Compression::None,
+        }
+    }
+
+    /// Marks the batch as compressed under `codec` (builder style). The
+    /// records themselves are untouched — compression is a wire-size and
+    /// CPU cost model, not a byte transform.
+    pub fn with_compression(mut self, codec: Compression) -> Self {
+        self.compression = codec;
+        self
+    }
+
+    /// The codec this batch travels under.
+    pub fn compression(&self) -> Compression {
+        self.compression
+    }
+
+    /// The records, in append order.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Iterates the records in place.
+    pub fn iter(&self) -> std::slice::Iter<'_, Record> {
+        self.records.iter()
     }
 
     /// Number of records.
@@ -182,23 +292,47 @@ impl RecordBatch {
         self.records.is_empty()
     }
 
-    /// Total size on the wire, framing included.
+    /// Total uncompressed size, framing included.
     pub fn encoded_len(&self) -> usize {
-        BATCH_OVERHEAD + self.records.iter().map(Record::encoded_len).sum::<usize>()
+        BATCH_OVERHEAD + self.record_bytes()
+    }
+
+    /// Size on the wire: the batch header plus the record bytes after the
+    /// codec's ratio. Equal to [`encoded_len`](Self::encoded_len) for
+    /// uncompressed batches.
+    pub fn wire_len(&self) -> usize {
+        BATCH_OVERHEAD + self.compression.compressed_len(self.record_bytes())
+    }
+
+    /// Record bytes without the batch header.
+    pub fn record_bytes(&self) -> usize {
+        self.records.iter().map(Record::encoded_len).sum()
+    }
+
+    /// How many handles share this batch's record set (1 = sole owner).
+    pub fn share_count(&self) -> usize {
+        Arc::strong_count(&self.records)
+    }
+
+    /// Takes the records out. Free when this handle is the sole owner (the
+    /// usual case: a freshly built batch moved through one channel);
+    /// otherwise falls back to a deep copy and counts it in
+    /// [`shared_batch_copies`] so hot paths that regress to copying are
+    /// caught by tests.
+    pub fn into_records(self) -> Vec<Record> {
+        match Arc::try_unwrap(self.records) {
+            Ok(v) => v,
+            Err(shared) => {
+                SHARED_BATCH_COPIES.with(|c| c.set(c.get() + 1));
+                (*shared).clone()
+            }
+        }
     }
 }
 
 impl FromIterator<Record> for RecordBatch {
     fn from_iter<I: IntoIterator<Item = Record>>(iter: I) -> Self {
-        RecordBatch {
-            records: iter.into_iter().collect(),
-        }
-    }
-}
-
-impl Extend<Record> for RecordBatch {
-    fn extend<I: IntoIterator<Item = Record>>(&mut self, iter: I) {
-        self.records.extend(iter);
+        RecordBatch::from_records(iter.into_iter().collect())
     }
 }
 
@@ -206,7 +340,15 @@ impl IntoIterator for RecordBatch {
     type Item = Record;
     type IntoIter = std::vec::IntoIter<Record>;
     fn into_iter(self) -> Self::IntoIter {
-        self.records.into_iter()
+        self.into_records().into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a RecordBatch {
+    type Item = &'a Record;
+    type IntoIter = std::slice::Iter<'a, Record>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.records.iter()
     }
 }
 
@@ -257,14 +399,54 @@ mod tests {
     }
 
     #[test]
-    fn batch_extend_and_iter() {
-        let mut b = RecordBatch::new();
-        assert!(b.is_empty());
-        b.extend([
+    fn batch_collect_and_iter() {
+        let b: RecordBatch = [
             Record::keyless("a", SimTime::ZERO),
             Record::keyless("b", SimTime::ZERO),
-        ]);
+        ]
+        .into_iter()
+        .collect();
+        assert!(!b.is_empty());
         let values: Vec<String> = b.into_iter().map(|r| r.value_utf8()).collect();
         assert_eq!(values, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn batch_clone_shares_instead_of_copying() {
+        let b = RecordBatch::from_records(vec![Record::keyless(vec![0u8; 1024], SimTime::ZERO)]);
+        assert_eq!(b.share_count(), 1);
+        let c = b.clone();
+        assert_eq!(b.share_count(), 2);
+        assert!(std::ptr::eq(b.records().as_ptr(), c.records().as_ptr()));
+        // Sole-owner unwrap is free and uncounted.
+        drop(b);
+        let before = shared_batch_copies();
+        let v = c.into_records();
+        assert_eq!(v.len(), 1);
+        assert_eq!(shared_batch_copies(), before);
+    }
+
+    #[test]
+    fn shared_unwrap_is_counted() {
+        let b = RecordBatch::from_records(vec![Record::keyless("x", SimTime::ZERO)]);
+        let keep = b.clone();
+        let before = shared_batch_copies();
+        let _ = b.into_records();
+        assert_eq!(shared_batch_copies(), before + 1);
+        assert_eq!(keep.len(), 1);
+    }
+
+    #[test]
+    fn compression_shrinks_wire_size_only() {
+        let b = RecordBatch::from_records(vec![Record::keyless(vec![7u8; 1000], SimTime::ZERO)]);
+        let plain = b.clone();
+        let zipped = b.with_compression(Compression::Lz4);
+        assert_eq!(zipped.encoded_len(), plain.encoded_len());
+        assert!(zipped.wire_len() < plain.wire_len());
+        assert_eq!(plain.wire_len(), plain.encoded_len());
+        // The records themselves are untouched.
+        assert_eq!(zipped.records(), plain.records());
+        assert_eq!(Compression::Lz4.compressed_len(0), 0);
+        assert_eq!(Compression::None.compressed_len(500), 500);
     }
 }

@@ -352,12 +352,12 @@ impl Message for ClientRpc {
         RPC_OVERHEAD
             + match self {
                 ClientRpc::ProduceRequest { tp, batch, .. } => {
-                    tp.topic.len() + 8 + batch.encoded_len()
+                    tp.topic.len() + 8 + batch.wire_len()
                 }
                 ClientRpc::ProduceResponse { tp, .. } => tp.topic.len() + 16,
                 ClientRpc::FetchRequest { tp, .. } => tp.topic.len() + 20,
                 ClientRpc::FetchResponse { tp, batch, .. } => {
-                    tp.topic.len() + 24 + batch.encoded_len()
+                    tp.topic.len() + 24 + batch.wire_len()
                 }
                 ClientRpc::MetadataRequest { .. } => 4,
                 ClientRpc::MetadataResponse { partitions, .. } => {
@@ -485,7 +485,7 @@ impl Message for ReplicaRpc {
                     tp.topic.len()
                         + 32
                         + batch.len() * 8
-                        + batch.encoded_len()
+                        + batch.wire_len()
                         + txn_ongoing.len() * 32
                         + txn_aborted.len() * 16
                         + producer_seqs.len() * 16

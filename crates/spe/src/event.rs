@@ -127,6 +127,43 @@ impl Value {
         }
     }
 
+    /// Walks one encoded value without building it: the same bytes, tags,
+    /// and UTF-8 checks as [`decode_from`](Value::decode_from), but zero
+    /// allocation. Succeeds exactly when `decode_from` would.
+    fn validate_from(buf: &[u8], pos: &mut usize) -> Result<(), CodecError> {
+        let tag = *buf.get(*pos).ok_or(CodecError::Truncated)?;
+        *pos += 1;
+        match tag {
+            0 => Ok(()),
+            1 => {
+                buf.get(*pos).ok_or(CodecError::Truncated)?;
+                *pos += 1;
+                Ok(())
+            }
+            2 | 3 => {
+                read_n::<8>(buf, pos)?;
+                Ok(())
+            }
+            4 => validate_str(buf, pos),
+            5 => {
+                let n = read_len(buf, pos)?;
+                for _ in 0..n {
+                    Value::validate_from(buf, pos)?;
+                }
+                Ok(())
+            }
+            6 => {
+                let n = read_len(buf, pos)?;
+                for _ in 0..n {
+                    validate_str(buf, pos)?;
+                    Value::validate_from(buf, pos)?;
+                }
+                Ok(())
+            }
+            t => Err(CodecError::BadTag(t)),
+        }
+    }
+
     fn decode_from(buf: &[u8], pos: &mut usize) -> Result<Value, CodecError> {
         let tag = *buf.get(*pos).ok_or(CodecError::Truncated)?;
         *pos += 1;
@@ -270,6 +307,18 @@ fn read_str(buf: &[u8], pos: &mut usize) -> Result<String, CodecError> {
     String::from_utf8(slice.to_vec()).map_err(|_| CodecError::Truncated)
 }
 
+/// Skips one length-prefixed string, applying the same UTF-8 validation as
+/// [`read_str`] without allocating.
+fn validate_str(buf: &[u8], pos: &mut usize) -> Result<(), CodecError> {
+    let n = read_len(buf, pos)?;
+    let end = *pos + n;
+    let slice = buf.get(*pos..end).ok_or(CodecError::Truncated)?;
+    *pos = end;
+    std::str::from_utf8(slice)
+        .map(|_| ())
+        .map_err(|_| CodecError::Truncated)
+}
+
 /// One event flowing through a stream job.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Event {
@@ -364,6 +413,28 @@ impl Event {
             source: flag >> 1,
         })
     }
+
+    /// Reads just the `origin` timestamp out of an encoded event without
+    /// allocating anything — the monitor's per-record hot path. Performs
+    /// the full validating walk [`from_bytes`](Event::from_bytes) does
+    /// (magic, key and string UTF-8, value tags), so it returns `Some`
+    /// exactly when `from_bytes` would return `Ok`.
+    pub fn peek_origin(buf: &[u8]) -> Option<SimTime> {
+        let mut pos = 0;
+        if *buf.first()? != 0xE7 {
+            return None;
+        }
+        pos += 1;
+        let flag = *buf.get(pos)?;
+        pos += 1;
+        if flag & 1 == 1 {
+            validate_str(buf, &mut pos).ok()?;
+        }
+        read_n::<8>(buf, &mut pos).ok()?; // ts
+        let origin = SimTime::from_nanos(u64::from_le_bytes(read_n::<8>(buf, &mut pos).ok()?));
+        Value::validate_from(buf, &mut pos).ok()?;
+        Some(origin)
+    }
 }
 
 #[cfg(test)]
@@ -427,6 +498,41 @@ mod tests {
         let last = bytes.len() - 1;
         bytes[last] = 99;
         assert_eq!(Event::from_bytes(&bytes), Err(CodecError::BadTag(99)));
+    }
+
+    #[test]
+    fn peek_origin_mirrors_from_bytes() {
+        let e = Event::new(
+            Value::map([
+                ("a", Value::Int(1)),
+                (
+                    "b",
+                    Value::List(vec![Value::Str("deep".into()), Value::Null]),
+                ),
+            ]),
+            SimTime::from_millis(123),
+        )
+        .with_key("k1")
+        .with_origin(SimTime::from_millis(77));
+        let bytes = e.to_bytes();
+        assert_eq!(Event::peek_origin(&bytes), Some(SimTime::from_millis(77)));
+        // Agreement on every truncation: peek succeeds iff decode does.
+        for cut in 0..bytes.len() {
+            assert_eq!(
+                Event::peek_origin(&bytes[..cut]).is_some(),
+                Event::from_bytes(&bytes[..cut]).is_ok(),
+                "cut at {cut}"
+            );
+        }
+        // And on malformed tags / wrong magic.
+        let mut bad_tag = bytes.clone();
+        let last = bad_tag.len() - 1;
+        bad_tag[last] = 99;
+        assert_eq!(Event::peek_origin(&bad_tag), None);
+        let mut bad_magic = bytes;
+        bad_magic[0] = 0;
+        assert_eq!(Event::peek_origin(&bad_magic), None);
+        assert_eq!(Event::peek_origin(b"raw payload"), None);
     }
 
     #[test]

@@ -105,6 +105,14 @@ impl Telemetry {
             .observe_in(scope, name, bytes as f64, Histogram::bytes);
     }
 
+    /// Records a count sample (batch sizes, records per request) into a
+    /// histogram with [`Histogram::counts`] buckets.
+    pub fn observe_count(&self, scope: &str, name: &str, n: u64) {
+        self.registry
+            .borrow_mut()
+            .observe_in(scope, name, n as f64, Histogram::counts);
+    }
+
     /// Records a point trace event.
     pub fn trace_instant(&self, at: SimTime, scope: &str, name: &str, cat: &'static str) {
         self.tracer.borrow_mut().instant(at, scope, name, cat);

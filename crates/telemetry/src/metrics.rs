@@ -130,6 +130,12 @@ impl Histogram {
         Histogram::with_bounds(log_bounds(64.0, 9 * 5))
     }
 
+    /// Log-spaced count buckets from 1 to ~10M (5 per decade) — batch
+    /// sizes, records per request, queue depths.
+    pub fn counts() -> Self {
+        Histogram::with_bounds(log_bounds(1.0, 7 * 5))
+    }
+
     /// Records one sample.
     pub fn observe(&mut self, v: f64) {
         self.sum += v;

@@ -4,7 +4,7 @@
 
 use s2g_bench::{
     broker_recovery_sweep, compaction_sweep, fig5_sweep, fig6_run, fig7a_sweep, fig7b_sweep,
-    fig8_sweep, fig9_sweep, scaling_sweep, Component, Scale,
+    fig8_sweep, fig9_sweep, hotpath_sweep, scaling_sweep, throughput_sweep, Component, Scale,
 };
 use stream2gym::broker::CoordinationMode;
 
@@ -392,6 +392,83 @@ fn scaling_throughput_is_monotone_in_parallelism() {
         "a single-instance crash must not halve a 4-way job: {:.1} vs {:.1}",
         p4.crash_throughput_rps,
         p4.throughput_rps
+    );
+}
+
+/// Hotpath bench (`--bench hotpath`): batching buys at least the 3x the
+/// acceptance gate demands over the one-record-per-request baseline, at a
+/// far lower produce p99, with the zero-copy data plane intact. These are
+/// the same numbers CI's `perf-gate` job checks against the committed
+/// floor file, so a regression fails here first.
+#[test]
+fn hotpath_batching_beats_unbatched_by_3x() {
+    let points = hotpath_sweep(Scale::Smoke, 11);
+    assert_eq!(points.len(), 5);
+    let unbatched = points
+        .iter()
+        .find(|p| p.setting == "unbatched")
+        .expect("baseline point");
+    assert!(unbatched.records_per_sec > 0.0);
+    let best = points
+        .iter()
+        .filter(|p| p.setting != "unbatched")
+        .map(|p| p.records_per_sec)
+        .fold(0.0f64, f64::max);
+    assert!(
+        best >= unbatched.records_per_sec * 3.0,
+        "batching must buy >= 3x simulated records/s: {:.1} vs {:.1}",
+        best,
+        unbatched.records_per_sec
+    );
+    for p in &points {
+        assert!(
+            p.records_per_sec.is_finite() && p.records_per_sec > 0.0,
+            "{}: throughput measured",
+            p.setting
+        );
+        assert_eq!(p.shared_batch_copies, 0, "{}: zero-copy holds", p.setting);
+        if p.setting != "unbatched" {
+            assert!(
+                p.produce_p99_ms < unbatched.produce_p99_ms,
+                "{}: batched produce p99 must beat the saturated baseline",
+                p.setting
+            );
+        }
+    }
+}
+
+/// Throughput figure (`--fig throughput`): across the batching grid, big
+/// batches beat small ones at the saturating offered rate, and every point
+/// is measurable.
+#[test]
+fn throughput_grows_with_batch_size() {
+    let points = throughput_sweep(Scale::Smoke, 11);
+    assert!(!points.is_empty());
+    for p in &points {
+        assert!(
+            p.records_per_sec.is_finite() && p.records_per_sec > 0.0,
+            "{} B / {} ms: throughput measured",
+            p.batch_max_bytes,
+            p.linger_ms
+        );
+        assert!(p.produce_p99_ms.is_finite());
+    }
+    let rps_at = |bytes: usize, compression: bool| {
+        points
+            .iter()
+            .filter(|p| p.batch_max_bytes == bytes && p.compression == compression)
+            .map(|p| p.records_per_sec)
+            .fold(0.0f64, f64::max)
+    };
+    assert!(
+        rps_at(65_536, false) > rps_at(1_024, false),
+        "64 KiB batches must out-run 1 KiB batches at saturation: {:.1} vs {:.1}",
+        rps_at(65_536, false),
+        rps_at(1_024, false)
+    );
+    assert!(
+        rps_at(65_536, true) > rps_at(1_024, false),
+        "compressed 64 KiB batches still beat small plain batches"
     );
 }
 
