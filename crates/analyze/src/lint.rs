@@ -1,0 +1,811 @@
+//! The determinism source linter behind the `s2g-lint` binary.
+//!
+//! The build environment has no crates.io access, so this is a hand-rolled
+//! **token scan**, not an AST pass (no `syn`, no dylint): comments and
+//! string-literal contents are stripped, `#[cfg(test)]` blocks are
+//! skipped, and the rules below match on what remains. That catches the
+//! hazard classes that have actually bitten this codebase while staying
+//! dependency-free; it also means a sufficiently creative alias can evade
+//! it — the linter is a tripwire, not a proof.
+//!
+//! Rules (configured in `lint.toml`, deny/warn tiers per rule):
+//!
+//! * `wall-clock` — `SystemTime`/`Instant::now`/`UNIX_EPOCH`: real time
+//!   observed inside a simulated timeline breaks same-seed reproducibility.
+//! * `os-entropy` — `thread_rng`/`OsRng`/`from_entropy`/`getrandom`: OS
+//!   randomness is unseeded by definition.
+//! * `hash-iteration` — iteration over identifiers declared as
+//!   `HashMap`/`HashSet` in sim-visible paths: `RandomState` makes the
+//!   order differ per process, so any message/event sequence derived from
+//!   it diverges across runs.
+//! * `unchecked-narrowing` — `as u8`/`as u16`/`as u32` in codec paths:
+//!   silent truncation corrupts framing; `try_from` makes it loud.
+//!
+//! A finding is suppressed by an escape comment on the same or preceding
+//! line, which must carry a justification:
+//!
+//! ```text
+//! // s2g-lint: allow(hash-iteration) — drained into a BTreeMap first
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Severity tier of a lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LintLevel {
+    /// Report but never fail the build.
+    Warn,
+    /// Fail `s2g-lint --deny`.
+    Deny,
+}
+
+impl fmt::Display for LintLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LintLevel::Warn => write!(f, "warn"),
+            LintLevel::Deny => write!(f, "deny"),
+        }
+    }
+}
+
+/// Per-rule configuration.
+#[derive(Debug, Clone)]
+pub struct RuleConfig {
+    /// Severity; `None` disables the rule.
+    pub level: Option<LintLevel>,
+    /// When non-empty, the rule only applies to files whose (forward-slash)
+    /// path contains one of these substrings.
+    pub paths: Vec<String>,
+}
+
+/// The linter configuration (`lint.toml`).
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// Directories scanned, relative to the root passed to [`lint`].
+    pub roots: Vec<String>,
+    /// Path substrings excluded from every rule.
+    pub exclude: Vec<String>,
+    /// Per-rule settings, keyed by rule name.
+    pub rules: BTreeMap<String, RuleConfig>,
+}
+
+/// The four rule names, in catalog order.
+pub const RULE_NAMES: [&str; 4] = [
+    "wall-clock",
+    "os-entropy",
+    "hash-iteration",
+    "unchecked-narrowing",
+];
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        let mut rules = BTreeMap::new();
+        for name in RULE_NAMES {
+            rules.insert(
+                name.to_string(),
+                RuleConfig {
+                    level: Some(LintLevel::Deny),
+                    paths: Vec::new(),
+                },
+            );
+        }
+        LintConfig {
+            roots: vec!["crates".into(), "src".into()],
+            exclude: vec![
+                "vendor/".into(),
+                "/target/".into(),
+                "/tests/".into(),
+                "/examples/".into(),
+            ],
+            rules,
+        }
+    }
+}
+
+impl LintConfig {
+    /// Parses the `lint.toml` subset this linter uses: `[lint]` with
+    /// `roots`/`exclude` string arrays, and `[rules.<name>]` sections with
+    /// a `level` string (`"deny"`, `"warn"`, `"off"`) and an optional
+    /// `paths` string array.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first malformed line.
+    pub fn parse(text: &str) -> Result<LintConfig, String> {
+        let mut cfg = LintConfig::default();
+        let mut section = String::new();
+        // Fold multi-line arrays into one logical line (kept with the line
+        // number of their first physical line, for error messages).
+        let mut logical: Vec<(usize, String)> = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let trimmed = raw.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let open = |s: &str| s.matches('[').count() > s.matches(']').count() && s.contains('=');
+            match logical.last_mut() {
+                Some((_, prev)) if open(prev) => {
+                    prev.push(' ');
+                    prev.push_str(trimmed);
+                }
+                _ => logical.push((i, trimmed.to_string())),
+            }
+        }
+        for (i, raw) in logical {
+            let line = raw.as_str();
+            let err = |m: &str| format!("lint.toml line {}: {m}", i + 1);
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                section = name.trim().to_string();
+                if section != "lint" && section.strip_prefix("rules.").is_none() {
+                    return Err(err("unknown section"));
+                }
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(err("expected `key = value`"));
+            };
+            let (key, value) = (key.trim(), value.trim());
+            match (section.as_str(), key) {
+                ("lint", "roots") => {
+                    cfg.roots = parse_str_array(value).ok_or_else(|| err("bad array"))?
+                }
+                ("lint", "exclude") => {
+                    cfg.exclude = parse_str_array(value).ok_or_else(|| err("bad array"))?;
+                }
+                (s, k) => {
+                    let Some(rule) = s.strip_prefix("rules.") else {
+                        return Err(err("key outside a known section"));
+                    };
+                    if !RULE_NAMES.contains(&rule) {
+                        return Err(err("unknown rule"));
+                    }
+                    let entry = cfg.rules.get_mut(rule).expect("default rules are complete");
+                    match k {
+                        "level" => {
+                            entry.level = match parse_str(value).as_deref() {
+                                Some("deny") => Some(LintLevel::Deny),
+                                Some("warn") => Some(LintLevel::Warn),
+                                Some("off") => None,
+                                _ => return Err(err("level must be deny|warn|off")),
+                            };
+                        }
+                        "paths" => {
+                            entry.paths = parse_str_array(value).ok_or_else(|| err("bad array"))?;
+                        }
+                        _ => return Err(err("unknown rule key")),
+                    }
+                }
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+/// Parses `"a"` → `a`.
+fn parse_str(v: &str) -> Option<String> {
+    v.strip_prefix('"')?.strip_suffix('"').map(str::to_string)
+}
+
+/// Parses `["a", "b"]` (possibly with a trailing comma).
+fn parse_str_array(v: &str) -> Option<Vec<String>> {
+    let inner = v.strip_prefix('[')?.strip_suffix(']')?;
+    let mut out = Vec::new();
+    for item in inner.split(',') {
+        let item = item.trim();
+        if item.is_empty() {
+            continue;
+        }
+        out.push(parse_str(item)?);
+    }
+    Some(out)
+}
+
+/// One finding.
+#[derive(Debug, Clone)]
+pub struct LintFinding {
+    /// File, relative to the scanned root.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Rule name.
+    pub rule: String,
+    /// Severity (from the config).
+    pub level: LintLevel,
+    /// What was matched and why it is a hazard.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+impl fmt::Display for LintFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}[{}]: {}\n    {}",
+            self.path, self.line, self.level, self.rule, self.message, self.snippet
+        )
+    }
+}
+
+/// Everything one scan produced.
+#[derive(Debug, Clone, Default)]
+pub struct LintReport {
+    /// All findings, in path/line order.
+    pub findings: Vec<LintFinding>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// True when a deny-tier finding is present.
+    pub fn has_deny(&self) -> bool {
+        self.findings.iter().any(|f| f.level == LintLevel::Deny)
+    }
+
+    /// Machine-readable JSON.
+    pub fn to_json(&self) -> String {
+        let mut s = format!("{{\"files_scanned\":{},\"findings\":[", self.files_scanned);
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"path\":{},\"line\":{},\"rule\":{},\"level\":{},\"message\":{}}}",
+                crate::json_str(&f.path),
+                f.line,
+                crate::json_str(&f.rule),
+                crate::json_str(&f.level.to_string()),
+                crate::json_str(&f.message),
+            ));
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+/// Scans every configured root under `root` and returns the findings.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from the walk.
+pub fn lint(root: &Path, cfg: &LintConfig) -> std::io::Result<LintReport> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    for r in &cfg.roots {
+        collect_rs_files(&root.join(r), &mut files)?;
+    }
+    files.sort();
+    let mut report = LintReport::default();
+    for f in &files {
+        let rel = f
+            .strip_prefix(root)
+            .unwrap_or(f)
+            .to_string_lossy()
+            .replace('\\', "/");
+        if cfg.exclude.iter().any(|e| rel.contains(e.as_str())) {
+            continue;
+        }
+        let text = std::fs::read_to_string(f)?;
+        report.files_scanned += 1;
+        report.findings.extend(lint_source(&rel, &text, cfg));
+    }
+    Ok(report)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints one source text. Pure — the self-tests feed fixture snippets
+/// through this directly.
+pub fn lint_source(path: &str, text: &str, cfg: &LintConfig) -> Vec<LintFinding> {
+    let raw_lines: Vec<&str> = text.lines().collect();
+    let code = strip_comments_and_strings(&raw_lines);
+    let skip = test_block_lines(&raw_lines, &code);
+    let allows: Vec<Option<AllowDirective>> = raw_lines.iter().map(|l| parse_allow(l)).collect();
+
+    let mut findings: Vec<LintFinding> = Vec::new();
+    let active = |rule: &str| -> Option<LintLevel> {
+        let rc = cfg.rules.get(rule)?;
+        let level = rc.level?;
+        if !rc.paths.is_empty() && !rc.paths.iter().any(|p| path.contains(p.as_str())) {
+            return None;
+        }
+        Some(level)
+    };
+
+    let mut push = |rule: &str, level: LintLevel, line_idx: usize, message: String| {
+        // An allow on the finding's own line or the line above suppresses
+        // it — but only when it names the rule and carries a reason.
+        for idx in [Some(line_idx), line_idx.checked_sub(1)]
+            .into_iter()
+            .flatten()
+        {
+            if let Some(a) = &allows[idx] {
+                if a.rules.iter().any(|r| r == rule) {
+                    if a.justified {
+                        return;
+                    }
+                    findings.push(LintFinding {
+                        path: path.to_string(),
+                        line: idx + 1,
+                        rule: rule.to_string(),
+                        level,
+                        message: format!(
+                            "allow({rule}) without a justification; write \
+                             `// s2g-lint: allow({rule}) — <reason>`"
+                        ),
+                        snippet: raw_lines[idx].trim().to_string(),
+                    });
+                    return;
+                }
+            }
+        }
+        findings.push(LintFinding {
+            path: path.to_string(),
+            line: line_idx + 1,
+            rule: rule.to_string(),
+            level,
+            message,
+            snippet: raw_lines[line_idx].trim().to_string(),
+        });
+    };
+
+    if let Some(level) = active("wall-clock") {
+        for (i, line) in code.iter().enumerate() {
+            if skip[i] {
+                continue;
+            }
+            for needle in ["SystemTime", "Instant::now", "UNIX_EPOCH"] {
+                if line.contains(needle) {
+                    push(
+                        "wall-clock",
+                        level,
+                        i,
+                        format!("`{needle}` reads the wall clock; sim code must use `SimTime`"),
+                    );
+                    break;
+                }
+            }
+        }
+    }
+
+    if let Some(level) = active("os-entropy") {
+        for (i, line) in code.iter().enumerate() {
+            if skip[i] {
+                continue;
+            }
+            for needle in ["thread_rng", "OsRng", "from_entropy", "getrandom"] {
+                if line.contains(needle) {
+                    push(
+                        "os-entropy",
+                        level,
+                        i,
+                        format!(
+                            "`{needle}` draws OS entropy; sim code must derive from the run seed"
+                        ),
+                    );
+                    break;
+                }
+            }
+        }
+    }
+
+    if let Some(level) = active("hash-iteration") {
+        let tracked = hash_decls(&code, &skip);
+        for (i, line) in code.iter().enumerate() {
+            if skip[i] {
+                continue;
+            }
+            if let Some((name, op)) = hash_iteration_on(line, &tracked) {
+                push(
+                    "hash-iteration",
+                    level,
+                    i,
+                    format!(
+                        "`{name}` is a HashMap/HashSet and `{op}` observes its nondeterministic \
+                         order; use BTreeMap/BTreeSet or sort first"
+                    ),
+                );
+            }
+        }
+    }
+
+    if let Some(level) = active("unchecked-narrowing") {
+        for (i, line) in code.iter().enumerate() {
+            if skip[i] {
+                continue;
+            }
+            for needle in [" as u8", " as u16", " as u32"] {
+                // Require a word boundary after the type so ` as u32` does
+                // not also match ` as u32x4`-style names.
+                if let Some(pos) = line.find(needle) {
+                    let after = line[pos + needle.len()..].chars().next();
+                    if after.is_none_or(|c| !c.is_alphanumeric() && c != '_') {
+                        push(
+                            "unchecked-narrowing",
+                            level,
+                            i,
+                            format!(
+                                "unchecked `{}` narrowing in a codec path; use \
+                                 `{}::try_from(..)` so truncation is loud",
+                                needle.trim_start(),
+                                needle.trim_start().trim_start_matches("as ")
+                            ),
+                        );
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    findings.sort_by_key(|f| (f.line, f.rule.clone()));
+    findings
+}
+
+/// A parsed `s2g-lint: allow(...)` escape comment.
+struct AllowDirective {
+    rules: Vec<String>,
+    justified: bool,
+}
+
+fn parse_allow(raw_line: &str) -> Option<AllowDirective> {
+    let at = raw_line.find("s2g-lint: allow(")?;
+    let rest = &raw_line[at + "s2g-lint: allow(".len()..];
+    let close = rest.find(')')?;
+    let rules = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    let tail = rest[close + 1..].trim_matches(|c: char| c.is_whitespace() || c == '-' || c == '—');
+    Some(AllowDirective {
+        rules,
+        justified: !tail.is_empty(),
+    })
+}
+
+/// Replaces comments and string-literal *contents* with spaces, line by
+/// line, tracking block comments across lines. Keeping the quotes
+/// themselves preserves column positions well enough for snippets while
+/// guaranteeing pattern tables (like this linter's own) never self-match.
+fn strip_comments_and_strings(lines: &[&str]) -> Vec<String> {
+    let mut out = Vec::with_capacity(lines.len());
+    let mut in_block_comment = false;
+    for line in lines {
+        let mut s = String::with_capacity(line.len());
+        let bytes: Vec<char> = line.chars().collect();
+        let mut i = 0;
+        let mut in_string = false;
+        while i < bytes.len() {
+            let c = bytes[i];
+            if in_block_comment {
+                if c == '*' && bytes.get(i + 1) == Some(&'/') {
+                    in_block_comment = false;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+                continue;
+            }
+            if in_string {
+                if c == '\\' {
+                    i += 2;
+                } else {
+                    if c == '"' {
+                        in_string = false;
+                        s.push('"');
+                    }
+                    i += 1;
+                }
+                continue;
+            }
+            match c {
+                '/' if bytes.get(i + 1) == Some(&'/') => break, // rest is comment
+                '/' if bytes.get(i + 1) == Some(&'*') => {
+                    in_block_comment = true;
+                    i += 2;
+                }
+                '"' => {
+                    in_string = true;
+                    s.push('"');
+                    i += 1;
+                }
+                c => {
+                    s.push(c);
+                    i += 1;
+                }
+            }
+        }
+        out.push(s);
+    }
+    out
+}
+
+/// Marks the lines inside `#[cfg(test)] mod ... { ... }` blocks (and any
+/// other `#[cfg(test)]`-attributed item with a brace block).
+fn test_block_lines(raw_lines: &[&str], code: &[String]) -> Vec<bool> {
+    let mut skip = vec![false; raw_lines.len()];
+    let mut i = 0;
+    while i < raw_lines.len() {
+        if raw_lines[i].trim_start().starts_with("#[cfg(test)]") {
+            // Find the opening brace of the attributed item, then skip to
+            // its matching close.
+            let mut depth = 0usize;
+            let mut opened = false;
+            let mut j = i;
+            'outer: while j < code.len() {
+                skip[j] = true;
+                for c in code[j].chars() {
+                    match c {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => {
+                            depth = depth.saturating_sub(1);
+                            if opened && depth == 0 {
+                                break 'outer;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                // An attributed item with no block at all (e.g. a use
+                // declaration ending in `;`) stops at the semicolon.
+                if !opened && code[j].contains(';') {
+                    break;
+                }
+                j += 1;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    skip
+}
+
+/// Collects identifiers declared with a HashMap/HashSet type or
+/// constructor anywhere in the (non-test) file.
+fn hash_decls(code: &[String], skip: &[bool]) -> Vec<String> {
+    let mut names: Vec<String> = Vec::new();
+    for (i, line) in code.iter().enumerate() {
+        if skip[i] {
+            continue;
+        }
+        for kind in ["HashMap", "HashSet"] {
+            let mut from = 0;
+            while let Some(pos) = line[from..].find(kind) {
+                let at = from + pos;
+                from = at + kind.len();
+                // Word boundary before (allowing a `::` path prefix).
+                let before = &line[..at];
+                let after = &line[at + kind.len()..];
+                let is_type_use = after.starts_with('<');
+                let is_ctor = after.starts_with("::");
+                if !is_type_use && !is_ctor {
+                    continue;
+                }
+                if is_type_use {
+                    // `name: [path::]HashMap<` — the binding name sits
+                    // before the last *single* colon (doubles are path
+                    // separators).
+                    let trimmed = before.trim_end();
+                    let chars: Vec<char> = trimmed.chars().collect();
+                    let single_colon = (0..chars.len()).rev().find(|&i| {
+                        chars[i] == ':'
+                            && chars.get(i.wrapping_sub(1)) != Some(&':')
+                            && chars.get(i + 1) != Some(&':')
+                    });
+                    if let Some(ci) = single_colon {
+                        let head: String = chars[..ci].iter().collect();
+                        if let Some(name) = trailing_ident(head.trim_end()) {
+                            push_unique(&mut names, name);
+                        }
+                    }
+                } else if let Some(eq_head) = before.trim_end().strip_suffix('=') {
+                    // `let [mut] name = HashMap::new()` / `= HashSet::from(..)`.
+                    if let Some(name) = trailing_ident(eq_head.trim_end()) {
+                        push_unique(&mut names, name);
+                    }
+                }
+            }
+        }
+    }
+    names
+}
+
+fn push_unique(names: &mut Vec<String>, name: String) {
+    if !names.contains(&name) {
+        names.push(name);
+    }
+}
+
+/// The identifier a string ends with, if any.
+fn trailing_ident(s: &str) -> Option<String> {
+    let end = s.len();
+    let start = s
+        .rfind(|c: char| !(c.is_alphanumeric() || c == '_'))
+        .map_or(0, |p| p + c_len(s, p));
+    let ident = &s[start..end];
+    if ident.is_empty() || ident.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        None
+    } else {
+        Some(ident.to_string())
+    }
+}
+
+fn c_len(s: &str, pos: usize) -> usize {
+    s[pos..].chars().next().map_or(1, char::len_utf8)
+}
+
+/// Finds order-observing iteration over one of the tracked identifiers.
+fn hash_iteration_on(line: &str, tracked: &[String]) -> Option<(String, String)> {
+    const METHODS: [&str; 9] = [
+        ".iter()",
+        ".iter_mut()",
+        ".keys()",
+        ".values()",
+        ".values_mut()",
+        ".drain(",
+        ".into_iter()",
+        ".into_keys()",
+        ".into_values()",
+    ];
+    for name in tracked {
+        for m in METHODS {
+            let needle = format!("{name}{m}");
+            if let Some(pos) = line.find(&needle) {
+                // Word boundary before the identifier: a path separator or
+                // receiver dot is fine, another ident char is not.
+                let ok = line[..pos]
+                    .chars()
+                    .next_back()
+                    .is_none_or(|c| !(c.is_alphanumeric() || c == '_'));
+                if ok {
+                    return Some((name.clone(), m.trim_end_matches('(').to_string()));
+                }
+            }
+        }
+    }
+    // `for x in [&][mut ]receiver.name {` — the expression between `in`
+    // and the block, stripped of borrows, ending in a tracked name.
+    let for_pos = find_word(line, "for")?;
+    let in_pos = find_word(&line[for_pos..], "in").map(|p| p + for_pos)?;
+    let expr = line[in_pos + 2..]
+        .split(['{', ';'])
+        .next()
+        .unwrap_or("")
+        .trim()
+        .trim_start_matches('&')
+        .trim_start_matches("mut ")
+        .trim();
+    if expr.contains('(') || expr.contains("..") || expr.is_empty() {
+        return None;
+    }
+    let last = expr.rsplit('.').next().unwrap_or(expr);
+    let last = last.rsplit("::").next().unwrap_or(last);
+    tracked
+        .iter()
+        .find(|n| n.as_str() == last)
+        .map(|n| (n.clone(), "for .. in".to_string()))
+}
+
+/// Finds `word` delimited by non-ident chars.
+fn find_word(line: &str, word: &str) -> Option<usize> {
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(word) {
+        let at = from + pos;
+        let before_ok = line[..at]
+            .chars()
+            .next_back()
+            .is_none_or(|c| !(c.is_alphanumeric() || c == '_'));
+        let after_ok = line[at + word.len()..]
+            .chars()
+            .next()
+            .is_none_or(|c| !(c.is_alphanumeric() || c == '_'));
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        from = at + word.len();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg_all() -> LintConfig {
+        LintConfig::default()
+    }
+
+    #[test]
+    fn flags_wall_clock_and_entropy() {
+        let src = "fn f() {\n    let t = std::time::SystemTime::now();\n    let r = rand::thread_rng();\n}\n";
+        let f = lint_source("x.rs", src, &cfg_all());
+        let rules: Vec<&str> = f.iter().map(|f| f.rule.as_str()).collect();
+        assert!(rules.contains(&"wall-clock"), "{f:?}");
+        assert!(rules.contains(&"os-entropy"), "{f:?}");
+    }
+
+    #[test]
+    fn allow_comment_suppresses_with_reason_only() {
+        let with_reason =
+            "// s2g-lint: allow(wall-clock) — boot banner only, outside the sim\nlet t = SystemTime::now();\n";
+        assert!(lint_source("x.rs", with_reason, &cfg_all()).is_empty());
+        let without_reason = "// s2g-lint: allow(wall-clock)\nlet t = SystemTime::now();\n";
+        let f = lint_source("x.rs", without_reason, &cfg_all());
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("justification"), "{f:?}");
+    }
+
+    #[test]
+    fn clean_file_is_clean() {
+        let src = "fn main() {\n    let m: std::collections::BTreeMap<u32, u32> = Default::default();\n    for (k, v) in &m { let _ = (k, v); }\n}\n";
+        assert!(lint_source("x.rs", src, &cfg_all()).is_empty());
+    }
+
+    #[test]
+    fn flags_hash_iteration_by_decl_and_for_loop() {
+        let src = "struct S { pending: HashMap<u64, u32> }\nfn f(s: &S) {\n    for v in s.pending.values() { drop(v); }\n}\nfn g() {\n    let mut seen = HashSet::new();\n    for x in &seen { drop(x); }\n    seen.insert(1);\n}\n";
+        let f = lint_source("x.rs", src, &cfg_all());
+        let lines: Vec<usize> = f.iter().map(|f| f.line).collect();
+        assert_eq!(lines, vec![3, 7], "{f:?}");
+    }
+
+    #[test]
+    fn entry_and_get_on_hashmap_are_fine() {
+        let src = "fn f() {\n    let mut m: HashMap<u32, u32> = HashMap::new();\n    m.entry(1).or_insert(2);\n    let _ = m.get(&1);\n    m.insert(3, 4);\n}\n";
+        assert!(lint_source("x.rs", src, &cfg_all()).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_blocks_are_skipped() {
+        let src =
+            "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn t() { let x = SystemTime::now(); }\n}\n";
+        assert!(lint_source("x.rs", src, &cfg_all()).is_empty());
+    }
+
+    #[test]
+    fn string_literals_and_comments_do_not_match() {
+        let src = "fn f() {\n    let s = \"SystemTime::now\";\n    // SystemTime in prose\n}\n";
+        assert!(lint_source("x.rs", src, &cfg_all()).is_empty());
+    }
+
+    #[test]
+    fn narrowing_only_in_configured_paths() {
+        let mut cfg = cfg_all();
+        cfg.rules.get_mut("unchecked-narrowing").unwrap().paths = vec!["src/codec.rs".to_string()];
+        let src = "fn f(n: usize) -> u32 { n as u32 }\n";
+        assert_eq!(lint_source("crates/proto/src/codec.rs", src, &cfg).len(), 1);
+        assert!(lint_source("crates/proto/src/hash.rs", src, &cfg).is_empty());
+    }
+
+    #[test]
+    fn parses_lint_toml() {
+        let toml = "# comment\n[lint]\nroots = [\"crates\"]\nexclude = [\"vendor/\"]\n\n[rules.wall-clock]\nlevel = \"warn\"\n\n[rules.unchecked-narrowing]\nlevel = \"deny\"\npaths = [\"src/codec.rs\", \"src/batch.rs\"]\n";
+        let cfg = LintConfig::parse(toml).unwrap();
+        assert_eq!(cfg.roots, vec!["crates"]);
+        assert_eq!(cfg.rules["wall-clock"].level, Some(LintLevel::Warn));
+        assert_eq!(cfg.rules["unchecked-narrowing"].paths.len(), 2);
+        assert!(LintConfig::parse("[rules.nope]\nlevel = \"deny\"\n").is_err());
+    }
+}

@@ -324,7 +324,7 @@ pub struct Broker {
     cfg: BrokerConfig,
     mode: CoordinationMode,
     controllers: Vec<ProcessId>,
-    peers: HashMap<BrokerId, ProcessId>,
+    peers: BTreeMap<BrokerId, ProcessId>,
     logs: BTreeMap<TopicPartition, PartitionLog>,
     /// Committed consumer-group positions, keyed by `(group, partition)` —
     /// the broker-side half of checkpoint/recovery. Commits survive client
@@ -403,7 +403,7 @@ impl Broker {
         cfg: BrokerConfig,
         mode: CoordinationMode,
         controllers: Vec<ProcessId>,
-        peers: HashMap<BrokerId, ProcessId>,
+        peers: BTreeMap<BrokerId, ProcessId>,
     ) -> Self {
         assert!(
             !controllers.is_empty(),

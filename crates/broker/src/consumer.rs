@@ -94,7 +94,7 @@ pub struct ConsumerClient {
     /// Every broker endpoint, in broker-id order — the rotation list used
     /// when the current bootstrap stops answering (broker crash/restart).
     bootstrap_candidates: Vec<ProcessId>,
-    brokers: HashMap<s2g_proto::BrokerId, ProcessId>,
+    brokers: BTreeMap<s2g_proto::BrokerId, ProcessId>,
     subscriptions: Vec<String>,
     metadata: MetadataCache,
     meta_versions: u64,
@@ -146,16 +146,13 @@ impl ConsumerClient {
     pub fn new(
         cfg: ConsumerConfig,
         bootstrap: ProcessId,
-        brokers: HashMap<s2g_proto::BrokerId, ProcessId>,
+        brokers: BTreeMap<s2g_proto::BrokerId, ProcessId>,
         topics: Vec<String>,
     ) -> Self {
-        let mut candidates: Vec<(s2g_proto::BrokerId, ProcessId)> =
-            brokers.iter().map(|(b, p)| (*b, *p)).collect();
-        candidates.sort_by_key(|(b, _)| *b);
         ConsumerClient {
             cfg,
             bootstrap,
-            bootstrap_candidates: candidates.into_iter().map(|(_, p)| p).collect(),
+            bootstrap_candidates: brokers.values().copied().collect(),
             brokers,
             subscriptions: topics,
             metadata: MetadataCache::new(),

@@ -14,7 +14,7 @@
 //! # Example: single broker, produce and consume
 //!
 //! ```
-//! use std::collections::{BTreeMap, HashMap};
+//! use std::collections::BTreeMap;
 //! use s2g_broker::{
 //!     Broker, BrokerConfig, CollectingSink, ConsumerClient, ConsumerConfig, ConsumerProcess,
 //!     ControllerConfig, CoordinationMode, ProducerClient, ProducerConfig, ProducerProcess,
@@ -35,9 +35,9 @@
 //!     BrokerConfig::default(),
 //!     CoordinationMode::Zk,
 //!     vec![controller_pid],
-//!     brokers.iter().map(|(k, v)| (*k, *v)).collect::<HashMap<_, _>>(),
+//!     brokers.clone(),
 //! )));
-//! let peer_map: HashMap<BrokerId, ProcessId> = brokers.iter().map(|(k, v)| (*k, *v)).collect();
+//! let peer_map: BTreeMap<BrokerId, ProcessId> = brokers.iter().map(|(k, v)| (*k, *v)).collect();
 //! let producer = ProducerClient::new(
 //!     ProducerId(0), ProducerConfig::default(), broker_pid, peer_map.clone(), 0,
 //! );

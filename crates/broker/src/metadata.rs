@@ -1,6 +1,6 @@
 //! Cluster metadata: partition assignments and client/broker-side caches.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use s2g_proto::{BrokerId, LeaderEpoch, MetadataRecord, PartitionMetadata, TopicPartition};
 
@@ -104,7 +104,7 @@ pub fn plan_assignments_racked(
 #[derive(Debug, Clone, Default)]
 pub struct MetadataCache {
     version: u64,
-    partitions: HashMap<TopicPartition, PartitionMetadata>,
+    partitions: BTreeMap<TopicPartition, PartitionMetadata>,
 }
 
 impl MetadataCache {
@@ -119,11 +119,11 @@ impl MetadataCache {
     }
 
     /// Installs a full snapshot at `version` (used for metadata responses).
-    pub fn install_snapshot(&mut self, partitions: Vec<PartitionMetadata>, version: u64) {
+    pub fn install_snapshot(&mut self, snapshot: Vec<PartitionMetadata>, version: u64) {
         if version < self.version {
             return; // stale snapshot
         }
-        self.partitions = partitions.into_iter().map(|p| (p.tp.clone(), p)).collect();
+        self.partitions = snapshot.into_iter().map(|p| (p.tp.clone(), p)).collect();
         self.version = version;
     }
 

@@ -160,7 +160,7 @@ pub struct ProducerClient {
     /// Every broker endpoint, in broker-id order — the rotation list used
     /// when the current bootstrap stops answering (broker crash/restart).
     bootstrap_candidates: Vec<ProcessId>,
-    brokers: HashMap<s2g_proto::BrokerId, ProcessId>,
+    brokers: BTreeMap<s2g_proto::BrokerId, ProcessId>,
     metadata: MetadataCache,
     meta_versions: u64,
     meta_inflight: Option<(CorrelationId, TimerToken)>,
@@ -188,7 +188,7 @@ pub struct ProducerClient {
     /// checkpoint stalls instead of committing a hole into the sink.
     txn_done: BTreeMap<u64, u64>,
     /// Outstanding EndTxn/TxnRecover RPCs by correlation id.
-    txn_ctl: HashMap<u64, TxnCtl>,
+    txn_ctl: BTreeMap<u64, TxnCtl>,
     /// Telemetry sink; records nothing until a scope is attached.
     tele: Telemetry,
     /// Scope metrics are recorded under; empty means detached.
@@ -204,18 +204,15 @@ impl ProducerClient {
         id: ProducerId,
         cfg: ProducerConfig,
         bootstrap: ProcessId,
-        brokers: HashMap<s2g_proto::BrokerId, ProcessId>,
+        brokers: BTreeMap<s2g_proto::BrokerId, ProcessId>,
         corr_parity: u64,
     ) -> Self {
-        let mut candidates: Vec<(s2g_proto::BrokerId, ProcessId)> =
-            brokers.iter().map(|(b, p)| (*b, *p)).collect();
-        candidates.sort_by_key(|(b, _)| *b);
         ProducerClient {
             id,
             epoch: 0,
             cfg,
             bootstrap,
-            bootstrap_candidates: candidates.into_iter().map(|(_, p)| p).collect(),
+            bootstrap_candidates: brokers.values().copied().collect(),
             brokers,
             metadata: MetadataCache::new(),
             meta_versions: 0,
@@ -237,7 +234,7 @@ impl ProducerClient {
             txn: None,
             txn_sent: BTreeMap::new(),
             txn_done: BTreeMap::new(),
-            txn_ctl: HashMap::new(),
+            txn_ctl: BTreeMap::new(),
             tele: Telemetry::new(),
             tele_scope: String::new(),
         }
@@ -378,10 +375,7 @@ impl ProducerClient {
     }
 
     fn broker_endpoints(&self) -> Vec<ProcessId> {
-        let mut pids: Vec<(s2g_proto::BrokerId, ProcessId)> =
-            self.brokers.iter().map(|(b, p)| (*b, *p)).collect();
-        pids.sort_by_key(|(b, _)| *b);
-        pids.into_iter().map(|(_, p)| p).collect()
+        self.brokers.values().copied().collect()
     }
 
     fn arm_txn_retry(&mut self, ctx: &mut Ctx<'_>) {
@@ -394,7 +388,7 @@ impl ProducerClient {
         if self.txn_ctl.is_empty() {
             return;
         }
-        let pending: Vec<TxnCtl> = self.txn_ctl.drain().map(|(_, c)| c).collect();
+        let pending: Vec<TxnCtl> = std::mem::take(&mut self.txn_ctl).into_values().collect();
         for ctl in pending {
             let corr = self.next_corr();
             self.txn_ctl.insert(corr.0, ctl);

@@ -2,7 +2,7 @@
 //! consumer-group offset survival, exercised directly on the simulator.
 
 use std::any::Any;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use s2g_broker::{
     log_store, Broker, BrokerConfig, CollectingSink, ConsumerClient, ConsumerConfig,
@@ -15,7 +15,7 @@ use s2g_sim::{ProcessId, Sim, SimDuration, SimTime};
 const CONTROLLER_PID: ProcessId = ProcessId(0);
 const BROKER_PID: ProcessId = ProcessId(1);
 
-fn peer_map() -> HashMap<BrokerId, ProcessId> {
+fn peer_map() -> BTreeMap<BrokerId, ProcessId> {
     [(BrokerId(0), BROKER_PID)].into()
 }
 

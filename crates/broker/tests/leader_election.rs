@@ -12,7 +12,7 @@
 //!   number is delivered to a read-committed-agnostic consumer that
 //!   survives the whole run.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use s2g_broker::{
     Broker, BrokerConfig, CollectingSink, ConsumerClient, ConsumerConfig, ConsumerProcess,
@@ -44,7 +44,7 @@ struct Cluster {
     sim: Sim,
     controller_pids: Vec<ProcessId>,
     broker_pids: Vec<ProcessId>,
-    brokers_hash: HashMap<BrokerId, ProcessId>,
+    brokers_hash: BTreeMap<BrokerId, ProcessId>,
     producer_pid: ProcessId,
     consumer_pid: ProcessId,
     broker_cfg: BrokerConfig,
@@ -77,7 +77,7 @@ fn build(seed: u64) -> Cluster {
     let brokers_btree: BTreeMap<BrokerId, ProcessId> = (0..N_BROKERS)
         .map(|i| (BrokerId(i), broker_pids[i as usize]))
         .collect();
-    let brokers_hash: HashMap<BrokerId, ProcessId> =
+    let brokers_hash: BTreeMap<BrokerId, ProcessId> =
         brokers_btree.iter().map(|(k, v)| (*k, *v)).collect();
 
     // Failure detection must outpace the schedule's shortest downtime or

@@ -10,7 +10,7 @@
 //! so the union of the dead consumer's deliveries (below the commit) and
 //! the successor's deliveries covers every produced record.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -48,7 +48,7 @@ fn run_case(case: &Case) {
     let controller_pid = ProcessId(0);
     let broker_pid = ProcessId(1);
     let brokers: BTreeMap<BrokerId, ProcessId> = [(BrokerId(0), broker_pid)].into();
-    let peer_map: HashMap<BrokerId, ProcessId> = brokers.iter().map(|(k, v)| (*k, *v)).collect();
+    let peer_map: BTreeMap<BrokerId, ProcessId> = brokers.iter().map(|(k, v)| (*k, *v)).collect();
     let topics = vec![TopicSpec::new("t")];
     sim.spawn(Box::new(ZkController::new(
         ControllerConfig::default(),

@@ -10,7 +10,7 @@
 //! by the paper's Fig. 6b). Under KRaft-mode coordination with `acks=all`
 //! no acknowledged record is ever lost.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use s2g_broker::{
     Broker, BrokerConfig, CollectingSink, ConsumerClient, ConsumerConfig, ConsumerProcess,
@@ -63,7 +63,7 @@ fn build(mode: CoordinationMode, acks: AckMode, seed: u64) -> Cluster {
     let brokers_btree: BTreeMap<BrokerId, ProcessId> = (0..N_BROKERS)
         .map(|i| (BrokerId(i), broker_pids[i as usize]))
         .collect();
-    let brokers_hash: HashMap<BrokerId, ProcessId> =
+    let brokers_hash: BTreeMap<BrokerId, ProcessId> =
         brokers_btree.iter().map(|(k, v)| (*k, *v)).collect();
 
     // Controllers.

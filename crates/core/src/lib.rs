@@ -59,6 +59,7 @@ pub use desc::{scenario_from_graphml, DescError, ResourceBundle};
 pub use graphml::{parse_graphml, GraphmlDoc, GraphmlEdge, GraphmlError, GraphmlNode};
 pub use monitor::{DeliveryMatrix, DeliveryRecord, MonitorCore, MonitorHandle, MonitoredSink};
 pub use resources::{cdf, cpu_utilization_series, median, MemModel, MemSampler, ServerSpec};
+pub use s2g_analyze::{AnalysisReport, Diagnostic, Level};
 pub use scenario::{
     instance_name, shuffle_topic, BrokerDurabilitySpec, BrokerRecoveryReport, BrokerReport,
     CheckpointBackendSpec, CheckpointSpec, ClientRecoveryReport, ConsumerReport, ConsumerSinkSpec,

@@ -8,9 +8,13 @@
 //! attaches the monitors, executes, and returns a [`RunResult`] with all
 //! the measurements the paper's figures are built from.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::fmt;
 
+use s2g_analyze::{
+    analyze as analyze_facts, AnalysisReport, BrokerFacts, ConsumerFacts, Diagnostic, FaultFacts,
+    FaultKind, FaultTarget, JobFacts, ProducerFacts, ScenarioFacts, TopicFacts,
+};
 use s2g_broker::{
     log_store, Broker, BrokerConfig, BrokerRecoveryInfo, BrokerStats, CollectingSink,
     ConsumerClient, ConsumerConfig, ConsumerProcess, ConsumerStats, ControllerConfig,
@@ -155,6 +159,37 @@ impl SourceSpec {
 impl fmt::Debug for SourceSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "SourceSpec({:?})", self.topics())
+    }
+}
+
+/// Static rate/size hints the analyzer extracts from a source spec:
+/// the steady-state inter-record interval (mean interval for Poisson)
+/// and the largest payload the source can emit. `Custom` sources are
+/// opaque — no hints.
+fn source_hints(src: &SourceSpec) -> (Option<SimDuration>, Option<usize>) {
+    match src {
+        SourceSpec::Rate {
+            interval, payload, ..
+        } => (Some(*interval), Some(*payload)),
+        SourceSpec::RandomTopics { kbps, payload, .. } => {
+            let interval = (*kbps > 0).then(|| {
+                SimDuration::from_secs_f64(*payload as f64 * 8.0 / (*kbps as f64 * 1000.0))
+            });
+            (interval, Some(*payload))
+        }
+        SourceSpec::Poisson {
+            rate_per_sec,
+            payload,
+            ..
+        } => {
+            let interval =
+                (*rate_per_sec > 0.0).then(|| SimDuration::from_secs_f64(1.0 / *rate_per_sec));
+            (interval, Some(*payload))
+        }
+        SourceSpec::Items {
+            interval, items, ..
+        } => (Some(*interval), items.iter().map(|i| i.len()).max()),
+        SourceSpec::Custom { .. } => (None, None),
     }
 }
 
@@ -399,68 +434,42 @@ impl fmt::Debug for SpeJobSpec {
     }
 }
 
-/// A scenario validation error.
+/// A scenario validation error: every `Deny`-level diagnostic the
+/// analyzer produced, reported together instead of one at a time (the
+/// full catalog, warnings included, comes from [`Scenario::analyze`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum ScenarioError {
-    /// Producers/consumers/jobs exist but no broker does.
-    NoBrokers,
-    /// A component references an undeclared topic.
-    UnknownTopic {
-        /// The component kind.
-        component: &'static str,
-        /// The topic.
-        topic: String,
-    },
-    /// An SPE store sink references a host without a store.
-    NoStoreOnHost(String),
-    /// Two SPE jobs share a name.
-    DuplicateJobName(String),
-    /// The explicit topology is missing a host a component was placed on.
-    UnknownHost(String),
-    /// A crash/restart fault references a name that is not an SPE job.
-    UnknownProcess(String),
-    /// A parallel job's knobs are inconsistent (key groups smaller than a
-    /// stage's parallelism, a topic colliding with a generated shuffle
-    /// topic, ...).
-    InvalidParallelism(String),
-    /// A broker crash/restart fault references an undeclared broker index.
-    UnknownBroker(u32),
-    /// A store crash/restart fault references an undeclared replica index.
-    UnknownStoreReplica(u32),
+pub struct ScenarioError {
+    /// The blocking diagnostics, in report order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl ScenarioError {
+    fn from_report(report: &AnalysisReport) -> ScenarioError {
+        ScenarioError {
+            diagnostics: report.denials().cloned().collect(),
+        }
+    }
+
+    /// True when some blocking diagnostic carries `code` (`"S2G0xx"`).
+    pub fn has(&self, code: &str) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
 }
 
 impl fmt::Display for ScenarioError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            ScenarioError::NoBrokers => write!(f, "scenario has clients but no brokers"),
-            ScenarioError::UnknownTopic { component, topic } => {
-                write!(f, "{component} references undeclared topic `{topic}`")
-            }
-            ScenarioError::NoStoreOnHost(h) => write!(f, "no store server on host `{h}`"),
-            ScenarioError::DuplicateJobName(n) => write!(f, "duplicate SPE job name `{n}`"),
-            ScenarioError::UnknownHost(h) => write!(f, "topology has no host `{h}`"),
-            ScenarioError::UnknownProcess(p) => {
-                write!(
-                    f,
-                    "fault plan crashes `{p}`, which is neither an SPE job name, \
-                     a `<job>/<stage>/<instance>` (or `<job>/<instance>`) stage \
-                     instance, nor a `producer-<idx>`/`consumer-<idx>` stub"
-                )
-            }
-            ScenarioError::InvalidParallelism(msg) => {
-                write!(f, "invalid parallel-job configuration: {msg}")
-            }
-            ScenarioError::UnknownBroker(b) => {
-                write!(f, "fault plan crashes broker b{b}, which is not declared")
-            }
-            ScenarioError::UnknownStoreReplica(r) => {
-                write!(
-                    f,
-                    "fault plan crashes store replica {r}, which is not declared \
-                     (declared stores x replication factor bound the index)"
-                )
-            }
+        writeln!(
+            f,
+            "scenario analysis found {} blocking misconfiguration(s):",
+            self.diagnostics.len()
+        )?;
+        for d in &self.diagnostics {
+            writeln!(f, "  {d}")?;
         }
+        write!(
+            f,
+            "(see docs/analysis.md for the catalog; `allow_deny_diagnostics()` overrides)"
+        )
     }
 }
 
@@ -503,6 +512,7 @@ pub struct Scenario {
     telemetry: bool,
     telemetry_interval: SimDuration,
     telemetry_trace: bool,
+    allow_deny: bool,
 }
 
 impl Scenario {
@@ -544,7 +554,17 @@ impl Scenario {
             telemetry: true,
             telemetry_interval: SimDuration::from_millis(500),
             telemetry_trace: false,
+            allow_deny: false,
         }
+    }
+
+    /// Lets [`Scenario::run`] start despite `Deny`-level analyzer
+    /// diagnostics — an explicit "I know, run it anyway" for experiments
+    /// that deliberately misconfigure (the diagnostics still appear in
+    /// [`Scenario::analyze`]).
+    pub fn allow_deny_diagnostics(&mut self) -> &mut Self {
+        self.allow_deny = true;
+        self
     }
 
     /// Sets the RNG seed.
@@ -1092,137 +1112,259 @@ impl Scenario {
         seen
     }
 
-    /// True when `n` names a parallel stage instance: `job/stage/instance`,
-    /// or the `job/instance` shorthand targeting the last stage (where the
-    /// keyed state lives).
-    fn is_instance_target(&self, n: &str) -> bool {
-        self.spe_jobs.iter().any(|(_, j)| {
-            if !j.is_parallel() {
-                return false;
+    /// Flattens the scenario into the plain-data facts the analyzer
+    /// reads: effective configs (scenario-level overrides applied, exactly
+    /// as `run` would), the would-be shuffle topics, the legal fault
+    /// targets, and the fault plan normalized per target.
+    fn build_facts(&self) -> ScenarioFacts {
+        let cap = (self.brokers.len() as u32).max(1);
+        let eff_rf = |declared: u32| match self.partition_replication {
+            Some(rf) => rf.min(cap),
+            None => declared,
+        };
+        let mut topics: Vec<TopicFacts> = self
+            .topics
+            .iter()
+            .map(|t| TopicFacts {
+                name: t.name.clone(),
+                partitions: t.partitions,
+                replication: eff_rf(t.replication),
+                declared_replication: t.replication,
+                shuffle: false,
+            })
+            .collect();
+        for (_, job) in &self.spe_jobs {
+            if job.is_parallel() {
+                let (n_stages, _) = Self::job_stage_layout(job);
+                for s in 1..n_stages {
+                    topics.push(TopicFacts {
+                        name: shuffle_topic(&job.name, s),
+                        partitions: job.key_groups,
+                        replication: eff_rf(1),
+                        declared_replication: 1,
+                        shuffle: true,
+                    });
+                }
             }
-            let Some(rest) = n
-                .strip_prefix(j.name.as_str())
-                .and_then(|r| r.strip_prefix('/'))
-            else {
-                return false;
-            };
-            let (n_stages, max_per) = Self::job_stage_layout(j);
-            parse_instance_suffix(rest, n_stages - 1)
-                .is_some_and(|(s, i)| s < n_stages && i < max_per[s])
-        })
+        }
+        let brokers = self
+            .brokers
+            .iter()
+            .map(|(host, cfg)| {
+                let mut cfg = cfg.clone();
+                cfg.log_compaction |= self.log_compaction;
+                cfg.log_retention_age = cfg.log_retention_age.or(self.log_retention_age);
+                cfg.log_retention_bytes = cfg.log_retention_bytes.or(self.log_retention_bytes);
+                BrokerFacts {
+                    host: host.clone(),
+                    cfg,
+                }
+            })
+            .collect();
+        let mut controller = self.controller_cfg.clone();
+        controller.mode = self.mode;
+        let producers = self
+            .producers
+            .iter()
+            .enumerate()
+            .map(|(i, (_, src, cfg))| {
+                let mut cfg = cfg.clone();
+                if let Some(acks) = self.acks_override {
+                    cfg.acks = acks;
+                }
+                self.batching.apply(&mut cfg);
+                let (min_interval, max_payload) = source_hints(src);
+                ProducerFacts {
+                    name: format!("producer-{i}"),
+                    topics: src.topics(),
+                    cfg,
+                    min_interval,
+                    max_payload,
+                }
+            })
+            .collect();
+        let consumers = self
+            .consumers
+            .iter()
+            .enumerate()
+            .map(|(i, (_, cfg, topics, _))| {
+                let mut cfg = cfg.clone();
+                if self.transactional_sinks {
+                    cfg.read_committed = true;
+                }
+                ConsumerFacts {
+                    name: format!("consumer-{i}"),
+                    topics: topics.clone(),
+                    cfg,
+                }
+            })
+            .collect();
+        let jobs = self
+            .spe_jobs
+            .iter()
+            .map(|(_, job)| {
+                let mut cfg = job.cfg.clone();
+                if cfg.checkpoint.is_none() {
+                    if let Some(spec) = &self.checkpointing {
+                        cfg.checkpoint = Some(spec.cfg);
+                    }
+                }
+                if self.transactional_sinks {
+                    cfg.transactional_sink = true;
+                    cfg.consumer.read_committed = true;
+                }
+                if let Some(acks) = self.acks_override {
+                    cfg.producer.acks = acks;
+                }
+                self.batching.apply(&mut cfg.producer);
+                let parallel = job.is_parallel();
+                let (n_stages, max_per) = if parallel {
+                    Self::job_stage_layout(job)
+                } else {
+                    (1, vec![1])
+                };
+                let (sink_topic, sink_store_host) = match &job.sink {
+                    SpeSinkSpec::Topic(t) => (Some(t.clone()), None),
+                    SpeSinkSpec::StoreOn { host, .. } => (None, Some(host.clone())),
+                    SpeSinkSpec::Collect => (None, None),
+                };
+                JobFacts {
+                    name: job.name.clone(),
+                    sources: job.sources.clone(),
+                    sink_topic,
+                    sink_store_host,
+                    cfg,
+                    parallel,
+                    n_stages,
+                    max_per,
+                    key_groups: job.key_groups,
+                    rescale: job.rescale_on_restart,
+                }
+            })
+            .collect();
+        let faults = self
+            .faults
+            .events()
+            .iter()
+            .map(|(at, action)| {
+                let (target, kind) = match action {
+                    FaultAction::CrashProcess(n) => {
+                        (FaultTarget::Process(n.clone()), FaultKind::Crash)
+                    }
+                    FaultAction::RestartProcess(n) => {
+                        (FaultTarget::Process(n.clone()), FaultKind::Restart)
+                    }
+                    FaultAction::CrashBroker(b) => (FaultTarget::Broker(*b), FaultKind::Crash),
+                    FaultAction::RestartBroker(b) => (FaultTarget::Broker(*b), FaultKind::Restart),
+                    FaultAction::CrashStore(r) => (FaultTarget::Store(*r), FaultKind::Crash),
+                    FaultAction::RestartStore(r) => (FaultTarget::Store(*r), FaultKind::Restart),
+                    FaultAction::Disconnect(h) | FaultAction::NodeDown(h) => {
+                        (FaultTarget::Net(h.clone()), FaultKind::Crash)
+                    }
+                    FaultAction::Reconnect(h) | FaultAction::NodeUp(h) => {
+                        (FaultTarget::Net(h.clone()), FaultKind::Restart)
+                    }
+                    FaultAction::LinkDown(a, b) => {
+                        (FaultTarget::Net(format!("{a}-{b}")), FaultKind::Crash)
+                    }
+                    FaultAction::LinkUp(a, b) => {
+                        (FaultTarget::Net(format!("{a}-{b}")), FaultKind::Restart)
+                    }
+                    FaultAction::SetLoss(a, b, _) | FaultAction::SetLatency(a, b, _) => {
+                        (FaultTarget::Net(format!("{a}-{b}")), FaultKind::Other)
+                    }
+                    FaultAction::RecomputeRoutes => {
+                        (FaultTarget::Net("routes".into()), FaultKind::Other)
+                    }
+                };
+                FaultFacts {
+                    at: *at,
+                    target,
+                    kind,
+                }
+            })
+            .collect();
+        let mut valid_process_targets: Vec<String> = Vec::new();
+        for (_, job) in &self.spe_jobs {
+            valid_process_targets.push(job.name.clone());
+            if job.is_parallel() {
+                let (n_stages, max_per) = Self::job_stage_layout(job);
+                for (s, max) in max_per.iter().enumerate().take(n_stages) {
+                    for i in 0..*max {
+                        valid_process_targets.push(instance_name(&job.name, s, i));
+                    }
+                }
+                // The `job/instance` shorthand targets the last stage.
+                if let Some(last) = max_per.last() {
+                    for i in 0..*last {
+                        valid_process_targets.push(format!("{}/{i}", job.name));
+                    }
+                }
+            }
+        }
+        for i in 0..self.producers.len() {
+            valid_process_targets.push(format!("producer-{i}"));
+        }
+        for i in 0..self.consumers.len() {
+            valid_process_targets.push(format!("consumer-{i}"));
+        }
+        let topology_hosts = self
+            .explicit_topology
+            .as_ref()
+            .map(|t| t.nodes().map(|(_, n)| n.name.clone()).collect());
+        let required_hosts: Vec<String> = self
+            .component_hosts()
+            .into_iter()
+            .chain(self.controller_hosts())
+            .collect();
+        ScenarioFacts {
+            name: self.name.clone(),
+            duration: self.duration,
+            link_latency: self.default_link.latency,
+            controller,
+            topics,
+            partition_replication: self.partition_replication,
+            brokers,
+            store_hosts: self.stores.iter().map(|(h, _)| h.clone()).collect(),
+            store_replication: self.store_replication,
+            producers,
+            consumers,
+            jobs,
+            faults,
+            valid_process_targets,
+            topology_hosts,
+            required_hosts,
+            checkpoint_interval: self.checkpointing.as_ref().map(|s| s.cfg.interval),
+            checkpoint_store_host: match &self.checkpointing {
+                Some(CheckpointSpec {
+                    backend: CheckpointBackendSpec::StoreOn { host },
+                    ..
+                }) => Some(host.clone()),
+                _ => None,
+            },
+            durability_store_host: match &self.broker_durability {
+                Some(BrokerDurabilitySpec::StoreOn { host }) => Some(host.clone()),
+                _ => None,
+            },
+            log_retention_age: self.log_retention_age,
+            transactional_sinks: self.transactional_sinks,
+        }
+    }
+
+    /// Runs the full static feasibility ruleset over this scenario without
+    /// simulating anything: every `S2G0xx` diagnostic the description
+    /// triggers, `Deny` and `Warn` alike (`docs/analysis.md` has the
+    /// catalog). [`Scenario::run`] refuses to start while `Deny`
+    /// diagnostics are present, unless [`Scenario::allow_deny_diagnostics`]
+    /// was called.
+    pub fn analyze(&self) -> AnalysisReport {
+        analyze_facts(&self.build_facts())
     }
 
     fn validate(&self) -> Result<(), ScenarioError> {
-        let has_clients =
-            !self.producers.is_empty() || !self.consumers.is_empty() || !self.spe_jobs.is_empty();
-        if has_clients && self.brokers.is_empty() {
-            return Err(ScenarioError::NoBrokers);
-        }
-        let declared: Vec<&str> = self.topics.iter().map(|t| t.name.as_str()).collect();
-        let check = |component: &'static str, topic: &str| -> Result<(), ScenarioError> {
-            if declared.contains(&topic) {
-                Ok(())
-            } else {
-                Err(ScenarioError::UnknownTopic {
-                    component,
-                    topic: topic.to_string(),
-                })
-            }
-        };
-        for (_, src, _) in &self.producers {
-            for t in src.topics() {
-                check("producer", &t)?;
-            }
-        }
-        for (_, _, topics, _) in &self.consumers {
-            for t in topics {
-                check("consumer", t)?;
-            }
-        }
-        let mut job_names: Vec<&str> = Vec::new();
-        for (_, job) in &self.spe_jobs {
-            if job_names.contains(&job.name.as_str()) {
-                return Err(ScenarioError::DuplicateJobName(job.name.clone()));
-            }
-            job_names.push(&job.name);
-            for t in &job.sources {
-                check("SPE job source", t)?;
-            }
-            if job.is_parallel() {
-                let (n_stages, max_per) = Self::job_stage_layout(job);
-                let max_par = max_per.iter().copied().max().unwrap_or(1);
-                if (job.key_groups as usize) < max_par {
-                    return Err(ScenarioError::InvalidParallelism(format!(
-                        "job `{}` has key_groups {} < its largest parallelism {max_par}",
-                        job.name, job.key_groups
-                    )));
-                }
-                for s in 1..n_stages {
-                    let t = shuffle_topic(&job.name, s);
-                    if declared.contains(&t.as_str()) {
-                        return Err(ScenarioError::InvalidParallelism(format!(
-                            "declared topic `{t}` collides with a generated shuffle topic"
-                        )));
-                    }
-                }
-            }
-            match &job.sink {
-                SpeSinkSpec::Topic(t) => check("SPE job sink", t)?,
-                SpeSinkSpec::StoreOn { host, .. } => {
-                    if !self.stores.iter().any(|(h, _)| h == host) {
-                        return Err(ScenarioError::NoStoreOnHost(host.clone()));
-                    }
-                }
-                SpeSinkSpec::Collect => {}
-            }
-        }
-        if let Some(topo) = &self.explicit_topology {
-            for h in self
-                .component_hosts()
-                .iter()
-                .chain(&self.controller_hosts())
-            {
-                if topo.lookup(h).is_none() {
-                    return Err(ScenarioError::UnknownHost(h.clone()));
-                }
-            }
-        }
-        if let Some(CheckpointSpec {
-            backend: CheckpointBackendSpec::StoreOn { host },
-            ..
-        }) = &self.checkpointing
-        {
-            if !self.stores.iter().any(|(h, _)| h == host) {
-                return Err(ScenarioError::NoStoreOnHost(host.clone()));
-            }
-        }
-        if let Some(BrokerDurabilitySpec::StoreOn { host }) = &self.broker_durability {
-            if !self.stores.iter().any(|(h, _)| h == host) {
-                return Err(ScenarioError::NoStoreOnHost(host.clone()));
-            }
-        }
-        for (_, action) in self.faults.process_events() {
-            match action {
-                FaultAction::CrashProcess(n) | FaultAction::RestartProcess(n)
-                    if !self.spe_jobs.iter().any(|(_, j)| &j.name == n)
-                        && !self.is_instance_target(n)
-                        && stub_index(n, "producer-").is_none_or(|i| i >= self.producers.len())
-                        && stub_index(n, "consumer-").is_none_or(|i| i >= self.consumers.len()) =>
-                {
-                    return Err(ScenarioError::UnknownProcess(n.clone()));
-                }
-                FaultAction::CrashBroker(b) | FaultAction::RestartBroker(b)
-                    if *b as usize >= self.brokers.len() =>
-                {
-                    return Err(ScenarioError::UnknownBroker(*b));
-                }
-                FaultAction::CrashStore(r) | FaultAction::RestartStore(r)
-                    if *r as usize >= self.stores.len() * self.store_replication =>
-                {
-                    return Err(ScenarioError::UnknownStoreReplica(*r));
-                }
-                _ => {}
-            }
+        let report = self.analyze();
+        if report.has_deny() && !self.allow_deny {
+            return Err(ScenarioError::from_report(&report));
         }
         Ok(())
     }
@@ -1331,7 +1473,7 @@ impl Scenario {
         let brokers_btree: BTreeMap<BrokerId, ProcessId> = (0..nb)
             .map(|i| (BrokerId(i), broker_pids[i as usize]))
             .collect();
-        let brokers_hash: HashMap<BrokerId, ProcessId> =
+        let brokers_hash: BTreeMap<BrokerId, ProcessId> =
             brokers_btree.iter().map(|(k, v)| (*k, *v)).collect();
         let mut placements: Vec<(ProcessId, String)> = Vec::new();
 
@@ -2327,7 +2469,7 @@ struct ProducerStubBuild {
 fn build_producer_stub(
     idx: usize,
     build: &ProducerStubBuild,
-    brokers: &HashMap<BrokerId, ProcessId>,
+    brokers: &BTreeMap<BrokerId, ProcessId>,
     ledger: &LedgerHandle,
     tele: &Telemetry,
 ) -> ProducerProcess {
@@ -2360,7 +2502,7 @@ struct ConsumerStubBuild {
 fn build_consumer_stub(
     idx: usize,
     build: &ConsumerStubBuild,
-    brokers: &HashMap<BrokerId, ProcessId>,
+    brokers: &BTreeMap<BrokerId, ProcessId>,
     monitor: &MonitorHandle,
     tele: &Telemetry,
 ) -> ConsumerProcess {
@@ -2495,7 +2637,7 @@ struct SpeInstanceBuild {
 fn build_instance_worker(
     meta: &SpeJobMeta,
     inst: &SpeInstanceBuild,
-    brokers: &HashMap<BrokerId, ProcessId>,
+    brokers: &BTreeMap<BrokerId, ProcessId>,
     ledger: &LedgerHandle,
     spec: &Option<CheckpointSpec>,
     snapshots: &SnapshotStoreHandle,

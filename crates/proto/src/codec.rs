@@ -23,7 +23,10 @@ pub fn put_u64(out: &mut Vec<u8>, v: u64) {
 
 /// Appends a `u32` length prefix followed by the bytes.
 pub fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
-    put_u32(out, b.len() as u32);
+    put_u32(
+        out,
+        u32::try_from(b.len()).expect("frame exceeds u32 length prefix"),
+    );
     out.extend_from_slice(b);
 }
 
@@ -32,6 +35,7 @@ pub fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
 /// from — take one byte instead of eight.
 pub fn put_uvarint(out: &mut Vec<u8>, mut v: u64) {
     loop {
+        // s2g-lint: allow(unchecked-narrowing) — masked to 7 bits, cannot truncate
         let byte = (v & 0x7f) as u8;
         v >>= 7;
         if v == 0 {

@@ -171,7 +171,7 @@ fn event_from_value(v: &Value) -> Option<Event> {
         value: parts[1].clone(),
         ts: SimTime::from_nanos(parts[2].as_int()? as u64),
         origin: SimTime::from_nanos(parts[3].as_int()? as u64),
-        source: parts[4].as_int()? as u8,
+        source: u8::try_from(parts[4].as_int()?).ok()?,
     })
 }
 
@@ -209,7 +209,10 @@ fn offsets_from_value(v: &Value) -> Option<Vec<(TopicPartition, Offset)>> {
             return None;
         }
         offsets.push((
-            TopicPartition::new(parts[0].as_str()?.to_string(), parts[1].as_int()? as u32),
+            TopicPartition::new(
+                parts[0].as_str()?.to_string(),
+                u32::try_from(parts[1].as_int()?).ok()?,
+            ),
             Offset(parts[2].as_int()? as u64),
         ));
     }

@@ -31,6 +31,12 @@ pub enum Value {
     Map(BTreeMap<String, Value>),
 }
 
+/// A `u32` codec length prefix; panics loudly if the payload could not be
+/// round-tripped instead of silently truncating it.
+fn len_u32(n: usize) -> u32 {
+    u32::try_from(n).expect("length exceeds u32 codec prefix")
+}
+
 impl Value {
     /// Builds a map value from key/value pairs.
     pub fn map<I: IntoIterator<Item = (&'static str, Value)>>(pairs: I) -> Value {
@@ -93,7 +99,7 @@ impl Value {
             Value::Null => out.push(0),
             Value::Bool(b) => {
                 out.push(1);
-                out.push(*b as u8);
+                out.push(u8::from(*b));
             }
             Value::Int(i) => {
                 out.push(2);
@@ -105,21 +111,21 @@ impl Value {
             }
             Value::Str(s) => {
                 out.push(4);
-                out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                out.extend_from_slice(&len_u32(s.len()).to_le_bytes());
                 out.extend_from_slice(s.as_bytes());
             }
             Value::List(l) => {
                 out.push(5);
-                out.extend_from_slice(&(l.len() as u32).to_le_bytes());
+                out.extend_from_slice(&len_u32(l.len()).to_le_bytes());
                 for v in l {
                     v.encode_into(out);
                 }
             }
             Value::Map(m) => {
                 out.push(6);
-                out.extend_from_slice(&(m.len() as u32).to_le_bytes());
+                out.extend_from_slice(&len_u32(m.len()).to_le_bytes());
                 for (k, v) in m {
-                    out.extend_from_slice(&(k.len() as u32).to_le_bytes());
+                    out.extend_from_slice(&len_u32(k.len()).to_le_bytes());
                     out.extend_from_slice(k.as_bytes());
                     v.encode_into(out);
                 }
@@ -372,7 +378,7 @@ impl Event {
         match &self.key {
             Some(k) => {
                 out.push(flag);
-                out.extend_from_slice(&(k.len() as u32).to_le_bytes());
+                out.extend_from_slice(&len_u32(k.len()).to_le_bytes());
                 out.extend_from_slice(k.as_bytes());
             }
             None => out.push(flag),

@@ -264,7 +264,7 @@ impl SpeWorker {
         plan: Plan,
         sink: SpeSink,
         bootstrap: ProcessId,
-        brokers: HashMap<s2g_proto::BrokerId, ProcessId>,
+        brokers: BTreeMap<s2g_proto::BrokerId, ProcessId>,
         producer_id: ProducerId,
     ) -> Self {
         let name = name.into();

@@ -6,6 +6,7 @@
 
 #![warn(missing_docs)]
 
+pub use s2g_analyze as analyze;
 pub use s2g_apps as apps;
 pub use s2g_broker as broker;
 pub use s2g_core as core;

@@ -304,7 +304,7 @@ fn bare_cluster(
     let brokers: std::collections::BTreeMap<BrokerId, ProcessId> = (0..3)
         .map(|i| (BrokerId(i), broker_pids[i as usize]))
         .collect();
-    let brokers_hash: std::collections::HashMap<BrokerId, ProcessId> =
+    let brokers_hash: std::collections::BTreeMap<BrokerId, ProcessId> =
         brokers.iter().map(|(k, v)| (*k, *v)).collect();
 
     let ctrl_cfg = ControllerConfig {
