@@ -20,6 +20,10 @@
 //!   it diverges across runs.
 //! * `unchecked-narrowing` — `as u8`/`as u16`/`as u32` in codec paths:
 //!   silent truncation corrupts framing; `try_from` makes it loud.
+//! * `event-queue` — `BinaryHeap` in sim-visible paths: ad-hoc heap event
+//!   queues bypass the calendar-queue scheduler (`crates/sim/src/queue.rs`)
+//!   and its `(at, seq)` tie-break contract; the only sanctioned heap is
+//!   the `reference-sched` differential oracle.
 //!
 //! A finding is suppressed by an escape comment on the same or preceding
 //! line, which must carry a justification:
@@ -71,12 +75,13 @@ pub struct LintConfig {
     pub rules: BTreeMap<String, RuleConfig>,
 }
 
-/// The four rule names, in catalog order.
-pub const RULE_NAMES: [&str; 4] = [
+/// The five rule names, in catalog order.
+pub const RULE_NAMES: [&str; 5] = [
     "wall-clock",
     "os-entropy",
     "hash-iteration",
     "unchecked-narrowing",
+    "event-queue",
 ];
 
 impl Default for LintConfig {
@@ -455,6 +460,25 @@ pub fn lint_source(path: &str, text: &str, cfg: &LintConfig) -> Vec<LintFinding>
         }
     }
 
+    if let Some(level) = active("event-queue") {
+        for (i, line) in code.iter().enumerate() {
+            if skip[i] {
+                continue;
+            }
+            if line.contains("BinaryHeap") {
+                push(
+                    "event-queue",
+                    level,
+                    i,
+                    "`BinaryHeap` event queues bypass the calendar-queue scheduler's \
+                     `(at, seq)` ordering contract; schedule through `s2g-sim` \
+                     (`crates/sim/src/queue.rs`) instead"
+                        .to_string(),
+                );
+            }
+        }
+    }
+
     findings.sort_by_key(|f| (f.line, f.rule.clone()));
     findings
 }
@@ -797,6 +821,16 @@ mod tests {
         let src = "fn f(n: usize) -> u32 { n as u32 }\n";
         assert_eq!(lint_source("crates/proto/src/codec.rs", src, &cfg).len(), 1);
         assert!(lint_source("crates/proto/src/hash.rs", src, &cfg).is_empty());
+    }
+
+    #[test]
+    fn flags_binary_heap_event_queues() {
+        let src = "use std::collections::BinaryHeap;\nstruct Q { heap: BinaryHeap<u64> }\n";
+        let f = lint_source("x.rs", src, &cfg_all());
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|f| f.rule == "event-queue"), "{f:?}");
+        let escaped = "// s2g-lint: allow(event-queue) — reference-sched differential oracle\nuse std::collections::BinaryHeap;\n";
+        assert!(lint_source("x.rs", escaped, &cfg_all()).is_empty());
     }
 
     #[test]

@@ -5,14 +5,19 @@
 //! ```text
 //! cargo run --release -p s2g-bench --bin figures -- \
 //!     [--fig 5|6|7a|7b|8|9|recovery|compaction|replication|broker-replication|scaling|timeline|throughput|table2|all] \
-//!     [--bench hotpath] \
+//!     [--bench hotpath|simcore] \
 //!     [--quick|--smoke]
 //! ```
 //!
 //! `--quick` runs reduced parameters; `--smoke` runs the minimal CI preset
 //! whose only job is to prove every figure still generates. `--bench
-//! hotpath` runs the record-hot-path micro-benchmark instead and writes
-//! `target/figures/BENCH_hotpath.json` for the CI perf gate.
+//! hotpath` runs the record-hot-path micro-benchmark and `--bench simcore`
+//! races the calendar-queue scheduler against the reference heap; each
+//! writes a `target/figures/BENCH_*.json` for the CI perf gate.
+//!
+//! Sweeps fan their points across a thread pool (see `s2g_bench::executor`)
+//! and merge by input index, so the CSVs are byte-identical at any thread
+//! count; set `S2G_BENCH_THREADS=1` to force the sequential path.
 //!
 //! ASCII renderings go to stdout; CSV data lands under `target/figures/`.
 
@@ -23,7 +28,8 @@ use s2g_bench::experiments::table2_inventory;
 use s2g_bench::{
     broker_recovery_sweep, broker_replication_sweep, compaction_sweep, fig5_sweep, fig6_run,
     fig7a_sweep, fig7b_sweep, fig8_sweep, fig9_sweep, group_by_component, hotpath_sweep,
-    scaling_sweep, store_replication_sweep, throughput_sweep, timeline_sweep, Component, Scale,
+    scaling_sweep, simcore_sweep, store_replication_sweep, throughput_sweep, timeline_sweep,
+    Component, Scale,
 };
 use s2g_broker::CoordinationMode;
 use s2g_core::{ascii_chart, ascii_matrix, ascii_table, cdf, csv_series};
@@ -787,6 +793,62 @@ fn bench_hotpath(scale: Scale) {
     println!("  wrote {}", path.display());
 }
 
+fn bench_simcore(scale: Scale) {
+    println!("\n#### Bench: simulation kernel (calendar queue vs reference heap) ####");
+    let points = simcore_sweep(scale);
+    let churn_ratio = points
+        .iter()
+        .find(|p| p.workload == "timer-churn")
+        .map(|p| p.ratio)
+        .unwrap_or(f64::NAN);
+    let all_match = points.iter().all(|p| p.stats_match);
+    let mut csv = String::from(
+        "workload,events,calendar_events_per_sec,reference_events_per_sec,ratio,stats_match\n",
+    );
+    let mut json = String::from("{\n  \"bench\": \"simcore\",\n");
+    json.push_str(&format!("  \"scale\": \"{scale:?}\",\n"));
+    json.push_str(&format!("  \"timer_churn_ratio\": {churn_ratio:.3},\n"));
+    json.push_str(&format!("  \"all_stats_match\": {all_match},\n"));
+    json.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        println!(
+            "  {:<12} | {:>9} events | calendar {:>12.0} ev/s | reference {:>12.0} ev/s | \
+             {:>5.2}x | stats match: {}",
+            p.workload,
+            p.events,
+            p.calendar_events_per_sec,
+            p.reference_events_per_sec,
+            p.ratio,
+            p.stats_match,
+        );
+        csv.push_str(&format!(
+            "{},{},{:.0},{:.0},{:.3},{}\n",
+            p.workload,
+            p.events,
+            p.calendar_events_per_sec,
+            p.reference_events_per_sec,
+            p.ratio,
+            p.stats_match
+        ));
+        json.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"events\": {}, \"calendar_events_per_sec\": {:.0}, \
+             \"reference_events_per_sec\": {:.0}, \"ratio\": {:.3}, \"stats_match\": {}}}{}\n",
+            p.workload,
+            p.events,
+            p.calendar_events_per_sec,
+            p.reference_events_per_sec,
+            p.ratio,
+            p.stats_match,
+            if i + 1 == points.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    write_csv("simcore.csv", &csv);
+    let path = out_dir().join("BENCH_simcore.json");
+    fs::write(&path, &json).expect("write bench json");
+    println!("  wrote {}", path.display());
+}
+
 fn table2() {
     println!("\n#### Table II: example applications ####");
     let rows: Vec<Vec<String>> = table2_inventory()
@@ -821,8 +883,9 @@ fn main() {
         println!("stream2gym-rs micro-bench (scale: {scale:?})");
         match bench.as_str() {
             "hotpath" => bench_hotpath(scale),
+            "simcore" => bench_simcore(scale),
             other => {
-                eprintln!("unknown bench `{other}`; use hotpath");
+                eprintln!("unknown bench `{other}`; use hotpath|simcore");
                 std::process::exit(2);
             }
         }

@@ -76,25 +76,25 @@ pub fn fig5_sweep(delays_ms: &[u64], scale: Scale, seed: u64) -> Vec<(Component,
         Scale::Quick => (25, SimDuration::from_millis(300), SimTime::from_secs(45)),
         Scale::Smoke => (8, SimDuration::from_millis(200), SimTime::from_secs(15)),
     };
-    let mut out = Vec::new();
-    for &component in &Component::ALL {
-        for &ms in delays_ms {
-            let sc = word_count::scenario(
-                files,
-                interval,
-                delays_for(component, SimDuration::from_millis(ms)),
-                duration,
-                seed,
-            );
-            let result = sc.run().expect("valid scenario");
-            let mean = result
-                .mean_latency("avg-words-per-topic")
-                .map(|d| d.as_secs_f64())
-                .unwrap_or(f64::NAN);
-            out.push((component, ms, mean));
-        }
-    }
-    out
+    let points: Vec<(Component, u64)> = Component::ALL
+        .iter()
+        .flat_map(|&component| delays_ms.iter().map(move |&ms| (component, ms)))
+        .collect();
+    crate::executor::parallel_map(&points, |&(component, ms)| {
+        let sc = word_count::scenario(
+            files,
+            interval,
+            delays_for(component, SimDuration::from_millis(ms)),
+            duration,
+            seed,
+        );
+        let result = sc.run().expect("valid scenario");
+        let mean = result
+            .mean_latency("avg-words-per-topic")
+            .map(|d| d.as_secs_f64())
+            .unwrap_or(f64::NAN);
+        (component, ms, mean)
+    })
 }
 
 /// Everything Fig. 6 reports about the partition experiment.
@@ -216,10 +216,9 @@ pub fn fig6_run(mode: CoordinationMode, sites: u32, scale: Scale, seed: u64) -> 
 /// **Fig. 7a** — the Ichinose et al. reproduction: transfer throughput
 /// (images/s) vs number of consumers on one 8-core host.
 pub fn fig7a_sweep(consumer_counts: &[usize], seed: u64) -> Vec<(usize, f64)> {
-    consumer_counts
-        .iter()
-        .map(|&n| (n, video_analytics::measure_throughput(n, seed)))
-        .collect()
+    crate::executor::parallel_map(consumer_counts, |&n| {
+        (n, video_analytics::measure_throughput(n, seed))
+    })
 }
 
 /// **Fig. 7b** — the Ocampo et al. reproduction: mean per-slot runtime
@@ -230,7 +229,13 @@ pub fn fig7b_sweep(user_counts: &[u32], scale: Scale, seed: u64) -> Vec<(u32, f6
         Scale::Quick => SimTime::from_secs(25),
         Scale::Smoke => SimTime::from_secs(12),
     };
-    let raw = traffic_monitor::sweep(user_counts, duration, seed);
+    // One traffic_monitor sweep per point so the counts fan out in
+    // parallel; each inner call still runs its own complete scenario.
+    let raw: Vec<(u32, SimDuration)> = crate::executor::parallel_map(user_counts, |&u| {
+        traffic_monitor::sweep(&[u], duration, seed)
+            .pop()
+            .expect("one point per count")
+    });
     let base = raw
         .first()
         .map(|(_, d)| d.as_secs_f64())
@@ -255,29 +260,30 @@ pub fn fig8_sweep(
         Scale::Quick => (25, SimDuration::from_millis(300), SimTime::from_secs(45)),
         Scale::Smoke => (8, SimDuration::from_millis(200), SimTime::from_secs(15)),
     };
-    let mut out = Vec::new();
-    for (backend, net_cfg) in [
-        ("stream2gym", NetworkConfig::default()),
-        ("hardware", NetworkConfig::hardware()),
-    ] {
-        for &ms in delays_ms {
-            let mut sc = word_count::scenario(
-                files,
-                interval,
-                delays_for(component, SimDuration::from_millis(ms)),
-                duration,
-                seed,
-            );
-            sc.network_profile(net_cfg);
-            let result = sc.run().expect("valid scenario");
-            let mean = result
-                .mean_latency("avg-words-per-topic")
-                .map(|d| d.as_secs_f64())
-                .unwrap_or(f64::NAN);
-            out.push((backend, ms, mean));
-        }
-    }
-    out
+    let points: Vec<(&'static str, u64)> = ["stream2gym", "hardware"]
+        .iter()
+        .flat_map(|&backend| delays_ms.iter().map(move |&ms| (backend, ms)))
+        .collect();
+    crate::executor::parallel_map(&points, |&(backend, ms)| {
+        let net_cfg = match backend {
+            "hardware" => NetworkConfig::hardware(),
+            _ => NetworkConfig::default(),
+        };
+        let mut sc = word_count::scenario(
+            files,
+            interval,
+            delays_for(component, SimDuration::from_millis(ms)),
+            duration,
+            seed,
+        );
+        sc.network_profile(net_cfg);
+        let result = sc.run().expect("valid scenario");
+        let mean = result
+            .mean_latency("avg-words-per-topic")
+            .map(|d| d.as_secs_f64())
+            .unwrap_or(f64::NAN);
+        (backend, ms, mean)
+    })
 }
 
 /// One point of the Fig. 9 resource sweep.
@@ -306,43 +312,40 @@ pub fn fig9_sweep(
         Scale::Quick => 90,
         Scale::Smoke => 30,
     };
-    site_counts
-        .iter()
-        .map(|&sites| {
-            let mut sc = Scenario::new("fig9-resources");
-            sc.seed(seed)
-                .duration(SimTime::from_secs(run_s))
-                .default_link(LinkSpec::new().latency_ms(2))
-                .topic(TopicSpec::new("topic-a").replication(2).primary(0))
-                .topic(TopicSpec::new("topic-b").replication(2).primary(1));
-            for i in 0..sites {
-                let host = format!("h{}", i + 1);
-                sc.broker(&host);
-                sc.producer(
-                    &host,
-                    SourceSpec::RandomTopics {
-                        topics: vec!["topic-a".into(), "topic-b".into()],
-                        kbps: 30,
-                        payload: 500,
-                        until: SimTime::from_secs(run_s),
-                    },
-                    ProducerConfig {
-                        buffer_memory,
-                        ..ProducerConfig::default()
-                    },
-                );
-                sc.consumer(&host, Default::default(), &["topic-a", "topic-b"]);
-            }
-            let result = sc.run().expect("valid scenario");
-            let cpu_samples = result.report.cpu_samples();
-            Fig9Point {
-                sites,
-                cpu_median: median(&cpu_samples).unwrap_or(0.0),
-                cpu_samples,
-                peak_mem_fraction: result.report.peak_mem_fraction(),
-            }
-        })
-        .collect()
+    crate::executor::parallel_map(site_counts, |&sites| {
+        let mut sc = Scenario::new("fig9-resources");
+        sc.seed(seed)
+            .duration(SimTime::from_secs(run_s))
+            .default_link(LinkSpec::new().latency_ms(2))
+            .topic(TopicSpec::new("topic-a").replication(2).primary(0))
+            .topic(TopicSpec::new("topic-b").replication(2).primary(1));
+        for i in 0..sites {
+            let host = format!("h{}", i + 1);
+            sc.broker(&host);
+            sc.producer(
+                &host,
+                SourceSpec::RandomTopics {
+                    topics: vec!["topic-a".into(), "topic-b".into()],
+                    kbps: 30,
+                    payload: 500,
+                    until: SimTime::from_secs(run_s),
+                },
+                ProducerConfig {
+                    buffer_memory,
+                    ..ProducerConfig::default()
+                },
+            );
+            sc.consumer(&host, Default::default(), &["topic-a", "topic-b"]);
+        }
+        let result = sc.run().expect("valid scenario");
+        let cpu_samples = result.report.cpu_samples();
+        Fig9Point {
+            sites,
+            cpu_median: median(&cpu_samples).unwrap_or(0.0),
+            cpu_samples,
+            peak_mem_fraction: result.report.peak_mem_fraction(),
+        }
+    })
 }
 
 /// One point of the broker-recovery sweep.
@@ -376,58 +379,51 @@ pub fn broker_recovery_sweep(
         Scale::Full => SimDuration::from_millis(2),
         Scale::Quick | Scale::Smoke => SimDuration::from_millis(4),
     };
-    record_counts
-        .iter()
-        .map(|&n| {
-            let produce_ms = interval.as_millis() * n + 500;
-            let crash_at = SimTime::from_millis(produce_ms + 1_000);
-            let duration = crash_at + SimDuration::from_secs(12);
-            let mut sc = Scenario::new("broker-recovery");
-            sc.seed(seed)
-                .duration(duration)
-                .default_link(LinkSpec::new().latency_ms(2))
-                .topic(TopicSpec::new("data"));
-            sc.broker("h1");
-            sc.store("h2", StoreConfig::default());
-            // A bandwidth-limited store link makes replay time scale with
-            // the bytes read back, not just the per-blob round trips.
-            sc.host_link("h2", LinkSpec::new().latency_ms(2).bandwidth_mbps(50.0));
-            sc.with_durable_broker("h2");
-            sc.producer(
-                "h3",
-                SourceSpec::Rate {
-                    topic: "data".into(),
-                    count: n,
-                    interval,
-                    payload: 200,
-                },
-                Default::default(),
-            );
-            sc.consumer("h4", Default::default(), &["data"]);
-            sc.faults(FaultPlan::new().crash_restart_broker(
-                0,
-                crash_at,
-                SimDuration::from_secs(1),
-            ));
-            let result = sc.run().expect("valid scenario");
-            let rec = result.report.brokers[0]
-                .recovery
-                .expect("broker crash recorded");
-            BrokerRecoveryPoint {
-                records: rec.replayed_records,
-                replay_latency_s: rec
-                    .replay_latency()
-                    .map(|d| d.as_secs_f64())
-                    .unwrap_or(f64::NAN),
-                unavailability_s: rec
-                    .unavailability()
-                    .map(|d| d.as_secs_f64())
-                    .unwrap_or(f64::NAN),
-                replayed_bytes: rec.replayed_bytes,
-                replayed_segments: rec.replayed_segments,
-            }
-        })
-        .collect()
+    crate::executor::parallel_map(record_counts, |&n| {
+        let produce_ms = interval.as_millis() * n + 500;
+        let crash_at = SimTime::from_millis(produce_ms + 1_000);
+        let duration = crash_at + SimDuration::from_secs(12);
+        let mut sc = Scenario::new("broker-recovery");
+        sc.seed(seed)
+            .duration(duration)
+            .default_link(LinkSpec::new().latency_ms(2))
+            .topic(TopicSpec::new("data"));
+        sc.broker("h1");
+        sc.store("h2", StoreConfig::default());
+        // A bandwidth-limited store link makes replay time scale with
+        // the bytes read back, not just the per-blob round trips.
+        sc.host_link("h2", LinkSpec::new().latency_ms(2).bandwidth_mbps(50.0));
+        sc.with_durable_broker("h2");
+        sc.producer(
+            "h3",
+            SourceSpec::Rate {
+                topic: "data".into(),
+                count: n,
+                interval,
+                payload: 200,
+            },
+            Default::default(),
+        );
+        sc.consumer("h4", Default::default(), &["data"]);
+        sc.faults(FaultPlan::new().crash_restart_broker(0, crash_at, SimDuration::from_secs(1)));
+        let result = sc.run().expect("valid scenario");
+        let rec = result.report.brokers[0]
+            .recovery
+            .expect("broker crash recorded");
+        BrokerRecoveryPoint {
+            records: rec.replayed_records,
+            replay_latency_s: rec
+                .replay_latency()
+                .map(|d| d.as_secs_f64())
+                .unwrap_or(f64::NAN),
+            unavailability_s: rec
+                .unavailability()
+                .map(|d| d.as_secs_f64())
+                .unwrap_or(f64::NAN),
+            replayed_bytes: rec.replayed_bytes,
+            replayed_segments: rec.replayed_segments,
+        }
+    })
 }
 
 /// One point of the bounded-recovery (compaction/incremental) sweep.
@@ -599,27 +595,24 @@ pub fn compaction_sweep(history_counts: &[u64], scale: Scale, seed: u64) -> Vec<
         )
     };
 
-    history_counts
-        .iter()
-        .map(|&n| {
-            let full_snapshot_bytes = snapshot_run(n, false);
-            let delta_snapshot_bytes = snapshot_run(n, true);
-            let (raw_records, raw_bytes, raw_s, _) = replay_run(n, false);
-            let (c_records, c_bytes, c_s, saved) = replay_run(n, true);
-            CompactionPoint {
-                history: n,
-                full_snapshot_bytes,
-                delta_snapshot_bytes,
-                raw_replay_records: raw_records,
-                raw_replay_bytes: raw_bytes,
-                raw_replay_s: raw_s,
-                compacted_replay_records: c_records,
-                compacted_replay_bytes: c_bytes,
-                compacted_replay_s: c_s,
-                replay_saved_bytes: saved,
-            }
-        })
-        .collect()
+    crate::executor::parallel_map(history_counts, |&n| {
+        let full_snapshot_bytes = snapshot_run(n, false);
+        let delta_snapshot_bytes = snapshot_run(n, true);
+        let (raw_records, raw_bytes, raw_s, _) = replay_run(n, false);
+        let (c_records, c_bytes, c_s, saved) = replay_run(n, true);
+        CompactionPoint {
+            history: n,
+            full_snapshot_bytes,
+            delta_snapshot_bytes,
+            raw_replay_records: raw_records,
+            raw_replay_bytes: raw_bytes,
+            raw_replay_s: raw_s,
+            compacted_replay_records: c_records,
+            compacted_replay_bytes: c_bytes,
+            compacted_replay_s: c_s,
+            replay_saved_bytes: saved,
+        }
+    })
 }
 
 /// One point of the store-replication sweep.
@@ -665,57 +658,54 @@ pub fn store_replication_sweep(
     let produce_ms = interval.as_millis() * records + 500;
     let crash_at = SimTime::from_millis(produce_ms / 2);
     let duration = SimTime::from_millis(produce_ms + 10_000);
-    replica_counts
-        .iter()
-        .map(|&n| {
-            let mut sc = word_count::recovery_scenario(records as usize, interval, duration, seed);
-            sc.store("h6", StoreConfig::default());
-            sc.with_replicated_store(n);
-            sc.with_durable_checkpointing(
-                CheckpointCfg::exactly_once(SimDuration::from_millis(500)),
-                "h6",
-            );
-            sc.with_transactional_sinks();
-            sc.faults(FaultPlan::new().crash_restart_store(0, crash_at, SimDuration::from_secs(2)));
-            let result = sc.run().expect("valid scenario");
-            let spe = &result.report.spe["wordcount"];
-            let log = &spe.checkpoint_log;
-            let checkpoints = log.len() as u64;
-            // Steady-state latency: captures fully persisted before the
-            // crash (the crash-stalled persist belongs to the
-            // unavailability metric, not here).
-            let steady: Vec<f64> = log
-                .iter()
-                .filter(|(_, d)| *d < crash_at)
-                .map(|(a, d)| d.saturating_since(*a).as_secs_f64())
-                .collect();
-            let steady_stats = s2g_telemetry::summarize(&steady);
-            // The unavailability window: the longest durable-to-durable gap
-            // that spans the crash instant (falling back to crash→end when
-            // no checkpoint landed afterwards).
-            let mut unavailability = 0.0f64;
-            let mut prev = SimTime::ZERO;
-            let mut covered = false;
-            for (_, durable) in log {
-                if prev <= crash_at && *durable >= crash_at {
-                    unavailability = durable.saturating_since(prev.max(crash_at)).as_secs_f64();
-                    covered = true;
-                }
-                prev = *durable;
+    crate::executor::parallel_map(replica_counts, |&n| {
+        let mut sc = word_count::recovery_scenario(records as usize, interval, duration, seed);
+        sc.store("h6", StoreConfig::default());
+        sc.with_replicated_store(n);
+        sc.with_durable_checkpointing(
+            CheckpointCfg::exactly_once(SimDuration::from_millis(500)),
+            "h6",
+        );
+        sc.with_transactional_sinks();
+        sc.faults(FaultPlan::new().crash_restart_store(0, crash_at, SimDuration::from_secs(2)));
+        let result = sc.run().expect("valid scenario");
+        let spe = &result.report.spe["wordcount"];
+        let log = &spe.checkpoint_log;
+        let checkpoints = log.len() as u64;
+        // Steady-state latency: captures fully persisted before the
+        // crash (the crash-stalled persist belongs to the
+        // unavailability metric, not here).
+        let steady: Vec<f64> = log
+            .iter()
+            .filter(|(_, d)| *d < crash_at)
+            .map(|(a, d)| d.saturating_since(*a).as_secs_f64())
+            .collect();
+        let steady_stats = s2g_telemetry::summarize(&steady);
+        // The unavailability window: the longest durable-to-durable gap
+        // that spans the crash instant (falling back to crash→end when
+        // no checkpoint landed afterwards).
+        let mut unavailability = 0.0f64;
+        let mut prev = SimTime::ZERO;
+        let mut covered = false;
+        for (_, durable) in log {
+            if prev <= crash_at && *durable >= crash_at {
+                unavailability = durable.saturating_since(prev.max(crash_at)).as_secs_f64();
+                covered = true;
             }
-            if !covered {
-                unavailability = duration.saturating_since(crash_at).as_secs_f64();
-            }
-            let resync_ops = result.report.stores[0].recovery.map_or(0, |r| r.sync_ops);
-            ReplicationPoint {
-                replicas: n,
-                checkpoints,
-                checkpoint_latency_s: steady_stats.map_or(f64::NAN, |s| s.mean),
-                unavailability_s: unavailability,
-                resync_ops,
-            }
-        })
-        .collect()
+            prev = *durable;
+        }
+        if !covered {
+            unavailability = duration.saturating_since(crash_at).as_secs_f64();
+        }
+        let resync_ops = result.report.stores[0].recovery.map_or(0, |r| r.sync_ops);
+        ReplicationPoint {
+            replicas: n,
+            checkpoints,
+            checkpoint_latency_s: steady_stats.map_or(f64::NAN, |s| s.mean),
+            unavailability_s: unavailability,
+            resync_ops,
+        }
+    })
 }
 
 /// One point of the broker-replication sweep.
@@ -767,98 +757,92 @@ pub fn broker_replication_sweep(
     let crash_at = SimTime::from_millis(produce_ms / 2);
     let duration = SimTime::from_millis(produce_ms + 5_000);
     let slo = SimDuration::from_secs(1);
-    rfs.iter()
-        .map(|&rf| {
-            let mut sc = Scenario::new(format!("broker-replication-rf{rf}"));
-            sc.seed(seed).duration(duration);
-            // Failure detection must beat the outage or no election happens
-            // at any RF: tighten heartbeats and the controller session so
-            // the dead leader is expired in ~1 s of its 4 s downtime.
-            let broker_cfg = s2g_broker::BrokerConfig {
-                heartbeat_interval: SimDuration::from_millis(300),
-                session_timeout: SimDuration::from_secs(1),
-                // Followers fetch near-continuously (Kafka's replica
-                // fetcher long-polls): with the 50 ms default, every
-                // `acks=all` batch pays a full fetch cycle and the
-                // one-inflight-per-partition producer can't keep up with
-                // the record rate.
-                replica_fetch_interval: SimDuration::from_millis(10),
+    crate::executor::parallel_map(rfs, |&rf| {
+        let mut sc = Scenario::new(format!("broker-replication-rf{rf}"));
+        sc.seed(seed).duration(duration);
+        // Failure detection must beat the outage or no election happens
+        // at any RF: tighten heartbeats and the controller session so
+        // the dead leader is expired in ~1 s of its 4 s downtime.
+        let broker_cfg = s2g_broker::BrokerConfig {
+            heartbeat_interval: SimDuration::from_millis(300),
+            session_timeout: SimDuration::from_secs(1),
+            // Followers fetch near-continuously (Kafka's replica
+            // fetcher long-polls): with the 50 ms default, every
+            // `acks=all` batch pays a full fetch cycle and the
+            // one-inflight-per-partition producer can't keep up with
+            // the record rate.
+            replica_fetch_interval: SimDuration::from_millis(10),
+            ..Default::default()
+        };
+        sc.broker_with("h1", broker_cfg.clone());
+        sc.broker_with("h2", broker_cfg.clone());
+        sc.broker_with("h3", broker_cfg);
+        sc.controller_config(s2g_broker::ControllerConfig {
+            session_timeout: SimDuration::from_secs(1),
+            session_check_interval: SimDuration::from_millis(250),
+            ..Default::default()
+        });
+        sc.topic(TopicSpec::new("data"));
+        sc.with_replicated_partitions(rf);
+        sc.with_acks(AckMode::All);
+        sc.producer(
+            "h4",
+            SourceSpec::Rate {
+                topic: "data".into(),
+                count: records,
+                interval,
+                payload: 200,
+            },
+            // A tight request timeout bounds leader rediscovery: a
+            // produce aimed at the dead leader and the follow-up
+            // metadata probe each give up after 500 ms instead of the
+            // 2 s default, so the client finds the elected leader soon
+            // after the controller installs it.
+            ProducerConfig {
+                request_timeout: SimDuration::from_millis(500),
                 ..Default::default()
-            };
-            sc.broker_with("h1", broker_cfg.clone());
-            sc.broker_with("h2", broker_cfg.clone());
-            sc.broker_with("h3", broker_cfg);
-            sc.controller_config(s2g_broker::ControllerConfig {
-                session_timeout: SimDuration::from_secs(1),
-                session_check_interval: SimDuration::from_millis(250),
-                ..Default::default()
-            });
-            sc.topic(TopicSpec::new("data"));
-            sc.with_replicated_partitions(rf);
-            sc.with_acks(AckMode::All);
-            sc.producer(
-                "h4",
-                SourceSpec::Rate {
-                    topic: "data".into(),
-                    count: records,
-                    interval,
-                    payload: 200,
-                },
-                // A tight request timeout bounds leader rediscovery: a
-                // produce aimed at the dead leader and the follow-up
-                // metadata probe each give up after 500 ms instead of the
-                // 2 s default, so the client finds the elected leader soon
-                // after the controller installs it.
-                ProducerConfig {
-                    request_timeout: SimDuration::from_millis(500),
-                    ..Default::default()
-                },
-            );
-            sc.consumer("h5", Default::default(), &["data"]);
-            sc.faults(FaultPlan::new().crash_restart_broker(
-                0,
-                crash_at,
-                SimDuration::from_secs(4),
-            ));
-            let result = sc.run().expect("valid scenario");
-            let outcomes = &result.report.producers[0].outcomes;
-            let total = outcomes.len().max(1) as f64;
-            let within_slo = outcomes
-                .iter()
-                .filter(|o| o.delivered && o.completed.saturating_since(o.created) <= slo)
-                .count() as f64;
-            let lat_ms: Vec<f64> = outcomes
-                .iter()
-                .filter(|o| o.delivered)
-                .map(|o| o.completed.saturating_since(o.created).as_secs_f64() * 1e3)
-                .collect();
-            let lat_stats = s2g_telemetry::summarize(&lat_ms);
-            // The produce-unavailability window: the gap from the crash to
-            // the first ack at or after it (falling back to crash→end when
-            // produce never resumed).
-            let mut acked: Vec<SimTime> = outcomes
-                .iter()
-                .filter(|o| o.delivered)
-                .map(|o| o.completed)
-                .collect();
-            acked.sort_unstable();
-            let unavailability = acked
-                .iter()
-                .find(|t| **t >= crash_at)
-                .map(|t| t.saturating_since(crash_at).as_secs_f64())
-                .unwrap_or_else(|| duration.saturating_since(crash_at).as_secs_f64());
-            let leadership_moves = result.report.brokers[0]
-                .recovery
-                .map_or(0, |r| r.leadership_moves);
-            BrokerReplicationPoint {
-                rf,
-                availability_pct: 100.0 * within_slo / total,
-                produce_p99_ms: lat_stats.map_or(f64::NAN, |s| s.p99),
-                unavailability_s: unavailability,
-                leadership_moves,
-            }
-        })
-        .collect()
+            },
+        );
+        sc.consumer("h5", Default::default(), &["data"]);
+        sc.faults(FaultPlan::new().crash_restart_broker(0, crash_at, SimDuration::from_secs(4)));
+        let result = sc.run().expect("valid scenario");
+        let outcomes = &result.report.producers[0].outcomes;
+        let total = outcomes.len().max(1) as f64;
+        let within_slo = outcomes
+            .iter()
+            .filter(|o| o.delivered && o.completed.saturating_since(o.created) <= slo)
+            .count() as f64;
+        let lat_ms: Vec<f64> = outcomes
+            .iter()
+            .filter(|o| o.delivered)
+            .map(|o| o.completed.saturating_since(o.created).as_secs_f64() * 1e3)
+            .collect();
+        let lat_stats = s2g_telemetry::summarize(&lat_ms);
+        // The produce-unavailability window: the gap from the crash to
+        // the first ack at or after it (falling back to crash→end when
+        // produce never resumed).
+        let mut acked: Vec<SimTime> = outcomes
+            .iter()
+            .filter(|o| o.delivered)
+            .map(|o| o.completed)
+            .collect();
+        acked.sort_unstable();
+        let unavailability = acked
+            .iter()
+            .find(|t| **t >= crash_at)
+            .map(|t| t.saturating_since(crash_at).as_secs_f64())
+            .unwrap_or_else(|| duration.saturating_since(crash_at).as_secs_f64());
+        let leadership_moves = result.report.brokers[0]
+            .recovery
+            .map_or(0, |r| r.leadership_moves);
+        BrokerReplicationPoint {
+            rf,
+            availability_pct: 100.0 * within_slo / total,
+            produce_p99_ms: lat_stats.map_or(f64::NAN, |s| s.p99),
+            unavailability_s: unavailability,
+            leadership_moves,
+        }
+    })
 }
 
 /// One point of the scaling sweep.
@@ -981,19 +965,16 @@ pub fn scaling_sweep(parallelisms: &[usize], scale: Scale, seed: u64) -> Vec<Sca
             .unwrap_or(f64::NAN);
         (throughput, recovery)
     };
-    parallelisms
-        .iter()
-        .map(|&p| {
-            let (throughput_rps, _) = run(p, false);
-            let (crash_throughput_rps, recovery_s) = run(p, true);
-            ScalingPoint {
-                parallelism: p,
-                throughput_rps,
-                crash_throughput_rps,
-                recovery_s,
-            }
-        })
-        .collect()
+    crate::executor::parallel_map(parallelisms, |&p| {
+        let (throughput_rps, _) = run(p, false);
+        let (crash_throughput_rps, recovery_s) = run(p, true);
+        ScalingPoint {
+            parallelism: p,
+            throughput_rps,
+            crash_throughput_rps,
+            recovery_s,
+        }
+    })
 }
 
 /// Everything the `--fig timeline` figure plots: per-instance telemetry
@@ -1380,23 +1361,20 @@ pub fn hotpath_sweep(scale: Scale, seed: u64) -> Vec<HotpathPoint> {
             },
         ),
     ];
-    settings
-        .iter()
-        .map(|&(setting, cfg)| {
-            let (records_per_sec, produce_p99_ms, delivered, shared_batch_copies) =
-                hotpath_run(records, interval, duration, seed, cfg);
-            HotpathPoint {
-                setting,
-                batch_max_bytes: cfg.batch_max_bytes,
-                linger_ms: cfg.linger_ms,
-                compression: cfg.compression,
-                records_per_sec,
-                produce_p99_ms,
-                delivered,
-                shared_batch_copies,
-            }
-        })
-        .collect()
+    crate::executor::parallel_map(&settings, |&(setting, cfg)| {
+        let (records_per_sec, produce_p99_ms, delivered, shared_batch_copies) =
+            hotpath_run(records, interval, duration, seed, cfg);
+        HotpathPoint {
+            setting,
+            batch_max_bytes: cfg.batch_max_bytes,
+            linger_ms: cfg.linger_ms,
+            compression: cfg.compression,
+            records_per_sec,
+            produce_p99_ms,
+            delivered,
+            shared_batch_copies,
+        }
+    })
 }
 
 /// One point of the `--fig throughput` sweep.
@@ -1427,29 +1405,31 @@ pub fn throughput_sweep(scale: Scale, seed: u64) -> Vec<ThroughputPoint> {
         Scale::Quick => (&[1_024, 65_536], &[1, 5]),
         Scale::Smoke => (&[1_024, 65_536], &[2]),
     };
-    let mut out = Vec::new();
+    let mut grid = Vec::new();
     for &batch_max_bytes in bytes {
         for &linger_ms in lingers {
             for compression in [false, true] {
-                let cfg = HotpathCfg {
-                    batching: true,
-                    batch_max_bytes,
-                    linger_ms,
-                    compression,
-                };
-                let (records_per_sec, produce_p99_ms, _, _) =
-                    hotpath_run(records, interval, duration, seed, cfg);
-                out.push(ThroughputPoint {
-                    batch_max_bytes,
-                    linger_ms,
-                    compression,
-                    records_per_sec,
-                    produce_p99_ms,
-                });
+                grid.push((batch_max_bytes, linger_ms, compression));
             }
         }
     }
-    out
+    crate::executor::parallel_map(&grid, |&(batch_max_bytes, linger_ms, compression)| {
+        let cfg = HotpathCfg {
+            batching: true,
+            batch_max_bytes,
+            linger_ms,
+            compression,
+        };
+        let (records_per_sec, produce_p99_ms, _, _) =
+            hotpath_run(records, interval, duration, seed, cfg);
+        ThroughputPoint {
+            batch_max_bytes,
+            linger_ms,
+            compression,
+            records_per_sec,
+            produce_p99_ms,
+        }
+    })
 }
 
 /// Collects results per component into labeled series for plotting.

@@ -8,7 +8,12 @@
 
 #![warn(missing_docs)]
 
+pub mod executor;
 pub mod experiments;
+pub mod simcore;
+
+pub use executor::{parallel_map, parallel_map_with, sweep_threads};
+pub use simcore::{simcore_sweep, SimcorePoint};
 
 pub use experiments::{
     broker_recovery_sweep, broker_replication_sweep, compaction_sweep, fig5_sweep, fig6_run,

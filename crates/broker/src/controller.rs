@@ -398,7 +398,7 @@ impl ZkController {
         for r in &records {
             self.state.apply(r);
             self.decisions.push((now, r.clone()));
-            ctx.trace("controller", format!("{r:?}"));
+            ctx.trace_with("controller", || format!("{r:?}"));
         }
         // Push LeaderAndIsr to affected replica holders.
         for (b, rpc) in self.state.leader_and_isr_for(&records) {

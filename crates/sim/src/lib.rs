@@ -41,6 +41,7 @@
 
 mod cpu;
 mod process;
+pub(crate) mod queue;
 mod resources;
 mod sched;
 mod time;
@@ -48,5 +49,7 @@ mod time;
 pub use cpu::{CpuHandle, HostCpu};
 pub use process::{downcast, downcast_ref, Message, Process, ProcessId, TimerToken, TraceEntry};
 pub use resources::{LedgerHandle, MemLedger, MemSlot};
-pub use sched::{Ctx, Delivery, InstantTransport, Sim, SimCore, SimStats, Transport};
+pub use sched::{
+    Ctx, Delivery, InstantTransport, QueueDiag, SchedulerKind, Sim, SimCore, SimStats, Transport,
+};
 pub use time::{SimDuration, SimTime};

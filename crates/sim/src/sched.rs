@@ -1,21 +1,25 @@
 //! The deterministic event scheduler.
 //!
-//! [`Sim`] owns every process, a seeded RNG, and a binary-heap event queue
-//! ordered by `(time, sequence-number)`, so two runs with the same seed and
-//! task description produce byte-identical traces. Message transport is
-//! pluggable via the [`Transport`] trait: the default delivers instantly,
-//! while `s2g-net` installs the emulated network (links, switches, faults).
+//! [`Sim`] owns every process, a seeded RNG, and an event queue ordered by
+//! `(time, sequence-number)`, so two runs with the same seed and task
+//! description produce byte-identical traces. The queue is a bucketed
+//! calendar queue by default (see [`crate::queue`]); the original binary
+//! heap survives as [`SchedulerKind::Reference`] for differential testing.
+//! Message transport is pluggable via the [`Transport`] trait: the default
+//! delivers instantly, while `s2g-net` installs the emulated network
+//! (links, switches, faults).
 
 use std::any::Any;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::cpu::CpuHandle;
 use crate::process::{Message, Process, ProcessId, TimerToken, TraceEntry};
+use crate::queue::{EventKind, EventQueue, Popped};
 use crate::time::{SimDuration, SimTime};
+
+pub use crate::queue::SchedulerKind;
 
 /// The outcome of routing a message through a [`Transport`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,63 +77,6 @@ impl Transport for InstantTransport {
     }
 }
 
-enum EventKind {
-    Start(ProcessId),
-    Deliver {
-        from: ProcessId,
-        to: ProcessId,
-        msg: Box<dyn Message>,
-    },
-    Timer {
-        pid: ProcessId,
-        token: TimerToken,
-        tag: u64,
-    },
-    CpuDone {
-        pid: ProcessId,
-        tag: u64,
-    },
-}
-
-impl EventKind {
-    fn target(&self) -> ProcessId {
-        match *self {
-            EventKind::Start(pid) => pid,
-            EventKind::Deliver { to, .. } => to,
-            EventKind::Timer { pid, .. } => pid,
-            EventKind::CpuDone { pid, .. } => pid,
-        }
-    }
-}
-
-struct Entry {
-    at: SimTime,
-    seq: u64,
-    /// Incarnation of the target process when the event was scheduled; the
-    /// event is voided if the process was killed (and possibly respawned) in
-    /// the meantime — a crashed process never receives its old incarnation's
-    /// timers, CPU completions, or in-flight messages.
-    inc: u32,
-    kind: EventKind,
-}
-
-impl PartialEq for Entry {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for Entry {}
-impl PartialOrd for Entry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Entry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
-
 /// Counters describing a finished (or in-progress) run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SimStats {
@@ -148,23 +95,55 @@ pub struct SimStats {
     pub processes_killed: u64,
     /// Processes respawned via [`Sim::respawn`].
     pub processes_respawned: u64,
-    /// High-water mark of the event queue.
+    /// High-water mark of *live* scheduled events — entries that will still
+    /// dispatch, excluding cancelled-timer tombstones and events voided by
+    /// a kill/respawn incarnation bump.
     pub max_queue_len: usize,
 }
 
+/// Diagnostic view of the event queue; see [`Sim::queue_diag`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueDiag {
+    /// Events that will still dispatch (excludes cancelled and voided
+    /// entries).
+    pub live_events: usize,
+    /// Entries physically held by the queue (live plus lazy-deletion
+    /// residue not yet popped).
+    pub queue_len: usize,
+    /// Bookkeeping retained purely for lazy deletion: cancelled-timer
+    /// tombstones (calendar) or the cancelled-token set (reference). Must
+    /// stay bounded by the number of pending timers.
+    pub residue: usize,
+}
+
+/// Per-process scheduler bookkeeping, kept in one struct so the per-event
+/// hot path (incarnation check + live accounting) touches a single cache
+/// line per target instead of two parallel vectors.
+#[derive(Clone, Copy, Default)]
+struct ProcAccount {
+    /// Incarnation counter, bumped on kill and respawn. An event scheduled
+    /// for an older incarnation of its target is voided — a crashed process
+    /// never receives its old incarnation's timers, CPU completions, or
+    /// in-flight messages.
+    inc: u32,
+    /// Count of live (still-dispatching) scheduled events.
+    pending: u32,
+}
+
 /// Everything the scheduler owns except the process table; split out so a
-/// dispatched process can borrow it mutably through [`Ctx`] while the table
-/// slot is temporarily vacated.
+/// dispatched process can borrow it mutably through [`Ctx`] while the
+/// process itself stays borrowed from the table.
 pub struct SimCore {
     now: SimTime,
     seq: u64,
-    queue: BinaryHeap<Reverse<Entry>>,
+    queue: EventQueue,
     rng: StdRng,
     transport: Box<dyn Transport>,
-    cancelled: HashSet<u64>,
-    next_timer: u64,
-    /// Per-process incarnation counters, bumped on kill and respawn.
-    incarnations: Vec<u32>,
+    /// Per-process incarnation + live-event accounting, indexed by pid.
+    accounts: Vec<ProcAccount>,
+    /// Total live scheduled events; drives the `max_queue_len` high-water
+    /// mark, so residue (cancelled/voided entries) is not counted.
+    live: usize,
     trace_enabled: bool,
     trace: Vec<TraceEntry>,
     stats: SimStats,
@@ -175,13 +154,52 @@ impl SimCore {
     fn push(&mut self, at: SimTime, kind: EventKind) {
         let seq = self.seq;
         self.seq += 1;
-        let inc = self.incarnation_of(kind.target());
-        self.queue.push(Reverse(Entry { at, seq, inc, kind }));
-        self.stats.max_queue_len = self.stats.max_queue_len.max(self.queue.len());
+        let target = kind.target();
+        let inc = self.incarnation_of(target);
+        self.queue.push(at, seq, inc, kind);
+        self.note_scheduled(target);
+    }
+
+    fn push_timer(&mut self, at: SimTime, pid: ProcessId, tag: u64) -> TimerToken {
+        let seq = self.seq;
+        self.seq += 1;
+        let inc = self.incarnation_of(pid);
+        let token = self.queue.push_timer(at, seq, inc, pid, tag);
+        self.note_scheduled(pid);
+        token
     }
 
     fn incarnation_of(&self, pid: ProcessId) -> u32 {
-        self.incarnations.get(pid.index()).copied().unwrap_or(0)
+        self.accounts.get(pid.index()).map_or(0, |a| a.inc)
+    }
+
+    /// Accounts a newly scheduled live event against its target.
+    fn note_scheduled(&mut self, target: ProcessId) {
+        let idx = target.index();
+        if idx >= self.accounts.len() {
+            self.accounts.resize(idx + 1, ProcAccount::default());
+        }
+        self.accounts[idx].pending += 1;
+        self.live += 1;
+        self.stats.max_queue_len = self.stats.max_queue_len.max(self.live);
+    }
+
+    /// Accounts a live event leaving the queue (dispatched or cancelled).
+    fn note_retired(&mut self, target: ProcessId) {
+        self.accounts[target.index()].pending -= 1;
+        self.live -= 1;
+    }
+
+    /// Bumps a process's incarnation, voiding all its live events at once.
+    fn bump_incarnation(&mut self, pid: ProcessId) {
+        let idx = pid.index();
+        if idx >= self.accounts.len() {
+            self.accounts.resize(idx + 1, ProcAccount::default());
+        }
+        let account = &mut self.accounts[idx];
+        account.inc += 1;
+        self.live -= account.pending as usize;
+        account.pending = 0;
     }
 }
 
@@ -251,22 +269,19 @@ impl<'a> Ctx<'a> {
             "timer scheduled in the past: {at} < {}",
             self.core.now
         );
-        let token = TimerToken(self.core.next_timer);
-        self.core.next_timer += 1;
-        self.core.push(
-            at,
-            EventKind::Timer {
-                pid: self.self_id,
-                token,
-                tag,
-            },
-        );
-        token
+        self.core.push_timer(at, self.self_id, tag)
     }
 
     /// Cancels a pending timer. Cancelling an already-fired timer is a no-op.
     pub fn cancel_timer(&mut self, token: TimerToken) {
-        self.core.cancelled.insert(token.0);
+        if let Some((pid, inc)) = self.core.queue.cancel(token) {
+            // Only un-account the event if it was still live: a timer set by
+            // an incarnation that has since been killed was already voided
+            // in bulk by the incarnation bump.
+            if inc == self.core.incarnation_of(pid) {
+                self.core.note_retired(pid);
+            }
+        }
     }
 
     /// Schedules `cost` of CPU work on this process's host CPU;
@@ -288,13 +303,27 @@ impl<'a> Ctx<'a> {
     }
 
     /// Appends a trace entry if tracing is enabled.
+    ///
+    /// If the text is built with `format!`, prefer [`Ctx::trace_with`] so
+    /// tracing-off runs never pay for the string.
     pub fn trace(&mut self, category: &'static str, text: impl Into<String>) {
+        self.trace_with(category, || text);
+    }
+
+    /// Appends a trace entry if tracing is enabled, building the text
+    /// lazily — the closure only runs when the trace is actually collected,
+    /// so hot paths stop formatting strings that tracing-off runs discard.
+    pub fn trace_with<S, F>(&mut self, category: &'static str, f: F)
+    where
+        S: Into<String>,
+        F: FnOnce() -> S,
+    {
         if self.core.trace_enabled {
             let entry = TraceEntry {
                 at: self.core.now,
                 pid: self.self_id,
                 category,
-                text: text.into(),
+                text: f().into(),
             };
             self.core.trace.push(entry);
         }
@@ -350,18 +379,30 @@ pub struct Sim {
 }
 
 impl Sim {
-    /// Creates a scheduler seeded with `seed`.
+    /// Creates a scheduler seeded with `seed`, on the default event queue
+    /// (the calendar queue, unless the crate was built with the
+    /// `reference-sched` feature).
     pub fn new(seed: u64) -> Self {
+        #[cfg(feature = "reference-sched")]
+        let kind = SchedulerKind::Reference;
+        #[cfg(not(feature = "reference-sched"))]
+        let kind = SchedulerKind::Calendar;
+        Sim::with_scheduler(seed, kind)
+    }
+
+    /// Creates a scheduler seeded with `seed` on an explicit queue
+    /// implementation. Both kinds produce identical event orders; the
+    /// reference exists for differential tests and benchmarks.
+    pub fn with_scheduler(seed: u64, kind: SchedulerKind) -> Self {
         Sim {
             core: SimCore {
                 now: SimTime::ZERO,
                 seq: 0,
-                queue: BinaryHeap::new(),
+                queue: EventQueue::new(kind),
                 rng: StdRng::seed_from_u64(seed),
                 transport: Box::new(InstantTransport::default()),
-                cancelled: HashSet::new(),
-                next_timer: 0,
-                incarnations: Vec::new(),
+                accounts: Vec::new(),
+                live: 0,
                 trace_enabled: false,
                 trace: Vec::new(),
                 stats: SimStats::default(),
@@ -369,6 +410,21 @@ impl Sim {
             },
             processes: Vec::new(),
             event_limit: u64::MAX,
+        }
+    }
+
+    /// Which event-queue implementation this scheduler runs on.
+    pub fn scheduler_kind(&self) -> SchedulerKind {
+        self.core.queue.kind()
+    }
+
+    /// Diagnostic counters for the event queue (live events, physical
+    /// length, lazy-deletion residue).
+    pub fn queue_diag(&self) -> QueueDiag {
+        QueueDiag {
+            live_events: self.core.live,
+            queue_len: self.core.queue.len(),
+            residue: self.core.queue.residue(),
         }
     }
 
@@ -396,7 +452,6 @@ impl Sim {
     pub fn spawn_at(&mut self, start: SimTime, proc: Box<dyn Process>) -> ProcessId {
         let pid = ProcessId(self.processes.len() as u32);
         self.processes.push(Some(ProcEntry { proc, cpu: None }));
-        self.core.incarnations.push(0);
         self.core.push(start, EventKind::Start(pid));
         pid
     }
@@ -412,7 +467,7 @@ impl Sim {
     /// valid across a crash/restart cycle.
     pub fn kill(&mut self, pid: ProcessId) -> Option<Box<dyn Process>> {
         let entry = self.processes.get_mut(pid.index())?.take()?;
-        self.core.incarnations[pid.index()] += 1;
+        self.core.bump_incarnation(pid);
         self.core.stats.processes_killed += 1;
         Some(entry.proc)
     }
@@ -437,7 +492,7 @@ impl Sim {
             .unwrap_or_else(|| panic!("respawn of unknown process {pid}"));
         assert!(slot.is_none(), "respawn into occupied slot {pid}");
         *slot = Some(ProcEntry { proc, cpu: None });
-        self.core.incarnations[pid.index()] += 1;
+        self.core.bump_incarnation(pid);
         self.core.stats.processes_respawned += 1;
         let now = self.core.now;
         self.core.push(now, EventKind::Start(pid));
@@ -517,11 +572,16 @@ impl Sim {
             if self.core.stop_requested {
                 break;
             }
-            let at = match self.core.queue.peek() {
-                Some(Reverse(e)) if e.at <= limit => e.at,
-                _ => break,
+            let Some(Popped {
+                at,
+                inc,
+                cancelled,
+                kind,
+                ..
+            }) = self.core.queue.pop_at_most(limit)
+            else {
+                break;
             };
-            let Reverse(entry) = self.core.queue.pop().expect("peeked");
             debug_assert!(at >= self.core.now, "time went backwards");
             self.core.now = at;
             self.core.stats.events_processed += 1;
@@ -532,12 +592,19 @@ impl Sim {
                     self.event_limit, self.core.now
                 );
             }
-            if entry.inc != self.core.incarnation_of(entry.kind.target()) {
-                // Scheduled for a dead incarnation of the target process.
+            let target = kind.target();
+            if inc != self.core.incarnation_of(target) {
+                // Scheduled for a dead incarnation of the target process;
+                // un-accounted in bulk when the incarnation bumped.
                 self.core.stats.events_voided += 1;
                 continue;
             }
-            self.dispatch(entry.kind);
+            if cancelled {
+                // Cancelled timer tombstone; un-accounted at cancel time.
+                continue;
+            }
+            self.core.note_retired(target);
+            self.dispatch(kind);
         }
         if self.core.now < limit && !self.core.stop_requested {
             self.core.now = limit;
@@ -557,10 +624,7 @@ impl Sim {
                 self.core.stats.messages_delivered += 1;
                 self.with_process(to, |proc, ctx| proc.on_message(ctx, from, msg));
             }
-            EventKind::Timer { pid, token, tag } => {
-                if self.core.cancelled.remove(&token.0) {
-                    return;
-                }
+            EventKind::Timer { pid, tag, .. } => {
                 self.core.stats.timers_fired += 1;
                 self.with_process(pid, |proc, ctx| proc.on_timer(ctx, tag));
             }
@@ -574,21 +638,21 @@ impl Sim {
     where
         F: FnOnce(&mut dyn Process, &mut Ctx<'_>),
     {
-        let mut entry = match self.processes.get_mut(pid.index()).and_then(Option::take) {
-            Some(e) => e,
-            // The process slot may be legitimately empty if the event targets
-            // a process that was never registered (stale id) — drop silently.
-            None => return,
+        // The process slot may be legitimately empty if the event targets
+        // a process that was never registered (stale id) — drop silently.
+        let Some(Some(entry)) = self.processes.get_mut(pid.index()) else {
+            return;
         };
-        {
-            let mut ctx = Ctx {
-                core: &mut self.core,
-                self_id: pid,
-                cpu: entry.cpu.as_ref(),
-            };
-            f(entry.proc.as_mut(), &mut ctx);
-        }
-        self.processes[pid.index()] = Some(entry);
+        // Disjoint-field borrows: the handler holds the process (from
+        // `self.processes`) while `Ctx` borrows `self.core` — no need to
+        // vacate the slot and write it back around every dispatch.
+        let ProcEntry { proc, cpu } = entry;
+        let mut ctx = Ctx {
+            core: &mut self.core,
+            self_id: pid,
+            cpu: cpu.as_ref(),
+        };
+        f(proc.as_mut(), &mut ctx);
     }
 }
 
@@ -945,5 +1009,130 @@ mod tests {
         let p = sim.spawn(Box::new(Stopper { handled: 0 }));
         sim.run_to_completion();
         assert_eq!(sim.process_ref::<Stopper>(p).unwrap().handled, 1);
+    }
+
+    #[test]
+    fn default_scheduler_is_calendar_unless_feature_flipped() {
+        let sim = Sim::new(0);
+        #[cfg(feature = "reference-sched")]
+        assert_eq!(sim.scheduler_kind(), SchedulerKind::Reference);
+        #[cfg(not(feature = "reference-sched"))]
+        assert_eq!(sim.scheduler_kind(), SchedulerKind::Calendar);
+        let r = Sim::with_scheduler(0, SchedulerKind::Reference);
+        assert_eq!(r.scheduler_kind(), SchedulerKind::Reference);
+    }
+
+    /// Regression for the cancelled-timer leak: cancel bookkeeping must not
+    /// grow with the number of set/cancel cycles — on either scheduler.
+    #[test]
+    fn cancel_bookkeeping_stays_bounded() {
+        for kind in [SchedulerKind::Calendar, SchedulerKind::Reference] {
+            struct Churner {
+                cycles: u32,
+            }
+            impl Process for Churner {
+                fn name(&self) -> &str {
+                    "churner"
+                }
+                fn on_message(&mut self, _: &mut Ctx<'_>, _: ProcessId, _: Box<dyn Message>) {}
+                fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                    ctx.set_timer(SimDuration::from_millis(1), 0);
+                }
+                fn on_timer(&mut self, ctx: &mut Ctx<'_>, _tag: u64) {
+                    self.cycles += 1;
+                    if self.cycles < 2_000 {
+                        // Set-and-cancel plus a live driver timer per cycle.
+                        let doomed = ctx.set_timer(SimDuration::from_millis(5), 1);
+                        ctx.cancel_timer(doomed);
+                        ctx.cancel_timer(doomed); // double cancel is a no-op
+                        ctx.set_timer(SimDuration::from_millis(1), 0);
+                    }
+                }
+            }
+            let mut sim = Sim::with_scheduler(3, kind);
+            sim.spawn(Box::new(Churner { cycles: 0 }));
+            sim.run_to_completion();
+            let diag = sim.queue_diag();
+            assert_eq!(diag.queue_len, 0, "{kind:?}: queue drained");
+            assert_eq!(
+                diag.residue, 0,
+                "{kind:?}: cancel bookkeeping leaked after 2000 set/cancel cycles"
+            );
+            assert_eq!(diag.live_events, 0, "{kind:?}");
+        }
+    }
+
+    /// Regression for `max_queue_len`: the high-water mark counts live
+    /// events only, not cancelled tombstones sitting in the queue.
+    #[test]
+    fn max_queue_len_ignores_cancelled_residue() {
+        for kind in [SchedulerKind::Calendar, SchedulerKind::Reference] {
+            struct Canceller;
+            impl Process for Canceller {
+                fn name(&self) -> &str {
+                    "canceller"
+                }
+                fn on_message(&mut self, _: &mut Ctx<'_>, _: ProcessId, _: Box<dyn Message>) {}
+                fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                    // Ten timers live at once (the true high-water mark),
+                    // then nine cancelled before anything more is scheduled.
+                    let tokens: Vec<_> = (0..10)
+                        .map(|i| ctx.set_timer(SimDuration::from_millis(10 + i), i))
+                        .collect();
+                    for t in &tokens[..9] {
+                        ctx.cancel_timer(*t);
+                    }
+                    // Two more live timers: 1 survivor + 2 = 3 < 10, but the
+                    // physical queue still holds 12 entries here.
+                    ctx.set_timer(SimDuration::from_millis(40), 100);
+                    ctx.set_timer(SimDuration::from_millis(50), 101);
+                }
+            }
+            let mut sim = Sim::with_scheduler(0, kind);
+            sim.spawn(Box::new(Canceller));
+            sim.run_to_completion();
+            assert_eq!(
+                sim.stats().max_queue_len,
+                10,
+                "{kind:?}: high-water mark must count live events, not residue"
+            );
+            assert_eq!(sim.stats().timers_fired, 3, "{kind:?}");
+        }
+    }
+
+    /// Kill must void its process's pending events in the live accounting,
+    /// so post-kill pushes don't inflate the high-water mark.
+    #[test]
+    fn max_queue_len_ignores_voided_events() {
+        struct Sleeper;
+        impl Process for Sleeper {
+            fn name(&self) -> &str {
+                "sleeper"
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_>, _: ProcessId, _: Box<dyn Message>) {}
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                for i in 0..8 {
+                    ctx.set_timer(SimDuration::from_millis(100 + i), i);
+                }
+            }
+        }
+        for kind in [SchedulerKind::Calendar, SchedulerKind::Reference] {
+            let mut sim = Sim::with_scheduler(0, kind);
+            let p = sim.spawn(Box::new(Sleeper));
+            sim.run_until(SimTime::from_millis(50));
+            assert_eq!(sim.queue_diag().live_events, 8, "{kind:?}");
+            sim.kill(p).expect("alive");
+            assert_eq!(
+                sim.queue_diag().live_events,
+                0,
+                "{kind:?}: kill voids pending events"
+            );
+            // Eight voided entries still sit in the queue; the high-water
+            // mark must not re-count them against new arrivals.
+            sim.respawn(p, Box::new(Sleeper));
+            sim.run_to_completion();
+            assert_eq!(sim.stats().max_queue_len, 8, "{kind:?}");
+            assert_eq!(sim.stats().events_voided, 8, "{kind:?}");
+        }
     }
 }

@@ -809,10 +809,9 @@ impl SpeWorker {
         if let Some(c) = self.coordinator.as_mut() {
             c.seed_prev_offsets(tail_offsets);
         }
-        ctx.trace(
-            "spe",
-            format!("{} restored checkpoint from {}", self.name, taken_at),
-        );
+        ctx.trace_with("spe", || {
+            format!("{} restored checkpoint from {}", self.name, taken_at)
+        });
     }
 
     fn handle_store_rpc(&mut self, ctx: &mut Ctx<'_>, rpc: StoreRpc) {
@@ -977,14 +976,13 @@ impl SpeWorker {
         if let Some(c) = self.coordinator.as_mut() {
             c.seed_prev_offsets(offsets);
         }
-        ctx.trace(
-            "spe",
+        ctx.trace_with("spe", || {
             format!(
                 "{} restored {} old-instance chain(s) for its key groups",
                 self.name,
                 chains.iter().flatten().count()
-            ),
-        );
+            )
+        });
     }
 
     fn emit(&mut self, ctx: &mut Ctx<'_>, events: Vec<Event>) {

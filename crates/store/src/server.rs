@@ -744,13 +744,12 @@ impl StoreServer {
             self.kv = KvStore::new();
             self.tables = TableStore::new();
             self.update_mem();
-            ctx.trace(
-                "store",
+            ctx.trace_with("store", || {
                 format!(
                     "{} deposed by a newer primary; rebuilding from the group",
                     self.name
-                ),
-            );
+                )
+            });
             self.start_sync(ctx, None);
         }
     }
@@ -1048,10 +1047,9 @@ impl StoreServer {
                 }
                 self.tele
                     .trace_end(ctx.now(), &self.name, "recovery:resync", "recovery");
-                ctx.trace(
-                    "store",
-                    format!("{} resynced {} ops from its group", self.name, sync_ops),
-                );
+                ctx.trace_with("store", || {
+                    format!("{} resynced {} ops from its group", self.name, sync_ops)
+                });
             }
         }
         if was_claiming {
@@ -1139,10 +1137,9 @@ impl StoreServer {
         g.primary = g.index;
         let name = self.name.clone();
         let epoch = self.group.as_ref().expect("grouped").epoch;
-        ctx.trace(
-            "store",
-            format!("{name} claimed store-group primary (epoch {epoch})"),
-        );
+        ctx.trace_with("store", || {
+            format!("{name} claimed store-group primary (epoch {epoch})")
+        });
         self.send_heartbeats(ctx);
     }
 
